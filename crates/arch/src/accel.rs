@@ -1,0 +1,229 @@
+//! The accelerator architectures of Table II: six design points spanning
+//! popular AI accelerators (variants of paper refs. 14–18) plus the Sec.-II
+//! design, all normalised to 1024 PEs and 256 MB of on-chip RRAM.
+
+use serde::{Deserialize, Serialize};
+
+/// Spatial unrolling of the PE array over the convolution loop nest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpatialUnroll {
+    /// Output channels unrolled (K).
+    pub k: u32,
+    /// Input channels unrolled (C); 1 when unused.
+    pub c: u32,
+    /// Output width unrolled (OX); 1 when unused.
+    pub ox: u32,
+    /// Output height unrolled (OY); 1 when unused.
+    pub oy: u32,
+}
+
+impl SpatialUnroll {
+    /// Total PEs = product of the unrolled dimensions.
+    pub fn pes(&self) -> u64 {
+        u64::from(self.k.max(1))
+            * u64::from(self.c.max(1))
+            * u64::from(self.ox.max(1))
+            * u64::from(self.oy.max(1))
+    }
+
+    /// Spatial pixels per cycle (OX×OY unrolling).
+    pub fn pixels(&self) -> u32 {
+        self.ox.max(1) * self.oy.max(1)
+    }
+}
+
+/// Per-operand local-buffer capacities in kilobytes.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct BufferSpec {
+    /// Weight buffer, KB.
+    pub weight_kb: f64,
+    /// Input buffer, KB.
+    pub input_kb: f64,
+    /// Output buffer, KB.
+    pub output_kb: f64,
+}
+
+impl BufferSpec {
+    /// Total capacity in bits.
+    pub fn total_bits(&self) -> u64 {
+        ((self.weight_kb + self.input_kb + self.output_kb) * 1024.0 * 8.0) as u64
+    }
+}
+
+/// One Table II architecture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccelArch {
+    /// Architecture number (1–6).
+    pub id: u8,
+    /// Short description of the lineage.
+    pub name: String,
+    /// Spatial unrolling.
+    pub spatial: SpatialUnroll,
+    /// Register bytes per register group.
+    pub reg_bytes_per_group: f64,
+    /// Register groups (usually one per PE; per-column for arch 3).
+    pub reg_groups: u32,
+    /// Local buffers.
+    pub local: BufferSpec,
+    /// Global SRAM in MB.
+    pub global_mb: f64,
+    /// On-chip RRAM in MB.
+    pub rram_mb: u64,
+}
+
+impl AccelArch {
+    /// Total register bits across the CS.
+    pub fn reg_bits(&self) -> u64 {
+        (self.reg_bytes_per_group * 8.0 * f64::from(self.reg_groups)) as u64
+    }
+
+    /// Total SRAM bits (local + global).
+    pub fn sram_bits(&self) -> u64 {
+        self.local.total_bits() + (self.global_mb * 1024.0 * 1024.0 * 8.0) as u64
+    }
+
+    /// Geometric CS area demand in mm², using the 130 nm calibration:
+    /// PE datapath ≈ 2 900 µm² (including ≈ 5 register bytes), extra
+    /// register bits as flip-flops (18.1 µm²/bit), SRAM at an effective
+    /// 0.405 µm²/bit, cells placed at 70 % utilisation.
+    pub fn cs_demand_mm2(&self) -> f64 {
+        const PE_UM2: f64 = 2900.0;
+        const BASE_REG_BITS_PER_PE: f64 = 40.0;
+        const DFF_UM2_PER_BIT: f64 = 18.1;
+        const SRAM_UM2_PER_BIT: f64 = 0.405;
+        const UTIL: f64 = 0.7;
+        let pes = self.spatial.pes() as f64;
+        let extra_reg_bits = (self.reg_bits() as f64 - pes * BASE_REG_BITS_PER_PE).max(0.0);
+        let cell_um2 = pes * PE_UM2 + extra_reg_bits * DFF_UM2_PER_BIT;
+        let sram_um2 = self.sram_bits() as f64 * SRAM_UM2_PER_BIT;
+        (cell_um2 / UTIL + sram_um2) / 1.0e6
+    }
+}
+
+/// The six architectures of Table II.
+pub fn table2_architectures() -> Vec<AccelArch> {
+    vec![
+        AccelArch {
+            id: 1,
+            name: "Arch 1 (AR/VR DNN accelerator class)".into(),
+            spatial: SpatialUnroll { k: 16, c: 16, ox: 2, oy: 2 },
+            reg_bytes_per_group: 3.0,
+            reg_groups: 1024,
+            local: BufferSpec { weight_kb: 64.0, input_kb: 64.0, output_kb: 256.0 },
+            global_mb: 2.0,
+            rram_mb: 256,
+        },
+        AccelArch {
+            id: 2,
+            name: "Arch 2 (TPU class)".into(),
+            spatial: SpatialUnroll { k: 8, c: 8, ox: 4, oy: 4 },
+            reg_bytes_per_group: 3.0,
+            reg_groups: 1024,
+            local: BufferSpec { weight_kb: 32.0, input_kb: 0.0, output_kb: 0.0 },
+            global_mb: 2.0,
+            rram_mb: 256,
+        },
+        AccelArch {
+            id: 3,
+            name: "Arch 3 (Edge-TPU class)".into(),
+            spatial: SpatialUnroll { k: 32, c: 32, ox: 1, oy: 1 },
+            reg_bytes_per_group: 128.0 + 1024.0,
+            reg_groups: 32,
+            local: BufferSpec::default(),
+            global_mb: 2.0,
+            rram_mb: 256,
+        },
+        AccelArch {
+            id: 4,
+            name: "Arch 4 (Ascend class)".into(),
+            spatial: SpatialUnroll { k: 32, c: 2, ox: 4, oy: 4 },
+            reg_bytes_per_group: 3.0,
+            reg_groups: 1024,
+            local: BufferSpec { weight_kb: 64.0, input_kb: 32.0, output_kb: 0.0 },
+            global_mb: 2.0,
+            rram_mb: 256,
+        },
+        AccelArch {
+            id: 5,
+            name: "Arch 5 (FSD class)".into(),
+            spatial: SpatialUnroll { k: 32, c: 1, ox: 8, oy: 4 },
+            reg_bytes_per_group: 5.0,
+            reg_groups: 1024,
+            local: BufferSpec { weight_kb: 1.0, input_kb: 1.0, output_kb: 0.0 },
+            global_mb: 2.0,
+            rram_mb: 256,
+        },
+        AccelArch {
+            id: 6,
+            name: "Arch 6 (Sec. II design)".into(),
+            spatial: SpatialUnroll { k: 32, c: 32, ox: 1, oy: 1 },
+            reg_bytes_per_group: 3.2,
+            reg_groups: 1024,
+            local: BufferSpec { weight_kb: 0.0, input_kb: 32.0, output_kb: 32.0 },
+            global_mb: 0.5,
+            rram_mb: 256,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_archs_normalised_to_1024_pes() {
+        for a in table2_architectures() {
+            assert_eq!(a.spatial.pes(), 1024, "arch {}", a.id);
+            assert_eq!(a.rram_mb, 256);
+        }
+    }
+
+    #[test]
+    fn arch3_register_files_dominate_its_area() {
+        let archs = table2_architectures();
+        let a3 = &archs[2];
+        let a6 = &archs[5];
+        assert!(a3.reg_bits() > a6.reg_bits());
+        assert!(
+            a3.cs_demand_mm2() > a6.cs_demand_mm2(),
+            "arch 3 CS {} vs arch 6 {}",
+            a3.cs_demand_mm2(),
+            a6.cs_demand_mm2()
+        );
+    }
+
+    #[test]
+    fn cs_areas_in_plausible_band() {
+        for a in table2_architectures() {
+            let mm2 = a.cs_demand_mm2();
+            assert!((2.0..30.0).contains(&mm2), "arch {} area {mm2}", a.id);
+        }
+    }
+
+    #[test]
+    fn arch6_is_the_leanest() {
+        let archs = table2_architectures();
+        let a6_area = archs[5].cs_demand_mm2();
+        for a in &archs[..5] {
+            assert!(a.cs_demand_mm2() > a6_area, "arch {} vs arch 6", a.id);
+        }
+    }
+
+    #[test]
+    fn buffer_spec_totals() {
+        let b = BufferSpec {
+            weight_kb: 1.0,
+            input_kb: 2.0,
+            output_kb: 1.0,
+        };
+        assert_eq!(b.total_bits(), 4 * 1024 * 8);
+        assert_eq!(BufferSpec::default().total_bits(), 0);
+    }
+
+    #[test]
+    fn spatial_products() {
+        let s = SpatialUnroll { k: 32, c: 1, ox: 8, oy: 4 };
+        assert_eq!(s.pes(), 1024);
+        assert_eq!(s.pixels(), 32);
+    }
+}

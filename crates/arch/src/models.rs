@@ -1,0 +1,228 @@
+//! The DNN models the paper evaluates: AlexNet, VGG-16, ResNet-18 and
+//! ResNet-152 (Fig. 5, Table I, Fig. 7, Fig. 9).
+//!
+//! Layer shapes are the public architectures; weights are assumed 8-bit
+//! as in the Chimera-class accelerator the baseline follows.
+
+use crate::workload::{Layer, Workload};
+
+/// AlexNet (5 convolutions + 3 fully connected layers).
+pub fn alexnet() -> Workload {
+    Workload::new(
+        "AlexNet",
+        vec![
+            Layer::conv("CONV1", 3, 96, 11, (55, 55), 4),
+            Layer::conv("CONV2", 96, 256, 5, (27, 27), 1),
+            Layer::conv("CONV3", 256, 384, 3, (13, 13), 1),
+            Layer::conv("CONV4", 384, 384, 3, (13, 13), 1),
+            Layer::conv("CONV5", 384, 256, 3, (13, 13), 1),
+            Layer::fc("FC6", 9216, 4096),
+            Layer::fc("FC7", 4096, 4096),
+            Layer::fc("FC8", 4096, 1000),
+        ],
+    )
+}
+
+/// VGG-16 (13 convolutions + 3 fully connected layers).
+pub fn vgg16() -> Workload {
+    Workload::new(
+        "VGG-16",
+        vec![
+            Layer::conv("CONV1_1", 3, 64, 3, (224, 224), 1),
+            Layer::conv("CONV1_2", 64, 64, 3, (224, 224), 1),
+            Layer::conv("CONV2_1", 64, 128, 3, (112, 112), 1),
+            Layer::conv("CONV2_2", 128, 128, 3, (112, 112), 1),
+            Layer::conv("CONV3_1", 128, 256, 3, (56, 56), 1),
+            Layer::conv("CONV3_2", 256, 256, 3, (56, 56), 1),
+            Layer::conv("CONV3_3", 256, 256, 3, (56, 56), 1),
+            Layer::conv("CONV4_1", 256, 512, 3, (28, 28), 1),
+            Layer::conv("CONV4_2", 512, 512, 3, (28, 28), 1),
+            Layer::conv("CONV4_3", 512, 512, 3, (28, 28), 1),
+            Layer::conv("CONV5_1", 512, 512, 3, (14, 14), 1),
+            Layer::conv("CONV5_2", 512, 512, 3, (14, 14), 1),
+            Layer::conv("CONV5_3", 512, 512, 3, (14, 14), 1),
+            Layer::fc("FC6", 25088, 4096),
+            Layer::fc("FC7", 4096, 4096),
+            Layer::fc("FC8", 4096, 1000),
+        ],
+    )
+}
+
+/// ResNet-18, with Table I's layer naming (the stem convolution is fused
+/// with its pooling pass).
+pub fn resnet18() -> Workload {
+    let mut layers = vec![Layer::conv("CONV1+POOL", 3, 64, 7, (112, 112), 2)];
+    // Stage 1: 64 channels at 56×56.
+    for blk in 0..2 {
+        layers.push(Layer::conv(format!("L1.{blk} CONV1"), 64, 64, 3, (56, 56), 1));
+        layers.push(Layer::conv(format!("L1.{blk} CONV2"), 64, 64, 3, (56, 56), 1));
+    }
+    // Stages 2–4 double channels and halve the map; the first block of
+    // each has a 1×1 stride-2 downsample shortcut (DS).
+    let stages: [(u32, u32, u32); 3] = [(64, 128, 28), (128, 256, 14), (256, 512, 7)];
+    for (si, (cin, cout, wh)) in stages.into_iter().enumerate() {
+        let s = si + 2;
+        layers.push(Layer::conv(format!("L{s}.0 DS"), cin, cout, 1, (wh, wh), 2));
+        layers.push(Layer::conv(format!("L{s}.0 CONV1"), cin, cout, 3, (wh, wh), 2));
+        layers.push(Layer::conv(format!("L{s}.0 CONV2"), cout, cout, 3, (wh, wh), 1));
+        layers.push(Layer::conv(format!("L{s}.1 CONV1"), cout, cout, 3, (wh, wh), 1));
+        layers.push(Layer::conv(format!("L{s}.1 CONV2"), cout, cout, 3, (wh, wh), 1));
+    }
+    layers.push(Layer::fc("FC", 512, 1000));
+    Workload::new("ResNet-18", layers)
+}
+
+/// ResNet-152 (bottleneck blocks: 3 + 8 + 36 + 3).
+pub fn resnet152() -> Workload {
+    let mut layers = vec![Layer::conv("CONV1", 3, 64, 7, (112, 112), 2)];
+    let stages: [(usize, u32, u32, u32, u32); 4] = [
+        // (blocks, in, mid, out, map)
+        (3, 64, 64, 256, 56),
+        (8, 256, 128, 512, 28),
+        (36, 512, 256, 1024, 14),
+        (3, 1024, 512, 2048, 7),
+    ];
+    for (si, (blocks, cin, mid, cout, wh)) in stages.into_iter().enumerate() {
+        let s = si + 1;
+        for b in 0..blocks {
+            let in_ch = if b == 0 { cin } else { cout };
+            let stride = if b == 0 && s > 1 { 2 } else { 1 };
+            if b == 0 {
+                layers.push(Layer::conv(
+                    format!("L{s}.0 DS"),
+                    in_ch,
+                    cout,
+                    1,
+                    (wh, wh),
+                    stride,
+                ));
+            }
+            layers.push(Layer::conv(
+                format!("L{s}.{b} CONV1"),
+                in_ch,
+                mid,
+                1,
+                (wh, wh),
+                stride,
+            ));
+            layers.push(Layer::conv(format!("L{s}.{b} CONV2"), mid, mid, 3, (wh, wh), 1));
+            layers.push(Layer::conv(format!("L{s}.{b} CONV3"), mid, cout, 1, (wh, wh), 1));
+        }
+    }
+    layers.push(Layer::fc("FC", 2048, 1000));
+    Workload::new("ResNet-152", layers)
+}
+
+/// MobileNetV1 (depthwise-separable convolutions) — *not* in the
+/// paper's evaluation set; used by the coverage extension to show where
+/// the M3D benefit shrinks (low-arithmetic-intensity depthwise layers
+/// are shared-bus bound).
+pub fn mobilenet_v1() -> Workload {
+    let mut layers = vec![Layer::conv("CONV1", 3, 32, 3, (112, 112), 2)];
+    // (in, out, stride, output map) per depthwise-separable block.
+    let blocks: [(u32, u32, u32, u32); 13] = [
+        (32, 64, 1, 112),
+        (64, 128, 2, 56),
+        (128, 128, 1, 56),
+        (128, 256, 2, 28),
+        (256, 256, 1, 28),
+        (256, 512, 2, 14),
+        (512, 512, 1, 14),
+        (512, 512, 1, 14),
+        (512, 512, 1, 14),
+        (512, 512, 1, 14),
+        (512, 512, 1, 14),
+        (512, 1024, 2, 7),
+        (1024, 1024, 1, 7),
+    ];
+    for (i, (cin, cout, stride, wh)) in blocks.into_iter().enumerate() {
+        layers.push(Layer::depthwise(format!("DW{i}"), cin, 3, (wh, wh), stride));
+        layers.push(Layer::conv(format!("PW{i}"), cin, cout, 1, (wh, wh), 1));
+    }
+    layers.push(Layer::fc("FC", 1024, 1000));
+    Workload::new("MobileNetV1", layers)
+}
+
+/// All four evaluation models (Fig. 5).
+pub fn evaluation_models() -> Vec<Workload> {
+    vec![alexnet(), vgg16(), resnet18(), resnet152()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet18_matches_table_one_structure() {
+        let w = resnet18();
+        // 1 stem + 4 stage-1 convs + 3×5 stage convs + FC = 21 layers.
+        assert_eq!(w.layers.len(), 21);
+        assert_eq!(w.layers[0].name, "CONV1+POOL");
+        assert!(w.layers.iter().any(|l| l.name == "L2.0 DS"));
+        assert!(w.layers.iter().any(|l| l.name == "L4.1 CONV2"));
+        // ~11.7 M parameters (Fig. 9 cites ~12 M).
+        let params = w.total_weights();
+        assert!(
+            (11_000_000..13_000_000).contains(&params),
+            "params = {params}"
+        );
+        // ~1.8 GMACs for 224×224 inference.
+        let gmacs = w.total_ops() as f64 / 1e9;
+        assert!((1.6..2.0).contains(&gmacs), "GMACs = {gmacs}");
+    }
+
+    #[test]
+    fn resnet152_is_about_sixty_million_params() {
+        let w = resnet152();
+        let params = w.total_weights();
+        // Paper: "ResNet-152, model size ~60 M parameters".
+        assert!(
+            (55_000_000..62_000_000).contains(&params),
+            "params = {params}"
+        );
+        assert!(w.model_bytes(8) <= 64 * 1024 * 1024, "fits 64 MB RRAM");
+    }
+
+    #[test]
+    fn alexnet_is_fc_heavy() {
+        let w = alexnet();
+        let fc_weights: u64 = w
+            .layers
+            .iter()
+            .filter(|l| l.name.starts_with("FC"))
+            .map(|l| l.weights())
+            .sum();
+        assert!(fc_weights * 10 > w.total_weights() * 9, "FCs dominate AlexNet");
+        assert!((55_000_000..65_000_000).contains(&w.total_weights()));
+    }
+
+    #[test]
+    fn vgg16_compute_dominates() {
+        let w = vgg16();
+        // ~15.5 GMACs.
+        let gmacs = w.total_ops() as f64 / 1e9;
+        assert!((14.0..17.0).contains(&gmacs), "GMACs = {gmacs}");
+    }
+
+    #[test]
+    fn mobilenet_matches_public_statistics() {
+        let w = mobilenet_v1();
+        // ~4.2 M parameters, ~0.57 GMACs.
+        let params = w.total_weights();
+        assert!((3_800_000..4_600_000).contains(&params), "params = {params}");
+        let gmacs = w.total_ops() as f64 / 1e9;
+        assert!((0.5..0.65).contains(&gmacs), "GMACs = {gmacs}");
+        assert!(w.layers.iter().any(|l| l.kind == crate::workload::LayerKind::Depthwise));
+    }
+
+    #[test]
+    fn all_models_have_positive_layers() {
+        for m in evaluation_models() {
+            assert!(!m.layers.is_empty());
+            for l in &m.layers {
+                assert!(l.ops() > 0, "{} {}", m.name, l.name);
+                assert!(l.weights() > 0);
+            }
+        }
+    }
+}

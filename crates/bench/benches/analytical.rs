@@ -1,0 +1,37 @@
+//! Criterion bench: the analytical framework (eqs. 1–8) and the Case-1
+//! relaxation sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use m3d_arch::models;
+use m3d_core::cases::{case1_sweep, BaselineAreas};
+use m3d_core::framework::{workload_edp_benefit, ChipParams, WorkloadPoint};
+
+fn points() -> Vec<WorkloadPoint> {
+    models::resnet18()
+        .layers
+        .iter()
+        .map(|l| WorkloadPoint::from_layer(l, 8, 16))
+        .collect()
+}
+
+fn bench_framework(c: &mut Criterion) {
+    let base = ChipParams::baseline_2d();
+    let m3d = ChipParams::m3d(8);
+    let pts = points();
+    c.bench_function("framework_resnet18_edp", |b| {
+        b.iter(|| workload_edp_benefit(&base, &m3d, &pts))
+    });
+    let areas = BaselineAreas::case_study_64mb();
+    let deltas: Vec<f64> = (0..16).map(|i| 1.0 + 0.1 * i as f64).collect();
+    c.bench_function("case1_delta_sweep", |b| {
+        b.iter(|| case1_sweep(&areas, &base, &pts, &deltas).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_framework
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench: the end-to-end RTL-to-GDS flow (scaled design) and
+//! row legalisation in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use m3d_netlist::{accelerator_soc, CsConfig, Netlist, PeConfig, SocConfig};
+use m3d_pd::{legalize, place, Clustering, Floorplan, FlowConfig, PlacerConfig, Rtl2GdsFlow};
+use m3d_tech::Pdk;
+
+fn small_cs() -> CsConfig {
+    CsConfig {
+        rows: 4,
+        cols: 4,
+        pe: PeConfig::default(),
+        global_buffer_kb: 64,
+        local_buffer_kb: 8,
+    }
+}
+
+fn bench_flow(c: &mut Criterion) {
+    c.bench_function("rtl_to_gds_quick_2d", |b| {
+        b.iter(|| {
+            Rtl2GdsFlow::new(FlowConfig::baseline_2d().with_cs(small_cs()).quick())
+                .run()
+                .unwrap()
+        })
+    });
+
+    // Legalisation in isolation.
+    let cfg = SocConfig {
+        cs: small_cs(),
+        ..SocConfig::baseline_2d()
+    };
+    let pdk = Pdk::baseline_2d_130nm();
+    let mut nl = Netlist::new("soc");
+    accelerator_soc(&mut nl, &cfg).unwrap();
+    let fp = Floorplan::plan(&pdk, &cfg, &nl, None).unwrap();
+    let cl = Clustering::build(&nl, &pdk).unwrap();
+    let p = place(&cl, &fp, &PlacerConfig::quick()).unwrap();
+    c.bench_function("legalize_small_soc", |b| {
+        b.iter(|| legalize(&nl, &p, &fp, &pdk).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_flow
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion bench: netlist generation ("synthesis"), functional
+//! simulation and Verilog export.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use m3d_netlist::gen::array_multiplier;
+use m3d_netlist::{accelerator_soc, to_verilog, CsConfig, Netlist, PeConfig, Simulator, SocConfig};
+use m3d_tech::Tier;
+
+fn small_soc() -> Netlist {
+    let cfg = SocConfig {
+        cs: CsConfig {
+            rows: 4,
+            cols: 4,
+            pe: PeConfig::default(),
+            global_buffer_kb: 64,
+            local_buffer_kb: 8,
+        },
+        ..SocConfig::baseline_2d()
+    };
+    let mut nl = Netlist::new("soc");
+    accelerator_soc(&mut nl, &cfg).unwrap();
+    nl
+}
+
+fn bench_netlist(c: &mut Criterion) {
+    c.bench_function("generate_small_soc", |b| b.iter(small_soc));
+
+    let nl = small_soc();
+    c.bench_function("verilog_export_small_soc", |b| b.iter(|| to_verilog(&nl)));
+
+    // Functional simulation of a multiplier.
+    let mut mul = Netlist::new("mul");
+    let a: Vec<_> = (0..8)
+        .map(|i| {
+            let n = mul.add_net(format!("a{i}"));
+            mul.set_primary_input(n).unwrap();
+            n
+        })
+        .collect();
+    let bb: Vec<_> = (0..8)
+        .map(|i| {
+            let n = mul.add_net(format!("b{i}"));
+            mul.set_primary_input(n).unwrap();
+            n
+        })
+        .collect();
+    let p = array_multiplier(&mut mul, "m", Tier::SiCmos, &a, &bb).unwrap();
+    c.bench_function("simulate_multiplier_256_vectors", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&mul).unwrap();
+            let mut acc = 0u64;
+            for x in 0..16u64 {
+                for y in 0..16u64 {
+                    sim.set_bus(&a, x * 17);
+                    sim.set_bus(&bb, y * 13);
+                    sim.eval();
+                    acc ^= sim.bus_value(&p);
+                }
+            }
+            acc
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_netlist
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench: cluster-based annealing global placement on a
+//! mid-size computing sub-system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use m3d_netlist::{accelerator_soc, CsConfig, Netlist, PeConfig, SocConfig};
+use m3d_pd::{place, Clustering, Floorplan, PlacerConfig};
+use m3d_tech::Pdk;
+
+fn setup() -> (Clustering, Floorplan) {
+    let cfg = SocConfig {
+        cs: CsConfig {
+            rows: 8,
+            cols: 8,
+            pe: PeConfig::default(),
+            global_buffer_kb: 128,
+            local_buffer_kb: 16,
+        },
+        ..SocConfig::baseline_2d()
+    };
+    let mut nl = Netlist::new("bench");
+    accelerator_soc(&mut nl, &cfg).unwrap();
+    let pdk = Pdk::baseline_2d_130nm();
+    let fp = Floorplan::plan(&pdk, &cfg, &nl, None).unwrap();
+    let cl = Clustering::build(&nl, &pdk).unwrap();
+    (cl, fp)
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let (cl, fp) = setup();
+    c.bench_function("place_8x8_cs_quick", |b| {
+        b.iter(|| place(&cl, &fp, &PlacerConfig::quick()).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_placement
+}
+criterion_main!(benches);

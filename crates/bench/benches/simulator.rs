@@ -1,0 +1,26 @@
+//! Criterion bench: the multi-CS architectural simulator on the four
+//! evaluation networks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use m3d_arch::{compare, models, simulate, ChipConfig};
+
+fn bench_simulator(c: &mut Criterion) {
+    let base = ChipConfig::baseline_2d();
+    let m3d = ChipConfig::m3d(8);
+    let resnet18 = models::resnet18();
+    c.bench_function("simulate_resnet18_m3d", |b| {
+        b.iter(|| simulate(&m3d, &resnet18))
+    });
+    let resnet152 = models::resnet152();
+    c.bench_function("compare_resnet152", |b| {
+        b.iter(|| compare(&base, &m3d, &resnet152))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_simulator
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench: static timing analysis over a placed-and-routed
+//! accelerator netlist.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use m3d_netlist::{accelerator_soc, CsConfig, Netlist, PeConfig, SocConfig};
+use m3d_pd::{
+    analyze_timing, estimate_routing, place, Clustering, Floorplan, PlacerConfig,
+    RoutingEstimate, DEFAULT_DETOUR,
+};
+use m3d_tech::Pdk;
+
+fn setup() -> (Netlist, RoutingEstimate, Pdk) {
+    let cfg = SocConfig {
+        cs: CsConfig {
+            rows: 8,
+            cols: 8,
+            pe: PeConfig::default(),
+            global_buffer_kb: 128,
+            local_buffer_kb: 16,
+        },
+        ..SocConfig::baseline_2d()
+    };
+    let mut nl = Netlist::new("bench");
+    accelerator_soc(&mut nl, &cfg).unwrap();
+    let pdk = Pdk::baseline_2d_130nm();
+    let fp = Floorplan::plan(&pdk, &cfg, &nl, None).unwrap();
+    let cl = Clustering::build(&nl, &pdk).unwrap();
+    let p = place(&cl, &fp, &PlacerConfig::quick()).unwrap();
+    let r = estimate_routing(&nl, &p, &pdk, DEFAULT_DETOUR).unwrap();
+    (nl, r, pdk)
+}
+
+fn bench_sta(c: &mut Criterion) {
+    let (nl, r, pdk) = setup();
+    c.bench_function("sta_8x8_cs", |b| {
+        b.iter(|| analyze_timing(&nl, &r, &pdk, pdk.default_clock).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sta
+}
+criterion_main!(benches);

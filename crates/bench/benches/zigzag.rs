@@ -1,0 +1,23 @@
+//! Criterion bench: the ZigZag-style mapping design-space exploration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use m3d_arch::{map_layer, map_workload, models, table2_architectures, Layer, MapperChip};
+
+fn bench_zigzag(c: &mut Criterion) {
+    let archs = table2_architectures();
+    let chip = MapperChip::from_arch(&archs[5], 8);
+    let layer = Layer::conv("L3", 256, 256, 3, (14, 14), 1);
+    c.bench_function("map_single_conv_layer", |b| {
+        b.iter(|| map_layer(&chip, &layer))
+    });
+    let alexnet = models::alexnet();
+    c.bench_function("map_alexnet", |b| b.iter(|| map_workload(&chip, &alexnet)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_zigzag
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Ablation: batch-pipelined inference recovers the CSs that
+//! partition-capped layers leave idle (Sec. III-A's "finer granularity"
+//! applied across the batch dimension).
+
+use m3d_arch::{batch_speedup, models, simulate_batch, ChipConfig};
+use m3d_bench::{header, rule, x};
+
+fn main() {
+    header(
+        "Ablation — batch pipelining across the 8 M3D CSs",
+        "extension of Sec. III-A (per-CS granularity) to batched edge inference",
+    );
+    let base = ChipConfig::baseline_2d();
+    let m3d = ChipConfig::m3d(8);
+    let resnet = models::resnet18();
+    println!(
+        "{:>7} {:>18} {:>16} {:>14}",
+        "batch", "cycles/image (M)", "energy/image(mJ)", "speedup vs 2D"
+    );
+    for b in [1u32, 2, 4, 8, 16, 32] {
+        let perf = simulate_batch(&m3d, &resnet, b);
+        println!(
+            "{:>7} {:>18.3} {:>16.2} {:>14}",
+            b,
+            perf.cycles_per_image / 1e6,
+            perf.energy_per_image_pj() / 1e9,
+            x(batch_speedup(&base, &m3d, &resnet, b))
+        );
+    }
+    rule(72);
+    println!("batch 1 reproduces Table I (5.7x); larger batches fill the CSs that");
+    println!("K-tile-capped layers leave idle, approaching the 8x roofline.");
+}

@@ -1,0 +1,59 @@
+//! Ablation: weight precision (paper ref. 11's multi-bit-per-cell RRAM makes
+//! 4-bit weights natural). Lower precision shrinks weight traffic and
+//! the model's RRAM footprint — which feeds back into the design point:
+//! the same 64 MB frees the same Si, but a 4-bit model only needs half
+//! the capacity, so smaller (cheaper) baselines reach the same N.
+
+use m3d_arch::{compare, models, ChipConfig, CsGeometry};
+use m3d_bench::{header, rule, x};
+use m3d_core::design_point::case_study_design_point;
+use m3d_tech::Pdk;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    header(
+        "Ablation — weight precision (4/8/16-bit) on the M3D design point",
+        "ref. [11]: four-bits-per-cell 1T8R RRAM",
+    );
+    let resnet = models::resnet18();
+    println!(
+        "{:<8} {:>14} {:>10} {:>10} {:>10}",
+        "bits", "model (MB)", "speedup", "energy", "EDP"
+    );
+    for bits in [4u32, 8, 16] {
+        let geom = CsGeometry {
+            weight_bits: bits,
+            ..CsGeometry::default()
+        };
+        let base = ChipConfig {
+            geometry: geom,
+            ..ChipConfig::baseline_2d()
+        };
+        let m3d = ChipConfig {
+            geometry: geom,
+            ..ChipConfig::m3d(8)
+        };
+        let c = compare(&base, &m3d, &resnet);
+        println!(
+            "{:<8} {:>14.1} {:>10} {:>10} {:>10}",
+            bits,
+            resnet.model_bytes(bits) as f64 / 1e6,
+            x(c.total.speedup),
+            x(c.total.energy_ratio),
+            x(c.total.edp_benefit)
+        );
+    }
+    rule(72);
+    // Capacity feedback: the minimum RRAM capacity that still yields 8
+    // CSs is fixed by area, independent of precision — but a 4-bit
+    // ResNet-152 fits in 32 MB, halving the memory a product needs.
+    let pdk = Pdk::m3d_130nm();
+    for mb in [32u64, 64] {
+        let dp = case_study_design_point(&pdk, mb)?;
+        println!(
+            "{mb} MB RRAM → N = {} (4-bit ResNet-152 needs {:.0} MB)",
+            dp.n_cs,
+            models::resnet152().model_bytes(4) as f64 / 1e6
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,103 @@
+//! Regenerates Fig. 2: full RTL-to-GDS implementations of the 2D
+//! baseline and the iso-footprint, iso-memory-capacity M3D SoC, with the
+//! post-route comparison and the Observation-2 power-density check.
+//!
+//! Pass `--quick` for a scaled-down (4×4 PE) run.
+
+use m3d_bench::{header, pct, rule};
+use m3d_netlist::{CsConfig, PeConfig};
+use m3d_pd::{FlowConfig, Rtl2GdsFlow};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    header(
+        "Fig. 2 — post-route 2D vs iso-footprint M3D physical design",
+        "Srimani et al., DATE 2023, Fig. 2 + Observation 2",
+    );
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cs = if quick {
+        CsConfig {
+            rows: 4,
+            cols: 4,
+            pe: PeConfig::default(),
+            global_buffer_kb: 64,
+            local_buffer_kb: 8,
+        }
+    } else {
+        CsConfig::default()
+    };
+    let prep = |c: FlowConfig| if quick { c.quick() } else { c };
+
+    let (r2d, _) = Rtl2GdsFlow::new(prep(FlowConfig::baseline_2d().with_cs(cs))).run()?;
+    let n = 1 + r2d.extra_cs_capacity.max(if quick { 1 } else { 7 });
+    let (r3d, _) =
+        Rtl2GdsFlow::new(prep(FlowConfig::m3d(n).with_cs(cs)).with_die(r2d.die)).run()?;
+
+    let row = |label: &str, a: String, b: String| {
+        println!("{label:<36} {a:>14} {b:>14}");
+    };
+    row("", "2D baseline".into(), "M3D".into());
+    row("computing sub-systems", r2d.cs_count.to_string(), r3d.cs_count.to_string());
+    row(
+        "die area (mm²)  [iso-footprint]",
+        format!("{:.1}", r2d.die_mm2),
+        format!("{:.1}", r3d.die_mm2),
+    );
+    row(
+        "RRAM (array + periph, mm²)",
+        format!("{:.1}+{:.1}", r2d.rram_array_mm2, r2d.rram_perif_mm2),
+        format!("{:.1}+{:.1}", r3d.rram_array_mm2, r3d.rram_perif_mm2),
+    );
+    row("standard cells", r2d.cell_count.to_string(), r3d.cell_count.to_string());
+    row(
+        "CS area A_C (mm²)",
+        format!("{:.2}", r2d.cs_demand_mm2),
+        format!("{:.2}", r3d.cs_demand_mm2),
+    );
+    row(
+        "γ_cells / γ_perif",
+        format!("{:.1}/{:.2}", r2d.gamma_cells, r2d.gamma_perif),
+        format!("{:.1}/{:.2}", r3d.gamma_cells, r3d.gamma_perif),
+    );
+    row(
+        "wirelength (m)",
+        format!("{:.2}", r2d.wirelength_m),
+        format!("{:.2}", r3d.wirelength_m),
+    );
+    row("signal ILVs", r2d.signal_ilvs.to_string(), r3d.signal_ilvs.to_string());
+    row(
+        "RRAM-cell ILVs (M)",
+        format!("{:.0}", r2d.memory_cell_ilvs as f64 / 1e6),
+        format!("{:.0}", r3d.memory_cell_ilvs as f64 / 1e6),
+    );
+    row(
+        "buffers inserted / upsized",
+        format!("{}/{}", r2d.buffers_inserted, r2d.upsized),
+        format!("{}/{}", r3d.buffers_inserted, r3d.upsized),
+    );
+    row(
+        "critical path (ns) @ 20 MHz",
+        format!("{:.2} ({})", r2d.critical_path_ns, r2d.timing_met),
+        format!("{:.2} ({})", r3d.critical_path_ns, r3d.timing_met),
+    );
+    row(
+        "RRAM bandwidth (bits/cycle)",
+        r2d.rram_bandwidth_bits_per_cycle.to_string(),
+        r3d.rram_bandwidth_bits_per_cycle.to_string(),
+    );
+    row(
+        "total power (mW)",
+        format!("{:.1}", r2d.total_power_mw),
+        format!("{:.1}", r3d.total_power_mw),
+    );
+    rule(72);
+    println!("Observation 2 (thermal):");
+    println!(
+        "  upper-tier (CNFET+RRAM) power share: {} (paper: < 1 %)",
+        pct(r3d.upper_tier_fraction)
+    );
+    println!(
+        "  stacked power-density increase over the hottest CS: {} (paper: ~1 %)",
+        pct(r3d.cs_stack_density_increase)
+    );
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! Regenerates Fig. 5: speedup, energy and EDP benefits of the
+//! iso-footprint, iso-memory-capacity M3D design across AI/ML models
+//! (paper: 5.7×–7.5× speedup at ≈ 0.99× energy).
+
+use m3d_arch::{compare, models, ChipConfig};
+use m3d_bench::{header, rule, x};
+
+fn main() {
+    header(
+        "Fig. 5 — M3D benefits across AI/ML model inference",
+        "Srimani et al., DATE 2023, Fig. 5 (5.7x-7.5x EDP)",
+    );
+    let base = ChipConfig::baseline_2d();
+    let m3d = ChipConfig::m3d(8);
+    println!(
+        "{:<12} {:>9} {:>9} {:>9}   {:>10} {:>12}",
+        "Model", "Speedup", "Energy", "EDP", "GMACs", "params (M)"
+    );
+    for w in models::evaluation_models() {
+        let c = compare(&base, &m3d, &w);
+        println!(
+            "{:<12} {:>9} {:>9} {:>9}   {:>10.2} {:>12.1}",
+            c.workload,
+            x(c.total.speedup),
+            x(c.total.energy_ratio),
+            x(c.total.edp_benefit),
+            w.total_ops() as f64 / 1e9,
+            w.total_weights() as f64 / 1e6,
+        );
+    }
+    rule(72);
+    println!("paper band: 5.7x-7.5x speedup, 0.99x energy, 5.7x-7.5x EDP");
+}

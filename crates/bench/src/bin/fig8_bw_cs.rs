@@ -1,0 +1,53 @@
+//! Regenerates Fig. 8: M3D EDP benefit as a function of memory bandwidth
+//! and parallel-CS scaling, for compute-bound and memory-bound
+//! workloads, including the two Observation-5 worked examples.
+
+use m3d_bench::{header, rule, x};
+use m3d_core::explore::{bandwidth_cs_grid, intensity_workload};
+use m3d_core::framework::{workload_edp_benefit, ChipParams};
+
+const FACTORS: [f64; 5] = [1.0, 2.0, 4.0, 8.0, 16.0];
+
+fn print_grid(label: &str, ops_per_bit: f64) {
+    let base = ChipParams::baseline_2d();
+    let w = intensity_workload(ops_per_bit);
+    let grid = bandwidth_cs_grid(&base, &w, &FACTORS, &FACTORS);
+    println!("\n{label} ({ops_per_bit} ops per memory bit): EDP benefit");
+    print!("{:>10}", "bw \\ cs");
+    for cf in FACTORS {
+        print!(" {cf:>7.0}x");
+    }
+    println!();
+    for bf in FACTORS {
+        print!("{bf:>9.0}x");
+        for p in grid.iter().filter(|p| p.bw_factor == bf) {
+            print!(" {:>8}", x(p.edp_benefit));
+        }
+        println!();
+    }
+}
+
+fn main() {
+    header(
+        "Fig. 8 — EDP benefit vs bandwidth and parallel-CS scaling",
+        "Srimani et al., DATE 2023, Fig. 8 + Observation 5",
+    );
+    print_grid("compute-bound", 16.0);
+    print_grid("memory-bound", 1.0 / 16.0);
+
+    rule(72);
+    println!("Observation 5 worked examples:");
+    // (a) compute-bound: 2× CSs, unchanged bandwidth → ~2.1×.
+    let base = ChipParams::baseline_2d();
+    let w = intensity_workload(16.0);
+    let two_cs = ChipParams { n_cs: 2, ..base };
+    let a = workload_edp_benefit(&base, &two_cs, std::slice::from_ref(&w));
+    println!("  16 ops/bit, 2x CSs @ same bandwidth → {} (paper: 2.1x)", x(a));
+    // (b) memory-bound: from the 8-CS M3D point, halve CSs at the same
+    // total port width (2× per-CS bandwidth) → ~2.1×.
+    let m3d8 = ChipParams::m3d(8);
+    let wm = intensity_workload(1.0 / 16.0);
+    let fewer_faster = ChipParams { n_cs: 4, ..m3d8 };
+    let b = workload_edp_benefit(&m3d8, &fewer_faster, std::slice::from_ref(&wm));
+    println!("  1/16 ops/bit, 0.5x CSs @ 2x per-CS bandwidth → {} (paper: 2.1x)", x(b));
+}

@@ -1,0 +1,34 @@
+//! Regenerates Fig. 9: M3D EDP benefit vs baseline RRAM capacity for
+//! ResNet-18 (paper: 1× at 12 MB rising to 6.8× at 128 MB), with the
+//! derived CS count at each capacity (Observation 6).
+
+use m3d_arch::models;
+use m3d_bench::{header, rule, x};
+use m3d_core::explore::capacity_sweep;
+use m3d_tech::Pdk;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    header(
+        "Fig. 9 — RRAM capacity vs M3D benefit (ResNet-18)",
+        "Srimani et al., DATE 2023, Fig. 9 + Observation 6 (1x @ 12 MB → 6.8x @ 128 MB)",
+    );
+    let pdk = Pdk::m3d_130nm();
+    let pts = capacity_sweep(
+        &pdk,
+        &[12, 16, 24, 32, 48, 64, 96, 128],
+        &models::resnet18(),
+    )?;
+    println!("{:>8} {:>5} {:>10} {:>8}", "MB", "N", "speedup", "EDP");
+    for p in &pts {
+        println!(
+            "{:>8} {:>5} {:>10} {:>8}",
+            p.capacity_mb,
+            p.n_cs,
+            x(p.speedup),
+            x(p.edp_benefit)
+        );
+    }
+    rule(72);
+    println!("paper anchors: 12 MB → 1x, 64 MB → 5.7x, 128 MB → 6.8x");
+    Ok(())
+}

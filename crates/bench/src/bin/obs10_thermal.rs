@@ -1,0 +1,41 @@
+//! Regenerates Observation 10: eq. (17) temperature rise of stacked M3D
+//! tier pairs and the resulting cap on the usable stack height.
+
+use m3d_bench::{header, rule};
+use m3d_core::thermal::ThermalModel;
+
+fn main() {
+    header(
+        "Observation 10 — thermal limits on interleaved M3D tiers (eq. 17)",
+        "Srimani et al., DATE 2023, Obs. 10 (ΔT budget ≈ 60 K)",
+    );
+    println!("temperature rise (K) vs tier pairs, per-pair power:");
+    print!("{:>8}", "pairs");
+    let powers = [2.0, 5.0, 10.0, 20.0];
+    for p in powers {
+        print!(" {p:>8.0} W");
+    }
+    println!();
+    for y in 1..=8u32 {
+        print!("{y:>8}");
+        for p in powers {
+            let m = ThermalModel::conventional(p);
+            let rise = m.temperature_rise(y);
+            if rise <= m.max_rise_k {
+                print!(" {rise:>9.1}");
+            } else {
+                print!(" {:>9}", format!("({rise:.0})"));
+            }
+        }
+        println!();
+    }
+    rule(72);
+    println!("(values in parentheses exceed the 60 K budget)");
+    for p in powers {
+        let m = ThermalModel::conventional(p);
+        match m.max_tiers() {
+            Ok(y) => println!("{p:>5.0} W/pair → max {y} tier pairs"),
+            Err(_) => println!("{p:>5.0} W/pair → not stackable within budget"),
+        }
+    }
+}

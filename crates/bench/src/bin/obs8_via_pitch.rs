@@ -1,0 +1,44 @@
+//! Regenerates Observation 8: M3D EDP benefit vs ILV pitch (Case 2).
+//! Fine-pitch ILVs (≤ ~1.3×) preserve the benefits; coarse-pitch 3D vias
+//! (≥ ~1.6×) erode them — ultra-dense vias are key.
+
+use m3d_bench::{header, rule, x};
+use m3d_core::cases::{case2_via_pitch, via_pitch_equivalent_delta, BaselineAreas};
+use m3d_core::framework::{ChipParams, WorkloadPoint};
+use m3d_tech::{IlvSpec, RramCellModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    header(
+        "Observation 8 — ILV pitch sensitivity (Case 2, A = m·k·β²)",
+        "Srimani et al., DATE 2023, Obs. 8 (fine to 1.3x; limited benefit ≥ 1.6x)",
+    );
+    let areas = BaselineAreas::case_study_64mb();
+    let base = ChipParams::baseline_2d();
+    let cell = RramCellModel::foundry_130nm();
+    let ilv = IlvSpec::ultra_dense_130nm();
+    let workload: Vec<WorkloadPoint> = m3d_arch::models::resnet18()
+        .layers
+        .iter()
+        .map(|l| WorkloadPoint::from_layer(l, 8, 16))
+        .collect();
+
+    println!(
+        "{:>8} {:>10} {:>8} {:>8} {:>10}",
+        "pitch ×", "β (nm)", "δ_eq", "N (M3D)", "EDP"
+    );
+    for scale in [1.0, 1.1, 1.2, 1.3, 1.4, 1.6, 1.8, 2.0, 2.5] {
+        let p = case2_via_pitch(&areas, &base, &workload, &cell, &ilv, scale)?;
+        println!(
+            "{:>8.1} {:>10.0} {:>8.2} {:>8} {:>10}",
+            scale,
+            ilv.pitch.value() * scale * 1000.0,
+            via_pitch_equivalent_delta(&cell, &ilv, scale),
+            p.n_3d,
+            x(p.edp_benefit)
+        );
+    }
+    rule(72);
+    println!("crossover where via pitch starts binding the cell: ×{:.2}",
+        cell.via_pitch_crossover(&ilv, 1.0));
+    Ok(())
+}

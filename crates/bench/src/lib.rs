@@ -1,0 +1,63 @@
+//! # m3d-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), plus
+//! Criterion benches of the computational kernels (`benches/`). Shared
+//! table-printing helpers live here.
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `fig2_physical_design` | Fig. 2 post-route 2D-vs-M3D comparison (+ Obs. 2) |
+//! | `fig5_models` | Fig. 5 speedup/energy/EDP for AlexNet, VGG-16, ResNet-18/152 |
+//! | `table1_resnet18` | Table I per-layer ResNet-18 benefits |
+//! | `fig7_architectures` | Fig. 7 Table-II architectures: analytical vs mapper |
+//! | `fig8_bw_cs` | Fig. 8 bandwidth × CS grid (+ Obs. 5) |
+//! | `fig9_capacity` | Fig. 9 RRAM-capacity sweep (+ Obs. 6) |
+//! | `fig10_relaxation` | Fig. 10b–c selector-width relaxation (+ Obs. 7) |
+//! | `fig10d_tiers` | Fig. 10d interleaved tiers (+ Obs. 9) |
+//! | `obs3_sram_baseline` | Obs. 3 SRAM-density baseline |
+//! | `obs8_via_pitch` | Obs. 8 ILV-pitch sweep |
+//! | `obs10_thermal` | Obs. 10 thermal tier cap |
+//! | `folding_ablation` | prior-work folding baseline (paper refs. 3 and 4, ≈ 1.1–1.4×) |
+//! | `ablation_dataflow` | weight- vs output-stationary dataflow |
+//! | `ablation_precision` | 4/8/16-bit weights |
+//! | `ablation_batch` | batch pipelining across the CSs |
+//! | `ablation_congestion` | under-array routing congestion |
+//! | `sensitivity_analysis` | ±20 % Monte-Carlo robustness |
+//! | `future_upper_logic` | Case 4: full CMOS on the upper layers |
+//! | `projection_nodes` | 130→7 nm technology projections |
+//! | `extension_mobilenet` | MobileNetV1 stress coverage |
+//! | `corners_signoff` | SS/TT/FF multi-corner sign-off |
+
+/// Prints a horizontal rule sized for the standard table width.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Formats a multiplier, e.g. `5.66x`.
+pub fn x(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Formats a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.2} %", 100.0 * v)
+}
+
+/// Standard experiment header with paper cross-reference.
+pub fn header(title: &str, paper_ref: &str) {
+    rule(72);
+    println!("{title}");
+    println!("reproduces: {paper_ref}");
+    rule(72);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(x(5.664), "5.66x");
+        assert_eq!(pct(0.0123), "1.23 %");
+    }
+}

@@ -1,0 +1,487 @@
+//! The three sensitivity cases of Sec. III:
+//!
+//! * **Case 1** (III-D) — relaxed M3D memory-selector drive (δ): larger
+//!   M3D bitcells force *both* footprints to grow, letting a
+//!   commensurately larger 2D baseline host extra CSs too (eqs. 9–12,
+//!   Fig. 10b–c).
+//! * **Case 2** (III-E) — ILV pitch (β): via-pitch-limited cell area
+//!   `m·k·β²` maps onto Case 1 through an equivalent area factor
+//!   (Obs. 8).
+//! * **Case 3** (III-F) — multiple interleaved compute/memory tier
+//!   pairs: `N = Y·⌈1 + γ_cells + γ_perif⌉` (Fig. 10d, Obs. 9).
+
+use serde::{Deserialize, Serialize};
+
+use m3d_tech::rram::RramCellModel;
+use m3d_tech::IlvSpec;
+
+use crate::error::{CoreError, CoreResult};
+use crate::framework::{workload_edp_benefit, ChipParams, WorkloadPoint};
+
+/// Areas of the baseline 2D chip, in mm² (inputs to Cases 1–2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BaselineAreas {
+    /// Memory cell-array area `A_M^cells`.
+    pub array_mm2: f64,
+    /// Memory peripheral area `A_M^perif`.
+    pub perif_mm2: f64,
+    /// Computing sub-system area `A_C`.
+    pub cs_mm2: f64,
+    /// Bus + IO area `A_bus`.
+    pub bus_mm2: f64,
+    /// Pad-ring / seal area around the core in mm² (part of the chip
+    /// footprint `A_2D` that eq. 9 compares the relaxed array against,
+    /// but never placeable).
+    pub io_ring_mm2: f64,
+    /// Fraction of freed under-array area usable for placement (the
+    /// physical-design derate; 1.0 reproduces the paper's ideal eq. 2).
+    pub freed_usable_fraction: f64,
+    /// Under-array interface reserve in mm².
+    pub freed_reserve_mm2: f64,
+}
+
+impl BaselineAreas {
+    /// The Sec. II case-study areas (64 MB RRAM; ≈ 10.3 mm core with a
+    /// 400 µm pad ring).
+    pub fn case_study_64mb() -> Self {
+        Self {
+            array_mm2: 80.53,
+            perif_mm2: 14.76,
+            cs_mm2: crate::design_point::CASE_STUDY_CS_DEMAND_MM2,
+            bus_mm2: 6.0,
+            io_ring_mm2: 18.5,
+            freed_usable_fraction: 0.5,
+            freed_reserve_mm2: 10.0,
+        }
+    }
+
+    /// Total baseline footprint `A_2D` (core + pad ring).
+    pub fn total_mm2(&self) -> f64 {
+        self.array_mm2 + self.perif_mm2 + self.cs_mm2 + self.bus_mm2 + self.io_ring_mm2
+    }
+
+    /// Usable freed Si area for a given M3D array area.
+    fn usable_freed(&self, array_mm2: f64) -> f64 {
+        ((array_mm2 - self.freed_reserve_mm2).max(0.0)) * self.freed_usable_fraction
+    }
+}
+
+/// One point of the Case 1/2 sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RelaxationPoint {
+    /// Area-relaxation factor δ (cell area multiple).
+    pub delta: f64,
+    /// Parallel CSs in the M3D chip (Fig. 10b, upper curve).
+    pub n_3d: u32,
+    /// Parallel CSs in the commensurately grown 2D baseline (eq. 9).
+    pub n_2d: u32,
+    /// EDP benefit of M3D over that baseline (eq. 12).
+    pub edp_benefit: f64,
+}
+
+/// Evaluates Case 1 at area-relaxation `delta` for a workload.
+///
+/// Both designs grow to hold the δ-times-larger M3D cell array
+/// (iso-capacity); the grown 2D baseline fits `N_2D^new` CSs (eq. 9),
+/// the M3D chip re-fills its (also larger) freed area.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] for δ < 1 or non-finite δ.
+pub fn case1_relaxation(
+    areas: &BaselineAreas,
+    base: &ChipParams,
+    workload: &[WorkloadPoint],
+    delta: f64,
+) -> CoreResult<RelaxationPoint> {
+    if !delta.is_finite() || delta < 1.0 {
+        return Err(CoreError::InvalidParameter {
+            parameter: "delta",
+            value: delta,
+            expected: "finite and >= 1.0",
+        });
+    }
+    let a_2d = areas.total_mm2();
+    let relaxed_array = delta * areas.array_mm2;
+
+    // Eq. (9): the grown 2D baseline re-uses the extra footprint for CSs
+    // — but its memory stays a single-port RRAM (banking is the M3D
+    // architectural feature), so eq. (10)'s denominator keeps B_2D.
+    let extra_2d_area = (relaxed_array - a_2d).max(0.0);
+    let n_2d_cap = 1 + (extra_2d_area / areas.cs_mm2).floor() as u32;
+
+    // The M3D chip frees the (now larger) array's Si area; each CS pairs
+    // with its own bank.
+    let n_3d_cap = 1 + (areas.usable_freed(relaxed_array) / areas.cs_mm2).floor() as u32;
+
+    // A rational designer implements the CS count (≤ capacity) that
+    // minimises runtime — extra unbankable CSs can hurt a shared port.
+    let pick = |cap: u32, banked: bool| -> (u32, ChipParams) {
+        let mut best_n = 1;
+        let mut best_cycles = f64::INFINITY;
+        for n in 1..=cap.max(1) {
+            let p = ChipParams {
+                n_cs: n,
+                bandwidth: if banked {
+                    base.bandwidth * f64::from(n)
+                } else {
+                    base.bandwidth
+                },
+                ..*base
+            };
+            let cycles = crate::framework::evaluate_workload(&p, workload).cycles;
+            if cycles < best_cycles {
+                best_cycles = cycles;
+                best_n = n;
+            }
+        }
+        let p = ChipParams {
+            n_cs: best_n,
+            bandwidth: if banked {
+                base.bandwidth * f64::from(best_n)
+            } else {
+                base.bandwidth
+            },
+            ..*base
+        };
+        (best_n, p)
+    };
+    let (n_2d, p2) = pick(n_2d_cap, false);
+    let (n_3d, p3) = pick(n_3d_cap, true);
+
+    let edp = workload_edp_benefit(&p2, &p3, workload);
+    Ok(RelaxationPoint {
+        delta,
+        n_3d,
+        n_2d,
+        edp_benefit: edp,
+    })
+}
+
+/// Sweeps Case 1 over a δ range (Fig. 10b–c).
+///
+/// # Errors
+///
+/// Propagates invalid-δ errors.
+pub fn case1_sweep(
+    areas: &BaselineAreas,
+    base: &ChipParams,
+    workload: &[WorkloadPoint],
+    deltas: &[f64],
+) -> CoreResult<Vec<RelaxationPoint>> {
+    deltas
+        .iter()
+        .map(|&d| case1_relaxation(areas, base, workload, d))
+        .collect()
+}
+
+/// Case 2: maps an ILV pitch-scale factor onto the equivalent Case 1
+/// area factor: `δ_eq = max(selector-limited, m·β²) / selector-limited`.
+pub fn via_pitch_equivalent_delta(
+    cell: &RramCellModel,
+    base_ilv: &IlvSpec,
+    pitch_scale: f64,
+) -> f64 {
+    let beta = base_ilv.pitch.value() * pitch_scale;
+    let via_limited = f64::from(cell.vias_per_cell) * beta * beta;
+    let selector_limited = cell.selector_limited_area.value();
+    (via_limited / selector_limited).max(1.0)
+}
+
+/// Evaluates Case 2 at an ILV pitch-scale factor (Obs. 8).
+///
+/// # Errors
+///
+/// Propagates invalid-parameter errors.
+pub fn case2_via_pitch(
+    areas: &BaselineAreas,
+    base: &ChipParams,
+    workload: &[WorkloadPoint],
+    cell: &RramCellModel,
+    base_ilv: &IlvSpec,
+    pitch_scale: f64,
+) -> CoreResult<RelaxationPoint> {
+    if !pitch_scale.is_finite() || pitch_scale <= 0.0 {
+        return Err(CoreError::InvalidParameter {
+            parameter: "pitch_scale",
+            value: pitch_scale,
+            expected: "finite and > 0",
+        });
+    }
+    let delta = via_pitch_equivalent_delta(cell, base_ilv, pitch_scale);
+    let mut point = case1_relaxation(areas, base, workload, delta)?;
+    point.delta = pitch_scale;
+    Ok(point)
+}
+
+/// One point of the Case 3 (multi-tier) sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TierPoint {
+    /// Interleaved compute+memory tier pairs `Y`.
+    pub tiers: u32,
+    /// Total parallel CSs `N = Y·⌈1 + γ_cells + γ_perif⌉`.
+    pub n_cs: u32,
+    /// EDP benefit over the 2D baseline.
+    pub edp_benefit: f64,
+}
+
+/// Evaluates Case 3 for `tiers` interleaved compute/memory pairs
+/// (Sec. III-F): each added pair contributes its own peripherals and
+/// I/O, so the per-pair CS count includes the γ_perif share.
+pub fn case3_tiers(
+    areas: &BaselineAreas,
+    base: &ChipParams,
+    workload: &[WorkloadPoint],
+    tiers: u32,
+) -> TierPoint {
+    let y = tiers.max(1);
+    let gamma_cells = areas.usable_freed(areas.array_mm2) / areas.cs_mm2;
+    let gamma_perif = (areas.perif_mm2 * areas.freed_usable_fraction) / areas.cs_mm2;
+    let per_pair = (1.0 + gamma_cells + gamma_perif).ceil() as u32;
+    let n = y * per_pair;
+    // Multi-tier stacks bank their per-tier memories (partitioned
+    // traffic) and power-gate tiers the workload cannot use.
+    let p3 = ChipParams {
+        n_cs: n,
+        bandwidth: base.bandwidth * f64::from(n),
+        traffic: crate::framework::MemoryTraffic::Partitioned,
+        idle_gated: true,
+        ..*base
+    };
+    TierPoint {
+        tiers: y,
+        n_cs: n,
+        edp_benefit: workload_edp_benefit(base, &p3, workload),
+    }
+}
+
+/// One point of the Case 4 (upper-layer logic) evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UpperLogicPoint {
+    /// Upper-tier FET performance factor δ_perf (≥ 1; slower device).
+    pub delta_perf: f64,
+    /// Si-tier CSs.
+    pub n_si: u32,
+    /// CNFET-tier CSs (area-relaxed and clocked slower by δ_perf).
+    pub n_upper: u32,
+    /// Effective parallel-CS equivalent (`N_si + N_upper/δ_perf`).
+    pub n_effective: f64,
+    /// EDP benefit vs the 2D baseline.
+    pub edp_benefit: f64,
+}
+
+/// Case 4 — the paper's conclusion point (2): benefits "will grow with
+/// further performance optimization (e.g., full CMOS on upper layers)".
+///
+/// With full CMOS available on the CNFET tier, logic no longer competes
+/// only for the freed Si: a second *device* layer above the memory hosts
+/// additional CSs, drawn δ_area× larger and running 1/δ_perf as fast.
+/// Throughput adds as `N_si + N_upper/δ_perf`; idle/area bookkeeping
+/// follows eq. (7) with the full CS count.
+pub fn case4_upper_logic(
+    areas: &BaselineAreas,
+    base: &ChipParams,
+    workload: &[WorkloadPoint],
+    delta_area: f64,
+    delta_perf: f64,
+) -> CoreResult<UpperLogicPoint> {
+    if !delta_perf.is_finite() || delta_perf < 1.0 || !delta_area.is_finite() || delta_area < 1.0
+    {
+        return Err(CoreError::InvalidParameter {
+            parameter: "delta",
+            value: delta_perf.min(delta_area),
+            expected: "finite and >= 1.0",
+        });
+    }
+    let n_si = 1 + (areas.usable_freed(areas.array_mm2) / areas.cs_mm2).floor() as u32;
+    // The upper tier spans the whole die footprint minus the RRAM layer's
+    // own landing area; CNFET CSs are δ_area× larger.
+    let upper_area = (areas.total_mm2() - areas.io_ring_mm2 - areas.array_mm2 * 0.2).max(0.0)
+        * areas.freed_usable_fraction;
+    let n_upper = (upper_area / (areas.cs_mm2 * delta_area)).floor() as u32;
+    let n_eff = f64::from(n_si) + f64::from(n_upper) / delta_perf;
+
+    // Model the heterogeneous ensemble as n_total CSs at a derated
+    // average throughput, each with its own bank; a future full-CMOS
+    // design banks its memories (partitioned traffic) and power-gates
+    // tiers the workload cannot use.
+    let n_total = n_si + n_upper;
+    let p3 = ChipParams {
+        n_cs: n_total,
+        peak_ops_per_cs: base.peak_ops_per_cs * n_eff / f64::from(n_total.max(1)),
+        bandwidth: base.bandwidth * f64::from(n_total.max(1)),
+        traffic: crate::framework::MemoryTraffic::Partitioned,
+        idle_gated: true,
+        ..*base
+    };
+    Ok(UpperLogicPoint {
+        delta_perf,
+        n_si,
+        n_upper,
+        n_effective: n_eff,
+        edp_benefit: workload_edp_benefit(base, &p3, workload),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_arch::models::resnet18;
+
+    fn workload_points() -> Vec<WorkloadPoint> {
+        resnet18()
+            .layers
+            .iter()
+            .map(|l| WorkloadPoint::from_layer(l, 8, 16))
+            .collect()
+    }
+
+    fn base() -> ChipParams {
+        ChipParams::baseline_2d()
+    }
+
+    fn areas() -> BaselineAreas {
+        BaselineAreas::case_study_64mb()
+    }
+
+    #[test]
+    fn delta_one_reproduces_the_base_design_point() {
+        let p = case1_relaxation(&areas(), &base(), &workload_points(), 1.0).unwrap();
+        assert_eq!(p.n_3d, 8, "δ=1 must give the Sec. II point");
+        assert_eq!(p.n_2d, 1, "no growth at δ=1");
+        assert!(p.edp_benefit > 4.0);
+    }
+
+    #[test]
+    fn benefits_hold_to_1_6x_relaxation() {
+        // Obs. 7: no loss of EDP benefit up to 1.6× relaxed selector
+        // widths (the grown 2D baseline cannot fit an extra CS yet).
+        let pts = case1_sweep(&areas(), &base(), &workload_points(), &[1.0, 1.3, 1.6]).unwrap();
+        let base_edp = pts[0].edp_benefit;
+        for p in &pts {
+            assert!(
+                p.edp_benefit > base_edp * 0.9,
+                "δ={} dropped to {} (base {})",
+                p.delta,
+                p.edp_benefit,
+                base_edp
+            );
+        }
+        assert_eq!(pts[2].n_2d, 1, "2D gains nothing until past 1.6×");
+    }
+
+    #[test]
+    fn small_benefit_remains_at_2_5x() {
+        let base_pt = case1_relaxation(&areas(), &base(), &workload_points(), 1.0).unwrap();
+        let p = case1_relaxation(&areas(), &base(), &workload_points(), 2.5).unwrap();
+        assert!(p.edp_benefit > 1.0, "Obs. 7: benefits retained at 2.5×");
+        assert!(
+            p.edp_benefit < base_pt.edp_benefit * 0.6,
+            "…but clearly reduced: {} vs {}",
+            p.edp_benefit,
+            base_pt.edp_benefit
+        );
+        assert!(p.n_2d > 1, "the grown 2D baseline gains CSs");
+    }
+
+    #[test]
+    fn n_curves_are_monotone_in_delta() {
+        let pts = case1_sweep(
+            &areas(),
+            &base(),
+            &workload_points(),
+            &[1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.2, 2.5],
+        )
+        .unwrap();
+        for w in pts.windows(2) {
+            assert!(w[1].n_3d >= w[0].n_3d);
+            assert!(w[1].n_2d >= w[0].n_2d);
+        }
+    }
+
+    #[test]
+    fn invalid_delta_rejected() {
+        assert!(case1_relaxation(&areas(), &base(), &workload_points(), 0.5).is_err());
+        assert!(case1_relaxation(&areas(), &base(), &workload_points(), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn via_pitch_crossover_near_1_3x() {
+        let cell = RramCellModel::foundry_130nm();
+        let ilv = IlvSpec::ultra_dense_130nm();
+        // Below crossover the equivalent δ stays 1.
+        assert_eq!(via_pitch_equivalent_delta(&cell, &ilv, 1.0), 1.0);
+        assert_eq!(via_pitch_equivalent_delta(&cell, &ilv, 1.25), 1.0);
+        // Above it, quadratic growth.
+        let d16 = via_pitch_equivalent_delta(&cell, &ilv, 1.6);
+        assert!(d16 > 1.3 && d16 < 1.8, "δ_eq(1.6) = {d16}");
+        let d2 = via_pitch_equivalent_delta(&cell, &ilv, 2.0);
+        assert!((d2 - 2.4).abs() < 0.01, "δ_eq(2.0) = {d2}");
+    }
+
+    #[test]
+    fn coarse_vias_erase_benefits() {
+        let cell = RramCellModel::foundry_130nm();
+        let ilv = IlvSpec::ultra_dense_130nm();
+        let w = workload_points();
+        let fine = case2_via_pitch(&areas(), &base(), &w, &cell, &ilv, 1.0).unwrap();
+        let ok = case2_via_pitch(&areas(), &base(), &w, &cell, &ilv, 1.3).unwrap();
+        let coarse = case2_via_pitch(&areas(), &base(), &w, &cell, &ilv, 2.5).unwrap();
+        assert!((fine.edp_benefit - ok.edp_benefit).abs() / fine.edp_benefit < 0.05);
+        assert!(
+            coarse.edp_benefit < fine.edp_benefit * 0.6,
+            "coarse {} vs fine {}",
+            coarse.edp_benefit,
+            fine.edp_benefit
+        );
+        assert!(case2_via_pitch(&areas(), &base(), &w, &cell, &ilv, 0.0).is_err());
+    }
+
+    #[test]
+    fn upper_layer_logic_extends_the_benefit() {
+        // Conclusion point (2): full CMOS on the upper layers grows the
+        // benefit beyond the selector-only design point (both evaluated
+        // with banked/gated semantics, like Case 3).
+        let w = workload_points();
+        let selector_only = {
+            let p3 = ChipParams {
+                n_cs: 8,
+                bandwidth: base().bandwidth * 8.0,
+                traffic: crate::framework::MemoryTraffic::Partitioned,
+                idle_gated: true,
+                ..base()
+            };
+            crate::framework::workload_edp_benefit(&base(), &p3, &w)
+        };
+        let with_logic = case4_upper_logic(&areas(), &base(), &w, 1.3, 1.3).unwrap();
+        assert!(with_logic.n_upper > 0);
+        assert!(with_logic.n_effective > f64::from(with_logic.n_si));
+        assert!(
+            with_logic.edp_benefit > selector_only,
+            "upper logic {} vs selector-only {selector_only}",
+            with_logic.edp_benefit
+        );
+        // Degenerate upper tier (huge, slow devices) adds little.
+        let poor = case4_upper_logic(&areas(), &base(), &w, 6.0, 4.0).unwrap();
+        assert!(poor.edp_benefit <= with_logic.edp_benefit);
+        assert!(case4_upper_logic(&areas(), &base(), &w, 0.5, 1.0).is_err());
+    }
+
+    #[test]
+    fn extra_tiers_raise_then_plateau() {
+        let w = workload_points();
+        let y1 = case3_tiers(&areas(), &base(), &w, 1);
+        let y2 = case3_tiers(&areas(), &base(), &w, 2);
+        let y4 = case3_tiers(&areas(), &base(), &w, 4);
+        let y8 = case3_tiers(&areas(), &base(), &w, 8);
+        assert!(y2.edp_benefit > y1.edp_benefit, "one extra pair helps (Obs. 9)");
+        // Plateau: quadrupling the tiers beyond 2 gains little because
+        // N exceeds the workload's parallelisable partitions.
+        let gain_2_to_8 = y8.edp_benefit / y2.edp_benefit;
+        assert!(
+            gain_2_to_8 < 1.35,
+            "benefit should plateau: ×{gain_2_to_8} from Y=2 to Y=8"
+        );
+        assert!(y4.n_cs == 2 * y2.n_cs);
+    }
+}

@@ -1,0 +1,93 @@
+//! Error types for the analytical-framework crate.
+
+use std::error::Error;
+use std::fmt;
+
+use m3d_pd::PdError;
+use m3d_tech::TechError;
+
+/// Errors produced by the analytical framework and design-point
+/// derivation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A parameter was outside its meaningful range.
+    InvalidParameter {
+        /// Parameter name.
+        parameter: &'static str,
+        /// Offending value.
+        value: f64,
+        /// Accepted range.
+        expected: &'static str,
+    },
+    /// Error from the technology crate.
+    Tech(TechError),
+    /// Error from the physical-design crate.
+    Pd(PdError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParameter {
+                parameter,
+                value,
+                expected,
+            } => write!(
+                f,
+                "invalid value {value} for parameter `{parameter}` (expected {expected})"
+            ),
+            CoreError::Tech(e) => write!(f, "technology error: {e}"),
+            CoreError::Pd(e) => write!(f, "physical design error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Tech(e) => Some(e),
+            CoreError::Pd(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TechError> for CoreError {
+    fn from(e: TechError) -> Self {
+        CoreError::Tech(e)
+    }
+}
+
+impl From<PdError> for CoreError {
+    fn from(e: PdError) -> Self {
+        CoreError::Pd(e)
+    }
+}
+
+/// Convenience result alias.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: CoreError = TechError::MissingTier { tier: "CNFET" }.into();
+        assert!(e.to_string().contains("CNFET"));
+        assert!(e.source().is_some());
+        let e = CoreError::InvalidParameter {
+            parameter: "delta",
+            value: 0.0,
+            expected: ">= 1",
+        };
+        assert!(e.to_string().contains("delta"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<CoreError>();
+    }
+}

@@ -1,0 +1,247 @@
+//! Design-space exploration drivers for the paper's sweep figures:
+//! Fig. 8 (bandwidth × CS grid), Fig. 9 (RRAM capacity), Fig. 10d
+//! (interleaved tiers vs workload parallelisability) and Observation 3
+//! (SRAM-density 2D baseline).
+
+use serde::{Deserialize, Serialize};
+
+use m3d_arch::{compare, models, ChipConfig, Workload};
+use m3d_tech::{Pdk, RramMacro, SelectorTech};
+
+use crate::cases::{case3_tiers, BaselineAreas, TierPoint};
+use crate::design_point::{case_study_design_point, DesignPoint, CASE_STUDY_CS_DEMAND_MM2};
+use crate::error::CoreResult;
+use crate::framework::{workload_edp_benefit, ChipParams, WorkloadPoint};
+use crate::thermal::ThermalModel;
+
+/// One cell of the Fig. 8 grid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridPoint {
+    /// Total-bandwidth multiple vs the baseline.
+    pub bw_factor: f64,
+    /// CS-count multiple vs the baseline.
+    pub cs_factor: f64,
+    /// EDP benefit vs the baseline.
+    pub edp_benefit: f64,
+}
+
+/// Sweeps EDP benefit over (bandwidth ×, #CS ×) for one workload point
+/// (Fig. 8). The baseline cell `(1, 1)` is exactly 1×.
+pub fn bandwidth_cs_grid(
+    base: &ChipParams,
+    w: &WorkloadPoint,
+    bw_factors: &[f64],
+    cs_factors: &[f64],
+) -> Vec<GridPoint> {
+    let mut grid = Vec::with_capacity(bw_factors.len() * cs_factors.len());
+    for &bf in bw_factors {
+        for &cf in cs_factors {
+            let n = ((f64::from(base.n_cs) * cf).round() as u32).max(1);
+            let chip = ChipParams {
+                n_cs: n,
+                bandwidth: base.bandwidth * bf,
+                ..*base
+            };
+            grid.push(GridPoint {
+                bw_factor: bf,
+                cs_factor: cf,
+                edp_benefit: workload_edp_benefit(base, &chip, std::slice::from_ref(w)),
+            });
+        }
+    }
+    grid
+}
+
+/// A compute-bound probe workload: `ratio` operations per memory bit
+/// (Obs. 5 uses 16:1 and 1:16).
+pub fn intensity_workload(ops_per_bit: f64) -> WorkloadPoint {
+    let data_bits = 1.0e7;
+    WorkloadPoint::new(data_bits * ops_per_bit, data_bits, u32::MAX)
+}
+
+/// One point of the Fig. 9 capacity sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapacityPoint {
+    /// Baseline RRAM capacity in MB.
+    pub capacity_mb: u64,
+    /// Derived M3D CS count.
+    pub n_cs: u32,
+    /// Simulated speedup.
+    pub speedup: f64,
+    /// Simulated EDP benefit.
+    pub edp_benefit: f64,
+}
+
+/// Sweeps baseline RRAM capacity and simulates the derived design point
+/// on `workload` (Fig. 9: ResNet-18 from 12 MB to 128 MB).
+///
+/// # Errors
+///
+/// Propagates derivation errors.
+pub fn capacity_sweep(
+    pdk: &Pdk,
+    capacities_mb: &[u64],
+    workload: &Workload,
+) -> CoreResult<Vec<CapacityPoint>> {
+    let base = ChipConfig::baseline_2d();
+    capacities_mb
+        .iter()
+        .map(|&mb| {
+            let dp = case_study_design_point(pdk, mb)?;
+            let cmp = compare(&base, &dp.m3d_chip_config(), workload);
+            Ok(CapacityPoint {
+                capacity_mb: mb,
+                n_cs: dp.n_cs,
+                speedup: cmp.total.speedup,
+                edp_benefit: cmp.total.edp_benefit,
+            })
+        })
+        .collect()
+}
+
+/// Sweeps interleaved tier pairs, optionally capped by a thermal budget
+/// (Fig. 10d + Obs. 10).
+pub fn tier_sweep(
+    areas: &BaselineAreas,
+    base: &ChipParams,
+    workload: &[WorkloadPoint],
+    max_pairs: u32,
+    thermal: Option<&ThermalModel>,
+) -> Vec<TierPoint> {
+    let cap = thermal
+        .and_then(|t| t.max_tiers().ok())
+        .unwrap_or(max_pairs)
+        .min(max_pairs);
+    (1..=cap.max(1))
+        .map(|y| case3_tiers(areas, base, workload, y))
+        .collect()
+}
+
+/// Observation 3: the design point when the 2D baseline uses a
+/// `density_ratio`-times less dense (non-BEOL) memory like SRAM — the
+/// larger iso-footprint chip frees proportionally more Si for the M3D
+/// design (8 → 16 CSs for a 2× ratio).
+///
+/// # Errors
+///
+/// Propagates derivation errors.
+pub fn sram_baseline_design_point(
+    pdk: &Pdk,
+    capacity_mb: u64,
+    density_ratio: f64,
+) -> CoreResult<DesignPoint> {
+    // Model the less dense baseline as an RRAM whose cell is
+    // `density_ratio×` larger — same capacity, larger array footprint.
+    let mut mem = RramMacro::with_capacity_mb(capacity_mb, 1, 256, SelectorTech::SiFet)?;
+    mem.cell.selector_limited_area = mem.cell.selector_limited_area * density_ratio;
+    DesignPoint::derive(pdk, &mem, CASE_STUDY_CS_DEMAND_MM2)
+}
+
+/// Convenience: the full Fig. 5 comparison set (all four models on the
+/// Sec. II design points).
+pub fn fig5_comparisons(n_cs: u32) -> Vec<m3d_arch::Comparison> {
+    let base = ChipConfig::baseline_2d();
+    let m3d = ChipConfig::m3d(n_cs);
+    models::evaluation_models()
+        .iter()
+        .map(|w| compare(&base, &m3d, w))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_baseline_cell_is_unity() {
+        let base = ChipParams::baseline_2d();
+        let w = intensity_workload(16.0);
+        let g = bandwidth_cs_grid(&base, &w, &[1.0, 2.0], &[1.0, 2.0]);
+        let unity = g
+            .iter()
+            .find(|p| p.bw_factor == 1.0 && p.cs_factor == 1.0)
+            .unwrap();
+        assert!((unity.edp_benefit - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn obs5_compute_bound_prefers_more_css() {
+        // 16 ops/bit: doubling CSs without bandwidth ≈ 2.1× EDP.
+        let base = ChipParams::baseline_2d();
+        let w = intensity_workload(16.0);
+        let g = bandwidth_cs_grid(&base, &w, &[1.0], &[2.0]);
+        assert!(
+            (1.8..=2.3).contains(&g[0].edp_benefit),
+            "EDP {}",
+            g[0].edp_benefit
+        );
+    }
+
+    #[test]
+    fn obs5_memory_bound_prefers_bandwidth() {
+        // 1/16 ops per bit: from the N=8 M3D point, halving the CS count
+        // while doubling per-CS bandwidth (same total port width) halves
+        // the eq.-4 memory term → ≈ 2.1× EDP.
+        let m3d8 = ChipParams::m3d(8);
+        let w = intensity_workload(1.0 / 16.0);
+        let fewer_faster = ChipParams { n_cs: 4, ..m3d8 };
+        let edp = workload_edp_benefit(&m3d8, &fewer_faster, std::slice::from_ref(&w));
+        assert!((1.8..=2.4).contains(&edp), "EDP {edp}");
+    }
+
+    #[test]
+    fn fig9_capacity_sweep_shape() {
+        let pdk = Pdk::m3d_130nm();
+        let pts = capacity_sweep(&pdk, &[12, 32, 64, 128], &models::resnet18()).unwrap();
+        assert_eq!(pts[0].n_cs, 1);
+        assert!((pts[0].edp_benefit - 1.0).abs() < 0.05, "12 MB ≈ 1×");
+        assert_eq!(pts[2].n_cs, 8);
+        assert!(pts[2].edp_benefit > 4.5, "64 MB ≈ 5.7×");
+        assert_eq!(pts[3].n_cs, 16);
+        assert!(
+            pts[3].edp_benefit > pts[2].edp_benefit,
+            "128 MB exceeds 64 MB"
+        );
+        assert!(pts[3].edp_benefit < pts[2].edp_benefit * 1.5, "…but plateaus");
+    }
+
+    #[test]
+    fn tier_sweep_respects_thermal_cap() {
+        let areas = BaselineAreas::case_study_64mb();
+        let base = ChipParams::baseline_2d();
+        let w: Vec<WorkloadPoint> = models::resnet18()
+            .layers
+            .iter()
+            .map(|l| WorkloadPoint::from_layer(l, 8, 16))
+            .collect();
+        let free = tier_sweep(&areas, &base, &w, 8, None);
+        assert_eq!(free.len(), 8);
+        let thermal = ThermalModel::conventional(8.0);
+        let capped = tier_sweep(&areas, &base, &w, 8, Some(&thermal));
+        assert!(capped.len() <= free.len());
+        assert!(!capped.is_empty());
+    }
+
+    #[test]
+    fn obs3_sram_baseline_doubles_the_css() {
+        let pdk = Pdk::m3d_130nm();
+        let rram_point = case_study_design_point(&pdk, 64).unwrap();
+        let sram_point = sram_baseline_design_point(&pdk, 64, 2.0).unwrap();
+        assert_eq!(rram_point.n_cs, 8);
+        assert_eq!(sram_point.n_cs, 16, "Obs. 3: 8 → 16 CSs");
+    }
+
+    #[test]
+    fn fig5_covers_all_models() {
+        let cmps = fig5_comparisons(8);
+        assert_eq!(cmps.len(), 4);
+        for c in &cmps {
+            assert!(
+                c.total.edp_benefit > 3.0,
+                "{} EDP {}",
+                c.workload,
+                c.total.edp_benefit
+            );
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Structured experiment records: a uniform, serialisable envelope for
+//! every table/figure reproduction, so results can be archived, diffed
+//! and plotted outside the harness (`--json` on the bench binaries).
+
+use serde::{Deserialize, Serialize};
+
+/// One named scalar result with its paper reference value, when the
+/// paper states one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Metric {
+    /// Metric name, e.g. `"total_speedup"`.
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+    /// The paper's value, when quoted.
+    pub paper: Option<f64>,
+}
+
+impl Metric {
+    /// A measured-only metric.
+    pub fn new(name: impl Into<String>, value: f64) -> Self {
+        Self {
+            name: name.into(),
+            value,
+            paper: None,
+        }
+    }
+
+    /// A metric with a paper reference.
+    pub fn with_paper(name: impl Into<String>, value: f64, paper: f64) -> Self {
+        Self {
+            name: name.into(),
+            value,
+            paper: Some(paper),
+        }
+    }
+
+    /// Relative deviation from the paper value, when present.
+    pub fn deviation(&self) -> Option<f64> {
+        self.paper
+            .map(|p| if p != 0.0 { (self.value - p) / p } else { 0.0 })
+    }
+}
+
+/// One row of a result table (free-form columns).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Row label (layer/model/configuration name).
+    pub label: String,
+    /// `(column, value)` pairs.
+    pub values: Vec<(String, f64)>,
+}
+
+/// A complete experiment record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Experiment id, e.g. `"table1"` or `"fig9"`.
+    pub id: String,
+    /// What the experiment reproduces.
+    pub reproduces: String,
+    /// Headline metrics.
+    pub metrics: Vec<Metric>,
+    /// Tabular data.
+    pub rows: Vec<Row>,
+}
+
+impl ExperimentRecord {
+    /// Creates an empty record.
+    pub fn new(id: impl Into<String>, reproduces: impl Into<String>) -> Self {
+        Self {
+            id: id.into(),
+            reproduces: reproduces.into(),
+            metrics: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a metric (builder style).
+    pub fn metric(mut self, m: Metric) -> Self {
+        self.metrics.push(m);
+        self
+    }
+
+    /// Adds a row (builder style).
+    pub fn row(mut self, label: impl Into<String>, values: Vec<(String, f64)>) -> Self {
+        self.rows.push(Row {
+            label: label.into(),
+            values,
+        });
+        self
+    }
+
+    /// Largest relative deviation across paper-referenced metrics.
+    pub fn worst_deviation(&self) -> Option<f64> {
+        self.metrics
+            .iter()
+            .filter_map(Metric::deviation)
+            .map(f64::abs)
+            .fold(None, |acc, d| Some(acc.map_or(d, |a: f64| a.max(d))))
+    }
+
+    /// Serialises to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialisation failures (never for this type in
+    /// practice).
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentRecord {
+        ExperimentRecord::new("table1", "Table I, ResNet-18 benefits")
+            .metric(Metric::with_paper("total_speedup", 5.72, 5.64))
+            .metric(Metric::with_paper("total_edp", 5.72, 5.66))
+            .metric(Metric::new("cs_count", 8.0))
+            .row(
+                "L4.1 CONV2",
+                vec![("speedup".into(), 8.0), ("edp".into(), 8.06)],
+            )
+    }
+
+    #[test]
+    fn deviations_computed_against_the_paper() {
+        let r = sample();
+        let d = r.metrics[0].deviation().unwrap();
+        assert!((d - (5.72 - 5.64) / 5.64).abs() < 1e-12);
+        assert!(r.metrics[2].deviation().is_none());
+        let worst = r.worst_deviation().unwrap();
+        assert!(worst < 0.02, "worst deviation {worst}");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = sample();
+        let s = r.to_json().unwrap();
+        let back: ExperimentRecord = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, r);
+        assert!(s.contains("\"table1\""));
+        assert!(s.contains("total_speedup"));
+    }
+
+    #[test]
+    fn empty_record_has_no_deviation() {
+        let r = ExperimentRecord::new("x", "y");
+        assert!(r.worst_deviation().is_none());
+        assert!(r.rows.is_empty());
+    }
+
+    #[test]
+    fn zero_paper_value_does_not_divide_by_zero() {
+        let m = Metric::with_paper("zero", 1.0, 0.0);
+        assert_eq!(m.deviation(), Some(0.0));
+    }
+}

@@ -1,0 +1,168 @@
+//! Roofline utilities after Gables (paper ref. 12) — the mobile-SoC roofline model
+//! the paper's eq.\ (1) builds on.
+//!
+//! A chip is a `(P_peak, B)` pair; a workload is an arithmetic intensity
+//! `I = F₀/D₀` (operations per bit). Attainable throughput is
+//! `min(P_peak, I·B)`; the ridge point `I* = P_peak/B` separates
+//! memory-bound from compute-bound workloads. The M3D architectural move
+//! is precisely a roofline transformation: ×N on `P_peak` *and* ×N on
+//! `B` (banked memory), leaving the ridge fixed while lifting both
+//! roofs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::framework::{ChipParams, WorkloadPoint};
+
+/// A roofline: peak throughput and memory bandwidth, in ops/cycle and
+/// bits/cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Roofline {
+    /// Peak compute throughput, operations per cycle.
+    pub peak_ops: f64,
+    /// Memory bandwidth, bits per cycle.
+    pub bandwidth: f64,
+}
+
+impl Roofline {
+    /// The roofline of a chip's full parallel ensemble.
+    pub fn from_chip(params: &ChipParams) -> Self {
+        Self {
+            peak_ops: f64::from(params.n_cs) * params.peak_ops_per_cs,
+            bandwidth: params.bandwidth,
+        }
+    }
+
+    /// Ridge point `I* = P_peak/B` in operations per bit: workloads with
+    /// lower intensity are memory-bound.
+    pub fn ridge_point(&self) -> f64 {
+        self.peak_ops / self.bandwidth
+    }
+
+    /// Attainable throughput at arithmetic intensity `i` (ops/bit):
+    /// `min(P_peak, i·B)`.
+    pub fn attainable_ops(&self, intensity: f64) -> f64 {
+        self.peak_ops.min(intensity * self.bandwidth)
+    }
+
+    /// `true` when the workload sits right of the ridge.
+    pub fn is_compute_bound(&self, w: &WorkloadPoint) -> bool {
+        w.ops / w.data_bits >= self.ridge_point()
+    }
+
+    /// Fraction of peak achieved at intensity `i`.
+    pub fn efficiency(&self, intensity: f64) -> f64 {
+        self.attainable_ops(intensity) / self.peak_ops
+    }
+
+    /// `(intensity, attainable)` series for plotting.
+    pub fn series(&self, intensities: &[f64]) -> Vec<(f64, f64)> {
+        intensities
+            .iter()
+            .map(|&i| (i, self.attainable_ops(i)))
+            .collect()
+    }
+}
+
+/// The Gables multi-accelerator view of the M3D SoC: `n` identical CSs,
+/// each with its own bank (bandwidth share), plus a shared bus that any
+/// non-banked traffic must cross.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SocRoofline {
+    /// Per-CS roofline.
+    pub per_cs: Roofline,
+    /// Parallel CSs.
+    pub n_cs: u32,
+    /// Shared (non-banked) bus bandwidth in bits/cycle.
+    pub shared_bus: f64,
+}
+
+impl SocRoofline {
+    /// The Sec.-II M3D SoC with `n` CSs.
+    pub fn m3d(n: u32) -> Self {
+        Self {
+            per_cs: Roofline {
+                peak_ops: 256.0,
+                bandwidth: 256.0,
+            },
+            n_cs: n.max(1),
+            shared_bus: 128.0,
+        }
+    }
+
+    /// Aggregate roofline of the ensemble (banked traffic).
+    pub fn aggregate(&self) -> Roofline {
+        Roofline {
+            peak_ops: self.per_cs.peak_ops * f64::from(self.n_cs),
+            bandwidth: self.per_cs.bandwidth * f64::from(self.n_cs),
+        }
+    }
+
+    /// Attainable throughput when a fraction `shared_fraction` of the
+    /// workload's traffic must cross the shared bus (Gables' serial-
+    /// resource correction) at intensity `i`.
+    pub fn attainable_with_shared(&self, intensity: f64, shared_fraction: f64) -> f64 {
+        let agg = self.aggregate();
+        let banked = agg.attainable_ops(intensity);
+        if shared_fraction <= 0.0 {
+            return banked;
+        }
+        // Shared traffic per op = shared_fraction / i bits; the bus caps
+        // throughput at i·bus/shared_fraction.
+        let bus_cap = intensity * self.shared_bus / shared_fraction;
+        banked.min(bus_cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ridge_point_separates_regimes() {
+        let r = Roofline::from_chip(&ChipParams::baseline_2d());
+        // 256 ops / 256 bits → ridge at 1 op/bit.
+        assert!((r.ridge_point() - 1.0).abs() < 1e-12);
+        assert!(r.is_compute_bound(&WorkloadPoint::new(16.0, 1.0, 1)));
+        assert!(!r.is_compute_bound(&WorkloadPoint::new(1.0, 16.0, 1)));
+    }
+
+    #[test]
+    fn m3d_lifts_both_roofs_keeping_the_ridge() {
+        let r2 = Roofline::from_chip(&ChipParams::baseline_2d());
+        let r3 = Roofline::from_chip(&ChipParams::m3d(8));
+        assert!((r3.peak_ops / r2.peak_ops - 8.0).abs() < 1e-12);
+        assert!((r3.bandwidth / r2.bandwidth - 8.0).abs() < 1e-12);
+        assert!((r3.ridge_point() - r2.ridge_point()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attainable_is_min_of_roofs() {
+        let r = Roofline {
+            peak_ops: 1000.0,
+            bandwidth: 100.0,
+        };
+        assert_eq!(r.attainable_ops(5.0), 500.0, "memory roof");
+        assert_eq!(r.attainable_ops(50.0), 1000.0, "compute roof");
+        assert!((r.efficiency(5.0) - 0.5).abs() < 1e-12);
+        let s = r.series(&[1.0, 10.0, 100.0]);
+        assert_eq!(s.len(), 3);
+        assert!(s[0].1 < s[2].1);
+    }
+
+    #[test]
+    fn shared_bus_caps_low_intensity_broadcast_traffic() {
+        let soc = SocRoofline::m3d(8);
+        let agg = soc.aggregate();
+        // With no shared traffic, the ensemble behaves as one big chip.
+        assert_eq!(soc.attainable_with_shared(4.0, 0.0), agg.attainable_ops(4.0));
+        // When 100 % of traffic crosses the 128-bit bus, the bus rules.
+        let capped = soc.attainable_with_shared(4.0, 1.0);
+        assert!(capped < agg.attainable_ops(4.0));
+        assert!((capped - 4.0 * 128.0).abs() < 1e-9);
+        // High-intensity workloads do not feel the bus.
+        assert_eq!(
+            soc.attainable_with_shared(1.0e6, 0.1),
+            agg.peak_ops,
+        );
+    }
+}

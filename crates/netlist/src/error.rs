@@ -1,0 +1,104 @@
+//! Error types for netlist construction and queries.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or validating netlists.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// An instance was created with the wrong number of input or output
+    /// connections for its cell kind.
+    PinCountMismatch {
+        /// Instance name.
+        instance: String,
+        /// Expected pin count.
+        expected: usize,
+        /// Provided pin count.
+        provided: usize,
+        /// `"input"` or `"output"`.
+        direction: &'static str,
+    },
+    /// A net already has a driver and a second one was connected.
+    MultipleDrivers {
+        /// The contested net's name.
+        net: String,
+    },
+    /// An id referred to an element that does not exist.
+    InvalidId {
+        /// What kind of id, e.g. `"net"`.
+        kind: &'static str,
+        /// The raw index.
+        index: usize,
+    },
+    /// A generator parameter was out of range.
+    InvalidParameter {
+        /// Parameter name.
+        parameter: &'static str,
+        /// Offending value.
+        value: f64,
+        /// Accepted range description.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::PinCountMismatch {
+                instance,
+                expected,
+                provided,
+                direction,
+            } => write!(
+                f,
+                "instance `{instance}` connects {provided} {direction} pins, expected {expected}"
+            ),
+            NetlistError::MultipleDrivers { net } => {
+                write!(f, "net `{net}` has multiple drivers")
+            }
+            NetlistError::InvalidId { kind, index } => {
+                write!(f, "invalid {kind} id {index}")
+            }
+            NetlistError::InvalidParameter {
+                parameter,
+                value,
+                expected,
+            } => write!(
+                f,
+                "invalid value {value} for parameter `{parameter}` (expected {expected})"
+            ),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+/// Convenience result alias for this crate.
+pub type NetlistResult<T> = Result<T, NetlistError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = NetlistError::PinCountMismatch {
+            instance: "u1".into(),
+            expected: 3,
+            provided: 2,
+            direction: "input",
+        };
+        assert!(e.to_string().contains("u1"));
+        let e = NetlistError::MultipleDrivers { net: "n5".into() };
+        assert!(e.to_string().contains("n5"));
+        let e = NetlistError::InvalidId { kind: "net", index: 9 };
+        assert!(e.to_string().contains("net"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<NetlistError>();
+    }
+}

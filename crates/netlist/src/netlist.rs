@@ -1,0 +1,688 @@
+//! The gate-level netlist data model.
+//!
+//! A [`Netlist`] is a flat graph of standard-cell instances, hard-macro
+//! instances and nets. Hierarchy is encoded in instance names with `/`
+//! separators (`"cs0/pe_3_4/mult/fa12"`), which the physical-design crate
+//! uses for hierarchical clustering. Each net records its single driver
+//! and its sink pins, which is exactly what placement, routing estimation
+//! and static timing analysis need.
+
+use serde::{Deserialize, Serialize};
+
+use m3d_tech::stdcell::{CellKind, DriveStrength};
+use m3d_tech::{RramMacro, SramMacro, Tier};
+
+use crate::error::{NetlistError, NetlistResult};
+
+/// Identifier of a cell instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CellId(pub u32);
+
+/// Identifier of a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NetId(pub u32);
+
+/// Identifier of a macro instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MacroId(pub u32);
+
+/// What drives a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Driver {
+    /// Driven by output pin `pin` of a cell instance.
+    Cell {
+        /// Driving instance.
+        cell: CellId,
+        /// Output pin index on that instance.
+        pin: u8,
+    },
+    /// Driven by a macro's read port.
+    Macro {
+        /// Driving macro.
+        id: MacroId,
+    },
+    /// Driven from outside the netlist (primary input).
+    PrimaryInput,
+}
+
+/// A sink pin on a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Sink {
+    /// Input pin `pin` of a cell instance.
+    Cell {
+        /// Receiving instance.
+        cell: CellId,
+        /// Input pin index on that instance.
+        pin: u8,
+    },
+    /// A macro input port.
+    Macro {
+        /// Receiving macro.
+        id: MacroId,
+    },
+    /// Leaves the netlist (primary output).
+    PrimaryOutput,
+}
+
+/// One standard-cell instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellInst {
+    /// Hierarchical instance name (`/`-separated).
+    pub name: String,
+    /// Logical function.
+    pub kind: CellKind,
+    /// Drive strength.
+    pub drive: DriveStrength,
+    /// Device tier the instance is bound to.
+    pub tier: Tier,
+    /// Nets connected to input pins, in pin order.
+    pub inputs: Vec<NetId>,
+    /// Nets connected to output pins, in pin order.
+    pub outputs: Vec<NetId>,
+}
+
+/// The kind of hard macro instantiated.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MacroKind {
+    /// Banked RRAM memory.
+    Rram(RramMacro),
+    /// SRAM buffer.
+    Sram(SramMacro),
+}
+
+/// One hard-macro instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MacroInst {
+    /// Hierarchical instance name.
+    pub name: String,
+    /// What macro this is.
+    pub kind: MacroKind,
+    /// Nets the macro drives (its read-data port bits, represented as a
+    /// bundle on one net per port).
+    pub drives: Vec<NetId>,
+    /// Nets the macro receives (address/write-data bundles).
+    pub receives: Vec<NetId>,
+}
+
+/// One net with its connectivity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Net {
+    /// Net name.
+    pub name: String,
+    /// The single driver, if connected yet.
+    pub driver: Option<Driver>,
+    /// All sink pins.
+    pub sinks: Vec<Sink>,
+}
+
+impl Net {
+    /// Number of sink pins (fanout).
+    pub fn fanout(&self) -> usize {
+        self.sinks.len()
+    }
+}
+
+/// A flat gate-level netlist.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Netlist {
+    /// Design name.
+    pub name: String,
+    cells: Vec<CellInst>,
+    macros: Vec<MacroInst>,
+    nets: Vec<Net>,
+    /// Primary input nets.
+    pub primary_inputs: Vec<NetId>,
+    /// Primary output nets.
+    pub primary_outputs: Vec<NetId>,
+    /// The clock net, if the design is sequential.
+    pub clock: Option<NetId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with the given design name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// All cell instances.
+    pub fn cells(&self) -> &[CellInst] {
+        &self.cells
+    }
+
+    /// All macro instances.
+    pub fn macros(&self) -> &[MacroInst] {
+        &self.macros
+    }
+
+    /// All nets.
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// Number of cell instances.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Looks up a cell instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidId`] for out-of-range ids.
+    pub fn cell(&self, id: CellId) -> NetlistResult<&CellInst> {
+        self.cells.get(id.0 as usize).ok_or(NetlistError::InvalidId {
+            kind: "cell",
+            index: id.0 as usize,
+        })
+    }
+
+    /// Mutable cell lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidId`] for out-of-range ids.
+    pub fn cell_mut(&mut self, id: CellId) -> NetlistResult<&mut CellInst> {
+        self.cells
+            .get_mut(id.0 as usize)
+            .ok_or(NetlistError::InvalidId {
+                kind: "cell",
+                index: id.0 as usize,
+            })
+    }
+
+    /// Looks up a net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidId`] for out-of-range ids.
+    pub fn net(&self, id: NetId) -> NetlistResult<&Net> {
+        self.nets.get(id.0 as usize).ok_or(NetlistError::InvalidId {
+            kind: "net",
+            index: id.0 as usize,
+        })
+    }
+
+    /// Looks up a macro instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidId`] for out-of-range ids.
+    pub fn macro_inst(&self, id: MacroId) -> NetlistResult<&MacroInst> {
+        self.macros.get(id.0 as usize).ok_or(NetlistError::InvalidId {
+            kind: "macro",
+            index: id.0 as usize,
+        })
+    }
+
+    /// Creates a fresh unconnected net.
+    pub fn add_net(&mut self, name: impl Into<String>) -> NetId {
+        let id = NetId(self.nets.len() as u32);
+        self.nets.push(Net {
+            name: name.into(),
+            driver: None,
+            sinks: Vec::new(),
+        });
+        id
+    }
+
+    /// Marks a net as a primary input (its driver comes from outside).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::MultipleDrivers`] when the net is already
+    /// driven, or [`NetlistError::InvalidId`] for an unknown net.
+    pub fn set_primary_input(&mut self, net: NetId) -> NetlistResult<()> {
+        let n = self
+            .nets
+            .get_mut(net.0 as usize)
+            .ok_or(NetlistError::InvalidId {
+                kind: "net",
+                index: net.0 as usize,
+            })?;
+        if n.driver.is_some() {
+            return Err(NetlistError::MultipleDrivers { net: n.name.clone() });
+        }
+        n.driver = Some(Driver::PrimaryInput);
+        self.primary_inputs.push(net);
+        Ok(())
+    }
+
+    /// Marks a net as a primary output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidId`] for an unknown net.
+    pub fn set_primary_output(&mut self, net: NetId) -> NetlistResult<()> {
+        let n = self
+            .nets
+            .get_mut(net.0 as usize)
+            .ok_or(NetlistError::InvalidId {
+                kind: "net",
+                index: net.0 as usize,
+            })?;
+        n.sinks.push(Sink::PrimaryOutput);
+        self.primary_outputs.push(net);
+        Ok(())
+    }
+
+    /// Adds a cell instance connected to the given input and output nets
+    /// (in pin order), wiring drivers and sinks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::PinCountMismatch`] when the pin counts do
+    /// not match `kind`, [`NetlistError::MultipleDrivers`] when an output
+    /// net is already driven, or [`NetlistError::InvalidId`] for unknown
+    /// nets.
+    pub fn add_cell(
+        &mut self,
+        name: impl Into<String>,
+        kind: CellKind,
+        drive: DriveStrength,
+        tier: Tier,
+        inputs: &[NetId],
+        outputs: &[NetId],
+    ) -> NetlistResult<CellId> {
+        let name = name.into();
+        if inputs.len() != kind.input_count() {
+            return Err(NetlistError::PinCountMismatch {
+                instance: name,
+                expected: kind.input_count(),
+                provided: inputs.len(),
+                direction: "input",
+            });
+        }
+        if outputs.len() != kind.output_count() {
+            return Err(NetlistError::PinCountMismatch {
+                instance: name,
+                expected: kind.output_count(),
+                provided: outputs.len(),
+                direction: "output",
+            });
+        }
+        let id = CellId(self.cells.len() as u32);
+        for (pin, &net) in inputs.iter().enumerate() {
+            let n = self
+                .nets
+                .get_mut(net.0 as usize)
+                .ok_or(NetlistError::InvalidId {
+                    kind: "net",
+                    index: net.0 as usize,
+                })?;
+            n.sinks.push(Sink::Cell {
+                cell: id,
+                pin: pin as u8,
+            });
+        }
+        for (pin, &net) in outputs.iter().enumerate() {
+            let n = self
+                .nets
+                .get_mut(net.0 as usize)
+                .ok_or(NetlistError::InvalidId {
+                    kind: "net",
+                    index: net.0 as usize,
+                })?;
+            if n.driver.is_some() {
+                return Err(NetlistError::MultipleDrivers { net: n.name.clone() });
+            }
+            n.driver = Some(Driver::Cell {
+                cell: id,
+                pin: pin as u8,
+            });
+        }
+        self.cells.push(CellInst {
+            name,
+            kind,
+            drive,
+            tier,
+            inputs: inputs.to_vec(),
+            outputs: outputs.to_vec(),
+        });
+        Ok(id)
+    }
+
+    /// Adds a hard-macro instance with driven and received port nets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::MultipleDrivers`] when a driven net is
+    /// already driven, or [`NetlistError::InvalidId`] for unknown nets.
+    pub fn add_macro(
+        &mut self,
+        name: impl Into<String>,
+        kind: MacroKind,
+        drives: &[NetId],
+        receives: &[NetId],
+    ) -> NetlistResult<MacroId> {
+        let id = MacroId(self.macros.len() as u32);
+        for &net in drives {
+            let n = self
+                .nets
+                .get_mut(net.0 as usize)
+                .ok_or(NetlistError::InvalidId {
+                    kind: "net",
+                    index: net.0 as usize,
+                })?;
+            if n.driver.is_some() {
+                return Err(NetlistError::MultipleDrivers { net: n.name.clone() });
+            }
+            n.driver = Some(Driver::Macro { id });
+        }
+        for &net in receives {
+            let n = self
+                .nets
+                .get_mut(net.0 as usize)
+                .ok_or(NetlistError::InvalidId {
+                    kind: "net",
+                    index: net.0 as usize,
+                })?;
+            n.sinks.push(Sink::Macro { id });
+        }
+        self.macros.push(MacroInst {
+            name: name.into(),
+            kind,
+            drives: drives.to_vec(),
+            receives: receives.to_vec(),
+        });
+        Ok(id)
+    }
+
+    /// Moves every sink of `from` onto `to`, updating the input-net
+    /// references of the affected cells and macros (used by post-route
+    /// buffer insertion: driver → buffer → relocated sinks).
+    ///
+    /// Primary-output sinks move as well; `primary_outputs` entries are
+    /// updated accordingly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidId`] for unknown nets.
+    pub fn rewire_sinks(&mut self, from: NetId, to: NetId) -> NetlistResult<()> {
+        if from == to {
+            return Ok(());
+        }
+        if from.0 as usize >= self.nets.len() || to.0 as usize >= self.nets.len() {
+            let bad = if from.0 as usize >= self.nets.len() {
+                from
+            } else {
+                to
+            };
+            return Err(NetlistError::InvalidId {
+                kind: "net",
+                index: bad.0 as usize,
+            });
+        }
+        let sinks = std::mem::take(&mut self.nets[from.0 as usize].sinks);
+        for s in &sinks {
+            match *s {
+                Sink::Cell { cell, pin } => {
+                    let c = &mut self.cells[cell.0 as usize];
+                    if let Some(slot) = c.inputs.get_mut(pin as usize) {
+                        *slot = to;
+                    }
+                }
+                Sink::Macro { id } => {
+                    let m = &mut self.macros[id.0 as usize];
+                    for slot in &mut m.receives {
+                        if *slot == from {
+                            *slot = to;
+                        }
+                    }
+                }
+                Sink::PrimaryOutput => {
+                    for po in &mut self.primary_outputs {
+                        if *po == from {
+                            *po = to;
+                        }
+                    }
+                }
+            }
+        }
+        self.nets[to.0 as usize].sinks.extend(sinks);
+        Ok(())
+    }
+
+    /// Re-binds every cell whose hierarchical name starts with `prefix`
+    /// to `tier` (used for constraint-driven M3D tier assignment).
+    ///
+    /// Returns the number of re-bound instances.
+    pub fn bind_tier_by_prefix(&mut self, prefix: &str, tier: Tier) -> usize {
+        let mut n = 0;
+        for c in &mut self.cells {
+            if c.name.starts_with(prefix) {
+                c.tier = tier;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Checks structural invariants: every net is driven and every
+    /// non-primary-output net has at least one sink. Returns the names of
+    /// offending nets (empty = clean).
+    pub fn lint(&self) -> Vec<String> {
+        let mut issues = Vec::new();
+        for net in &self.nets {
+            if net.driver.is_none() {
+                issues.push(format!("net `{}` is undriven", net.name));
+            }
+            if net.sinks.is_empty() {
+                issues.push(format!("net `{}` has no sinks", net.name));
+            }
+        }
+        issues
+    }
+
+    /// Merges `other` into `self`, prefixing its instance and net names
+    /// with `scope/` and remapping all ids. Returns the net-id offset so
+    /// callers can translate `other`'s ids (`NetId(i)` → `NetId(i + off)`).
+    pub fn absorb(&mut self, other: Netlist, scope: &str) -> u32 {
+        let net_off = self.nets.len() as u32;
+        let cell_off = self.cells.len() as u32;
+        let macro_off = self.macros.len() as u32;
+        for mut net in other.nets {
+            net.name = format!("{scope}/{}", net.name);
+            net.driver = net.driver.map(|d| match d {
+                Driver::Cell { cell, pin } => Driver::Cell {
+                    cell: CellId(cell.0 + cell_off),
+                    pin,
+                },
+                Driver::Macro { id } => Driver::Macro {
+                    id: MacroId(id.0 + macro_off),
+                },
+                Driver::PrimaryInput => Driver::PrimaryInput,
+            });
+            for s in &mut net.sinks {
+                *s = match *s {
+                    Sink::Cell { cell, pin } => Sink::Cell {
+                        cell: CellId(cell.0 + cell_off),
+                        pin,
+                    },
+                    Sink::Macro { id } => Sink::Macro {
+                        id: MacroId(id.0 + macro_off),
+                    },
+                    Sink::PrimaryOutput => Sink::PrimaryOutput,
+                };
+            }
+            self.nets.push(net);
+        }
+        for mut cell in other.cells {
+            cell.name = format!("{scope}/{}", cell.name);
+            for n in cell.inputs.iter_mut().chain(cell.outputs.iter_mut()) {
+                *n = NetId(n.0 + net_off);
+            }
+            self.cells.push(cell);
+        }
+        for mut mac in other.macros {
+            mac.name = format!("{scope}/{}", mac.name);
+            for n in mac.drives.iter_mut().chain(mac.receives.iter_mut()) {
+                *n = NetId(n.0 + net_off);
+            }
+            self.macros.push(mac);
+        }
+        for n in other.primary_inputs {
+            self.primary_inputs.push(NetId(n.0 + net_off));
+        }
+        for n in other.primary_outputs {
+            self.primary_outputs.push(NetId(n.0 + net_off));
+        }
+        net_off
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (Netlist, NetId, NetId, NetId) {
+        let mut nl = Netlist::new("tiny");
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        let y = nl.add_net("y");
+        nl.set_primary_input(a).unwrap();
+        nl.set_primary_input(b).unwrap();
+        nl.add_cell(
+            "u1",
+            CellKind::Nand2,
+            DriveStrength::X1,
+            Tier::SiCmos,
+            &[a, b],
+            &[y],
+        )
+        .unwrap();
+        nl.set_primary_output(y).unwrap();
+        (nl, a, b, y)
+    }
+
+    #[test]
+    fn tiny_netlist_is_clean() {
+        let (nl, a, _b, y) = tiny();
+        assert_eq!(nl.cell_count(), 1);
+        assert_eq!(nl.net_count(), 3);
+        assert!(nl.lint().is_empty());
+        assert_eq!(nl.net(a).unwrap().fanout(), 1);
+        assert!(matches!(
+            nl.net(y).unwrap().driver,
+            Some(Driver::Cell { .. })
+        ));
+    }
+
+    #[test]
+    fn pin_count_mismatch_rejected() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a");
+        let y = nl.add_net("y");
+        let r = nl.add_cell(
+            "u1",
+            CellKind::Nand2,
+            DriveStrength::X1,
+            Tier::SiCmos,
+            &[a],
+            &[y],
+        );
+        assert!(matches!(r, Err(NetlistError::PinCountMismatch { .. })));
+    }
+
+    #[test]
+    fn multiple_drivers_rejected() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a");
+        let y = nl.add_net("y");
+        nl.set_primary_input(a).unwrap();
+        nl.add_cell("u1", CellKind::Inv, DriveStrength::X1, Tier::SiCmos, &[a], &[y])
+            .unwrap();
+        let r = nl.add_cell("u2", CellKind::Inv, DriveStrength::X1, Tier::SiCmos, &[a], &[y]);
+        assert!(matches!(r, Err(NetlistError::MultipleDrivers { .. })));
+        assert!(nl.set_primary_input(y).is_err());
+    }
+
+    #[test]
+    fn lint_flags_undriven_and_unsunk() {
+        let mut nl = Netlist::new("t");
+        let _dangling = nl.add_net("dangling");
+        let issues = nl.lint();
+        assert_eq!(issues.len(), 2); // undriven AND no sinks
+    }
+
+    #[test]
+    fn tier_binding_by_prefix() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a");
+        let y1 = nl.add_net("y1");
+        let y2 = nl.add_net("y2");
+        nl.set_primary_input(a).unwrap();
+        nl.add_cell("sel/u1", CellKind::Inv, DriveStrength::X1, Tier::SiCmos, &[a], &[y1])
+            .unwrap();
+        nl.add_cell("core/u2", CellKind::Inv, DriveStrength::X1, Tier::SiCmos, &[a], &[y2])
+            .unwrap();
+        let n = nl.bind_tier_by_prefix("sel/", Tier::Cnfet);
+        assert_eq!(n, 1);
+        assert_eq!(nl.cells()[0].tier, Tier::Cnfet);
+        assert_eq!(nl.cells()[1].tier, Tier::SiCmos);
+    }
+
+    #[test]
+    fn absorb_remaps_ids_and_names() {
+        let (child, _, _, _) = tiny();
+        let mut parent = Netlist::new("parent");
+        let pre_existing = parent.add_net("root_net");
+        parent.set_primary_input(pre_existing).unwrap();
+        parent.set_primary_output(pre_existing).unwrap();
+        let off = parent.absorb(child.clone(), "cs0");
+        assert_eq!(off, 1);
+        assert_eq!(parent.cell_count(), 1);
+        assert_eq!(parent.net_count(), 4);
+        assert!(parent.cells()[0].name.starts_with("cs0/"));
+        // Remapped driver still points at the (only) cell.
+        let y = NetId(2 + off);
+        assert!(matches!(
+            parent.net(y).unwrap().driver,
+            Some(Driver::Cell { cell: CellId(0), .. })
+        ));
+        assert!(parent.lint().is_empty());
+    }
+
+    #[test]
+    fn rewire_sinks_moves_everything() {
+        let (mut nl, a, _b, y) = tiny();
+        // Insert a buffer between the PI `a` and the NAND input.
+        let buffered = nl.add_net("a_buf");
+        nl.rewire_sinks(a, buffered).unwrap();
+        nl.add_cell(
+            "buf1",
+            CellKind::Buf,
+            DriveStrength::X2,
+            Tier::SiCmos,
+            &[a],
+            &[buffered],
+        )
+        .unwrap();
+        assert!(nl.lint().is_empty(), "{:?}", nl.lint());
+        // The NAND's pin-0 input now reads the buffered net.
+        assert_eq!(nl.cells()[0].inputs[0], buffered);
+        assert_eq!(nl.net(a).unwrap().fanout(), 1);
+        // Rewiring a net with a PrimaryOutput sink updates the PO list.
+        let y2 = nl.add_net("y2");
+        nl.rewire_sinks(y, y2).unwrap();
+        assert!(nl.primary_outputs.contains(&y2));
+        // Self-rewire is a no-op; bad ids error.
+        nl.rewire_sinks(y2, y2).unwrap();
+        assert!(nl.rewire_sinks(NetId(99), y2).is_err());
+    }
+
+    #[test]
+    fn invalid_ids_error() {
+        let (nl, ..) = tiny();
+        assert!(nl.cell(CellId(99)).is_err());
+        assert!(nl.net(NetId(99)).is_err());
+        assert!(nl.macro_inst(MacroId(0)).is_err());
+    }
+}

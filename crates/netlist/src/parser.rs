@@ -1,0 +1,307 @@
+//! Parser for the structural-Verilog subset emitted by
+//! [`crate::verilog::to_verilog`], closing the round trip: a netlist can
+//! be exported, re-imported and re-simulated with identical behaviour.
+
+use std::collections::HashMap;
+
+use m3d_tech::stdcell::{CellKind, DriveStrength};
+use m3d_tech::{RramMacro, SelectorTech, SramMacro, Tier};
+
+use crate::error::{NetlistError, NetlistResult};
+use crate::netlist::{MacroKind, NetId, Netlist};
+
+fn kind_from_name(base: &str) -> Option<CellKind> {
+    Some(match base {
+        "INV" => CellKind::Inv,
+        "BUF" => CellKind::Buf,
+        "NAND2" => CellKind::Nand2,
+        "NOR2" => CellKind::Nor2,
+        "AND2" => CellKind::And2,
+        "OR2" => CellKind::Or2,
+        "XOR2" => CellKind::Xor2,
+        "AOI21" => CellKind::Aoi21,
+        "MUX2" => CellKind::Mux2,
+        "HA" => CellKind::HalfAdder,
+        "FA" => CellKind::FullAdder,
+        "DFF" => CellKind::Dff,
+        _ => return None,
+    })
+}
+
+fn drive_from_suffix(s: &str) -> Option<DriveStrength> {
+    Some(match s {
+        "X1" => DriveStrength::X1,
+        "X2" => DriveStrength::X2,
+        "X4" => DriveStrength::X4,
+        "X8" => DriveStrength::X8,
+        _ => return None,
+    })
+}
+
+/// Input-pin names per kind, matching `verilog::port_names`.
+fn input_pins(kind: CellKind) -> Vec<&'static str> {
+    match kind {
+        CellKind::Inv | CellKind::Buf => vec!["A"],
+        CellKind::Dff => vec!["D"],
+        CellKind::Aoi21 => vec!["A", "B", "C"],
+        CellKind::Mux2 => vec!["A", "B", "S"],
+        CellKind::FullAdder => vec!["A", "B", "CI"],
+        _ => vec!["A", "B"],
+    }
+}
+
+/// Output-pin names per kind.
+fn output_pins(kind: CellKind) -> Vec<&'static str> {
+    match kind {
+        CellKind::HalfAdder | CellKind::FullAdder => vec!["S", "CO"],
+        _ => vec!["Y", "Q"],
+    }
+}
+
+/// Parses connections of the form `.PIN(net)` from an instance body.
+fn parse_conns(body: &str) -> Vec<(String, String)> {
+    let mut conns = Vec::new();
+    for part in body.split(',') {
+        let part = part.trim();
+        if let Some(rest) = part.strip_prefix('.') {
+            if let Some(open) = rest.find('(') {
+                let pin = rest[..open].trim().to_owned();
+                let net = rest[open + 1..rest.len() - 1].trim().to_owned();
+                conns.push((pin, net));
+            }
+        }
+    }
+    conns
+}
+
+/// Parses a structural-Verilog module produced by
+/// [`crate::verilog::to_verilog`] back into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::InvalidParameter`] on malformed input and
+/// propagates wiring errors.
+pub fn from_verilog(source: &str) -> NetlistResult<Netlist> {
+    let bad = |why: &'static str| NetlistError::InvalidParameter {
+        parameter: "verilog",
+        value: 0.0,
+        expected: why,
+    };
+
+    let mut nl = Netlist::new("parsed");
+    let mut nets: HashMap<String, NetId> = HashMap::new();
+    let mut outputs: Vec<String> = Vec::new();
+
+    let net_of = |nl: &mut Netlist, name: &str, nets: &mut HashMap<String, NetId>| -> NetId {
+        *nets
+            .entry(name.to_owned())
+            .or_insert_with(|| nl.add_net(name.to_owned()))
+    };
+
+    for raw in source.lines() {
+        let line = raw.trim().trim_end_matches(',');
+        if line.is_empty() || line.starts_with("//") {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("module ") {
+            let name = rest.split(['(', ' ']).next().ok_or_else(|| bad("module name"))?;
+            nl.name = name.to_owned();
+        } else if let Some(rest) = line.strip_prefix("input ") {
+            let n = net_of(&mut nl, rest.trim(), &mut nets);
+            nl.set_primary_input(n)?;
+        } else if let Some(rest) = line.strip_prefix("output ") {
+            outputs.push(rest.trim().to_owned());
+        } else if let Some(rest) = line.strip_prefix("wire ") {
+            let name = rest.trim_end_matches(';').trim();
+            net_of(&mut nl, name, &mut nets);
+        } else if line == ");" || line == "endmodule" || line.starts_with("module") {
+            continue;
+        } else if let Some(open) = line.find('(') {
+            // Instance: `MODEL instname (.P(n), ...);`
+            let head: Vec<&str> = line[..open].split_whitespace().collect();
+            if head.len() != 2 {
+                continue;
+            }
+            let (model, inst) = (head[0], head[1]);
+            let body = &line[open + 1..line.rfind(')').ok_or_else(|| bad("unclosed instance"))?];
+            let conns = parse_conns(body);
+
+            if let Some((base, drive_s)) = model.rsplit_once('_') {
+                if let (Some(kind), Some(drive)) = (kind_from_name(base), drive_from_suffix(drive_s))
+                {
+                    let find = |pin: &str| -> Option<&str> {
+                        conns.iter().find(|(p, _)| p == pin).map(|(_, n)| n.as_str())
+                    };
+                    let mut ins = Vec::new();
+                    for p in input_pins(kind).iter().take(kind.input_count()) {
+                        let n = find(p).ok_or_else(|| bad("missing input pin"))?.to_owned();
+                        ins.push(net_of(&mut nl, &n, &mut nets));
+                    }
+                    let mut outs = Vec::new();
+                    let mut taken = 0usize;
+                    for p in output_pins(kind) {
+                        if taken == kind.output_count() {
+                            break;
+                        }
+                        if let Some(n) = find(p) {
+                            let n = n.to_owned();
+                            outs.push(net_of(&mut nl, &n, &mut nets));
+                            taken += 1;
+                        }
+                    }
+                    if outs.len() != kind.output_count() {
+                        return Err(bad("missing output pin"));
+                    }
+                    nl.add_cell(inst.to_owned(), kind, drive, Tier::SiCmos, &ins, &outs)?;
+                    continue;
+                }
+            }
+            // Macro black boxes: RRAM_<mb>MB_<banks>B or SRAM_<kb>KB.
+            if let Some(rest) = model.strip_prefix("RRAM_") {
+                let mut parts = rest.split("MB_");
+                let mb: u64 = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("rram capacity"))?;
+                let banks: u32 = parts
+                    .next()
+                    .and_then(|v| v.trim_end_matches('B').parse().ok())
+                    .ok_or_else(|| bad("rram banks"))?;
+                let mut drives = Vec::new();
+                let mut recvs = Vec::new();
+                for (p, n) in &conns {
+                    let id = net_of(&mut nl, n, &mut nets);
+                    if p.starts_with('Q') {
+                        drives.push(id);
+                    } else {
+                        recvs.push(id);
+                    }
+                }
+                let port = (drives.len() as u32 / banks.max(1)).max(1);
+                let mac = RramMacro::with_capacity_mb(mb, banks, port, SelectorTech::SiFet)
+                    .map_err(|_| bad("rram config"))?;
+                nl.add_macro(inst.to_owned(), MacroKind::Rram(mac), &drives, &recvs)?;
+            } else if let Some(rest) = model.strip_prefix("SRAM_") {
+                let kb: u64 = rest
+                    .trim_end_matches("KB")
+                    .parse()
+                    .map_err(|_| bad("sram capacity"))?;
+                let mut drives = Vec::new();
+                let mut recvs = Vec::new();
+                for (p, n) in &conns {
+                    let id = net_of(&mut nl, n, &mut nets);
+                    if p.starts_with('Q') {
+                        drives.push(id);
+                    } else {
+                        recvs.push(id);
+                    }
+                }
+                nl.add_macro(
+                    inst.to_owned(),
+                    MacroKind::Sram(SramMacro::with_capacity_kb(kb)),
+                    &drives,
+                    &recvs,
+                )?;
+            }
+        }
+    }
+    for name in outputs {
+        let n = *nets.get(&name).ok_or_else(|| bad("undeclared output"))?;
+        nl.set_primary_output(n)?;
+    }
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Simulator;
+    use crate::gen::{array_multiplier, ripple_carry_adder};
+    use crate::verilog::to_verilog;
+
+    fn export_adder() -> (Netlist, Vec<NetId>, Vec<NetId>, Vec<NetId>) {
+        let mut nl = Netlist::new("add8");
+        let a: Vec<_> = (0..8).map(|i| nl.add_net(format!("a{i}"))).collect();
+        let b: Vec<_> = (0..8).map(|i| nl.add_net(format!("b{i}"))).collect();
+        for &n in a.iter().chain(&b) {
+            nl.set_primary_input(n).unwrap();
+        }
+        let out = ripple_carry_adder(&mut nl, "add", Tier::SiCmos, &a, &b, None).unwrap();
+        for s in out.sum.iter().chain(std::iter::once(&out.cout)) {
+            nl.set_primary_output(*s).unwrap();
+        }
+        (nl, a, b, out.sum)
+    }
+
+    #[test]
+    fn adder_round_trip_preserves_structure() {
+        let (nl, ..) = export_adder();
+        let v = to_verilog(&nl);
+        let parsed = from_verilog(&v).unwrap();
+        assert_eq!(parsed.name, "add8");
+        assert_eq!(parsed.cell_count(), nl.cell_count());
+        assert_eq!(parsed.primary_inputs.len(), nl.primary_inputs.len());
+        assert_eq!(parsed.primary_outputs.len(), nl.primary_outputs.len());
+        assert!(parsed.lint().is_empty(), "{:?}", &parsed.lint()[..parsed.lint().len().min(3)]);
+    }
+
+    #[test]
+    fn adder_round_trip_preserves_function() {
+        let (nl, ..) = export_adder();
+        let parsed = from_verilog(&to_verilog(&nl)).unwrap();
+        // Re-identify the parsed buses by name prefix.
+        let find_bus = |prefix: &str, n: usize| -> Vec<NetId> {
+            (0..n)
+                .map(|i| {
+                    let want = format!("{prefix}{i}");
+                    NetId(
+                        parsed
+                            .nets()
+                            .iter()
+                            .position(|net| net.name.ends_with(&want) && net.name.contains('_'))
+                            .unwrap() as u32,
+                    )
+                })
+                .collect()
+        };
+        let a = find_bus("a", 8);
+        let b = find_bus("b", 8);
+        let mut sim = Simulator::new(&parsed).unwrap();
+        for (x, y) in [(3u64, 4u64), (100, 155), (255, 1)] {
+            sim.set_bus(&a, x);
+            sim.set_bus(&b, y);
+            sim.eval();
+            let sum = parsed
+                .primary_outputs
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| u64::from(sim.value(n)) << i)
+                .sum::<u64>();
+            assert_eq!(sum, x + y, "{x}+{y} (9-bit output incl carry)");
+        }
+    }
+
+    #[test]
+    fn multiplier_round_trip_counts() {
+        let mut nl = Netlist::new("mul");
+        let a: Vec<_> = (0..8).map(|i| nl.add_net(format!("a{i}"))).collect();
+        let b: Vec<_> = (0..8).map(|i| nl.add_net(format!("b{i}"))).collect();
+        for &n in a.iter().chain(&b) {
+            nl.set_primary_input(n).unwrap();
+        }
+        let p = array_multiplier(&mut nl, "m", Tier::SiCmos, &a, &b).unwrap();
+        for n in p {
+            nl.set_primary_output(n).unwrap();
+        }
+        let parsed = from_verilog(&to_verilog(&nl)).unwrap();
+        assert_eq!(parsed.cell_count(), nl.cell_count());
+        assert_eq!(parsed.net_count(), nl.net_count());
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        assert!(from_verilog("module broken (\n  output z\n);\nendmodule").is_err());
+        let ok = from_verilog("// Generated\nmodule empty (\n  input n0_a\n);\nendmodule");
+        assert!(ok.is_ok());
+    }
+}

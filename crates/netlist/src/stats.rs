@@ -1,0 +1,156 @@
+//! Netlist statistics: cell counts, area roll-ups and fanout metrics —
+//! the numbers a synthesis report would print.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use m3d_tech::stdcell::CellKind;
+use m3d_tech::units::SquareMicrons;
+use m3d_tech::{Pdk, TechResult};
+
+use crate::netlist::{MacroKind, Netlist};
+
+/// Aggregated statistics of a netlist against a PDK.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetlistStats {
+    /// Total standard-cell instances.
+    pub cell_count: usize,
+    /// Sequential (flip-flop) instances.
+    pub sequential_count: usize,
+    /// Instances per cell kind.
+    pub by_kind: BTreeMap<String, usize>,
+    /// Instances per device tier.
+    pub by_tier: BTreeMap<String, usize>,
+    /// Summed standard-cell area per tier.
+    pub cell_area_by_tier: BTreeMap<String, SquareMicrons>,
+    /// Summed macro footprint (RRAM + SRAM).
+    pub macro_area: SquareMicrons,
+    /// Number of nets.
+    pub net_count: usize,
+    /// Mean net fanout.
+    pub avg_fanout: f64,
+    /// Largest net fanout.
+    pub max_fanout: usize,
+}
+
+impl NetlistStats {
+    /// Computes statistics for `netlist` under `pdk`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the netlist uses a tier or cell the PDK does
+    /// not provide (e.g. CNFET cells under the 2D placement blockage).
+    pub fn compute(netlist: &Netlist, pdk: &Pdk) -> TechResult<Self> {
+        let mut by_kind: BTreeMap<String, usize> = BTreeMap::new();
+        let mut by_tier: BTreeMap<String, usize> = BTreeMap::new();
+        let mut area_by_tier: BTreeMap<String, SquareMicrons> = BTreeMap::new();
+        let mut sequential = 0usize;
+        for c in netlist.cells() {
+            *by_kind.entry(c.kind.base_name().to_owned()).or_default() += 1;
+            *by_tier.entry(c.tier.name().to_owned()).or_default() += 1;
+            if c.kind.is_sequential() {
+                sequential += 1;
+            }
+            let lib = pdk.library(c.tier)?;
+            let cell = lib.cell(c.kind, c.drive)?;
+            let e = area_by_tier
+                .entry(c.tier.name().to_owned())
+                .or_insert(SquareMicrons::ZERO);
+            *e += cell.area;
+        }
+        let mut macro_area = SquareMicrons::ZERO;
+        for m in netlist.macros() {
+            macro_area += match &m.kind {
+                MacroKind::Rram(r) => r.footprint(pdk.ilv())?,
+                MacroKind::Sram(s) => s.footprint(),
+            };
+        }
+        let fanouts: Vec<usize> = netlist.nets().iter().map(|n| n.fanout()).collect();
+        let avg_fanout = if fanouts.is_empty() {
+            0.0
+        } else {
+            fanouts.iter().sum::<usize>() as f64 / fanouts.len() as f64
+        };
+        Ok(Self {
+            cell_count: netlist.cell_count(),
+            sequential_count: sequential,
+            by_kind,
+            by_tier,
+            cell_area_by_tier: area_by_tier,
+            macro_area,
+            net_count: netlist.net_count(),
+            avg_fanout,
+            max_fanout: fanouts.into_iter().max().unwrap_or(0),
+        })
+    }
+
+    /// Total standard-cell area across tiers.
+    pub fn total_cell_area(&self) -> SquareMicrons {
+        self.cell_area_by_tier.values().copied().sum()
+    }
+
+    /// Instances of one kind (0 when absent).
+    pub fn count_of(&self, kind: CellKind) -> usize {
+        self.by_kind.get(kind.base_name()).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::pe::PeConfig;
+    use crate::gen::soc::{accelerator_soc, SocConfig};
+    use crate::gen::systolic::CsConfig;
+
+    fn small_soc() -> Netlist {
+        let mut nl = Netlist::new("soc");
+        let cfg = SocConfig {
+            cs: CsConfig {
+                rows: 4,
+                cols: 4,
+                pe: PeConfig::default(),
+                global_buffer_kb: 64,
+                local_buffer_kb: 8,
+            },
+            ..SocConfig::baseline_2d()
+        };
+        accelerator_soc(&mut nl, &cfg).unwrap();
+        nl
+    }
+
+    #[test]
+    fn stats_roll_up() {
+        let nl = small_soc();
+        let pdk = Pdk::baseline_2d_130nm();
+        let s = NetlistStats::compute(&nl, &pdk).unwrap();
+        assert_eq!(s.cell_count, nl.cell_count());
+        assert!(s.sequential_count > 0);
+        assert!(s.count_of(CellKind::FullAdder) > 0);
+        assert!(s.total_cell_area().value() > 0.0);
+        assert!(s.macro_area.as_mm2() > 50.0, "64 MB RRAM dominates");
+        assert!(s.avg_fanout >= 1.0);
+        assert!(s.max_fanout >= 1);
+    }
+
+    #[test]
+    fn all_cells_on_si_tier_by_default() {
+        let nl = small_soc();
+        let pdk = Pdk::baseline_2d_130nm();
+        let s = NetlistStats::compute(&nl, &pdk).unwrap();
+        assert_eq!(s.by_tier.len(), 1);
+        assert!(s.by_tier.contains_key("Si CMOS"));
+    }
+
+    #[test]
+    fn cnfet_cells_fail_under_2d_blockage() {
+        let mut nl = small_soc();
+        nl.bind_tier_by_prefix("cs0/ctl", m3d_tech::Tier::Cnfet);
+        let pdk = Pdk::baseline_2d_130nm();
+        assert!(NetlistStats::compute(&nl, &pdk).is_err());
+        // ... but succeed with the full M3D kit.
+        let m3d = Pdk::m3d_130nm();
+        let s = NetlistStats::compute(&nl, &m3d).unwrap();
+        assert_eq!(s.by_tier.len(), 2);
+    }
+}

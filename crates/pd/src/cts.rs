@@ -1,0 +1,190 @@
+//! Clock-tree synthesis estimation: H-tree topology over the placed
+//! flip-flops, buffer count, wirelength, insertion delay, skew bound and
+//! clock power — refining the per-flop constant used by the quick power
+//! model.
+
+use serde::{Deserialize, Serialize};
+
+use m3d_netlist::Netlist;
+use m3d_tech::stdcell::{CellKind, DriveStrength};
+use m3d_tech::units::{Microns, Milliwatts, Nanoseconds};
+use m3d_tech::{Pdk, TechResult};
+
+use crate::floorplan::Floorplan;
+use crate::geom::Point;
+use crate::place::Placement;
+
+/// Maximum sinks one leaf clock buffer drives.
+const SINKS_PER_LEAF: usize = 32;
+
+/// Estimated clock tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClockTree {
+    /// Sequential sinks served.
+    pub sinks: usize,
+    /// H-tree levels from the root to the leaf drivers.
+    pub levels: u32,
+    /// Clock buffers inserted (internal nodes + leaf drivers).
+    pub buffers: usize,
+    /// Total clock-network wirelength.
+    pub wirelength: Microns,
+    /// Root-to-leaf insertion delay.
+    pub insertion_delay: Nanoseconds,
+    /// Worst-case skew bound (last-level spread).
+    pub skew_bound: Nanoseconds,
+    /// Clock network power at the target frequency.
+    pub power: Milliwatts,
+}
+
+/// Estimates an H-tree clock network for the placed design.
+///
+/// # Errors
+///
+/// Returns technology errors for cells missing from the PDK libraries.
+pub fn estimate_clock_tree(
+    netlist: &Netlist,
+    placement: &Placement,
+    floorplan: &Floorplan,
+    pdk: &Pdk,
+) -> TechResult<ClockTree> {
+    // --- Collect sequential sinks ----------------------------------------
+    let mut sinks: Vec<Point> = Vec::new();
+    let mut sink_cap = 0.0f64;
+    for (ci, c) in netlist.cells().iter().enumerate() {
+        if c.kind.is_sequential() {
+            sinks.push(placement.cell_pos[ci]);
+            let lib = pdk.library(c.tier)?;
+            sink_cap += lib.cell(c.kind, c.drive)?.input_cap.value();
+        }
+    }
+    let n = sinks.len();
+    if n == 0 {
+        return Ok(ClockTree {
+            sinks: 0,
+            levels: 0,
+            buffers: 0,
+            wirelength: Microns::ZERO,
+            insertion_delay: Nanoseconds::ZERO,
+            skew_bound: Nanoseconds::ZERO,
+            power: Milliwatts::ZERO,
+        });
+    }
+
+    // --- H-tree sizing ------------------------------------------------------
+    // Leaves of SINKS_PER_LEAF flops; a binary H-tree above them.
+    let leaves = n.div_ceil(SINKS_PER_LEAF).max(1);
+    let levels = (leaves as f64).log2().ceil().max(0.0) as u32;
+    let buffers = (2usize.pow(levels + 1) - 1) + leaves;
+
+    // H-tree wire: each level spans half the previous extent, starting at
+    // the die half-perimeter; leaf stubs average half the leaf pitch.
+    let die_w = floorplan.die.width().value();
+    let die_h = floorplan.die.height().value();
+    let mut wire = 0.0f64;
+    let mut span = (die_w + die_h) / 2.0;
+    for _ in 0..levels {
+        wire += span * 2.0; // both branches of the H at this level
+        span /= 2.0;
+    }
+    let leaf_pitch = (die_w * die_h / leaves as f64).sqrt();
+    wire += leaf_pitch * 0.5 * n as f64 / SINKS_PER_LEAF as f64
+        + leaf_pitch * 0.25 * n as f64 / 4.0;
+
+    // --- Delay / skew ---------------------------------------------------------
+    let buf = pdk.si_lib.cell(CellKind::Buf, DriveStrength::X8)?;
+    let c_per_um = pdk.stack.avg_capacitance_per_um();
+    let seg = if levels > 0 { wire / f64::from(levels + 1) } else { wire };
+    let stage_load = c_per_um * seg + buf.input_cap;
+    let stage_delay = buf.delay(stage_load);
+    let insertion = stage_delay * f64::from(levels + 1);
+    // Balanced H-tree: skew bounded by one leaf-stub RC spread.
+    let leaf_rc = pdk.stack.avg_resistance_per_um() * (leaf_pitch * 0.5)
+        * (c_per_um * (leaf_pitch * 0.5) * 0.5 + Femto(sink_cap / leaves as f64));
+    let skew = leaf_rc;
+
+    // --- Power ------------------------------------------------------------------
+    // Full-swing every cycle: C_total × Vdd² × f.
+    let c_total_ff = c_per_um.value() * wire + sink_cap
+        + buffers as f64 * buf.input_cap.value();
+    let f_mhz = pdk.default_clock.value();
+    let power_mw = c_total_ff * pdk.vdd * pdk.vdd * f_mhz * 1.0e-6;
+
+    Ok(ClockTree {
+        sinks: n,
+        levels,
+        buffers,
+        wirelength: Microns::new(wire),
+        insertion_delay: insertion,
+        skew_bound: skew,
+        power: Milliwatts::new(power_mw),
+    })
+}
+
+/// Helper: femtofarads from a raw value (keeps the RC expression tidy).
+#[allow(non_snake_case)]
+fn Femto(v: f64) -> m3d_tech::units::Femtofarads {
+    m3d_tech::units::Femtofarads::new(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Clustering;
+    use crate::place::{place, PlacerConfig};
+    use m3d_netlist::{accelerator_soc, CsConfig, PeConfig, SocConfig};
+
+    fn setup() -> (Netlist, Placement, Floorplan, Pdk) {
+        let cfg = SocConfig {
+            cs: CsConfig {
+                rows: 4,
+                cols: 4,
+                pe: PeConfig::default(),
+                global_buffer_kb: 64,
+                local_buffer_kb: 8,
+            },
+            ..SocConfig::baseline_2d()
+        };
+        let pdk = Pdk::baseline_2d_130nm();
+        let mut nl = Netlist::new("soc");
+        accelerator_soc(&mut nl, &cfg).unwrap();
+        let fp = Floorplan::plan(&pdk, &cfg, &nl, None).unwrap();
+        let cl = Clustering::build(&nl, &pdk).unwrap();
+        let p = place(&cl, &fp, &PlacerConfig::quick()).unwrap();
+        (nl, p, fp, pdk)
+    }
+
+    #[test]
+    fn tree_covers_all_flops() {
+        let (nl, p, fp, pdk) = setup();
+        let t = estimate_clock_tree(&nl, &p, &fp, &pdk).unwrap();
+        let flops = nl.cells().iter().filter(|c| c.kind.is_sequential()).count();
+        assert_eq!(t.sinks, flops);
+        assert!(t.buffers > flops / SINKS_PER_LEAF);
+        assert!(t.levels >= 1);
+    }
+
+    #[test]
+    fn physically_sensible_numbers() {
+        let (nl, p, fp, pdk) = setup();
+        let t = estimate_clock_tree(&nl, &p, &fp, &pdk).unwrap();
+        assert!(t.wirelength.value() > fp.die.width().value());
+        assert!(t.insertion_delay.value() > 0.0 && t.insertion_delay.value() < 20.0);
+        assert!(t.skew_bound < t.insertion_delay);
+        // Clock power is a small-but-real fraction of a ~17 mW chip.
+        assert!(t.power.value() > 0.05 && t.power.value() < 20.0, "{}", t.power);
+    }
+
+    #[test]
+    fn empty_design_has_empty_tree() {
+        let nl = Netlist::new("empty");
+        let (_, p, fp, pdk) = setup();
+        let empty_place = Placement {
+            cell_pos: Vec::new(),
+            ..p
+        };
+        let t = estimate_clock_tree(&nl, &empty_place, &fp, &pdk).unwrap();
+        assert_eq!(t.sinks, 0);
+        assert_eq!(t.buffers, 0);
+        assert_eq!(t.power, Milliwatts::ZERO);
+    }
+}

@@ -1,0 +1,147 @@
+//! Error types for the physical-design crate.
+
+use std::error::Error;
+use std::fmt;
+
+use m3d_tech::TechError;
+use m3d_netlist::NetlistError;
+
+/// Errors produced by floorplanning, placement, routing, timing or the
+/// flow driver.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PdError {
+    /// The design does not fit the die under the iso-footprint constraint.
+    DoesNotFit {
+        /// Area demanded by the design in mm².
+        required_mm2: f64,
+        /// Area available in mm².
+        available_mm2: f64,
+        /// What ran out, e.g. `"free Si placement area"`.
+        resource: &'static str,
+    },
+    /// Timing could not be closed at the target frequency.
+    TimingNotMet {
+        /// Target clock period in ns.
+        target_ns: f64,
+        /// Best achieved critical path in ns.
+        achieved_ns: f64,
+    },
+    /// A parameter was outside its meaningful range.
+    InvalidParameter {
+        /// Parameter name.
+        parameter: &'static str,
+        /// Offending value.
+        value: f64,
+        /// Accepted range.
+        expected: &'static str,
+    },
+    /// The netlist was structurally invalid for physical design.
+    BadNetlist {
+        /// First few lint messages.
+        issues: Vec<String>,
+    },
+    /// Error bubbled up from the technology crate.
+    Tech(TechError),
+    /// Error bubbled up from the netlist crate.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for PdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PdError::DoesNotFit {
+                required_mm2,
+                available_mm2,
+                resource,
+            } => write!(
+                f,
+                "design needs {required_mm2:.2} mm² of {resource} but only {available_mm2:.2} mm² is available"
+            ),
+            PdError::TimingNotMet {
+                target_ns,
+                achieved_ns,
+            } => write!(
+                f,
+                "timing not met: target {target_ns:.3} ns, achieved {achieved_ns:.3} ns"
+            ),
+            PdError::InvalidParameter {
+                parameter,
+                value,
+                expected,
+            } => write!(
+                f,
+                "invalid value {value} for parameter `{parameter}` (expected {expected})"
+            ),
+            PdError::BadNetlist { issues } => {
+                write!(f, "netlist is not physical-design ready: ")?;
+                for (i, m) in issues.iter().take(3).enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{m}")?;
+                }
+                Ok(())
+            }
+            PdError::Tech(e) => write!(f, "technology error: {e}"),
+            PdError::Netlist(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl Error for PdError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PdError::Tech(e) => Some(e),
+            PdError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TechError> for PdError {
+    fn from(e: TechError) -> Self {
+        PdError::Tech(e)
+    }
+}
+
+impl From<NetlistError> for PdError {
+    fn from(e: NetlistError) -> Self {
+        PdError::Netlist(e)
+    }
+}
+
+/// Convenience result alias for this crate.
+pub type PdResult<T> = Result<T, PdError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = PdError::DoesNotFit {
+            required_mm2: 10.0,
+            available_mm2: 5.0,
+            resource: "free Si placement area",
+        };
+        assert!(e.to_string().contains("10.00"));
+        let e: PdError = TechError::MissingTier { tier: "CNFET" }.into();
+        assert!(e.source().is_some());
+        let e = PdError::TimingNotMet {
+            target_ns: 50.0,
+            achieved_ns: 61.0,
+        };
+        assert!(e.to_string().contains("61.000"));
+        let e = PdError::BadNetlist {
+            issues: vec!["net `x` is undriven".into()],
+        };
+        assert!(e.to_string().contains("undriven"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<PdError>();
+    }
+}

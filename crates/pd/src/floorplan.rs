@@ -1,0 +1,435 @@
+//! Floorplanning: die sizing, RRAM macro pre-placement and the placeable
+//! regions handed to the global placer.
+//!
+//! The floorplan mirrors Fig. 2 of the paper. The RRAM cell array is a
+//! fixed block spanning the die width at the top; its peripheral strip
+//! (sense amplifiers, controllers) sits directly below and always blocks
+//! the Si tier. The remaining bottom strip holds logic and SRAM buffers.
+//! In the M3D configuration the Si tier *under* the cell array becomes an
+//! additional placeable region with reduced availability (only the
+//! routing layers below the RRAM plane are usable there, and bank
+//! interfaces plus 3D clock/power distribution reserve part of it).
+
+use serde::{Deserialize, Serialize};
+
+use m3d_netlist::{MacroKind, Netlist, SocConfig};
+use m3d_tech::units::{Megahertz, SquareMicrons};
+use m3d_tech::{Pdk, RramMacro};
+
+use crate::error::{PdError, PdResult};
+use crate::geom::Rect;
+
+/// Why a region is placeable and at what density.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegionKind {
+    /// Ordinary free Si with the full routing stack.
+    Free,
+    /// Si tier underneath an RRAM cell array (M3D only): placeable, but
+    /// congestion-limited because only the sub-RRAM routing layers are
+    /// available.
+    UnderArray,
+}
+
+/// One placeable region of the Si tier.
+///
+/// Capacity accounting is *geometric*: a logic cluster of cell area `A`
+/// demands `A / cell_utilization` of region area; a macro demands its
+/// footprint. A region offers `(area − reserve) × availability`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Region {
+    /// Region geometry.
+    pub rect: Rect,
+    /// Region kind.
+    pub kind: RegionKind,
+    /// Fraction of the geometric area that placement may use (reduced
+    /// under RRAM arrays by routing-layer congestion).
+    pub availability: f64,
+    /// Standard-cell packing utilisation within the usable area.
+    pub cell_utilization: f64,
+    /// Geometric area carved out for non-placeable overhead (bus/IO in
+    /// free regions; bank interfaces and 3D clock/power distribution in
+    /// under-array regions).
+    pub reserve: SquareMicrons,
+}
+
+impl Region {
+    /// Usable geometric placement area of the region.
+    pub fn usable_area(&self) -> SquareMicrons {
+        (self.rect.area() - self.reserve).max(SquareMicrons::ZERO) * self.availability
+    }
+}
+
+/// A fixed (pre-placed) block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FixedBlock {
+    /// Block name, e.g. `"rram_array"`.
+    pub name: String,
+    /// Geometry.
+    pub rect: Rect,
+    /// `true` when the Si tier below/inside is blocked for placement.
+    pub blocks_si: bool,
+}
+
+/// The floorplan handed to placement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    /// Die outline.
+    pub die: Rect,
+    /// Pre-placed fixed blocks (the RRAM array and its peripherals).
+    pub fixed: Vec<FixedBlock>,
+    /// Placeable regions.
+    pub regions: Vec<Region>,
+    /// Target clock for the implementation.
+    pub target_clock: Megahertz,
+    /// Total standard-cell area that must be placed.
+    pub cell_area: SquareMicrons,
+    /// Total movable-macro (SRAM) footprint that must be placed.
+    pub movable_macro_area: SquareMicrons,
+}
+
+/// Geometric area reserved in the under-array region for RRAM bank
+/// interfaces and 3D clock/power distribution, in mm² (calibrated so the
+/// 64 MB design hosts exactly the paper's 8 CSs — see DESIGN.md §5).
+pub const M3D_INTERFACE_RESERVE_MM2: f64 = 10.0;
+
+/// Sizing slack applied to the logic strip when the die is self-sized.
+const DIE_SIZING_MARGIN: f64 = 1.02;
+
+/// Geometric placement demand of a design: cell area at utilisation plus
+/// macro footprints.
+pub fn geometric_demand(
+    cell_area: SquareMicrons,
+    macro_area: SquareMicrons,
+    cell_utilization: f64,
+) -> SquareMicrons {
+    cell_area * (1.0 / cell_utilization) + macro_area
+}
+
+/// Usable geometric area freed under an RRAM array in M3D, after the
+/// interface reserve and routing-availability derate — the quantity that
+/// determines how many extra CSs a design point can host (eq. 2 of the
+/// paper, with physical-design overheads applied).
+pub fn under_array_usable_area(pdk: &Pdk, rram: &RramMacro) -> PdResult<SquareMicrons> {
+    if !rram.selector.frees_si_tier() {
+        return Ok(SquareMicrons::ZERO);
+    }
+    let array = rram.array_area(pdk.ilv())?;
+    let reserve = SquareMicrons::from_mm2(M3D_INTERFACE_RESERVE_MM2);
+    Ok((array - reserve).max(SquareMicrons::ZERO) * pdk.rules.under_array_utilization)
+}
+
+impl Floorplan {
+    /// Plans the die for `netlist` implementing `cfg` under `pdk`.
+    ///
+    /// With `die_override = Some(rect)` the die outline is forced (the
+    /// iso-footprint constraint: the M3D design must fit the 2D
+    /// baseline's outline); otherwise the die is sized to fit.
+    ///
+    /// # Errors
+    ///
+    /// * [`PdError::BadNetlist`] when the netlist fails lint.
+    /// * [`PdError::DoesNotFit`] when the forced die cannot host the
+    ///   design.
+    /// * Technology errors for invalid macro configurations.
+    pub fn plan(
+        pdk: &Pdk,
+        cfg: &SocConfig,
+        netlist: &Netlist,
+        die_override: Option<Rect>,
+    ) -> PdResult<Self> {
+        let issues = netlist.lint();
+        if !issues.is_empty() {
+            return Err(PdError::BadNetlist { issues });
+        }
+
+        // --- Area demands ---------------------------------------------
+        let stats = m3d_netlist::NetlistStats::compute(netlist, pdk)?;
+        let cell_area = stats.total_cell_area();
+        let rram = cfg.rram_macro()?;
+        let array_area = rram.array_area(pdk.ilv())?;
+        let perif_area = rram.peripheral_area(pdk.ilv())?;
+        let sram_area: SquareMicrons = netlist
+            .macros()
+            .iter()
+            .filter_map(|m| match &m.kind {
+                MacroKind::Sram(s) => Some(s.footprint()),
+                MacroKind::Rram(_) => None,
+            })
+            .sum();
+
+        let util = pdk.rules.placement_utilization;
+        let logic_demand = geometric_demand(cell_area, sram_area, util);
+        let bottom_area = logic_demand * DIE_SIZING_MARGIN + pdk.rules.bus_io_reserve;
+
+        // --- Die outline -----------------------------------------------
+        let frees_si = cfg.selector.frees_si_tier();
+        let die = match die_override {
+            Some(d) => d,
+            None => {
+                let total = array_area + perif_area + bottom_area;
+                let side = total.sqrt_side();
+                Rect::with_size(side, side)
+            }
+        };
+        let die_w = die.width();
+        let die_h = die.height();
+
+        // --- Fixed blocks: array on top, peripherals below -------------
+        let array_h = array_area / die_w;
+        let perif_h = perif_area / die_w;
+        if array_h + perif_h > die_h {
+            return Err(PdError::DoesNotFit {
+                required_mm2: (array_area + perif_area).as_mm2(),
+                available_mm2: die.area().as_mm2(),
+                resource: "die area for the RRAM macro",
+            });
+        }
+        let array_rect = Rect {
+            x0: die.x0,
+            y0: die.y1 - array_h,
+            x1: die.x1,
+            y1: die.y1,
+        };
+        let perif_rect = Rect {
+            x0: die.x0,
+            y0: array_rect.y0 - perif_h,
+            x1: die.x1,
+            y1: array_rect.y0,
+        };
+        let bottom_rect = Rect {
+            x0: die.x0,
+            y0: die.y0,
+            x1: die.x1,
+            y1: perif_rect.y0,
+        };
+
+        // --- Placeable regions -----------------------------------------
+        let mut regions = vec![Region {
+            rect: bottom_rect,
+            kind: RegionKind::Free,
+            availability: 1.0,
+            cell_utilization: util,
+            reserve: pdk.rules.bus_io_reserve,
+        }];
+        if frees_si {
+            regions.push(Region {
+                rect: array_rect,
+                kind: RegionKind::UnderArray,
+                availability: pdk.rules.under_array_utilization,
+                cell_utilization: util,
+                reserve: SquareMicrons::from_mm2(M3D_INTERFACE_RESERVE_MM2),
+            });
+        }
+
+        // --- Fit check ---------------------------------------------------
+        let capacity: SquareMicrons = regions.iter().map(|r| r.usable_area()).sum();
+        if logic_demand > capacity {
+            return Err(PdError::DoesNotFit {
+                required_mm2: logic_demand.as_mm2(),
+                available_mm2: capacity.as_mm2(),
+                resource: "free Si placement area",
+            });
+        }
+
+        let fixed = vec![
+            FixedBlock {
+                name: "rram_array".to_owned(),
+                rect: array_rect,
+                blocks_si: !frees_si,
+            },
+            FixedBlock {
+                name: "rram_periph".to_owned(),
+                rect: perif_rect,
+                blocks_si: true,
+            },
+        ];
+
+        Ok(Self {
+            die,
+            fixed,
+            regions,
+            target_clock: pdk.default_clock,
+            cell_area,
+            movable_macro_area: sram_area,
+        })
+    }
+
+    /// Total usable geometric placement area across regions.
+    pub fn capacity(&self) -> SquareMicrons {
+        self.regions.iter().map(|r| r.usable_area()).sum()
+    }
+
+    /// The under-array region, when the floorplan has one (M3D).
+    pub fn under_array_region(&self) -> Option<&Region> {
+        self.regions.iter().find(|r| r.kind == RegionKind::UnderArray)
+    }
+
+    /// The RRAM cell-array block.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for floorplans produced by [`Floorplan::plan`].
+    pub fn rram_array(&self) -> &FixedBlock {
+        self.fixed
+            .iter()
+            .find(|f| f.name == "rram_array")
+            .expect("plan always places the array")
+    }
+
+    /// The RRAM peripheral block.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for floorplans produced by [`Floorplan::plan`].
+    pub fn rram_periph(&self) -> &FixedBlock {
+        self.fixed
+            .iter()
+            .find(|f| f.name == "rram_periph")
+            .expect("plan always places the peripherals")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_netlist::{accelerator_soc, CsConfig, PeConfig};
+    use m3d_tech::SelectorTech;
+
+    fn small_cs() -> CsConfig {
+        CsConfig {
+            rows: 4,
+            cols: 4,
+            pe: PeConfig::default(),
+            global_buffer_kb: 64,
+            local_buffer_kb: 8,
+        }
+    }
+
+    fn build(cfg: &SocConfig) -> Netlist {
+        let mut nl = Netlist::new("soc");
+        accelerator_soc(&mut nl, cfg).unwrap();
+        nl
+    }
+
+    #[test]
+    fn baseline_floorplan_blocks_array_si() {
+        let cfg = SocConfig {
+            cs: small_cs(),
+            ..SocConfig::baseline_2d()
+        };
+        let nl = build(&cfg);
+        let pdk = Pdk::baseline_2d_130nm();
+        let fp = Floorplan::plan(&pdk, &cfg, &nl, None).unwrap();
+        assert!(fp.rram_array().blocks_si);
+        assert!(fp.under_array_region().is_none());
+        assert_eq!(fp.regions.len(), 1);
+        // 64 MB array dominates the die.
+        assert!(fp.rram_array().rect.area().as_mm2() > 70.0);
+    }
+
+    #[test]
+    fn m3d_floorplan_frees_under_array_region() {
+        let cfg = SocConfig {
+            cs: small_cs(),
+            ..SocConfig::m3d(2)
+        };
+        let nl = build(&cfg);
+        let pdk = Pdk::m3d_130nm();
+        let fp = Floorplan::plan(&pdk, &cfg, &nl, None).unwrap();
+        assert!(!fp.rram_array().blocks_si);
+        let ua = fp.under_array_region().unwrap();
+        assert_eq!(ua.rect, fp.rram_array().rect);
+        assert!(ua.availability < 1.0);
+        assert!(ua.usable_area().as_mm2() > 0.0);
+    }
+
+    #[test]
+    fn iso_footprint_override_is_respected() {
+        let cfg2d = SocConfig {
+            cs: small_cs(),
+            ..SocConfig::baseline_2d()
+        };
+        let nl2d = build(&cfg2d);
+        let pdk2d = Pdk::baseline_2d_130nm();
+        let fp2d = Floorplan::plan(&pdk2d, &cfg2d, &nl2d, None).unwrap();
+
+        let cfg3d = SocConfig {
+            cs: small_cs(),
+            ..SocConfig::m3d(2)
+        };
+        let nl3d = build(&cfg3d);
+        let pdk3d = Pdk::m3d_130nm();
+        let fp3d = Floorplan::plan(&pdk3d, &cfg3d, &nl3d, Some(fp2d.die)).unwrap();
+        assert_eq!(fp3d.die, fp2d.die, "iso-footprint");
+    }
+
+    #[test]
+    fn overfull_design_rejected() {
+        // Forcing a tiny die must fail the fit check.
+        let cfg = SocConfig {
+            cs: small_cs(),
+            ..SocConfig::baseline_2d()
+        };
+        let nl = build(&cfg);
+        let pdk = Pdk::baseline_2d_130nm();
+        let tiny = Rect::new(0.0, 0.0, 100.0, 100.0);
+        assert!(matches!(
+            Floorplan::plan(&pdk, &cfg, &nl, Some(tiny)),
+            Err(PdError::DoesNotFit { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_netlist_rejected() {
+        let mut nl = Netlist::new("bad");
+        nl.add_net("dangling");
+        let cfg = SocConfig::baseline_2d();
+        let pdk = Pdk::baseline_2d_130nm();
+        assert!(matches!(
+            Floorplan::plan(&pdk, &cfg, &nl, None),
+            Err(PdError::BadNetlist { .. })
+        ));
+    }
+
+    #[test]
+    fn region_usable_area_subtracts_reserve_then_derates() {
+        let r = Region {
+            rect: Rect::new(0.0, 0.0, 1000.0, 1000.0),
+            kind: RegionKind::UnderArray,
+            availability: 0.5,
+            cell_utilization: 0.7,
+            reserve: SquareMicrons::new(200_000.0),
+        };
+        assert_eq!(r.usable_area(), SquareMicrons::new(400_000.0));
+        let over = Region {
+            reserve: SquareMicrons::new(1.0e9),
+            ..r
+        };
+        assert_eq!(over.usable_area(), SquareMicrons::ZERO);
+    }
+
+    #[test]
+    fn under_array_usable_area_matches_calibration() {
+        let pdk = Pdk::m3d_130nm();
+        // 64 MB CNFET-selector array frees (80.5 − 10) × 0.5 ≈ 35.3 mm².
+        let m3d = RramMacro::with_capacity_mb(64, 8, 256, SelectorTech::IDEAL_CNFET).unwrap();
+        let freed = under_array_usable_area(&pdk, &m3d).unwrap();
+        assert!((freed.as_mm2() - 35.27).abs() < 0.1, "freed = {}", freed.as_mm2());
+        // Si selectors free nothing.
+        let two_d = RramMacro::with_capacity_mb(64, 1, 256, SelectorTech::SiFet).unwrap();
+        assert_eq!(
+            under_array_usable_area(&pdk, &two_d).unwrap(),
+            SquareMicrons::ZERO
+        );
+    }
+
+    #[test]
+    fn geometric_demand_combines_cells_and_macros() {
+        let d = geometric_demand(
+            SquareMicrons::new(700.0),
+            SquareMicrons::new(500.0),
+            0.7,
+        );
+        assert!((d.value() - 1500.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,407 @@
+//! The RTL-to-GDS flow driver (Fig. 4b of the paper): synthesis stand-in
+//! → floorplan → clustering → global placement → routing estimation →
+//! post-route optimisation → timing/power sign-off, producing a
+//! [`FlowReport`] of exactly the metrics the paper compares in Fig. 2.
+
+use serde::{Deserialize, Serialize};
+
+use m3d_netlist::{accelerator_soc, MacroKind, Netlist, SocConfig};
+use m3d_tech::units::SquareMicrons;
+use m3d_tech::Pdk;
+
+use crate::cluster::Clustering;
+use crate::error::PdResult;
+use crate::floorplan::{under_array_usable_area, Floorplan};
+use crate::geom::Rect;
+use crate::opt::{post_route_optimize, OptConfig, OptOutcome};
+use crate::place::{place, Placement, PlacerConfig};
+use crate::power::{analyze_power, PowerReport, DEFAULT_ACTIVITY};
+use crate::route::RoutingEstimate;
+use crate::sta::TimingReport;
+
+/// Full configuration of one flow run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowConfig {
+    /// Technology to implement in.
+    pub pdk: Pdk,
+    /// The SoC to build.
+    pub soc: SocConfig,
+    /// Placer effort.
+    pub placer: PlacerConfig,
+    /// Post-route optimisation knobs.
+    pub opt: OptConfig,
+    /// Forced die outline (iso-footprint comparisons), if any.
+    pub die_override: Option<Rect>,
+    /// Signal activity factor for power analysis.
+    pub activity: f64,
+    /// Run row legalisation after global placement (snaps cells onto
+    /// non-overlapping rows; slightly slower but sign-off accurate).
+    pub legalize: bool,
+}
+
+impl FlowConfig {
+    /// The paper's 2D baseline flow: Si CMOS + RRAM, CNFET cells blocked.
+    pub fn baseline_2d() -> Self {
+        Self {
+            pdk: Pdk::baseline_2d_130nm(),
+            soc: SocConfig::baseline_2d(),
+            placer: PlacerConfig::default(),
+            opt: OptConfig::default(),
+            die_override: None,
+            activity: DEFAULT_ACTIVITY,
+            legalize: true,
+        }
+    }
+
+    /// The M3D flow with `cs_count` parallel computing sub-systems.
+    pub fn m3d(cs_count: u32) -> Self {
+        Self {
+            pdk: Pdk::m3d_130nm(),
+            soc: SocConfig::m3d(cs_count),
+            ..Self::baseline_2d()
+        }
+    }
+
+    /// Low-effort profile for tests and quick experiments.
+    pub fn quick(mut self) -> Self {
+        self.placer = PlacerConfig::quick();
+        self.opt.max_rounds = 1;
+        self.legalize = false;
+        self
+    }
+
+    /// Replaces the per-CS configuration (e.g. smaller arrays in tests).
+    pub fn with_cs(mut self, cs: m3d_netlist::CsConfig) -> Self {
+        self.soc.cs = cs;
+        self
+    }
+
+    /// Forces the die outline (the iso-footprint constraint).
+    pub fn with_die(mut self, die: Rect) -> Self {
+        self.die_override = Some(die);
+        self
+    }
+}
+
+/// Everything the flow produced, for export and inspection.
+#[derive(Debug, Clone)]
+pub struct FlowArtifacts {
+    /// Final netlist (including post-route buffers).
+    pub netlist: Netlist,
+    /// Floorplan used.
+    pub floorplan: Floorplan,
+    /// Cluster view used by placement.
+    pub clustering: Clustering,
+    /// Final placement (including buffer positions).
+    pub placement: Placement,
+    /// Final routing estimate.
+    pub routing: RoutingEstimate,
+    /// Final timing.
+    pub timing: TimingReport,
+    /// Power sign-off.
+    pub power: PowerReport,
+}
+
+/// Post-route comparison metrics (the Fig. 2 numbers).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowReport {
+    /// Design name.
+    pub design: String,
+    /// Parallel computing sub-systems implemented.
+    pub cs_count: u32,
+    /// Die outline.
+    pub die: Rect,
+    /// Die area in mm².
+    pub die_mm2: f64,
+    /// Standard-cell instances (after optimisation).
+    pub cell_count: usize,
+    /// Total standard-cell area in mm².
+    pub cell_area_mm2: f64,
+    /// SRAM macro footprint in mm².
+    pub sram_area_mm2: f64,
+    /// RRAM cell-array area in mm².
+    pub rram_array_mm2: f64,
+    /// RRAM peripheral area in mm².
+    pub rram_perif_mm2: f64,
+    /// Geometric placement demand of one CS (cells at utilisation plus
+    /// its SRAM buffers) in mm² — `A_C` of the analytical framework.
+    pub cs_demand_mm2: f64,
+    /// γ_cells = memory cell-array area / CS area (eq. 2 input).
+    pub gamma_cells: f64,
+    /// γ_perif = memory peripheral area / CS area.
+    pub gamma_perif: f64,
+    /// Extra CSs the freed under-array Si could host (0 in 2D).
+    pub extra_cs_capacity: u32,
+    /// Total routed wirelength in metres.
+    pub wirelength_m: f64,
+    /// Signal-net inter-layer vias.
+    pub signal_ilvs: u64,
+    /// RRAM-array internal ILVs (M3D only).
+    pub memory_cell_ilvs: u64,
+    /// Post-route repeaters inserted.
+    pub buffers_inserted: usize,
+    /// Drivers upsized.
+    pub upsized: usize,
+    /// Critical path in ns.
+    pub critical_path_ns: f64,
+    /// Fastest closable clock in MHz.
+    pub achieved_mhz: f64,
+    /// `true` when the target clock closed.
+    pub timing_met: bool,
+    /// Target clock in MHz.
+    pub target_mhz: f64,
+    /// Total power in mW at the target clock.
+    pub total_power_mw: f64,
+    /// Upper-tier (CNFET + RRAM layer) power in mW.
+    pub upper_tier_power_mw: f64,
+    /// Upper-tier share of total power.
+    pub upper_tier_fraction: f64,
+    /// Peak power density in mW/mm².
+    pub peak_density_mw_per_mm2: f64,
+    /// Average power density in mW/mm².
+    pub avg_density_mw_per_mm2: f64,
+    /// Power of the hottest CS block in mW.
+    pub hottest_cs_power_mw: f64,
+    /// Fractional increase in the hottest block's stacked power density
+    /// contributed by the M3D upper layers (Observation 2: ≈ +1 %).
+    pub cs_stack_density_increase: f64,
+    /// Aggregate RRAM read bandwidth in bits/cycle.
+    pub rram_bandwidth_bits_per_cycle: u64,
+    /// Mean cell displacement paid by row legalisation in µm (0 when
+    /// legalisation was skipped).
+    pub legalization_displacement_um: f64,
+}
+
+/// The flow driver.
+#[derive(Debug, Clone)]
+pub struct Rtl2GdsFlow {
+    config: FlowConfig,
+}
+
+impl Rtl2GdsFlow {
+    /// Creates a flow for `config`.
+    pub fn new(config: FlowConfig) -> Self {
+        Self { config }
+    }
+
+    /// Read access to the configuration.
+    pub fn config(&self) -> &FlowConfig {
+        &self.config
+    }
+
+    /// Runs the full flow.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist generation, floorplan fit, placement, routing
+    /// and timing errors.
+    pub fn run(&self) -> PdResult<(FlowReport, FlowArtifacts)> {
+        let cfg = &self.config;
+
+        // --- Synthesis stand-in -----------------------------------------
+        let mut netlist = Netlist::new(format!("{}_{}cs", cfg.pdk.name, cfg.soc.cs_count));
+        accelerator_soc(&mut netlist, &cfg.soc)?;
+
+        // --- Floorplan ----------------------------------------------------
+        let floorplan = Floorplan::plan(&cfg.pdk, &cfg.soc, &netlist, cfg.die_override)?;
+
+        // --- Clustering + global placement ---------------------------------
+        let clustering = Clustering::build(&netlist, &cfg.pdk)?;
+        let mut placement = place(&clustering, &floorplan, &cfg.placer)?;
+
+        // --- Row legalisation -----------------------------------------------
+        let legalization_displacement_um = if cfg.legalize {
+            let leg = crate::legalize::legalize(&netlist, &placement, &floorplan, &cfg.pdk)?;
+            placement.cell_pos = leg.cell_pos;
+            leg.avg_displacement.value()
+        } else {
+            0.0
+        };
+
+        // --- Route, post-route optimisation, sign-off ----------------------
+        let OptOutcome {
+            upsized,
+            buffers_inserted,
+            routing,
+            timing,
+            ..
+        } = post_route_optimize(
+            &mut netlist,
+            &mut placement,
+            &cfg.pdk,
+            floorplan.target_clock,
+            &cfg.opt,
+        )?;
+        let power = analyze_power(
+            &netlist,
+            &routing,
+            &placement,
+            &floorplan,
+            &cfg.pdk,
+            floorplan.target_clock,
+            cfg.activity,
+        )?;
+
+        // --- Report ---------------------------------------------------------
+        let stats = m3d_netlist::NetlistStats::compute(&netlist, &cfg.pdk)?;
+        let rram = cfg.soc.rram_macro()?;
+        let array = rram.array_area(cfg.pdk.ilv())?;
+        let perif = rram.peripheral_area(cfg.pdk.ilv())?;
+        let cs_demand = cs_geometric_demand(&netlist, &cfg.pdk)?;
+        let freed = under_array_usable_area(&cfg.pdk, &rram)?;
+        let extra = if cs_demand.value() > 0.0 {
+            (freed.value() / cs_demand.value()).floor() as u32
+        } else {
+            0
+        };
+
+        let report = FlowReport {
+            design: netlist.name.clone(),
+            cs_count: cfg.soc.cs_count,
+            die: floorplan.die,
+            die_mm2: floorplan.die.area().as_mm2(),
+            cell_count: netlist.cell_count(),
+            cell_area_mm2: stats.total_cell_area().as_mm2(),
+            sram_area_mm2: floorplan.movable_macro_area.as_mm2(),
+            rram_array_mm2: array.as_mm2(),
+            rram_perif_mm2: perif.as_mm2(),
+            cs_demand_mm2: cs_demand.as_mm2(),
+            gamma_cells: array.value() / cs_demand.value().max(1e-12),
+            gamma_perif: perif.value() / cs_demand.value().max(1e-12),
+            extra_cs_capacity: extra,
+            wirelength_m: routing.total_wirelength.value() * 1.0e-6,
+            signal_ilvs: routing.signal_ilvs,
+            memory_cell_ilvs: routing.memory_cell_ilvs,
+            buffers_inserted,
+            upsized,
+            critical_path_ns: timing.critical_path.value(),
+            achieved_mhz: timing.achieved_clock.value(),
+            timing_met: timing.timing_met(),
+            target_mhz: floorplan.target_clock.value(),
+            total_power_mw: power.total.value(),
+            upper_tier_power_mw: power.upper_tier.value(),
+            upper_tier_fraction: power.upper_tier_fraction(),
+            peak_density_mw_per_mm2: power.peak_density_mw_per_mm2,
+            avg_density_mw_per_mm2: power.avg_density_mw_per_mm2,
+            hottest_cs_power_mw: power.hottest_cs_power_mw,
+            cs_stack_density_increase: {
+                let cs_density =
+                    power.hottest_cs_power_mw / cs_demand.as_mm2().max(1e-9);
+                if cs_density > 0.0 {
+                    power.upper_layer_density_mw_per_mm2 / cs_density
+                } else {
+                    0.0
+                }
+            },
+            rram_bandwidth_bits_per_cycle: rram.total_bandwidth_bits_per_cycle(),
+            legalization_displacement_um,
+        };
+        let artifacts = FlowArtifacts {
+            netlist,
+            floorplan,
+            clustering,
+            placement,
+            routing,
+            timing,
+            power,
+        };
+        Ok((report, artifacts))
+    }
+}
+
+/// Geometric placement demand of computing sub-system 0 (cells at the
+/// free-region utilisation plus its SRAM buffer footprints), including
+/// its per-CS bank-interface logic — the `A_C` the analytical framework
+/// divides memory area by.
+///
+/// # Errors
+///
+/// Returns technology errors for cells missing from the PDK.
+pub fn cs_geometric_demand(netlist: &Netlist, pdk: &Pdk) -> PdResult<SquareMicrons> {
+    let util = pdk.rules.placement_utilization;
+    let mut cells = SquareMicrons::ZERO;
+    for c in netlist.cells() {
+        if c.name.starts_with("cs0/") || c.name.starts_with("cs0_if/") {
+            let lib = pdk.library(c.tier)?;
+            cells += lib.cell(c.kind, c.drive)?.area;
+        }
+    }
+    let mut srams = SquareMicrons::ZERO;
+    for m in netlist.macros() {
+        if m.name.starts_with("cs0/") {
+            if let MacroKind::Sram(s) = &m.kind {
+                srams += s.footprint();
+            }
+        }
+    }
+    Ok(cells * (1.0 / util) + srams)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_netlist::{CsConfig, PeConfig};
+
+    fn small_cs() -> CsConfig {
+        CsConfig {
+            rows: 4,
+            cols: 4,
+            pe: PeConfig::default(),
+            global_buffer_kb: 64,
+            local_buffer_kb: 8,
+        }
+    }
+
+    #[test]
+    fn baseline_flow_end_to_end() {
+        let cfg = FlowConfig::baseline_2d().with_cs(small_cs()).quick();
+        let (report, artifacts) = Rtl2GdsFlow::new(cfg).run().unwrap();
+        assert_eq!(report.cs_count, 1);
+        assert!(report.timing_met, "20 MHz must close");
+        assert!(report.die_mm2 > 80.0, "64 MB RRAM dominates the die");
+        assert!(report.wirelength_m > 0.0);
+        assert_eq!(report.signal_ilvs, 0, "no tier crossings in 2D");
+        assert_eq!(report.upper_tier_power_mw, 0.0);
+        assert!(report.extra_cs_capacity == 0, "Si selectors free nothing");
+        assert!(artifacts.netlist.lint().is_empty());
+    }
+
+    #[test]
+    fn m3d_flow_iso_footprint_pair() {
+        let base = FlowConfig::baseline_2d().with_cs(small_cs()).quick();
+        let (r2d, _) = Rtl2GdsFlow::new(base).run().unwrap();
+
+        let m3d = FlowConfig::m3d(2)
+            .with_cs(small_cs())
+            .quick()
+            .with_die(r2d.die);
+        let (r3d, _) = Rtl2GdsFlow::new(m3d).run().unwrap();
+
+        assert_eq!(r3d.die, r2d.die, "iso-footprint");
+        assert_eq!(r3d.cs_count, 2);
+        assert!(r3d.memory_cell_ilvs > 0);
+        assert!(r3d.upper_tier_power_mw > 0.0);
+        assert!(r3d.upper_tier_fraction < 0.05);
+        assert!(
+            r3d.rram_bandwidth_bits_per_cycle == 2 * r2d.rram_bandwidth_bits_per_cycle,
+            "banked memory doubles bandwidth"
+        );
+        // The small test CS is tiny, so the freed area could host many.
+        assert!(r3d.extra_cs_capacity >= 2);
+    }
+
+    #[test]
+    fn gamma_ratios_consistent() {
+        let cfg = FlowConfig::baseline_2d().with_cs(small_cs()).quick();
+        let (r, _) = Rtl2GdsFlow::new(cfg).run().unwrap();
+        assert!(r.gamma_cells > 0.0);
+        assert!(r.gamma_perif > 0.0);
+        assert!(
+            (r.gamma_cells / r.gamma_perif
+                - r.rram_array_mm2 / r.rram_perif_mm2)
+                .abs()
+                < 1e-6
+        );
+        assert!(r.cs_demand_mm2 > 0.0);
+    }
+}

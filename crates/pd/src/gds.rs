@@ -1,0 +1,164 @@
+//! GDS-like layout export: a structured JSON snapshot of the physical
+//! design (die, fixed blocks, placed clusters and macros), standing in
+//! for the GDSII stream the paper's flow writes out.
+
+use std::io::Write;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::ClusterKind;
+use crate::flow::FlowArtifacts;
+use crate::floorplan::RegionKind;
+use crate::geom::Rect;
+
+/// One placed object in the export.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayoutObject {
+    /// Object name (cluster or macro instance).
+    pub name: String,
+    /// Object class: `"logic"`, `"sram"`, `"rram"`, `"io"` or `"fixed"`.
+    pub class: String,
+    /// Occupied rectangle (clusters are reported as squares around their
+    /// centre).
+    pub rect: Rect,
+    /// `"free"`, `"under_array"` or `"fixed"`.
+    pub region: String,
+}
+
+/// A GDS-like layout snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayoutExport {
+    /// Design name.
+    pub design: String,
+    /// Die outline.
+    pub die: Rect,
+    /// All exported objects.
+    pub objects: Vec<LayoutObject>,
+    /// Total wirelength in metres (annotation).
+    pub wirelength_m: f64,
+}
+
+impl LayoutExport {
+    /// Builds the export from flow artifacts.
+    pub fn from_artifacts(artifacts: &FlowArtifacts) -> Self {
+        let mut objects = Vec::new();
+        for f in &artifacts.floorplan.fixed {
+            objects.push(LayoutObject {
+                name: f.name.clone(),
+                class: "fixed".to_owned(),
+                rect: f.rect,
+                region: "fixed".to_owned(),
+            });
+        }
+        for (ci, c) in artifacts.clustering.clusters.iter().enumerate() {
+            let class = match c.kind {
+                ClusterKind::Logic => "logic",
+                ClusterKind::SramMacro(_) => "sram",
+                ClusterKind::RramMacro(_) => "rram",
+                ClusterKind::Io => "io",
+            };
+            let region = artifacts
+                .placement
+                .cluster_region
+                .get(ci)
+                .and_then(|&ri| artifacts.floorplan.regions.get(ri))
+                .map_or("fixed", |r| match r.kind {
+                    RegionKind::Free => "free",
+                    RegionKind::UnderArray => "under_array",
+                });
+            let side = c.area.value().max(0.0).sqrt();
+            let p = artifacts.placement.cluster_pos[ci];
+            objects.push(LayoutObject {
+                name: c.name.clone(),
+                class: class.to_owned(),
+                rect: Rect::new(
+                    p.x.value() - side / 2.0,
+                    p.y.value() - side / 2.0,
+                    p.x.value() + side / 2.0,
+                    p.y.value() + side / 2.0,
+                ),
+                region: region.to_owned(),
+            });
+        }
+        Self {
+            design: artifacts.netlist.name.clone(),
+            die: artifacts.floorplan.die,
+            objects,
+            wirelength_m: artifacts.routing.total_wirelength.value() * 1.0e-6,
+        }
+    }
+
+    /// Serialises to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialisation failures (never for this type in
+    /// practice).
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Writes the JSON layout to `writer`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO and serialisation failures.
+    pub fn write_json<W: Write>(&self, mut writer: W) -> std::io::Result<()> {
+        let s = self
+            .to_json()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        writer.write_all(s.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{FlowConfig, Rtl2GdsFlow};
+    use m3d_netlist::{CsConfig, PeConfig};
+
+    fn artifacts() -> FlowArtifacts {
+        let cfg = FlowConfig::baseline_2d()
+            .with_cs(CsConfig {
+                rows: 4,
+                cols: 4,
+                pe: PeConfig::default(),
+                global_buffer_kb: 64,
+                local_buffer_kb: 8,
+            })
+            .quick();
+        Rtl2GdsFlow::new(cfg).run().unwrap().1
+    }
+
+    #[test]
+    fn export_contains_everything() {
+        let a = artifacts();
+        let e = LayoutExport::from_artifacts(&a);
+        assert!(e.objects.iter().any(|o| o.class == "fixed"));
+        assert!(e.objects.iter().any(|o| o.class == "logic"));
+        assert!(e.objects.iter().any(|o| o.class == "sram"));
+        assert!(e.objects.iter().any(|o| o.class == "rram"));
+        assert!(e.wirelength_m > 0.0);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let a = artifacts();
+        let e = LayoutExport::from_artifacts(&a);
+        let s = e.to_json().unwrap();
+        let back: LayoutExport = serde_json::from_str(&s).unwrap();
+        // Floats survive with JSON precision; structure must be identical.
+        assert_eq!(back.design, e.design);
+        assert_eq!(back.objects.len(), e.objects.len());
+        assert!((back.die.area().as_mm2() - e.die.area().as_mm2()).abs() < 1e-6);
+        assert!((back.wirelength_m - e.wirelength_m).abs() < 1e-9);
+        for (x, y) in back.objects.iter().zip(&e.objects) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.class, y.class);
+            assert_eq!(x.region, y.region);
+        }
+        let mut buf = Vec::new();
+        e.write_json(&mut buf).unwrap();
+        assert!(!buf.is_empty());
+    }
+}

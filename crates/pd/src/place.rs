@@ -1,0 +1,545 @@
+//! Global placement: simulated annealing over the cluster graph with
+//! region capacity constraints and bin-based congestion control.
+//!
+//! The placer assigns every movable cluster (logic groups and SRAM
+//! macros) a position inside one of the floorplan's placeable regions,
+//! minimising inter-cluster half-perimeter wirelength (HPWL) plus a
+//! density-overflow penalty. Fixed clusters (the RRAM macro, the IO
+//! ring) anchor the optimisation. Capacity accounting is geometric, as
+//! defined by [`Region`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use m3d_tech::units::{Microns, SquareMicrons};
+
+use crate::cluster::{Cluster, ClusterKind, Clustering};
+use crate::error::{PdError, PdResult};
+use crate::floorplan::{Floorplan, Region};
+use crate::geom::{BoundingBox, Point, Rect};
+
+/// Placer tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacerConfig {
+    /// RNG seed (placement is deterministic for a fixed seed).
+    pub seed: u64,
+    /// Annealing moves per movable cluster per temperature step.
+    pub moves_per_cluster: usize,
+    /// Number of temperature steps.
+    pub temperature_steps: usize,
+    /// Geometric cooling factor per step.
+    pub cooling: f64,
+    /// Density bin edge length in microns.
+    pub bin_size_um: f64,
+    /// Weight of the density-overflow penalty (µm of HPWL per µm² of
+    /// overflow).
+    pub overflow_weight: f64,
+}
+
+impl Default for PlacerConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x4D3D_2023,
+            moves_per_cluster: 8,
+            temperature_steps: 25,
+            cooling: 0.82,
+            bin_size_um: 500.0,
+            overflow_weight: 0.05,
+        }
+    }
+}
+
+impl PlacerConfig {
+    /// A fast low-effort profile for tests and quick experiments.
+    pub fn quick() -> Self {
+        Self {
+            temperature_steps: 6,
+            moves_per_cluster: 4,
+            ..Self::default()
+        }
+    }
+}
+
+/// A finished placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// Cluster centre positions (indexed like `Clustering::clusters`).
+    pub cluster_pos: Vec<Point>,
+    /// Region index each movable cluster landed in (`usize::MAX` for
+    /// fixed clusters).
+    pub cluster_region: Vec<usize>,
+    /// Derived per-cell positions (indexed like `Netlist::cells`).
+    pub cell_pos: Vec<Point>,
+    /// Derived per-macro positions (indexed like `Netlist::macros`).
+    pub macro_pos: Vec<Point>,
+    /// Final inter-cluster HPWL.
+    pub inter_hpwl: Microns,
+    /// Estimated intra-cluster wirelength.
+    pub intra_wl: Microns,
+    /// HPWL of the deterministic initial placement (before annealing).
+    pub initial_hpwl: Microns,
+    /// Final density overflow (µm² of demand above bin capacity).
+    pub overflow: SquareMicrons,
+}
+
+impl Placement {
+    /// Total estimated wirelength: inter-cluster + intra-cluster.
+    pub fn total_wirelength(&self) -> Microns {
+        self.inter_hpwl + self.intra_wl
+    }
+}
+
+/// Geometric area a cluster demands inside `region`.
+fn demand_geo(cluster: &Cluster, region: &Region) -> f64 {
+    match cluster.kind {
+        ClusterKind::Logic => cluster.area.value() / region.cell_utilization.max(1e-6),
+        ClusterKind::SramMacro(_) => cluster.area.value(),
+        _ => 0.0,
+    }
+}
+
+/// Side of the square footprint a cluster occupies inside `region`.
+fn footprint_side(cluster: &Cluster, region: &Region) -> f64 {
+    demand_geo(cluster, region).max(0.0).sqrt()
+}
+
+struct Bins {
+    nx: usize,
+    ny: usize,
+    size: f64,
+    origin: (f64, f64),
+    capacity: Vec<f64>,
+    used: Vec<f64>,
+}
+
+impl Bins {
+    fn new(fp: &Floorplan, bin_size: f64) -> Self {
+        let w = fp.die.width().value();
+        let h = fp.die.height().value();
+        let nx = (w / bin_size).ceil().max(1.0) as usize;
+        let ny = (h / bin_size).ceil().max(1.0) as usize;
+        let mut capacity = vec![0.0; nx * ny];
+        for by in 0..ny {
+            for bx in 0..nx {
+                let r = Rect::new(
+                    fp.die.x0.value() + bx as f64 * bin_size,
+                    fp.die.y0.value() + by as f64 * bin_size,
+                    (fp.die.x0.value() + (bx + 1) as f64 * bin_size).min(fp.die.x1.value()),
+                    (fp.die.y0.value() + (by + 1) as f64 * bin_size).min(fp.die.y1.value()),
+                );
+                let mut cap = 0.0;
+                for region in &fp.regions {
+                    if let Some(i) = r.intersection(&region.rect) {
+                        cap += i.area().value() * region.availability;
+                    }
+                }
+                capacity[by * nx + bx] = cap;
+            }
+        }
+        Self {
+            nx,
+            ny,
+            size: bin_size,
+            origin: (fp.die.x0.value(), fp.die.y0.value()),
+            capacity,
+            used: vec![0.0; nx * ny],
+        }
+    }
+
+    fn block_for(&self, p: Point, side: f64) -> (usize, usize, usize, usize) {
+        let half = side / 2.0;
+        let x0 = ((p.x.value() - half - self.origin.0) / self.size).floor().max(0.0) as usize;
+        let y0 = ((p.y.value() - half - self.origin.1) / self.size).floor().max(0.0) as usize;
+        let x1 = (((p.x.value() + half - self.origin.0) / self.size).floor() as usize)
+            .min(self.nx - 1);
+        let y1 = (((p.y.value() + half - self.origin.1) / self.size).floor() as usize)
+            .min(self.ny - 1);
+        (x0.min(self.nx - 1), y0.min(self.ny - 1), x1, y1)
+    }
+
+    /// Adds (`sign = +1`) or removes (`sign = -1`) a cluster's demand at
+    /// `p`, returning the change in total overflow.
+    fn apply(&mut self, p: Point, side: f64, demand: f64, sign: f64) -> f64 {
+        let (x0, y0, x1, y1) = self.block_for(p, side);
+        let nbins = ((x1.saturating_sub(x0) + 1) * (y1.saturating_sub(y0) + 1)) as f64;
+        let per_bin = demand / nbins;
+        let mut delta = 0.0;
+        for by in y0..=y1 {
+            for bx in x0..=x1 {
+                let i = by * self.nx + bx;
+                let before = (self.used[i] - self.capacity[i]).max(0.0);
+                self.used[i] += sign * per_bin;
+                let after = (self.used[i] - self.capacity[i]).max(0.0);
+                delta += after - before;
+            }
+        }
+        delta
+    }
+
+    fn total_overflow(&self) -> f64 {
+        self.used
+            .iter()
+            .zip(&self.capacity)
+            .map(|(u, c)| (u - c).max(0.0))
+            .sum()
+    }
+}
+
+/// Runs global placement.
+///
+/// # Errors
+///
+/// Returns [`PdError::DoesNotFit`] when the movable clusters cannot be
+/// packed into the floorplan's regions.
+pub fn place(
+    clustering: &Clustering,
+    floorplan: &Floorplan,
+    config: &PlacerConfig,
+) -> PdResult<Placement> {
+    let n = clustering.clusters.len();
+    let mut pos = vec![Point::default(); n];
+    let mut region_of = vec![usize::MAX; n];
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // --- Fixed clusters -------------------------------------------------
+    for (i, c) in clustering.clusters.iter().enumerate() {
+        match c.kind {
+            ClusterKind::Io => {
+                pos[i] = Point {
+                    x: floorplan.die.center().x,
+                    y: floorplan.die.y0,
+                };
+            }
+            ClusterKind::RramMacro(_) => {
+                pos[i] = floorplan.rram_periph().rect.center();
+            }
+            _ => {}
+        }
+    }
+
+    // --- Deterministic initial packing (hierarchy order) ----------------
+    let mut region_used = vec![0.0f64; floorplan.regions.len()];
+    let region_cap: Vec<f64> = floorplan
+        .regions
+        .iter()
+        .map(|r| r.usable_area().value())
+        .collect();
+    let movable: Vec<usize> = (0..n)
+        .filter(|&i| clustering.clusters[i].is_movable())
+        .collect();
+    {
+        let mut cursor: Vec<(f64, f64, f64)> = floorplan
+            .regions
+            .iter()
+            .map(|r| (r.rect.x0.value(), r.rect.y0.value(), 0.0))
+            .collect();
+        for &ci in &movable {
+            let c = &clustering.clusters[ci];
+            let mut placed = false;
+            for (ri, region) in floorplan.regions.iter().enumerate() {
+                let demand = demand_geo(c, region);
+                if region_used[ri] + demand > region_cap[ri] {
+                    continue;
+                }
+                // Spread the packing with the availability derate so the
+                // initial layout is not artificially congested.
+                let side = (demand / region.availability.max(1e-6)).sqrt().max(1.0);
+                let (ref mut cx, ref mut cy, ref mut row_h) = cursor[ri];
+                if *cx + side > region.rect.x1.value() {
+                    *cx = region.rect.x0.value();
+                    *cy += *row_h;
+                    *row_h = 0.0;
+                }
+                if *cy + side > region.rect.y1.value() {
+                    // Region geometrically full; wrap to start (capacity
+                    // check still guards total demand).
+                    *cy = region.rect.y0.value();
+                }
+                pos[ci] = Point::new(*cx + side / 2.0, *cy + side / 2.0);
+                *cx += side;
+                *row_h = row_h.max(side);
+                region_of[ci] = ri;
+                region_used[ri] += demand;
+                placed = true;
+                break;
+            }
+            if !placed {
+                return Err(PdError::DoesNotFit {
+                    required_mm2: clustering.movable_area().as_mm2(),
+                    available_mm2: floorplan.capacity().as_mm2(),
+                    resource: "free Si placement area",
+                });
+            }
+        }
+    }
+
+    // --- Cost bookkeeping -------------------------------------------------
+    let net_hpwl = |net_idx: usize, pos: &[Point]| -> f64 {
+        let mut bb = BoundingBox::new();
+        for &c in &clustering.nets[net_idx].clusters {
+            bb.include(pos[c as usize]);
+        }
+        bb.hpwl().value()
+    };
+    let mut cluster_nets: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (ni, net) in clustering.nets.iter().enumerate() {
+        for &c in &net.clusters {
+            cluster_nets[c as usize].push(ni as u32);
+        }
+    }
+    let mut hpwl_total: f64 = (0..clustering.nets.len()).map(|i| net_hpwl(i, &pos)).sum();
+    let initial_hpwl = hpwl_total;
+
+    let mut bins = Bins::new(floorplan, config.bin_size_um);
+    for &ci in &movable {
+        let c = &clustering.clusters[ci];
+        let region = &floorplan.regions[region_of[ci]];
+        bins.apply(pos[ci], footprint_side(c, region), demand_geo(c, region), 1.0);
+    }
+
+    // --- Simulated annealing ----------------------------------------------
+    if !movable.is_empty() && !clustering.nets.is_empty() {
+        let mut temp = floorplan.die.width().value().max(1.0);
+        for _ in 0..config.temperature_steps {
+            for _ in 0..config.moves_per_cluster * movable.len() {
+                let ci = movable[rng.gen_range(0..movable.len())];
+                let c = &clustering.clusters[ci];
+                let ri_new = rng.gen_range(0..floorplan.regions.len());
+                let region_new = &floorplan.regions[ri_new];
+                let ri_old = region_of[ci];
+                let region_old = &floorplan.regions[ri_old];
+                let d_new = demand_geo(c, region_new);
+                let d_old = demand_geo(c, region_old);
+                if ri_new != ri_old && region_used[ri_new] + d_new > region_cap[ri_new] {
+                    continue;
+                }
+                let side_new = footprint_side(c, region_new);
+                let side_old = footprint_side(c, region_old);
+                let margin = side_new / 2.0;
+                let inner = region_new.rect.shrunk(Microns::new(margin));
+                let lo_x = inner.x0.value();
+                let hi_x = inner.x1.value().max(lo_x);
+                let lo_y = inner.y0.value();
+                let hi_y = inner.y1.value().max(lo_y);
+                let new_p = Point::new(rng.gen_range(lo_x..=hi_x), rng.gen_range(lo_y..=hi_y));
+                let old_p = pos[ci];
+
+                // Delta HPWL.
+                let mut d_hpwl = 0.0;
+                for &ni in &cluster_nets[ci] {
+                    d_hpwl -= net_hpwl(ni as usize, &pos);
+                }
+                pos[ci] = new_p;
+                for &ni in &cluster_nets[ci] {
+                    d_hpwl += net_hpwl(ni as usize, &pos);
+                }
+                // Delta overflow.
+                let d_of_rm = bins.apply(old_p, side_old, d_old, -1.0);
+                let d_of_add = bins.apply(new_p, side_new, d_new, 1.0);
+                let d_cost = d_hpwl + config.overflow_weight * (d_of_rm + d_of_add);
+
+                let accept = d_cost <= 0.0 || rng.gen::<f64>() < (-d_cost / temp).exp();
+                if accept {
+                    hpwl_total += d_hpwl;
+                    if ri_new != ri_old {
+                        region_used[ri_old] -= d_old;
+                        region_used[ri_new] += d_new;
+                        region_of[ci] = ri_new;
+                    }
+                } else {
+                    // Roll back.
+                    bins.apply(new_p, side_new, d_new, -1.0);
+                    bins.apply(old_p, side_old, d_old, 1.0);
+                    pos[ci] = old_p;
+                }
+            }
+            temp *= config.cooling;
+        }
+    }
+
+    // --- Derive per-cell and per-macro positions ---------------------------
+    let mut cell_pos = vec![Point::default(); clustering.cell_cluster.len()];
+    for (ci, c) in clustering.clusters.iter().enumerate() {
+        if c.cells.is_empty() {
+            continue;
+        }
+        let side = match floorplan.regions.get(region_of[ci]) {
+            Some(region) => footprint_side(c, region),
+            None => (c.area.value() / 0.7).sqrt(),
+        };
+        let grid = (c.cells.len() as f64).sqrt().ceil().max(1.0) as usize;
+        let pitch = side / grid as f64;
+        for (k, &cell) in c.cells.iter().enumerate() {
+            let gx = (k % grid) as f64;
+            let gy = (k / grid) as f64;
+            cell_pos[cell as usize] = Point::new(
+                pos[ci].x.value() - side / 2.0 + (gx + 0.5) * pitch,
+                pos[ci].y.value() - side / 2.0 + (gy + 0.5) * pitch,
+            );
+        }
+    }
+    let macro_count = clustering
+        .clusters
+        .iter()
+        .filter(|c| matches!(c.kind, ClusterKind::SramMacro(_) | ClusterKind::RramMacro(_)))
+        .count();
+    let mut macro_pos = vec![Point::default(); macro_count];
+    for (ci, c) in clustering.clusters.iter().enumerate() {
+        if let ClusterKind::SramMacro(i) | ClusterKind::RramMacro(i) = c.kind {
+            if i < macro_pos.len() {
+                macro_pos[i] = pos[ci];
+            }
+        }
+    }
+
+    let intra: f64 = clustering
+        .clusters
+        .iter()
+        .enumerate()
+        .map(|(ci, c)| {
+            let side = match floorplan.regions.get(region_of[ci]) {
+                Some(region) => footprint_side(c, region),
+                None => (c.area.value() / 0.7).sqrt(),
+            };
+            clustering.intra_net_count[ci] as f64 * 0.5 * side
+        })
+        .sum();
+
+    Ok(Placement {
+        cluster_pos: pos,
+        cluster_region: region_of,
+        cell_pos,
+        macro_pos,
+        inter_hpwl: Microns::new(hpwl_total),
+        intra_wl: Microns::new(intra),
+        initial_hpwl: Microns::new(initial_hpwl),
+        overflow: SquareMicrons::new(bins.total_overflow()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_netlist::{accelerator_soc, CsConfig, Netlist, PeConfig, SocConfig};
+    use m3d_tech::Pdk;
+
+    fn small_cs() -> CsConfig {
+        CsConfig {
+            rows: 4,
+            cols: 4,
+            pe: PeConfig::default(),
+            global_buffer_kb: 64,
+            local_buffer_kb: 8,
+        }
+    }
+
+    fn setup_2d() -> (Clustering, Floorplan) {
+        let cfg = SocConfig {
+            cs: small_cs(),
+            ..SocConfig::baseline_2d()
+        };
+        let mut nl = Netlist::new("soc");
+        accelerator_soc(&mut nl, &cfg).unwrap();
+        let pdk = Pdk::baseline_2d_130nm();
+        let fp = Floorplan::plan(&pdk, &cfg, &nl, None).unwrap();
+        let cl = Clustering::build(&nl, &pdk).unwrap();
+        (cl, fp)
+    }
+
+    #[test]
+    fn placement_is_legal() {
+        let (cl, fp) = setup_2d();
+        let p = place(&cl, &fp, &PlacerConfig::quick()).unwrap();
+        for (ci, c) in cl.clusters.iter().enumerate() {
+            if !c.is_movable() {
+                continue;
+            }
+            let ri = p.cluster_region[ci];
+            assert!(ri < fp.regions.len(), "cluster {} has no region", c.name);
+            assert!(
+                fp.regions[ri].rect.contains(p.cluster_pos[ci]),
+                "cluster {} centre outside its region",
+                c.name
+            );
+        }
+        for pt in &p.cell_pos {
+            assert!(
+                pt.x >= fp.die.x0 && pt.x <= fp.die.x1 && pt.y >= fp.die.y0 && pt.y <= fp.die.y1,
+                "cell off-die at {pt:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn region_capacity_respected() {
+        let (cl, fp) = setup_2d();
+        let p = place(&cl, &fp, &PlacerConfig::quick()).unwrap();
+        let mut used = vec![0.0; fp.regions.len()];
+        for (ci, c) in cl.clusters.iter().enumerate() {
+            if c.is_movable() {
+                let ri = p.cluster_region[ci];
+                used[ri] += demand_geo(c, &fp.regions[ri]);
+            }
+        }
+        for (ri, u) in used.iter().enumerate() {
+            assert!(
+                *u <= fp.regions[ri].usable_area().value() * (1.0 + 1e-9),
+                "region {ri} over capacity"
+            );
+        }
+    }
+
+    #[test]
+    fn annealing_does_not_worsen_wirelength_much() {
+        let (cl, fp) = setup_2d();
+        let p = place(&cl, &fp, &PlacerConfig::default()).unwrap();
+        assert!(
+            p.inter_hpwl.value() <= p.initial_hpwl.value() * 1.05,
+            "final {} vs initial {}",
+            p.inter_hpwl,
+            p.initial_hpwl
+        );
+        assert!(p.total_wirelength() > Microns::ZERO);
+    }
+
+    #[test]
+    fn placement_is_deterministic_for_fixed_seed() {
+        let (cl, fp) = setup_2d();
+        let a = place(&cl, &fp, &PlacerConfig::quick()).unwrap();
+        let b = place(&cl, &fp, &PlacerConfig::quick()).unwrap();
+        assert_eq!(a.inter_hpwl, b.inter_hpwl);
+        assert_eq!(a.cluster_pos, b.cluster_pos);
+    }
+
+    #[test]
+    fn m3d_uses_the_under_array_region_when_bottom_is_tight() {
+        // Plan the 2D die (sized for 1 CS), then force the 4-CS M3D design
+        // into the same outline: the extra CSs must spill under the array.
+        let cfg2d = SocConfig {
+            cs: small_cs(),
+            ..SocConfig::baseline_2d()
+        };
+        let mut nl2d = Netlist::new("a");
+        accelerator_soc(&mut nl2d, &cfg2d).unwrap();
+        let pdk2d = Pdk::baseline_2d_130nm();
+        let fp2d = Floorplan::plan(&pdk2d, &cfg2d, &nl2d, None).unwrap();
+
+        let cfg3d = SocConfig {
+            cs: small_cs(),
+            ..SocConfig::m3d(4)
+        };
+        let mut nl3d = Netlist::new("b");
+        accelerator_soc(&mut nl3d, &cfg3d).unwrap();
+        let pdk3d = Pdk::m3d_130nm();
+        let fp3d = Floorplan::plan(&pdk3d, &cfg3d, &nl3d, Some(fp2d.die)).unwrap();
+        let cl = Clustering::build(&nl3d, &pdk3d).unwrap();
+        let p = place(&cl, &fp3d, &PlacerConfig::quick()).unwrap();
+        let ua_idx = fp3d
+            .regions
+            .iter()
+            .position(|r| r.kind == crate::floorplan::RegionKind::UnderArray)
+            .unwrap();
+        let in_ua = p.cluster_region.iter().filter(|&&r| r == ua_idx).count();
+        assert!(in_ua > 0, "M3D placement should use the freed Si under the array");
+    }
+}

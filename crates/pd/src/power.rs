@@ -1,0 +1,339 @@
+//! Power analysis: activity-based dynamic power, clock-network power,
+//! leakage, macro access power and the on-die power-density map.
+//!
+//! Stands in for the paper's Cadence Tempus sign-off ("power analysis is
+//! performed using Cadence Tempus with default activation factors").
+//! The density map supports Observation 2: the power dissipated in the
+//! M3D upper layers (CNFET selectors + RRAM cells) is < 1 % of total chip
+//! power, so peak power density grows ≈ 1 % vs the 2D baseline.
+
+use serde::{Deserialize, Serialize};
+
+use m3d_netlist::{MacroKind, Netlist};
+use m3d_tech::units::{Femtofarads, Megahertz, Milliwatts};
+use m3d_tech::{Pdk, TechResult};
+
+use crate::floorplan::Floorplan;
+use crate::place::Placement;
+use crate::route::RoutingEstimate;
+
+/// Default signal activity factor (fraction of cycles a net toggles).
+pub const DEFAULT_ACTIVITY: f64 = 0.15;
+
+/// Fraction of an RRAM access's dynamic energy dissipated in the cell
+/// array itself (selector + cell); the remainder is peripheral (sense
+/// amplifiers, drivers, controllers) and stays in the Si tier.
+pub const RRAM_CELL_ENERGY_FRACTION: f64 = 0.08;
+
+/// Fraction of cycles each memory port is active.
+const MACRO_ACTIVITY: f64 = 0.25;
+
+/// Estimated clock-network wire capacitance per sequential cell.
+const CLOCK_WIRE_CAP_PER_FF: f64 = 3.0;
+
+/// Power analysis result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerReport {
+    /// Combinational + sequential switching power.
+    pub cell_dynamic: Milliwatts,
+    /// Clock network power.
+    pub clock: Milliwatts,
+    /// Standard-cell leakage.
+    pub cell_leakage: Milliwatts,
+    /// Memory macro power (access + leakage), all tiers.
+    pub macro_power: Milliwatts,
+    /// Power dissipated in the upper M3D layers (CNFET selectors + RRAM
+    /// cells); zero in the 2D baseline.
+    pub upper_tier: Milliwatts,
+    /// Total chip power.
+    pub total: Milliwatts,
+    /// Peak power density over 1 mm² tiles, in mW/mm².
+    pub peak_density_mw_per_mm2: f64,
+    /// Average power density over the die, in mW/mm².
+    pub avg_density_mw_per_mm2: f64,
+    /// Power of the hottest computing sub-system (cells + buffers with a
+    /// `cs<i>/` name prefix), in mW — the basis of the paper's
+    /// Observation 2 peak-density comparison: CSs are replicated, not
+    /// stacked, so the hottest block's density barely changes.
+    pub hottest_cs_power_mw: f64,
+    /// Power of the RRAM cell-array layers per mm² of array, in mW/mm²
+    /// (the density the M3D upper tiers add on top of whatever sits
+    /// underneath).
+    pub upper_layer_density_mw_per_mm2: f64,
+    /// Activity factor used.
+    pub activity: f64,
+    /// Clock frequency used.
+    pub clock_freq: Megahertz,
+}
+
+impl PowerReport {
+    /// Upper-tier share of total power (Observation 2's "< 1 %").
+    pub fn upper_tier_fraction(&self) -> f64 {
+        if self.total.value() <= 0.0 {
+            0.0
+        } else {
+            self.upper_tier.value() / self.total.value()
+        }
+    }
+}
+
+/// Runs power analysis on a placed-and-routed design at `clock`.
+///
+/// # Errors
+///
+/// Returns technology errors when a cell is missing from the PDK
+/// libraries.
+///
+/// # Panics
+///
+/// Panics when `routing` does not match `netlist`.
+pub fn analyze_power(
+    netlist: &Netlist,
+    routing: &RoutingEstimate,
+    placement: &Placement,
+    floorplan: &Floorplan,
+    pdk: &Pdk,
+    clock: Megahertz,
+    activity: f64,
+) -> TechResult<PowerReport> {
+    assert_eq!(routing.nets.len(), netlist.net_count());
+    let f_mhz = clock.value();
+    // pJ × MHz = µW; µW × 1e-3 = mW.
+    let pj_mhz_to_mw = 1.0e-3;
+
+    // --- Density grid ------------------------------------------------------
+    let tile = 1000.0_f64; // 1 mm tiles
+    let nx = (floorplan.die.width().value() / tile).ceil().max(1.0) as usize;
+    let ny = (floorplan.die.height().value() / tile).ceil().max(1.0) as usize;
+    let mut grid = vec![0.0f64; nx * ny];
+    let x0 = floorplan.die.x0.value();
+    let y0 = floorplan.die.y0.value();
+    let deposit = |x: f64, y: f64, mw: f64, grid: &mut Vec<f64>| {
+        let bx = (((x - x0) / tile).floor().max(0.0) as usize).min(nx - 1);
+        let by = (((y - y0) / tile).floor().max(0.0) as usize).min(ny - 1);
+        grid[by * nx + bx] += mw;
+    };
+    let spread = |r: &crate::geom::Rect, mw: f64, grid: &mut Vec<f64>| {
+        // Deposit uniformly over the tiles the rect covers.
+        let bx0 = (((r.x0.value() - x0) / tile).floor().max(0.0) as usize).min(nx - 1);
+        let by0 = (((r.y0.value() - y0) / tile).floor().max(0.0) as usize).min(ny - 1);
+        let bx1 = (((r.x1.value() - x0) / tile).ceil().max(1.0) as usize).min(nx);
+        let by1 = (((r.y1.value() - y0) / tile).ceil().max(1.0) as usize).min(ny);
+        let tiles = ((bx1 - bx0).max(1) * (by1 - by0).max(1)) as f64;
+        for by in by0..by1.max(by0 + 1) {
+            for bx in bx0..bx1.max(bx0 + 1) {
+                grid[by * nx + bx] += mw / tiles;
+            }
+        }
+    };
+
+    // --- Standard cells ----------------------------------------------------
+    let mut cell_dynamic = 0.0f64;
+    let mut cell_leak = 0.0f64;
+    let mut clock_mw = 0.0f64;
+    let mut per_cs_power: std::collections::BTreeMap<String, f64> = Default::default();
+    let cs_key = |name: &str| -> Option<String> {
+        let first = name.split('/').next()?;
+        (first.starts_with("cs")
+            && first[2..].chars().next().is_some_and(|c| c.is_ascii_digit()))
+        .then(|| first.trim_end_matches("_if").to_owned())
+    };
+    for (ci, cell) in netlist.cells().iter().enumerate() {
+        let lib = pdk.library(cell.tier)?;
+        let lc = lib.cell(cell.kind, cell.drive)?;
+        let mut load = Femtofarads::ZERO;
+        for out in &cell.outputs {
+            load += routing.nets[out.0 as usize].total_cap();
+        }
+        let e_sw = lc.switching_energy(load, lib.vdd).value();
+        let p_dyn = activity * f_mhz * e_sw * pj_mhz_to_mw;
+        cell_dynamic += p_dyn;
+        let p_leak = lc.leakage_nw * 1.0e-6;
+        cell_leak += p_leak;
+        let mut p_cell = p_dyn + p_leak;
+        if cell.kind.is_sequential() {
+            // c_clk in fF × V² = fJ per cycle; fJ × MHz = nW; nW → mW is 1e-6.
+            let c_clk = lc.input_cap.value() + CLOCK_WIRE_CAP_PER_FF;
+            let p_clk = c_clk * lib.vdd * lib.vdd * f_mhz * 1.0e-6;
+            clock_mw += p_clk;
+            p_cell += p_clk;
+        }
+        let pos = placement.cell_pos[ci];
+        deposit(pos.x.value(), pos.y.value(), p_cell, &mut grid);
+        if let Some(key) = cs_key(&cell.name) {
+            *per_cs_power.entry(key).or_default() += p_cell;
+        }
+    }
+
+    // --- Macros --------------------------------------------------------------
+    let mut macro_mw = 0.0f64;
+    let mut upper_mw = 0.0f64;
+    for (mi, m) in netlist.macros().iter().enumerate() {
+        match &m.kind {
+            MacroKind::Sram(s) => {
+                let port_bits = m.drives.len().max(8) as u64;
+                let e_access = s.read_energy(port_bits).value();
+                let p = MACRO_ACTIVITY * f_mhz * e_access * pj_mhz_to_mw + s.leakage_mw();
+                macro_mw += p;
+                // Spread over the macro footprint rather than one point.
+                let pos = placement.macro_pos[mi];
+                let half = s.footprint().value().max(1.0).sqrt() / 2.0;
+                let r = crate::geom::Rect::new(
+                    pos.x.value() - half,
+                    pos.y.value() - half,
+                    pos.x.value() + half,
+                    pos.y.value() + half,
+                );
+                spread(&r, p, &mut grid);
+                if let Some(key) = cs_key(&m.name) {
+                    *per_cs_power.entry(key).or_default() += p;
+                }
+            }
+            MacroKind::Rram(r) => {
+                let bits_per_cycle = r.total_bandwidth_bits_per_cycle();
+                let e_access = r.read_energy(bits_per_cycle).value();
+                let p_dyn = MACRO_ACTIVITY * f_mhz * e_access * pj_mhz_to_mw;
+                let p = p_dyn + r.leakage_mw();
+                macro_mw += p;
+                let (p_cellarray, p_perif) = if r.selector.frees_si_tier() {
+                    let up = p_dyn * RRAM_CELL_ENERGY_FRACTION;
+                    upper_mw += up;
+                    (up, p - up)
+                } else {
+                    (p_dyn * RRAM_CELL_ENERGY_FRACTION, p * (1.0 - RRAM_CELL_ENERGY_FRACTION))
+                };
+                spread(&floorplan.rram_array().rect, p_cellarray, &mut grid);
+                spread(&floorplan.rram_periph().rect, p_perif, &mut grid);
+            }
+        }
+    }
+
+    let total = cell_dynamic + clock_mw + cell_leak + macro_mw;
+    let peak = grid.iter().copied().fold(0.0, f64::max);
+    let die_mm2 = floorplan.die.area().as_mm2();
+    let hottest_cs = per_cs_power.values().copied().fold(0.0, f64::max);
+    let array_mm2 = floorplan.rram_array().rect.area().as_mm2();
+    let upper_density = if array_mm2 > 0.0 { upper_mw / array_mm2 } else { 0.0 };
+    Ok(PowerReport {
+        cell_dynamic: Milliwatts::new(cell_dynamic),
+        clock: Milliwatts::new(clock_mw),
+        cell_leakage: Milliwatts::new(cell_leak),
+        macro_power: Milliwatts::new(macro_mw),
+        upper_tier: Milliwatts::new(upper_mw),
+        total: Milliwatts::new(total),
+        peak_density_mw_per_mm2: peak / (tile * tile / 1.0e6),
+        avg_density_mw_per_mm2: if die_mm2 > 0.0 { total / die_mm2 } else { 0.0 },
+        hottest_cs_power_mw: hottest_cs,
+        upper_layer_density_mw_per_mm2: upper_density,
+        activity,
+        clock_freq: clock,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Clustering;
+    use crate::floorplan::Floorplan;
+    use crate::place::{place, PlacerConfig};
+    use crate::route::{estimate_routing, DEFAULT_DETOUR};
+    use m3d_netlist::{accelerator_soc, CsConfig, PeConfig, SocConfig};
+
+    fn analyzed(m3d: bool) -> PowerReport {
+        let cs = CsConfig {
+            rows: 4,
+            cols: 4,
+            pe: PeConfig::default(),
+            global_buffer_kb: 64,
+            local_buffer_kb: 8,
+        };
+        let (cfg, pdk) = if m3d {
+            (
+                SocConfig {
+                    cs,
+                    ..SocConfig::m3d(2)
+                },
+                Pdk::m3d_130nm(),
+            )
+        } else {
+            (
+                SocConfig {
+                    cs,
+                    ..SocConfig::baseline_2d()
+                },
+                Pdk::baseline_2d_130nm(),
+            )
+        };
+        let mut nl = Netlist::new("soc");
+        accelerator_soc(&mut nl, &cfg).unwrap();
+        let fp = Floorplan::plan(&pdk, &cfg, &nl, None).unwrap();
+        let cl = Clustering::build(&nl, &pdk).unwrap();
+        let p = place(&cl, &fp, &PlacerConfig::quick()).unwrap();
+        let r = estimate_routing(&nl, &p, &pdk, DEFAULT_DETOUR).unwrap();
+        analyze_power(&nl, &r, &p, &fp, &pdk, pdk.default_clock, DEFAULT_ACTIVITY).unwrap()
+    }
+
+    #[test]
+    fn power_components_positive_and_consistent() {
+        let p = analyzed(false);
+        assert!(p.cell_dynamic.value() > 0.0);
+        assert!(p.clock.value() > 0.0);
+        assert!(p.cell_leakage.value() > 0.0);
+        assert!(p.macro_power.value() > 0.0);
+        let sum = p.cell_dynamic + p.clock + p.cell_leakage + p.macro_power;
+        assert!((sum.value() - p.total.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_has_no_upper_tier_power() {
+        let p = analyzed(false);
+        assert_eq!(p.upper_tier.value(), 0.0);
+        assert_eq!(p.upper_tier_fraction(), 0.0);
+    }
+
+    #[test]
+    fn m3d_upper_tier_power_is_small() {
+        let p = analyzed(true);
+        assert!(p.upper_tier.value() > 0.0);
+        assert!(
+            p.upper_tier_fraction() < 0.05,
+            "upper tier fraction {} too large",
+            p.upper_tier_fraction()
+        );
+    }
+
+    #[test]
+    fn density_sane() {
+        let p = analyzed(false);
+        assert!(p.peak_density_mw_per_mm2 >= p.avg_density_mw_per_mm2);
+        assert!(p.peak_density_mw_per_mm2 < 1000.0);
+    }
+
+    #[test]
+    fn power_scales_with_frequency() {
+        // Doubling the clock should roughly double dynamic power.
+        let cs = CsConfig {
+            rows: 4,
+            cols: 4,
+            pe: PeConfig::default(),
+            global_buffer_kb: 64,
+            local_buffer_kb: 8,
+        };
+        let cfg = SocConfig {
+            cs,
+            ..SocConfig::baseline_2d()
+        };
+        let pdk = Pdk::baseline_2d_130nm();
+        let mut nl = Netlist::new("soc");
+        accelerator_soc(&mut nl, &cfg).unwrap();
+        let fp = Floorplan::plan(&pdk, &cfg, &nl, None).unwrap();
+        let cl = Clustering::build(&nl, &pdk).unwrap();
+        let pl = place(&cl, &fp, &PlacerConfig::quick()).unwrap();
+        let r = estimate_routing(&nl, &pl, &pdk, DEFAULT_DETOUR).unwrap();
+        let p1 = analyze_power(&nl, &r, &pl, &fp, &pdk, Megahertz::new(20.0), 0.15).unwrap();
+        let p2 = analyze_power(&nl, &r, &pl, &fp, &pdk, Megahertz::new(40.0), 0.15).unwrap();
+        let ratio = p2.cell_dynamic.value() / p1.cell_dynamic.value();
+        assert!((ratio - 2.0).abs() < 1e-9);
+        assert!(p2.cell_leakage == p1.cell_leakage, "leakage is frequency independent");
+    }
+}

@@ -1,0 +1,150 @@
+//! Process corners: slow/typical/fast characterisations of the cell
+//! libraries, for multi-corner timing sign-off (setup closes at SS,
+//! leakage is checked at FF — standard foundry methodology).
+
+use serde::{Deserialize, Serialize};
+
+use crate::pdk::Pdk;
+use crate::stdcell::CellLibrary;
+
+/// A process-voltage-temperature corner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Corner {
+    /// Slow process, low voltage, high temperature — setup sign-off.
+    Ss,
+    /// Typical-typical, nominal conditions.
+    #[default]
+    Tt,
+    /// Fast process, high voltage, low temperature — leakage/hold
+    /// sign-off.
+    Ff,
+}
+
+impl Corner {
+    /// All corners, slowest first.
+    pub const ALL: [Corner; 3] = [Corner::Ss, Corner::Tt, Corner::Ff];
+
+    /// Display name, e.g. `"SS"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Corner::Ss => "SS",
+            Corner::Tt => "TT",
+            Corner::Ff => "FF",
+        }
+    }
+
+    /// Delay multiplier relative to TT.
+    pub fn delay_scale(self) -> f64 {
+        match self {
+            Corner::Ss => 1.25,
+            Corner::Tt => 1.0,
+            Corner::Ff => 0.82,
+        }
+    }
+
+    /// Leakage multiplier relative to TT.
+    pub fn leakage_scale(self) -> f64 {
+        match self {
+            Corner::Ss => 0.5,
+            Corner::Tt => 1.0,
+            Corner::Ff => 2.5,
+        }
+    }
+
+    /// Supply-voltage multiplier relative to nominal.
+    pub fn vdd_scale(self) -> f64 {
+        match self {
+            Corner::Ss => 0.9,
+            Corner::Tt => 1.0,
+            Corner::Ff => 1.1,
+        }
+    }
+}
+
+impl std::fmt::Display for Corner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl CellLibrary {
+    /// Returns this library re-characterised at `corner`.
+    pub fn at_corner(&self, corner: Corner) -> CellLibrary {
+        let mut lib = self.clone();
+        lib.name = format!("{}_{}", self.name, corner.name().to_lowercase());
+        lib.vdd = self.vdd * corner.vdd_scale();
+        for cell in lib.cells_mut() {
+            cell.intrinsic_delay = cell.intrinsic_delay * corner.delay_scale();
+            cell.drive_resistance = cell.drive_resistance * corner.delay_scale();
+            cell.leakage_nw *= corner.leakage_scale();
+            if let Some(s) = cell.setup {
+                cell.setup = Some(s * corner.delay_scale());
+            }
+        }
+        lib
+    }
+}
+
+impl Pdk {
+    /// Returns this PDK with both libraries re-characterised at
+    /// `corner`.
+    pub fn at_corner(&self, corner: Corner) -> Pdk {
+        let mut pdk = self.clone();
+        pdk.name = format!("{}_{}", self.name, corner.name().to_lowercase());
+        pdk.si_lib = self.si_lib.at_corner(corner);
+        pdk.cnfet_lib = self.cnfet_lib.as_ref().map(|l| l.at_corner(corner));
+        pdk.vdd = self.vdd * corner.vdd_scale();
+        pdk.timing_derate = self.timing_derate * corner.delay_scale();
+        pdk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stdcell::{CellKind, DriveStrength};
+    use crate::units::Femtofarads;
+
+    #[test]
+    fn ss_is_slower_ff_is_leakier() {
+        let tt = CellLibrary::si_cmos_130();
+        let ss = tt.at_corner(Corner::Ss);
+        let ff = tt.at_corner(Corner::Ff);
+        let load = Femtofarads::new(20.0);
+        let d_tt = tt.cell(CellKind::Nand2, DriveStrength::X1).unwrap().delay(load);
+        let d_ss = ss.cell(CellKind::Nand2, DriveStrength::X1).unwrap().delay(load);
+        let d_ff = ff.cell(CellKind::Nand2, DriveStrength::X1).unwrap().delay(load);
+        assert!(d_ss > d_tt && d_tt > d_ff);
+        assert!((d_ss.value() / d_tt.value() - 1.25).abs() < 1e-9);
+        let l_tt = tt.cell(CellKind::Inv, DriveStrength::X1).unwrap().leakage_nw;
+        let l_ff = ff.cell(CellKind::Inv, DriveStrength::X1).unwrap().leakage_nw;
+        assert!((l_ff / l_tt - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn corner_pdk_renames_and_scales() {
+        let pdk = Pdk::m3d_130nm().at_corner(Corner::Ss);
+        assert_eq!(pdk.name, "m3d_130nm_ss");
+        assert!((pdk.vdd - 1.35).abs() < 1e-9);
+        assert!((pdk.timing_derate - 1.25).abs() < 1e-9);
+        assert!(pdk.cnfet_lib.is_some());
+        assert!(pdk.si_lib.name.ends_with("_ss"));
+    }
+
+    #[test]
+    fn tt_corner_is_identity_on_timing() {
+        let tt = CellLibrary::si_cmos_130();
+        let same = tt.at_corner(Corner::Tt);
+        let a = tt.cell(CellKind::Dff, DriveStrength::X1).unwrap();
+        let b = same.cell(CellKind::Dff, DriveStrength::X1).unwrap();
+        assert_eq!(a.intrinsic_delay, b.intrinsic_delay);
+        assert_eq!(a.setup, b.setup);
+    }
+
+    #[test]
+    fn corners_are_ordered() {
+        assert_eq!(Corner::ALL[0], Corner::Ss);
+        assert!(Corner::Ss.delay_scale() > Corner::Ff.delay_scale());
+        assert_eq!(Corner::Tt.to_string(), "TT");
+    }
+}

@@ -1,0 +1,212 @@
+//! Transistor device models for the two device tiers.
+//!
+//! The foundry M3D technology integrates BEOL carbon-nanotube FETs
+//! (CNFETs) above Si CMOS. CNFETs are fabricated below 400 °C and, being
+//! newly introduced, achieve lower on-current than ideal; the paper
+//! studies this through the *width-relaxation factor δ* (Sec. III-D,
+//! Case 1): a CNFET needs `δ×` the width of an ideal device to supply the
+//! same drive current.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{TechError, TechResult};
+use crate::layers::Tier;
+use crate::units::{Femtofarads, KiloOhms, Microns};
+
+/// The device flavours available in the M3D PDK.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// FEOL silicon nMOS.
+    SiNmos,
+    /// FEOL silicon pMOS.
+    SiPmos,
+    /// BEOL n-type CNFET.
+    CnfetN,
+    /// BEOL p-type CNFET.
+    CnfetP,
+}
+
+impl DeviceKind {
+    /// Device tier this flavour is fabricated on.
+    pub fn tier(self) -> Tier {
+        match self {
+            DeviceKind::SiNmos | DeviceKind::SiPmos => Tier::SiCmos,
+            DeviceKind::CnfetN | DeviceKind::CnfetP => Tier::Cnfet,
+        }
+    }
+}
+
+/// Electrical model of one device flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceModel {
+    /// Which flavour this models.
+    pub kind: DeviceKind,
+    /// Minimum drawn gate width.
+    pub min_width: Microns,
+    /// On-current per micron of width, in µA/µm, at nominal Vdd.
+    pub ion_ua_per_um: f64,
+    /// Off-state leakage per micron of width, in nA/µm.
+    pub ioff_na_per_um: f64,
+    /// Gate capacitance per micron of width.
+    pub gate_cap_per_um: Femtofarads,
+    /// Supply voltage in volts.
+    pub vdd: f64,
+}
+
+impl DeviceModel {
+    /// 130 nm silicon nMOS calibrated to public 130 nm-class data.
+    pub fn si_nmos_130() -> Self {
+        Self {
+            kind: DeviceKind::SiNmos,
+            min_width: Microns::new(0.16),
+            ion_ua_per_um: 600.0,
+            ioff_na_per_um: 0.3,
+            gate_cap_per_um: Femtofarads::new(1.0),
+            vdd: 1.5,
+        }
+    }
+
+    /// 130 nm silicon pMOS.
+    pub fn si_pmos_130() -> Self {
+        Self {
+            kind: DeviceKind::SiPmos,
+            ion_ua_per_um: 280.0,
+            ..Self::si_nmos_130()
+        }
+    }
+
+    /// BEOL n-type CNFET with width-relaxation `delta` (δ ≥ 1).
+    ///
+    /// δ = 1 models an ideal CNFET matching Si nMOS drive per unit width;
+    /// larger δ models the reduced drive of a newly introduced BEOL
+    /// technology: `1/δ` the on-current per micron at the same leakage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::InvalidParameter`] when `delta < 1.0` or is
+    /// not finite.
+    pub fn cnfet_n_130(delta: f64) -> TechResult<Self> {
+        check_delta(delta)?;
+        Ok(Self {
+            kind: DeviceKind::CnfetN,
+            min_width: Microns::new(0.16),
+            ion_ua_per_um: 600.0 / delta,
+            ioff_na_per_um: 0.2,
+            gate_cap_per_um: Femtofarads::new(0.9),
+            vdd: 1.5,
+        })
+    }
+
+    /// BEOL p-type CNFET with width-relaxation `delta` (δ ≥ 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::InvalidParameter`] when `delta < 1.0` or is
+    /// not finite.
+    pub fn cnfet_p_130(delta: f64) -> TechResult<Self> {
+        check_delta(delta)?;
+        Ok(Self {
+            kind: DeviceKind::CnfetP,
+            ion_ua_per_um: 550.0 / delta,
+            ..Self::cnfet_n_130(delta)?
+        })
+    }
+
+    /// Total on-current in µA for a device of width `width`.
+    pub fn on_current_ua(&self, width: Microns) -> f64 {
+        self.ion_ua_per_um * width.value()
+    }
+
+    /// Effective switching resistance of a device of width `width`
+    /// (Vdd / I_on, expressed in kΩ).
+    pub fn drive_resistance(&self, width: Microns) -> KiloOhms {
+        let ion_ua = self.on_current_ua(width);
+        // kΩ = V / mA; I_on in µA → mA by /1000.
+        KiloOhms::new(self.vdd / (ion_ua / 1.0e3))
+    }
+
+    /// Gate capacitance of a device of width `width`.
+    pub fn gate_capacitance(&self, width: Microns) -> Femtofarads {
+        self.gate_cap_per_um * width.value()
+    }
+
+    /// Width required to match the drive of a reference device of width
+    /// `ref_width` (used to size relaxed CNFET memory selectors against
+    /// the Si selectors they replace).
+    pub fn width_matching(&self, reference: &DeviceModel, ref_width: Microns) -> Microns {
+        let target_ua = reference.on_current_ua(ref_width);
+        Microns::new((target_ua / self.ion_ua_per_um).max(self.min_width.value()))
+    }
+}
+
+fn check_delta(delta: f64) -> TechResult<()> {
+    if !delta.is_finite() || delta < 1.0 {
+        return Err(TechError::InvalidParameter {
+            parameter: "delta",
+            value: delta,
+            expected: "finite and >= 1.0",
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_map_to_tiers() {
+        assert_eq!(DeviceKind::SiNmos.tier(), Tier::SiCmos);
+        assert_eq!(DeviceKind::SiPmos.tier(), Tier::SiCmos);
+        assert_eq!(DeviceKind::CnfetN.tier(), Tier::Cnfet);
+        assert_eq!(DeviceKind::CnfetP.tier(), Tier::Cnfet);
+    }
+
+    #[test]
+    fn drive_resistance_halves_with_double_width() {
+        let d = DeviceModel::si_nmos_130();
+        let r1 = d.drive_resistance(Microns::new(0.5));
+        let r2 = d.drive_resistance(Microns::new(1.0));
+        assert!((r1.value() / r2.value() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ideal_cnfet_matches_si_drive() {
+        let si = DeviceModel::si_nmos_130();
+        let cn = DeviceModel::cnfet_n_130(1.0).unwrap();
+        let w = cn.width_matching(&si, Microns::new(1.0));
+        assert!((w.value() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relaxed_cnfet_needs_delta_width() {
+        let si = DeviceModel::si_nmos_130();
+        let cn = DeviceModel::cnfet_n_130(1.6).unwrap();
+        let w = cn.width_matching(&si, Microns::new(1.0));
+        assert!((w.value() - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_delta_rejected() {
+        assert!(DeviceModel::cnfet_n_130(0.5).is_err());
+        assert!(DeviceModel::cnfet_n_130(f64::NAN).is_err());
+        assert!(DeviceModel::cnfet_p_130(0.0).is_err());
+        assert!(DeviceModel::cnfet_p_130(2.5).is_ok());
+    }
+
+    #[test]
+    fn width_matching_respects_min_width() {
+        let si = DeviceModel::si_nmos_130();
+        let cn = DeviceModel::cnfet_n_130(1.0).unwrap();
+        // Matching a tiny reference still returns at least the minimum width.
+        let w = cn.width_matching(&si, Microns::new(0.01));
+        assert!(w >= cn.min_width);
+    }
+
+    #[test]
+    fn gate_cap_scales_with_width() {
+        let d = DeviceModel::si_nmos_130();
+        let c = d.gate_capacitance(Microns::new(2.0));
+        assert!((c.value() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,87 @@
+//! Error types for the technology crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or querying technology models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TechError {
+    /// A named standard cell does not exist in the queried library.
+    UnknownCell {
+        /// The requested cell name.
+        name: String,
+        /// Library the lookup was performed in.
+        library: String,
+    },
+    /// A parameter was outside its physically meaningful range.
+    InvalidParameter {
+        /// Human-readable parameter name.
+        parameter: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Description of the accepted range.
+        expected: &'static str,
+    },
+    /// The requested device tier is not present in this PDK.
+    MissingTier {
+        /// Name of the missing tier, e.g. `"CNFET"`.
+        tier: &'static str,
+    },
+}
+
+impl fmt::Display for TechError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TechError::UnknownCell { name, library } => {
+                write!(f, "unknown cell `{name}` in library `{library}`")
+            }
+            TechError::InvalidParameter {
+                parameter,
+                value,
+                expected,
+            } => write!(
+                f,
+                "invalid value {value} for parameter `{parameter}` (expected {expected})"
+            ),
+            TechError::MissingTier { tier } => {
+                write!(f, "technology has no {tier} tier")
+            }
+        }
+    }
+}
+
+impl Error for TechError {}
+
+/// Convenience result alias for this crate.
+pub type TechResult<T> = Result<T, TechError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TechError::UnknownCell {
+            name: "NAND9".into(),
+            library: "si_cmos_130".into(),
+        };
+        assert_eq!(e.to_string(), "unknown cell `NAND9` in library `si_cmos_130`");
+
+        let e = TechError::InvalidParameter {
+            parameter: "delta",
+            value: -1.0,
+            expected: ">= 1.0",
+        };
+        assert!(e.to_string().contains("delta"));
+
+        let e = TechError::MissingTier { tier: "CNFET" };
+        assert!(e.to_string().contains("CNFET"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<TechError>();
+    }
+}

@@ -1,0 +1,143 @@
+//! Liberty (.lib) and LEF-style exports of the PDK's cell libraries —
+//! the interchange artifacts a foundry kit ships so commercial tools can
+//! consume the characterisation.
+//!
+//! The Liberty writer emits the linear delay model as a two-entry
+//! table (`intrinsic + slope·load`); the LEF writer emits cell
+//! footprints on the site grid. Both are deliberately minimal but
+//! syntactically conventional, so downstream parsers (and humans) can
+//! read them.
+
+use std::fmt::Write as _;
+
+use crate::stdcell::CellLibrary;
+
+/// Emits a Liberty-style `.lib` for the library.
+pub fn to_liberty(lib: &CellLibrary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "library ({}) {{", lib.name);
+    let _ = writeln!(out, "  delay_model : table_lookup;");
+    let _ = writeln!(out, "  time_unit : \"1ns\";");
+    let _ = writeln!(out, "  capacitive_load_unit (1, ff);");
+    let _ = writeln!(out, "  voltage_unit : \"1V\";");
+    let _ = writeln!(out, "  leakage_power_unit : \"1nW\";");
+    let _ = writeln!(out, "  nom_voltage : {:.2};", lib.vdd);
+    for cell in lib.cells() {
+        let _ = writeln!(out, "  cell ({}) {{", cell.name);
+        let _ = writeln!(out, "    area : {:.4};", cell.area.value());
+        let _ = writeln!(out, "    cell_leakage_power : {:.4};", cell.leakage_nw);
+        if let Some(setup) = cell.setup {
+            let _ = writeln!(out, "    ff (IQ, IQN) {{ clocked_on : \"CK\"; next_state : \"D\"; }}");
+            let _ = writeln!(out, "    pin (D) {{");
+            let _ = writeln!(out, "      direction : input;");
+            let _ = writeln!(out, "      capacitance : {:.4};", cell.input_cap.value());
+            let _ = writeln!(out, "      timing () {{");
+            let _ = writeln!(out, "        related_pin : \"CK\";");
+            let _ = writeln!(out, "        timing_type : setup_rising;");
+            let _ = writeln!(out, "        rise_constraint (scalar) {{ values (\"{:.4}\"); }}", setup.value());
+            let _ = writeln!(out, "      }}");
+            let _ = writeln!(out, "    }}");
+        } else {
+            for i in 0..cell.kind.input_count() {
+                let _ = writeln!(out, "    pin (I{i}) {{");
+                let _ = writeln!(out, "      direction : input;");
+                let _ = writeln!(out, "      capacitance : {:.4};", cell.input_cap.value());
+                let _ = writeln!(out, "    }}");
+            }
+        }
+        for o in 0..cell.kind.output_count() {
+            let _ = writeln!(out, "    pin (Z{o}) {{");
+            let _ = writeln!(out, "      direction : output;");
+            let _ = writeln!(out, "      timing () {{");
+            let _ = writeln!(
+                out,
+                "        cell_rise (linear) {{ intrinsic : {:.4}; slope : {:.6}; }}",
+                cell.intrinsic_delay.value(),
+                cell.drive_resistance.value() * 1.0e-3,
+            );
+            let _ = writeln!(out, "      }}");
+            let _ = writeln!(out, "      internal_power () {{ energy : {:.5}; }}", cell.internal_energy.value());
+            let _ = writeln!(out, "    }}");
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Emits a LEF-style macro listing for the library (footprints on the
+/// site grid).
+pub fn to_lef(lib: &CellLibrary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "VERSION 5.8 ;");
+    let _ = writeln!(out, "SITE core_{}", lib.name);
+    let _ = writeln!(
+        out,
+        "  SIZE {:.3} BY {:.3} ;",
+        lib.site_width.value(),
+        lib.row_height.value()
+    );
+    let _ = writeln!(out, "END core_{}", lib.name);
+    for cell in lib.cells() {
+        let width = cell.area.value() / lib.row_height.value();
+        let sites = (width / lib.site_width.value()).ceil().max(1.0);
+        let _ = writeln!(out, "MACRO {}", cell.name);
+        let _ = writeln!(out, "  CLASS CORE ;");
+        let _ = writeln!(
+            out,
+            "  SIZE {:.3} BY {:.3} ;",
+            sites * lib.site_width.value(),
+            lib.row_height.value()
+        );
+        let _ = writeln!(out, "  SITE core_{} ;", lib.name);
+        let _ = writeln!(out, "END {}", cell.name);
+    }
+    let _ = writeln!(out, "END LIBRARY");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn liberty_contains_every_cell_with_numbers() {
+        let lib = CellLibrary::si_cmos_130();
+        let s = to_liberty(&lib);
+        assert!(s.starts_with("library (si_cmos_130)"));
+        for c in lib.cells() {
+            assert!(s.contains(&format!("cell ({})", c.name)), "{} missing", c.name);
+        }
+        assert!(s.contains("setup_rising"), "flop constraints present");
+        assert!(s.contains("cell_rise (linear)"));
+        // Balanced braces.
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+    }
+
+    #[test]
+    fn lef_sizes_are_site_multiples() {
+        let lib = CellLibrary::si_cmos_130();
+        let s = to_lef(&lib);
+        assert!(s.contains("SITE core_si_cmos_130"));
+        let site = lib.site_width.value();
+        for line in s.lines().filter(|l| l.trim_start().starts_with("SIZE") && l.contains("BY 3.690")) {
+            let w: f64 = line
+                .split_whitespace()
+                .nth(1)
+                .unwrap()
+                .parse()
+                .unwrap();
+            let sites = w / site;
+            assert!((sites - sites.round()).abs() < 1e-6, "{line}");
+        }
+        assert!(s.trim_end().ends_with("END LIBRARY"));
+    }
+
+    #[test]
+    fn cnfet_library_exports_too() {
+        let lib = CellLibrary::cnfet_beol_130(1.6).unwrap();
+        let s = to_liberty(&lib);
+        assert!(s.contains("library (cnfet_beol_130)"));
+        assert!(to_lef(&lib).contains("MACRO INV_X1"));
+    }
+}

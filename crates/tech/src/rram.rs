@@ -1,0 +1,239 @@
+//! RRAM bitcell model (1T1R) with the two selector implementations the
+//! paper compares.
+//!
+//! In the baseline 2D design the RRAM access transistor (selector) is a
+//! FEOL Si FET placed directly underneath the RRAM device — so the Si
+//! tier below the cell array is fully occupied (Fig. 3e). In the M3D
+//! design the selector is a BEOL CNFET *above* the RRAM layer, freeing
+//! the Si tier underneath (Fig. 1b).
+//!
+//! Cell area is the maximum of two limits:
+//! * **selector-limited** — the drawn selector footprint, which grows
+//!   linearly with the CNFET width-relaxation δ (Case 1, Sec. III-D);
+//! * **via-pitch-limited** — `m·β²` where `m` is ILVs per cell and `β`
+//!   the ILV pitch (Case 2, Sec. III-E).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{TechError, TechResult};
+use crate::layers::IlvSpec;
+use crate::units::{Nanoseconds, Picojoules, SquareMicrons};
+
+/// Which device implements the RRAM access transistor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SelectorTech {
+    /// FEOL Si FET selector (baseline 2D): occupies the Si tier under the
+    /// cell array.
+    SiFet,
+    /// BEOL CNFET selector (M3D) with width-relaxation factor δ ≥ 1.
+    Cnfet {
+        /// Width-relaxation factor δ (1.0 = ideal drive).
+        delta: f64,
+    },
+}
+
+impl SelectorTech {
+    /// An ideal (δ = 1) CNFET selector.
+    pub const IDEAL_CNFET: SelectorTech = SelectorTech::Cnfet { delta: 1.0 };
+
+    /// `true` when the selector frees the Si tier under the array.
+    pub fn frees_si_tier(self) -> bool {
+        matches!(self, SelectorTech::Cnfet { .. })
+    }
+
+    /// The width-relaxation factor (1.0 for Si selectors).
+    pub fn delta(self) -> f64 {
+        match self {
+            SelectorTech::SiFet => 1.0,
+            SelectorTech::Cnfet { delta } => delta,
+        }
+    }
+
+    /// Validates the selector parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::InvalidParameter`] for δ < 1 or non-finite δ.
+    pub fn validate(self) -> TechResult<()> {
+        let d = self.delta();
+        if !d.is_finite() || d < 1.0 {
+            return Err(TechError::InvalidParameter {
+                parameter: "selector delta",
+                value: d,
+                expected: "finite and >= 1.0",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Electrical and geometric model of the foundry 1T1R RRAM bitcell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RramCellModel {
+    /// Selector-limited cell area at δ = 1 (set by the minimum selector
+    /// able to drive the RRAM forming/set current).
+    pub selector_limited_area: SquareMicrons,
+    /// ILVs required per cell (`m` in `A = m·k·β²`): BL/SL/WL taps.
+    pub vias_per_cell: u32,
+    /// Average read energy per bit.
+    pub read_energy_per_bit: Picojoules,
+    /// Average write energy per bit.
+    pub write_energy_per_bit: Picojoules,
+    /// Sense-limited random read latency.
+    pub read_latency: Nanoseconds,
+    /// Cell leakage in nanowatts per bit (non-volatile: essentially the
+    /// selector off-state only).
+    pub leakage_nw_per_bit: f64,
+}
+
+impl RramCellModel {
+    /// Foundry 130 nm-class RRAM calibrated so the 64 MB baseline array
+    /// occupies ≈ 80 mm², matching the area ratios of the paper's SoC.
+    pub fn foundry_130nm() -> Self {
+        Self {
+            selector_limited_area: SquareMicrons::new(0.15),
+            vias_per_cell: 4,
+            read_energy_per_bit: Picojoules::new(1.0),
+            write_energy_per_bit: Picojoules::new(10.0),
+            read_latency: Nanoseconds::new(20.0),
+            leakage_nw_per_bit: 1.0e-4,
+        }
+    }
+
+    /// Cell area per bit for a given selector and ILV specification:
+    /// `max(selector-limited · δ, m·β²)`.
+    ///
+    /// For Si selectors only the selector limit applies (no ILV is needed
+    /// to reach an adjacent FEOL device).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::InvalidParameter`] when the selector is
+    /// invalid.
+    pub fn area_per_bit(
+        &self,
+        selector: SelectorTech,
+        ilv: &IlvSpec,
+    ) -> TechResult<SquareMicrons> {
+        selector.validate()?;
+        let selector_limited = self.selector_limited_area * selector.delta();
+        Ok(match selector {
+            SelectorTech::SiFet => selector_limited,
+            SelectorTech::Cnfet { .. } => {
+                let via_limited = SquareMicrons::new(
+                    self.vias_per_cell as f64 * ilv.pitch.value() * ilv.pitch.value(),
+                );
+                selector_limited.max(via_limited)
+            }
+        })
+    }
+
+    /// The ILV pitch-scale factor at which cell area transitions from
+    /// selector-limited to via-pitch-limited, for a given δ
+    /// (Obs. 8: ≈ 1.29× at δ = 1 with the default model — minor pitch
+    /// increases are free; coarse-pitch 3D vias are not).
+    pub fn via_pitch_crossover(&self, base: &IlvSpec, delta: f64) -> f64 {
+        let selector_limited = self.selector_limited_area.value() * delta;
+        let base_via = self.vias_per_cell as f64 * base.pitch.value() * base.pitch.value();
+        (selector_limited / base_via).sqrt()
+    }
+
+    /// Array cell area for `bits` of capacity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates selector validation errors.
+    pub fn array_area(
+        &self,
+        bits: u64,
+        selector: SelectorTech,
+        ilv: &IlvSpec,
+    ) -> TechResult<SquareMicrons> {
+        Ok(self.area_per_bit(selector, ilv)? * bits as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::IlvSpec;
+
+    fn cell() -> RramCellModel {
+        RramCellModel::foundry_130nm()
+    }
+
+    #[test]
+    fn si_and_ideal_cnfet_cells_match() {
+        let ilv = IlvSpec::ultra_dense_130nm();
+        let si = cell().area_per_bit(SelectorTech::SiFet, &ilv).unwrap();
+        let cn = cell().area_per_bit(SelectorTech::IDEAL_CNFET, &ilv).unwrap();
+        // At fine ILV pitch, the via limit (4·0.15² = 0.09) is below the
+        // selector limit (0.15) so the areas match → iso-footprint folding.
+        assert_eq!(si, cn);
+    }
+
+    #[test]
+    fn relaxed_selector_grows_cell_linearly() {
+        let ilv = IlvSpec::ultra_dense_130nm();
+        let base = cell().area_per_bit(SelectorTech::IDEAL_CNFET, &ilv).unwrap();
+        let relaxed = cell()
+            .area_per_bit(SelectorTech::Cnfet { delta: 1.6 }, &ilv)
+            .unwrap();
+        assert!((relaxed / base - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn via_pitch_limit_kicks_in_above_crossover() {
+        let c = cell();
+        let base = IlvSpec::ultra_dense_130nm();
+        let crossover = c.via_pitch_crossover(&base, 1.0);
+        assert!(crossover > 1.25 && crossover < 1.35, "crossover={crossover}");
+        // Below crossover: area unchanged.
+        let fine = c
+            .area_per_bit(SelectorTech::IDEAL_CNFET, &base.with_pitch_scaled(1.2))
+            .unwrap();
+        let nominal = c.area_per_bit(SelectorTech::IDEAL_CNFET, &base).unwrap();
+        assert_eq!(fine, nominal);
+        // Above crossover: quadratic growth.
+        let coarse = c
+            .area_per_bit(SelectorTech::IDEAL_CNFET, &base.with_pitch_scaled(2.0))
+            .unwrap();
+        assert!(coarse > nominal);
+        let expected = 4.0 * (0.15 * 2.0) * (0.15 * 2.0);
+        assert!((coarse.value() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn si_selector_ignores_via_pitch() {
+        let c = cell();
+        let coarse = IlvSpec::ultra_dense_130nm().with_pitch_scaled(4.0);
+        let a = c.area_per_bit(SelectorTech::SiFet, &coarse).unwrap();
+        assert_eq!(a, c.selector_limited_area);
+    }
+
+    #[test]
+    fn sixty_four_megabyte_array_is_about_eighty_mm2() {
+        let c = cell();
+        let ilv = IlvSpec::ultra_dense_130nm();
+        let bits = 64 * 1024 * 1024 * 8_u64;
+        let a = c.array_area(bits, SelectorTech::SiFet, &ilv).unwrap();
+        assert!((a.as_mm2() - 80.53).abs() < 0.1, "area={} mm2", a.as_mm2());
+    }
+
+    #[test]
+    fn invalid_selector_rejected() {
+        let ilv = IlvSpec::ultra_dense_130nm();
+        let r = cell().area_per_bit(SelectorTech::Cnfet { delta: 0.5 }, &ilv);
+        assert!(r.is_err());
+        assert!(SelectorTech::Cnfet { delta: f64::NAN }.validate().is_err());
+        assert!(SelectorTech::SiFet.validate().is_ok());
+    }
+
+    #[test]
+    fn selector_properties() {
+        assert!(!SelectorTech::SiFet.frees_si_tier());
+        assert!(SelectorTech::IDEAL_CNFET.frees_si_tier());
+        assert_eq!(SelectorTech::SiFet.delta(), 1.0);
+        assert_eq!(SelectorTech::Cnfet { delta: 2.5 }.delta(), 2.5);
+    }
+}

@@ -1,0 +1,420 @@
+//! Newtype physical units used throughout the M3D PDK and downstream crates.
+//!
+//! Units form a small coherent algebra so that common electrical and
+//! geometric calculations type-check:
+//!
+//! * [`Microns`] × [`Microns`] → [`SquareMicrons`]
+//! * [`KiloOhms`] × [`Femtofarads`] → [`Nanoseconds`] (RC delay)
+//! * [`Milliwatts`] × [`Nanoseconds`] → [`Picojoules`]
+//! * [`Picojoules`] / [`Nanoseconds`] → [`Milliwatts`]
+//!
+//! All units wrap `f64` and are zero-cost. Raw values are reachable via
+//! `.value()` for interop at the boundary of the crate.
+//!
+//! # Examples
+//!
+//! ```
+//! use m3d_tech::units::{KiloOhms, Femtofarads, Nanoseconds};
+//!
+//! let r = KiloOhms::new(2.0);
+//! let c = Femtofarads::new(50.0);
+//! let tau: Nanoseconds = r * c; // 2 kΩ · 50 fF = 100 ps = 0.1 ns
+//! assert!((tau.value() - 0.1).abs() < 1e-12);
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! unit {
+    ($(#[$meta:meta])* $name:ident, $symbol:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Wraps a raw `f64` value expressed in this unit.
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw numeric value in this unit.
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value.
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the larger of `self` and `other`.
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// `true` when the underlying value is finite (not NaN/∞).
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $symbol)
+                } else {
+                    write!(f, "{} {}", self.0, $symbol)
+                }
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl<'a> Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+    };
+}
+
+unit!(
+    /// Length in micrometres (µm).
+    Microns,
+    "µm"
+);
+unit!(
+    /// Area in square micrometres (µm²).
+    SquareMicrons,
+    "µm²"
+);
+unit!(
+    /// Time in nanoseconds (ns).
+    Nanoseconds,
+    "ns"
+);
+unit!(
+    /// Energy in picojoules (pJ).
+    Picojoules,
+    "pJ"
+);
+unit!(
+    /// Power in milliwatts (mW).
+    Milliwatts,
+    "mW"
+);
+unit!(
+    /// Capacitance in femtofarads (fF).
+    Femtofarads,
+    "fF"
+);
+unit!(
+    /// Resistance in kilo-ohms (kΩ).
+    KiloOhms,
+    "kΩ"
+);
+unit!(
+    /// Frequency in megahertz (MHz).
+    Megahertz,
+    "MHz"
+);
+
+impl Mul for Microns {
+    type Output = SquareMicrons;
+    /// µm × µm = µm².
+    fn mul(self, rhs: Microns) -> SquareMicrons {
+        SquareMicrons::new(self.value() * rhs.value())
+    }
+}
+
+impl Div<Microns> for SquareMicrons {
+    type Output = Microns;
+    /// µm² / µm = µm.
+    fn div(self, rhs: Microns) -> Microns {
+        Microns::new(self.value() / rhs.value())
+    }
+}
+
+impl SquareMicrons {
+    /// Area expressed in mm² (1 mm² = 10⁶ µm²).
+    pub fn as_mm2(self) -> f64 {
+        self.value() / 1.0e6
+    }
+
+    /// Constructs an area from mm².
+    pub fn from_mm2(mm2: f64) -> Self {
+        Self::new(mm2 * 1.0e6)
+    }
+
+    /// Side length of a square with this area.
+    pub fn sqrt_side(self) -> Microns {
+        Microns::new(self.value().max(0.0).sqrt())
+    }
+}
+
+impl Mul<Femtofarads> for KiloOhms {
+    type Output = Nanoseconds;
+    /// 1 kΩ · 1 fF = 1 ps = 10⁻³ ns (Elmore RC product).
+    fn mul(self, rhs: Femtofarads) -> Nanoseconds {
+        Nanoseconds::new(self.value() * rhs.value() * 1.0e-3)
+    }
+}
+
+impl Mul<KiloOhms> for Femtofarads {
+    type Output = Nanoseconds;
+    fn mul(self, rhs: KiloOhms) -> Nanoseconds {
+        rhs * self
+    }
+}
+
+impl Mul<Nanoseconds> for Milliwatts {
+    type Output = Picojoules;
+    /// 1 mW · 1 ns = 1 pJ.
+    fn mul(self, rhs: Nanoseconds) -> Picojoules {
+        Picojoules::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<Milliwatts> for Nanoseconds {
+    type Output = Picojoules;
+    fn mul(self, rhs: Milliwatts) -> Picojoules {
+        rhs * self
+    }
+}
+
+impl Div<Nanoseconds> for Picojoules {
+    type Output = Milliwatts;
+    /// 1 pJ / 1 ns = 1 mW.
+    fn div(self, rhs: Nanoseconds) -> Milliwatts {
+        Milliwatts::new(self.value() / rhs.value())
+    }
+}
+
+impl Megahertz {
+    /// Clock period corresponding to this frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when the frequency is zero or negative.
+    pub fn period(self) -> Nanoseconds {
+        debug_assert!(self.value() > 0.0, "frequency must be positive");
+        Nanoseconds::new(1.0e3 / self.value())
+    }
+
+    /// Frequency whose period is `period`.
+    pub fn from_period(period: Nanoseconds) -> Self {
+        Self::new(1.0e3 / period.value())
+    }
+}
+
+impl Nanoseconds {
+    /// Frequency whose period is `self`.
+    pub fn as_frequency(self) -> Megahertz {
+        Megahertz::from_period(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_from_lengths() {
+        let a = Microns::new(3.0) * Microns::new(4.0);
+        assert_eq!(a, SquareMicrons::new(12.0));
+        assert_eq!(a / Microns::new(4.0), Microns::new(3.0));
+    }
+
+    #[test]
+    fn rc_product_is_picoseconds() {
+        let tau = KiloOhms::new(1.0) * Femtofarads::new(1.0);
+        assert!((tau.value() - 0.001).abs() < 1e-15);
+    }
+
+    #[test]
+    fn energy_power_time_algebra() {
+        let e = Milliwatts::new(2.0) * Nanoseconds::new(3.0);
+        assert_eq!(e, Picojoules::new(6.0));
+        let p = e / Nanoseconds::new(3.0);
+        assert_eq!(p, Milliwatts::new(2.0));
+    }
+
+    #[test]
+    fn frequency_period_round_trip() {
+        let f = Megahertz::new(20.0);
+        let t = f.period();
+        assert!((t.value() - 50.0).abs() < 1e-12);
+        assert!((Megahertz::from_period(t).value() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_is_dimensionless() {
+        let r: f64 = SquareMicrons::new(10.0) / SquareMicrons::new(4.0);
+        assert!((r - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mm2_conversions() {
+        let a = SquareMicrons::from_mm2(2.0);
+        assert_eq!(a.value(), 2.0e6);
+        assert!((a.as_mm2() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_and_arithmetic() {
+        let total: Picojoules = [Picojoules::new(1.0), Picojoules::new(2.5)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, Picojoules::new(3.5));
+        let mut x = Microns::new(1.0);
+        x += Microns::new(2.0);
+        x -= Microns::new(0.5);
+        assert_eq!(x, Microns::new(2.5));
+        assert_eq!(-x, Microns::new(-2.5));
+        assert_eq!(x.abs(), Microns::new(2.5));
+    }
+
+    #[test]
+    fn display_includes_symbol() {
+        assert_eq!(format!("{:.1}", Microns::new(1.25)), "1.2 µm");
+        assert_eq!(format!("{}", Picojoules::new(2.0)), "2 pJ");
+    }
+
+    #[test]
+    fn min_max_finite() {
+        let a = Nanoseconds::new(1.0);
+        let b = Nanoseconds::new(2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert!(a.is_finite());
+        assert!(!Nanoseconds::new(f64::NAN).is_finite());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn addition_is_commutative(a in -1e9..1e9_f64, b in -1e9..1e9_f64) {
+                let (x, y) = (Picojoules::new(a), Picojoules::new(b));
+                prop_assert_eq!(x + y, y + x);
+            }
+
+            #[test]
+            fn scalar_mul_distributes(a in -1e6..1e6_f64, b in -1e6..1e6_f64, k in -1e3..1e3_f64) {
+                let (x, y) = (Microns::new(a), Microns::new(b));
+                let lhs = (x + y) * k;
+                let rhs = x * k + y * k;
+                prop_assert!((lhs - rhs).abs().value() <= 1e-6 * lhs.value().abs().max(1.0));
+            }
+
+            #[test]
+            fn rc_product_commutes(r in 0.0..1e4_f64, c in 0.0..1e6_f64) {
+                let tau1 = KiloOhms::new(r) * Femtofarads::new(c);
+                let tau2 = Femtofarads::new(c) * KiloOhms::new(r);
+                prop_assert_eq!(tau1, tau2);
+            }
+
+            #[test]
+            fn energy_power_round_trip(p in 1e-6..1e6_f64, t in 1e-6..1e6_f64) {
+                let e = Milliwatts::new(p) * Nanoseconds::new(t);
+                let back = e / Nanoseconds::new(t);
+                prop_assert!((back.value() - p).abs() <= 1e-9 * p.max(1.0));
+            }
+
+            #[test]
+            fn frequency_period_inverse(f in 1e-3..1e6_f64) {
+                let mhz = Megahertz::new(f);
+                let back = Megahertz::from_period(mhz.period());
+                prop_assert!((back.value() - f).abs() <= 1e-9 * f);
+            }
+
+            #[test]
+            fn area_division_inverts_multiplication(w in 1e-3..1e6_f64, h in 1e-3..1e6_f64) {
+                let area = Microns::new(w) * Microns::new(h);
+                let back = area / Microns::new(h);
+                prop_assert!((back.value() - w).abs() <= 1e-9 * w);
+            }
+        }
+    }
+
+}

@@ -1,0 +1,73 @@
+//! Architectural design-space exploration: how RRAM capacity, bandwidth
+//! and CS count shape M3D benefits (the Figs. 8–9 territory), plus the
+//! Table II architecture zoo cross-checked with the ZigZag-style mapper.
+//!
+//! Run with `cargo run --release --example accelerator_design_space`.
+
+use m3d::arch::{map_workload, models, table2_architectures, MapperChip};
+use m3d::core::explore::{bandwidth_cs_grid, capacity_sweep, intensity_workload};
+use m3d::core::framework::ChipParams;
+use m3d::core::design_point::DesignPoint;
+use m3d::tech::{Pdk, RramMacro, SelectorTech};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let pdk = Pdk::m3d_130nm();
+
+    // --- Fig. 9: on-chip memory capacity unlocks compute parallelism ---
+    println!("== RRAM capacity sweep (ResNet-18, Fig. 9) ==");
+    let sweep = capacity_sweep(&pdk, &[12, 16, 24, 32, 48, 64, 96, 128], &models::resnet18())?;
+    println!("{:>8} {:>5} {:>9} {:>7}", "MB", "N", "speedup", "EDP");
+    for p in &sweep {
+        println!(
+            "{:>8} {:>5} {:>8.2}x {:>6.2}x",
+            p.capacity_mb, p.n_cs, p.speedup, p.edp_benefit
+        );
+    }
+
+    // --- Fig. 8: bandwidth vs CS count for two workload intensities ----
+    println!("\n== Bandwidth × CS grid (Fig. 8) ==");
+    let base = ChipParams::baseline_2d();
+    for (label, w) in [
+        ("compute-bound (16 ops/bit)", intensity_workload(16.0)),
+        ("memory-bound (1/16 ops/bit)", intensity_workload(1.0 / 16.0)),
+    ] {
+        println!("{label}:");
+        let grid = bandwidth_cs_grid(&base, &w, &[1.0, 2.0, 4.0, 8.0], &[1.0, 2.0, 4.0, 8.0]);
+        print!("{:>8}", "bw\\cs");
+        for cf in [1.0, 2.0, 4.0, 8.0] {
+            print!(" {cf:>6.0}x");
+        }
+        println!();
+        for bf in [1.0, 2.0, 4.0, 8.0] {
+            print!("{bf:>7.0}x");
+            for p in grid.iter().filter(|p| p.bw_factor == bf) {
+                print!(" {:>6.2}", p.edp_benefit);
+            }
+            println!();
+        }
+    }
+
+    // --- Table II: per-architecture M3D design points ------------------
+    println!("\n== Table II architectures: derived design points & mapper check ==");
+    let rram = RramMacro::with_capacity_mb(256, 1, 256, SelectorTech::SiFet)?;
+    let alexnet = models::alexnet();
+    println!(
+        "{:<40} {:>8} {:>4} {:>9}",
+        "architecture", "CS mm²", "N", "EDP (ZZ)"
+    );
+    for arch in table2_architectures() {
+        let dp = DesignPoint::derive(&pdk, &rram, arch.cs_demand_mm2())?;
+        let c2d = map_workload(&MapperChip::from_arch(&arch, 1), &alexnet);
+        let c3d = map_workload(&MapperChip::from_arch(&arch, dp.n_cs), &alexnet);
+        let speedup = c2d.cycles as f64 / c3d.cycles as f64;
+        let energy = c2d.energy_pj / c3d.energy_pj;
+        println!(
+            "{:<40} {:>8.2} {:>4} {:>8.2}x",
+            arch.name,
+            arch.cs_demand_mm2(),
+            dp.n_cs,
+            speedup * energy
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Quickstart: derive the paper's M3D design point and reproduce the
+//! headline ResNet-18 result (Table I's bottom row).
+//!
+//! Run with `cargo run --example quickstart`.
+
+use m3d::arch::{compare, models, ChipConfig};
+use m3d::core::design_point::case_study_design_point;
+use m3d::tech::Pdk;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The foundry M3D technology.
+    let pdk = Pdk::m3d_130nm();
+
+    // 2. Fold the 64 MB RRAM's access transistors onto the CNFET tier;
+    //    the freed Si under the array hosts 7 extra computing
+    //    sub-systems → the paper's 8× parallel M3D design point.
+    let dp = case_study_design_point(&pdk, 64)?;
+    println!("M3D design point: N = {} parallel CSs ({} RRAM banks)", dp.n_cs, dp.banks);
+    println!(
+        "  freed usable Si under the array: {:.1} mm² (CS = {:.2} mm², γ_cells = {:.1})",
+        dp.freed_usable_mm2, dp.cs_demand_mm2, dp.gamma_cells
+    );
+
+    // 3. Simulate ResNet-18 on the 2D baseline and the M3D design.
+    let table1 = compare(
+        &ChipConfig::baseline_2d(),
+        &dp.m3d_chip_config(),
+        &models::resnet18(),
+    );
+
+    println!("\n{:<14} {:>8} {:>8} {:>8}", "Layer", "Speedup", "Energy", "EDP");
+    for row in &table1.rows {
+        println!(
+            "{:<14} {:>7.2}x {:>7.2}x {:>7.2}x",
+            row.name, row.speedup, row.energy_ratio, row.edp_benefit
+        );
+    }
+    println!(
+        "{:<14} {:>7.2}x {:>7.2}x {:>7.2}x   (paper: 5.64x, 0.99x, 5.66x)",
+        "Total", table1.total.speedup, table1.total.energy_ratio, table1.total.edp_benefit
+    );
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Multi-tier M3D exploration: how many interleaved compute/memory tier
+//! pairs help (Fig. 10d), and where the thermal budget caps the stack
+//! (Observation 10, eq. 17).
+//!
+//! Run with `cargo run --example thermal_stacking`.
+
+use m3d::arch::models;
+use m3d::core::cases::BaselineAreas;
+use m3d::core::explore::tier_sweep;
+use m3d::core::framework::{ChipParams, WorkloadPoint};
+use m3d::core::thermal::ThermalModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let areas = BaselineAreas::case_study_64mb();
+    let base = ChipParams::baseline_2d();
+
+    // ResNet-18 as analytical workload points.
+    let resnet: Vec<WorkloadPoint> = models::resnet18()
+        .layers
+        .iter()
+        .map(|l| WorkloadPoint::from_layer(l, 8, 16))
+        .collect();
+    // One highly parallelisable layer (the L4.1 CONV class the paper says
+    // approaches 23×).
+    let big_layer = vec![WorkloadPoint::from_layer(
+        &m3d::arch::Layer::conv("L4.1 CONV", 512, 512, 3, (7, 7), 1),
+        8,
+        16,
+    )];
+
+    println!("== Interleaved tier pairs vs EDP benefit (Fig. 10d) ==");
+    println!("{:>6} {:>6} {:>14} {:>16}", "pairs", "N", "ResNet-18 EDP", "L4.1-CONV EDP");
+    let whole = tier_sweep(&areas, &base, &resnet, 8, None);
+    let single = tier_sweep(&areas, &base, &big_layer, 8, None);
+    for (w, s) in whole.iter().zip(&single) {
+        println!(
+            "{:>6} {:>6} {:>13.2}x {:>15.2}x",
+            w.tiers, w.n_cs, w.edp_benefit, s.edp_benefit
+        );
+    }
+
+    println!("\n== Thermal cap (Obs. 10, ΔT ≤ 60 K) ==");
+    for power_w in [2.0, 5.0, 10.0, 20.0] {
+        let model = ThermalModel::conventional(power_w);
+        match model.max_tiers() {
+            Ok(y) => println!(
+                "{power_w:>5.0} W/tier-pair → max {y} pairs (ΔT = {:.1} K at the cap)",
+                model.temperature_rise(y)
+            ),
+            Err(_) => println!("{power_w:>5.0} W/tier-pair → even one pair exceeds the budget"),
+        }
+    }
+
+    println!("\n== Thermally capped sweep (5 W per pair) ==");
+    let thermal = ThermalModel::conventional(5.0);
+    let capped = tier_sweep(&areas, &base, &resnet, 8, Some(&thermal));
+    println!(
+        "allowed pairs: {} of 8 requested; best EDP benefit {:.2}x",
+        capped.len(),
+        capped.last().map_or(0.0, |p| p.edp_benefit)
+    );
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! # m3d — iso-footprint, iso-memory-capacity monolithic-3D design space
+//!
+//! Facade crate of the reproduction of *"Ultra-Dense 3D Physical Design
+//! Unlocks New Architectural Design Points with Large Benefits"*
+//! (DATE 2023). It re-exports the five member crates:
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`tech`] | synthetic foundry 130 nm M3D PDK (Si CMOS + BEOL RRAM + CNFET tier, ILVs) |
+//! | [`netlist`] | gate-level netlists + accelerator generators (synthesis stand-in) |
+//! | [`pd`] | floorplan → place → route → STA → power RTL-to-GDS flow |
+//! | [`arch`] | DNN workloads, systolic cycle model, multi-CS simulator, ZigZag-style mapper |
+//! | [`core`] | the paper's analytical framework (eqs. 1–17), design points, Cases 1–3 |
+//!
+//! # The headline result, in five lines
+//!
+//! ```
+//! use m3d::arch::{compare, models, ChipConfig};
+//!
+//! let t = compare(&ChipConfig::baseline_2d(), &ChipConfig::m3d(8), &models::resnet18());
+//! assert!(t.total.speedup > 5.0);          // Table I: 5.64×
+//! assert!(t.total.energy_ratio > 0.95);    // Table I: 0.99×
+//! assert!(t.total.edp_benefit > 5.0);      // Table I: 5.66×
+//! ```
+//!
+//! See `crates/bench` for one binary per paper table/figure.
+
+pub use m3d_arch as arch;
+pub use m3d_core as core;
+pub use m3d_netlist as netlist;
+pub use m3d_pd as pd;
+pub use m3d_tech as tech;
