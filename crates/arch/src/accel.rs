@@ -106,27 +106,50 @@ pub fn table2_architectures() -> Vec<AccelArch> {
         AccelArch {
             id: 1,
             name: "Arch 1 (AR/VR DNN accelerator class)".into(),
-            spatial: SpatialUnroll { k: 16, c: 16, ox: 2, oy: 2 },
+            spatial: SpatialUnroll {
+                k: 16,
+                c: 16,
+                ox: 2,
+                oy: 2,
+            },
             reg_bytes_per_group: 3.0,
             reg_groups: 1024,
-            local: BufferSpec { weight_kb: 64.0, input_kb: 64.0, output_kb: 256.0 },
+            local: BufferSpec {
+                weight_kb: 64.0,
+                input_kb: 64.0,
+                output_kb: 256.0,
+            },
             global_mb: 2.0,
             rram_mb: 256,
         },
         AccelArch {
             id: 2,
             name: "Arch 2 (TPU class)".into(),
-            spatial: SpatialUnroll { k: 8, c: 8, ox: 4, oy: 4 },
+            spatial: SpatialUnroll {
+                k: 8,
+                c: 8,
+                ox: 4,
+                oy: 4,
+            },
             reg_bytes_per_group: 3.0,
             reg_groups: 1024,
-            local: BufferSpec { weight_kb: 32.0, input_kb: 0.0, output_kb: 0.0 },
+            local: BufferSpec {
+                weight_kb: 32.0,
+                input_kb: 0.0,
+                output_kb: 0.0,
+            },
             global_mb: 2.0,
             rram_mb: 256,
         },
         AccelArch {
             id: 3,
             name: "Arch 3 (Edge-TPU class)".into(),
-            spatial: SpatialUnroll { k: 32, c: 32, ox: 1, oy: 1 },
+            spatial: SpatialUnroll {
+                k: 32,
+                c: 32,
+                ox: 1,
+                oy: 1,
+            },
             reg_bytes_per_group: 128.0 + 1024.0,
             reg_groups: 32,
             local: BufferSpec::default(),
@@ -136,30 +159,57 @@ pub fn table2_architectures() -> Vec<AccelArch> {
         AccelArch {
             id: 4,
             name: "Arch 4 (Ascend class)".into(),
-            spatial: SpatialUnroll { k: 32, c: 2, ox: 4, oy: 4 },
+            spatial: SpatialUnroll {
+                k: 32,
+                c: 2,
+                ox: 4,
+                oy: 4,
+            },
             reg_bytes_per_group: 3.0,
             reg_groups: 1024,
-            local: BufferSpec { weight_kb: 64.0, input_kb: 32.0, output_kb: 0.0 },
+            local: BufferSpec {
+                weight_kb: 64.0,
+                input_kb: 32.0,
+                output_kb: 0.0,
+            },
             global_mb: 2.0,
             rram_mb: 256,
         },
         AccelArch {
             id: 5,
             name: "Arch 5 (FSD class)".into(),
-            spatial: SpatialUnroll { k: 32, c: 1, ox: 8, oy: 4 },
+            spatial: SpatialUnroll {
+                k: 32,
+                c: 1,
+                ox: 8,
+                oy: 4,
+            },
             reg_bytes_per_group: 5.0,
             reg_groups: 1024,
-            local: BufferSpec { weight_kb: 1.0, input_kb: 1.0, output_kb: 0.0 },
+            local: BufferSpec {
+                weight_kb: 1.0,
+                input_kb: 1.0,
+                output_kb: 0.0,
+            },
             global_mb: 2.0,
             rram_mb: 256,
         },
         AccelArch {
             id: 6,
             name: "Arch 6 (Sec. II design)".into(),
-            spatial: SpatialUnroll { k: 32, c: 32, ox: 1, oy: 1 },
+            spatial: SpatialUnroll {
+                k: 32,
+                c: 32,
+                ox: 1,
+                oy: 1,
+            },
             reg_bytes_per_group: 3.2,
             reg_groups: 1024,
-            local: BufferSpec { weight_kb: 0.0, input_kb: 32.0, output_kb: 32.0 },
+            local: BufferSpec {
+                weight_kb: 0.0,
+                input_kb: 32.0,
+                output_kb: 32.0,
+            },
             global_mb: 0.5,
             rram_mb: 256,
         },
@@ -222,7 +272,12 @@ mod tests {
 
     #[test]
     fn spatial_products() {
-        let s = SpatialUnroll { k: 32, c: 1, ox: 8, oy: 4 };
+        let s = SpatialUnroll {
+            k: 32,
+            c: 1,
+            ox: 8,
+            oy: 4,
+        };
         assert_eq!(s.pes(), 1024);
         assert_eq!(s.pixels(), 32);
     }

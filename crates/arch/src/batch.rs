@@ -56,8 +56,7 @@ pub fn simulate_batch(chip: &ChipConfig, workload: &Workload, batch: u32) -> Bat
         // Compute phase: total per-image compute × batch, spread over the
         // concurrently usable CSs (single.compute_cycles already reflects
         // one CS's share at used_cs partitions).
-        let compute_total =
-            single.compute_cycles * u64::from(single.used_cs) * u64::from(b);
+        let compute_total = single.compute_cycles * u64::from(single.used_cs) * u64::from(b);
         let compute = compute_total.div_ceil(concurrent);
         // Bus phase: every image's activations cross the shared bus.
         let bus = single.bus_cycles * u64::from(b);
@@ -81,12 +80,7 @@ pub fn simulate_batch(chip: &ChipConfig, workload: &Workload, batch: u32) -> Bat
 
 /// Throughput speedup of batch-`b` M3D over the single-image 2D
 /// baseline (per-image cycles ratio).
-pub fn batch_speedup(
-    base: &ChipConfig,
-    m3d: &ChipConfig,
-    workload: &Workload,
-    batch: u32,
-) -> f64 {
+pub fn batch_speedup(base: &ChipConfig, m3d: &ChipConfig, workload: &Workload, batch: u32) -> f64 {
     let b2 = simulate_batch(base, workload, batch);
     let b3 = simulate_batch(m3d, workload, batch);
     b2.cycles_per_image / b3.cycles_per_image
@@ -105,8 +99,7 @@ mod tests {
         let single = simulate(&chip, &w);
         let batched = simulate_batch(&chip, &w, 1);
         assert_eq!(batched.total_cycles, single.total_cycles);
-        let rel = (batched.total_energy_pj - single.total_energy_pj).abs()
-            / single.total_energy_pj;
+        let rel = (batched.total_energy_pj - single.total_energy_pj).abs() / single.total_energy_pj;
         assert!(rel < 1e-9, "energy drift {rel}");
     }
 
@@ -144,10 +137,7 @@ mod tests {
     fn bus_bound_layers_do_not_improve_with_batch() {
         use crate::workload::Layer;
         let chip = ChipConfig::m3d(8);
-        let ds = Workload::new(
-            "ds-only",
-            vec![Layer::conv("DS", 64, 128, 1, (28, 28), 2)],
-        );
+        let ds = Workload::new("ds-only", vec![Layer::conv("DS", 64, 128, 1, (28, 28), 2)]);
         let b1 = simulate_batch(&chip, &ds, 1);
         let b8 = simulate_batch(&chip, &ds, 8);
         let ratio = b8.cycles_per_image / b1.cycles_per_image;

@@ -52,4 +52,4 @@ pub use systolic::{
 };
 pub use trace::{trace_layer, ExecutionTrace, Interval, Phase};
 pub use workload::{Layer, LayerKind, Workload};
-pub use zigzag::{map_layer, map_workload, Mapping, MapperChip, MappingCost};
+pub use zigzag::{map_layer, map_workload, MapperChip, Mapping, MappingCost};

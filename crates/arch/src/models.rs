@@ -54,8 +54,22 @@ pub fn resnet18() -> Workload {
     let mut layers = vec![Layer::conv("CONV1+POOL", 3, 64, 7, (112, 112), 2)];
     // Stage 1: 64 channels at 56×56.
     for blk in 0..2 {
-        layers.push(Layer::conv(format!("L1.{blk} CONV1"), 64, 64, 3, (56, 56), 1));
-        layers.push(Layer::conv(format!("L1.{blk} CONV2"), 64, 64, 3, (56, 56), 1));
+        layers.push(Layer::conv(
+            format!("L1.{blk} CONV1"),
+            64,
+            64,
+            3,
+            (56, 56),
+            1,
+        ));
+        layers.push(Layer::conv(
+            format!("L1.{blk} CONV2"),
+            64,
+            64,
+            3,
+            (56, 56),
+            1,
+        ));
     }
     // Stages 2–4 double channels and halve the map; the first block of
     // each has a 1×1 stride-2 downsample shortcut (DS).
@@ -63,10 +77,38 @@ pub fn resnet18() -> Workload {
     for (si, (cin, cout, wh)) in stages.into_iter().enumerate() {
         let s = si + 2;
         layers.push(Layer::conv(format!("L{s}.0 DS"), cin, cout, 1, (wh, wh), 2));
-        layers.push(Layer::conv(format!("L{s}.0 CONV1"), cin, cout, 3, (wh, wh), 2));
-        layers.push(Layer::conv(format!("L{s}.0 CONV2"), cout, cout, 3, (wh, wh), 1));
-        layers.push(Layer::conv(format!("L{s}.1 CONV1"), cout, cout, 3, (wh, wh), 1));
-        layers.push(Layer::conv(format!("L{s}.1 CONV2"), cout, cout, 3, (wh, wh), 1));
+        layers.push(Layer::conv(
+            format!("L{s}.0 CONV1"),
+            cin,
+            cout,
+            3,
+            (wh, wh),
+            2,
+        ));
+        layers.push(Layer::conv(
+            format!("L{s}.0 CONV2"),
+            cout,
+            cout,
+            3,
+            (wh, wh),
+            1,
+        ));
+        layers.push(Layer::conv(
+            format!("L{s}.1 CONV1"),
+            cout,
+            cout,
+            3,
+            (wh, wh),
+            1,
+        ));
+        layers.push(Layer::conv(
+            format!("L{s}.1 CONV2"),
+            cout,
+            cout,
+            3,
+            (wh, wh),
+            1,
+        ));
     }
     layers.push(Layer::fc("FC", 512, 1000));
     Workload::new("ResNet-18", layers)
@@ -105,8 +147,22 @@ pub fn resnet152() -> Workload {
                 (wh, wh),
                 stride,
             ));
-            layers.push(Layer::conv(format!("L{s}.{b} CONV2"), mid, mid, 3, (wh, wh), 1));
-            layers.push(Layer::conv(format!("L{s}.{b} CONV3"), mid, cout, 1, (wh, wh), 1));
+            layers.push(Layer::conv(
+                format!("L{s}.{b} CONV2"),
+                mid,
+                mid,
+                3,
+                (wh, wh),
+                1,
+            ));
+            layers.push(Layer::conv(
+                format!("L{s}.{b} CONV3"),
+                mid,
+                cout,
+                1,
+                (wh, wh),
+                1,
+            ));
         }
     }
     layers.push(Layer::fc("FC", 2048, 1000));
@@ -192,7 +248,10 @@ mod tests {
             .filter(|l| l.name.starts_with("FC"))
             .map(|l| l.weights())
             .sum();
-        assert!(fc_weights * 10 > w.total_weights() * 9, "FCs dominate AlexNet");
+        assert!(
+            fc_weights * 10 > w.total_weights() * 9,
+            "FCs dominate AlexNet"
+        );
         assert!((55_000_000..65_000_000).contains(&w.total_weights()));
     }
 
@@ -209,10 +268,16 @@ mod tests {
         let w = mobilenet_v1();
         // ~4.2 M parameters, ~0.57 GMACs.
         let params = w.total_weights();
-        assert!((3_800_000..4_600_000).contains(&params), "params = {params}");
+        assert!(
+            (3_800_000..4_600_000).contains(&params),
+            "params = {params}"
+        );
         let gmacs = w.total_ops() as f64 / 1e9;
         assert!((0.5..0.65).contains(&gmacs), "GMACs = {gmacs}");
-        assert!(w.layers.iter().any(|l| l.kind == crate::workload::LayerKind::Depthwise));
+        assert!(w
+            .layers
+            .iter()
+            .any(|l| l.kind == crate::workload::LayerKind::Depthwise));
     }
 
     #[test]

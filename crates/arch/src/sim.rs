@@ -180,8 +180,7 @@ pub fn simulate_layer(chip: &ChipConfig, layer: &Layer) -> LayerPerf {
 
     // Shared activation bus: unique inputs broadcast once, outputs
     // written once — identical traffic in 2D and M3D.
-    let act_bits = (unique_input_words(layer) + layer.output_words())
-        * u64::from(g.act_bits);
+    let act_bits = (unique_input_words(layer) + layer.output_words()) * u64::from(g.act_bits);
     let bus_cycles = act_bits.div_ceil(u64::from(chip.act_bus_bits.max(1)));
 
     let cycles = compute_cycles.max(bus_cycles).max(1);
@@ -332,11 +331,7 @@ mod tests {
 
     #[test]
     fn resnet18_total_matches_paper_band() {
-        let cmp = compare(
-            &ChipConfig::baseline_2d(),
-            &ChipConfig::m3d(8),
-            &resnet18(),
-        );
+        let cmp = compare(&ChipConfig::baseline_2d(), &ChipConfig::m3d(8), &resnet18());
         // Paper Table I: total speedup 5.64×, energy 0.99×, EDP 5.66×.
         assert!(
             (5.0..=6.5).contains(&cmp.total.speedup),
@@ -395,8 +390,7 @@ mod tests {
         let p = simulate_layer(&ChipConfig::baseline_2d(), &l);
         let e = p.energy;
         assert!(
-            (e.total_pj()
-                - (e.compute_pj + e.weight_pj + e.buffer_pj + e.bus_pj + e.static_pj))
+            (e.total_pj() - (e.compute_pj + e.weight_pj + e.buffer_pj + e.bus_pj + e.static_pj))
                 .abs()
                 < 1e-9
         );

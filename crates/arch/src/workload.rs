@@ -155,12 +155,12 @@ impl Layer {
         // Inputs must be streamed once per C-tile (C/rows passes of the
         // full output map); outputs written once.
         let c_tiles = self.in_channels.div_ceil(array_rows).max(1);
-        let per_pass =
-            u64::from(self.kernel) * u64::from(self.kernel) * u64::from(self.out_w)
-                * u64::from(self.out_h)
-                * u64::from(array_rows.min(self.in_channels));
-        per_pass * u64::from(c_tiles) * u64::from(bits)
-            + self.output_words() * u64::from(bits)
+        let per_pass = u64::from(self.kernel)
+            * u64::from(self.kernel)
+            * u64::from(self.out_w)
+            * u64::from(self.out_h)
+            * u64::from(array_rows.min(self.in_channels));
+        per_pass * u64::from(c_tiles) * u64::from(bits) + self.output_words() * u64::from(bits)
     }
 
     /// Maximum parallel partitions `N#` for a weight-stationary array

@@ -242,27 +242,18 @@ pub fn map_layer(chip: &MapperChip, layer: &Layer) -> Mapping {
     let kt = k.div_ceil(ks);
     let ct = c2.div_ceil(cs);
     let pt = p.div_ceil(ps);
-    let utilization = (u64::from(ks) * u64::from(cs) * u64::from(ps)) as f64
-        / chip.peak_ops() as f64;
+    let utilization =
+        (u64::from(ks) * u64::from(cs) * u64::from(ps)) as f64 / chip.peak_ops() as f64;
 
     let mut best: Option<Mapping> = None;
     for order in ORDERS {
         for &tk in &candidate_tiles(kt) {
             for &tc in &candidate_tiles(ct) {
                 for &tp in &candidate_tiles(pt) {
-                    if let Some(cost) = evaluate(
-                        chip,
-                        layer,
-                        &order,
-                        tk,
-                        tc,
-                        tp,
-                        (kt, ct, pt),
-                        (ks, cs, ps),
-                    ) {
-                        let better = best
-                            .as_ref()
-                            .map_or(true, |b| cost.edp() < b.cost.edp());
+                    if let Some(cost) =
+                        evaluate(chip, layer, &order, tk, tc, tp, (kt, ct, pt), (ks, cs, ps))
+                    {
+                        let better = best.as_ref().map_or(true, |b| cost.edp() < b.cost.edp());
                         if better {
                             best = Some(Mapping {
                                 order,
@@ -344,7 +335,11 @@ mod tests {
         let chip = arch6_chip(1);
         let wl = alexnet();
         let total = map_workload(&chip, &wl);
-        let manual: u64 = wl.layers.iter().map(|l| map_layer(&chip, l).cost.cycles).sum();
+        let manual: u64 = wl
+            .layers
+            .iter()
+            .map(|l| map_layer(&chip, l).cost.cycles)
+            .sum();
         assert_eq!(total.cycles, manual);
         assert!(total.edp() > 0.0);
     }

@@ -5,8 +5,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use m3d_netlist::{accelerator_soc, CsConfig, Netlist, PeConfig, SocConfig};
 use m3d_pd::{
-    analyze_timing, estimate_routing, place, Clustering, Floorplan, PlacerConfig,
-    RoutingEstimate, DEFAULT_DETOUR,
+    analyze_timing, estimate_routing, place, Clustering, Floorplan, PlacerConfig, RoutingEstimate,
+    DEFAULT_DETOUR,
 };
 use m3d_tech::Pdk;
 

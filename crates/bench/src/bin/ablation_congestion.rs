@@ -33,11 +33,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pdk = m3d_cfg.pdk.clone();
     let (_, a) = Rtl2GdsFlow::new(m3d_cfg).run()?;
 
-    let c = analyze_congestion(&a.netlist, &a.placement, &a.routing, &a.floorplan, &pdk, 1000.0);
+    let c = analyze_congestion(
+        &a.netlist,
+        &a.placement,
+        &a.routing,
+        &a.floorplan,
+        &pdk,
+        1000.0,
+    );
     println!("tiles: {} × {} at {} µm", c.nx, c.ny, c.tile_um);
-    println!("free-region mean track utilisation:  {}", pct(c.free_region_utilization));
-    println!("under-array mean track utilisation:  {}", pct(c.under_array_utilization));
-    println!("worst tile utilisation:              {}", pct(c.max_utilization));
+    println!(
+        "free-region mean track utilisation:  {}",
+        pct(c.free_region_utilization)
+    );
+    println!(
+        "under-array mean track utilisation:  {}",
+        pct(c.under_array_utilization)
+    );
+    println!(
+        "worst tile utilisation:              {}",
+        pct(c.max_utilization)
+    );
     println!("overflowed tiles:                    {}", c.overflow_tiles);
     rule(72);
     let ratio = if c.free_region_utilization > 0.0 {

@@ -32,11 +32,7 @@ fn main() {
         ),
     ] {
         let perf = simulate(&chip, &resnet);
-        let weight_mb: f64 = perf
-            .layers
-            .iter()
-            .map(|l| l.energy.weight_pj)
-            .sum::<f64>()
+        let weight_mb: f64 = perf.layers.iter().map(|l| l.energy.weight_pj).sum::<f64>()
             / chip.energy.rram_read_pj_per_bit
             / 1.0e6;
         println!(

@@ -27,7 +27,10 @@ fn main() {
             "other"
         }
     };
-    println!("{:<12} {:>8} {:>10} {:>10}", "class", "layers", "min spd", "max spd");
+    println!(
+        "{:<12} {:>8} {:>10} {:>10}",
+        "class", "layers", "min spd", "max spd"
+    );
     for class in ["depthwise", "pointwise", "other"] {
         let rows: Vec<_> = cmp
             .rows
@@ -36,7 +39,13 @@ fn main() {
             .collect();
         let min = rows.iter().map(|r| r.speedup).fold(f64::INFINITY, f64::min);
         let max = rows.iter().map(|r| r.speedup).fold(0.0, f64::max);
-        println!("{:<12} {:>8} {:>10} {:>10}", class, rows.len(), x(min), x(max));
+        println!(
+            "{:<12} {:>8} {:>10} {:>10}",
+            class,
+            rows.len(),
+            x(min),
+            x(max)
+        );
     }
     rule(72);
     println!(

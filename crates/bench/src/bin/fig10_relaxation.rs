@@ -21,10 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let deltas = [1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.8, 2.0, 2.2, 2.5];
     let pts = case1_sweep(&areas, &base, &workload, &deltas)?;
-    println!(
-        "{:>6} {:>8} {:>8} {:>10}",
-        "δ", "N (M3D)", "N (2D)", "EDP"
-    );
+    println!("{:>6} {:>8} {:>8} {:>10}", "δ", "N (M3D)", "N (2D)", "EDP");
     for p in &pts {
         println!(
             "{:>6.1} {:>8} {:>8} {:>10}",

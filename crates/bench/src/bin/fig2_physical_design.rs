@@ -2,18 +2,22 @@
 //! baseline and the iso-footprint, iso-memory-capacity M3D SoC, with the
 //! post-route comparison and the Observation-2 power-density check.
 //!
-//! Pass `--quick` for a scaled-down (4×4 PE) run.
+//! Pass `--quick` for a scaled-down (4×4 PE) run and `--json <path>` to
+//! archive the result as an [`m3d_core::engine::ExperimentReport`].
 
-use m3d_bench::{header, pct, rule};
+use m3d_bench::{header, pct, rule, RunArgs};
+use m3d_core::engine::{FlowCache, Pipeline, Stage};
+use m3d_core::{ExperimentRecord, Metric};
 use m3d_netlist::{CsConfig, PeConfig};
-use m3d_pd::{FlowConfig, Rtl2GdsFlow};
+use m3d_pd::FlowConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = RunArgs::parse();
     header(
         "Fig. 2 — post-route 2D vs iso-footprint M3D physical design",
         "Srimani et al., DATE 2023, Fig. 2 + Observation 2",
     );
-    let quick = std::env::args().any(|a| a == "--quick");
+    let quick = args.quick;
     let cs = if quick {
         CsConfig {
             rows: 4,
@@ -27,16 +31,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let prep = |c: FlowConfig| if quick { c.quick() } else { c };
 
-    let (r2d, _) = Rtl2GdsFlow::new(prep(FlowConfig::baseline_2d().with_cs(cs))).run()?;
+    let cache = FlowCache::new();
+    let mut pipe = Pipeline::new();
+
+    let r2d = pipe.stage(Stage::PdFlow, "2d", |ctx| {
+        let (res, hit) = cache.run_traced(&prep(FlowConfig::baseline_2d().with_cs(cs)))?;
+        if hit {
+            ctx.mark_cache_hit();
+        }
+        Ok::<_, m3d_core::CoreError>(res.0.clone())
+    })?;
     let n = 1 + r2d.extra_cs_capacity.max(if quick { 1 } else { 7 });
-    let (r3d, _) =
-        Rtl2GdsFlow::new(prep(FlowConfig::m3d(n).with_cs(cs)).with_die(r2d.die)).run()?;
+    let r3d = pipe.stage(Stage::PdFlow, "m3d", |ctx| {
+        let cfg = prep(FlowConfig::m3d(n).with_cs(cs)).with_die(r2d.die);
+        let (res, hit) = cache.run_traced(&cfg)?;
+        if hit {
+            ctx.mark_cache_hit();
+        }
+        Ok::<_, m3d_core::CoreError>(res.0.clone())
+    })?;
 
     let row = |label: &str, a: String, b: String| {
         println!("{label:<36} {a:>14} {b:>14}");
     };
     row("", "2D baseline".into(), "M3D".into());
-    row("computing sub-systems", r2d.cs_count.to_string(), r3d.cs_count.to_string());
+    row(
+        "computing sub-systems",
+        r2d.cs_count.to_string(),
+        r3d.cs_count.to_string(),
+    );
     row(
         "die area (mm²)  [iso-footprint]",
         format!("{:.1}", r2d.die_mm2),
@@ -47,7 +70,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         format!("{:.1}+{:.1}", r2d.rram_array_mm2, r2d.rram_perif_mm2),
         format!("{:.1}+{:.1}", r3d.rram_array_mm2, r3d.rram_perif_mm2),
     );
-    row("standard cells", r2d.cell_count.to_string(), r3d.cell_count.to_string());
+    row(
+        "standard cells",
+        r2d.cell_count.to_string(),
+        r3d.cell_count.to_string(),
+    );
     row(
         "CS area A_C (mm²)",
         format!("{:.2}", r2d.cs_demand_mm2),
@@ -63,7 +90,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         format!("{:.2}", r2d.wirelength_m),
         format!("{:.2}", r3d.wirelength_m),
     );
-    row("signal ILVs", r2d.signal_ilvs.to_string(), r3d.signal_ilvs.to_string());
+    row(
+        "signal ILVs",
+        r2d.signal_ilvs.to_string(),
+        r3d.signal_ilvs.to_string(),
+    );
     row(
         "RRAM-cell ILVs (M)",
         format!("{:.0}", r2d.memory_cell_ilvs as f64 / 1e6),
@@ -99,5 +130,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  stacked power-density increase over the hottest CS: {} (paper: ~1 %)",
         pct(r3d.cs_stack_density_increase)
     );
+
+    let record = pipe.stage(Stage::Report, "", |_| {
+        let mut rec = ExperimentRecord::new(
+            "fig2",
+            "Fig. 2 post-route 2D vs M3D physical design + Observation 2",
+        )
+        .metric(Metric::new("m3d_cs_count", f64::from(r3d.cs_count)))
+        .metric(Metric::new("upper_tier_fraction", r3d.upper_tier_fraction))
+        .metric(Metric::new(
+            "cs_stack_density_increase",
+            r3d.cs_stack_density_increase,
+        ));
+        for (label, r) in [("2d", &r2d), ("m3d", &r3d)] {
+            rec = rec.row(
+                label,
+                vec![
+                    ("cs_count".into(), f64::from(r.cs_count)),
+                    ("die_mm2".into(), r.die_mm2),
+                    ("cell_count".into(), r.cell_count as f64),
+                    ("wirelength_m".into(), r.wirelength_m),
+                    ("critical_path_ns".into(), r.critical_path_ns),
+                    ("total_power_mw".into(), r.total_power_mw),
+                ],
+            );
+        }
+        rec
+    });
+    args.finalize(record, &pipe, cache.stats())?;
     Ok(())
 }

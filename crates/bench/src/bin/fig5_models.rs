@@ -1,23 +1,40 @@
 //! Regenerates Fig. 5: speedup, energy and EDP benefits of the
 //! iso-footprint, iso-memory-capacity M3D design across AI/ML models
 //! (paper: 5.7×–7.5× speedup at ≈ 0.99× energy).
+//!
+//! Pass `--json <path>` to archive the result as an
+//! [`m3d_core::engine::ExperimentReport`].
 
 use m3d_arch::{compare, models, ChipConfig};
-use m3d_bench::{header, rule, x};
+use m3d_bench::{header, rule, x, RunArgs};
+use m3d_core::engine::{CacheStats, Pipeline, Stage};
+use m3d_core::{ExperimentRecord, Metric};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = RunArgs::parse();
     header(
         "Fig. 5 — M3D benefits across AI/ML model inference",
         "Srimani et al., DATE 2023, Fig. 5 (5.7x-7.5x EDP)",
     );
-    let base = ChipConfig::baseline_2d();
-    let m3d = ChipConfig::m3d(8);
+    let mut pipe = Pipeline::new();
+    let (base, m3d) = pipe.stage(Stage::Tech, "", |_| {
+        (ChipConfig::baseline_2d(), ChipConfig::m3d(8))
+    });
+    let comparisons = pipe.stage(Stage::ArchSim, "", |_| {
+        models::evaluation_models()
+            .into_iter()
+            .map(|w| {
+                let c = compare(&base, &m3d, &w);
+                (w, c)
+            })
+            .collect::<Vec<_>>()
+    });
+
     println!(
         "{:<12} {:>9} {:>9} {:>9}   {:>10} {:>12}",
         "Model", "Speedup", "Energy", "EDP", "GMACs", "params (M)"
     );
-    for w in models::evaluation_models() {
-        let c = compare(&base, &m3d, &w);
+    for (w, c) in &comparisons {
         println!(
             "{:<12} {:>9} {:>9} {:>9}   {:>10.2} {:>12.1}",
             c.workload,
@@ -30,4 +47,26 @@ fn main() {
     }
     rule(72);
     println!("paper band: 5.7x-7.5x speedup, 0.99x energy, 5.7x-7.5x EDP");
+
+    let record = pipe.stage(Stage::Report, "", |_| {
+        let mut rec = ExperimentRecord::new("fig5", "Fig. 5 M3D benefits across AI/ML models");
+        let worst = comparisons
+            .iter()
+            .map(|(_, c)| c.total.edp_benefit)
+            .fold(f64::INFINITY, f64::min);
+        rec = rec.metric(Metric::new("min_edp_benefit", worst));
+        for (_, c) in &comparisons {
+            rec = rec.row(
+                c.workload.clone(),
+                vec![
+                    ("speedup".into(), c.total.speedup),
+                    ("energy_ratio".into(), c.total.energy_ratio),
+                    ("edp_benefit".into(), c.total.edp_benefit),
+                ],
+            );
+        }
+        rec
+    });
+    args.finalize(record, &pipe, CacheStats::default())?;
+    Ok(())
 }

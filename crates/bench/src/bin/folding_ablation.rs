@@ -30,15 +30,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let clustering = Clustering::build(&nl, &pdk)?;
 
     let fold = fold_two_tier(&clustering, 2023);
-    println!("clusters: {}   inter-cluster nets: {}", clustering.clusters.len(), fold.total_nets);
-    println!("cut nets (need ILVs): {} ({})", fold.cut_nets, pct(fold.cut_fraction()));
+    println!(
+        "clusters: {}   inter-cluster nets: {}",
+        clustering.clusters.len(),
+        fold.total_nets
+    );
+    println!(
+        "cut nets (need ILVs): {} ({})",
+        fold.cut_nets,
+        pct(fold.cut_fraction())
+    );
     println!(
         "tier areas: {:.3} / {:.3} mm²",
         fold.tier_area[0] / 1e6,
         fold.tier_area[1] / 1e6
     );
     println!("footprint ratio vs 2D: {:.2}", fold.footprint_ratio);
-    println!("wirelength ratio vs 2D: {:.2} (paper's prior work: ~0.8)", fold.wirelength_ratio);
+    println!(
+        "wirelength ratio vs 2D: {:.2} (paper's prior work: ~0.8)",
+        fold.wirelength_ratio
+    );
 
     // EDP estimate for folding: wire-capacitance energy scales with WL;
     // delay improves with the shorter critical wires. Assume wire energy

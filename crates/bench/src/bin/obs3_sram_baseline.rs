@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for (label, dp) in [
         ("RRAM (BEOL, dense)", case_study_design_point(&pdk, 64)?),
-        ("SRAM-class (2x less dense)", sram_baseline_design_point(&pdk, 64, 2.0)?),
+        (
+            "SRAM-class (2x less dense)",
+            sram_baseline_design_point(&pdk, 64, 2.0)?,
+        ),
     ] {
         let c = compare(&base, &dp.m3d_chip_config(), &resnet);
         println!(

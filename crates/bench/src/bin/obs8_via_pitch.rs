@@ -38,7 +38,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     rule(72);
-    println!("crossover where via pitch starts binding the cell: ×{:.2}",
-        cell.via_pitch_crossover(&ilv, 1.0));
+    println!(
+        "crossover where via pitch starts binding the cell: ×{:.2}",
+        cell.via_pitch_crossover(&ilv, 1.0)
+    );
     Ok(())
 }

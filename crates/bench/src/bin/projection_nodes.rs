@@ -42,7 +42,11 @@ fn main() {
             per_bit.value(),
             array_mm2,
             cs_mm2,
-            if s.via_limited(&cell, &ilv) { "YES" } else { "no" },
+            if s.via_limited(&cell, &ilv) {
+                "YES"
+            } else {
+                "no"
+            },
             n,
             x(cmp.total.edp_benefit)
         );

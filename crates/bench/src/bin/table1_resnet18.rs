@@ -61,9 +61,21 @@ fn main() {
 
     if std::env::args().any(|a| a == "--json") {
         let mut record = ExperimentRecord::new("table1", "Table I, ResNet-18 per-layer benefits")
-            .metric(Metric::with_paper("total_speedup", table.total.speedup, 5.64))
-            .metric(Metric::with_paper("total_energy_ratio", table.total.energy_ratio, 0.99))
-            .metric(Metric::with_paper("total_edp_benefit", table.total.edp_benefit, 5.66));
+            .metric(Metric::with_paper(
+                "total_speedup",
+                table.total.speedup,
+                5.64,
+            ))
+            .metric(Metric::with_paper(
+                "total_energy_ratio",
+                table.total.energy_ratio,
+                0.99,
+            ))
+            .metric(Metric::with_paper(
+                "total_edp_benefit",
+                table.total.edp_benefit,
+                5.66,
+            ));
         for row in &table.rows {
             record = record.row(
                 row.name.clone(),

@@ -1,0 +1,74 @@
+//! Shared command-line driver for the engine-ported experiment binaries.
+//!
+//! Every ported binary accepts the same flags:
+//!
+//! * `--quick` — scaled-down configuration for fast smoke runs;
+//! * `--json <path>` — write the [`ExperimentReport`] produced by the run
+//!   to `path` (deterministic, byte-reproducible JSON);
+//!
+//! and honours the `M3D_JOBS` environment variable for sweep
+//! parallelism. On exit each binary prints the per-stage
+//! `stage, wall_ms, cache_hit` summary to stderr via
+//! [`Pipeline::eprint_summary`].
+
+use std::path::PathBuf;
+
+use m3d_core::engine::{jobs, CacheStats, ExperimentReport, Pipeline};
+use m3d_core::ExperimentRecord;
+
+/// Parsed common flags.
+#[derive(Debug, Clone, Default)]
+pub struct RunArgs {
+    /// `--quick`: scaled-down run.
+    pub quick: bool,
+    /// `--json <path>`: where to write the experiment report.
+    pub json: Option<PathBuf>,
+}
+
+impl RunArgs {
+    /// Parses the process arguments, exiting with a usage message on
+    /// malformed input. Unknown flags are ignored so binaries can add
+    /// their own.
+    pub fn parse() -> Self {
+        let mut out = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => out.quick = true,
+                "--json" => match args.next() {
+                    Some(p) => out.json = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("error: --json requires a path argument");
+                        std::process::exit(2);
+                    }
+                },
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Standard epilogue for an engine-ported binary: assembles the
+    /// [`ExperimentReport`] from the finished pipeline, prints the
+    /// per-stage timing summary (and sweep worker count) to stderr, and
+    /// writes the JSON artifact when `--json` was given.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures writing the JSON file.
+    pub fn finalize(
+        &self,
+        record: ExperimentRecord,
+        pipeline: &Pipeline,
+        cache: CacheStats,
+    ) -> std::io::Result<ExperimentReport> {
+        let report = ExperimentReport::new(record, pipeline).with_cache(cache);
+        pipeline.eprint_summary();
+        eprintln!("# jobs: {}", jobs());
+        if let Some(path) = &self.json {
+            report.write_json(path)?;
+            eprintln!("# json: {}", path.display());
+        }
+        Ok(report)
+    }
+}

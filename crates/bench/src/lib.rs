@@ -2,31 +2,44 @@
 //!
 //! One binary per table/figure of the paper (see `src/bin/`), plus
 //! Criterion benches of the computational kernels (`benches/`). Shared
-//! table-printing helpers live here.
+//! table-printing helpers and the [`cli::RunArgs`] driver for the
+//! engine-ported binaries live here.
 //!
-//! | Binary | Regenerates |
-//! |---|---|
-//! | `fig2_physical_design` | Fig. 2 post-route 2D-vs-M3D comparison (+ Obs. 2) |
-//! | `fig5_models` | Fig. 5 speedup/energy/EDP for AlexNet, VGG-16, ResNet-18/152 |
-//! | `table1_resnet18` | Table I per-layer ResNet-18 benefits |
-//! | `fig7_architectures` | Fig. 7 Table-II architectures: analytical vs mapper |
-//! | `fig8_bw_cs` | Fig. 8 bandwidth × CS grid (+ Obs. 5) |
-//! | `fig9_capacity` | Fig. 9 RRAM-capacity sweep (+ Obs. 6) |
-//! | `fig10_relaxation` | Fig. 10b–c selector-width relaxation (+ Obs. 7) |
-//! | `fig10d_tiers` | Fig. 10d interleaved tiers (+ Obs. 9) |
-//! | `obs3_sram_baseline` | Obs. 3 SRAM-density baseline |
-//! | `obs8_via_pitch` | Obs. 8 ILV-pitch sweep |
-//! | `obs10_thermal` | Obs. 10 thermal tier cap |
-//! | `folding_ablation` | prior-work folding baseline (paper refs. 3 and 4, ≈ 1.1–1.4×) |
-//! | `ablation_dataflow` | weight- vs output-stationary dataflow |
-//! | `ablation_precision` | 4/8/16-bit weights |
-//! | `ablation_batch` | batch pipelining across the CSs |
-//! | `ablation_congestion` | under-array routing congestion |
-//! | `sensitivity_analysis` | ±20 % Monte-Carlo robustness |
-//! | `future_upper_logic` | Case 4: full CMOS on the upper layers |
-//! | `projection_nodes` | 130→7 nm technology projections |
-//! | `extension_mobilenet` | MobileNetV1 stress coverage |
-//! | `corners_signoff` | SS/TT/FF multi-corner sign-off |
+//! Binaries marked **engine** run on the unified experiment engine
+//! (`m3d_core::engine`): they accept `--json <path>` (deterministic
+//! [`m3d_core::engine::ExperimentReport`] artifact), share flow results
+//! through the content-keyed flow cache, fan sweeps across cores
+//! (override the worker count with the `M3D_JOBS` environment
+//! variable), and print a per-stage `stage, wall_ms, cache_hit`
+//! summary to stderr on exit.
+//!
+//! | Binary | Regenerates | Engine |
+//! |---|---|---|
+//! | `fig2_physical_design` | Fig. 2 post-route 2D-vs-M3D comparison (+ Obs. 2) | engine |
+//! | `fig5_models` | Fig. 5 speedup/energy/EDP for AlexNet, VGG-16, ResNet-18/152 | engine |
+//! | `table1_resnet18` | Table I per-layer ResNet-18 benefits | |
+//! | `fig7_architectures` | Fig. 7 Table-II architectures: analytical vs mapper | engine |
+//! | `fig8_bw_cs` | Fig. 8 bandwidth × CS grid (+ Obs. 5) | engine |
+//! | `fig9_capacity` | Fig. 9 RRAM-capacity sweep (+ Obs. 6) | engine |
+//! | `fig10_relaxation` | Fig. 10b–c selector-width relaxation (+ Obs. 7) | |
+//! | `fig10d_tiers` | Fig. 10d interleaved tiers (+ Obs. 9) | |
+//! | `obs3_sram_baseline` | Obs. 3 SRAM-density baseline | |
+//! | `obs8_via_pitch` | Obs. 8 ILV-pitch sweep | |
+//! | `obs10_thermal` | Obs. 10 thermal tier cap | |
+//! | `folding_ablation` | prior-work folding baseline (paper refs. 3 and 4, ≈ 1.1–1.4×) | |
+//! | `ablation_dataflow` | weight- vs output-stationary dataflow | |
+//! | `ablation_precision` | 4/8/16-bit weights | |
+//! | `ablation_batch` | batch pipelining across the CSs | |
+//! | `ablation_congestion` | under-array routing congestion | |
+//! | `sensitivity_analysis` | ±20 % Monte-Carlo robustness | engine |
+//! | `future_upper_logic` | Case 4: full CMOS on the upper layers | |
+//! | `projection_nodes` | 130→7 nm technology projections | |
+//! | `extension_mobilenet` | MobileNetV1 stress coverage | |
+//! | `corners_signoff` | SS/TT/FF multi-corner sign-off | |
+
+pub mod cli;
+
+pub use cli::RunArgs;
 
 /// Prints a horizontal rule sized for the standard table width.
 pub fn rule(width: usize) {

@@ -285,8 +285,7 @@ pub fn case4_upper_logic(
     delta_area: f64,
     delta_perf: f64,
 ) -> CoreResult<UpperLogicPoint> {
-    if !delta_perf.is_finite() || delta_perf < 1.0 || !delta_area.is_finite() || delta_area < 1.0
-    {
+    if !delta_perf.is_finite() || delta_perf < 1.0 || !delta_area.is_finite() || delta_area < 1.0 {
         return Err(CoreError::InvalidParameter {
             parameter: "delta",
             value: delta_perf.min(delta_area),
@@ -474,7 +473,10 @@ mod tests {
         let y2 = case3_tiers(&areas(), &base(), &w, 2);
         let y4 = case3_tiers(&areas(), &base(), &w, 4);
         let y8 = case3_tiers(&areas(), &base(), &w, 8);
-        assert!(y2.edp_benefit > y1.edp_benefit, "one extra pair helps (Obs. 9)");
+        assert!(
+            y2.edp_benefit > y1.edp_benefit,
+            "one extra pair helps (Obs. 9)"
+        );
         // Plateau: quadrupling the tiers beyond 2 gains little because
         // N exceeds the workload's parallelisable partitions.
         let gain_2_to_8 = y8.edp_benefit / y2.edp_benefit;

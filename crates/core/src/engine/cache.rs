@@ -1,0 +1,154 @@
+//! Content-keyed memoisation of RTL-to-GDS flow runs.
+//!
+//! The physical-design flow is by far the most expensive stage, and the
+//! experiments re-run identical configurations constantly — every
+//! iso-footprint comparison evaluates the same 2D baseline, every grid
+//! sweep shares its technology points. [`FlowCache`] memoises
+//! `(FlowReport, FlowArtifacts)` pairs keyed by the
+//! [`m3d_tech::StableHash`] of the [`FlowConfig`] that produced them, so
+//! a configuration is paid for once per process however many experiment
+//! stages ask for it.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use m3d_pd::{FlowArtifacts, FlowConfig, FlowReport, Rtl2GdsFlow};
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreResult;
+
+/// Hit/miss counters of a [`FlowCache`], serialised into the
+/// [`crate::engine::ExperimentReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that ran the flow.
+    pub misses: u64,
+}
+
+/// A process-wide memo table for [`Rtl2GdsFlow`] runs.
+///
+/// Thread-safe: the internal map is mutex-guarded, but the lock is *not*
+/// held while a flow runs, so parallel sweep workers never serialise on
+/// it. Two workers racing on the same uncached key may both compute it;
+/// the flow is deterministic, so the duplicated work is harmless and the
+/// first-completed result simply sticks.
+#[derive(Debug, Default)]
+pub struct FlowCache {
+    entries: Mutex<HashMap<u64, Arc<(FlowReport, FlowArtifacts)>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl FlowCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs (or recalls) the flow for `cfg`, keyed by
+    /// [`FlowConfig::stable_key`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates flow failures; errors are not cached.
+    pub fn run(&self, cfg: &FlowConfig) -> CoreResult<Arc<(FlowReport, FlowArtifacts)>> {
+        self.run_traced(cfg).map(|(r, _)| r)
+    }
+
+    /// Like [`FlowCache::run`], additionally reporting whether the result
+    /// came from the cache (`true` = hit).
+    ///
+    /// # Errors
+    ///
+    /// Propagates flow failures; errors are not cached.
+    pub fn run_traced(
+        &self,
+        cfg: &FlowConfig,
+    ) -> CoreResult<(Arc<(FlowReport, FlowArtifacts)>, bool)> {
+        let key = cfg.stable_key();
+        if let Some(hit) = self.entries.lock().unwrap().get(&key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((hit, true));
+        }
+        // Compute outside the lock so concurrent sweep workers proceed.
+        let computed = Arc::new(Rtl2GdsFlow::new(cfg.clone()).run()?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let stored = self
+            .entries
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&computed))
+            .clone();
+        Ok((stored, false))
+    }
+
+    /// Cached configuration count.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// Whether nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> FlowConfig {
+        FlowConfig::baseline_2d()
+            .with_cs(m3d_netlist::CsConfig {
+                rows: 4,
+                cols: 4,
+                global_buffer_kb: 64,
+                local_buffer_kb: 8,
+                ..m3d_netlist::CsConfig::default()
+            })
+            .quick()
+    }
+
+    #[test]
+    fn repeated_config_hits_the_cache() {
+        let cache = FlowCache::new();
+        let cfg = quick_cfg();
+        let (first, hit1) = cache.run_traced(&cfg).unwrap();
+        let (second, hit2) = cache.run_traced(&cfg).unwrap();
+        assert!(!hit1, "first lookup must run the flow");
+        assert!(hit2, "identical config must be a cache hit");
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.len(), 1);
+
+        // A structurally equal but separately constructed config keys
+        // the same entry.
+        let (_, hit3) = cache.run_traced(&quick_cfg()).unwrap();
+        assert!(hit3);
+        assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
+    fn distinct_configs_occupy_distinct_entries() {
+        let cache = FlowCache::new();
+        let a = quick_cfg();
+        let mut b = quick_cfg();
+        b.activity += 0.05;
+        cache.run_traced(&a).unwrap();
+        let (_, hit) = cache.run_traced(&b).unwrap();
+        assert!(!hit, "modified config must miss");
+        assert_eq!(cache.len(), 2);
+    }
+}

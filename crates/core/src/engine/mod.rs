@@ -1,0 +1,33 @@
+//! The unified experiment engine: one staged, instrumented, memoised and
+//! parallelised execution substrate shared by every paper experiment.
+//!
+//! The paper's figures all follow the same shape — configure a technology
+//! ([`m3d_tech::Pdk`]), generate a netlist, push it through the
+//! RTL-to-GDS flow ([`m3d_pd::Rtl2GdsFlow`]), evaluate architectures
+//! analytically or by simulation, and report a table. Before this module
+//! every `m3d-bench` binary re-implemented that sequence ad hoc; the
+//! engine factors it into four orthogonal pieces:
+//!
+//! * [`stage`] — the typed pipeline stages (`tech → netlist → pd-flow →
+//!   arch-sim → report`) with per-stage wall-clock instrumentation and a
+//!   uniform `stage, wall_ms, cache_hit` stderr summary;
+//! * [`cache`] — a content-keyed [`cache::FlowCache`] memoising whole
+//!   flow runs by the [`m3d_tech::StableHash`] of their
+//!   [`m3d_pd::FlowConfig`], so iso-footprint experiments that re-run the
+//!   2D baseline pay for it once;
+//! * [`parallel`] — a scoped-thread sweep executor ([`parallel::par_map`])
+//!   that fans independent design points across cores, honouring the
+//!   `M3D_JOBS` environment variable, with output ordering (and therefore
+//!   every downstream number) independent of the worker count;
+//! * [`report`] — the [`report::ExperimentReport`] envelope serialised by
+//!   the bench binaries' `--json` flag, byte-reproducible across runs.
+
+pub mod cache;
+pub mod parallel;
+pub mod report;
+pub mod stage;
+
+pub use cache::{CacheStats, FlowCache};
+pub use parallel::{jobs, par_map, par_map_jobs};
+pub use report::{ExperimentReport, StageRecord};
+pub use stage::{Pipeline, Stage, StageTiming};

@@ -1,0 +1,165 @@
+//! Typed pipeline stages with wall-clock instrumentation.
+//!
+//! Every experiment decomposes into the same coarse stages; [`Pipeline`]
+//! names them, times them, and renders the uniform
+//! `stage, wall_ms, cache_hit` summary the bench binaries print to
+//! stderr. Wall-clock numbers are *observability only*: they are kept
+//! out of the serialised [`crate::engine::ExperimentReport`] so that JSON
+//! artifacts stay byte-reproducible run to run.
+
+use std::time::Instant;
+
+/// One coarse stage of an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Technology configuration: PDK construction, RRAM macro sizing.
+    Tech,
+    /// Netlist generation (the synthesis stand-in).
+    Netlist,
+    /// The RTL-to-GDS physical-design flow.
+    PdFlow,
+    /// Architecture evaluation: analytical framework, simulator, mapper.
+    ArchSim,
+    /// Table/record assembly and serialisation.
+    Report,
+}
+
+impl Stage {
+    /// Stable display name (also used in JSON stage records).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Tech => "tech",
+            Stage::Netlist => "netlist",
+            Stage::PdFlow => "pd-flow",
+            Stage::ArchSim => "arch-sim",
+            Stage::Report => "report",
+        }
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Wall-clock record of one executed stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageTiming {
+    /// Which stage ran.
+    pub stage: Stage,
+    /// Free-form label distinguishing repeated stages (e.g. `"2d"` vs
+    /// `"m3d"` flow runs); empty when the stage runs once.
+    pub label: String,
+    /// Wall-clock duration in milliseconds.
+    pub wall_ms: f64,
+    /// `true` when the stage was satisfied from the flow cache.
+    pub cache_hit: bool,
+}
+
+/// An instrumented sequence of stages.
+///
+/// ```
+/// use m3d_core::engine::{Pipeline, Stage};
+///
+/// let mut pipe = Pipeline::new();
+/// let sum = pipe.stage(Stage::ArchSim, "", |_| (0..100u64).sum::<u64>());
+/// assert_eq!(sum, 4950);
+/// assert_eq!(pipe.timings().len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct Pipeline {
+    timings: Vec<StageTiming>,
+}
+
+/// Handle passed to a running stage, letting it flag a cache hit.
+#[derive(Debug)]
+pub struct StageCtx {
+    cache_hit: bool,
+}
+
+impl StageCtx {
+    /// Marks this stage as satisfied from the flow cache.
+    pub fn mark_cache_hit(&mut self) {
+        self.cache_hit = true;
+    }
+}
+
+impl Pipeline {
+    /// An empty pipeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` as `stage`, recording its wall-clock time. The closure
+    /// receives a [`StageCtx`] to flag cache hits.
+    pub fn stage<T>(&mut self, stage: Stage, label: &str, f: impl FnOnce(&mut StageCtx) -> T) -> T {
+        let mut ctx = StageCtx { cache_hit: false };
+        let start = Instant::now();
+        let out = f(&mut ctx);
+        self.timings.push(StageTiming {
+            stage,
+            label: label.to_owned(),
+            wall_ms: start.elapsed().as_secs_f64() * 1.0e3,
+            cache_hit: ctx.cache_hit,
+        });
+        out
+    }
+
+    /// All recorded timings, in execution order.
+    pub fn timings(&self) -> &[StageTiming] {
+        &self.timings
+    }
+
+    /// Prints the per-stage summary to stderr: one
+    /// `stage, wall_ms, cache_hit` line per executed stage.
+    pub fn eprint_summary(&self) {
+        eprintln!("# stage, wall_ms, cache_hit");
+        for t in &self.timings {
+            let name = if t.label.is_empty() {
+                t.stage.name().to_owned()
+            } else {
+                format!("{}:{}", t.stage.name(), t.label)
+            };
+            eprintln!("# {name}, {:.1}, {}", t.wall_ms, t.cache_hit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_record_in_order_with_labels() {
+        let mut pipe = Pipeline::new();
+        let a = pipe.stage(Stage::Tech, "", |_| 1);
+        let b = pipe.stage(Stage::PdFlow, "m3d", |ctx| {
+            ctx.mark_cache_hit();
+            2
+        });
+        assert_eq!((a, b), (1, 2));
+        let ts = pipe.timings();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].stage, Stage::Tech);
+        assert!(!ts[0].cache_hit);
+        assert_eq!(ts[1].label, "m3d");
+        assert!(ts[1].cache_hit);
+        assert!(ts.iter().all(|t| t.wall_ms >= 0.0));
+    }
+
+    #[test]
+    fn stage_names_are_stable() {
+        let names: Vec<&str> = [
+            Stage::Tech,
+            Stage::Netlist,
+            Stage::PdFlow,
+            Stage::ArchSim,
+            Stage::Report,
+        ]
+        .iter()
+        .map(|s| s.name())
+        .collect();
+        assert_eq!(names, ["tech", "netlist", "pd-flow", "arch-sim", "report"]);
+    }
+}

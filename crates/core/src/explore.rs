@@ -10,6 +10,7 @@ use m3d_tech::{Pdk, RramMacro, SelectorTech};
 
 use crate::cases::{case3_tiers, BaselineAreas, TierPoint};
 use crate::design_point::{case_study_design_point, DesignPoint, CASE_STUDY_CS_DEMAND_MM2};
+use crate::engine::par_map;
 use crate::error::CoreResult;
 use crate::framework::{workload_edp_benefit, ChipParams, WorkloadPoint};
 use crate::thermal::ThermalModel;
@@ -27,29 +28,34 @@ pub struct GridPoint {
 
 /// Sweeps EDP benefit over (bandwidth ×, #CS ×) for one workload point
 /// (Fig. 8). The baseline cell `(1, 1)` is exactly 1×.
+///
+/// Grid cells are independent and are fanned across [`par_map`] workers
+/// (`M3D_JOBS`); the returned row-major order — `bw_factors` outer,
+/// `cs_factors` inner — and every value are identical to serial
+/// execution.
 pub fn bandwidth_cs_grid(
     base: &ChipParams,
     w: &WorkloadPoint,
     bw_factors: &[f64],
     cs_factors: &[f64],
 ) -> Vec<GridPoint> {
-    let mut grid = Vec::with_capacity(bw_factors.len() * cs_factors.len());
-    for &bf in bw_factors {
-        for &cf in cs_factors {
-            let n = ((f64::from(base.n_cs) * cf).round() as u32).max(1);
-            let chip = ChipParams {
-                n_cs: n,
-                bandwidth: base.bandwidth * bf,
-                ..*base
-            };
-            grid.push(GridPoint {
-                bw_factor: bf,
-                cs_factor: cf,
-                edp_benefit: workload_edp_benefit(base, &chip, std::slice::from_ref(w)),
-            });
+    let cells: Vec<(f64, f64)> = bw_factors
+        .iter()
+        .flat_map(|&bf| cs_factors.iter().map(move |&cf| (bf, cf)))
+        .collect();
+    par_map(&cells, |&(bf, cf)| {
+        let n = ((f64::from(base.n_cs) * cf).round() as u32).max(1);
+        let chip = ChipParams {
+            n_cs: n,
+            bandwidth: base.bandwidth * bf,
+            ..*base
+        };
+        GridPoint {
+            bw_factor: bf,
+            cs_factor: cf,
+            edp_benefit: workload_edp_benefit(base, &chip, std::slice::from_ref(w)),
         }
-    }
-    grid
+    })
 }
 
 /// A compute-bound probe workload: `ratio` operations per memory bit
@@ -75,32 +81,37 @@ pub struct CapacityPoint {
 /// Sweeps baseline RRAM capacity and simulates the derived design point
 /// on `workload` (Fig. 9: ResNet-18 from 12 MB to 128 MB).
 ///
+/// Capacity points are independent and are fanned across [`par_map`]
+/// workers (`M3D_JOBS`); the output order follows `capacities_mb` and is
+/// identical to serial execution.
+///
 /// # Errors
 ///
-/// Propagates derivation errors.
+/// Propagates derivation errors (the first failing capacity, in input
+/// order).
 pub fn capacity_sweep(
     pdk: &Pdk,
     capacities_mb: &[u64],
     workload: &Workload,
 ) -> CoreResult<Vec<CapacityPoint>> {
     let base = ChipConfig::baseline_2d();
-    capacities_mb
-        .iter()
-        .map(|&mb| {
-            let dp = case_study_design_point(pdk, mb)?;
-            let cmp = compare(&base, &dp.m3d_chip_config(), workload);
-            Ok(CapacityPoint {
-                capacity_mb: mb,
-                n_cs: dp.n_cs,
-                speedup: cmp.total.speedup,
-                edp_benefit: cmp.total.edp_benefit,
-            })
+    par_map(capacities_mb, |&mb| {
+        let dp = case_study_design_point(pdk, mb)?;
+        let cmp = compare(&base, &dp.m3d_chip_config(), workload);
+        Ok(CapacityPoint {
+            capacity_mb: mb,
+            n_cs: dp.n_cs,
+            speedup: cmp.total.speedup,
+            edp_benefit: cmp.total.edp_benefit,
         })
-        .collect()
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Sweeps interleaved tier pairs, optionally capped by a thermal budget
-/// (Fig. 10d + Obs. 10).
+/// (Fig. 10d + Obs. 10). Tier points run in parallel via [`par_map`],
+/// ordered by pair count exactly as the serial sweep.
 pub fn tier_sweep(
     areas: &BaselineAreas,
     base: &ChipParams,
@@ -112,9 +123,8 @@ pub fn tier_sweep(
         .and_then(|t| t.max_tiers().ok())
         .unwrap_or(max_pairs)
         .min(max_pairs);
-    (1..=cap.max(1))
-        .map(|y| case3_tiers(areas, base, workload, y))
-        .collect()
+    let pairs: Vec<u32> = (1..=cap.max(1)).collect();
+    par_map(&pairs, |&y| case3_tiers(areas, base, workload, y))
 }
 
 /// Observation 3: the design point when the 2D baseline uses a
@@ -202,7 +212,10 @@ mod tests {
             pts[3].edp_benefit > pts[2].edp_benefit,
             "128 MB exceeds 64 MB"
         );
-        assert!(pts[3].edp_benefit < pts[2].edp_benefit * 1.5, "…but plateaus");
+        assert!(
+            pts[3].edp_benefit < pts[2].edp_benefit * 1.5,
+            "…but plateaus"
+        );
     }
 
     #[test]

@@ -246,11 +246,7 @@ pub fn evaluate_workload(params: &ChipParams, points: &[WorkloadPoint]) -> Frame
 }
 
 /// Whole-workload EDP benefit of `m3d` over `base`.
-pub fn workload_edp_benefit(
-    base: &ChipParams,
-    m3d: &ChipParams,
-    points: &[WorkloadPoint],
-) -> f64 {
+pub fn workload_edp_benefit(base: &ChipParams, m3d: &ChipParams, points: &[WorkloadPoint]) -> f64 {
     let a = evaluate_workload(base, points);
     let b = evaluate_workload(m3d, points);
     (a.cycles / b.cycles) * (a.energy_pj / b.energy_pj)

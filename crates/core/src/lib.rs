@@ -39,6 +39,7 @@
 
 pub mod cases;
 pub mod design_point;
+pub mod engine;
 pub mod error;
 pub mod explore;
 pub mod framework;
@@ -52,15 +53,18 @@ pub use cases::{
     via_pitch_equivalent_delta, BaselineAreas, RelaxationPoint, TierPoint, UpperLogicPoint,
 };
 pub use design_point::{case_study_design_point, DesignPoint, CASE_STUDY_CS_DEMAND_MM2};
+pub use engine::{
+    jobs, par_map, par_map_jobs, CacheStats, ExperimentReport, FlowCache, Pipeline, Stage,
+    StageRecord, StageTiming,
+};
 pub use error::{CoreError, CoreResult};
 pub use explore::{
     bandwidth_cs_grid, capacity_sweep, fig5_comparisons, intensity_workload,
     sram_baseline_design_point, tier_sweep, CapacityPoint, GridPoint,
 };
 pub use framework::{
-    memory_cycles, MemoryTraffic,
-    edp_benefit, energy_pj, energy_ratio, evaluate_workload, exec_cycles, n_max, speedup,
-    workload_edp_benefit, ChipParams, FrameworkTotals, WorkloadPoint,
+    edp_benefit, energy_pj, energy_ratio, evaluate_workload, exec_cycles, memory_cycles, n_max,
+    speedup, workload_edp_benefit, ChipParams, FrameworkTotals, MemoryTraffic, WorkloadPoint,
 };
 pub use report::{ExperimentRecord, Metric, Row};
 pub use roofline::{Roofline, SocRoofline};

@@ -154,15 +154,15 @@ mod tests {
         let soc = SocRoofline::m3d(8);
         let agg = soc.aggregate();
         // With no shared traffic, the ensemble behaves as one big chip.
-        assert_eq!(soc.attainable_with_shared(4.0, 0.0), agg.attainable_ops(4.0));
+        assert_eq!(
+            soc.attainable_with_shared(4.0, 0.0),
+            agg.attainable_ops(4.0)
+        );
         // When 100 % of traffic crosses the 128-bit bus, the bus rules.
         let capped = soc.attainable_with_shared(4.0, 1.0);
         assert!(capped < agg.attainable_ops(4.0));
         assert!((capped - 4.0 * 128.0).abs() < 1e-9);
         // High-intensity workloads do not feel the bus.
-        assert_eq!(
-            soc.attainable_with_shared(1.0e6, 0.1),
-            agg.peak_ops,
-        );
+        assert_eq!(soc.attainable_with_shared(1.0e6, 0.1), agg.peak_ops,);
     }
 }

@@ -11,6 +11,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use crate::engine::par_map;
 use crate::error::{CoreError, CoreResult};
 use crate::framework::{workload_edp_benefit, ChipParams, WorkloadPoint};
 
@@ -104,6 +105,12 @@ fn perturbed(p: &ChipParams, f: &[f64; 5]) -> ChipParams {
 /// Samples the EDP-benefit distribution under coherent technology
 /// perturbations. Deterministic for a fixed `seed`.
 ///
+/// Perturbation factors are drawn serially from the seeded RNG — exactly
+/// the sequence a fully serial implementation would draw — and only the
+/// (independent) evaluations fan out across [`par_map`] workers
+/// (`M3D_JOBS`), so the statistics are bit-identical for any worker
+/// count.
+///
 /// # Errors
 ///
 /// Returns [`CoreError::InvalidParameter`] for invalid perturbations or
@@ -126,7 +133,6 @@ pub fn edp_benefit_sensitivity(
     }
     let nominal = workload_edp_benefit(base, m3d, workload);
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut draws: Vec<f64> = Vec::with_capacity(samples);
     let ranges = [
         perturbation.alpha,
         perturbation.op_energy,
@@ -134,16 +140,21 @@ pub fn edp_benefit_sensitivity(
         perturbation.bandwidth,
         perturbation.peak_ops,
     ];
-    for _ in 0..samples {
-        let mut f = [1.0f64; 5];
-        for (fi, r) in f.iter_mut().zip(ranges) {
-            *fi = 1.0 + rng.gen_range(-r..=r);
-        }
+    let factors: Vec<[f64; 5]> = (0..samples)
+        .map(|_| {
+            let mut f = [1.0f64; 5];
+            for (fi, r) in f.iter_mut().zip(ranges) {
+                *fi = 1.0 + rng.gen_range(-r..=r);
+            }
+            f
+        })
+        .collect();
+    let mut draws: Vec<f64> = par_map(&factors, |f| {
         // Coherent: the same technology scaling applies to both chips.
-        let b = perturbed(base, &f);
-        let m = perturbed(m3d, &f);
-        draws.push(workload_edp_benefit(&b, &m, workload));
-    }
+        let b = perturbed(base, f);
+        let m = perturbed(m3d, f);
+        workload_edp_benefit(&b, &m, workload)
+    });
     draws.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let mean = draws.iter().sum::<f64>() / samples as f64;
     let var = draws.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / samples as f64;

@@ -92,7 +92,10 @@ mod tests {
         assert!(e.to_string().contains("u1"));
         let e = NetlistError::MultipleDrivers { net: "n5".into() };
         assert!(e.to_string().contains("n5"));
-        let e = NetlistError::InvalidId { kind: "net", index: 9 };
+        let e = NetlistError::InvalidId {
+            kind: "net",
+            index: 9,
+        };
         assert!(e.to_string().contains("net"));
     }
 

@@ -74,7 +74,10 @@ impl<'a> Simulator<'a> {
         let mut ready: Vec<u32> = Vec::new();
         let mut resolved = vec![false; netlist.net_count()];
         for (ni, net) in netlist.nets().iter().enumerate() {
-            if matches!(net.driver, Some(Driver::PrimaryInput | Driver::Macro { .. })) {
+            if matches!(
+                net.driver,
+                Some(Driver::PrimaryInput | Driver::Macro { .. })
+            ) {
                 resolved[ni] = true;
             }
         }
@@ -303,7 +306,14 @@ mod tests {
         let b = inputs(&mut nl, "b", 8);
         let p = array_multiplier(&mut nl, "mul", Tier::SiCmos, &a, &b).unwrap();
         let mut sim = Simulator::new(&nl).unwrap();
-        for (x, y) in [(0u64, 7u64), (1, 255), (12, 12), (255, 255), (13, 17), (99, 201)] {
+        for (x, y) in [
+            (0u64, 7u64),
+            (1, 255),
+            (12, 12),
+            (255, 255),
+            (13, 17),
+            (99, 201),
+        ] {
             sim.set_bus(&a, x);
             sim.set_bus(&b, y);
             sim.eval();
@@ -348,8 +358,16 @@ mod tests {
         let act = inputs(&mut nl, "a", 8);
         let w = inputs(&mut nl, "w", 8);
         let ps = inputs(&mut nl, "p", 24);
-        let out = mac_pe(&mut nl, "pe", Tier::SiCmos, PeConfig::default(), &act, &w, &ps)
-            .unwrap();
+        let out = mac_pe(
+            &mut nl,
+            "pe",
+            Tier::SiCmos,
+            PeConfig::default(),
+            &act,
+            &w,
+            &ps,
+        )
+        .unwrap();
         let mut sim = Simulator::new(&nl).unwrap();
         sim.set_bus(&act, 9);
         sim.set_bus(&w, 11);
@@ -368,10 +386,24 @@ mod tests {
         let mut nl = Netlist::new("t");
         let a = nl.add_net("a");
         let b = nl.add_net("b");
-        nl.add_cell("u1", CellKind::Inv, m3d_tech::stdcell::DriveStrength::X1, Tier::SiCmos, &[a], &[b])
-            .unwrap();
-        nl.add_cell("u2", CellKind::Inv, m3d_tech::stdcell::DriveStrength::X1, Tier::SiCmos, &[b], &[a])
-            .unwrap();
+        nl.add_cell(
+            "u1",
+            CellKind::Inv,
+            m3d_tech::stdcell::DriveStrength::X1,
+            Tier::SiCmos,
+            &[a],
+            &[b],
+        )
+        .unwrap();
+        nl.add_cell(
+            "u2",
+            CellKind::Inv,
+            m3d_tech::stdcell::DriveStrength::X1,
+            Tier::SiCmos,
+            &[b],
+            &[a],
+        )
+        .unwrap();
         assert!(Simulator::new(&nl).is_err());
     }
 }

@@ -132,8 +132,7 @@ pub fn array_multiplier(
         let mut next = lo;
         if hi.len() == w {
             // Steady state: both operands are w bits; keep the carry.
-            let added =
-                ripple_carry_adder(nl, &format!("{prefix}/row{j}"), tier, &hi, &row, None)?;
+            let added = ripple_carry_adder(nl, &format!("{prefix}/row{j}"), tier, &hi, &row, None)?;
             next.extend(added.sum);
             next.push(added.cout);
         } else {
@@ -271,8 +270,16 @@ mod tests {
         let out = ripple_carry_adder(&mut nl, "add", Tier::SiCmos, &a, &b, None).unwrap();
         assert_eq!(out.sum.len(), 8);
         // 1 HA + 7 FA.
-        let ha = nl.cells().iter().filter(|c| c.kind == CellKind::HalfAdder).count();
-        let fa = nl.cells().iter().filter(|c| c.kind == CellKind::FullAdder).count();
+        let ha = nl
+            .cells()
+            .iter()
+            .filter(|c| c.kind == CellKind::HalfAdder)
+            .count();
+        let fa = nl
+            .cells()
+            .iter()
+            .filter(|c| c.kind == CellKind::FullAdder)
+            .count();
         assert_eq!((ha, fa), (1, 7));
         for s in &out.sum {
             nl.set_primary_output(*s).unwrap();
@@ -288,7 +295,11 @@ mod tests {
         let b = inputs(&mut nl, "b", 4);
         let cin = inputs(&mut nl, "cin", 1)[0];
         ripple_carry_adder(&mut nl, "add", Tier::SiCmos, &a, &b, Some(cin)).unwrap();
-        let fa = nl.cells().iter().filter(|c| c.kind == CellKind::FullAdder).count();
+        let fa = nl
+            .cells()
+            .iter()
+            .filter(|c| c.kind == CellKind::FullAdder)
+            .count();
         assert_eq!(fa, 4);
     }
 
@@ -299,7 +310,11 @@ mod tests {
         let b = inputs(&mut nl, "b", 8);
         let p = array_multiplier(&mut nl, "mul", Tier::SiCmos, &a, &b).unwrap();
         assert_eq!(p.len(), 16);
-        let ands = nl.cells().iter().filter(|c| c.kind == CellKind::And2).count();
+        let ands = nl
+            .cells()
+            .iter()
+            .filter(|c| c.kind == CellKind::And2)
+            .count();
         assert_eq!(ands, 64);
         let adders = nl
             .cells()
@@ -332,7 +347,11 @@ mod tests {
             nl.set_primary_output(n).unwrap();
         }
         assert!(nl.lint().is_empty(), "{:?}", nl.lint());
-        let dffs = nl.cells().iter().filter(|c| c.kind == CellKind::Dff).count();
+        let dffs = nl
+            .cells()
+            .iter()
+            .filter(|c| c.kind == CellKind::Dff)
+            .count();
         assert_eq!(dffs, 8);
     }
 

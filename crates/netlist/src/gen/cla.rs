@@ -73,7 +73,14 @@ pub fn carry_select_adder(
     let mut sum: Vec<NetId> = Vec::with_capacity(w);
     // Block 0: plain ripple.
     let first_end = BLOCK.min(w);
-    let first = ripple_carry_adder(nl, &format!("{prefix}/b0"), tier, &a[..first_end], &b[..first_end], None)?;
+    let first = ripple_carry_adder(
+        nl,
+        &format!("{prefix}/b0"),
+        tier,
+        &a[..first_end],
+        &b[..first_end],
+        None,
+    )?;
     sum.extend(first.sum.iter().copied());
     let mut carry = first.cout;
 
@@ -158,7 +165,11 @@ mod tests {
     #[test]
     fn carry_select_adds_correctly() {
         let (nl, a, b, out) = build(16);
-        assert!(nl.lint().is_empty(), "{:?}", &nl.lint()[..nl.lint().len().min(3)]);
+        assert!(
+            nl.lint().is_empty(),
+            "{:?}",
+            &nl.lint()[..nl.lint().len().min(3)]
+        );
         let mut sim = Simulator::new(&nl).unwrap();
         for (x, y) in [
             (0u64, 0u64),

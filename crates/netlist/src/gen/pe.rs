@@ -5,7 +5,7 @@
 //! forwards to the right neighbour, an 8×8 array multiplier, and a 24-bit
 //! accumulator adding the partial sum flowing down the column.
 
-use m3d_tech::Tier;
+use m3d_tech::{StableHash, StableHasher, Tier};
 
 use crate::error::NetlistResult;
 use crate::gen::arith::{array_multiplier, register, ripple_carry_adder};
@@ -27,6 +27,13 @@ pub struct PeConfig {
     pub data_bits: usize,
     /// Accumulator width in bits.
     pub acc_bits: usize,
+}
+
+impl StableHash for PeConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.data_bits.stable_hash(h);
+        self.acc_bits.stable_hash(h);
+    }
 }
 
 impl Default for PeConfig {
@@ -109,8 +116,16 @@ mod tests {
         let act = bus(&mut nl, "a", 8);
         let w = bus(&mut nl, "w", 8);
         let ps = bus(&mut nl, "p", 24);
-        let out = mac_pe(&mut nl, "pe", Tier::SiCmos, PeConfig::default(), &act, &w, &ps)
-            .unwrap();
+        let out = mac_pe(
+            &mut nl,
+            "pe",
+            Tier::SiCmos,
+            PeConfig::default(),
+            &act,
+            &w,
+            &ps,
+        )
+        .unwrap();
         (nl, out)
     }
 
@@ -124,10 +139,18 @@ mod tests {
     #[test]
     fn pe_cell_budget_matches_architecture() {
         let (nl, _) = build();
-        let dffs = nl.cells().iter().filter(|c| c.kind == CellKind::Dff).count();
+        let dffs = nl
+            .cells()
+            .iter()
+            .filter(|c| c.kind == CellKind::Dff)
+            .count();
         // 8 weight + 8 activation + 24 psum.
         assert_eq!(dffs, 40);
-        let ands = nl.cells().iter().filter(|c| c.kind == CellKind::And2).count();
+        let ands = nl
+            .cells()
+            .iter()
+            .filter(|c| c.kind == CellKind::And2)
+            .count();
         assert_eq!(ands, 64);
         // Multiplier rows (7×8) + 24-bit accumulator.
         let adders = nl
@@ -161,6 +184,14 @@ mod tests {
         let act = bus(&mut nl, "a", 4);
         let w = bus(&mut nl, "w", 8);
         let ps = bus(&mut nl, "p", 24);
-        let _ = mac_pe(&mut nl, "pe", Tier::SiCmos, PeConfig::default(), &act, &w, &ps);
+        let _ = mac_pe(
+            &mut nl,
+            "pe",
+            Tier::SiCmos,
+            PeConfig::default(),
+            &act,
+            &w,
+            &ps,
+        );
     }
 }

@@ -7,7 +7,7 @@
 //! partitioned into N banks using CNFET selectors.
 
 use m3d_tech::stdcell::{CellKind, DriveStrength};
-use m3d_tech::{RramMacro, SelectorTech, TechError, Tier};
+use m3d_tech::{RramMacro, SelectorTech, StableHash, StableHasher, TechError, Tier};
 
 use crate::error::{NetlistError, NetlistResult};
 use crate::gen::arith::{counter, register};
@@ -29,6 +29,17 @@ pub struct SocConfig {
     pub rram_port_bits: u32,
     /// RRAM access-transistor implementation.
     pub selector: SelectorTech,
+}
+
+impl StableHash for SocConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.cs_count.stable_hash(h);
+        self.cs.stable_hash(h);
+        self.rram_mb.stable_hash(h);
+        self.rram_banks.stable_hash(h);
+        self.rram_port_bits.stable_hash(h);
+        self.selector.stable_hash(h);
+    }
 }
 
 impl SocConfig {
@@ -110,14 +121,16 @@ pub fn accelerator_soc(nl: &mut Netlist, cfg: &SocConfig) -> NetlistResult<SocPo
     nl.set_primary_input(zero)?;
 
     // --- RRAM weight memory -------------------------------------------
-    let rram = cfg.rram_macro().map_err(|e| NetlistError::InvalidParameter {
-        parameter: "rram configuration",
-        value: cfg.rram_mb as f64,
-        expected: match e {
-            TechError::InvalidParameter { expected, .. } => expected,
-            _ => "a valid RRAM configuration",
-        },
-    })?;
+    let rram = cfg
+        .rram_macro()
+        .map_err(|e| NetlistError::InvalidParameter {
+            parameter: "rram configuration",
+            value: cfg.rram_mb as f64,
+            expected: match e {
+                TechError::InvalidParameter { expected, .. } => expected,
+                _ => "a valid RRAM configuration",
+            },
+        })?;
     let mut bank_ports: Vec<Vec<NetId>> = Vec::with_capacity(cfg.rram_banks as usize);
     let mut rram_drives = Vec::new();
     let mut rram_recv = Vec::new();
@@ -244,7 +257,11 @@ mod tests {
         };
         let ports = accelerator_soc(&mut nl, &cfg).unwrap();
         assert_eq!(ports.cs.len(), 1);
-        assert!(nl.lint().is_empty(), "{:?}", &nl.lint()[..nl.lint().len().min(5)]);
+        assert!(
+            nl.lint().is_empty(),
+            "{:?}",
+            &nl.lint()[..nl.lint().len().min(5)]
+        );
         // 1 RRAM + 3 SRAMs.
         assert_eq!(nl.macros().len(), 4);
     }
@@ -258,7 +275,11 @@ mod tests {
         };
         let ports = accelerator_soc(&mut nl, &cfg).unwrap();
         assert_eq!(ports.cs.len(), 8);
-        assert!(nl.lint().is_empty(), "{:?}", &nl.lint()[..nl.lint().len().min(5)]);
+        assert!(
+            nl.lint().is_empty(),
+            "{:?}",
+            &nl.lint()[..nl.lint().len().min(5)]
+        );
         // 1 RRAM + 8 × 3 SRAMs.
         assert_eq!(nl.macros().len(), 25);
         let m = cfg.rram_macro().unwrap();

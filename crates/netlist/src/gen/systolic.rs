@@ -3,7 +3,7 @@
 //! input-skew registers and control, as in Fig. 2 of the paper.
 
 use m3d_tech::stdcell::{CellKind, DriveStrength};
-use m3d_tech::{SramMacro, Tier};
+use m3d_tech::{SramMacro, StableHash, StableHasher, Tier};
 
 use crate::error::NetlistResult;
 use crate::gen::arith::{counter, register, ripple_carry_adder};
@@ -34,6 +34,16 @@ impl Default for CsConfig {
             global_buffer_kb: 1024,
             local_buffer_kb: 32,
         }
+    }
+}
+
+impl StableHash for CsConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.rows.stable_hash(h);
+        self.cols.stable_hash(h);
+        self.pe.stable_hash(h);
+        self.global_buffer_kb.stable_hash(h);
+        self.local_buffer_kb.stable_hash(h);
     }
 }
 
@@ -83,7 +93,10 @@ pub fn systolic_cs(
     cfg: CsConfig,
     zero: NetId,
 ) -> NetlistResult<CsPorts> {
-    assert!(cfg.rows > 0 && cfg.cols > 0, "array dimensions must be positive");
+    assert!(
+        cfg.rows > 0 && cfg.cols > 0,
+        "array dimensions must be positive"
+    );
     let db = cfg.pe.data_bits;
     let ab = cfg.pe.acc_bits;
 
@@ -178,14 +191,7 @@ pub fn systolic_cs(
         let fb: Vec<NetId> = (0..ab)
             .map(|i| nl.add_net(format!("{prefix}/accfb{c}_{i}")))
             .collect();
-        let sum = ripple_carry_adder(
-            nl,
-            &format!("{prefix}/colacc{c}"),
-            tier,
-            psum,
-            &fb,
-            None,
-        )?;
+        let sum = ripple_carry_adder(nl, &format!("{prefix}/colacc{c}"), tier, psum, &fb, None)?;
         nl.set_primary_output(sum.cout)?;
         let q = register(nl, &format!("{prefix}/colreg{c}"), tier, &sum.sum)?;
         // Feedback: register output drives the adder's second operand via
@@ -317,7 +323,11 @@ mod tests {
     #[test]
     fn small_cs_lints_clean() {
         let (nl, ports) = build(4, 4);
-        assert!(nl.lint().is_empty(), "first issues: {:?}", &nl.lint()[..nl.lint().len().min(5)]);
+        assert!(
+            nl.lint().is_empty(),
+            "first issues: {:?}",
+            &nl.lint()[..nl.lint().len().min(5)]
+        );
         assert_eq!(ports.weight_cols.len(), 4);
         assert_eq!(ports.ext_act_in.len(), EXT_BUS_BITS);
         assert_eq!(ports.result_out.len(), RESULT_BITS);
@@ -366,7 +376,10 @@ mod tests {
         // Row 3 has 3 stages × 8 bits.
         assert_eq!(skew_dffs, 24);
         assert_eq!(
-            nl.cells().iter().filter(|c| c.name.contains("/skew_r0_")).count(),
+            nl.cells()
+                .iter()
+                .filter(|c| c.name.contains("/skew_r0_"))
+                .count(),
             0
         );
     }

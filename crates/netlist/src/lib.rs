@@ -40,12 +40,12 @@ pub mod verilog;
 pub use error::{NetlistError, NetlistResult};
 pub use eval::Simulator;
 pub use gen::{
-    accelerator_soc, bind_cs_ports_as_primary, systolic_cs, CsConfig, CsPorts, PeConfig,
-    SocConfig, SocPorts,
+    accelerator_soc, bind_cs_ports_as_primary, systolic_cs, CsConfig, CsPorts, PeConfig, SocConfig,
+    SocPorts,
 };
 pub use netlist::{
     CellId, CellInst, Driver, MacroId, MacroInst, MacroKind, Net, NetId, Netlist, Sink,
 };
-pub use stats::NetlistStats;
 pub use parser::from_verilog;
+pub use stats::NetlistStats;
 pub use verilog::to_verilog;

@@ -178,10 +178,12 @@ impl Netlist {
     ///
     /// Returns [`NetlistError::InvalidId`] for out-of-range ids.
     pub fn cell(&self, id: CellId) -> NetlistResult<&CellInst> {
-        self.cells.get(id.0 as usize).ok_or(NetlistError::InvalidId {
-            kind: "cell",
-            index: id.0 as usize,
-        })
+        self.cells
+            .get(id.0 as usize)
+            .ok_or(NetlistError::InvalidId {
+                kind: "cell",
+                index: id.0 as usize,
+            })
     }
 
     /// Mutable cell lookup.
@@ -216,10 +218,12 @@ impl Netlist {
     ///
     /// Returns [`NetlistError::InvalidId`] for out-of-range ids.
     pub fn macro_inst(&self, id: MacroId) -> NetlistResult<&MacroInst> {
-        self.macros.get(id.0 as usize).ok_or(NetlistError::InvalidId {
-            kind: "macro",
-            index: id.0 as usize,
-        })
+        self.macros
+            .get(id.0 as usize)
+            .ok_or(NetlistError::InvalidId {
+                kind: "macro",
+                index: id.0 as usize,
+            })
     }
 
     /// Creates a fresh unconnected net.
@@ -248,7 +252,9 @@ impl Netlist {
                 index: net.0 as usize,
             })?;
         if n.driver.is_some() {
-            return Err(NetlistError::MultipleDrivers { net: n.name.clone() });
+            return Err(NetlistError::MultipleDrivers {
+                net: n.name.clone(),
+            });
         }
         n.driver = Some(Driver::PrimaryInput);
         self.primary_inputs.push(net);
@@ -331,7 +337,9 @@ impl Netlist {
                     index: net.0 as usize,
                 })?;
             if n.driver.is_some() {
-                return Err(NetlistError::MultipleDrivers { net: n.name.clone() });
+                return Err(NetlistError::MultipleDrivers {
+                    net: n.name.clone(),
+                });
             }
             n.driver = Some(Driver::Cell {
                 cell: id,
@@ -372,7 +380,9 @@ impl Netlist {
                     index: net.0 as usize,
                 })?;
             if n.driver.is_some() {
-                return Err(NetlistError::MultipleDrivers { net: n.name.clone() });
+                return Err(NetlistError::MultipleDrivers {
+                    net: n.name.clone(),
+                });
             }
             n.driver = Some(Driver::Macro { id });
         }
@@ -597,9 +607,23 @@ mod tests {
         let a = nl.add_net("a");
         let y = nl.add_net("y");
         nl.set_primary_input(a).unwrap();
-        nl.add_cell("u1", CellKind::Inv, DriveStrength::X1, Tier::SiCmos, &[a], &[y])
-            .unwrap();
-        let r = nl.add_cell("u2", CellKind::Inv, DriveStrength::X1, Tier::SiCmos, &[a], &[y]);
+        nl.add_cell(
+            "u1",
+            CellKind::Inv,
+            DriveStrength::X1,
+            Tier::SiCmos,
+            &[a],
+            &[y],
+        )
+        .unwrap();
+        let r = nl.add_cell(
+            "u2",
+            CellKind::Inv,
+            DriveStrength::X1,
+            Tier::SiCmos,
+            &[a],
+            &[y],
+        );
         assert!(matches!(r, Err(NetlistError::MultipleDrivers { .. })));
         assert!(nl.set_primary_input(y).is_err());
     }
@@ -619,10 +643,24 @@ mod tests {
         let y1 = nl.add_net("y1");
         let y2 = nl.add_net("y2");
         nl.set_primary_input(a).unwrap();
-        nl.add_cell("sel/u1", CellKind::Inv, DriveStrength::X1, Tier::SiCmos, &[a], &[y1])
-            .unwrap();
-        nl.add_cell("core/u2", CellKind::Inv, DriveStrength::X1, Tier::SiCmos, &[a], &[y2])
-            .unwrap();
+        nl.add_cell(
+            "sel/u1",
+            CellKind::Inv,
+            DriveStrength::X1,
+            Tier::SiCmos,
+            &[a],
+            &[y1],
+        )
+        .unwrap();
+        nl.add_cell(
+            "core/u2",
+            CellKind::Inv,
+            DriveStrength::X1,
+            Tier::SiCmos,
+            &[a],
+            &[y2],
+        )
+        .unwrap();
         let n = nl.bind_tier_by_prefix("sel/", Tier::Cnfet);
         assert_eq!(n, 1);
         assert_eq!(nl.cells()[0].tier, Tier::Cnfet);
@@ -645,7 +683,10 @@ mod tests {
         let y = NetId(2 + off);
         assert!(matches!(
             parent.net(y).unwrap().driver,
-            Some(Driver::Cell { cell: CellId(0), .. })
+            Some(Driver::Cell {
+                cell: CellId(0),
+                ..
+            })
         ));
         assert!(parent.lint().is_empty());
     }

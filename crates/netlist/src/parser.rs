@@ -104,7 +104,10 @@ pub fn from_verilog(source: &str) -> NetlistResult<Netlist> {
             continue;
         }
         if let Some(rest) = line.strip_prefix("module ") {
-            let name = rest.split(['(', ' ']).next().ok_or_else(|| bad("module name"))?;
+            let name = rest
+                .split(['(', ' '])
+                .next()
+                .ok_or_else(|| bad("module name"))?;
             nl.name = name.to_owned();
         } else if let Some(rest) = line.strip_prefix("input ") {
             let n = net_of(&mut nl, rest.trim(), &mut nets);
@@ -127,10 +130,14 @@ pub fn from_verilog(source: &str) -> NetlistResult<Netlist> {
             let conns = parse_conns(body);
 
             if let Some((base, drive_s)) = model.rsplit_once('_') {
-                if let (Some(kind), Some(drive)) = (kind_from_name(base), drive_from_suffix(drive_s))
+                if let (Some(kind), Some(drive)) =
+                    (kind_from_name(base), drive_from_suffix(drive_s))
                 {
                     let find = |pin: &str| -> Option<&str> {
-                        conns.iter().find(|(p, _)| p == pin).map(|(_, n)| n.as_str())
+                        conns
+                            .iter()
+                            .find(|(p, _)| p == pin)
+                            .map(|(_, n)| n.as_str())
                     };
                     let mut ins = Vec::new();
                     for p in input_pins(kind).iter().take(kind.input_count()) {
@@ -242,7 +249,11 @@ mod tests {
         assert_eq!(parsed.cell_count(), nl.cell_count());
         assert_eq!(parsed.primary_inputs.len(), nl.primary_inputs.len());
         assert_eq!(parsed.primary_outputs.len(), nl.primary_outputs.len());
-        assert!(parsed.lint().is_empty(), "{:?}", &parsed.lint()[..parsed.lint().len().min(3)]);
+        assert!(
+            parsed.lint().is_empty(),
+            "{:?}",
+            &parsed.lint()[..parsed.lint().len().min(3)]
+        );
     }
 
     #[test]

@@ -261,9 +261,9 @@ impl Clustering {
 
     /// Index of the cluster owning macro `i`, if any.
     pub fn macro_cluster(&self, i: usize) -> Option<usize> {
-        self.clusters.iter().position(|c| {
-            matches!(&c.kind, ClusterKind::SramMacro(j) | ClusterKind::RramMacro(j) if *j == i)
-        })
+        self.clusters.iter().position(
+            |c| matches!(&c.kind, ClusterKind::SramMacro(j) | ClusterKind::RramMacro(j) if *j == i),
+        )
     }
 }
 

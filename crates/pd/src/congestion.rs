@@ -180,7 +180,11 @@ pub fn analyze_congestion(
         supply,
         overflow_tiles: overflow,
         max_utilization: max_util,
-        avg_utilization: if used_tiles > 0 { sum_util / used_tiles as f64 } else { 0.0 },
+        avg_utilization: if used_tiles > 0 {
+            sum_util / used_tiles as f64
+        } else {
+            0.0
+        },
         under_array_utilization: if ua_n > 0 { ua_sum / ua_n as f64 } else { 0.0 },
         free_region_utilization: if fr_n > 0 { fr_sum / fr_n as f64 } else { 0.0 },
     }
@@ -236,7 +240,14 @@ mod tests {
         .run()
         .unwrap();
         let pdk = m3d_tech::Pdk::m3d_130nm();
-        let c = analyze_congestion(&a.netlist, &a.placement, &a.routing, &a.floorplan, &pdk, 1000.0);
+        let c = analyze_congestion(
+            &a.netlist,
+            &a.placement,
+            &a.routing,
+            &a.floorplan,
+            &pdk,
+            1000.0,
+        );
         // Supply under the array must be lower than outside it: index the
         // tile containing the under-array region's centre vs tile (0, 0)
         // in the free bottom strip.
@@ -258,14 +269,16 @@ mod tests {
             .run()
             .unwrap();
         let pdk = m3d_tech::Pdk::baseline_2d_130nm();
-        let c = analyze_congestion(&a.netlist, &a.placement, &a.routing, &a.floorplan, &pdk, 1000.0);
+        let c = analyze_congestion(
+            &a.netlist,
+            &a.placement,
+            &a.routing,
+            &a.floorplan,
+            &pdk,
+            1000.0,
+        );
         let spread: f64 = c.demand.iter().sum();
-        let routed: f64 = a
-            .routing
-            .nets
-            .iter()
-            .map(|n| n.length.value())
-            .sum();
+        let routed: f64 = a.routing.nets.iter().map(|n| n.length.value()).sum();
         assert!(
             (spread - routed).abs() / routed.max(1.0) < 1e-6,
             "demand spread {spread} vs routed {routed}"

@@ -87,25 +87,29 @@ pub fn estimate_clock_tree(
         span /= 2.0;
     }
     let leaf_pitch = (die_w * die_h / leaves as f64).sqrt();
-    wire += leaf_pitch * 0.5 * n as f64 / SINKS_PER_LEAF as f64
-        + leaf_pitch * 0.25 * n as f64 / 4.0;
+    wire +=
+        leaf_pitch * 0.5 * n as f64 / SINKS_PER_LEAF as f64 + leaf_pitch * 0.25 * n as f64 / 4.0;
 
     // --- Delay / skew ---------------------------------------------------------
     let buf = pdk.si_lib.cell(CellKind::Buf, DriveStrength::X8)?;
     let c_per_um = pdk.stack.avg_capacitance_per_um();
-    let seg = if levels > 0 { wire / f64::from(levels + 1) } else { wire };
+    let seg = if levels > 0 {
+        wire / f64::from(levels + 1)
+    } else {
+        wire
+    };
     let stage_load = c_per_um * seg + buf.input_cap;
     let stage_delay = buf.delay(stage_load);
     let insertion = stage_delay * f64::from(levels + 1);
     // Balanced H-tree: skew bounded by one leaf-stub RC spread.
-    let leaf_rc = pdk.stack.avg_resistance_per_um() * (leaf_pitch * 0.5)
+    let leaf_rc = pdk.stack.avg_resistance_per_um()
+        * (leaf_pitch * 0.5)
         * (c_per_um * (leaf_pitch * 0.5) * 0.5 + Femto(sink_cap / leaves as f64));
     let skew = leaf_rc;
 
     // --- Power ------------------------------------------------------------------
     // Full-swing every cycle: C_total × Vdd² × f.
-    let c_total_ff = c_per_um.value() * wire + sink_cap
-        + buffers as f64 * buf.input_cap.value();
+    let c_total_ff = c_per_um.value() * wire + sink_cap + buffers as f64 * buf.input_cap.value();
     let f_mhz = pdk.default_clock.value();
     let power_mw = c_total_ff * pdk.vdd * pdk.vdd * f_mhz * 1.0e-6;
 
@@ -171,7 +175,11 @@ mod tests {
         assert!(t.insertion_delay.value() > 0.0 && t.insertion_delay.value() < 20.0);
         assert!(t.skew_bound < t.insertion_delay);
         // Clock power is a small-but-real fraction of a ~17 mW chip.
-        assert!(t.power.value() > 0.05 && t.power.value() < 20.0, "{}", t.power);
+        assert!(
+            t.power.value() > 0.05 && t.power.value() < 20.0,
+            "{}",
+            t.power
+        );
     }
 
     #[test]

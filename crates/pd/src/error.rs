@@ -3,8 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
-use m3d_tech::TechError;
 use m3d_netlist::NetlistError;
+use m3d_tech::TechError;
 
 /// Errors produced by floorplanning, placement, routing, timing or the
 /// flow driver.

@@ -261,7 +261,9 @@ impl Floorplan {
 
     /// The under-array region, when the floorplan has one (M3D).
     pub fn under_array_region(&self) -> Option<&Region> {
-        self.regions.iter().find(|r| r.kind == RegionKind::UnderArray)
+        self.regions
+            .iter()
+            .find(|r| r.kind == RegionKind::UnderArray)
     }
 
     /// The RRAM cell-array block.
@@ -414,7 +416,11 @@ mod tests {
         // 64 MB CNFET-selector array frees (80.5 − 10) × 0.5 ≈ 35.3 mm².
         let m3d = RramMacro::with_capacity_mb(64, 8, 256, SelectorTech::IDEAL_CNFET).unwrap();
         let freed = under_array_usable_area(&pdk, &m3d).unwrap();
-        assert!((freed.as_mm2() - 35.27).abs() < 0.1, "freed = {}", freed.as_mm2());
+        assert!(
+            (freed.as_mm2() - 35.27).abs() < 0.1,
+            "freed = {}",
+            freed.as_mm2()
+        );
         // Si selectors free nothing.
         let two_d = RramMacro::with_capacity_mb(64, 1, 256, SelectorTech::SiFet).unwrap();
         assert_eq!(
@@ -425,11 +431,7 @@ mod tests {
 
     #[test]
     fn geometric_demand_combines_cells_and_macros() {
-        let d = geometric_demand(
-            SquareMicrons::new(700.0),
-            SquareMicrons::new(500.0),
-            0.7,
-        );
+        let d = geometric_demand(SquareMicrons::new(700.0), SquareMicrons::new(500.0), 0.7);
         assert!((d.value() - 1500.0).abs() < 1e-9);
     }
 }

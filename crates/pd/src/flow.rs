@@ -39,6 +39,28 @@ pub struct FlowConfig {
     pub legalize: bool,
 }
 
+impl m3d_tech::StableHash for FlowConfig {
+    fn stable_hash(&self, h: &mut m3d_tech::StableHasher) {
+        self.pdk.stable_hash(h);
+        self.soc.stable_hash(h);
+        self.placer.stable_hash(h);
+        self.opt.stable_hash(h);
+        self.die_override.stable_hash(h);
+        self.activity.stable_hash(h);
+        self.legalize.stable_hash(h);
+    }
+}
+
+impl FlowConfig {
+    /// Content key of this configuration under [`m3d_tech::StableHash`] —
+    /// the memoisation key the experiment engine's flow cache uses. Equal
+    /// configurations always produce equal keys, across processes and
+    /// threads.
+    pub fn stable_key(&self) -> u64 {
+        m3d_tech::StableHash::stable_key(self)
+    }
+}
+
 impl FlowConfig {
     /// The paper's 2D baseline flow: Si CMOS + RRAM, CNFET cells blocked.
     pub fn baseline_2d() -> Self {
@@ -285,8 +307,7 @@ impl Rtl2GdsFlow {
             avg_density_mw_per_mm2: power.avg_density_mw_per_mm2,
             hottest_cs_power_mw: power.hottest_cs_power_mw,
             cs_stack_density_increase: {
-                let cs_density =
-                    power.hottest_cs_power_mw / cs_demand.as_mm2().max(1e-9);
+                let cs_density = power.hottest_cs_power_mw / cs_demand.as_mm2().max(1e-9);
                 if cs_density > 0.0 {
                     power.upper_layer_density_mw_per_mm2 / cs_density
                 } else {
@@ -396,12 +417,7 @@ mod tests {
         let (r, _) = Rtl2GdsFlow::new(cfg).run().unwrap();
         assert!(r.gamma_cells > 0.0);
         assert!(r.gamma_perif > 0.0);
-        assert!(
-            (r.gamma_cells / r.gamma_perif
-                - r.rram_array_mm2 / r.rram_perif_mm2)
-                .abs()
-                < 1e-6
-        );
+        assert!((r.gamma_cells / r.gamma_perif - r.rram_array_mm2 / r.rram_perif_mm2).abs() < 1e-6);
         assert!(r.cs_demand_mm2 > 0.0);
     }
 }

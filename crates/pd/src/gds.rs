@@ -7,8 +7,8 @@ use std::io::Write;
 use serde::{Deserialize, Serialize};
 
 use crate::cluster::ClusterKind;
-use crate::flow::FlowArtifacts;
 use crate::floorplan::RegionKind;
+use crate::flow::FlowArtifacts;
 use crate::geom::Rect;
 
 /// One placed object in the export.

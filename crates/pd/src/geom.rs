@@ -44,6 +44,15 @@ pub struct Rect {
     pub y1: Microns,
 }
 
+impl m3d_tech::StableHash for Rect {
+    fn stable_hash(&self, h: &mut m3d_tech::StableHasher) {
+        self.x0.stable_hash(h);
+        self.y0.stable_hash(h);
+        self.x1.stable_hash(h);
+        self.y1.stable_hash(h);
+    }
+}
+
 impl Rect {
     /// Creates a rectangle from raw micron corner coordinates.
     ///

@@ -235,8 +235,7 @@ mod tests {
         for (ci, pos) in leg.cell_pos.iter().enumerate() {
             let c = &nl.cells()[ci];
             let lib = pdk.library(c.tier).unwrap();
-            let w = lib.cell(c.kind, c.drive).unwrap().area.value()
-                / pdk.si_lib.row_height.value();
+            let w = lib.cell(c.kind, c.drive).unwrap().area.value() / pdk.si_lib.row_height.value();
             by_row
                 .entry((pos.y.value() * 1000.0) as i64)
                 .or_default()

@@ -34,8 +34,8 @@ pub mod error;
 pub mod floorplan;
 pub mod flow;
 pub mod gds;
-pub mod legalize;
 pub mod geom;
+pub mod legalize;
 pub mod opt;
 pub mod partition;
 pub mod place;
@@ -52,8 +52,8 @@ pub use error::{PdError, PdResult};
 pub use floorplan::{under_array_usable_area, FixedBlock, Floorplan, Region, RegionKind};
 pub use flow::{cs_geometric_demand, FlowArtifacts, FlowConfig, FlowReport, Rtl2GdsFlow};
 pub use gds::LayoutExport;
-pub use legalize::{legalize, LegalizeReport};
 pub use geom::{BoundingBox, Point, Rect};
+pub use legalize::{legalize, LegalizeReport};
 pub use opt::{post_route_optimize, OptConfig, OptOutcome};
 pub use partition::{fold_two_tier, FoldingReport};
 pub use place::{place, Placement, PlacerConfig};

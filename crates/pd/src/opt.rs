@@ -28,6 +28,15 @@ pub struct OptConfig {
     pub detour: f64,
 }
 
+impl m3d_tech::StableHash for OptConfig {
+    fn stable_hash(&self, h: &mut m3d_tech::StableHasher) {
+        self.max_rounds.stable_hash(h);
+        self.upsize_threshold_ns.stable_hash(h);
+        self.buffer_length_um.stable_hash(h);
+        self.detour.stable_hash(h);
+    }
+}
+
 impl Default for OptConfig {
     fn default() -> Self {
         Self {
@@ -148,7 +157,10 @@ pub fn post_route_optimize(
                 !rn.is_global
                     && rn.length.value() > config.buffer_length_um
                     && !netlist.nets()[*ni].sinks.is_empty()
-                    && !matches!(netlist.nets()[*ni].driver, None | Some(Driver::PrimaryInput))
+                    && !matches!(
+                        netlist.nets()[*ni].driver,
+                        None | Some(Driver::PrimaryInput)
+                    )
             })
             .map(|(ni, _)| ni)
             .collect();
@@ -219,9 +231,12 @@ mod tests {
     fn optimization_keeps_netlist_clean() {
         let (mut nl, mut p, pdk, clock) = setup();
         let before = nl.cell_count();
-        let out = post_route_optimize(&mut nl, &mut p, &pdk, clock, &OptConfig::default())
-            .unwrap();
-        assert!(nl.lint().is_empty(), "{:?}", &nl.lint()[..nl.lint().len().min(3)]);
+        let out = post_route_optimize(&mut nl, &mut p, &pdk, clock, &OptConfig::default()).unwrap();
+        assert!(
+            nl.lint().is_empty(),
+            "{:?}",
+            &nl.lint()[..nl.lint().len().min(3)]
+        );
         assert_eq!(nl.cell_count(), before + out.buffers_inserted);
         assert_eq!(p.cell_pos.len(), nl.cell_count());
         assert!(out.rounds >= 1);
@@ -232,8 +247,7 @@ mod tests {
         let (mut nl, mut p, pdk, clock) = setup();
         let r0 = estimate_routing(&nl, &p, &pdk, crate::route::DEFAULT_DETOUR).unwrap();
         let t0 = analyze_timing(&nl, &r0, &pdk, clock).unwrap();
-        let out = post_route_optimize(&mut nl, &mut p, &pdk, clock, &OptConfig::default())
-            .unwrap();
+        let out = post_route_optimize(&mut nl, &mut p, &pdk, clock, &OptConfig::default()).unwrap();
         assert!(
             out.timing.critical_path.value() <= t0.critical_path.value() * 1.001,
             "opt {} vs base {}",

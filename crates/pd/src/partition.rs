@@ -196,7 +196,12 @@ mod tests {
             .map(|c| c.area.value())
             .fold(0.0, f64::max);
         let limit = BALANCE_LIMIT.max(largest / total + 1e-6);
-        assert!(r.footprint_ratio <= limit + 1e-9, "{} > {}", r.footprint_ratio, limit);
+        assert!(
+            r.footprint_ratio <= limit + 1e-9,
+            "{} > {}",
+            r.footprint_ratio,
+            limit
+        );
         assert!(r.footprint_ratio >= 0.5 - 1e-9);
     }
 
@@ -206,7 +211,12 @@ mod tests {
         let r = fold_two_tier(&cl, 7);
         // A random balanced split cuts roughly half of all multi-cluster
         // nets; the optimiser must do clearly better.
-        assert!(r.cut_nets < r.total_nets / 2, "{} of {}", r.cut_nets, r.total_nets);
+        assert!(
+            r.cut_nets < r.total_nets / 2,
+            "{} of {}",
+            r.cut_nets,
+            r.total_nets
+        );
         assert!(r.cut_fraction() < 0.5);
     }
 

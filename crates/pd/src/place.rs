@@ -36,6 +36,17 @@ pub struct PlacerConfig {
     pub overflow_weight: f64,
 }
 
+impl m3d_tech::StableHash for PlacerConfig {
+    fn stable_hash(&self, h: &mut m3d_tech::StableHasher) {
+        self.seed.stable_hash(h);
+        self.moves_per_cluster.stable_hash(h);
+        self.temperature_steps.stable_hash(h);
+        self.cooling.stable_hash(h);
+        self.bin_size_um.stable_hash(h);
+        self.overflow_weight.stable_hash(h);
+    }
+}
+
 impl Default for PlacerConfig {
     fn default() -> Self {
         Self {
@@ -148,12 +159,16 @@ impl Bins {
 
     fn block_for(&self, p: Point, side: f64) -> (usize, usize, usize, usize) {
         let half = side / 2.0;
-        let x0 = ((p.x.value() - half - self.origin.0) / self.size).floor().max(0.0) as usize;
-        let y0 = ((p.y.value() - half - self.origin.1) / self.size).floor().max(0.0) as usize;
-        let x1 = (((p.x.value() + half - self.origin.0) / self.size).floor() as usize)
-            .min(self.nx - 1);
-        let y1 = (((p.y.value() + half - self.origin.1) / self.size).floor() as usize)
-            .min(self.ny - 1);
+        let x0 = ((p.x.value() - half - self.origin.0) / self.size)
+            .floor()
+            .max(0.0) as usize;
+        let y0 = ((p.y.value() - half - self.origin.1) / self.size)
+            .floor()
+            .max(0.0) as usize;
+        let x1 =
+            (((p.x.value() + half - self.origin.0) / self.size).floor() as usize).min(self.nx - 1);
+        let y1 =
+            (((p.y.value() + half - self.origin.1) / self.size).floor() as usize).min(self.ny - 1);
         (x0.min(self.nx - 1), y0.min(self.ny - 1), x1, y1)
     }
 
@@ -294,7 +309,12 @@ pub fn place(
     for &ci in &movable {
         let c = &clustering.clusters[ci];
         let region = &floorplan.regions[region_of[ci]];
-        bins.apply(pos[ci], footprint_side(c, region), demand_geo(c, region), 1.0);
+        bins.apply(
+            pos[ci],
+            footprint_side(c, region),
+            demand_geo(c, region),
+            1.0,
+        );
     }
 
     // --- Simulated annealing ----------------------------------------------
@@ -381,7 +401,12 @@ pub fn place(
     let macro_count = clustering
         .clusters
         .iter()
-        .filter(|c| matches!(c.kind, ClusterKind::SramMacro(_) | ClusterKind::RramMacro(_)))
+        .filter(|c| {
+            matches!(
+                c.kind,
+                ClusterKind::SramMacro(_) | ClusterKind::RramMacro(_)
+            )
+        })
         .count();
     let mut macro_pos = vec![Point::default(); macro_count];
     for (ci, c) in clustering.clusters.iter().enumerate() {
@@ -540,6 +565,9 @@ mod tests {
             .position(|r| r.kind == crate::floorplan::RegionKind::UnderArray)
             .unwrap();
         let in_ua = p.cluster_region.iter().filter(|&&r| r == ua_idx).count();
-        assert!(in_ua > 0, "M3D placement should use the freed Si under the array");
+        assert!(
+            in_ua > 0,
+            "M3D placement should use the freed Si under the array"
+        );
     }
 }

@@ -135,7 +135,10 @@ pub fn analyze_power(
     let cs_key = |name: &str| -> Option<String> {
         let first = name.split('/').next()?;
         (first.starts_with("cs")
-            && first[2..].chars().next().is_some_and(|c| c.is_ascii_digit()))
+            && first[2..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_digit()))
         .then(|| first.trim_end_matches("_if").to_owned())
     };
     for (ci, cell) in netlist.cells().iter().enumerate() {
@@ -200,7 +203,10 @@ pub fn analyze_power(
                     upper_mw += up;
                     (up, p - up)
                 } else {
-                    (p_dyn * RRAM_CELL_ENERGY_FRACTION, p * (1.0 - RRAM_CELL_ENERGY_FRACTION))
+                    (
+                        p_dyn * RRAM_CELL_ENERGY_FRACTION,
+                        p * (1.0 - RRAM_CELL_ENERGY_FRACTION),
+                    )
                 };
                 spread(&floorplan.rram_array().rect, p_cellarray, &mut grid);
                 spread(&floorplan.rram_periph().rect, p_perif, &mut grid);
@@ -213,7 +219,11 @@ pub fn analyze_power(
     let die_mm2 = floorplan.die.area().as_mm2();
     let hottest_cs = per_cs_power.values().copied().fold(0.0, f64::max);
     let array_mm2 = floorplan.rram_array().rect.area().as_mm2();
-    let upper_density = if array_mm2 > 0.0 { upper_mw / array_mm2 } else { 0.0 };
+    let upper_density = if array_mm2 > 0.0 {
+        upper_mw / array_mm2
+    } else {
+        0.0
+    };
     Ok(PowerReport {
         cell_dynamic: Milliwatts::new(cell_dynamic),
         clock: Milliwatts::new(clock_mw),
@@ -334,6 +344,9 @@ mod tests {
         let p2 = analyze_power(&nl, &r, &pl, &fp, &pdk, Megahertz::new(40.0), 0.15).unwrap();
         let ratio = p2.cell_dynamic.value() / p1.cell_dynamic.value();
         assert!((ratio - 2.0).abs() < 1e-9);
-        assert!(p2.cell_leakage == p1.cell_leakage, "leakage is frequency independent");
+        assert!(
+            p2.cell_leakage == p1.cell_leakage,
+            "leakage is frequency independent"
+        );
     }
 }

@@ -37,11 +37,7 @@ pub fn to_spef(netlist: &Netlist, routing: &RoutingEstimate, design: &str) -> St
         let _ = writeln!(out, "*CONN");
         match net.driver {
             Some(Driver::Cell { cell, pin }) => {
-                let _ = writeln!(
-                    out,
-                    "*I {}:{pin} O",
-                    netlist.cells()[cell.0 as usize].name
-                );
+                let _ = writeln!(out, "*I {}:{pin} O", netlist.cells()[cell.0 as usize].name);
             }
             Some(Driver::Macro { id }) => {
                 let _ = writeln!(out, "*I {}:Q O", netlist.macros()[id.0 as usize].name);
@@ -54,11 +50,7 @@ pub fn to_spef(netlist: &Netlist, routing: &RoutingEstimate, design: &str) -> St
         for s in &net.sinks {
             match *s {
                 Sink::Cell { cell, pin } => {
-                    let _ = writeln!(
-                        out,
-                        "*I {}:{pin} I",
-                        netlist.cells()[cell.0 as usize].name
-                    );
+                    let _ = writeln!(out, "*I {}:{pin} I", netlist.cells()[cell.0 as usize].name);
                 }
                 Sink::Macro { id } => {
                     let _ = writeln!(out, "*I {}:D I", netlist.macros()[id.0 as usize].name);
@@ -124,10 +116,7 @@ mod tests {
         let (nl, r) = routed();
         let spef = to_spef(&nl, &r, "soc");
         // Spot-check net 0's cap annotation.
-        let line = spef
-            .lines()
-            .find(|l| l.starts_with("*D_NET n0 "))
-            .unwrap();
+        let line = spef.lines().find(|l| l.starts_with("*D_NET n0 ")).unwrap();
         let cap: f64 = line.split_whitespace().nth(2).unwrap().parse().unwrap();
         assert!((cap - r.nets[0].total_cap().value()).abs() < 1e-3);
     }

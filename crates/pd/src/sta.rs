@@ -143,9 +143,7 @@ pub fn analyze_timing(
     }
 
     // Decrement fanin counters for already-resolved nets.
-    let dec_for_net = |ni: usize,
-                           remaining: &mut Vec<u32>,
-                           ready: &mut Vec<u32>| {
+    let dec_for_net = |ni: usize, remaining: &mut Vec<u32>, ready: &mut Vec<u32>| {
         for s in &netlist.nets()[ni].sinks {
             if let Sink::Cell { cell, .. } = *s {
                 let c = &netlist.cells()[cell.0 as usize];
@@ -382,8 +380,15 @@ mod tests {
     #[test]
     fn arrival_times_are_physical() {
         let (_, t) = analyzed();
-        assert!(t.critical_path.value() > 1.0, "multiplier+adder chains take time");
-        assert!(t.critical_path.value() < 200.0, "path {} suspicious", t.critical_path);
+        assert!(
+            t.critical_path.value() > 1.0,
+            "multiplier+adder chains take time"
+        );
+        assert!(
+            t.critical_path.value() < 200.0,
+            "path {} suspicious",
+            t.critical_path
+        );
         assert!(t.endpoints > 100);
         assert!(!t.critical_cells.is_empty());
     }

@@ -111,13 +111,28 @@ mod tests {
         let ss = tt.at_corner(Corner::Ss);
         let ff = tt.at_corner(Corner::Ff);
         let load = Femtofarads::new(20.0);
-        let d_tt = tt.cell(CellKind::Nand2, DriveStrength::X1).unwrap().delay(load);
-        let d_ss = ss.cell(CellKind::Nand2, DriveStrength::X1).unwrap().delay(load);
-        let d_ff = ff.cell(CellKind::Nand2, DriveStrength::X1).unwrap().delay(load);
+        let d_tt = tt
+            .cell(CellKind::Nand2, DriveStrength::X1)
+            .unwrap()
+            .delay(load);
+        let d_ss = ss
+            .cell(CellKind::Nand2, DriveStrength::X1)
+            .unwrap()
+            .delay(load);
+        let d_ff = ff
+            .cell(CellKind::Nand2, DriveStrength::X1)
+            .unwrap()
+            .delay(load);
         assert!(d_ss > d_tt && d_tt > d_ff);
         assert!((d_ss.value() / d_tt.value() - 1.25).abs() < 1e-9);
-        let l_tt = tt.cell(CellKind::Inv, DriveStrength::X1).unwrap().leakage_nw;
-        let l_ff = ff.cell(CellKind::Inv, DriveStrength::X1).unwrap().leakage_nw;
+        let l_tt = tt
+            .cell(CellKind::Inv, DriveStrength::X1)
+            .unwrap()
+            .leakage_nw;
+        let l_ff = ff
+            .cell(CellKind::Inv, DriveStrength::X1)
+            .unwrap()
+            .leakage_nw;
         assert!((l_ff / l_tt - 2.5).abs() < 1e-9);
     }
 

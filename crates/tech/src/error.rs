@@ -66,7 +66,10 @@ mod tests {
             name: "NAND9".into(),
             library: "si_cmos_130".into(),
         };
-        assert_eq!(e.to_string(), "unknown cell `NAND9` in library `si_cmos_130`");
+        assert_eq!(
+            e.to_string(),
+            "unknown cell `NAND9` in library `si_cmos_130`"
+        );
 
         let e = TechError::InvalidParameter {
             parameter: "delta",

@@ -27,14 +27,21 @@ pub fn to_liberty(lib: &CellLibrary) -> String {
         let _ = writeln!(out, "    area : {:.4};", cell.area.value());
         let _ = writeln!(out, "    cell_leakage_power : {:.4};", cell.leakage_nw);
         if let Some(setup) = cell.setup {
-            let _ = writeln!(out, "    ff (IQ, IQN) {{ clocked_on : \"CK\"; next_state : \"D\"; }}");
+            let _ = writeln!(
+                out,
+                "    ff (IQ, IQN) {{ clocked_on : \"CK\"; next_state : \"D\"; }}"
+            );
             let _ = writeln!(out, "    pin (D) {{");
             let _ = writeln!(out, "      direction : input;");
             let _ = writeln!(out, "      capacitance : {:.4};", cell.input_cap.value());
             let _ = writeln!(out, "      timing () {{");
             let _ = writeln!(out, "        related_pin : \"CK\";");
             let _ = writeln!(out, "        timing_type : setup_rising;");
-            let _ = writeln!(out, "        rise_constraint (scalar) {{ values (\"{:.4}\"); }}", setup.value());
+            let _ = writeln!(
+                out,
+                "        rise_constraint (scalar) {{ values (\"{:.4}\"); }}",
+                setup.value()
+            );
             let _ = writeln!(out, "      }}");
             let _ = writeln!(out, "    }}");
         } else {
@@ -56,7 +63,11 @@ pub fn to_liberty(lib: &CellLibrary) -> String {
                 cell.drive_resistance.value() * 1.0e-3,
             );
             let _ = writeln!(out, "      }}");
-            let _ = writeln!(out, "      internal_power () {{ energy : {:.5}; }}", cell.internal_energy.value());
+            let _ = writeln!(
+                out,
+                "      internal_power () {{ energy : {:.5}; }}",
+                cell.internal_energy.value()
+            );
             let _ = writeln!(out, "    }}");
         }
         let _ = writeln!(out, "  }}");
@@ -106,7 +117,11 @@ mod tests {
         let s = to_liberty(&lib);
         assert!(s.starts_with("library (si_cmos_130)"));
         for c in lib.cells() {
-            assert!(s.contains(&format!("cell ({})", c.name)), "{} missing", c.name);
+            assert!(
+                s.contains(&format!("cell ({})", c.name)),
+                "{} missing",
+                c.name
+            );
         }
         assert!(s.contains("setup_rising"), "flop constraints present");
         assert!(s.contains("cell_rise (linear)"));
@@ -120,13 +135,11 @@ mod tests {
         let s = to_lef(&lib);
         assert!(s.contains("SITE core_si_cmos_130"));
         let site = lib.site_width.value();
-        for line in s.lines().filter(|l| l.trim_start().starts_with("SIZE") && l.contains("BY 3.690")) {
-            let w: f64 = line
-                .split_whitespace()
-                .nth(1)
-                .unwrap()
-                .parse()
-                .unwrap();
+        for line in s
+            .lines()
+            .filter(|l| l.trim_start().starts_with("SIZE") && l.contains("BY 3.690"))
+        {
+            let w: f64 = line.split_whitespace().nth(1).unwrap().parse().unwrap();
             let sites = w / site;
             assert!((sites - sites.round()).abs() < 1e-6, "{line}");
         }

@@ -9,6 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::stable_hash::{StableHash, StableHasher};
 use crate::units::{Femtofarads, KiloOhms, Microns};
 
 /// A device tier in the M3D stack.
@@ -42,6 +43,15 @@ impl std::fmt::Display for Tier {
     }
 }
 
+impl StableHash for Tier {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u8(match self {
+            Tier::SiCmos => 0,
+            Tier::Cnfet => 1,
+        });
+    }
+}
+
 /// One BEOL routing layer (e.g. M1) with its parasitic model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RoutingLayer {
@@ -59,6 +69,17 @@ pub struct RoutingLayer {
     /// logic placed underneath RRAM arrays — the light-blue layers of
     /// Fig. 3d/4a).
     pub below_rram: bool,
+}
+
+impl StableHash for RoutingLayer {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.name.stable_hash(h);
+        self.index.stable_hash(h);
+        self.pitch.stable_hash(h);
+        self.resistance_per_um.stable_hash(h);
+        self.capacitance_per_um.stable_hash(h);
+        self.below_rram.stable_hash(h);
+    }
 }
 
 impl RoutingLayer {
@@ -86,6 +107,14 @@ pub struct IlvSpec {
     pub resistance: KiloOhms,
     /// Per-via capacitance.
     pub capacitance: Femtofarads,
+}
+
+impl StableHash for IlvSpec {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.pitch.stable_hash(h);
+        self.resistance.stable_hash(h);
+        self.capacitance.stable_hash(h);
+    }
 }
 
 impl IlvSpec {
@@ -125,6 +154,15 @@ pub struct LayerStack {
     pub has_cnfet_tier: bool,
     /// Whether the stack includes the BEOL RRAM memory layer.
     pub has_rram_layer: bool,
+}
+
+impl StableHash for LayerStack {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.routing.stable_hash(h);
+        self.ilv.stable_hash(h);
+        self.has_cnfet_tier.stable_hash(h);
+        self.has_rram_layer.stable_hash(h);
+    }
 }
 
 impl LayerStack {

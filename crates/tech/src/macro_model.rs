@@ -120,7 +120,12 @@ impl RramMacro {
         port_bits_per_bank: u32,
         selector: SelectorTech,
     ) -> TechResult<Self> {
-        Self::new(megabytes * 1024 * 1024 * 8, banks, port_bits_per_bank, selector)
+        Self::new(
+            megabytes * 1024 * 1024 * 8,
+            banks,
+            port_bits_per_bank,
+            selector,
+        )
     }
 
     /// Cell-array area (the region whose Si tier is freed in M3D).
@@ -215,8 +220,12 @@ impl RramMacro {
     /// Returns [`TechError::InvalidParameter`] when the capacity does not
     /// divide into the new bank count.
     pub fn rebanked(&self, banks: u32) -> TechResult<Self> {
-        let mut m =
-            Self::new(self.capacity_bits, banks, self.port_bits_per_bank, self.selector)?;
+        let mut m = Self::new(
+            self.capacity_bits,
+            banks,
+            self.port_bits_per_bank,
+            self.selector,
+        )?;
         m.cell = self.cell;
         m.peripheral_fraction = self.peripheral_fraction;
         m.per_bank_overhead = self.per_bank_overhead;
@@ -336,9 +345,7 @@ mod tests {
         assert!(RramMacro::new(0, 1, 256, SelectorTech::SiFet).is_err());
         assert!(RramMacro::new(1024, 0, 256, SelectorTech::SiFet).is_err());
         assert!(RramMacro::new(1023, 8, 256, SelectorTech::SiFet).is_err());
-        assert!(
-            RramMacro::new(1024, 8, 256, SelectorTech::Cnfet { delta: 0.2 }).is_err()
-        );
+        assert!(RramMacro::new(1024, 8, 256, SelectorTech::Cnfet { delta: 0.2 }).is_err());
     }
 
     #[test]

@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 use crate::error::{TechError, TechResult};
 use crate::layers::{IlvSpec, LayerStack, Tier};
 use crate::rram::RramCellModel;
+use crate::stable_hash::{StableHash, StableHasher};
 use crate::stdcell::CellLibrary;
 use crate::units::{Megahertz, SquareMicrons};
 
@@ -47,6 +48,15 @@ impl Default for DesignRules {
     }
 }
 
+impl StableHash for DesignRules {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.placement_utilization.stable_hash(h);
+        self.under_array_utilization.stable_hash(h);
+        self.bus_io_reserve.stable_hash(h);
+        self.max_power_density_mw_per_mm2.stable_hash(h);
+    }
+}
+
 /// A complete technology configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Pdk {
@@ -73,6 +83,21 @@ pub struct Pdk {
     /// Global timing derate applied to macro access paths (1.0 at the
     /// typical corner; process corners scale it).
     pub timing_derate: f64,
+}
+
+impl StableHash for Pdk {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.name.stable_hash(h);
+        self.node_nm.stable_hash(h);
+        self.stack.stable_hash(h);
+        self.si_lib.stable_hash(h);
+        self.cnfet_lib.stable_hash(h);
+        self.rram_cell.stable_hash(h);
+        self.rules.stable_hash(h);
+        self.vdd.stable_hash(h);
+        self.default_clock.stable_hash(h);
+        self.timing_derate.stable_hash(h);
+    }
 }
 
 impl Pdk {

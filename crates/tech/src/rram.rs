@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::{TechError, TechResult};
 use crate::layers::IlvSpec;
+use crate::stable_hash::{StableHash, StableHasher};
 use crate::units::{Nanoseconds, Picojoules, SquareMicrons};
 
 /// Which device implements the RRAM access transistor.
@@ -67,6 +68,18 @@ impl SelectorTech {
     }
 }
 
+impl StableHash for SelectorTech {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            SelectorTech::SiFet => h.write_u8(0),
+            SelectorTech::Cnfet { delta } => {
+                h.write_u8(1);
+                delta.stable_hash(h);
+            }
+        }
+    }
+}
+
 /// Electrical and geometric model of the foundry 1T1R RRAM bitcell.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RramCellModel {
@@ -84,6 +97,17 @@ pub struct RramCellModel {
     /// Cell leakage in nanowatts per bit (non-volatile: essentially the
     /// selector off-state only).
     pub leakage_nw_per_bit: f64,
+}
+
+impl StableHash for RramCellModel {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.selector_limited_area.stable_hash(h);
+        self.vias_per_cell.stable_hash(h);
+        self.read_energy_per_bit.stable_hash(h);
+        self.write_energy_per_bit.stable_hash(h);
+        self.read_latency.stable_hash(h);
+        self.leakage_nw_per_bit.stable_hash(h);
+    }
 }
 
 impl RramCellModel {
@@ -110,11 +134,7 @@ impl RramCellModel {
     ///
     /// Returns [`TechError::InvalidParameter`] when the selector is
     /// invalid.
-    pub fn area_per_bit(
-        &self,
-        selector: SelectorTech,
-        ilv: &IlvSpec,
-    ) -> TechResult<SquareMicrons> {
+    pub fn area_per_bit(&self, selector: SelectorTech, ilv: &IlvSpec) -> TechResult<SquareMicrons> {
         selector.validate()?;
         let selector_limited = self.selector_limited_area * selector.delta();
         Ok(match selector {
@@ -166,7 +186,9 @@ mod tests {
     fn si_and_ideal_cnfet_cells_match() {
         let ilv = IlvSpec::ultra_dense_130nm();
         let si = cell().area_per_bit(SelectorTech::SiFet, &ilv).unwrap();
-        let cn = cell().area_per_bit(SelectorTech::IDEAL_CNFET, &ilv).unwrap();
+        let cn = cell()
+            .area_per_bit(SelectorTech::IDEAL_CNFET, &ilv)
+            .unwrap();
         // At fine ILV pitch, the via limit (4·0.15² = 0.09) is below the
         // selector limit (0.15) so the areas match → iso-footprint folding.
         assert_eq!(si, cn);
@@ -175,7 +197,9 @@ mod tests {
     #[test]
     fn relaxed_selector_grows_cell_linearly() {
         let ilv = IlvSpec::ultra_dense_130nm();
-        let base = cell().area_per_bit(SelectorTech::IDEAL_CNFET, &ilv).unwrap();
+        let base = cell()
+            .area_per_bit(SelectorTech::IDEAL_CNFET, &ilv)
+            .unwrap();
         let relaxed = cell()
             .area_per_bit(SelectorTech::Cnfet { delta: 1.6 }, &ilv)
             .unwrap();
@@ -187,7 +211,10 @@ mod tests {
         let c = cell();
         let base = IlvSpec::ultra_dense_130nm();
         let crossover = c.via_pitch_crossover(&base, 1.0);
-        assert!(crossover > 1.25 && crossover < 1.35, "crossover={crossover}");
+        assert!(
+            crossover > 1.25 && crossover < 1.35,
+            "crossover={crossover}"
+        );
         // Below crossover: area unchanged.
         let fine = c
             .area_per_bit(SelectorTech::IDEAL_CNFET, &base.with_pitch_scaled(1.2))

@@ -97,8 +97,7 @@ impl NodeScaling {
     /// the freed-area-to-CS ratio grows (memory shrinks slower than
     /// logic).
     pub fn gamma_cells_growth(&self, cell: &RramCellModel, base_ilv: &IlvSpec) -> f64 {
-        let mem_scale =
-            self.rram_area_per_bit(cell, base_ilv) / cell.selector_limited_area;
+        let mem_scale = self.rram_area_per_bit(cell, base_ilv) / cell.selector_limited_area;
         mem_scale / self.logic_area
     }
 }

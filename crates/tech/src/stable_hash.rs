@@ -1,0 +1,208 @@
+//! Stable, content-keyed hashing of configuration values.
+//!
+//! The experiment engine memoises whole RTL-to-GDS flow runs by the
+//! *content* of their configuration ([`crate::Pdk`], the SoC description,
+//! the placer/optimiser knobs). `std::hash::Hash` is unsuitable for that
+//! key: it is not defined for `f64`, and its output is allowed to vary
+//! between Rust releases and platforms. [`StableHash`] is a deliberately
+//! small replacement with a fixed algorithm (FNV-1a, 64-bit) and
+//! explicit, documented encodings:
+//!
+//! * floats hash their IEEE-754 bit pattern, with `-0.0` normalised to
+//!   `+0.0` (NaN configurations are rejected upstream by validation);
+//! * every enum variant hashes a fixed discriminant byte before its
+//!   payload;
+//! * length-prefixed encodings for strings, slices and `Option` keep the
+//!   hash injective over field boundaries.
+//!
+//! The same key therefore always names the same configuration, across
+//! processes and across the parallel sweep executor's worker threads.
+
+/// 64-bit FNV-1a hasher with explicit write methods for the primitive
+/// encodings [`StableHash`] implementations use.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl StableHasher {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs one byte (enum discriminants).
+    pub fn write_u8(&mut self, v: u8) {
+        self.write(&[v]);
+    }
+
+    /// Absorbs a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs an `f64` as its bit pattern, normalising `-0.0` to `+0.0`
+    /// so numerically equal configurations key identically.
+    pub fn write_f64(&mut self, v: f64) {
+        let v = if v == 0.0 { 0.0 } else { v };
+        self.write_u64(v.to_bits());
+    }
+
+    /// Absorbs a length-prefixed string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    /// The accumulated 64-bit digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Content hashing with a fixed, cross-process-stable encoding.
+pub trait StableHash {
+    /// Feeds this value's content into `h`.
+    fn stable_hash(&self, h: &mut StableHasher);
+
+    /// Convenience: the 64-bit digest of this value alone.
+    fn stable_key(&self) -> u64 {
+        let mut h = StableHasher::new();
+        self.stable_hash(&mut h);
+        h.finish()
+    }
+}
+
+macro_rules! stable_hash_int {
+    ($($t:ty),*) => {$(
+        impl StableHash for $t {
+            #[allow(clippy::cast_sign_loss, clippy::cast_lossless)]
+            fn stable_hash(&self, h: &mut StableHasher) {
+                h.write_u64(*self as u64);
+            }
+        }
+    )*};
+}
+
+stable_hash_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StableHash for bool {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u8(u8::from(*self));
+    }
+}
+
+impl StableHash for f64 {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_f64(*self);
+    }
+}
+
+impl StableHash for f32 {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_f64(f64::from(*self));
+    }
+}
+
+impl StableHash for str {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_str(self);
+    }
+}
+
+impl StableHash for String {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_str(self);
+    }
+}
+
+impl<T: StableHash + ?Sized> StableHash for &T {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        (**self).stable_hash(h);
+    }
+}
+
+impl<T: StableHash> StableHash for Option<T> {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            None => h.write_u8(0),
+            Some(v) => {
+                h.write_u8(1);
+                v.stable_hash(h);
+            }
+        }
+    }
+}
+
+impl<T: StableHash> StableHash for [T] {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(self.len() as u64);
+        for v in self {
+            v.stable_hash(h);
+        }
+    }
+}
+
+impl<T: StableHash> StableHash for Vec<T> {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.as_slice().stable_hash(h);
+    }
+}
+
+impl<A: StableHash, B: StableHash> StableHash for (A, B) {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.0.stable_hash(h);
+        self.1.stable_hash(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_content_sensitive() {
+        assert_eq!(1.5f64.stable_key(), 1.5f64.stable_key());
+        assert_ne!(1.5f64.stable_key(), 1.5000001f64.stable_key());
+        assert_ne!("ab".stable_key(), "ba".stable_key());
+        assert_eq!((-0.0f64).stable_key(), 0.0f64.stable_key());
+    }
+
+    #[test]
+    fn encodings_are_injective_over_boundaries() {
+        // Length prefixes keep ("a", "bc") distinct from ("ab", "c").
+        assert_ne!(("a", "bc").stable_key(), ("ab", "c").stable_key());
+        // Option tags keep None ≠ Some(0).
+        assert_ne!(None::<u64>.stable_key(), Some(0u64).stable_key());
+        // Slice lengths keep [1] ≠ [1, default].
+        assert_ne!(vec![1u32].stable_key(), vec![1u32, 0].stable_key());
+    }
+
+    #[test]
+    fn digest_matches_reference_fnv1a() {
+        // FNV-1a of the empty input is the offset basis.
+        let h = StableHasher::new();
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        // Known vector: FNV-1a("a") = 0xaf63dc4c8601ec8c.
+        let mut h = StableHasher::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -107,6 +107,12 @@ impl CellKind {
     }
 }
 
+impl crate::stable_hash::StableHash for CellKind {
+    fn stable_hash(&self, h: &mut crate::stable_hash::StableHasher) {
+        h.write_str(self.base_name());
+    }
+}
+
 /// Drive strength variant of a cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum DriveStrength {
@@ -150,6 +156,12 @@ impl DriveStrength {
     ];
 }
 
+impl crate::stable_hash::StableHash for DriveStrength {
+    fn stable_hash(&self, h: &mut crate::stable_hash::StableHasher) {
+        h.write_str(self.suffix());
+    }
+}
+
 /// One characterised standard cell.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StdCell {
@@ -191,6 +203,21 @@ impl StdCell {
     }
 }
 
+impl crate::stable_hash::StableHash for StdCell {
+    fn stable_hash(&self, h: &mut crate::stable_hash::StableHasher) {
+        self.name.stable_hash(h);
+        self.kind.stable_hash(h);
+        self.drive.stable_hash(h);
+        self.area.stable_hash(h);
+        self.input_cap.stable_hash(h);
+        self.intrinsic_delay.stable_hash(h);
+        self.drive_resistance.stable_hash(h);
+        self.leakage_nw.stable_hash(h);
+        self.internal_energy.stable_hash(h);
+        self.setup.stable_hash(h);
+    }
+}
+
 /// A characterised cell library bound to one device tier.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CellLibrary {
@@ -205,6 +232,17 @@ pub struct CellLibrary {
     /// Supply voltage in volts.
     pub vdd: f64,
     cells: Vec<StdCell>,
+}
+
+impl crate::stable_hash::StableHash for CellLibrary {
+    fn stable_hash(&self, h: &mut crate::stable_hash::StableHasher) {
+        self.name.stable_hash(h);
+        self.tier.stable_hash(h);
+        self.row_height.stable_hash(h);
+        self.site_width.stable_hash(h);
+        self.vdd.stable_hash(h);
+        self.cells.stable_hash(h);
+    }
 }
 
 /// Per-kind base characterisation: (sites at X1, input cap fF, intrinsic
@@ -253,13 +291,7 @@ impl CellLibrary {
         Ok(Self::build("cnfet_beol_130", Tier::Cnfet, delta, 1.15, 0.7))
     }
 
-    fn build(
-        name: &str,
-        tier: Tier,
-        area_scale: f64,
-        delay_scale: f64,
-        leak_scale: f64,
-    ) -> Self {
+    fn build(name: &str, tier: Tier, area_scale: f64, delay_scale: f64, leak_scale: f64) -> Self {
         let row_height = Microns::new(3.69);
         let site_width = Microns::new(0.49);
         let mut cells = Vec::new();

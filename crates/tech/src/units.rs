@@ -70,6 +70,12 @@ macro_rules! unit {
             }
         }
 
+        impl crate::stable_hash::StableHash for $name {
+            fn stable_hash(&self, h: &mut crate::stable_hash::StableHasher) {
+                h.write_f64(self.0);
+            }
+        }
+
         impl fmt::Display for $name {
             fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
                 if let Some(prec) = f.precision() {
@@ -416,5 +422,4 @@ mod tests {
             }
         }
     }
-
 }

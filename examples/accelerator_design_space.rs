@@ -5,9 +5,9 @@
 //! Run with `cargo run --release --example accelerator_design_space`.
 
 use m3d::arch::{map_workload, models, table2_architectures, MapperChip};
+use m3d::core::design_point::DesignPoint;
 use m3d::core::explore::{bandwidth_cs_grid, capacity_sweep, intensity_workload};
 use m3d::core::framework::ChipParams;
-use m3d::core::design_point::DesignPoint;
 use m3d::tech::{Pdk, RramMacro, SelectorTech};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -15,7 +15,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Fig. 9: on-chip memory capacity unlocks compute parallelism ---
     println!("== RRAM capacity sweep (ResNet-18, Fig. 9) ==");
-    let sweep = capacity_sweep(&pdk, &[12, 16, 24, 32, 48, 64, 96, 128], &models::resnet18())?;
+    let sweep = capacity_sweep(
+        &pdk,
+        &[12, 16, 24, 32, 48, 64, 96, 128],
+        &models::resnet18(),
+    )?;
     println!("{:>8} {:>5} {:>9} {:>7}", "MB", "N", "speedup", "EDP");
     for p in &sweep {
         println!(
@@ -29,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = ChipParams::baseline_2d();
     for (label, w) in [
         ("compute-bound (16 ops/bit)", intensity_workload(16.0)),
-        ("memory-bound (1/16 ops/bit)", intensity_workload(1.0 / 16.0)),
+        (
+            "memory-bound (1/16 ops/bit)",
+            intensity_workload(1.0 / 16.0),
+        ),
     ] {
         println!("{label}:");
         let grid = bandwidth_cs_grid(&base, &w, &[1.0, 2.0, 4.0, 8.0], &[1.0, 2.0, 4.0, 8.0]);

@@ -18,7 +18,11 @@ fn row(label: &str, a: impl std::fmt::Display, b: impl std::fmt::Display) {
 fn report_pair(r2d: &FlowReport, r3d: &FlowReport) {
     row("", "2D baseline", "M3D");
     row("computing sub-systems", r2d.cs_count, r3d.cs_count);
-    row("die area (mm²)", format!("{:.1}", r2d.die_mm2), format!("{:.1}", r3d.die_mm2));
+    row(
+        "die area (mm²)",
+        format!("{:.1}", r2d.die_mm2),
+        format!("{:.1}", r3d.die_mm2),
+    );
     row("standard cells", r2d.cell_count, r3d.cell_count);
     row(
         "cell area (mm²)",
@@ -32,7 +36,11 @@ fn report_pair(r2d: &FlowReport, r3d: &FlowReport) {
     );
     row("signal ILVs", r2d.signal_ilvs, r3d.signal_ilvs);
     row("RRAM-cell ILVs", r2d.memory_cell_ilvs, r3d.memory_cell_ilvs);
-    row("buffers inserted", r2d.buffers_inserted, r3d.buffers_inserted);
+    row(
+        "buffers inserted",
+        r2d.buffers_inserted,
+        r3d.buffers_inserted,
+    );
     row(
         "critical path (ns)",
         format!("{:.2}", r2d.critical_path_ns),

@@ -21,7 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &n in &product {
         nl.set_primary_output(n)?;
     }
-    println!("generated {} cells, {} nets", nl.cell_count(), nl.net_count());
+    println!(
+        "generated {} cells, {} nets",
+        nl.cell_count(),
+        nl.net_count()
+    );
 
     // --- 2. Prove it multiplies -----------------------------------------
     let mut sim = Simulator::new(&nl)?;
@@ -45,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let parsed = from_verilog(&verilog)?;
     assert_eq!(parsed.cell_count(), nl.cell_count());
-    println!("re-parsed: {} cells — structure preserved ✓", parsed.cell_count());
+    println!(
+        "re-parsed: {} cells — structure preserved ✓",
+        parsed.cell_count()
+    );
 
     // --- 4. A fast adder for contrast --------------------------------------
     let mut add = Netlist::new("add16");

@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    the freed Si under the array hosts 7 extra computing
     //    sub-systems → the paper's 8× parallel M3D design point.
     let dp = case_study_design_point(&pdk, 64)?;
-    println!("M3D design point: N = {} parallel CSs ({} RRAM banks)", dp.n_cs, dp.banks);
+    println!(
+        "M3D design point: N = {} parallel CSs ({} RRAM banks)",
+        dp.n_cs, dp.banks
+    );
     println!(
         "  freed usable Si under the array: {:.1} mm² (CS = {:.2} mm², γ_cells = {:.1})",
         dp.freed_usable_mm2, dp.cs_demand_mm2, dp.gamma_cells
@@ -28,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &models::resnet18(),
     );
 
-    println!("\n{:<14} {:>8} {:>8} {:>8}", "Layer", "Speedup", "Energy", "EDP");
+    println!(
+        "\n{:<14} {:>8} {:>8} {:>8}",
+        "Layer", "Speedup", "Energy", "EDP"
+    );
     for row in &table1.rows {
         println!(
             "{:<14} {:>7.2}x {:>7.2}x {:>7.2}x",

@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )];
 
     println!("== Interleaved tier pairs vs EDP benefit (Fig. 10d) ==");
-    println!("{:>6} {:>6} {:>14} {:>16}", "pairs", "N", "ResNet-18 EDP", "L4.1-CONV EDP");
+    println!(
+        "{:>6} {:>6} {:>14} {:>16}",
+        "pairs", "N", "ResNet-18 EDP", "L4.1-CONV EDP"
+    );
     let whole = tier_sweep(&areas, &base, &resnet, 8, None);
     let single = tier_sweep(&areas, &base, &big_layer, 8, None);
     for (w, s) in whole.iter().zip(&single) {

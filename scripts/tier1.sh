@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the gate every PR must keep green.
+#
+#   ./scripts/tier1.sh
+#
+# Runs the release build, the full test suite, and the formatting check
+# (a superset of the driver's gate, see ROADMAP.md, "Tier-1 verify").
+# --workspace matters: a plain `cargo build` at the root only builds the
+# facade package and would let bench-binary breakage through.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --workspace --release
+cargo test -q --workspace
+cargo fmt --check
+echo "tier1: OK"

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_batch-4c8e7ea9c8e4f766.d: crates/bench/src/bin/ablation_batch.rs
+
+/root/repo/target/debug/deps/ablation_batch-4c8e7ea9c8e4f766: crates/bench/src/bin/ablation_batch.rs
+
+crates/bench/src/bin/ablation_batch.rs:

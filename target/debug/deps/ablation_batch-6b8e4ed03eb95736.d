@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_batch-6b8e4ed03eb95736.d: crates/bench/src/bin/ablation_batch.rs
+
+/root/repo/target/debug/deps/ablation_batch-6b8e4ed03eb95736: crates/bench/src/bin/ablation_batch.rs
+
+crates/bench/src/bin/ablation_batch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_batch-93aca4014e95fcf6.d: crates/bench/src/bin/ablation_batch.rs
+
+/root/repo/target/debug/deps/ablation_batch-93aca4014e95fcf6: crates/bench/src/bin/ablation_batch.rs
+
+crates/bench/src/bin/ablation_batch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_congestion-12528031fcd00b43.d: crates/bench/src/bin/ablation_congestion.rs
+
+/root/repo/target/debug/deps/ablation_congestion-12528031fcd00b43: crates/bench/src/bin/ablation_congestion.rs
+
+crates/bench/src/bin/ablation_congestion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_congestion-18d5b4a73d387314.d: crates/bench/src/bin/ablation_congestion.rs
+
+/root/repo/target/debug/deps/ablation_congestion-18d5b4a73d387314: crates/bench/src/bin/ablation_congestion.rs
+
+crates/bench/src/bin/ablation_congestion.rs:

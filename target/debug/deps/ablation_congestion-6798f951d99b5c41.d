@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_congestion-6798f951d99b5c41.d: crates/bench/src/bin/ablation_congestion.rs
+
+/root/repo/target/debug/deps/ablation_congestion-6798f951d99b5c41: crates/bench/src/bin/ablation_congestion.rs
+
+crates/bench/src/bin/ablation_congestion.rs:

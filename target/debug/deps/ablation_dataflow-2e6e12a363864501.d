@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_dataflow-2e6e12a363864501.d: crates/bench/src/bin/ablation_dataflow.rs
+
+/root/repo/target/debug/deps/ablation_dataflow-2e6e12a363864501: crates/bench/src/bin/ablation_dataflow.rs
+
+crates/bench/src/bin/ablation_dataflow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_dataflow-67a2e33ef4eda79e.d: crates/bench/src/bin/ablation_dataflow.rs
+
+/root/repo/target/debug/deps/ablation_dataflow-67a2e33ef4eda79e: crates/bench/src/bin/ablation_dataflow.rs
+
+crates/bench/src/bin/ablation_dataflow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_dataflow-ba8006812ba2081a.d: crates/bench/src/bin/ablation_dataflow.rs
+
+/root/repo/target/debug/deps/ablation_dataflow-ba8006812ba2081a: crates/bench/src/bin/ablation_dataflow.rs
+
+crates/bench/src/bin/ablation_dataflow.rs:

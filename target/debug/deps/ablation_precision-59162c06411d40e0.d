@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_precision-59162c06411d40e0.d: crates/bench/src/bin/ablation_precision.rs
+
+/root/repo/target/debug/deps/ablation_precision-59162c06411d40e0: crates/bench/src/bin/ablation_precision.rs
+
+crates/bench/src/bin/ablation_precision.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_precision-c090950d31742cad.d: crates/bench/src/bin/ablation_precision.rs
+
+/root/repo/target/debug/deps/ablation_precision-c090950d31742cad: crates/bench/src/bin/ablation_precision.rs
+
+crates/bench/src/bin/ablation_precision.rs:

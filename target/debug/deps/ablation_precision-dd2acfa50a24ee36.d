@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_precision-dd2acfa50a24ee36.d: crates/bench/src/bin/ablation_precision.rs
+
+/root/repo/target/debug/deps/ablation_precision-dd2acfa50a24ee36: crates/bench/src/bin/ablation_precision.rs
+
+crates/bench/src/bin/ablation_precision.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corners_signoff-11ad117c94f2d626.d: crates/bench/src/bin/corners_signoff.rs
+
+/root/repo/target/debug/deps/corners_signoff-11ad117c94f2d626: crates/bench/src/bin/corners_signoff.rs
+
+crates/bench/src/bin/corners_signoff.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corners_signoff-bbc36d521644f9e4.d: crates/bench/src/bin/corners_signoff.rs
+
+/root/repo/target/debug/deps/corners_signoff-bbc36d521644f9e4: crates/bench/src/bin/corners_signoff.rs
+
+crates/bench/src/bin/corners_signoff.rs:

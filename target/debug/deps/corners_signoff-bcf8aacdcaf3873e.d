@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corners_signoff-bcf8aacdcaf3873e.d: crates/bench/src/bin/corners_signoff.rs
+
+/root/repo/target/debug/deps/corners_signoff-bcf8aacdcaf3873e: crates/bench/src/bin/corners_signoff.rs
+
+crates/bench/src/bin/corners_signoff.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_validation-9736f69b183ba873.d: tests/cross_validation.rs
+
+/root/repo/target/debug/deps/cross_validation-9736f69b183ba873: tests/cross_validation.rs
+
+tests/cross_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_validation-c97ad2a82d351fbf.d: tests/cross_validation.rs
+
+/root/repo/target/debug/deps/cross_validation-c97ad2a82d351fbf: tests/cross_validation.rs
+
+tests/cross_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-b677527317631f38.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-b677527317631f38: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extension_mobilenet-3ac014fe62589cae.d: crates/bench/src/bin/extension_mobilenet.rs
+
+/root/repo/target/debug/deps/extension_mobilenet-3ac014fe62589cae: crates/bench/src/bin/extension_mobilenet.rs
+
+crates/bench/src/bin/extension_mobilenet.rs:

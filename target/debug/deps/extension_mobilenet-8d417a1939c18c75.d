@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extension_mobilenet-8d417a1939c18c75.d: crates/bench/src/bin/extension_mobilenet.rs
+
+/root/repo/target/debug/deps/extension_mobilenet-8d417a1939c18c75: crates/bench/src/bin/extension_mobilenet.rs
+
+crates/bench/src/bin/extension_mobilenet.rs:

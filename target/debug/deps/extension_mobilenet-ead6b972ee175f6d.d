@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extension_mobilenet-ead6b972ee175f6d.d: crates/bench/src/bin/extension_mobilenet.rs
+
+/root/repo/target/debug/deps/extension_mobilenet-ead6b972ee175f6d: crates/bench/src/bin/extension_mobilenet.rs
+
+crates/bench/src/bin/extension_mobilenet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_relaxation-41cbc98d8d6538cc.d: crates/bench/src/bin/fig10_relaxation.rs
+
+/root/repo/target/debug/deps/fig10_relaxation-41cbc98d8d6538cc: crates/bench/src/bin/fig10_relaxation.rs
+
+crates/bench/src/bin/fig10_relaxation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_relaxation-43f9862a5ef68fcb.d: crates/bench/src/bin/fig10_relaxation.rs
+
+/root/repo/target/debug/deps/fig10_relaxation-43f9862a5ef68fcb: crates/bench/src/bin/fig10_relaxation.rs
+
+crates/bench/src/bin/fig10_relaxation.rs:

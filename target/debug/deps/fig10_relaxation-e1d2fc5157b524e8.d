@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_relaxation-e1d2fc5157b524e8.d: crates/bench/src/bin/fig10_relaxation.rs
+
+/root/repo/target/debug/deps/fig10_relaxation-e1d2fc5157b524e8: crates/bench/src/bin/fig10_relaxation.rs
+
+crates/bench/src/bin/fig10_relaxation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10d_tiers-58c77a08fd95b98e.d: crates/bench/src/bin/fig10d_tiers.rs
+
+/root/repo/target/debug/deps/fig10d_tiers-58c77a08fd95b98e: crates/bench/src/bin/fig10d_tiers.rs
+
+crates/bench/src/bin/fig10d_tiers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10d_tiers-669559078a5a7b22.d: crates/bench/src/bin/fig10d_tiers.rs
+
+/root/repo/target/debug/deps/fig10d_tiers-669559078a5a7b22: crates/bench/src/bin/fig10d_tiers.rs
+
+crates/bench/src/bin/fig10d_tiers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10d_tiers-e073080a8cd31b41.d: crates/bench/src/bin/fig10d_tiers.rs
+
+/root/repo/target/debug/deps/fig10d_tiers-e073080a8cd31b41: crates/bench/src/bin/fig10d_tiers.rs
+
+crates/bench/src/bin/fig10d_tiers.rs:

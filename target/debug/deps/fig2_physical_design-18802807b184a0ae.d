@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_physical_design-18802807b184a0ae.d: crates/bench/src/bin/fig2_physical_design.rs
+
+/root/repo/target/debug/deps/fig2_physical_design-18802807b184a0ae: crates/bench/src/bin/fig2_physical_design.rs
+
+crates/bench/src/bin/fig2_physical_design.rs:

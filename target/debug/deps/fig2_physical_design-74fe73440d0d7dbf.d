@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_physical_design-74fe73440d0d7dbf.d: crates/bench/src/bin/fig2_physical_design.rs
+
+/root/repo/target/debug/deps/fig2_physical_design-74fe73440d0d7dbf: crates/bench/src/bin/fig2_physical_design.rs
+
+crates/bench/src/bin/fig2_physical_design.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_physical_design-8e1e3e7cc17181f5.d: crates/bench/src/bin/fig2_physical_design.rs
+
+/root/repo/target/debug/deps/fig2_physical_design-8e1e3e7cc17181f5: crates/bench/src/bin/fig2_physical_design.rs
+
+crates/bench/src/bin/fig2_physical_design.rs:

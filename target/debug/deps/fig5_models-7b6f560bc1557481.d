@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_models-7b6f560bc1557481.d: crates/bench/src/bin/fig5_models.rs
+
+/root/repo/target/debug/deps/fig5_models-7b6f560bc1557481: crates/bench/src/bin/fig5_models.rs
+
+crates/bench/src/bin/fig5_models.rs:

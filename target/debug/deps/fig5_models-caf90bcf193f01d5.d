@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_models-caf90bcf193f01d5.d: crates/bench/src/bin/fig5_models.rs
+
+/root/repo/target/debug/deps/fig5_models-caf90bcf193f01d5: crates/bench/src/bin/fig5_models.rs
+
+crates/bench/src/bin/fig5_models.rs:

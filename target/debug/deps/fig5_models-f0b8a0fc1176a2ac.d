@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_models-f0b8a0fc1176a2ac.d: crates/bench/src/bin/fig5_models.rs
+
+/root/repo/target/debug/deps/fig5_models-f0b8a0fc1176a2ac: crates/bench/src/bin/fig5_models.rs
+
+crates/bench/src/bin/fig5_models.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_architectures-6dd4e044d6b5bf8d.d: crates/bench/src/bin/fig7_architectures.rs
+
+/root/repo/target/debug/deps/fig7_architectures-6dd4e044d6b5bf8d: crates/bench/src/bin/fig7_architectures.rs
+
+crates/bench/src/bin/fig7_architectures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_architectures-827dc59d627cf5c4.d: crates/bench/src/bin/fig7_architectures.rs
+
+/root/repo/target/debug/deps/fig7_architectures-827dc59d627cf5c4: crates/bench/src/bin/fig7_architectures.rs
+
+crates/bench/src/bin/fig7_architectures.rs:

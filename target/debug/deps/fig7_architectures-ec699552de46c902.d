@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_architectures-ec699552de46c902.d: crates/bench/src/bin/fig7_architectures.rs
+
+/root/repo/target/debug/deps/fig7_architectures-ec699552de46c902: crates/bench/src/bin/fig7_architectures.rs
+
+crates/bench/src/bin/fig7_architectures.rs:

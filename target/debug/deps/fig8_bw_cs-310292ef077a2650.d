@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_bw_cs-310292ef077a2650.d: crates/bench/src/bin/fig8_bw_cs.rs
+
+/root/repo/target/debug/deps/fig8_bw_cs-310292ef077a2650: crates/bench/src/bin/fig8_bw_cs.rs
+
+crates/bench/src/bin/fig8_bw_cs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_bw_cs-43f1bd5272fd90df.d: crates/bench/src/bin/fig8_bw_cs.rs
+
+/root/repo/target/debug/deps/fig8_bw_cs-43f1bd5272fd90df: crates/bench/src/bin/fig8_bw_cs.rs
+
+crates/bench/src/bin/fig8_bw_cs.rs:

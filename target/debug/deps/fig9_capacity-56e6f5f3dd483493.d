@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_capacity-56e6f5f3dd483493.d: crates/bench/src/bin/fig9_capacity.rs
+
+/root/repo/target/debug/deps/fig9_capacity-56e6f5f3dd483493: crates/bench/src/bin/fig9_capacity.rs
+
+crates/bench/src/bin/fig9_capacity.rs:

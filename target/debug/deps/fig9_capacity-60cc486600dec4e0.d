@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_capacity-60cc486600dec4e0.d: crates/bench/src/bin/fig9_capacity.rs
+
+/root/repo/target/debug/deps/fig9_capacity-60cc486600dec4e0: crates/bench/src/bin/fig9_capacity.rs
+
+crates/bench/src/bin/fig9_capacity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_capacity-61800b498b565153.d: crates/bench/src/bin/fig9_capacity.rs
+
+/root/repo/target/debug/deps/fig9_capacity-61800b498b565153: crates/bench/src/bin/fig9_capacity.rs
+
+crates/bench/src/bin/fig9_capacity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flow_quality-190bc75509da8bdd.d: tests/flow_quality.rs
+
+/root/repo/target/debug/deps/flow_quality-190bc75509da8bdd: tests/flow_quality.rs
+
+tests/flow_quality.rs:

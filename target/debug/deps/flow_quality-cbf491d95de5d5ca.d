@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flow_quality-cbf491d95de5d5ca.d: tests/flow_quality.rs
+
+/root/repo/target/debug/deps/flow_quality-cbf491d95de5d5ca: tests/flow_quality.rs
+
+tests/flow_quality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/folding_ablation-280e262331402ee3.d: crates/bench/src/bin/folding_ablation.rs
+
+/root/repo/target/debug/deps/folding_ablation-280e262331402ee3: crates/bench/src/bin/folding_ablation.rs
+
+crates/bench/src/bin/folding_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/folding_ablation-43539b284bd3c9c0.d: crates/bench/src/bin/folding_ablation.rs
+
+/root/repo/target/debug/deps/folding_ablation-43539b284bd3c9c0: crates/bench/src/bin/folding_ablation.rs
+
+crates/bench/src/bin/folding_ablation.rs:

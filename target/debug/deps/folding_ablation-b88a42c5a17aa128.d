@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/folding_ablation-b88a42c5a17aa128.d: crates/bench/src/bin/folding_ablation.rs
+
+/root/repo/target/debug/deps/folding_ablation-b88a42c5a17aa128: crates/bench/src/bin/folding_ablation.rs
+
+crates/bench/src/bin/folding_ablation.rs:

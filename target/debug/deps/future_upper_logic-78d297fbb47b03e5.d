@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/future_upper_logic-78d297fbb47b03e5.d: crates/bench/src/bin/future_upper_logic.rs
+
+/root/repo/target/debug/deps/future_upper_logic-78d297fbb47b03e5: crates/bench/src/bin/future_upper_logic.rs
+
+crates/bench/src/bin/future_upper_logic.rs:

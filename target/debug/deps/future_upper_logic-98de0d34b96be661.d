@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/future_upper_logic-98de0d34b96be661.d: crates/bench/src/bin/future_upper_logic.rs
+
+/root/repo/target/debug/deps/future_upper_logic-98de0d34b96be661: crates/bench/src/bin/future_upper_logic.rs
+
+crates/bench/src/bin/future_upper_logic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/future_upper_logic-cb63831827e9cee4.d: crates/bench/src/bin/future_upper_logic.rs
+
+/root/repo/target/debug/deps/future_upper_logic-cb63831827e9cee4: crates/bench/src/bin/future_upper_logic.rs
+
+crates/bench/src/bin/future_upper_logic.rs:

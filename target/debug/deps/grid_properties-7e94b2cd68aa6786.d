@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/grid_properties-7e94b2cd68aa6786.d: tests/grid_properties.rs
+
+/root/repo/target/debug/deps/grid_properties-7e94b2cd68aa6786: tests/grid_properties.rs
+
+tests/grid_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-481822c3bd947063.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-481822c3bd947063: tests/invariants.rs
+
+tests/invariants.rs:

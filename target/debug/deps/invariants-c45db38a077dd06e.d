@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-c45db38a077dd06e.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-c45db38a077dd06e: tests/invariants.rs
+
+tests/invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/iso_flow-506306c33aa25440.d: tests/iso_flow.rs
+
+/root/repo/target/debug/deps/iso_flow-506306c33aa25440: tests/iso_flow.rs
+
+tests/iso_flow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/iso_flow-f05f2f0bcb1b772a.d: tests/iso_flow.rs
+
+/root/repo/target/debug/deps/iso_flow-f05f2f0bcb1b772a: tests/iso_flow.rs
+
+tests/iso_flow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/m3d-38c95ef53c784702.d: src/lib.rs
+
+/root/repo/target/debug/deps/m3d-38c95ef53c784702: src/lib.rs
+
+src/lib.rs:

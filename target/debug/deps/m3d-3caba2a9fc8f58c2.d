@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/m3d-3caba2a9fc8f58c2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libm3d-3caba2a9fc8f58c2.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libm3d-3caba2a9fc8f58c2.rmeta: src/lib.rs
+
+src/lib.rs:

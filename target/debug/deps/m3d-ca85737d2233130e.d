@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/m3d-ca85737d2233130e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libm3d-ca85737d2233130e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libm3d-ca85737d2233130e.rmeta: src/lib.rs
+
+src/lib.rs:

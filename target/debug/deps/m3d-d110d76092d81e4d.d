@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/m3d-d110d76092d81e4d.d: src/lib.rs
+
+/root/repo/target/debug/deps/m3d-d110d76092d81e4d: src/lib.rs
+
+src/lib.rs:

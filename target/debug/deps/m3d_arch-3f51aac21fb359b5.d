@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/m3d_arch-3f51aac21fb359b5.d: crates/arch/src/lib.rs crates/arch/src/accel.rs crates/arch/src/batch.rs crates/arch/src/energy.rs crates/arch/src/models.rs crates/arch/src/sim.rs crates/arch/src/systolic.rs crates/arch/src/trace.rs crates/arch/src/workload.rs crates/arch/src/zigzag.rs
+
+/root/repo/target/debug/deps/m3d_arch-3f51aac21fb359b5: crates/arch/src/lib.rs crates/arch/src/accel.rs crates/arch/src/batch.rs crates/arch/src/energy.rs crates/arch/src/models.rs crates/arch/src/sim.rs crates/arch/src/systolic.rs crates/arch/src/trace.rs crates/arch/src/workload.rs crates/arch/src/zigzag.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/accel.rs:
+crates/arch/src/batch.rs:
+crates/arch/src/energy.rs:
+crates/arch/src/models.rs:
+crates/arch/src/sim.rs:
+crates/arch/src/systolic.rs:
+crates/arch/src/trace.rs:
+crates/arch/src/workload.rs:
+crates/arch/src/zigzag.rs:

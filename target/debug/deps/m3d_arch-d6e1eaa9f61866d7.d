@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/m3d_arch-d6e1eaa9f61866d7.d: crates/arch/src/lib.rs crates/arch/src/accel.rs crates/arch/src/batch.rs crates/arch/src/energy.rs crates/arch/src/models.rs crates/arch/src/sim.rs crates/arch/src/systolic.rs crates/arch/src/trace.rs crates/arch/src/workload.rs crates/arch/src/zigzag.rs
+
+/root/repo/target/debug/deps/libm3d_arch-d6e1eaa9f61866d7.rlib: crates/arch/src/lib.rs crates/arch/src/accel.rs crates/arch/src/batch.rs crates/arch/src/energy.rs crates/arch/src/models.rs crates/arch/src/sim.rs crates/arch/src/systolic.rs crates/arch/src/trace.rs crates/arch/src/workload.rs crates/arch/src/zigzag.rs
+
+/root/repo/target/debug/deps/libm3d_arch-d6e1eaa9f61866d7.rmeta: crates/arch/src/lib.rs crates/arch/src/accel.rs crates/arch/src/batch.rs crates/arch/src/energy.rs crates/arch/src/models.rs crates/arch/src/sim.rs crates/arch/src/systolic.rs crates/arch/src/trace.rs crates/arch/src/workload.rs crates/arch/src/zigzag.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/accel.rs:
+crates/arch/src/batch.rs:
+crates/arch/src/energy.rs:
+crates/arch/src/models.rs:
+crates/arch/src/sim.rs:
+crates/arch/src/systolic.rs:
+crates/arch/src/trace.rs:
+crates/arch/src/workload.rs:
+crates/arch/src/zigzag.rs:

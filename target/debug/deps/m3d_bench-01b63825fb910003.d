@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/m3d_bench-01b63825fb910003.d: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+/root/repo/target/debug/deps/libm3d_bench-01b63825fb910003.rlib: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+/root/repo/target/debug/deps/libm3d_bench-01b63825fb910003.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:

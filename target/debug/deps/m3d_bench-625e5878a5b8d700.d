@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/m3d_bench-625e5878a5b8d700.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/m3d_bench-625e5878a5b8d700: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

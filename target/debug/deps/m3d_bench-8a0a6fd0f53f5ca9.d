@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/m3d_bench-8a0a6fd0f53f5ca9.d: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+/root/repo/target/debug/deps/m3d_bench-8a0a6fd0f53f5ca9: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:

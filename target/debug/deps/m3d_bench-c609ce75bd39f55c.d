@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/m3d_bench-c609ce75bd39f55c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libm3d_bench-c609ce75bd39f55c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libm3d_bench-c609ce75bd39f55c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

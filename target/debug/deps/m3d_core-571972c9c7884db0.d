@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/m3d_core-571972c9c7884db0.d: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/design_point.rs crates/core/src/error.rs crates/core/src/explore.rs crates/core/src/framework.rs crates/core/src/report.rs crates/core/src/roofline.rs crates/core/src/sensitivity.rs crates/core/src/thermal.rs
+
+/root/repo/target/debug/deps/libm3d_core-571972c9c7884db0.rlib: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/design_point.rs crates/core/src/error.rs crates/core/src/explore.rs crates/core/src/framework.rs crates/core/src/report.rs crates/core/src/roofline.rs crates/core/src/sensitivity.rs crates/core/src/thermal.rs
+
+/root/repo/target/debug/deps/libm3d_core-571972c9c7884db0.rmeta: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/design_point.rs crates/core/src/error.rs crates/core/src/explore.rs crates/core/src/framework.rs crates/core/src/report.rs crates/core/src/roofline.rs crates/core/src/sensitivity.rs crates/core/src/thermal.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cases.rs:
+crates/core/src/design_point.rs:
+crates/core/src/error.rs:
+crates/core/src/explore.rs:
+crates/core/src/framework.rs:
+crates/core/src/report.rs:
+crates/core/src/roofline.rs:
+crates/core/src/sensitivity.rs:
+crates/core/src/thermal.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/m3d_core-7206b72ee7ff66a6.d: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/design_point.rs crates/core/src/engine/mod.rs crates/core/src/engine/cache.rs crates/core/src/engine/parallel.rs crates/core/src/engine/report.rs crates/core/src/engine/stage.rs crates/core/src/error.rs crates/core/src/explore.rs crates/core/src/framework.rs crates/core/src/report.rs crates/core/src/roofline.rs crates/core/src/sensitivity.rs crates/core/src/thermal.rs
+
+/root/repo/target/debug/deps/m3d_core-7206b72ee7ff66a6: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/design_point.rs crates/core/src/engine/mod.rs crates/core/src/engine/cache.rs crates/core/src/engine/parallel.rs crates/core/src/engine/report.rs crates/core/src/engine/stage.rs crates/core/src/error.rs crates/core/src/explore.rs crates/core/src/framework.rs crates/core/src/report.rs crates/core/src/roofline.rs crates/core/src/sensitivity.rs crates/core/src/thermal.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cases.rs:
+crates/core/src/design_point.rs:
+crates/core/src/engine/mod.rs:
+crates/core/src/engine/cache.rs:
+crates/core/src/engine/parallel.rs:
+crates/core/src/engine/report.rs:
+crates/core/src/engine/stage.rs:
+crates/core/src/error.rs:
+crates/core/src/explore.rs:
+crates/core/src/framework.rs:
+crates/core/src/report.rs:
+crates/core/src/roofline.rs:
+crates/core/src/sensitivity.rs:
+crates/core/src/thermal.rs:

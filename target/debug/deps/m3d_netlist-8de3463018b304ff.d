@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/m3d_netlist-8de3463018b304ff.d: crates/netlist/src/lib.rs crates/netlist/src/error.rs crates/netlist/src/eval.rs crates/netlist/src/gen/mod.rs crates/netlist/src/gen/arith.rs crates/netlist/src/gen/cla.rs crates/netlist/src/gen/pe.rs crates/netlist/src/gen/soc.rs crates/netlist/src/gen/systolic.rs crates/netlist/src/netlist.rs crates/netlist/src/parser.rs crates/netlist/src/stats.rs crates/netlist/src/verilog.rs
+
+/root/repo/target/debug/deps/m3d_netlist-8de3463018b304ff: crates/netlist/src/lib.rs crates/netlist/src/error.rs crates/netlist/src/eval.rs crates/netlist/src/gen/mod.rs crates/netlist/src/gen/arith.rs crates/netlist/src/gen/cla.rs crates/netlist/src/gen/pe.rs crates/netlist/src/gen/soc.rs crates/netlist/src/gen/systolic.rs crates/netlist/src/netlist.rs crates/netlist/src/parser.rs crates/netlist/src/stats.rs crates/netlist/src/verilog.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/eval.rs:
+crates/netlist/src/gen/mod.rs:
+crates/netlist/src/gen/arith.rs:
+crates/netlist/src/gen/cla.rs:
+crates/netlist/src/gen/pe.rs:
+crates/netlist/src/gen/soc.rs:
+crates/netlist/src/gen/systolic.rs:
+crates/netlist/src/netlist.rs:
+crates/netlist/src/parser.rs:
+crates/netlist/src/stats.rs:
+crates/netlist/src/verilog.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/m3d_netlist-ac350529ad0db20c.d: crates/netlist/src/lib.rs crates/netlist/src/error.rs crates/netlist/src/eval.rs crates/netlist/src/gen/mod.rs crates/netlist/src/gen/arith.rs crates/netlist/src/gen/cla.rs crates/netlist/src/gen/pe.rs crates/netlist/src/gen/soc.rs crates/netlist/src/gen/systolic.rs crates/netlist/src/netlist.rs crates/netlist/src/parser.rs crates/netlist/src/stats.rs crates/netlist/src/verilog.rs
+
+/root/repo/target/debug/deps/libm3d_netlist-ac350529ad0db20c.rlib: crates/netlist/src/lib.rs crates/netlist/src/error.rs crates/netlist/src/eval.rs crates/netlist/src/gen/mod.rs crates/netlist/src/gen/arith.rs crates/netlist/src/gen/cla.rs crates/netlist/src/gen/pe.rs crates/netlist/src/gen/soc.rs crates/netlist/src/gen/systolic.rs crates/netlist/src/netlist.rs crates/netlist/src/parser.rs crates/netlist/src/stats.rs crates/netlist/src/verilog.rs
+
+/root/repo/target/debug/deps/libm3d_netlist-ac350529ad0db20c.rmeta: crates/netlist/src/lib.rs crates/netlist/src/error.rs crates/netlist/src/eval.rs crates/netlist/src/gen/mod.rs crates/netlist/src/gen/arith.rs crates/netlist/src/gen/cla.rs crates/netlist/src/gen/pe.rs crates/netlist/src/gen/soc.rs crates/netlist/src/gen/systolic.rs crates/netlist/src/netlist.rs crates/netlist/src/parser.rs crates/netlist/src/stats.rs crates/netlist/src/verilog.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/eval.rs:
+crates/netlist/src/gen/mod.rs:
+crates/netlist/src/gen/arith.rs:
+crates/netlist/src/gen/cla.rs:
+crates/netlist/src/gen/pe.rs:
+crates/netlist/src/gen/soc.rs:
+crates/netlist/src/gen/systolic.rs:
+crates/netlist/src/netlist.rs:
+crates/netlist/src/parser.rs:
+crates/netlist/src/stats.rs:
+crates/netlist/src/verilog.rs:

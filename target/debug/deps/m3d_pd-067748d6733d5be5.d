@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/m3d_pd-067748d6733d5be5.d: crates/pd/src/lib.rs crates/pd/src/cluster.rs crates/pd/src/congestion.rs crates/pd/src/cts.rs crates/pd/src/drc.rs crates/pd/src/error.rs crates/pd/src/floorplan.rs crates/pd/src/flow.rs crates/pd/src/gds.rs crates/pd/src/geom.rs crates/pd/src/legalize.rs crates/pd/src/opt.rs crates/pd/src/partition.rs crates/pd/src/place.rs crates/pd/src/power.rs crates/pd/src/route.rs crates/pd/src/spef.rs crates/pd/src/sta.rs
+
+/root/repo/target/debug/deps/libm3d_pd-067748d6733d5be5.rlib: crates/pd/src/lib.rs crates/pd/src/cluster.rs crates/pd/src/congestion.rs crates/pd/src/cts.rs crates/pd/src/drc.rs crates/pd/src/error.rs crates/pd/src/floorplan.rs crates/pd/src/flow.rs crates/pd/src/gds.rs crates/pd/src/geom.rs crates/pd/src/legalize.rs crates/pd/src/opt.rs crates/pd/src/partition.rs crates/pd/src/place.rs crates/pd/src/power.rs crates/pd/src/route.rs crates/pd/src/spef.rs crates/pd/src/sta.rs
+
+/root/repo/target/debug/deps/libm3d_pd-067748d6733d5be5.rmeta: crates/pd/src/lib.rs crates/pd/src/cluster.rs crates/pd/src/congestion.rs crates/pd/src/cts.rs crates/pd/src/drc.rs crates/pd/src/error.rs crates/pd/src/floorplan.rs crates/pd/src/flow.rs crates/pd/src/gds.rs crates/pd/src/geom.rs crates/pd/src/legalize.rs crates/pd/src/opt.rs crates/pd/src/partition.rs crates/pd/src/place.rs crates/pd/src/power.rs crates/pd/src/route.rs crates/pd/src/spef.rs crates/pd/src/sta.rs
+
+crates/pd/src/lib.rs:
+crates/pd/src/cluster.rs:
+crates/pd/src/congestion.rs:
+crates/pd/src/cts.rs:
+crates/pd/src/drc.rs:
+crates/pd/src/error.rs:
+crates/pd/src/floorplan.rs:
+crates/pd/src/flow.rs:
+crates/pd/src/gds.rs:
+crates/pd/src/geom.rs:
+crates/pd/src/legalize.rs:
+crates/pd/src/opt.rs:
+crates/pd/src/partition.rs:
+crates/pd/src/place.rs:
+crates/pd/src/power.rs:
+crates/pd/src/route.rs:
+crates/pd/src/spef.rs:
+crates/pd/src/sta.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/m3d_tech-bcee7682ce7ad7cd.d: crates/tech/src/lib.rs crates/tech/src/corners.rs crates/tech/src/device.rs crates/tech/src/error.rs crates/tech/src/export.rs crates/tech/src/layers.rs crates/tech/src/macro_model.rs crates/tech/src/pdk.rs crates/tech/src/rram.rs crates/tech/src/scaling.rs crates/tech/src/stable_hash.rs crates/tech/src/stdcell.rs crates/tech/src/units.rs
+
+/root/repo/target/debug/deps/libm3d_tech-bcee7682ce7ad7cd.rlib: crates/tech/src/lib.rs crates/tech/src/corners.rs crates/tech/src/device.rs crates/tech/src/error.rs crates/tech/src/export.rs crates/tech/src/layers.rs crates/tech/src/macro_model.rs crates/tech/src/pdk.rs crates/tech/src/rram.rs crates/tech/src/scaling.rs crates/tech/src/stable_hash.rs crates/tech/src/stdcell.rs crates/tech/src/units.rs
+
+/root/repo/target/debug/deps/libm3d_tech-bcee7682ce7ad7cd.rmeta: crates/tech/src/lib.rs crates/tech/src/corners.rs crates/tech/src/device.rs crates/tech/src/error.rs crates/tech/src/export.rs crates/tech/src/layers.rs crates/tech/src/macro_model.rs crates/tech/src/pdk.rs crates/tech/src/rram.rs crates/tech/src/scaling.rs crates/tech/src/stable_hash.rs crates/tech/src/stdcell.rs crates/tech/src/units.rs
+
+crates/tech/src/lib.rs:
+crates/tech/src/corners.rs:
+crates/tech/src/device.rs:
+crates/tech/src/error.rs:
+crates/tech/src/export.rs:
+crates/tech/src/layers.rs:
+crates/tech/src/macro_model.rs:
+crates/tech/src/pdk.rs:
+crates/tech/src/rram.rs:
+crates/tech/src/scaling.rs:
+crates/tech/src/stable_hash.rs:
+crates/tech/src/stdcell.rs:
+crates/tech/src/units.rs:

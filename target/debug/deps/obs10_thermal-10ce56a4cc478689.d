@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs10_thermal-10ce56a4cc478689.d: crates/bench/src/bin/obs10_thermal.rs
+
+/root/repo/target/debug/deps/obs10_thermal-10ce56a4cc478689: crates/bench/src/bin/obs10_thermal.rs
+
+crates/bench/src/bin/obs10_thermal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs10_thermal-9397ce017a419338.d: crates/bench/src/bin/obs10_thermal.rs
+
+/root/repo/target/debug/deps/obs10_thermal-9397ce017a419338: crates/bench/src/bin/obs10_thermal.rs
+
+crates/bench/src/bin/obs10_thermal.rs:

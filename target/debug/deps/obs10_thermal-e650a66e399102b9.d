@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs10_thermal-e650a66e399102b9.d: crates/bench/src/bin/obs10_thermal.rs
+
+/root/repo/target/debug/deps/obs10_thermal-e650a66e399102b9: crates/bench/src/bin/obs10_thermal.rs
+
+crates/bench/src/bin/obs10_thermal.rs:

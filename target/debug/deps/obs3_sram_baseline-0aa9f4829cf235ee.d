@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs3_sram_baseline-0aa9f4829cf235ee.d: crates/bench/src/bin/obs3_sram_baseline.rs
+
+/root/repo/target/debug/deps/obs3_sram_baseline-0aa9f4829cf235ee: crates/bench/src/bin/obs3_sram_baseline.rs
+
+crates/bench/src/bin/obs3_sram_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs3_sram_baseline-bd4a89bff6c27f73.d: crates/bench/src/bin/obs3_sram_baseline.rs
+
+/root/repo/target/debug/deps/obs3_sram_baseline-bd4a89bff6c27f73: crates/bench/src/bin/obs3_sram_baseline.rs
+
+crates/bench/src/bin/obs3_sram_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs3_sram_baseline-c8d2c87a2981c824.d: crates/bench/src/bin/obs3_sram_baseline.rs
+
+/root/repo/target/debug/deps/obs3_sram_baseline-c8d2c87a2981c824: crates/bench/src/bin/obs3_sram_baseline.rs
+
+crates/bench/src/bin/obs3_sram_baseline.rs:

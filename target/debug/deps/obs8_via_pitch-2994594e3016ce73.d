@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs8_via_pitch-2994594e3016ce73.d: crates/bench/src/bin/obs8_via_pitch.rs
+
+/root/repo/target/debug/deps/obs8_via_pitch-2994594e3016ce73: crates/bench/src/bin/obs8_via_pitch.rs
+
+crates/bench/src/bin/obs8_via_pitch.rs:

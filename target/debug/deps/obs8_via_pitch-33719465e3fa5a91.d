@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs8_via_pitch-33719465e3fa5a91.d: crates/bench/src/bin/obs8_via_pitch.rs
+
+/root/repo/target/debug/deps/obs8_via_pitch-33719465e3fa5a91: crates/bench/src/bin/obs8_via_pitch.rs
+
+crates/bench/src/bin/obs8_via_pitch.rs:

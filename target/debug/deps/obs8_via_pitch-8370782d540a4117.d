@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs8_via_pitch-8370782d540a4117.d: crates/bench/src/bin/obs8_via_pitch.rs
+
+/root/repo/target/debug/deps/obs8_via_pitch-8370782d540a4117: crates/bench/src/bin/obs8_via_pitch.rs
+
+crates/bench/src/bin/obs8_via_pitch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_results-5fc2774324f177a7.d: tests/paper_results.rs
+
+/root/repo/target/debug/deps/paper_results-5fc2774324f177a7: tests/paper_results.rs
+
+tests/paper_results.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_results-9c445f963a9c2245.d: tests/paper_results.rs
+
+/root/repo/target/debug/deps/paper_results-9c445f963a9c2245: tests/paper_results.rs
+
+tests/paper_results.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/projection_nodes-2a886cdae483752b.d: crates/bench/src/bin/projection_nodes.rs
+
+/root/repo/target/debug/deps/projection_nodes-2a886cdae483752b: crates/bench/src/bin/projection_nodes.rs
+
+crates/bench/src/bin/projection_nodes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/projection_nodes-3fc2bfc74e04e20d.d: crates/bench/src/bin/projection_nodes.rs
+
+/root/repo/target/debug/deps/projection_nodes-3fc2bfc74e04e20d: crates/bench/src/bin/projection_nodes.rs
+
+crates/bench/src/bin/projection_nodes.rs:

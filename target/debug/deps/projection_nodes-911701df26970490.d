@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/projection_nodes-911701df26970490.d: crates/bench/src/bin/projection_nodes.rs
+
+/root/repo/target/debug/deps/projection_nodes-911701df26970490: crates/bench/src/bin/projection_nodes.rs
+
+crates/bench/src/bin/projection_nodes.rs:

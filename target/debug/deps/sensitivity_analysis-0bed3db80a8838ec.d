@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sensitivity_analysis-0bed3db80a8838ec.d: crates/bench/src/bin/sensitivity_analysis.rs
+
+/root/repo/target/debug/deps/sensitivity_analysis-0bed3db80a8838ec: crates/bench/src/bin/sensitivity_analysis.rs
+
+crates/bench/src/bin/sensitivity_analysis.rs:

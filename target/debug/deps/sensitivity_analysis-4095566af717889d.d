@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sensitivity_analysis-4095566af717889d.d: crates/bench/src/bin/sensitivity_analysis.rs
+
+/root/repo/target/debug/deps/sensitivity_analysis-4095566af717889d: crates/bench/src/bin/sensitivity_analysis.rs
+
+crates/bench/src/bin/sensitivity_analysis.rs:

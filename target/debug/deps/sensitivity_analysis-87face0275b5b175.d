@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sensitivity_analysis-87face0275b5b175.d: crates/bench/src/bin/sensitivity_analysis.rs
+
+/root/repo/target/debug/deps/sensitivity_analysis-87face0275b5b175: crates/bench/src/bin/sensitivity_analysis.rs
+
+crates/bench/src/bin/sensitivity_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_resnet18-93efba08d885a95c.d: crates/bench/src/bin/table1_resnet18.rs
+
+/root/repo/target/debug/deps/table1_resnet18-93efba08d885a95c: crates/bench/src/bin/table1_resnet18.rs
+
+crates/bench/src/bin/table1_resnet18.rs:

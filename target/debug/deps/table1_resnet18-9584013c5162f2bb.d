@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_resnet18-9584013c5162f2bb.d: crates/bench/src/bin/table1_resnet18.rs
+
+/root/repo/target/debug/deps/table1_resnet18-9584013c5162f2bb: crates/bench/src/bin/table1_resnet18.rs
+
+crates/bench/src/bin/table1_resnet18.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_resnet18-f26d075b0bdf3f32.d: crates/bench/src/bin/table1_resnet18.rs
+
+/root/repo/target/debug/deps/table1_resnet18-f26d075b0bdf3f32: crates/bench/src/bin/table1_resnet18.rs
+
+crates/bench/src/bin/table1_resnet18.rs:

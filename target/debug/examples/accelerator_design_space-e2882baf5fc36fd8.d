@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/accelerator_design_space-e2882baf5fc36fd8.d: examples/accelerator_design_space.rs
+
+/root/repo/target/debug/examples/accelerator_design_space-e2882baf5fc36fd8: examples/accelerator_design_space.rs
+
+examples/accelerator_design_space.rs:

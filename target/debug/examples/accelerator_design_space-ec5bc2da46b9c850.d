@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/accelerator_design_space-ec5bc2da46b9c850.d: examples/accelerator_design_space.rs
+
+/root/repo/target/debug/examples/accelerator_design_space-ec5bc2da46b9c850: examples/accelerator_design_space.rs
+
+examples/accelerator_design_space.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/m3d_physical_design-1153b8b436001da7.d: examples/m3d_physical_design.rs
+
+/root/repo/target/debug/examples/m3d_physical_design-1153b8b436001da7: examples/m3d_physical_design.rs
+
+examples/m3d_physical_design.rs:

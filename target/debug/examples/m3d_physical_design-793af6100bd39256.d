@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/m3d_physical_design-793af6100bd39256.d: examples/m3d_physical_design.rs
+
+/root/repo/target/debug/examples/m3d_physical_design-793af6100bd39256: examples/m3d_physical_design.rs
+
+examples/m3d_physical_design.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/netlist_tour-615538b8031c780f.d: examples/netlist_tour.rs
+
+/root/repo/target/debug/examples/netlist_tour-615538b8031c780f: examples/netlist_tour.rs
+
+examples/netlist_tour.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/netlist_tour-72d2143dceb183ef.d: examples/netlist_tour.rs
+
+/root/repo/target/debug/examples/netlist_tour-72d2143dceb183ef: examples/netlist_tour.rs
+
+examples/netlist_tour.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6856621fd60d934d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6856621fd60d934d: examples/quickstart.rs
+
+examples/quickstart.rs:

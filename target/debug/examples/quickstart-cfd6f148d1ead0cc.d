@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-cfd6f148d1ead0cc.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-cfd6f148d1ead0cc: examples/quickstart.rs
+
+examples/quickstart.rs:

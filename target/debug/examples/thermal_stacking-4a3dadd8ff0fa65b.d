@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/thermal_stacking-4a3dadd8ff0fa65b.d: examples/thermal_stacking.rs
+
+/root/repo/target/debug/examples/thermal_stacking-4a3dadd8ff0fa65b: examples/thermal_stacking.rs
+
+examples/thermal_stacking.rs:

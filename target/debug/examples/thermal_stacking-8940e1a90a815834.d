@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/thermal_stacking-8940e1a90a815834.d: examples/thermal_stacking.rs
+
+/root/repo/target/debug/examples/thermal_stacking-8940e1a90a815834: examples/thermal_stacking.rs
+
+examples/thermal_stacking.rs:

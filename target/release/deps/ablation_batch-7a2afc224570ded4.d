@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_batch-7a2afc224570ded4.d: crates/bench/src/bin/ablation_batch.rs
+
+/root/repo/target/release/deps/ablation_batch-7a2afc224570ded4: crates/bench/src/bin/ablation_batch.rs
+
+crates/bench/src/bin/ablation_batch.rs:

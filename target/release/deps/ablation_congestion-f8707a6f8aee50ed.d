@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_congestion-f8707a6f8aee50ed.d: crates/bench/src/bin/ablation_congestion.rs
+
+/root/repo/target/release/deps/ablation_congestion-f8707a6f8aee50ed: crates/bench/src/bin/ablation_congestion.rs
+
+crates/bench/src/bin/ablation_congestion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_dataflow-d2fb51f9c277f57c.d: crates/bench/src/bin/ablation_dataflow.rs
+
+/root/repo/target/release/deps/ablation_dataflow-d2fb51f9c277f57c: crates/bench/src/bin/ablation_dataflow.rs
+
+crates/bench/src/bin/ablation_dataflow.rs:

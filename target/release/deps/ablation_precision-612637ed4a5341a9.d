@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_precision-612637ed4a5341a9.d: crates/bench/src/bin/ablation_precision.rs
+
+/root/repo/target/release/deps/ablation_precision-612637ed4a5341a9: crates/bench/src/bin/ablation_precision.rs
+
+crates/bench/src/bin/ablation_precision.rs:

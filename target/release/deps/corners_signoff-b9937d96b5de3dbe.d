@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/corners_signoff-b9937d96b5de3dbe.d: crates/bench/src/bin/corners_signoff.rs
+
+/root/repo/target/release/deps/corners_signoff-b9937d96b5de3dbe: crates/bench/src/bin/corners_signoff.rs
+
+crates/bench/src/bin/corners_signoff.rs:

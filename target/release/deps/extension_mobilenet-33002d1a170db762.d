@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extension_mobilenet-33002d1a170db762.d: crates/bench/src/bin/extension_mobilenet.rs
+
+/root/repo/target/release/deps/extension_mobilenet-33002d1a170db762: crates/bench/src/bin/extension_mobilenet.rs
+
+crates/bench/src/bin/extension_mobilenet.rs:

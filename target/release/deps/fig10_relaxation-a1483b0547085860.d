@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_relaxation-a1483b0547085860.d: crates/bench/src/bin/fig10_relaxation.rs
+
+/root/repo/target/release/deps/fig10_relaxation-a1483b0547085860: crates/bench/src/bin/fig10_relaxation.rs
+
+crates/bench/src/bin/fig10_relaxation.rs:

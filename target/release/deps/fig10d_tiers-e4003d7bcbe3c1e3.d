@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10d_tiers-e4003d7bcbe3c1e3.d: crates/bench/src/bin/fig10d_tiers.rs
+
+/root/repo/target/release/deps/fig10d_tiers-e4003d7bcbe3c1e3: crates/bench/src/bin/fig10d_tiers.rs
+
+crates/bench/src/bin/fig10d_tiers.rs:

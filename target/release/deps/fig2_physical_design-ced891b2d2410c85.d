@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_physical_design-ced891b2d2410c85.d: crates/bench/src/bin/fig2_physical_design.rs
+
+/root/repo/target/release/deps/fig2_physical_design-ced891b2d2410c85: crates/bench/src/bin/fig2_physical_design.rs
+
+crates/bench/src/bin/fig2_physical_design.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_models-d118aa42524acc67.d: crates/bench/src/bin/fig5_models.rs
+
+/root/repo/target/release/deps/fig5_models-d118aa42524acc67: crates/bench/src/bin/fig5_models.rs
+
+crates/bench/src/bin/fig5_models.rs:

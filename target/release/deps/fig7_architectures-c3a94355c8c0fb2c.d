@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_architectures-c3a94355c8c0fb2c.d: crates/bench/src/bin/fig7_architectures.rs
+
+/root/repo/target/release/deps/fig7_architectures-c3a94355c8c0fb2c: crates/bench/src/bin/fig7_architectures.rs
+
+crates/bench/src/bin/fig7_architectures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_bw_cs-93bff5d4513b5ba4.d: crates/bench/src/bin/fig8_bw_cs.rs
+
+/root/repo/target/release/deps/fig8_bw_cs-93bff5d4513b5ba4: crates/bench/src/bin/fig8_bw_cs.rs
+
+crates/bench/src/bin/fig8_bw_cs.rs:

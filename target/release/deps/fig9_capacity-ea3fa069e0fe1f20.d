@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_capacity-ea3fa069e0fe1f20.d: crates/bench/src/bin/fig9_capacity.rs
+
+/root/repo/target/release/deps/fig9_capacity-ea3fa069e0fe1f20: crates/bench/src/bin/fig9_capacity.rs
+
+crates/bench/src/bin/fig9_capacity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/folding_ablation-56e8ec26cca4ba27.d: crates/bench/src/bin/folding_ablation.rs
+
+/root/repo/target/release/deps/folding_ablation-56e8ec26cca4ba27: crates/bench/src/bin/folding_ablation.rs
+
+crates/bench/src/bin/folding_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/future_upper_logic-24b37ee8a88f0254.d: crates/bench/src/bin/future_upper_logic.rs
+
+/root/repo/target/release/deps/future_upper_logic-24b37ee8a88f0254: crates/bench/src/bin/future_upper_logic.rs
+
+crates/bench/src/bin/future_upper_logic.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/m3d-65ba30bc980b1034.d: src/lib.rs
+
+/root/repo/target/release/deps/libm3d-65ba30bc980b1034.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libm3d-65ba30bc980b1034.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/m3d_arch-e66879fdb1d49326.d: crates/arch/src/lib.rs crates/arch/src/accel.rs crates/arch/src/batch.rs crates/arch/src/energy.rs crates/arch/src/models.rs crates/arch/src/sim.rs crates/arch/src/systolic.rs crates/arch/src/trace.rs crates/arch/src/workload.rs crates/arch/src/zigzag.rs
+
+/root/repo/target/release/deps/libm3d_arch-e66879fdb1d49326.rlib: crates/arch/src/lib.rs crates/arch/src/accel.rs crates/arch/src/batch.rs crates/arch/src/energy.rs crates/arch/src/models.rs crates/arch/src/sim.rs crates/arch/src/systolic.rs crates/arch/src/trace.rs crates/arch/src/workload.rs crates/arch/src/zigzag.rs
+
+/root/repo/target/release/deps/libm3d_arch-e66879fdb1d49326.rmeta: crates/arch/src/lib.rs crates/arch/src/accel.rs crates/arch/src/batch.rs crates/arch/src/energy.rs crates/arch/src/models.rs crates/arch/src/sim.rs crates/arch/src/systolic.rs crates/arch/src/trace.rs crates/arch/src/workload.rs crates/arch/src/zigzag.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/accel.rs:
+crates/arch/src/batch.rs:
+crates/arch/src/energy.rs:
+crates/arch/src/models.rs:
+crates/arch/src/sim.rs:
+crates/arch/src/systolic.rs:
+crates/arch/src/trace.rs:
+crates/arch/src/workload.rs:
+crates/arch/src/zigzag.rs:

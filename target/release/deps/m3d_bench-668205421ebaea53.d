@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/m3d_bench-668205421ebaea53.d: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+/root/repo/target/release/deps/libm3d_bench-668205421ebaea53.rlib: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+/root/repo/target/release/deps/libm3d_bench-668205421ebaea53.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:

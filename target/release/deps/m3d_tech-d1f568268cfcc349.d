@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/m3d_tech-d1f568268cfcc349.d: crates/tech/src/lib.rs crates/tech/src/corners.rs crates/tech/src/device.rs crates/tech/src/error.rs crates/tech/src/export.rs crates/tech/src/layers.rs crates/tech/src/macro_model.rs crates/tech/src/pdk.rs crates/tech/src/rram.rs crates/tech/src/scaling.rs crates/tech/src/stable_hash.rs crates/tech/src/stdcell.rs crates/tech/src/units.rs
+
+/root/repo/target/release/deps/libm3d_tech-d1f568268cfcc349.rlib: crates/tech/src/lib.rs crates/tech/src/corners.rs crates/tech/src/device.rs crates/tech/src/error.rs crates/tech/src/export.rs crates/tech/src/layers.rs crates/tech/src/macro_model.rs crates/tech/src/pdk.rs crates/tech/src/rram.rs crates/tech/src/scaling.rs crates/tech/src/stable_hash.rs crates/tech/src/stdcell.rs crates/tech/src/units.rs
+
+/root/repo/target/release/deps/libm3d_tech-d1f568268cfcc349.rmeta: crates/tech/src/lib.rs crates/tech/src/corners.rs crates/tech/src/device.rs crates/tech/src/error.rs crates/tech/src/export.rs crates/tech/src/layers.rs crates/tech/src/macro_model.rs crates/tech/src/pdk.rs crates/tech/src/rram.rs crates/tech/src/scaling.rs crates/tech/src/stable_hash.rs crates/tech/src/stdcell.rs crates/tech/src/units.rs
+
+crates/tech/src/lib.rs:
+crates/tech/src/corners.rs:
+crates/tech/src/device.rs:
+crates/tech/src/error.rs:
+crates/tech/src/export.rs:
+crates/tech/src/layers.rs:
+crates/tech/src/macro_model.rs:
+crates/tech/src/pdk.rs:
+crates/tech/src/rram.rs:
+crates/tech/src/scaling.rs:
+crates/tech/src/stable_hash.rs:
+crates/tech/src/stdcell.rs:
+crates/tech/src/units.rs:

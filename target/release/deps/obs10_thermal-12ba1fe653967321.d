@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/obs10_thermal-12ba1fe653967321.d: crates/bench/src/bin/obs10_thermal.rs
+
+/root/repo/target/release/deps/obs10_thermal-12ba1fe653967321: crates/bench/src/bin/obs10_thermal.rs
+
+crates/bench/src/bin/obs10_thermal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/obs3_sram_baseline-2f7fe55f989c765e.d: crates/bench/src/bin/obs3_sram_baseline.rs
+
+/root/repo/target/release/deps/obs3_sram_baseline-2f7fe55f989c765e: crates/bench/src/bin/obs3_sram_baseline.rs
+
+crates/bench/src/bin/obs3_sram_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/obs8_via_pitch-3e4f4a70e5bd4e36.d: crates/bench/src/bin/obs8_via_pitch.rs
+
+/root/repo/target/release/deps/obs8_via_pitch-3e4f4a70e5bd4e36: crates/bench/src/bin/obs8_via_pitch.rs
+
+crates/bench/src/bin/obs8_via_pitch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/projection_nodes-62aeeabfeb022feb.d: crates/bench/src/bin/projection_nodes.rs
+
+/root/repo/target/release/deps/projection_nodes-62aeeabfeb022feb: crates/bench/src/bin/projection_nodes.rs
+
+crates/bench/src/bin/projection_nodes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sensitivity_analysis-0ff9944163ef1a43.d: crates/bench/src/bin/sensitivity_analysis.rs
+
+/root/repo/target/release/deps/sensitivity_analysis-0ff9944163ef1a43: crates/bench/src/bin/sensitivity_analysis.rs
+
+crates/bench/src/bin/sensitivity_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_resnet18-2db1e4cb44140c59.d: crates/bench/src/bin/table1_resnet18.rs
+
+/root/repo/target/release/deps/table1_resnet18-2db1e4cb44140c59: crates/bench/src/bin/table1_resnet18.rs
+
+crates/bench/src/bin/table1_resnet18.rs:

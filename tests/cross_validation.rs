@@ -67,8 +67,7 @@ fn fig7_analytical_within_fifteen_percent_of_mapper() {
         let dp = DesignPoint::derive(&pdk, &rram, arch.cs_demand_mm2()).unwrap();
         let zz2 = map_workload(&MapperChip::from_arch(&arch, 1), &alexnet);
         let zz3 = map_workload(&MapperChip::from_arch(&arch, dp.n_cs), &alexnet);
-        let zz_edp =
-            (zz2.cycles as f64 / zz3.cycles as f64) * (zz2.energy_pj / zz3.energy_pj);
+        let zz_edp = (zz2.cycles as f64 / zz3.cycles as f64) * (zz2.energy_pj / zz3.energy_pj);
 
         let points: Vec<WorkloadPoint> = alexnet
             .layers

@@ -1,0 +1,133 @@
+//! Determinism regression tests for the experiment engine: identical
+//! configurations must yield byte-identical `ExperimentReport` JSON —
+//! run to run, with or without the flow cache, and at any sweep worker
+//! count.
+
+use m3d::core::engine::{par_map_jobs, CacheStats, FlowCache, Pipeline, Stage};
+use m3d::core::explore::bandwidth_cs_grid;
+use m3d::core::framework::{ChipParams, WorkloadPoint};
+use m3d::core::sensitivity::{edp_benefit_sensitivity, Perturbation};
+use m3d::core::{ExperimentRecord, ExperimentReport, Metric};
+use m3d::netlist::CsConfig;
+use m3d::pd::FlowConfig;
+
+fn quick_cfg() -> FlowConfig {
+    FlowConfig::baseline_2d()
+        .with_cs(CsConfig {
+            rows: 4,
+            cols: 4,
+            global_buffer_kb: 64,
+            local_buffer_kb: 8,
+            ..CsConfig::default()
+        })
+        .quick()
+}
+
+/// Runs the quick flow and wraps headline numbers into a report, the way
+/// the ported bench binaries do.
+fn flow_report(cache: &FlowCache) -> String {
+    let mut pipe = Pipeline::new();
+    let run = pipe.stage(Stage::PdFlow, "2d", |ctx| {
+        let (r, hit) = cache.run_traced(&quick_cfg()).expect("quick flow runs");
+        if hit {
+            ctx.mark_cache_hit();
+        }
+        r
+    });
+    let fr = &run.0;
+    let record = ExperimentRecord::new("determinism", "engine determinism probe")
+        .metric(Metric::new("die_mm2", fr.die_mm2))
+        .metric(Metric::new("wirelength_m", fr.wirelength_m))
+        .metric(Metric::new("total_power_mw", fr.total_power_mw))
+        .metric(Metric::new("critical_path_ns", fr.critical_path_ns));
+    ExperimentReport::new(record, &pipe)
+        .to_json()
+        .expect("serialises")
+}
+
+#[test]
+fn flow_reports_are_byte_identical_across_runs_and_cache() {
+    // Two independent caches: both runs execute the full flow.
+    let cold_a = flow_report(&FlowCache::new());
+    let cold_b = flow_report(&FlowCache::new());
+    assert_eq!(
+        cold_a, cold_b,
+        "two cold flow runs must serialise identically"
+    );
+
+    // A shared cache: the second run is a hit, which flips the
+    // `cache_hit` stage flag but must leave every number untouched.
+    let cache = FlowCache::new();
+    let first = flow_report(&cache);
+    let second = flow_report(&cache);
+    assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    assert_eq!(first, cold_a);
+    assert_eq!(
+        second.replace("\"cache_hit\": true", "\"cache_hit\": false"),
+        first,
+        "cached replay must differ only in the cache_hit flag"
+    );
+}
+
+fn grid_json(jobs_env: &str) -> String {
+    // Safe even though other tests in this binary run concurrently and
+    // read M3D_JOBS: the engine guarantees results are independent of
+    // the worker count, which is exactly what this probe asserts.
+    std::env::set_var("M3D_JOBS", jobs_env);
+    let base = ChipParams::baseline_2d();
+    let w = WorkloadPoint::new(16.0e7, 1.0e7, u32::MAX);
+    let grid = bandwidth_cs_grid(&base, &w, &[1.0, 2.0, 4.0, 8.0], &[1.0, 2.0, 4.0, 8.0]);
+    let mut record = ExperimentRecord::new("fig8-probe", "determinism probe");
+    for p in grid {
+        record = record.row(
+            format!("bw={} cs={}", p.bw_factor, p.cs_factor),
+            vec![("edp_benefit".into(), p.edp_benefit)],
+        );
+    }
+    ExperimentReport::new(record, &Pipeline::new())
+        .to_json()
+        .expect("serialises")
+}
+
+#[test]
+fn parallel_sweep_reports_match_serial_byte_for_byte() {
+    // Both M3D_JOBS settings inside one test body: env vars are
+    // process-global, so splitting this across #[test] functions would
+    // race.
+    let serial = grid_json("1");
+    let parallel = grid_json("4");
+    assert_eq!(
+        serial, parallel,
+        "M3D_JOBS must not affect the JSON artifact"
+    );
+    std::env::remove_var("M3D_JOBS");
+}
+
+#[test]
+fn explicit_worker_counts_agree_on_sensitivity_samples() {
+    // The Monte-Carlo path: factors drawn serially, evaluation fanned
+    // out. Statistics must be bit-equal for every worker count.
+    let base = ChipParams::baseline_2d();
+    let m3d = ChipParams::m3d(8);
+    let w = [WorkloadPoint::new(5.0e7, 2.0e7, 64)];
+    let p = Perturbation::twenty_percent();
+    let reference = edp_benefit_sensitivity(&base, &m3d, &w, &p, 128, 9).unwrap();
+    for _ in 0..3 {
+        let again = edp_benefit_sensitivity(&base, &m3d, &w, &p, 128, 9).unwrap();
+        assert_eq!(again, reference);
+    }
+
+    // And the executor itself, with explicit worker counts.
+    let items: Vec<f64> = (1..=97).map(f64::from).collect();
+    let serial = par_map_jobs(1, &items, |x| (x * 1.000000059).sin());
+    for jobs in [2, 3, 8] {
+        let par = par_map_jobs(jobs, &items, |x| (x * 1.000000059).sin());
+        assert!(
+            serial
+                .iter()
+                .zip(&par)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "jobs={jobs} changed a bit pattern"
+        );
+    }
+}

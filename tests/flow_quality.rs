@@ -53,8 +53,18 @@ fn clock_tree_and_congestion_are_consistent_with_the_flow() {
     assert!(cts.power.value() < report.total_power_mw);
     assert!(cts.insertion_delay.value() < report.critical_path_ns);
 
-    let cong = analyze_congestion(&a.netlist, &a.placement, &a.routing, &a.floorplan, &cfg.pdk, 1000.0);
-    assert!(cong.max_utilization < 1.0, "no overflow on the small design");
+    let cong = analyze_congestion(
+        &a.netlist,
+        &a.placement,
+        &a.routing,
+        &a.floorplan,
+        &cfg.pdk,
+        1000.0,
+    );
+    assert!(
+        cong.max_utilization < 1.0,
+        "no overflow on the small design"
+    );
     assert_eq!(cong.overflow_tiles, 0);
 
     // SPEF annotates every net.

@@ -1,0 +1,110 @@
+//! Property-based tests of the Fig. 8 sweep driver
+//! `bandwidth_cs_grid`: structural guarantees that must hold for any
+//! factor set, and the economic monotonicity the paper's Observation 5
+//! builds on.
+
+use proptest::prelude::*;
+
+use m3d::core::explore::{bandwidth_cs_grid, intensity_workload};
+use m3d::core::framework::{speedup, ChipParams};
+
+/// Sorted, deduplicated positive factors always containing 1.0.
+fn arb_factors() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.25f64..32.0, 1..6).prop_map(|mut v| {
+        v.push(1.0);
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.dedup();
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn baseline_cell_is_exactly_unity(
+        bw in arb_factors(),
+        cs in arb_factors(),
+        ops_per_bit in 0.1f64..64.0,
+    ) {
+        let base = ChipParams::baseline_2d();
+        let w = intensity_workload(ops_per_bit);
+        let grid = bandwidth_cs_grid(&base, &w, &bw, &cs);
+        prop_assert_eq!(grid.len(), bw.len() * cs.len());
+        let unity: Vec<_> = grid
+            .iter()
+            .filter(|p| p.bw_factor == 1.0 && p.cs_factor == 1.0)
+            .collect();
+        prop_assert_eq!(unity.len(), 1, "exactly one (1,1) cell");
+        prop_assert!(
+            (unity[0].edp_benefit - 1.0).abs() < 1e-12,
+            "baseline cell must be exactly 1x, got {}",
+            unity[0].edp_benefit
+        );
+    }
+
+    #[test]
+    fn grid_is_row_major_in_input_order(bw in arb_factors(), cs in arb_factors()) {
+        let base = ChipParams::baseline_2d();
+        let w = intensity_workload(16.0);
+        let grid = bandwidth_cs_grid(&base, &w, &bw, &cs);
+        for (i, p) in grid.iter().enumerate() {
+            prop_assert_eq!(p.bw_factor, bw[i / cs.len()]);
+            prop_assert_eq!(p.cs_factor, cs[i % cs.len()]);
+        }
+    }
+
+    #[test]
+    fn edp_monotone_nondecreasing_in_bandwidth(
+        bw in arb_factors(),
+        cs_factor in 0.25f64..16.0,
+        ops_per_bit in 1.0f64..64.0,
+    ) {
+        // For a fixed compute-bound workload and fixed CS scaling, more
+        // memory bandwidth only shortens the memory phase. The speedup
+        // component is therefore *exactly* monotone non-decreasing along
+        // the bandwidth axis; the EDP benefit tracks it up to the
+        // eq.-(7) memory-idle term (past the compute bound, a shorter
+        // memory phase leaves the memory idling longer, costing a small
+        // amount of energy — well under 2 % for these constants).
+        let base = ChipParams::baseline_2d();
+        let w = intensity_workload(ops_per_bit);
+        let grid = bandwidth_cs_grid(&base, &w, &bw, &[cs_factor]);
+        let n = ((f64::from(base.n_cs) * cs_factor).round() as u32).max(1);
+        let chips: Vec<ChipParams> = bw
+            .iter()
+            .map(|&bf| ChipParams {
+                n_cs: n,
+                bandwidth: base.bandwidth * bf,
+                ..base
+            })
+            .collect();
+        for (pair, chip_pair) in grid.windows(2).zip(chips.windows(2)) {
+            let s0 = speedup(&base, &chip_pair[0], &w);
+            let s1 = speedup(&base, &chip_pair[1], &w);
+            prop_assert!(
+                s1 >= s0 * (1.0 - 1e-12),
+                "speedup dropped from {s0} (bw {}x) to {s1} (bw {}x)",
+                pair[0].bw_factor,
+                pair[1].bw_factor
+            );
+            prop_assert!(
+                pair[1].edp_benefit >= pair[0].edp_benefit * (1.0 - 0.02),
+                "EDP dropped from {} (bw {}x) to {} (bw {}x)",
+                pair[0].edp_benefit,
+                pair[0].bw_factor,
+                pair[1].edp_benefit,
+                pair[1].bw_factor
+            );
+        }
+    }
+
+    #[test]
+    fn grid_values_are_finite_and_positive(bw in arb_factors(), cs in arb_factors()) {
+        let base = ChipParams::baseline_2d();
+        let w = intensity_workload(4.0);
+        for p in bandwidth_cs_grid(&base, &w, &bw, &cs) {
+            prop_assert!(p.edp_benefit.is_finite() && p.edp_benefit > 0.0);
+        }
+    }
+}

@@ -12,16 +12,14 @@ use m3d::tech::{IlvSpec, RramCellModel, RramMacro, SelectorTech};
 
 fn arb_layer() -> impl Strategy<Value = Layer> {
     (
-        1u32..512,        // in channels
-        1u32..512,        // out channels
+        1u32..512, // in channels
+        1u32..512, // out channels
         prop_oneof![Just(1u32), Just(3), Just(5), Just(7)],
-        1u32..64,         // out w
-        1u32..64,         // out h
-        1u32..3,          // stride
+        1u32..64, // out w
+        1u32..64, // out h
+        1u32..3,  // stride
     )
-        .prop_map(|(c, k, kern, ow, oh, s)| {
-            Layer::conv("prop", c, k, kern, (ow, oh), s)
-        })
+        .prop_map(|(c, k, kern, ow, oh, s)| Layer::conv("prop", c, k, kern, (ow, oh), s))
 }
 
 fn arb_workload_point() -> impl Strategy<Value = WorkloadPoint> {

@@ -50,10 +50,17 @@ fn iso_footprint_pair_end_to_end() {
     assert!(r3d.signal_ilvs > 0);
     assert!(r3d.memory_cell_ilvs > r3d.signal_ilvs);
 
-    // Observation 2: upper layers dissipate ≈ 1 % or less.
+    // Observation 2: upper layers dissipate ≈ 1 % or less at full design
+    // size. This test's scaled-down 4×4 CS keeps the full RRAM array but
+    // 1/16th of the logic, so the share is a few percent here (the
+    // full-size check is fig2_physical_design).
     assert_eq!(r2d.upper_tier_fraction, 0.0);
     assert!(r3d.upper_tier_fraction > 0.0);
-    assert!(r3d.upper_tier_fraction < 0.02, "{}", r3d.upper_tier_fraction);
+    assert!(
+        r3d.upper_tier_fraction < 0.05,
+        "{}",
+        r3d.upper_tier_fraction
+    );
     assert!(r3d.cs_stack_density_increase < 0.05);
 
     // Netlists stay structurally clean through optimisation.

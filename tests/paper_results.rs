@@ -32,7 +32,11 @@ fn table1_total_band() {
         &ChipConfig::m3d(8),
         &models::resnet18(),
     );
-    assert!((5.0..=6.5).contains(&t.total.speedup), "{}", t.total.speedup);
+    assert!(
+        (5.0..=6.5).contains(&t.total.speedup),
+        "{}",
+        t.total.speedup
+    );
     assert!((0.95..=1.02).contains(&t.total.energy_ratio));
     assert!((5.0..=6.6).contains(&t.total.edp_benefit));
 }
@@ -47,11 +51,19 @@ fn table1_layer_shape() {
     let row = |name: &str| t.rows.iter().find(|r| r.name == name).unwrap();
     // Early convolutions cap near 4× (K-tile limit).
     for l in ["L1.0 CONV1", "L1.1 CONV2"] {
-        assert!((3.3..=4.1).contains(&row(l).speedup), "{l}: {}", row(l).speedup);
+        assert!(
+            (3.3..=4.1).contains(&row(l).speedup),
+            "{l}: {}",
+            row(l).speedup
+        );
     }
     // Late convolutions approach 8×.
     for l in ["L3.1 CONV2", "L4.1 CONV2"] {
-        assert!((7.3..=8.1).contains(&row(l).speedup), "{l}: {}", row(l).speedup);
+        assert!(
+            (7.3..=8.1).contains(&row(l).speedup),
+            "{l}: {}",
+            row(l).speedup
+        );
     }
     // The stage-2 downsample is activation-bus bound near the paper's 2.57×.
     assert!((2.0..=3.6).contains(&row("L2.0 DS").speedup));
@@ -59,7 +71,12 @@ fn table1_layer_shape() {
     assert!(row("CONV1+POOL").speedup <= 4.05);
     // Energy stays ≈ 1× everywhere.
     for r in &t.rows {
-        assert!((0.9..=1.1).contains(&r.energy_ratio), "{}: {}", r.name, r.energy_ratio);
+        assert!(
+            (0.9..=1.1).contains(&r.energy_ratio),
+            "{}: {}",
+            r.name,
+            r.energy_ratio
+        );
     }
 }
 
@@ -76,7 +93,11 @@ fn fig5_all_models_in_band() {
             c.workload,
             c.total.speedup
         );
-        assert!((0.95..=1.05).contains(&c.total.energy_ratio), "{}", c.workload);
+        assert!(
+            (0.95..=1.05).contains(&c.total.energy_ratio),
+            "{}",
+            c.workload
+        );
     }
 }
 
@@ -126,7 +147,10 @@ fn fig10d_tier_shape() {
     let areas = BaselineAreas::case_study_64mb();
     let base = ChipParams::baseline_2d();
     let pts = tier_sweep(&areas, &base, &resnet_points(), 8, None);
-    assert!(pts[1].edp_benefit > pts[0].edp_benefit * 1.05, "one pair helps");
+    assert!(
+        pts[1].edp_benefit > pts[0].edp_benefit * 1.05,
+        "one pair helps"
+    );
     let plateau = pts.last().unwrap().edp_benefit / pts[2].edp_benefit;
     assert!(plateau < 1.05, "plateau, got ×{plateau}");
     // A highly parallelisable layer keeps scaling much further.

@@ -1,0 +1,143 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API this workspace's benches
+//! use — `Criterion::default().sample_size(n)`, `bench_function`,
+//! `Bencher::iter`, `black_box` and the `criterion_group!` /
+//! `criterion_main!` macros. Instead of criterion's statistical engine it
+//! reports min/mean/median wall-clock per iteration, which is enough to
+//! track hot-path trends in an offline container.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, preventing the optimiser from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark harness entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// No-op CLI hook kept for API compatibility.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        // Warm-up pass (untimed).
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 1,
+        };
+        f(&mut b);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 1,
+            };
+            f(&mut b);
+            samples.push(b.elapsed / u32::try_from(b.iters).unwrap_or(1));
+        }
+        samples.sort();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / u32::try_from(samples.len()).unwrap_or(1);
+        println!(
+            "{name:<40} min {:>12?}  mean {:>12?}  median {:>12?}  ({} samples)",
+            min,
+            mean,
+            median,
+            samples.len()
+        );
+        self
+    }
+}
+
+/// Per-benchmark timing context.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated executions of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // A few iterations per sample amortise the timer overhead.
+        const ITERS: u64 = 4;
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = ITERS;
+    }
+}
+
+/// Declares a benchmark group, mirroring criterion's two syntaxes.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_and_returns() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut ran = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+}

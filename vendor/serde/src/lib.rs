@@ -1,0 +1,432 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build container has no crates.io access, so this workspace ships a
+//! minimal, API-compatible subset of the serde surface it actually uses:
+//! the [`Serialize`] / [`Deserialize`] traits (re-exported as derive
+//! macros from `serde_derive` under the `derive` feature) built around an
+//! owned [`Value`] tree instead of serde's zero-copy visitor machinery.
+//! `serde_json` (also vendored) renders and parses that tree.
+//!
+//! Supported shapes — everything this repository derives:
+//! * structs with named fields → JSON objects;
+//! * newtype/tuple structs → the inner value / an array (transparent);
+//! * unit-only enums → strings; data-carrying variants → one-key objects
+//!   (serde's externally-tagged representation);
+//! * primitives, `String`, `Option`, `Vec`, tuples and `BTreeMap`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use self::value::Value;
+
+/// Derive macros, mirroring `serde`'s `derive` feature.
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value {
+    //! The owned serialisation tree.
+
+    /// A serialised value: the common denominator between Rust data and
+    /// JSON text.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// JSON `null` (also non-finite floats).
+        Null,
+        /// Boolean.
+        Bool(bool),
+        /// Signed integer.
+        I64(i64),
+        /// Unsigned integer.
+        U64(u64),
+        /// Floating point.
+        F64(f64),
+        /// String.
+        Str(String),
+        /// Ordered sequence.
+        Array(Vec<Value>),
+        /// Ordered key–value map (field order is preserved, which keeps
+        /// serialisation byte-deterministic).
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Borrow as an object, if this is one.
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Object(o) => Some(o),
+                _ => None,
+            }
+        }
+
+        /// Borrow as an array, if this is one.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        /// Look up a field of an object.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            self.as_object()
+                .and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+        }
+
+        /// Numeric view (integers widen to `f64`).
+        pub fn as_f64(&self) -> Option<f64> {
+            match *self {
+                Value::I64(i) => Some(i as f64),
+                Value::U64(u) => Some(u as f64),
+                Value::F64(f) => Some(f),
+                Value::Null => Some(f64::NAN),
+                _ => None,
+            }
+        }
+
+        /// Integer view (floats with integral values narrow).
+        pub fn as_i64(&self) -> Option<i64> {
+            match *self {
+                Value::I64(i) => Some(i),
+                Value::U64(u) => i64::try_from(u).ok(),
+                Value::F64(f) if f.fract() == 0.0 && f.abs() < 9.0e18 => Some(f as i64),
+                _ => None,
+            }
+        }
+
+        /// Unsigned view.
+        pub fn as_u64(&self) -> Option<u64> {
+            match *self {
+                Value::U64(u) => Some(u),
+                Value::I64(i) => u64::try_from(i).ok(),
+                Value::F64(f) if f.fract() == 0.0 && f >= 0.0 && f < 1.9e19 => Some(f as u64),
+                _ => None,
+            }
+        }
+    }
+}
+
+/// Deserialisation error: what was expected and a short description of
+/// what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Builds an error message.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        };
+        Error(format!("expected {what}, got {kind}"))
+    }
+}
+
+/// Serialisation into the [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialisation from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the value's shape does not match.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Helper used by generated code: extract and deserialise a named field.
+///
+/// # Errors
+///
+/// Returns [`Error`] when the field is absent (unless the target is an
+/// `Option`, which callers encode by the field's own impl) or malformed.
+pub fn de_field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+    match v.get(name) {
+        Some(f) => T::from_value(f).map_err(|e| Error(format!("field `{name}`: {}", e.0))),
+        None => T::from_value(&Value::Null).map_err(|_| Error(format!("missing field `{name}`"))),
+    }
+}
+
+// --- primitive impls ---------------------------------------------------
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                #[allow(unused_comparisons)]
+                if *self >= 0 {
+                    Value::U64(*self as u64)
+                } else {
+                    Value::I64(*self as i64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            #[allow(irrefutable_let_patterns)]
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                if let Some(u) = v.as_u64() {
+                    if let Ok(x) = <$t>::try_from(u) {
+                        return Ok(x);
+                    }
+                }
+                if let Some(i) = v.as_i64() {
+                    if let Ok(x) = <$t>::try_from(i) {
+                        return Ok(x);
+                    }
+                }
+                Err(Error::expected(stringify!($t), v))
+            }
+        }
+    )*};
+}
+
+ser_de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::expected("f64", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| Error::expected("f32", v))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("bool", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::expected("string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Reconstructs a `&'static str` field by leaking the parsed string.
+    /// Real serde borrows from the input document instead; the leak-based
+    /// route keeps `&'static str` fields (configuration names)
+    /// round-trippable and is bounded by the number of deserialised
+    /// documents, which only tests perform.
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            _ => Err(Error::expected("string", v)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::expected("array", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error(format!("expected array of {N} elements, got {len}")))
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::expected("object", v))?
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+            .collect()
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let a = v.as_array().ok_or_else(|| Error::expected("tuple", v))?;
+                const LEN: usize = [$(stringify!($n)),+].len();
+                if a.len() != LEN {
+                    return Err(Error(format!("expected {LEN}-tuple, got {} elements", a.len())));
+                }
+                Ok(($($t::from_value(&a[$n])?,)+))
+            }
+        }
+    )+};
+}
+
+ser_de_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F),
+);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        let s = String::from("hi");
+        assert_eq!(String::from_value(&s.to_value()).unwrap(), s);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+        let o: Option<f64> = Some(2.5);
+        assert_eq!(Option::<f64>::from_value(&o.to_value()).unwrap(), o);
+        let none: Option<f64> = None;
+        assert_eq!(Option::<f64>::from_value(&none.to_value()).unwrap(), none);
+        let t = (String::from("k"), 3.5f64);
+        assert_eq!(<(String, f64)>::from_value(&t.to_value()).unwrap(), t);
+    }
+
+    #[test]
+    fn wrong_shapes_error() {
+        assert!(u32::from_value(&Value::Str("x".into())).is_err());
+        assert!(String::from_value(&Value::F64(1.0)).is_err());
+        assert!(Vec::<u32>::from_value(&Value::Bool(true)).is_err());
+    }
+}
