@@ -1,0 +1,57 @@
+//! Criterion bench: the red-black SOR steady-state kernel, alone and
+//! wired through the engine's instrumented pipeline stage (so kernel
+//! time can be compared directly against the `thermal` stage wall-clock
+//! the bench binaries print).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use m3d_core::engine::{Pipeline, Stage};
+use m3d_tech::LayerStack;
+use m3d_thermal::{solve_steady, GridConfig, PowerMap, SolverConfig, ThermalCache};
+
+fn grid(n: usize, pairs: u32) -> GridConfig {
+    GridConfig::from_stack(&LayerStack::m3d_130nm(), 100.0, n, n, pairs, 1.0, 60.0)
+        .expect("valid grid")
+}
+
+fn bench_sor(c: &mut Criterion) {
+    let cfg = SolverConfig::default();
+
+    let g_small = grid(8, 2);
+    let p_small = PowerMap::uniform(&g_small, 5.0);
+    c.bench_function("sor_steady_8x8_2pairs", |b| {
+        b.iter(|| solve_steady(&g_small, &p_small, &cfg).unwrap())
+    });
+
+    let g_large = grid(16, 4);
+    let p_large = PowerMap::uniform(&g_large, 5.0);
+    c.bench_function("sor_steady_16x16_4pairs", |b| {
+        b.iter(|| solve_steady(&g_large, &p_large, &cfg).unwrap())
+    });
+
+    // The same kernel through the engine's Stage::Thermal wrapper: the
+    // delta against the raw kernel is the pipeline instrumentation
+    // overhead (it should be noise).
+    c.bench_function("sor_steady_via_engine_stage", |b| {
+        b.iter(|| {
+            let mut pipe = Pipeline::new();
+            pipe.stage(Stage::Thermal, "bench", |_| {
+                solve_steady(&g_small, &p_small, &cfg).unwrap()
+            })
+        })
+    });
+
+    // Memoised replay: what the obs10 cap queries actually pay.
+    let cache = ThermalCache::new();
+    cache.solve(&g_small, &p_small, &cfg).unwrap();
+    c.bench_function("thermal_cache_hit", |b| {
+        b.iter(|| cache.solve(&g_small, &p_small, &cfg).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sor
+}
+criterion_main!(benches);

@@ -4,6 +4,9 @@
 //!
 //! Pass `--quick` for a scaled-down (4×4 PE) run and `--json <path>` to
 //! archive the result as an [`m3d_core::engine::ExperimentReport`].
+//! With `M3D_CACHE_DIR` set, flow reports persist on disk across
+//! invocations: a repeated run replays both flows from the artifact
+//! store (`disk_hits` in the cache stats) without recomputing them.
 
 use m3d_bench::{header, pct, rule, RunArgs};
 use m3d_core::engine::{FlowCache, Pipeline, Stage};
@@ -31,24 +34,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let prep = |c: FlowConfig| if quick { c.quick() } else { c };
 
-    let cache = FlowCache::new();
+    // `persistent()` reads M3D_CACHE_DIR: unset, this is a plain
+    // in-memory cache; set, finished flow reports are shared on disk
+    // across CLI invocations.
+    let cache = FlowCache::persistent();
     let mut pipe = Pipeline::new();
 
     let r2d = pipe.stage(Stage::PdFlow, "2d", |ctx| {
-        let (res, hit) = cache.run_traced(&prep(FlowConfig::baseline_2d().with_cs(cs)))?;
+        let (res, hit) = cache.run_report_traced(&prep(FlowConfig::baseline_2d().with_cs(cs)))?;
         if hit {
             ctx.mark_cache_hit();
         }
-        Ok::<_, m3d_core::CoreError>(res.0.clone())
+        Ok::<_, m3d_core::CoreError>((*res).clone())
     })?;
     let n = 1 + r2d.extra_cs_capacity.max(if quick { 1 } else { 7 });
     let r3d = pipe.stage(Stage::PdFlow, "m3d", |ctx| {
         let cfg = prep(FlowConfig::m3d(n).with_cs(cs)).with_die(r2d.die);
-        let (res, hit) = cache.run_traced(&cfg)?;
+        let (res, hit) = cache.run_report_traced(&cfg)?;
         if hit {
             ctx.mark_cache_hit();
         }
-        Ok::<_, m3d_core::CoreError>(res.0.clone())
+        Ok::<_, m3d_core::CoreError>((*res).clone())
     })?;
 
     let row = |label: &str, a: String, b: String| {

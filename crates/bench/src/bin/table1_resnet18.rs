@@ -1,8 +1,14 @@
 //! Regenerates Table I: per-layer speedup, energy and EDP benefit of the
 //! iso-footprint, iso-memory-capacity M3D accelerator on ResNet-18.
+//!
+//! Engine-ported: the simulation runs as an instrumented `arch-sim`
+//! stage and `--json <path>` archives a deterministic
+//! [`m3d_core::engine::ExperimentReport`]. `--quick` compares 4-CS
+//! chips instead of the paper's 8.
 
 use m3d_arch::{compare, models, ChipConfig};
-use m3d_bench::{header, rule, x};
+use m3d_bench::{header, rule, x, RunArgs};
+use m3d_core::engine::{CacheStats, Pipeline, Stage};
 use m3d_core::report::{ExperimentRecord, Metric};
 
 /// Paper Table I values for side-by-side comparison (speedup, EDP).
@@ -24,23 +30,29 @@ fn paper_value(layer: &str) -> Option<(f64, f64)> {
     })
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = RunArgs::parse();
+    let cs_count = if args.quick { 4 } else { 8 };
     header(
         "Table I — ResNet-18 layer-by-layer M3D benefits (8 CSs, 8 banks)",
         "Srimani et al., DATE 2023, Table I",
     );
-    let table = compare(
-        &ChipConfig::baseline_2d(),
-        &ChipConfig::m3d(8),
-        &models::resnet18(),
-    );
+    let mut pipe = Pipeline::new();
+    let table = pipe.stage(Stage::ArchSim, "", |_| {
+        compare(
+            &ChipConfig::baseline_2d(),
+            &ChipConfig::m3d(cs_count),
+            &models::resnet18(),
+        )
+    });
     println!(
         "{:<14} {:>8} {:>8} {:>8}   {:>12} {:>10}",
         "Layer", "Speedup", "Energy", "EDP", "paper spd", "paper EDP"
     );
     for row in table.rows.iter().chain(std::iter::once(&table.total)) {
         let paper = paper_value(&row.name)
-            .map(|(s, e)| format!("{:>11.2}x {:>9.2}x", s, e))
+            .filter(|_| !args.quick)
+            .map(|(s, e)| format!("{s:>11.2}x {e:>9.2}x"))
             .unwrap_or_else(|| format!("{:>12} {:>10}", "-", "-"));
         println!(
             "{:<14} {:>8} {:>8} {:>8}   {}",
@@ -59,8 +71,8 @@ fn main() {
         x(table.total.edp_benefit)
     );
 
-    if std::env::args().any(|a| a == "--json") {
-        let mut record = ExperimentRecord::new("table1", "Table I, ResNet-18 per-layer benefits")
+    let record = pipe.stage(Stage::Report, "", |_| {
+        let mut rec = ExperimentRecord::new("table1", "Table I, ResNet-18 per-layer benefits")
             .metric(Metric::with_paper(
                 "total_speedup",
                 table.total.speedup,
@@ -77,7 +89,7 @@ fn main() {
                 5.66,
             ));
         for row in &table.rows {
-            record = record.row(
+            rec = rec.row(
                 row.name.clone(),
                 vec![
                     ("speedup".into(), row.speedup),
@@ -86,6 +98,8 @@ fn main() {
                 ],
             );
         }
-        println!("{}", record.to_json().expect("record serialises"));
-    }
+        rec
+    });
+    args.finalize(record, &pipe, CacheStats::default())?;
+    Ok(())
 }

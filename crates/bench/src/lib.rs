@@ -17,15 +17,15 @@
 //! |---|---|---|
 //! | `fig2_physical_design` | Fig. 2 post-route 2D-vs-M3D comparison (+ Obs. 2) | engine |
 //! | `fig5_models` | Fig. 5 speedup/energy/EDP for AlexNet, VGG-16, ResNet-18/152 | engine |
-//! | `table1_resnet18` | Table I per-layer ResNet-18 benefits | |
+//! | `table1_resnet18` | Table I per-layer ResNet-18 benefits | engine |
 //! | `fig7_architectures` | Fig. 7 Table-II architectures: analytical vs mapper | engine |
 //! | `fig8_bw_cs` | Fig. 8 bandwidth × CS grid (+ Obs. 5) | engine |
 //! | `fig9_capacity` | Fig. 9 RRAM-capacity sweep (+ Obs. 6) | engine |
-//! | `fig10_relaxation` | Fig. 10b–c selector-width relaxation (+ Obs. 7) | |
+//! | `fig10_relaxation` | Fig. 10b–c selector-width relaxation (+ Obs. 7) | engine |
 //! | `fig10d_tiers` | Fig. 10d interleaved tiers (+ Obs. 9) | |
 //! | `obs3_sram_baseline` | Obs. 3 SRAM-density baseline | |
 //! | `obs8_via_pitch` | Obs. 8 ILV-pitch sweep | |
-//! | `obs10_thermal` | Obs. 10 thermal tier cap | |
+//! | `obs10_thermal` | Obs. 10 thermal tier cap: eq. 17 vs voxelized RC grid | engine |
 //! | `folding_ablation` | prior-work folding baseline (paper refs. 3 and 4, ≈ 1.1–1.4×) | |
 //! | `ablation_dataflow` | weight- vs output-stationary dataflow | |
 //! | `ablation_precision` | 4/8/16-bit weights | |

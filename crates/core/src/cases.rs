@@ -160,18 +160,21 @@ pub fn case1_relaxation(
 
 /// Sweeps Case 1 over a δ range (Fig. 10b–c).
 ///
+/// δ points are independent and fan across
+/// [`crate::engine::par_map`] workers (`M3D_JOBS`); the output order
+/// follows `deltas` and every value is identical to serial execution.
+///
 /// # Errors
 ///
-/// Propagates invalid-δ errors.
+/// Propagates invalid-δ errors (the first failing δ, in input order).
 pub fn case1_sweep(
     areas: &BaselineAreas,
     base: &ChipParams,
     workload: &[WorkloadPoint],
     deltas: &[f64],
 ) -> CoreResult<Vec<RelaxationPoint>> {
-    deltas
-        .iter()
-        .map(|&d| case1_relaxation(areas, base, workload, d))
+    crate::engine::par_map(deltas, |&d| case1_relaxation(areas, base, workload, d))
+        .into_iter()
         .collect()
 }
 

@@ -8,8 +8,25 @@
 //! [`m3d_tech::StableHash`] of the [`FlowConfig`] that produced them, so
 //! a configuration is paid for once per process however many experiment
 //! stages ask for it.
+//!
+//! # The on-disk artifact store
+//!
+//! [`FlowArtifacts`] (netlists, placements, routing) live only in
+//! memory, but the serialisable [`FlowReport`] summary can outlive the
+//! process: with an artifact directory configured
+//! ([`FlowCache::with_disk_dir`], or [`FlowCache::persistent`] reading
+//! the `M3D_CACHE_DIR` environment variable), every computed report is
+//! written to `flow-v1-<key>.json` and report-level lookups
+//! ([`FlowCache::run_report_traced`]) are satisfied from disk before
+//! falling back to running the flow. The vendored JSON encoder prints
+//! floats in shortest-round-trip form, so a report read back from disk
+//! is bit-identical to the one that was written — disk hits cannot
+//! perturb downstream numbers. Corrupt or unreadable files are treated
+//! as misses and overwritten.
 
 use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -22,15 +39,19 @@ use crate::error::CoreResult;
 /// [`crate::engine::ExperimentReport`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct CacheStats {
-    /// Lookups answered from the cache.
+    /// Lookups answered from the in-memory cache.
     pub hits: u64,
     /// Lookups that ran the flow.
     pub misses: u64,
+    /// Lookups answered from the on-disk artifact store (a previous
+    /// process computed the flow). Always 0 without `M3D_CACHE_DIR`.
+    pub disk_hits: u64,
 }
 
-/// A process-wide memo table for [`Rtl2GdsFlow`] runs.
+/// A process-wide memo table for [`Rtl2GdsFlow`] runs, optionally backed
+/// by an on-disk report store.
 ///
-/// Thread-safe: the internal map is mutex-guarded, but the lock is *not*
+/// Thread-safe: the internal maps are mutex-guarded, but no lock is
 /// held while a flow runs, so parallel sweep workers never serialise on
 /// it. Two workers racing on the same uncached key may both compute it;
 /// the flow is deterministic, so the duplicated work is harmless and the
@@ -38,14 +59,73 @@ pub struct CacheStats {
 #[derive(Debug, Default)]
 pub struct FlowCache {
     entries: Mutex<HashMap<u64, Arc<(FlowReport, FlowArtifacts)>>>,
+    reports: Mutex<HashMap<u64, Arc<FlowReport>>>,
+    disk_dir: Option<PathBuf>,
     hits: AtomicU64,
     misses: AtomicU64,
+    disk_hits: AtomicU64,
 }
 
 impl FlowCache {
-    /// An empty cache.
+    /// An empty in-memory cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An in-memory cache backed by the on-disk report store in `dir`
+    /// (created if absent; on failure the cache silently degrades to
+    /// memory-only).
+    pub fn with_disk_dir(dir: impl Into<PathBuf>) -> Self {
+        let dir = dir.into();
+        let disk_dir = fs::create_dir_all(&dir).ok().map(|()| dir);
+        Self {
+            disk_dir,
+            ..Self::default()
+        }
+    }
+
+    /// The conventional persistent cache: backed by the directory named
+    /// by the `M3D_CACHE_DIR` environment variable, or memory-only when
+    /// it is unset or empty (the default, which keeps single-process
+    /// runs byte-reproducible without external state).
+    pub fn persistent() -> Self {
+        match std::env::var("M3D_CACHE_DIR") {
+            Ok(dir) if !dir.is_empty() => Self::with_disk_dir(dir),
+            _ => Self::new(),
+        }
+    }
+
+    /// The on-disk store directory, if one is active.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.disk_dir.as_deref()
+    }
+
+    fn disk_path(&self, key: u64) -> Option<PathBuf> {
+        self.disk_dir
+            .as_ref()
+            .map(|d| d.join(format!("flow-v1-{key:016x}.json")))
+    }
+
+    fn read_disk(&self, key: u64) -> Option<FlowReport> {
+        let path = self.disk_path(key)?;
+        let text = fs::read_to_string(path).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+
+    /// Best-effort write-through: serialise `report` next to its key.
+    /// Writes to a process-unique temp name then renames, so a reader in
+    /// another process never observes a torn file.
+    fn write_disk(&self, key: u64, report: &FlowReport) {
+        let Some(path) = self.disk_path(key) else {
+            return;
+        };
+        let Ok(text) = serde_json::to_string_pretty(report) else {
+            return;
+        };
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        if fs::write(&tmp, text + "\n").is_ok() {
+            let _ = fs::rename(&tmp, &path);
+        }
     }
 
     /// Runs (or recalls) the flow for `cfg`, keyed by
@@ -60,6 +140,11 @@ impl FlowCache {
 
     /// Like [`FlowCache::run`], additionally reporting whether the result
     /// came from the cache (`true` = hit).
+    ///
+    /// Artifacts are never written to disk, so this lookup is satisfied
+    /// from memory or by running the flow; the report half of a computed
+    /// result is still written through to the disk store for later
+    /// report-level lookups (this process or a future one).
     ///
     /// # Errors
     ///
@@ -76,6 +161,12 @@ impl FlowCache {
         // Compute outside the lock so concurrent sweep workers proceed.
         let computed = Arc::new(Rtl2GdsFlow::new(cfg.clone()).run()?);
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.write_disk(key, &computed.0);
+        self.reports
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| Arc::new(computed.0.clone()));
         let stored = self
             .entries
             .lock()
@@ -86,7 +177,42 @@ impl FlowCache {
         Ok((stored, false))
     }
 
-    /// Cached configuration count.
+    /// Runs (or recalls) the flow for `cfg`, returning only the
+    /// serialisable [`FlowReport`]. Unlike [`FlowCache::run_traced`] this
+    /// lookup can be satisfied by the on-disk store, so repeated CLI
+    /// invocations sharing an `M3D_CACHE_DIR` skip the flow entirely.
+    /// The boolean is `true` for any kind of hit (memory or disk);
+    /// [`FlowCache::stats`] distinguishes the two.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flow failures; errors are not cached.
+    pub fn run_report_traced(&self, cfg: &FlowConfig) -> CoreResult<(Arc<FlowReport>, bool)> {
+        let key = cfg.stable_key();
+        if let Some(hit) = self.reports.lock().unwrap().get(&key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((hit, true));
+        }
+        if let Some(report) = self.read_disk(key) {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            let stored = self
+                .reports
+                .lock()
+                .unwrap()
+                .entry(key)
+                .or_insert_with(|| Arc::new(report))
+                .clone();
+            return Ok((stored, true));
+        }
+        let (full, _) = self.run_traced(cfg)?;
+        // run_traced already populated the report map and disk store and
+        // counted the miss.
+        let _ = full;
+        let stored = self.reports.lock().unwrap().get(&key).cloned();
+        Ok((stored.expect("run_traced populates the report map"), false))
+    }
+
+    /// Cached configuration count (full in-memory entries).
     pub fn len(&self) -> usize {
         self.entries.lock().unwrap().len()
     }
@@ -101,6 +227,7 @@ impl FlowCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -130,7 +257,14 @@ mod tests {
         assert!(!hit1, "first lookup must run the flow");
         assert!(hit2, "identical config must be a cache hit");
         assert!(Arc::ptr_eq(&first, &second));
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                disk_hits: 0
+            }
+        );
         assert_eq!(cache.len(), 1);
 
         // A structurally equal but separately constructed config keys
@@ -150,5 +284,67 @@ mod tests {
         let (_, hit) = cache.run_traced(&b).unwrap();
         assert!(!hit, "modified config must miss");
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn report_lookup_shares_the_memo() {
+        let cache = FlowCache::new();
+        let cfg = quick_cfg();
+        let (report, hit) = cache.run_report_traced(&cfg).unwrap();
+        assert!(!hit);
+        let (again, hit2) = cache.run_report_traced(&cfg).unwrap();
+        assert!(hit2);
+        assert!(Arc::ptr_eq(&report, &again));
+        // The report-level miss ran the full flow, so a subsequent
+        // artifact-level lookup of the same config hits the memo too.
+        let (_, hit3) = cache.run_traced(&cfg).unwrap();
+        assert!(hit3, "the flow already ran; artifacts are memoised");
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 2,
+                misses: 1,
+                disk_hits: 0
+            }
+        );
+    }
+
+    #[test]
+    fn disk_store_survives_the_process_boundary() {
+        let dir = std::env::temp_dir().join(format!("m3d-cache-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cfg = quick_cfg();
+
+        // "Process one" computes and writes through.
+        let one = FlowCache::with_disk_dir(&dir);
+        let (computed, hit) = one.run_report_traced(&cfg).unwrap();
+        assert!(!hit);
+        assert_eq!(one.stats().disk_hits, 0);
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 1, "one report file");
+
+        // "Process two" (a fresh cache over the same dir) reads it back
+        // bit-identically without running the flow.
+        let two = FlowCache::with_disk_dir(&dir);
+        let (recalled, hit) = two.run_report_traced(&cfg).unwrap();
+        assert!(hit);
+        assert_eq!(
+            two.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 0,
+                disk_hits: 1
+            }
+        );
+        assert_eq!(*computed, *recalled, "disk round-trip is exact");
+
+        // Corrupt file degrades to a miss, not an error.
+        let path = two.disk_path(cfg.stable_key()).unwrap();
+        fs::write(&path, "not json").unwrap();
+        let three = FlowCache::with_disk_dir(&dir);
+        let (_, hit) = three.run_report_traced(&cfg).unwrap();
+        assert!(!hit);
+        assert_eq!(three.stats().misses, 1);
+
+        let _ = fs::remove_dir_all(&dir);
     }
 }

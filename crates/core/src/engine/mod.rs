@@ -14,7 +14,8 @@
 //! * [`cache`] — a content-keyed [`cache::FlowCache`] memoising whole
 //!   flow runs by the [`m3d_tech::StableHash`] of their
 //!   [`m3d_pd::FlowConfig`], so iso-footprint experiments that re-run the
-//!   2D baseline pay for it once;
+//!   2D baseline pay for it once — optionally backed by an on-disk
+//!   report store (`M3D_CACHE_DIR`) shared across CLI invocations;
 //! * [`parallel`] — a scoped-thread sweep executor ([`parallel::par_map`])
 //!   that fans independent design points across cores, honouring the
 //!   `M3D_JOBS` environment variable, with output ordering (and therefore

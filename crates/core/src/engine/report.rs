@@ -107,7 +107,11 @@ mod tests {
         pipe.stage(Stage::Tech, "", |_| ());
         pipe.stage(Stage::PdFlow, "2d", |ctx| ctx.mark_cache_hit());
         let rec = ExperimentRecord::new("fig8", "Fig. 8 grid").metric(Metric::new("points", 25.0));
-        ExperimentReport::new(rec, &pipe).with_cache(CacheStats { hits: 3, misses: 2 })
+        ExperimentReport::new(rec, &pipe).with_cache(CacheStats {
+            hits: 3,
+            misses: 2,
+            disk_hits: 0,
+        })
     }
 
     #[test]

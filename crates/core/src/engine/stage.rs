@@ -20,6 +20,8 @@ pub enum Stage {
     PdFlow,
     /// Architecture evaluation: analytical framework, simulator, mapper.
     ArchSim,
+    /// Thermal analysis: RC-grid voxelization and steady/transient solve.
+    Thermal,
     /// Table/record assembly and serialisation.
     Report,
 }
@@ -32,6 +34,7 @@ impl Stage {
             Stage::Netlist => "netlist",
             Stage::PdFlow => "pd-flow",
             Stage::ArchSim => "arch-sim",
+            Stage::Thermal => "thermal",
             Stage::Report => "report",
         }
     }
@@ -155,11 +158,15 @@ mod tests {
             Stage::Netlist,
             Stage::PdFlow,
             Stage::ArchSim,
+            Stage::Thermal,
             Stage::Report,
         ]
         .iter()
         .map(|s| s.name())
         .collect();
-        assert_eq!(names, ["tech", "netlist", "pd-flow", "arch-sim", "report"]);
+        assert_eq!(
+            names,
+            ["tech", "netlist", "pd-flow", "arch-sim", "thermal", "report"]
+        );
     }
 }

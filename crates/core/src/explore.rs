@@ -13,7 +13,7 @@ use crate::design_point::{case_study_design_point, DesignPoint, CASE_STUDY_CS_DE
 use crate::engine::par_map;
 use crate::error::CoreResult;
 use crate::framework::{workload_edp_benefit, ChipParams, WorkloadPoint};
-use crate::thermal::ThermalModel;
+use crate::thermal::TierThermalModel;
 
 /// One cell of the Fig. 8 grid.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -112,12 +112,15 @@ pub fn capacity_sweep(
 /// Sweeps interleaved tier pairs, optionally capped by a thermal budget
 /// (Fig. 10d + Obs. 10). Tier points run in parallel via [`par_map`],
 /// ordered by pair count exactly as the serial sweep.
+///
+/// `thermal` accepts any [`TierThermalModel`] — the analytic lump or the
+/// `m3d-thermal` RC grid — so exploration can prune with either fidelity.
 pub fn tier_sweep(
     areas: &BaselineAreas,
     base: &ChipParams,
     workload: &[WorkloadPoint],
     max_pairs: u32,
-    thermal: Option<&ThermalModel>,
+    thermal: Option<&dyn TierThermalModel>,
 ) -> Vec<TierPoint> {
     let cap = thermal
         .and_then(|t| t.max_tiers().ok())
@@ -161,6 +164,8 @@ pub fn fig5_comparisons(n_cs: u32) -> Vec<m3d_arch::Comparison> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    use crate::thermal::ThermalModel;
 
     #[test]
     fn grid_baseline_cell_is_unity() {

@@ -68,5 +68,7 @@ pub use framework::{
 };
 pub use report::{ExperimentRecord, Metric, Row};
 pub use roofline::{Roofline, SocRoofline};
-pub use sensitivity::{edp_benefit_sensitivity, Perturbation, SensitivityResult};
-pub use thermal::ThermalModel;
+pub use sensitivity::{
+    edp_benefit_sensitivity, edp_benefit_sensitivity_pruned, Perturbation, SensitivityResult,
+};
+pub use thermal::{ThermalModel, TierThermalModel};

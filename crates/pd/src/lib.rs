@@ -57,7 +57,7 @@ pub use legalize::{legalize, LegalizeReport};
 pub use opt::{post_route_optimize, OptConfig, OptOutcome};
 pub use partition::{fold_two_tier, FoldingReport};
 pub use place::{place, Placement, PlacerConfig};
-pub use power::{analyze_power, PowerReport, DEFAULT_ACTIVITY};
+pub use power::{analyze_power, PowerDensityGrid, PowerReport, DEFAULT_ACTIVITY};
 pub use route::{estimate_routing, RoutedNet, RoutingEstimate, DEFAULT_DETOUR};
 pub use spef::to_spef;
 pub use sta::{analyze_timing, EndpointSlack, TimingReport};

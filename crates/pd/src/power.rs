@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use m3d_netlist::{MacroKind, Netlist};
 use m3d_tech::units::{Femtofarads, Megahertz, Milliwatts};
-use m3d_tech::{Pdk, TechResult};
+use m3d_tech::{Pdk, StableHash, StableHasher, TechResult};
 
 use crate::floorplan::Floorplan;
 use crate::place::Placement;
@@ -30,6 +30,83 @@ const MACRO_ACTIVITY: f64 = 0.25;
 
 /// Estimated clock-network wire capacitance per sequential cell.
 const CLOCK_WIRE_CAP_PER_FF: f64 = 3.0;
+
+/// Tiled per-block power map of a signed-off design, split by vertical
+/// position: Si-tier power (standard cells, SRAM buffers, RRAM
+/// peripherals) and upper-layer power (RRAM cells + CNFET selectors when
+/// the M3D stack frees the Si tier). Row-major, `iy * nx + ix`,
+/// origin at the die's lower-left corner.
+///
+/// This is the heat-source input a thermal solver lays onto its grid:
+/// each tile's `si_mw` heats the active device slabs, `upper_mw` the
+/// BEOL memory slabs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerDensityGrid {
+    /// Tile columns.
+    pub nx: usize,
+    /// Tile rows.
+    pub ny: usize,
+    /// Tile edge length in µm.
+    pub tile_um: f64,
+    /// Die origin (lower-left) x in µm.
+    pub x0_um: f64,
+    /// Die origin (lower-left) y in µm.
+    pub y0_um: f64,
+    /// Si-tier power per tile, in mW (`ny * nx` entries, row-major).
+    pub si_mw: Vec<f64>,
+    /// Upper-layer (BEOL RRAM + selector) power per tile, in mW.
+    pub upper_mw: Vec<f64>,
+}
+
+impl PowerDensityGrid {
+    /// Combined (all-tier) power of tile `(ix, iy)`, in mW.
+    pub fn total_mw(&self, ix: usize, iy: usize) -> f64 {
+        self.si_mw[iy * self.nx + ix] + self.upper_mw[iy * self.nx + ix]
+    }
+
+    /// Tile footprint in mm².
+    pub fn tile_area_mm2(&self) -> f64 {
+        self.tile_um * self.tile_um / 1.0e6
+    }
+
+    /// Total deposited power across all tiles and tiers, in mW.
+    pub fn total_power_mw(&self) -> f64 {
+        self.si_mw.iter().sum::<f64>() + self.upper_mw.iter().sum::<f64>()
+    }
+
+    /// Peak combined tile density in mW/mm².
+    pub fn peak_density_mw_per_mm2(&self) -> f64 {
+        let peak = self
+            .si_mw
+            .iter()
+            .zip(&self.upper_mw)
+            .map(|(s, u)| s + u)
+            .fold(0.0, f64::max);
+        peak / self.tile_area_mm2()
+    }
+
+    /// Scales every deposit by `factor` (power-sweep what-ifs without
+    /// re-running sign-off).
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            si_mw: self.si_mw.iter().map(|p| p * factor).collect(),
+            upper_mw: self.upper_mw.iter().map(|p| p * factor).collect(),
+            ..self.clone()
+        }
+    }
+}
+
+impl StableHash for PowerDensityGrid {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.nx.stable_hash(h);
+        self.ny.stable_hash(h);
+        self.tile_um.stable_hash(h);
+        self.x0_um.stable_hash(h);
+        self.y0_um.stable_hash(h);
+        self.si_mw.stable_hash(h);
+        self.upper_mw.stable_hash(h);
+    }
+}
 
 /// Power analysis result.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -64,6 +141,9 @@ pub struct PowerReport {
     pub activity: f64,
     /// Clock frequency used.
     pub clock_freq: Megahertz,
+    /// The tiled per-block power map (Si vs upper layers) behind the
+    /// density scalars above — the thermal solver's heat-source input.
+    pub density_grid: PowerDensityGrid,
 }
 
 impl PowerReport {
@@ -105,7 +185,11 @@ pub fn analyze_power(
     let tile = 1000.0_f64; // 1 mm tiles
     let nx = (floorplan.die.width().value() / tile).ceil().max(1.0) as usize;
     let ny = (floorplan.die.height().value() / tile).ceil().max(1.0) as usize;
-    let mut grid = vec![0.0f64; nx * ny];
+    // Si-tier and upper-layer (BEOL RRAM) deposits tracked separately;
+    // the density scalars below use their per-tile sum, so they are
+    // unchanged by the split.
+    let mut si_grid = vec![0.0f64; nx * ny];
+    let mut upper_grid = vec![0.0f64; nx * ny];
     let x0 = floorplan.die.x0.value();
     let y0 = floorplan.die.y0.value();
     let deposit = |x: f64, y: f64, mw: f64, grid: &mut Vec<f64>| {
@@ -162,7 +246,7 @@ pub fn analyze_power(
             p_cell += p_clk;
         }
         let pos = placement.cell_pos[ci];
-        deposit(pos.x.value(), pos.y.value(), p_cell, &mut grid);
+        deposit(pos.x.value(), pos.y.value(), p_cell, &mut si_grid);
         if let Some(key) = cs_key(&cell.name) {
             *per_cs_power.entry(key).or_default() += p_cell;
         }
@@ -187,7 +271,7 @@ pub fn analyze_power(
                     pos.x.value() + half,
                     pos.y.value() + half,
                 );
-                spread(&r, p, &mut grid);
+                spread(&r, p, &mut si_grid);
                 if let Some(key) = cs_key(&m.name) {
                     *per_cs_power.entry(key).or_default() += p;
                 }
@@ -198,24 +282,48 @@ pub fn analyze_power(
                 let p_dyn = MACRO_ACTIVITY * f_mhz * e_access * pj_mhz_to_mw;
                 let p = p_dyn + r.leakage_mw();
                 macro_mw += p;
-                let (p_cellarray, p_perif) = if r.selector.frees_si_tier() {
+                // The cell-array share lands in the BEOL layers when the
+                // selectors free the Si tier (M3D); otherwise the array
+                // sits on Si and heats the bottom tier like everything
+                // else.
+                let (p_cellarray, p_perif, array_is_upper) = if r.selector.frees_si_tier() {
                     let up = p_dyn * RRAM_CELL_ENERGY_FRACTION;
                     upper_mw += up;
-                    (up, p - up)
+                    (up, p - up, true)
                 } else {
                     (
                         p_dyn * RRAM_CELL_ENERGY_FRACTION,
                         p * (1.0 - RRAM_CELL_ENERGY_FRACTION),
+                        false,
                     )
                 };
-                spread(&floorplan.rram_array().rect, p_cellarray, &mut grid);
-                spread(&floorplan.rram_periph().rect, p_perif, &mut grid);
+                let array_grid = if array_is_upper {
+                    &mut upper_grid
+                } else {
+                    &mut si_grid
+                };
+                spread(&floorplan.rram_array().rect, p_cellarray, array_grid);
+                spread(&floorplan.rram_periph().rect, p_perif, &mut si_grid);
             }
         }
     }
 
     let total = cell_dynamic + clock_mw + cell_leak + macro_mw;
-    let peak = grid.iter().copied().fold(0.0, f64::max);
+    let density_grid = PowerDensityGrid {
+        nx,
+        ny,
+        tile_um: tile,
+        x0_um: x0,
+        y0_um: y0,
+        si_mw: si_grid,
+        upper_mw: upper_grid,
+    };
+    let peak = density_grid
+        .si_mw
+        .iter()
+        .zip(&density_grid.upper_mw)
+        .map(|(s, u)| s + u)
+        .fold(0.0, f64::max);
     let die_mm2 = floorplan.die.area().as_mm2();
     let hottest_cs = per_cs_power.values().copied().fold(0.0, f64::max);
     let array_mm2 = floorplan.rram_array().rect.area().as_mm2();
@@ -237,6 +345,7 @@ pub fn analyze_power(
         upper_layer_density_mw_per_mm2: upper_density,
         activity,
         clock_freq: clock,
+        density_grid,
     })
 }
 
@@ -317,6 +426,42 @@ mod tests {
         let p = analyzed(false);
         assert!(p.peak_density_mw_per_mm2 >= p.avg_density_mw_per_mm2);
         assert!(p.peak_density_mw_per_mm2 < 1000.0);
+    }
+
+    #[test]
+    fn density_grid_accounts_for_all_power() {
+        let p = analyzed(true);
+        let g = &p.density_grid;
+        assert_eq!(g.si_mw.len(), g.nx * g.ny);
+        assert_eq!(g.upper_mw.len(), g.nx * g.ny);
+        // Every milliwatt of the sign-off lands in some tile.
+        assert!(
+            (g.total_power_mw() - p.total.value()).abs() < 1e-6,
+            "grid {} vs total {}",
+            g.total_power_mw(),
+            p.total.value()
+        );
+        // The scalar peak is derived from the same grid.
+        assert!((g.peak_density_mw_per_mm2() - p.peak_density_mw_per_mm2).abs() < 1e-9);
+        // M3D: the upper layers carry exactly the upper-tier power.
+        assert!((g.upper_mw.iter().sum::<f64>() - p.upper_tier.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_grid_has_empty_upper_layers() {
+        let p = analyzed(false);
+        assert_eq!(p.density_grid.upper_mw.iter().sum::<f64>(), 0.0);
+        assert!(p.density_grid.si_mw.iter().sum::<f64>() > 0.0);
+    }
+
+    #[test]
+    fn grid_scaling_and_stable_key() {
+        let p = analyzed(false);
+        let g = &p.density_grid;
+        let double = g.scaled(2.0);
+        assert!((double.total_power_mw() - 2.0 * g.total_power_mw()).abs() < 1e-9);
+        assert_eq!(g.stable_key(), p.density_grid.clone().stable_key());
+        assert_ne!(g.stable_key(), double.stable_key());
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod rram;
 pub mod scaling;
 pub mod stable_hash;
 pub mod stdcell;
+pub mod thermal_profile;
 pub mod units;
 
 pub use corners::Corner;
@@ -62,3 +63,4 @@ pub use rram::{RramCellModel, SelectorTech};
 pub use scaling::{projection_ladder, NodeScaling};
 pub use stable_hash::{StableHash, StableHasher};
 pub use stdcell::{CellKind, CellLibrary, DriveStrength, StdCell};
+pub use thermal_profile::{HeatSource, ThermalLayerSpec};

@@ -1,0 +1,154 @@
+//! Content-keyed memoization of steady-state solves.
+//!
+//! The key is the [`StableHash`] of `(grid, power, solver)` — the same
+//! content-addressing discipline as the engine's `FlowCache`, so a
+//! solve reruns only when an input that affects the answer changed.
+//! Statistics surface through the engine's [`CacheStats`] shape for
+//! uniform reporting in bench JSON.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use m3d_core::engine::CacheStats;
+use m3d_tech::{StableHash, StableHasher};
+
+use crate::error::ThermalResult;
+use crate::grid::GridConfig;
+use crate::power::PowerMap;
+use crate::solve::{solve_steady, SolverConfig, SteadySolution};
+
+/// In-memory memo of steady solves, shareable across threads.
+#[derive(Debug, Default)]
+pub struct ThermalCache {
+    entries: Mutex<HashMap<u64, Arc<SteadySolution>>>,
+    hits: Mutex<u64>,
+    misses: Mutex<u64>,
+}
+
+impl ThermalCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The content key a `(grid, power, solver)` triple memoizes under.
+    pub fn key(grid: &GridConfig, power: &PowerMap, solver: &SolverConfig) -> u64 {
+        let mut h = StableHasher::new();
+        grid.stable_hash(&mut h);
+        power.stable_hash(&mut h);
+        solver.stable_hash(&mut h);
+        h.finish()
+    }
+
+    /// Solves `(grid, power, solver)`, reusing a previous identical
+    /// solve when one is cached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`solve_steady`] validation failures (never cached).
+    pub fn solve(
+        &self,
+        grid: &GridConfig,
+        power: &PowerMap,
+        solver: &SolverConfig,
+    ) -> ThermalResult<Arc<SteadySolution>> {
+        let key = Self::key(grid, power, solver);
+        if let Some(hit) = self.entries.lock().expect("cache poisoned").get(&key) {
+            *self.hits.lock().expect("stats poisoned") += 1;
+            return Ok(Arc::clone(hit));
+        }
+        *self.misses.lock().expect("stats poisoned") += 1;
+        let solution = Arc::new(solve_steady(grid, power, solver)?);
+        self.entries
+            .lock()
+            .expect("cache poisoned")
+            .insert(key, Arc::clone(&solution));
+        Ok(solution)
+    }
+
+    /// Cached solve count.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache poisoned").len()
+    }
+
+    /// Whether nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss counters in the engine's stats shape (this cache has no
+    /// disk tier, so `disk_hits` is always 0).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: *self.hits.lock().expect("stats poisoned"),
+            misses: *self.misses.lock().expect("stats poisoned"),
+            disk_hits: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_tech::LayerStack;
+
+    fn grid() -> GridConfig {
+        GridConfig::from_stack(&LayerStack::m3d_130nm(), 100.0, 4, 4, 2, 1.0, 60.0).unwrap()
+    }
+
+    #[test]
+    fn second_identical_solve_hits() {
+        let cache = ThermalCache::new();
+        let g = grid();
+        let p = PowerMap::uniform(&g, 5.0);
+        let cfg = SolverConfig::default();
+        let a = cache.solve(&g, &p, &cfg).unwrap();
+        let b = cache.solve(&g, &p, &cfg).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second solve reuses the entry");
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                disk_hits: 0
+            }
+        );
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn different_power_is_a_different_entry() {
+        let cache = ThermalCache::new();
+        let g = grid();
+        let cfg = SolverConfig::default();
+        cache.solve(&g, &PowerMap::uniform(&g, 5.0), &cfg).unwrap();
+        cache.solve(&g, &PowerMap::uniform(&g, 6.0), &cfg).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn parallel_threshold_does_not_split_the_key() {
+        let g = grid();
+        let p = PowerMap::uniform(&g, 5.0);
+        let a = SolverConfig::default();
+        let b = SolverConfig {
+            parallel_threshold: 0,
+            ..a
+        };
+        assert_eq!(ThermalCache::key(&g, &p, &a), ThermalCache::key(&g, &p, &b));
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = ThermalCache::new();
+        let g = grid();
+        let p = PowerMap::uniform(&g, 5.0);
+        let bad = SolverConfig {
+            omega: 3.0,
+            ..SolverConfig::default()
+        };
+        assert!(cache.solve(&g, &p, &bad).is_err());
+        assert!(cache.is_empty());
+    }
+}

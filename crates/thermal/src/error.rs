@@ -1,0 +1,46 @@
+//! Error type of the thermal subsystem.
+
+/// Errors raised while voxelizing or solving a thermal grid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ThermalError {
+    /// A configuration parameter is out of range.
+    InvalidParameter {
+        /// Which parameter.
+        parameter: &'static str,
+        /// The offending value.
+        value: f64,
+        /// What would have been accepted.
+        expected: &'static str,
+    },
+    /// A power map does not match the grid it is applied to.
+    ShapeMismatch {
+        /// What disagreed (e.g. `"power map lateral cells"`).
+        what: &'static str,
+        /// The grid's size.
+        expected: usize,
+        /// The map's size.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for ThermalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThermalError::InvalidParameter {
+                parameter,
+                value,
+                expected,
+            } => write!(f, "invalid {parameter} = {value}: expected {expected}"),
+            ThermalError::ShapeMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(f, "{what}: grid has {expected}, got {actual}"),
+        }
+    }
+}
+
+impl std::error::Error for ThermalError {}
+
+/// Convenience result alias.
+pub type ThermalResult<T> = Result<T, ThermalError>;

@@ -1,0 +1,295 @@
+//! Voxelization of the M3D layer stack into a 3D RC thermal grid.
+//!
+//! A [`GridConfig`] is `nx × ny` lateral cells by one grid layer per
+//! [`ThermalLayerSpec`] slab of the vertical profile. Cell temperatures
+//! live at slab mid-planes; conductances between vertically adjacent
+//! cells are the series combination of the two half-slab resistances,
+//! lateral conductances use each slab's in-plane conductivity, the die
+//! bottom couples to ambient through the package/heat-sink resistance
+//! and all other boundaries are adiabatic (worst case — no lateral
+//! package spreading).
+
+use m3d_core::ThermalModel;
+use m3d_tech::thermal_profile::{HeatSource, ThermalLayerSpec};
+use m3d_tech::{LayerStack, StableHash, StableHasher};
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ThermalError, ThermalResult};
+
+/// µm → m.
+pub(crate) const UM: f64 = 1.0e-6;
+
+/// A stand-in conductivity for slabs modelled as thermally transparent
+/// (lumped-equivalence source planes); high enough that their series
+/// resistance is negligible against any real slab.
+const K_TRANSPARENT: f64 = 1.0e4;
+
+/// The voxelized thermal grid: geometry, materials and boundary model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridConfig {
+    /// Lateral cells along x.
+    pub nx: usize,
+    /// Lateral cells along y.
+    pub ny: usize,
+    /// Lateral cell edge along x, in µm.
+    pub dx_um: f64,
+    /// Lateral cell edge along y, in µm.
+    pub dy_um: f64,
+    /// Vertical slabs, bottom-up (one grid layer each).
+    pub layers: Vec<ThermalLayerSpec>,
+    /// Package + heat-sink resistance from the die bottom to ambient,
+    /// in K/W (whole die).
+    pub sink_k_per_w: f64,
+    /// Maximum allowed temperature rise over ambient, in K.
+    pub max_rise_k: f64,
+}
+
+impl StableHash for GridConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.nx.stable_hash(h);
+        self.ny.stable_hash(h);
+        self.dx_um.stable_hash(h);
+        self.dy_um.stable_hash(h);
+        self.layers.stable_hash(h);
+        self.sink_k_per_w.stable_hash(h);
+        self.max_rise_k.stable_hash(h);
+    }
+}
+
+/// Per-cell/per-interface conductances of an assembled grid, in W/K
+/// (and per-cell heat capacities in J/K for transient stepping).
+#[derive(Debug, Clone)]
+pub(crate) struct Assembled {
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+    /// Lateral x-conductance between in-layer neighbours, per layer.
+    pub g_x: Vec<f64>,
+    /// Lateral y-conductance between in-layer neighbours, per layer.
+    pub g_y: Vec<f64>,
+    /// Vertical conductance between layer `l` and `l + 1` (len `nz-1`).
+    pub g_v: Vec<f64>,
+    /// Bottom-cell conductance to ambient through the sink.
+    pub g_sink: f64,
+    /// Per-cell heat capacity, per layer.
+    pub cap_j_per_k: Vec<f64>,
+}
+
+impl GridConfig {
+    /// Voxelizes `tier_pairs` pairs of `stack` over a square die of
+    /// `die_mm2` at `nx × ny` lateral resolution, with conventional
+    /// packaging (sink resistance `sink_k_per_w`, budget `max_rise_k`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] for an empty lateral
+    /// grid or a non-positive die.
+    pub fn from_stack(
+        stack: &LayerStack,
+        die_mm2: f64,
+        nx: usize,
+        ny: usize,
+        tier_pairs: u32,
+        sink_k_per_w: f64,
+        max_rise_k: f64,
+    ) -> ThermalResult<Self> {
+        if nx == 0 || ny == 0 {
+            return Err(ThermalError::InvalidParameter {
+                parameter: "nx/ny",
+                value: (nx.min(ny)) as f64,
+                expected: "at least one lateral cell per axis",
+            });
+        }
+        if !die_mm2.is_finite() || die_mm2 <= 0.0 {
+            return Err(ThermalError::InvalidParameter {
+                parameter: "die_mm2",
+                value: die_mm2,
+                expected: "finite and > 0",
+            });
+        }
+        let edge_um = die_mm2.sqrt() * 1.0e3;
+        Ok(Self {
+            nx,
+            ny,
+            dx_um: edge_um / nx as f64,
+            dy_um: edge_um / ny as f64,
+            layers: stack.thermal_profile(tier_pairs),
+            sink_k_per_w,
+            max_rise_k,
+        })
+    }
+
+    /// The single-lateral-cell grid whose chain of vertical resistances
+    /// reproduces the analytic [`ThermalModel`] (eq. 17) exactly: ambient
+    /// `—R₀—` substrate `—R_j—` pair 1 `—R_j—` pair 2 … with power
+    /// injected at each pair's source plane. Substrate and source planes
+    /// are thermally transparent, so the grid's top-plane rise equals
+    /// the analytic `temperature_rise` up to discretization noise — the
+    /// limiting-case agreement the solver is validated against.
+    pub fn lumped(model: &ThermalModel, tiers: u32) -> Self {
+        let tiers = tiers.max(1);
+        // The lateral cell area cancels out of a 1×1 chain; any value
+        // works as long as the gap conductivities are derived from it.
+        let area_m2: f64 = 1.0e-4; // 100 mm²
+        let edge_um = area_m2.sqrt() / UM;
+        let t_um = 1.0;
+        let transparent = |name: String, source: HeatSource| ThermalLayerSpec {
+            name,
+            thickness_um: t_um,
+            k_vertical_w_mk: K_TRANSPARENT,
+            k_lateral_w_mk: K_TRANSPARENT,
+            volumetric_heat_j_m3k: 1.65e6,
+            source,
+        };
+        // k = t / (R · A) makes a slab's full-thickness vertical
+        // resistance exactly R_j.
+        let r_j = model.per_tier_k_per_w.max(1.0e-12);
+        let k_gap = (t_um * UM) / (r_j * area_m2);
+        let mut layers = vec![transparent("substrate".to_owned(), HeatSource::Passive)];
+        for pair in 0..tiers {
+            layers.push(ThermalLayerSpec {
+                name: format!("pair{pair}:gap"),
+                thickness_um: t_um,
+                k_vertical_w_mk: k_gap,
+                k_lateral_w_mk: k_gap,
+                volumetric_heat_j_m3k: 1.8e6,
+                source: HeatSource::Passive,
+            });
+            layers.push(transparent(
+                format!("pair{pair}:active"),
+                HeatSource::Active { pair },
+            ));
+        }
+        Self {
+            nx: 1,
+            ny: 1,
+            dx_um: edge_um,
+            dy_um: edge_um,
+            layers,
+            sink_k_per_w: model.sink_k_per_w,
+            max_rise_k: model.max_rise_k,
+        }
+    }
+
+    /// Grid layers (= vertical slabs).
+    pub fn nz(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total voxel count.
+    pub fn cells(&self) -> usize {
+        self.nx * self.ny * self.nz()
+    }
+
+    /// Row-major voxel index of `(i, j, l)` (x, y, layer).
+    pub fn idx(&self, i: usize, j: usize, l: usize) -> usize {
+        (l * self.ny + j) * self.nx + i
+    }
+
+    /// Number of tier pairs represented (max source-pair index + 1).
+    pub fn tier_pairs(&self) -> u32 {
+        self.layers
+            .iter()
+            .filter_map(|s| match s.source {
+                HeatSource::Active { pair } | HeatSource::Memory { pair } => Some(pair + 1),
+                HeatSource::Passive => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Assembles the per-cell conductance network.
+    pub(crate) fn assemble(&self) -> Assembled {
+        let nz = self.nz();
+        let area_m2 = self.dx_um * self.dy_um * UM * UM;
+        let dx_m = self.dx_um * UM;
+        let dy_m = self.dy_um * UM;
+        let mut g_x = Vec::with_capacity(nz);
+        let mut g_y = Vec::with_capacity(nz);
+        let mut cap = Vec::with_capacity(nz);
+        for s in &self.layers {
+            let t_m = s.thickness_um * UM;
+            g_x.push(s.k_lateral_w_mk * (dy_m * t_m) / dx_m);
+            g_y.push(s.k_lateral_w_mk * (dx_m * t_m) / dy_m);
+            cap.push(s.volumetric_heat_j_m3k * area_m2 * t_m);
+        }
+        // Per-area half-slab resistance t/(2k), in m²·K/W; an interface
+        // conductance is the cell area over the two half-resistances in
+        // series.
+        let half_r = |s: &ThermalLayerSpec| (s.thickness_um * UM) / (2.0 * s.k_vertical_w_mk);
+        let g_v = self
+            .layers
+            .windows(2)
+            .map(|w| area_m2 / (half_r(&w[0]) + half_r(&w[1])).max(f64::MIN_POSITIVE))
+            .collect();
+        // The whole-die sink resistance splits across the bottom cells
+        // in parallel; each cell additionally crosses its own half
+        // substrate thickness.
+        let cells = (self.nx * self.ny) as f64;
+        let r_cell = self.sink_k_per_w * cells + half_r(&self.layers[0]) / area_m2;
+        Assembled {
+            nx: self.nx,
+            ny: self.ny,
+            nz,
+            g_x,
+            g_y,
+            g_v,
+            g_sink: 1.0 / r_cell.max(f64::MIN_POSITIVE),
+            cap_j_per_k: cap,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_stack_shapes_the_grid() {
+        let stack = LayerStack::m3d_130nm();
+        let g = GridConfig::from_stack(&stack, 100.0, 8, 8, 3, 1.0, 60.0).unwrap();
+        assert_eq!(g.nz(), 1 + 2 * 3);
+        assert_eq!(g.cells(), 8 * 8 * 7);
+        assert_eq!(g.tier_pairs(), 3);
+        assert!((g.dx_um - 1250.0).abs() < 1e-9, "10 mm / 8 cells");
+        assert!(GridConfig::from_stack(&stack, 100.0, 0, 8, 3, 1.0, 60.0).is_err());
+        assert!(GridConfig::from_stack(&stack, -1.0, 8, 8, 3, 1.0, 60.0).is_err());
+    }
+
+    #[test]
+    fn lumped_chain_resistances_match_the_model() {
+        let m = ThermalModel::conventional(5.0);
+        let g = GridConfig::lumped(&m, 2);
+        let asm = g.assemble();
+        // Sink conductance ≈ 1/R₀ (one lateral cell).
+        assert!((1.0 / asm.g_sink - m.sink_k_per_w).abs() / m.sink_k_per_w < 1e-3);
+        // Source-to-source vertical resistance ≈ R_j: two interfaces in
+        // series around each gap slab.
+        let r_pair: f64 = 1.0 / asm.g_v[1] + 1.0 / asm.g_v[2];
+        assert!(
+            (r_pair - m.per_tier_k_per_w).abs() / m.per_tier_k_per_w < 1e-3,
+            "pair resistance {r_pair} vs Rj {}",
+            m.per_tier_k_per_w
+        );
+    }
+
+    #[test]
+    fn indexing_is_row_major() {
+        let stack = LayerStack::m3d_130nm();
+        let g = GridConfig::from_stack(&stack, 100.0, 4, 3, 1, 1.0, 60.0).unwrap();
+        assert_eq!(g.idx(0, 0, 0), 0);
+        assert_eq!(g.idx(1, 0, 0), 1);
+        assert_eq!(g.idx(0, 1, 0), 4);
+        assert_eq!(g.idx(0, 0, 1), 12);
+    }
+
+    #[test]
+    fn stable_key_tracks_content() {
+        let stack = LayerStack::m3d_130nm();
+        let a = GridConfig::from_stack(&stack, 100.0, 8, 8, 2, 1.0, 60.0).unwrap();
+        let b = GridConfig::from_stack(&stack, 100.0, 8, 8, 2, 1.0, 60.0).unwrap();
+        let c = GridConfig::from_stack(&stack, 100.0, 8, 8, 3, 1.0, 60.0).unwrap();
+        assert_eq!(a.stable_key(), b.stable_key());
+        assert_ne!(a.stable_key(), c.stable_key());
+    }
+}

@@ -1,0 +1,318 @@
+//! Heat-source maps: per-voxel dissipated power laid onto a
+//! [`GridConfig`].
+//!
+//! Sources come from two places: uniform per-tier budgets (the
+//! Observation 10 sweep parameter) and the physical-design sign-off's
+//! [`m3d_pd::PowerDensityGrid`], whose 1 mm tiles are conservatively
+//! resampled onto the thermal grid by area overlap — total power is
+//! preserved exactly, spatial hotspots to the resolution of the coarser
+//! of the two grids.
+
+use m3d_pd::power::RRAM_CELL_ENERGY_FRACTION;
+use m3d_pd::PowerDensityGrid;
+use m3d_tech::thermal_profile::HeatSource;
+use m3d_tech::{StableHash, StableHasher};
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ThermalError, ThermalResult};
+use crate::grid::GridConfig;
+
+/// Per-voxel power, in W, aligned with a [`GridConfig`]'s layers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerMap {
+    /// Lateral cells along x (must match the grid).
+    pub nx: usize,
+    /// Lateral cells along y (must match the grid).
+    pub ny: usize,
+    /// Power per lateral cell for each grid layer, bottom-up; passive
+    /// layers carry all-zero planes.
+    pub layer_w: Vec<Vec<f64>>,
+}
+
+impl StableHash for PowerMap {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.nx.stable_hash(h);
+        self.ny.stable_hash(h);
+        self.layer_w.stable_hash(h);
+    }
+}
+
+impl PowerMap {
+    /// An all-zero map matching `grid`.
+    pub fn zero(grid: &GridConfig) -> Self {
+        Self {
+            nx: grid.nx,
+            ny: grid.ny,
+            layer_w: vec![vec![0.0; grid.nx * grid.ny]; grid.nz()],
+        }
+    }
+
+    /// Uniform per-tier-pair power: each pair dissipates
+    /// `per_pair_w`, spread evenly over the die and split between the
+    /// pair's source layers — active vs BEOL memory by the sign-off's
+    /// cell-array energy fraction when both exist, all onto whichever
+    /// single source plane a lumped grid has.
+    pub fn uniform(grid: &GridConfig, per_pair_w: f64) -> Self {
+        let mut map = Self::zero(grid);
+        let cells = (grid.nx * grid.ny) as f64;
+        let pairs = grid.tier_pairs();
+        for pair in 0..pairs {
+            let active: Vec<usize> = grid
+                .layers
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.source == (HeatSource::Active { pair }))
+                .map(|(l, _)| l)
+                .collect();
+            let memory: Vec<usize> = grid
+                .layers
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.source == (HeatSource::Memory { pair }))
+                .map(|(l, _)| l)
+                .collect();
+            let (w_active, w_memory) = if memory.is_empty() {
+                (per_pair_w, 0.0)
+            } else if active.is_empty() {
+                (0.0, per_pair_w)
+            } else {
+                (
+                    per_pair_w * (1.0 - RRAM_CELL_ENERGY_FRACTION),
+                    per_pair_w * RRAM_CELL_ENERGY_FRACTION,
+                )
+            };
+            for (layers, total) in [(&active, w_active), (&memory, w_memory)] {
+                if layers.is_empty() || total == 0.0 {
+                    continue;
+                }
+                let per_cell = total / (layers.len() as f64 * cells);
+                for &l in layers.iter() {
+                    for p in &mut map.layer_w[l] {
+                        *p += per_cell;
+                    }
+                }
+            }
+        }
+        map
+    }
+
+    /// Lays the sign-off's tiled power map onto the grid: Si-tier tile
+    /// power heats the active device layers, upper-layer tile power the
+    /// BEOL memory layers, both resampled by rectangle overlap (exact
+    /// power conservation for tiles inside the die outline) and split
+    /// evenly across the pairs when the stack interleaves several.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::ShapeMismatch`] when the grid has no
+    /// source layers to carry the deposit.
+    pub fn from_density_grid(grid: &GridConfig, pd: &PowerDensityGrid) -> ThermalResult<Self> {
+        let mut map = Self::zero(grid);
+        let active: Vec<usize> = grid
+            .layers
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s.source, HeatSource::Active { .. }))
+            .map(|(l, _)| l)
+            .collect();
+        let memory: Vec<usize> = grid
+            .layers
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s.source, HeatSource::Memory { .. }))
+            .map(|(l, _)| l)
+            .collect();
+        if active.is_empty() {
+            return Err(ThermalError::ShapeMismatch {
+                what: "active source layers",
+                expected: 1,
+                actual: 0,
+            });
+        }
+        let upper_sinks = if memory.is_empty() { &active } else { &memory };
+        let mut lateral_si = vec![0.0f64; grid.nx * grid.ny];
+        let mut lateral_up = vec![0.0f64; grid.nx * grid.ny];
+        resample(grid, pd, &pd.si_mw, &mut lateral_si);
+        resample(grid, pd, &pd.upper_mw, &mut lateral_up);
+        for (layers, lateral) in [(&active, &lateral_si), (upper_sinks, &lateral_up)] {
+            let share = 1.0 / layers.len() as f64;
+            for &l in layers.iter() {
+                for (cell, mw) in map.layer_w[l].iter_mut().zip(lateral) {
+                    *cell += mw * 1.0e-3 * share; // mW → W
+                }
+            }
+        }
+        Ok(map)
+    }
+
+    /// Total deposited power in W.
+    pub fn total_w(&self) -> f64 {
+        self.layer_w.iter().flatten().sum()
+    }
+
+    /// Every deposit scaled by `factor`.
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            nx: self.nx,
+            ny: self.ny,
+            layer_w: self
+                .layer_w
+                .iter()
+                .map(|plane| plane.iter().map(|p| p * factor).collect())
+                .collect(),
+        }
+    }
+
+    /// Validates shape agreement against `grid`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::ShapeMismatch`] on any axis disagreement.
+    pub fn check(&self, grid: &GridConfig) -> ThermalResult<()> {
+        if self.nx != grid.nx || self.ny != grid.ny {
+            return Err(ThermalError::ShapeMismatch {
+                what: "power map lateral cells",
+                expected: grid.nx * grid.ny,
+                actual: self.nx * self.ny,
+            });
+        }
+        if self.layer_w.len() != grid.nz() {
+            return Err(ThermalError::ShapeMismatch {
+                what: "power map layers",
+                expected: grid.nz(),
+                actual: self.layer_w.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Deposits `tile_mw` (one value per pd tile) into `out` (one value per
+/// thermal lateral cell) by rectangle-overlap fractions.
+fn resample(grid: &GridConfig, pd: &PowerDensityGrid, tile_mw: &[f64], out: &mut [f64]) {
+    let die_w = grid.nx as f64 * grid.dx_um;
+    let die_h = grid.ny as f64 * grid.dy_um;
+    for ty in 0..pd.ny {
+        for tx in 0..pd.nx {
+            let mw = tile_mw[ty * pd.nx + tx];
+            if mw == 0.0 {
+                continue;
+            }
+            // Tile rectangle relative to the die origin, clamped to it.
+            let x0 = (tx as f64 * pd.tile_um).min(die_w);
+            let y0 = (ty as f64 * pd.tile_um).min(die_h);
+            let x1 = ((tx + 1) as f64 * pd.tile_um).min(die_w);
+            let y1 = ((ty + 1) as f64 * pd.tile_um).min(die_h);
+            let tile_area = pd.tile_um * pd.tile_um;
+            let i0 = ((x0 / grid.dx_um).floor() as usize).min(grid.nx - 1);
+            let i1 = ((x1 / grid.dx_um).ceil() as usize).clamp(i0 + 1, grid.nx);
+            let j0 = ((y0 / grid.dy_um).floor() as usize).min(grid.ny - 1);
+            let j1 = ((y1 / grid.dy_um).ceil() as usize).clamp(j0 + 1, grid.ny);
+            let mut deposited = 0.0;
+            for j in j0..j1 {
+                for i in i0..i1 {
+                    let ox = (x1.min((i + 1) as f64 * grid.dx_um) - x0.max(i as f64 * grid.dx_um))
+                        .max(0.0);
+                    let oy = (y1.min((j + 1) as f64 * grid.dy_um) - y0.max(j as f64 * grid.dy_um))
+                        .max(0.0);
+                    let frac = ox * oy / tile_area;
+                    out[j * grid.nx + i] += mw * frac;
+                    deposited += frac;
+                }
+            }
+            // Power falling outside the die outline (clamped tiles,
+            // including ones entirely beyond it) is folded into the
+            // nearest covered cells to conserve totals.
+            if deposited < 1.0 {
+                let fold = mw * (1.0 - deposited) / ((j1 - j0) * (i1 - i0)) as f64;
+                for j in j0..j1 {
+                    for i in i0..i1 {
+                        out[j * grid.nx + i] += fold;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_core::ThermalModel;
+    use m3d_tech::LayerStack;
+
+    fn grid() -> GridConfig {
+        GridConfig::from_stack(&LayerStack::m3d_130nm(), 100.0, 8, 8, 2, 1.0, 60.0).unwrap()
+    }
+
+    #[test]
+    fn uniform_conserves_power_and_splits_by_energy_fraction() {
+        let g = grid();
+        let m = PowerMap::uniform(&g, 5.0);
+        m.check(&g).unwrap();
+        assert!((m.total_w() - 2.0 * 5.0).abs() < 1e-9, "two pairs × 5 W");
+        // Memory layers carry the cell-array fraction.
+        let mem_w: f64 = g
+            .layers
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s.source, HeatSource::Memory { .. }))
+            .map(|(l, _)| m.layer_w[l].iter().sum::<f64>())
+            .sum();
+        assert!((mem_w - 2.0 * 5.0 * RRAM_CELL_ENERGY_FRACTION).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lumped_grid_takes_all_power_on_the_source_plane() {
+        let g = GridConfig::lumped(&ThermalModel::conventional(5.0), 3);
+        let m = PowerMap::uniform(&g, 5.0);
+        assert!((m.total_w() - 15.0).abs() < 1e-12);
+        for (l, s) in g.layers.iter().enumerate() {
+            let w: f64 = m.layer_w[l].iter().sum();
+            match s.source {
+                HeatSource::Active { .. } => assert!((w - 5.0).abs() < 1e-12),
+                _ => assert_eq!(w, 0.0),
+            }
+        }
+    }
+
+    #[test]
+    fn density_resampling_conserves_total_power() {
+        let g = grid();
+        let die_um = 100.0_f64.sqrt() * 1.0e3;
+        let pd = PowerDensityGrid {
+            nx: 11,
+            ny: 11,
+            tile_um: 1000.0,
+            x0_um: 0.0,
+            y0_um: 0.0,
+            si_mw: (0..121).map(|i| i as f64).collect(),
+            upper_mw: vec![0.5; 121],
+        };
+        assert!(11.0 * 1000.0 > die_um, "tiles overhang the die outline");
+        let m = PowerMap::from_density_grid(&g, &pd).unwrap();
+        let want = (pd.si_mw.iter().sum::<f64>() + pd.upper_mw.iter().sum::<f64>()) * 1.0e-3;
+        assert!(
+            (m.total_w() - want).abs() < 1e-9,
+            "resampled {} vs deposited {want}",
+            m.total_w()
+        );
+    }
+
+    #[test]
+    fn scaling_is_linear() {
+        let g = grid();
+        let m = PowerMap::uniform(&g, 4.0);
+        assert!((m.scaled(2.5).total_w() - 2.5 * m.total_w()).abs() < 1e-9);
+        assert_ne!(m.stable_key(), m.scaled(2.0).stable_key());
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let g = grid();
+        let other =
+            GridConfig::from_stack(&LayerStack::m3d_130nm(), 100.0, 4, 4, 2, 1.0, 60.0).unwrap();
+        let m = PowerMap::uniform(&other, 4.0);
+        assert!(m.check(&g).is_err());
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests of the steady-state solver: physics invariants that
+//! must hold across randomized grids, powers and stack depths.
+
+use m3d_tech::LayerStack;
+use m3d_thermal::{solve_steady, GridConfig, PowerMap, SolverConfig};
+use proptest::prelude::*;
+
+fn grid(die_mm2: f64, n: usize, pairs: u32, sink: f64) -> GridConfig {
+    GridConfig::from_stack(&LayerStack::m3d_130nm(), die_mm2, n, n, pairs, sink, 60.0)
+        .expect("valid grid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn more_power_means_a_hotter_peak(
+        p in 0.5..10.0_f64,
+        extra in 0.5..10.0_f64,
+        pairs in 1u32..=4,
+        sink in 0.5..2.0_f64,
+    ) {
+        let g = grid(100.0, 4, pairs, sink);
+        let cfg = SolverConfig::default();
+        let cool = solve_steady(&g, &PowerMap::uniform(&g, p), &cfg).unwrap();
+        let hot = solve_steady(&g, &PowerMap::uniform(&g, p + extra), &cfg).unwrap();
+        prop_assert!(cool.converged && hot.converged);
+        prop_assert!(
+            hot.peak_rise_k > cool.peak_rise_k,
+            "P={} K={} vs P={} K={}",
+            p, cool.peak_rise_k, p + extra, hot.peak_rise_k
+        );
+    }
+
+    #[test]
+    fn zero_power_returns_ambient(
+        pairs in 1u32..=5,
+        n in 1usize..=6,
+        sink in 0.2..3.0_f64,
+    ) {
+        let g = grid(100.0, n, pairs, sink);
+        let s = solve_steady(&g, &PowerMap::zero(&g), &SolverConfig::default()).unwrap();
+        prop_assert!(s.converged);
+        prop_assert_eq!(s.peak_rise_k, 0.0);
+        prop_assert!(s.t_k.iter().all(|&t| t == 0.0), "no spurious heat");
+    }
+
+    #[test]
+    fn lateral_refinement_converges(
+        p in 1.0..10.0_f64,
+        pairs in 1u32..=3,
+    ) {
+        // Uniform heating of an adiabatic-sided die: the answer must be
+        // grid-independent, so successive lateral refinements agree.
+        let tight = SolverConfig { tol_k: 1.0e-9, ..SolverConfig::default() };
+        let peaks: Vec<f64> = [2usize, 4, 8]
+            .iter()
+            .map(|&n| {
+                let g = grid(100.0, n, pairs, 1.0);
+                let s = solve_steady(&g, &PowerMap::uniform(&g, p), &tight).unwrap();
+                assert!(s.converged);
+                s.peak_rise_k
+            })
+            .collect();
+        let coarse_gap = (peaks[1] - peaks[0]).abs() / peaks[0];
+        let fine_gap = (peaks[2] - peaks[1]).abs() / peaks[1];
+        prop_assert!(fine_gap < 1.0e-3, "refinement settles: {peaks:?}");
+        prop_assert!(fine_gap <= coarse_gap + 1.0e-6, "gaps shrink: {peaks:?}");
+    }
+
+    #[test]
+    fn rise_is_linear_in_power(
+        p in 0.5..8.0_f64,
+        factor in 1.5..4.0_f64,
+        pairs in 1u32..=3,
+    ) {
+        // The RC network is linear: scaling every source scales the
+        // whole field.
+        let g = grid(100.0, 4, pairs, 1.0);
+        let tight = SolverConfig { tol_k: 1.0e-9, ..SolverConfig::default() };
+        let base = solve_steady(&g, &PowerMap::uniform(&g, p), &tight).unwrap();
+        let scaled = solve_steady(&g, &PowerMap::uniform(&g, p).scaled(factor), &tight).unwrap();
+        let ratio = scaled.peak_rise_k / base.peak_rise_k;
+        prop_assert!(
+            (ratio - factor).abs() / factor < 1.0e-3,
+            "ratio {} vs factor {}", ratio, factor
+        );
+    }
+
+    #[test]
+    fn deeper_stacks_run_hotter(
+        p in 1.0..8.0_f64,
+    ) {
+        // Same per-pair power, more pairs: total heat grows and upper
+        // tiers sit behind more BEOL, so the peak is strictly monotone
+        // in stack depth.
+        let cfg = SolverConfig::default();
+        let mut last = 0.0;
+        for pairs in 1u32..=4 {
+            let g = grid(100.0, 4, pairs, 1.0);
+            let s = solve_steady(&g, &PowerMap::uniform(&g, p), &cfg).unwrap();
+            prop_assert!(s.converged);
+            prop_assert!(s.peak_rise_k > last, "pairs={pairs}: {} > {last}", s.peak_rise_k);
+            last = s.peak_rise_k;
+        }
+    }
+}

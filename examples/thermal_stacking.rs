@@ -1,6 +1,8 @@
 //! Multi-tier M3D exploration: how many interleaved compute/memory tier
-//! pairs help (Fig. 10d), and where the thermal budget caps the stack
-//! (Observation 10, eq. 17).
+//! pairs help (Fig. 10d), where the thermal budget caps the stack
+//! (Observation 10, eq. 17), and how the voxelized RC grid from
+//! `m3d-thermal` moves that cap when the stack is monolithic rather
+//! than bonded.
 //!
 //! Run with `cargo run --example thermal_stacking`.
 
@@ -8,7 +10,9 @@ use m3d::arch::models;
 use m3d::core::cases::BaselineAreas;
 use m3d::core::explore::tier_sweep;
 use m3d::core::framework::{ChipParams, WorkloadPoint};
-use m3d::core::thermal::ThermalModel;
+use m3d::core::thermal::{ThermalModel, TierThermalModel};
+use m3d::tech::LayerStack;
+use m3d::thermal::GridThermalModel;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let areas = BaselineAreas::case_study_64mb();
@@ -61,6 +65,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "allowed pairs: {} of 8 requested; best EDP benefit {:.2}x",
         capped.len(),
         capped.last().map_or(0.0, |p| p.edp_benefit)
+    );
+
+    // The same sweep at grid fidelity: the monolithic stack's BEOL
+    // conducts far better than the 0.35 K/W-per-pair bonded assumption,
+    // so the voxel model admits deeper stacks through the same trait.
+    println!("\n== Grid-fidelity cap (voxelized RC solve, 5 W per pair) ==");
+    let grid = GridThermalModel::conventional(LayerStack::m3d_130nm(), areas.total_mm2(), 5.0);
+    println!(
+        "grid model: {:.1} K at 4 pairs (eq. 17 predicts {:.1} K)",
+        grid.temperature_rise(4),
+        thermal.temperature_rise(4)
+    );
+    let grid_capped = tier_sweep(&areas, &base, &resnet, 8, Some(&grid));
+    println!(
+        "allowed pairs: {} of 8 requested; best EDP benefit {:.2}x",
+        grid_capped.len(),
+        grid_capped.last().map_or(0.0, |p| p.edp_benefit)
     );
     Ok(())
 }

@@ -13,4 +13,23 @@ cd "$(dirname "$0")/.."
 cargo build --workspace --release
 cargo test -q --workspace
 cargo fmt --check
+
+# The thermal subsystem gets an explicit build+test pass of its own so a
+# workspace-level feature or dependency slip cannot hide a broken crate.
+cargo build --release -p m3d-thermal
+cargo test -q -p m3d-thermal
+
+# Determinism gate: the Obs. 10 JSON artifact must be byte-identical
+# across runs and across worker counts (the report deliberately excludes
+# wall-clock and job-count fields).
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+M3D_JOBS=1 ./target/release/obs10_thermal --quick --json "$tmp/a.json" >/dev/null 2>&1
+M3D_JOBS=7 ./target/release/obs10_thermal --quick --json "$tmp/b.json" >/dev/null 2>&1
+if ! cmp -s "$tmp/a.json" "$tmp/b.json"; then
+    echo "tier1: FAIL — obs10_thermal --json differs across M3D_JOBS" >&2
+    diff "$tmp/a.json" "$tmp/b.json" >&2 || true
+    exit 1
+fi
+
 echo "tier1: OK"

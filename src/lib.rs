@@ -2,7 +2,7 @@
 //!
 //! Facade crate of the reproduction of *"Ultra-Dense 3D Physical Design
 //! Unlocks New Architectural Design Points with Large Benefits"*
-//! (DATE 2023). It re-exports the five member crates:
+//! (DATE 2023). It re-exports the six member crates:
 //!
 //! | Crate | Role |
 //! |---|---|
@@ -11,6 +11,7 @@
 //! | [`pd`] | floorplan → place → route → STA → power RTL-to-GDS flow |
 //! | [`arch`] | DNN workloads, systolic cycle model, multi-CS simulator, ZigZag-style mapper |
 //! | [`core`] | the paper's analytical framework (eqs. 1–17), design points, Cases 1–3 |
+//! | [`thermal`] | voxelized 3D RC thermal grid: red-black SOR steady state, phase-driven transients |
 //!
 //! # The headline result, in five lines
 //!
@@ -30,3 +31,4 @@ pub use m3d_core as core;
 pub use m3d_netlist as netlist;
 pub use m3d_pd as pd;
 pub use m3d_tech as tech;
+pub use m3d_thermal as thermal;

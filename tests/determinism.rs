@@ -60,7 +60,14 @@ fn flow_reports_are_byte_identical_across_runs_and_cache() {
     let cache = FlowCache::new();
     let first = flow_report(&cache);
     let second = flow_report(&cache);
-    assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    assert_eq!(
+        cache.stats(),
+        CacheStats {
+            hits: 1,
+            misses: 1,
+            disk_hits: 0
+        }
+    );
     assert_eq!(first, cold_a);
     assert_eq!(
         second.replace("\"cache_hit\": true", "\"cache_hit\": false"),
