@@ -22,9 +22,9 @@
 //! | `fig8_bw_cs` | Fig. 8 bandwidth × CS grid (+ Obs. 5) | engine |
 //! | `fig9_capacity` | Fig. 9 RRAM-capacity sweep (+ Obs. 6) | engine |
 //! | `fig10_relaxation` | Fig. 10b–c selector-width relaxation (+ Obs. 7) | engine |
-//! | `fig10d_tiers` | Fig. 10d interleaved tiers (+ Obs. 9) | |
-//! | `obs3_sram_baseline` | Obs. 3 SRAM-density baseline | |
-//! | `obs8_via_pitch` | Obs. 8 ILV-pitch sweep | |
+//! | `fig10d_tiers` | Fig. 10d interleaved tiers (+ Obs. 9) | engine |
+//! | `obs3_sram_baseline` | Obs. 3 SRAM-density baseline | engine |
+//! | `obs8_via_pitch` | Obs. 8 ILV-pitch sweep | engine |
 //! | `obs10_thermal` | Obs. 10 thermal tier cap: eq. 17 vs voxelized RC grid | engine |
 //! | `folding_ablation` | prior-work folding baseline (paper refs. 3 and 4, ≈ 1.1–1.4×) | |
 //! | `ablation_dataflow` | weight- vs output-stationary dataflow | |
@@ -38,8 +38,10 @@
 //! | `corners_signoff` | SS/TT/FF multi-corner sign-off | |
 
 pub mod cli;
+pub mod registry;
 
 pub use cli::RunArgs;
+pub use registry::{CaseCtx, CaseError, CaseOutcome, CaseSpec};
 
 /// Prints a horizontal rule sized for the standard table width.
 pub fn rule(width: usize) {

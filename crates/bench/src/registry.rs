@@ -1,0 +1,533 @@
+//! The experiment case registry: every serveable experiment, by name.
+//!
+//! The bench binaries and the `m3d-serve` experiment service share this
+//! dispatch table. A [`CaseSpec`] names one parameterised experiment —
+//! a physical-design flow, an exploration sweep, a Monte-Carlo
+//! sensitivity run, a thermal tier-cap solve — and runs it against the
+//! *shared* process-wide caches in a [`CaseCtx`], so identical
+//! configurations are computed once however many callers (CLI
+//! invocations, service requests, sweep workers) ask.
+//!
+//! Parameters and results travel as [`serde::Value`] trees: the service
+//! moves them over its NDJSON wire unchanged, and result construction
+//! uses fixed field order so a case's payload is **byte-identical** for
+//! identical parameters — across runs, worker counts and server
+//! instances (an acceptance criterion of the service).
+
+use m3d_arch::models;
+use m3d_core::cases::BaselineAreas;
+use m3d_core::engine::{FlowCache, FlowFetch};
+use m3d_core::explore::{capacity_sweep, tier_sweep};
+use m3d_core::framework::{ChipParams, WorkloadPoint};
+use m3d_core::sensitivity::{edp_benefit_sensitivity, Perturbation};
+use m3d_core::thermal::ThermalModel;
+use m3d_core::TierThermalModel;
+use m3d_netlist::CsConfig;
+use m3d_pd::FlowConfig;
+use m3d_tech::{LayerStack, Pdk};
+use m3d_thermal::{GridConfig, PowerMap, SolverConfig, ThermalCache};
+use serde::Value;
+
+/// Shared evaluation backend a case runs against.
+pub struct CaseCtx<'a> {
+    /// Process-wide flow memo (optionally disk-backed, `M3D_CACHE_DIR`).
+    pub flows: &'a FlowCache,
+    /// Process-wide steady-solve memo.
+    pub thermals: &'a ThermalCache,
+}
+
+/// A finished case run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseOutcome {
+    /// Deterministic result payload (byte-identical for identical
+    /// parameters).
+    pub result: Value,
+    /// Satisfied from a shared cache rather than recomputed.
+    pub cache_hit: bool,
+    /// Joined another caller's in-flight computation.
+    pub coalesced: bool,
+}
+
+impl CaseOutcome {
+    fn fresh(result: Value) -> Self {
+        Self {
+            result,
+            cache_hit: false,
+            coalesced: false,
+        }
+    }
+}
+
+/// A case failure, with an HTTP-flavoured status code the service maps
+/// onto its wire protocol (`400` bad parameters, `500` internal).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseError {
+    /// `400` for parameter errors, `500` for evaluation failures.
+    pub code: u16,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl CaseError {
+    fn bad_request(message: impl Into<String>) -> Self {
+        Self {
+            code: 400,
+            message: message.into(),
+        }
+    }
+
+    fn internal(err: impl std::fmt::Display) -> Self {
+        Self {
+            code: 500,
+            message: err.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for CaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for CaseError {}
+
+/// Signature every registered case implements.
+pub type CaseFn = fn(&CaseCtx, bool, &Value) -> Result<CaseOutcome, CaseError>;
+
+/// One entry of the dispatch table.
+pub struct CaseSpec {
+    /// Wire name (`"pd_flow"`, `"tier_sweep"`, …).
+    pub name: &'static str,
+    /// One-line description for listings.
+    pub summary: &'static str,
+    /// The implementation; receives `(ctx, quick, params)`.
+    pub run: CaseFn,
+}
+
+/// The dispatch table, in stable order.
+pub fn registry() -> &'static [CaseSpec] {
+    &[
+        CaseSpec {
+            name: "pd_flow",
+            summary: "RTL-to-GDS flow of one configuration (shared flow cache)",
+            run: run_pd_flow,
+        },
+        CaseSpec {
+            name: "tier_sweep",
+            summary: "Fig. 10d interleaved tier-pair exploration sweep",
+            run: run_tier_sweep,
+        },
+        CaseSpec {
+            name: "capacity_sweep",
+            summary: "Fig. 9 RRAM-capacity ladder",
+            run: run_capacity_sweep,
+        },
+        CaseSpec {
+            name: "sensitivity",
+            summary: "Monte-Carlo EDP-benefit robustness (seeded, deterministic)",
+            run: run_sensitivity,
+        },
+        CaseSpec {
+            name: "thermal_cap",
+            summary: "Obs. 10 RC-grid tier cap (shared thermal cache)",
+            run: run_thermal_cap,
+        },
+        CaseSpec {
+            name: "sleep",
+            summary: "diagnostic stall (load generation and backpressure tests)",
+            run: run_sleep,
+        },
+    ]
+}
+
+/// Looks a case up by wire name.
+pub fn find(name: &str) -> Option<&'static CaseSpec> {
+    registry().iter().find(|c| c.name == name)
+}
+
+// --- parameter extraction ----------------------------------------------
+
+fn field<'v>(params: &'v Value, key: &str) -> Option<&'v Value> {
+    match params {
+        Value::Object(_) => params.get(key),
+        _ => None,
+    }
+}
+
+fn param_u64(params: &Value, key: &str, default: u64, max: u64) -> Result<u64, CaseError> {
+    match field(params, key) {
+        None => Ok(default),
+        Some(v) => match v.as_u64() {
+            Some(u) if u <= max => Ok(u),
+            Some(u) => Err(CaseError::bad_request(format!(
+                "parameter `{key}` = {u} exceeds the limit {max}"
+            ))),
+            None => Err(CaseError::bad_request(format!(
+                "parameter `{key}` must be a non-negative integer"
+            ))),
+        },
+    }
+}
+
+fn param_f64(params: &Value, key: &str, default: f64, range: (f64, f64)) -> Result<f64, CaseError> {
+    match field(params, key) {
+        None => Ok(default),
+        Some(v) => match v.as_f64() {
+            Some(f) if f.is_finite() && f >= range.0 && f <= range.1 => Ok(f),
+            _ => Err(CaseError::bad_request(format!(
+                "parameter `{key}` must be a finite number in [{}, {}]",
+                range.0, range.1
+            ))),
+        },
+    }
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn resnet_points() -> Vec<WorkloadPoint> {
+    models::resnet18()
+        .layers
+        .iter()
+        .map(|l| WorkloadPoint::from_layer(l, 8, 16))
+        .collect()
+}
+
+// --- cases --------------------------------------------------------------
+
+/// `pd_flow` — one RTL-to-GDS implementation through the shared
+/// [`FlowCache`], single-flight coalesced. Parameters: `n_cs` (0 = 2D
+/// baseline), `rows`/`cols` (PE array), `global_buffer_kb`,
+/// `activity_pct`.
+fn run_pd_flow(ctx: &CaseCtx, quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
+    let n_cs = u32::try_from(param_u64(params, "n_cs", 0, 64)?).expect("bounded");
+    let default_dim = if quick {
+        4
+    } else {
+        CsConfig::default().rows as u64
+    };
+    let rows = param_u64(params, "rows", default_dim, 64)? as usize;
+    let cols = param_u64(params, "cols", default_dim, 64)? as usize;
+    let gb_kb = param_u64(
+        params,
+        "global_buffer_kb",
+        if quick { 64 } else { 0 },
+        1 << 20,
+    )?;
+    let activity_pct = param_f64(params, "activity_pct", -1.0, (0.1, 100.0)).or_else(|e| {
+        if field(params, "activity_pct").is_none() {
+            Ok(-1.0)
+        } else {
+            Err(e)
+        }
+    })?;
+
+    let mut cfg = if n_cs == 0 {
+        FlowConfig::baseline_2d()
+    } else {
+        FlowConfig::m3d(n_cs)
+    };
+    let mut cs = CsConfig {
+        rows,
+        cols,
+        ..CsConfig::default()
+    };
+    if gb_kb > 0 {
+        cs.global_buffer_kb = gb_kb;
+        cs.local_buffer_kb = cs.local_buffer_kb.min(gb_kb);
+    }
+    cfg = cfg.with_cs(cs);
+    if quick {
+        cfg = cfg.quick();
+    }
+    if activity_pct > 0.0 {
+        cfg.activity = activity_pct / 100.0;
+    }
+
+    let (report, fetch): (_, FlowFetch) = ctx
+        .flows
+        .run_report_coalesced(&cfg)
+        .map_err(CaseError::internal)?;
+    let r = &*report;
+    Ok(CaseOutcome {
+        result: obj(vec![
+            ("design", Value::Str(r.design.clone())),
+            ("cs_count", Value::U64(u64::from(r.cs_count))),
+            ("die_mm2", Value::F64(r.die_mm2)),
+            ("cell_count", Value::U64(r.cell_count as u64)),
+            ("wirelength_m", Value::F64(r.wirelength_m)),
+            ("signal_ilvs", Value::U64(r.signal_ilvs)),
+            ("critical_path_ns", Value::F64(r.critical_path_ns)),
+            ("timing_met", Value::Bool(r.timing_met)),
+            ("total_power_mw", Value::F64(r.total_power_mw)),
+            ("upper_tier_fraction", Value::F64(r.upper_tier_fraction)),
+        ]),
+        cache_hit: fetch.cache_hit,
+        coalesced: fetch.coalesced,
+    })
+}
+
+/// `tier_sweep` — Fig. 10d: EDP benefit vs interleaved tier pairs over
+/// ResNet-18. Parameters: `max_pairs`.
+fn run_tier_sweep(_ctx: &CaseCtx, quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
+    let default_pairs = if quick { 4 } else { 8 };
+    let max_pairs = u32::try_from(param_u64(params, "max_pairs", default_pairs, 16)?)
+        .expect("bounded")
+        .max(1);
+    let points = tier_sweep(
+        &BaselineAreas::case_study_64mb(),
+        &ChipParams::baseline_2d(),
+        &resnet_points(),
+        max_pairs,
+        None,
+    );
+    Ok(CaseOutcome::fresh(obj(vec![
+        ("max_pairs", Value::U64(u64::from(max_pairs))),
+        (
+            "points",
+            Value::Array(
+                points
+                    .iter()
+                    .map(|p| {
+                        obj(vec![
+                            ("tiers", Value::U64(u64::from(p.tiers))),
+                            ("n_cs", Value::U64(u64::from(p.n_cs))),
+                            ("edp_benefit", Value::F64(p.edp_benefit)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])))
+}
+
+/// `capacity_sweep` — Fig. 9: benefits vs baseline RRAM capacity.
+/// Parameters: `max_capacity_mb` (ladder steps up to it).
+fn run_capacity_sweep(
+    _ctx: &CaseCtx,
+    quick: bool,
+    params: &Value,
+) -> Result<CaseOutcome, CaseError> {
+    let cap = param_u64(params, "max_capacity_mb", if quick { 32 } else { 128 }, 512)?.max(12);
+    let ladder: Vec<u64> = [12u64, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512]
+        .into_iter()
+        .filter(|&mb| mb <= cap)
+        .collect();
+    let points = capacity_sweep(&Pdk::m3d_130nm(), &ladder, &models::resnet18())
+        .map_err(CaseError::internal)?;
+    Ok(CaseOutcome::fresh(obj(vec![(
+        "points",
+        Value::Array(
+            points
+                .iter()
+                .map(|p| {
+                    obj(vec![
+                        ("capacity_mb", Value::U64(p.capacity_mb)),
+                        ("n_cs", Value::U64(u64::from(p.n_cs))),
+                        ("speedup", Value::F64(p.speedup)),
+                        ("edp_benefit", Value::F64(p.edp_benefit)),
+                    ])
+                })
+                .collect(),
+        ),
+    )])))
+}
+
+/// `sensitivity` — seeded ±20 % Monte-Carlo robustness of the ResNet-18
+/// EDP benefit. Parameters: `samples`, `seed`.
+fn run_sensitivity(_ctx: &CaseCtx, quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
+    let samples = param_u64(params, "samples", if quick { 100 } else { 1000 }, 50_000)?.max(1);
+    let seed = param_u64(params, "seed", 2023, u64::MAX)?;
+    let r = edp_benefit_sensitivity(
+        &ChipParams::baseline_2d(),
+        &ChipParams::m3d(8),
+        &resnet_points(),
+        &Perturbation::twenty_percent(),
+        samples as usize,
+        seed,
+    )
+    .map_err(CaseError::internal)?;
+    Ok(CaseOutcome::fresh(obj(vec![
+        ("samples", Value::U64(r.samples as u64)),
+        ("seed", Value::U64(seed)),
+        ("nominal", Value::F64(r.nominal)),
+        ("mean", Value::F64(r.mean)),
+        ("std_dev", Value::F64(r.std_dev)),
+        ("p5", Value::F64(r.p5)),
+        ("p95", Value::F64(r.p95)),
+        ("min", Value::F64(r.min)),
+        ("max", Value::F64(r.max)),
+    ])))
+}
+
+/// `thermal_cap` — Obs. 10: RC-grid temperature rise vs stacked tier
+/// pairs through the shared [`ThermalCache`], against the eq. 17
+/// analytic cap. Parameters: `power_w`, `max_pairs`, `n_lat`,
+/// `budget_k`.
+fn run_thermal_cap(ctx: &CaseCtx, quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
+    let power_w = param_f64(params, "power_w", 5.0, (0.01, 500.0))?;
+    let max_pairs = u32::try_from(param_u64(
+        params,
+        "max_pairs",
+        if quick { 4 } else { 8 },
+        12,
+    )?)
+    .expect("bounded")
+    .max(1);
+    let n_lat = param_u64(params, "n_lat", if quick { 4 } else { 8 }, 64)?.max(2) as usize;
+    let budget_k = param_f64(params, "budget_k", 60.0, (1.0, 500.0))?;
+
+    let stack = LayerStack::m3d_130nm();
+    let die_mm2 = BaselineAreas::case_study_64mb().total_mm2();
+    let solver = SolverConfig::default();
+    let mut rows = Vec::new();
+    let mut cache_hit = true;
+    let mut grid_cap = 0u32;
+    let mut capped = false;
+    for tiers in 1..=max_pairs {
+        let grid = GridConfig::from_stack(&stack, die_mm2, n_lat, n_lat, tiers, 1.0, budget_k)
+            .map_err(CaseError::internal)?;
+        let before = ctx.thermals.stats().hits;
+        let sol = ctx
+            .thermals
+            .solve(&grid, &PowerMap::uniform(&grid, power_w), &solver)
+            .map_err(CaseError::internal)?;
+        cache_hit &= ctx.thermals.stats().hits > before;
+        let rise_eq17 = ThermalModel::conventional(power_w).temperature_rise(tiers);
+        if sol.peak_rise_k <= budget_k && !capped {
+            grid_cap = tiers;
+        } else {
+            capped = true;
+        }
+        rows.push(obj(vec![
+            ("tiers", Value::U64(u64::from(tiers))),
+            ("rise_grid_k", Value::F64(sol.peak_rise_k)),
+            ("rise_eq17_k", Value::F64(rise_eq17)),
+        ]));
+    }
+    let eq17_cap = ThermalModel::conventional(power_w)
+        .max_tiers()
+        .map_or(Value::Null, |c| Value::U64(u64::from(c)));
+    Ok(CaseOutcome {
+        result: obj(vec![
+            ("power_w", Value::F64(power_w)),
+            ("budget_k", Value::F64(budget_k)),
+            ("cap_grid", Value::U64(u64::from(grid_cap))),
+            ("cap_eq17", eq17_cap),
+            ("rises", Value::Array(rows)),
+        ]),
+        cache_hit,
+        coalesced: false,
+    })
+}
+
+/// `sleep` — stalls a worker for `ms` milliseconds (bounded). Exists so
+/// load generators and the backpressure tests can occupy the service
+/// deterministically; `tag` distinguishes otherwise-identical requests.
+fn run_sleep(_ctx: &CaseCtx, _quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
+    let ms = param_u64(params, "ms", 10, 5_000)?;
+    let tag = param_u64(params, "tag", 0, u64::MAX)?;
+    std::thread::sleep(std::time::Duration::from_millis(ms));
+    Ok(CaseOutcome::fresh(obj(vec![
+        ("slept_ms", Value::U64(ms)),
+        ("tag", Value::U64(tag)),
+    ])))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_caches() -> (FlowCache, ThermalCache) {
+        (FlowCache::new(), ThermalCache::new())
+    }
+
+    fn run(name: &str, quick: bool, params: Value) -> Result<CaseOutcome, CaseError> {
+        let (flows, thermals) = ctx_caches();
+        let ctx = CaseCtx {
+            flows: &flows,
+            thermals: &thermals,
+        };
+        (find(name).expect("registered").run)(&ctx, quick, &params)
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_findable() {
+        let names: Vec<&str> = registry().iter().map(|c| c.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        for n in names {
+            assert!(find(n).is_some());
+        }
+        assert!(find("no_such_case").is_none());
+    }
+
+    #[test]
+    fn tier_sweep_returns_requested_pairs() {
+        let out = run("tier_sweep", true, Value::Null).unwrap();
+        let points = out.result.get("points").unwrap().as_array().unwrap();
+        assert_eq!(points.len(), 4, "quick default max_pairs");
+        assert!(points[0].get("edp_benefit").unwrap().as_f64().unwrap() > 1.0);
+    }
+
+    #[test]
+    fn identical_params_produce_identical_payload_bytes() {
+        let a = run("sensitivity", true, Value::Null).unwrap();
+        let b = run("sensitivity", true, Value::Null).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a.result).unwrap(),
+            serde_json::to_string(&b.result).unwrap()
+        );
+    }
+
+    #[test]
+    fn bad_parameters_are_rejected_not_crashed() {
+        let err = run(
+            "thermal_cap",
+            true,
+            obj(vec![("power_w", Value::F64(-3.0))]),
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 400);
+        let err = run("sleep", true, obj(vec![("ms", Value::Str("long".into()))])).unwrap_err();
+        assert_eq!(err.code, 400);
+    }
+
+    #[test]
+    fn thermal_cap_shares_the_cache() {
+        let (flows, thermals) = ctx_caches();
+        let ctx = CaseCtx {
+            flows: &flows,
+            thermals: &thermals,
+        };
+        let spec = find("thermal_cap").unwrap();
+        let first = (spec.run)(&ctx, true, &Value::Null).unwrap();
+        assert!(!first.cache_hit);
+        let second = (spec.run)(&ctx, true, &Value::Null).unwrap();
+        assert!(second.cache_hit, "every solve replayed from the memo");
+        assert_eq!(first.result, second.result);
+    }
+
+    #[test]
+    fn pd_flow_uses_the_flow_cache() {
+        let (flows, thermals) = ctx_caches();
+        let ctx = CaseCtx {
+            flows: &flows,
+            thermals: &thermals,
+        };
+        let spec = find("pd_flow").unwrap();
+        let first = (spec.run)(&ctx, true, &Value::Null).unwrap();
+        let second = (spec.run)(&ctx, true, &Value::Null).unwrap();
+        assert!(!first.cache_hit && second.cache_hit);
+        assert_eq!(flows.stats().misses, 1);
+        assert_eq!(first.result, second.result);
+        // Structurally different parameters miss.
+        let other = (spec.run)(&ctx, true, &obj(vec![("activity_pct", Value::F64(31.0))])).unwrap();
+        assert!(!other.cache_hit);
+        assert_ne!(other.result, first.result);
+    }
+}

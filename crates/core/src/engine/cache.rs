@@ -33,6 +33,7 @@ use std::sync::{Arc, Mutex};
 use m3d_pd::{FlowArtifacts, FlowConfig, FlowReport, Rtl2GdsFlow};
 use serde::{Deserialize, Serialize};
 
+use crate::engine::inflight::{Flight, InFlight};
 use crate::error::CoreResult;
 
 /// Hit/miss counters of a [`FlowCache`], serialised into the
@@ -60,10 +61,23 @@ pub struct CacheStats {
 pub struct FlowCache {
     entries: Mutex<HashMap<u64, Arc<(FlowReport, FlowArtifacts)>>>,
     reports: Mutex<HashMap<u64, Arc<FlowReport>>>,
+    inflight: InFlight<(Arc<FlowReport>, bool)>,
     disk_dir: Option<PathBuf>,
     hits: AtomicU64,
     misses: AtomicU64,
     disk_hits: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+/// How a [`FlowCache::run_report_coalesced`] lookup was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FlowFetch {
+    /// The result came from the memo (memory or disk) rather than a
+    /// fresh flow run started by *some* caller.
+    pub cache_hit: bool,
+    /// This caller joined another caller's in-flight run of the same
+    /// configuration instead of starting its own.
+    pub coalesced: bool,
 }
 
 impl FlowCache {
@@ -212,6 +226,65 @@ impl FlowCache {
         Ok((stored.expect("run_traced populates the report map"), false))
     }
 
+    /// Like [`FlowCache::run_report_traced`] with *single-flight*
+    /// semantics on top: when several threads ask for the same uncached
+    /// configuration at once, exactly one runs the flow and the rest
+    /// block until it publishes, then share the result. This is the
+    /// entry point the experiment service uses — N concurrent clients
+    /// requesting the same configuration trigger one flow run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flow failures of this caller's own run; a failed
+    /// leader never contaminates its followers (they retry).
+    pub fn run_report_coalesced(
+        &self,
+        cfg: &FlowConfig,
+    ) -> CoreResult<(Arc<FlowReport>, FlowFetch)> {
+        let key = cfg.stable_key();
+        // Fast path: already memoised (memory). Counted as a hit by
+        // run_report_traced below would double-lock, so check here.
+        if let Some(hit) = self.reports.lock().unwrap().get(&key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((
+                hit,
+                FlowFetch {
+                    cache_hit: true,
+                    coalesced: false,
+                },
+            ));
+        }
+        let (value, flight) = self
+            .inflight
+            .run(key, None, || self.run_report_traced(cfg))?;
+        let (report, leader_hit) = value.expect("no deadline, so never TimedOut");
+        if flight == Flight::Joined {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            return Ok((
+                report,
+                FlowFetch {
+                    cache_hit: false,
+                    coalesced: true,
+                },
+            ));
+        }
+        // The leader may still have been served from the disk store
+        // (another process computed it) — run_report_traced reports
+        // that as a hit.
+        Ok((
+            report,
+            FlowFetch {
+                cache_hit: leader_hit,
+                coalesced: false,
+            },
+        ))
+    }
+
+    /// Calls answered by joining another thread's in-flight flow run.
+    pub fn coalesced_count(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
     /// Cached configuration count (full in-memory entries).
     pub fn len(&self) -> usize {
         self.entries.lock().unwrap().len()
@@ -307,6 +380,51 @@ mod tests {
                 disk_hits: 0
             }
         );
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FlowCache>();
+        assert_send_sync::<std::sync::Arc<FlowCache>>();
+    }
+
+    #[test]
+    fn concurrent_identical_configs_run_one_flow() {
+        use std::sync::Barrier;
+        let cache = FlowCache::new();
+        let cfg = quick_cfg();
+        let gate = Barrier::new(4);
+        let fetches: Vec<FlowFetch> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        gate.wait();
+                        let (_, fetch) = cache.run_report_coalesced(&cfg).unwrap();
+                        fetch
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Exactly one flow executed; everyone else joined it or (in a
+        // rare interleaving) hit the memo it had just populated.
+        assert_eq!(cache.stats().misses, 1, "one flow run for 4 callers");
+        assert_eq!(
+            fetches
+                .iter()
+                .filter(|f| !f.cache_hit && !f.coalesced)
+                .count(),
+            1,
+            "exactly one leader computed"
+        );
+        assert_eq!(
+            cache.coalesced_count(),
+            fetches.iter().filter(|f| f.coalesced).count() as u64
+        );
+        // A later identical request is a plain cache hit.
+        let (_, fetch) = cache.run_report_coalesced(&cfg).unwrap();
+        assert!(fetch.cache_hit && !fetch.coalesced);
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! Single-flight deduplication of concurrent identical computations.
+//!
+//! Caches answer *repeated* lookups; [`InFlight`] answers *simultaneous*
+//! ones. When N threads ask for the same content key at once, exactly one
+//! (the *leader*) runs the computation while the rest (the *followers*)
+//! block on a condition variable and receive a clone of the leader's
+//! result. The experiment service builds its request coalescing on this —
+//! N concurrent clients asking for the same flow trigger one flow run —
+//! and [`crate::engine::FlowCache::run_report_coalesced`] wires it under
+//! the flow cache.
+//!
+//! Failure does not poison a key: a leader whose computation errors
+//! reports the error to its own caller only, and waiting followers retry
+//! (one of them becoming the next leader). Errors are therefore never
+//! shared, matching the cache-layer policy that errors are not cached.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// How an [`InFlight::run`] call obtained its value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flight {
+    /// This caller was the leader: it executed the computation.
+    Led,
+    /// This caller joined an in-flight leader and received a clone of
+    /// the leader's result without computing anything.
+    Joined,
+    /// The deadline expired while waiting on an in-flight leader. The
+    /// computation itself was *not* cancelled; it keeps running for the
+    /// leader's benefit.
+    TimedOut,
+}
+
+/// Publication state of one in-flight key.
+enum SlotState<V> {
+    Running,
+    Done(V),
+    Failed,
+}
+
+struct Slot<V> {
+    state: Mutex<SlotState<V>>,
+    cv: Condvar,
+}
+
+/// A keyed single-flight map: concurrent [`InFlight::run`] calls with
+/// equal keys execute the closure exactly once.
+///
+/// `V` must be `Clone` (followers receive copies); in practice callers
+/// share `Arc`ed results, making the clone free.
+pub struct InFlight<V> {
+    slots: Mutex<HashMap<u64, Arc<Slot<V>>>>,
+    joined: AtomicU64,
+}
+
+// Manual impl: the derived one would needlessly require `V: Default`.
+impl<V> Default for InFlight<V> {
+    fn default() -> Self {
+        Self {
+            slots: Mutex::new(HashMap::new()),
+            joined: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<V> std::fmt::Debug for InFlight<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InFlight")
+            .field("joined", &self.joined.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl<V: Clone> InFlight<V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self {
+            slots: Mutex::new(HashMap::new()),
+            joined: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of calls that were answered by joining another caller's
+    /// in-flight computation since construction.
+    pub fn joined_count(&self) -> u64 {
+        self.joined.load(Ordering::Relaxed)
+    }
+
+    /// Runs `compute` under single-flight semantics for `key`.
+    ///
+    /// The first caller for a not-in-flight key becomes the leader and
+    /// executes `compute`; callers arriving while it runs block and are
+    /// handed a clone of the result ([`Flight::Joined`]). With a
+    /// `deadline`, a *follower* that is still waiting when it passes
+    /// returns `Ok((None, Flight::TimedOut))` — leaders are never
+    /// interrupted.
+    ///
+    /// # Errors
+    ///
+    /// A leader's computation error propagates to the leader's caller
+    /// alone; followers retry leadership instead of observing it.
+    pub fn run<E>(
+        &self,
+        key: u64,
+        deadline: Option<Instant>,
+        compute: impl FnOnce() -> Result<V, E>,
+    ) -> Result<(Option<V>, Flight), E> {
+        let mut compute = Some(compute);
+        loop {
+            let slot = {
+                let mut slots = self.slots.lock().expect("inflight map poisoned");
+                match slots.get(&key) {
+                    Some(existing) => Arc::clone(existing),
+                    None => {
+                        let fresh = Arc::new(Slot {
+                            state: Mutex::new(SlotState::Running),
+                            cv: Condvar::new(),
+                        });
+                        slots.insert(key, Arc::clone(&fresh));
+                        drop(slots);
+                        // Leader path: compute outside every lock.
+                        let outcome = (compute.take().expect("leader runs once"))();
+                        let mut state = fresh.state.lock().expect("slot poisoned");
+                        let result = match outcome {
+                            Ok(v) => {
+                                *state = SlotState::Done(v.clone());
+                                Ok((Some(v), Flight::Led))
+                            }
+                            Err(e) => {
+                                *state = SlotState::Failed;
+                                Err(e)
+                            }
+                        };
+                        drop(state);
+                        fresh.cv.notify_all();
+                        // Retire the key so later callers start fresh;
+                        // current followers still hold the Arc and read
+                        // the published state.
+                        self.slots
+                            .lock()
+                            .expect("inflight map poisoned")
+                            .remove(&key);
+                        return result;
+                    }
+                }
+            };
+            // Follower path: wait for the leader to publish.
+            let mut state = slot.state.lock().expect("slot poisoned");
+            loop {
+                match &*state {
+                    SlotState::Done(v) => {
+                        self.joined.fetch_add(1, Ordering::Relaxed);
+                        return Ok((Some(v.clone()), Flight::Joined));
+                    }
+                    SlotState::Failed => break, // retry leadership
+                    SlotState::Running => match deadline {
+                        Some(d) => {
+                            let now = Instant::now();
+                            if now >= d {
+                                return Ok((None, Flight::TimedOut));
+                            }
+                            let (s, timeout) =
+                                slot.cv.wait_timeout(state, d - now).expect("slot poisoned");
+                            state = s;
+                            if timeout.timed_out() && matches!(&*state, SlotState::Running) {
+                                return Ok((None, Flight::TimedOut));
+                            }
+                        }
+                        None => state = slot.cv.wait(state).expect("slot poisoned"),
+                    },
+                }
+            }
+            // The leader failed: yield it a beat to retire the key, then
+            // race for leadership. The caller that wins recomputes;
+            // errors stay un-shared.
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+    use std::time::Duration;
+
+    #[test]
+    fn concurrent_identical_keys_compute_once() {
+        let inflight = InFlight::<u32>::new();
+        let runs = AtomicUsize::new(0);
+        let gate = Barrier::new(8);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| {
+                        gate.wait();
+                        inflight.run::<()>(42, None, || {
+                            runs.fetch_add(1, Ordering::SeqCst);
+                            // Hold leadership long enough for followers
+                            // to pile up.
+                            std::thread::sleep(Duration::from_millis(30));
+                            Ok(7)
+                        })
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (v, _) = h.join().unwrap().unwrap();
+                assert_eq!(v, Some(7));
+            }
+        });
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "exactly one leader ran");
+        assert_eq!(inflight.joined_count(), 7);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let inflight = InFlight::<u64>::new();
+        let (a, fa) = inflight.run::<()>(1, None, || Ok(10)).unwrap();
+        let (b, fb) = inflight.run::<()>(2, None, || Ok(20)).unwrap();
+        assert_eq!((a, b), (Some(10), Some(20)));
+        assert_eq!((fa, fb), (Flight::Led, Flight::Led));
+        assert_eq!(inflight.joined_count(), 0);
+    }
+
+    #[test]
+    fn sequential_calls_re_run_after_retirement() {
+        let inflight = InFlight::<u32>::new();
+        let runs = AtomicUsize::new(0);
+        for _ in 0..3 {
+            let (v, f) = inflight
+                .run::<()>(9, None, || {
+                    runs.fetch_add(1, Ordering::SeqCst);
+                    Ok(1)
+                })
+                .unwrap();
+            assert_eq!((v, f), (Some(1), Flight::Led));
+        }
+        assert_eq!(
+            runs.load(Ordering::SeqCst),
+            3,
+            "single-flight is not a cache: retired keys recompute"
+        );
+    }
+
+    #[test]
+    fn leader_errors_propagate_to_leader_only() {
+        let inflight = InFlight::<u32>::new();
+        let err = inflight.run(5, None, || Err::<u32, &str>("boom"));
+        assert_eq!(err.unwrap_err(), "boom");
+        // The key retired; the next caller computes fresh.
+        let (v, f) = inflight.run::<()>(5, None, || Ok(3)).unwrap();
+        assert_eq!((v, f), (Some(3), Flight::Led));
+    }
+
+    #[test]
+    fn follower_deadline_times_out_without_cancelling_the_leader() {
+        let inflight = InFlight::<u32>::new();
+        let gate = Barrier::new(2);
+        std::thread::scope(|s| {
+            let leader = s.spawn(|| {
+                inflight.run::<()>(1, None, || {
+                    gate.wait();
+                    std::thread::sleep(Duration::from_millis(120));
+                    Ok(11)
+                })
+            });
+            gate.wait();
+            // Leader holds the key; an impatient follower gives up.
+            let deadline = Instant::now() + Duration::from_millis(10);
+            let (v, f) = inflight.run::<()>(1, Some(deadline), || Ok(99)).unwrap();
+            assert_eq!(v, None);
+            assert_eq!(f, Flight::TimedOut);
+            let (lv, lf) = leader.join().unwrap().unwrap();
+            assert_eq!((lv, lf), (Some(11), Flight::Led));
+        });
+    }
+}

@@ -16,6 +16,10 @@
 //!   [`m3d_pd::FlowConfig`], so iso-footprint experiments that re-run the
 //!   2D baseline pay for it once — optionally backed by an on-disk
 //!   report store (`M3D_CACHE_DIR`) shared across CLI invocations;
+//! * [`inflight`] — a single-flight dedup map coalescing *concurrent*
+//!   identical computations (the cache handles *repeated* ones); the
+//!   experiment service (`m3d-serve`) runs its request coalescing and
+//!   [`cache::FlowCache::run_report_coalesced`] on it;
 //! * [`parallel`] — a scoped-thread sweep executor ([`parallel::par_map`])
 //!   that fans independent design points across cores, honouring the
 //!   `M3D_JOBS` environment variable, with output ordering (and therefore
@@ -24,11 +28,13 @@
 //!   the bench binaries' `--json` flag, byte-reproducible across runs.
 
 pub mod cache;
+pub mod inflight;
 pub mod parallel;
 pub mod report;
 pub mod stage;
 
-pub use cache::{CacheStats, FlowCache};
+pub use cache::{CacheStats, FlowCache, FlowFetch};
+pub use inflight::{Flight, InFlight};
 pub use parallel::{jobs, par_map, par_map_jobs};
 pub use report::{ExperimentReport, StageRecord};
 pub use stage::{Pipeline, Stage, StageTiming};

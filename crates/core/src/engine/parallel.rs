@@ -3,15 +3,24 @@
 //!
 //! Sweeps (the Fig. 8 bandwidth × CS grid, the Fig. 9 capacity ladder,
 //! Monte-Carlo sensitivity samples) evaluate many independent points.
-//! [`par_map`] distributes them over `std::thread::scope` workers pulling
-//! from a shared atomic cursor, then reassembles results **by input
-//! index** — so the output is identical, element for element, whatever
-//! the worker count. `M3D_JOBS=1` therefore reproduces the parallel
-//! output byte for byte (the determinism regression test relies on it).
+//! [`par_map`] distributes them over `std::thread::scope` workers
+//! claiming **chunks** from a shared atomic cursor, then reassembles
+//! results **by input index** — so the output is identical, element for
+//! element, whatever the worker count. `M3D_JOBS=1` therefore reproduces
+//! the parallel output byte for byte (the determinism regression test
+//! relies on it).
+//!
+//! Chunked claiming is what makes fine-grained items profitable: a
+//! worker grabs a run of adjacent indices per cursor operation (a
+//! guided-scheduling fraction of the remaining work, shrinking toward 1
+//! as the sweep drains), so thousands of sub-ms items — the thermal
+//! solver's red-black half-sweep rows, for instance — cost a handful of
+//! compare-exchanges instead of one contended `fetch_add` each, while
+//! the tail still load-balances item by item. Which worker computes
+//! which index never affects the result, only the schedule.
 //!
 //! No external thread-pool crate is used; plain scoped threads are
-//! enough because every sweep item is coarse-grained (a flow run, a
-//! workload evaluation).
+//! enough once claiming is this cheap.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -42,10 +51,29 @@ where
     par_map_jobs(jobs(), items, f)
 }
 
-/// Maps `f` over `items` on `jobs` scoped worker threads.
+/// Claims the next chunk `[start, end)` of `n` items from `cursor`,
+/// guided-schedule style: a `1/(4·jobs)` fraction of the remaining work,
+/// at least one item. Returns `None` once the sweep is drained.
+fn claim_chunk(cursor: &AtomicUsize, n: usize, jobs: usize) -> Option<(usize, usize)> {
+    let mut start = cursor.load(Ordering::Relaxed);
+    loop {
+        if start >= n {
+            return None;
+        }
+        let chunk = ((n - start) / (4 * jobs)).max(1);
+        let end = start + chunk;
+        match cursor.compare_exchange_weak(start, end, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return Some((start, end)),
+            Err(actual) => start = actual,
+        }
+    }
+}
+
+/// Maps `f` over `items` on `jobs` scoped worker threads with chunked
+/// work stealing.
 ///
 /// Results are returned in input order regardless of which worker
-/// computed which item; `jobs == 1` (or a single item) degenerates to a
+/// computed which chunk; `jobs == 1` (or a single item) degenerates to a
 /// plain serial map on the calling thread.
 ///
 /// # Panics
@@ -71,12 +99,10 @@ where
             .map(|_| {
                 scope.spawn(move || {
                     let mut out = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
+                    while let Some((start, end)) = claim_chunk(cursor, n, jobs) {
+                        for i in start..end {
+                            out.push((i, f(&items[i])));
                         }
-                        out.push((i, f(&items[i])));
                     }
                     out
                 })
@@ -129,6 +155,45 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(1));
         });
         assert!(seen.lock().unwrap().len() > 1, "expected >1 worker thread");
+    }
+
+    #[test]
+    fn chunk_claims_partition_the_range_exactly() {
+        let n = 1000;
+        let jobs = 8;
+        let cursor = AtomicUsize::new(0);
+        let mut seen = vec![false; n];
+        let mut last_chunk = usize::MAX;
+        while let Some((start, end)) = claim_chunk(&cursor, n, jobs) {
+            assert!(start < end && end <= n);
+            // Guided scheduling: chunks never grow as the sweep drains.
+            assert!(end - start <= last_chunk.max(1));
+            last_chunk = end - start;
+            for s in &mut seen[start..end] {
+                assert!(!*s, "index claimed twice");
+                *s = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every index claimed");
+        // The first claim of 1000 items on 8 jobs is a 31-item run, not
+        // a single index — the point of chunking.
+        assert_eq!(1000 / 32, 31);
+    }
+
+    #[test]
+    fn fine_grained_items_produce_identical_results() {
+        // Thousands of sub-µs items — the shape chunking exists for.
+        let items: Vec<u64> = (0..10_000).collect();
+        let expect: Vec<u64> = items
+            .iter()
+            .map(|x| x.wrapping_mul(31).rotate_left(7))
+            .collect();
+        for jobs in [2, 5, 16] {
+            assert_eq!(
+                par_map_jobs(jobs, &items, |x| x.wrapping_mul(31).rotate_left(7)),
+                expect
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,360 @@
+//! `m3d-loadgen` — closed-loop load generator for `m3d-serve`.
+//!
+//! ```text
+//! m3d-loadgen --addr HOST:PORT [--clients N] [--requests M]
+//!             [--mix cold|repeated|flow|sleep|mixed] [--timeout-ms T]
+//!             [--json PATH] [--expect-computed K] [--shutdown]
+//! ```
+//!
+//! Spawns `N` concurrent client connections, each sending `M` requests
+//! of the chosen mix and waiting for every response (closed loop). The
+//! `--json` artifact contains only *deterministic* fields — request
+//! counts, how many requests actually executed vs were served from
+//! cache/coalescing, and an FNV digest of every distinct result
+//! payload — so two runs against equivalent servers diff clean,
+//! whatever the timing. Throughput and latency percentiles go to
+//! stderr.
+//!
+//! Mixes (all deterministic in the request stream they produce):
+//!
+//! * `cold` — every request a distinct `sensitivity` seed: all compute.
+//! * `repeated` — all clients send one identical `sensitivity`
+//!   request: exactly one computes, the rest coalesce or hit cache.
+//! * `flow` — `pd_flow` requests cycling 4 distinct activity factors.
+//! * `sleep` — distinct-tag diagnostic stalls (queue/backpressure
+//!   exercise).
+//! * `mixed` — alternates `cold`- and `repeated`-style requests.
+//!
+//! `--expect-computed K` exits non-zero unless exactly `K` requests
+//! report `cached == coalesced == false` — the scripted regression gate
+//! for request deduplication.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use m3d_serve::protocol::{Request, Response};
+use m3d_serve::LatencySummary;
+use m3d_tech::{StableHash, StableHasher};
+use serde::Value;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: m3d-loadgen --addr HOST:PORT [--clients N] [--requests M] \
+         [--mix cold|repeated|flow|sleep|mixed] [--timeout-ms T] [--json PATH] \
+         [--expect-computed K] [--shutdown]"
+    );
+    std::process::exit(2);
+}
+
+#[derive(Clone)]
+struct Args {
+    addr: String,
+    clients: usize,
+    requests: usize,
+    mix: String,
+    timeout_ms: Option<u64>,
+    json: Option<String>,
+    expect_computed: Option<u64>,
+    shutdown: bool,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        addr: String::new(),
+        clients: 4,
+        requests: 4,
+        mix: "cold".to_owned(),
+        timeout_ms: None,
+        json: None,
+        expect_computed: None,
+        shutdown: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut grab = |what: &str| match args.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("error: {what} requires a value");
+                usage();
+            }
+        };
+        match a.as_str() {
+            "--addr" => out.addr = grab("--addr"),
+            "--clients" => out.clients = grab("--clients").parse().unwrap_or_else(|_| usage()),
+            "--requests" => out.requests = grab("--requests").parse().unwrap_or_else(|_| usage()),
+            "--mix" => out.mix = grab("--mix"),
+            "--timeout-ms" => {
+                out.timeout_ms = Some(grab("--timeout-ms").parse().unwrap_or_else(|_| usage()));
+            }
+            "--json" => out.json = Some(grab("--json")),
+            "--expect-computed" => {
+                out.expect_computed = Some(
+                    grab("--expect-computed")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                );
+            }
+            "--shutdown" => out.shutdown = true,
+            _ => usage(),
+        }
+    }
+    if out.addr.is_empty() {
+        eprintln!("error: --addr is required");
+        usage();
+    }
+    if !matches!(
+        out.mix.as_str(),
+        "cold" | "repeated" | "flow" | "sleep" | "mixed"
+    ) {
+        eprintln!("error: unknown mix `{}`", out.mix);
+        usage();
+    }
+    out
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+/// The deterministic request a (mix, global index) pair maps to.
+fn request_for(mix: &str, global: u64) -> Request {
+    let cold = |g: u64| {
+        Request::new(
+            g,
+            "sensitivity",
+            obj(vec![
+                ("samples", Value::U64(400)),
+                ("seed", Value::U64(1_000 + g)),
+            ]),
+        )
+    };
+    let repeated = |g: u64| {
+        Request::new(
+            g,
+            "sensitivity",
+            obj(vec![("samples", Value::U64(400)), ("seed", Value::U64(7))]),
+        )
+    };
+    match mix {
+        "cold" => cold(global),
+        "repeated" => repeated(global),
+        "flow" => Request::new(
+            global,
+            "pd_flow",
+            obj(vec![(
+                "activity_pct",
+                Value::F64(5.0 + (global % 4) as f64),
+            )]),
+        ),
+        "sleep" => Request::new(
+            global,
+            "sleep",
+            obj(vec![("ms", Value::U64(20)), ("tag", Value::U64(global))]),
+        ),
+        "mixed" => {
+            if global % 2 == 0 {
+                cold(global)
+            } else {
+                repeated(global)
+            }
+        }
+        _ => unreachable!("mix validated at parse"),
+    }
+}
+
+/// Per-client tallies, merged after the run.
+#[derive(Default)]
+struct Tally {
+    sent: u64,
+    ok: u64,
+    rejected: u64,
+    timed_out: u64,
+    errors: u64,
+    computed: u64,
+    reused: u64,
+    latencies_us: Vec<u64>,
+    /// key hex → FNV digest of the serialised result payload.
+    payloads: BTreeMap<String, String>,
+}
+
+impl Tally {
+    fn merge(&mut self, other: Tally) {
+        self.sent += other.sent;
+        self.ok += other.ok;
+        self.rejected += other.rejected;
+        self.timed_out += other.timed_out;
+        self.errors += other.errors;
+        self.computed += other.computed;
+        self.reused += other.reused;
+        self.latencies_us.extend(other.latencies_us);
+        for (k, v) in other.payloads {
+            self.payloads.insert(k, v);
+        }
+    }
+}
+
+fn run_client(args: &Args, client: usize) -> std::io::Result<Tally> {
+    let mut tally = Tally::default();
+    let stream = TcpStream::connect(&args.addr)?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    for i in 0..args.requests {
+        let global = (client * args.requests + i) as u64;
+        let mut req = request_for(&args.mix, global);
+        req.timeout_ms = args.timeout_ms;
+        let start = Instant::now();
+        writer.write_all(req.to_line().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-request",
+            ));
+        }
+        let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        tally.sent += 1;
+        tally.latencies_us.push(us);
+        match Response::parse(line.trim()) {
+            Ok(Response::Ok {
+                key,
+                cached,
+                coalesced,
+                result,
+                ..
+            }) => {
+                tally.ok += 1;
+                if cached || coalesced {
+                    tally.reused += 1;
+                } else {
+                    tally.computed += 1;
+                }
+                let bytes = serde_json::to_string(&result).expect("result serialises");
+                let mut h = StableHasher::new();
+                bytes.stable_hash(&mut h);
+                tally.payloads.insert(key, format!("{:016x}", h.finish()));
+            }
+            Ok(Response::Err { status: 429, .. }) => tally.rejected += 1,
+            Ok(Response::Err { status: 503, .. }) => tally.rejected += 1,
+            Ok(Response::Err { status: 408, .. }) => tally.timed_out += 1,
+            Ok(Response::Err { .. }) | Err(_) => tally.errors += 1,
+        }
+    }
+    Ok(tally)
+}
+
+fn send_shutdown(addr: &str) -> std::io::Result<bool> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    writer.write_all(br#"{"case":"shutdown"}"#)?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    Ok(matches!(Response::parse(line.trim()), Ok(r) if r.status() == 200))
+}
+
+fn main() -> std::io::Result<()> {
+    let args = parse_args();
+    let wall = Instant::now();
+    let mut total = Tally::default();
+    if args.clients > 0 && args.requests > 0 {
+        let tallies: Vec<std::io::Result<Tally>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..args.clients)
+                .map(|c| {
+                    let args = &args;
+                    s.spawn(move || run_client(args, c))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread panicked"))
+                .collect()
+        });
+        for t in tallies {
+            total.merge(t?);
+        }
+    }
+    let wall_s = wall.elapsed().as_secs_f64();
+
+    if args.shutdown {
+        let ok = send_shutdown(&args.addr)?;
+        eprintln!("# shutdown request acknowledged: {ok}");
+    }
+
+    let lat = LatencySummary::of(&total.latencies_us);
+    let throughput = if wall_s > 0.0 {
+        total.ok as f64 / wall_s
+    } else {
+        0.0
+    };
+    eprintln!(
+        "# mix {} — {} clients x {} requests in {:.0} ms: {:.1} req/s ok, \
+         p50 {} us, p95 {} us, p99 {} us, max {} us",
+        args.mix,
+        args.clients,
+        args.requests,
+        wall_s * 1.0e3,
+        throughput,
+        lat.p50_us,
+        lat.p95_us,
+        lat.p99_us,
+        lat.max_us
+    );
+    eprintln!(
+        "# computed {} / reused {} (cache-hit rate {:.0} %)",
+        total.computed,
+        total.reused,
+        if total.ok > 0 {
+            100.0 * total.reused as f64 / total.ok as f64
+        } else {
+            0.0
+        }
+    );
+
+    // Deterministic artifact: identical request streams against
+    // equivalent servers produce byte-identical JSON, whatever the
+    // worker count or timing.
+    let payloads = Value::Object(
+        total
+            .payloads
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+            .collect(),
+    );
+    let checks = obj(vec![
+        ("mix", Value::Str(args.mix.clone())),
+        ("clients", Value::U64(args.clients as u64)),
+        ("requests", Value::U64(args.requests as u64)),
+        ("sent", Value::U64(total.sent)),
+        ("ok", Value::U64(total.ok)),
+        ("rejected", Value::U64(total.rejected)),
+        ("timed_out", Value::U64(total.timed_out)),
+        ("errors", Value::U64(total.errors)),
+        ("computed", Value::U64(total.computed)),
+        ("reused", Value::U64(total.reused)),
+        ("payload_fnv", payloads),
+    ]);
+    let rendered = serde_json::to_string_pretty(&checks).expect("checks serialise");
+    println!("{rendered}");
+    if let Some(path) = &args.json {
+        std::fs::write(path, format!("{rendered}\n"))?;
+    }
+
+    if let Some(expect) = args.expect_computed {
+        if total.computed != expect {
+            eprintln!(
+                "error: expected exactly {expect} computed request(s), observed {}",
+                total.computed
+            );
+            std::process::exit(3);
+        }
+    }
+    Ok(())
+}

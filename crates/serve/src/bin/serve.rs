@@ -1,0 +1,73 @@
+//! `m3d-serve` — the experiment service daemon.
+//!
+//! ```text
+//! m3d-serve [--addr 127.0.0.1:7733] [--workers N] [--queue-depth D]
+//!           [--timeout-ms T]
+//! ```
+//!
+//! Prints a single `{"listening":"host:port"}` line to stdout once the
+//! socket is bound (with the ephemeral port resolved when `--addr`
+//! ends in `:0`), then serves until a `{"case":"shutdown"}` request
+//! arrives, drains queued work, and exits 0.
+
+use m3d_serve::{serve, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: m3d-serve [--addr HOST:PORT] [--workers N] [--queue-depth D] [--timeout-ms T]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_config() -> ServerConfig {
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:7733".to_owned(),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut grab = |what: &str| match args.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("error: {what} requires a value");
+                usage();
+            }
+        };
+        match a.as_str() {
+            "--addr" => cfg.addr = grab("--addr"),
+            "--workers" => match grab("--workers").parse() {
+                Ok(n) if n > 0 => cfg.workers = n,
+                _ => usage(),
+            },
+            "--queue-depth" => match grab("--queue-depth").parse() {
+                Ok(n) if n > 0 => cfg.queue_depth = n,
+                _ => usage(),
+            },
+            "--timeout-ms" => match grab("--timeout-ms").parse() {
+                Ok(n) if n > 0 => cfg.default_timeout_ms = n,
+                _ => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    cfg
+}
+
+fn main() -> std::io::Result<()> {
+    let cfg = parse_config();
+    let handle = serve(&cfg)?;
+    // The machine-readable bind announcement scripts key off.
+    println!("{{\"listening\":\"{}\"}}", handle.addr());
+    use std::io::Write;
+    std::io::stdout().flush()?;
+    eprintln!(
+        "# m3d-serve on {} — {} workers, queue depth {}, default timeout {} ms",
+        handle.addr(),
+        cfg.workers,
+        cfg.queue_depth,
+        cfg.default_timeout_ms
+    );
+    handle.wait();
+    eprintln!("# m3d-serve drained and stopped");
+    Ok(())
+}

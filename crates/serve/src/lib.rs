@@ -1,0 +1,38 @@
+//! # m3d-serve — the concurrent experiment service
+//!
+//! Serves every `m3d_bench::registry` experiment case over a
+//! newline-delimited-JSON TCP protocol, std-only (no async runtime, no
+//! external networking crates):
+//!
+//! * **Shared caches** — one process-wide
+//!   [`m3d_core::engine::FlowCache`] (disk-backed via `M3D_CACHE_DIR`)
+//!   and [`m3d_thermal::ThermalCache`] behind all workers, plus a
+//!   response cache keyed by request content, so repeated work replays
+//!   instead of recomputing.
+//! * **Request coalescing** — concurrent identical requests
+//!   single-flight onto one execution
+//!   ([`m3d_core::engine::InFlight`]): N clients asking for the same
+//!   flow trigger exactly one flow run and all receive byte-identical
+//!   payloads.
+//! * **Backpressure** — a bounded job queue ([`queue::Bounded`]); when
+//!   it is full, clients get an immediate 429 with a `retry_after_ms`
+//!   hint rather than unbounded buffering.
+//! * **Deadlines & drain** — per-request timeouts (408) and graceful
+//!   shutdown that completes queued work before exiting.
+//!
+//! Binaries: `m3d-serve` (the server) and `m3d-loadgen` (a
+//! closed-loop load generator reporting throughput, latency
+//! percentiles and cache hit rates, with a deterministic `--json`
+//! artifact). See `EXPERIMENTS.md` for the wire protocol and tuning
+//! knobs.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use metrics::{LatencySummary, Metrics};
+pub use protocol::{Request, Response};
+pub use server::{serve, Handle, ServerConfig};

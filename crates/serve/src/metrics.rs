@@ -1,0 +1,134 @@
+//! Service counters, lock-free and snapshot-able as a [`Value`].
+//!
+//! Counters split along the axes the acceptance tests care about:
+//! every accepted request is eventually exactly one of `executed`
+//! (a leader actually ran the case), `cache_hits` (replayed from the
+//! response cache), `coalesced` (joined an in-flight leader), or a
+//! failure (`timed_out`, `failed`). `rejected` counts backpressure
+//! refusals, which are answered — never silently dropped.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::Value;
+
+/// Monotonic service counters.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests admitted to the queue.
+    pub accepted: AtomicU64,
+    /// Requests refused with 429 (queue full) or 503 (draining).
+    pub rejected: AtomicU64,
+    /// Leader executions: the case actually ran.
+    pub executed: AtomicU64,
+    /// Served from the response cache.
+    pub cache_hits: AtomicU64,
+    /// Joined another request's in-flight execution.
+    pub coalesced: AtomicU64,
+    /// Deadline expiries (queued too long or overran while waiting).
+    pub timed_out: AtomicU64,
+    /// Case executions that returned an error.
+    pub failed: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one to `counter`.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time JSON view (field order fixed).
+    pub fn snapshot(&self) -> Value {
+        let read = |c: &AtomicU64| Value::U64(c.load(Ordering::Relaxed));
+        Value::Object(vec![
+            ("accepted".to_owned(), read(&self.accepted)),
+            ("rejected".to_owned(), read(&self.rejected)),
+            ("executed".to_owned(), read(&self.executed)),
+            ("cache_hits".to_owned(), read(&self.cache_hits)),
+            ("coalesced".to_owned(), read(&self.coalesced)),
+            ("timed_out".to_owned(), read(&self.timed_out)),
+            ("failed".to_owned(), read(&self.failed)),
+        ])
+    }
+}
+
+/// Latency percentile summary over recorded microsecond samples.
+///
+/// Used by the load generator; percentiles use the nearest-rank
+/// definition on the sorted sample set, so equal sample sets summarise
+/// identically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Sample count.
+    pub count: usize,
+    /// Median (P50) in µs.
+    pub p50_us: u64,
+    /// P95 in µs.
+    pub p95_us: u64,
+    /// P99 in µs.
+    pub p99_us: u64,
+    /// Slowest sample in µs.
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    /// Summarises `samples_us` (unsorted; empty yields all zeros).
+    pub fn of(samples_us: &[u64]) -> Self {
+        if samples_us.is_empty() {
+            return Self {
+                count: 0,
+                p50_us: 0,
+                p95_us: 0,
+                p99_us: 0,
+                max_us: 0,
+            };
+        }
+        let mut sorted = samples_us.to_vec();
+        sorted.sort_unstable();
+        let rank = |p: f64| {
+            let idx = (p * sorted.len() as f64).ceil() as usize;
+            sorted[idx.clamp(1, sorted.len()) - 1]
+        };
+        Self {
+            count: sorted.len(),
+            p50_us: rank(0.50),
+            p95_us: rank(0.95),
+            p99_us: rank(0.99),
+            max_us: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let m = Metrics::new();
+        Metrics::bump(&m.accepted);
+        Metrics::bump(&m.accepted);
+        Metrics::bump(&m.executed);
+        let s = m.snapshot();
+        assert_eq!(s.get("accepted").unwrap().as_u64(), Some(2));
+        assert_eq!(s.get("executed").unwrap().as_u64(), Some(1));
+        assert_eq!(s.get("rejected").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let samples: Vec<u64> = (1..=100).collect();
+        let s = LatencySummary::of(&samples);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_us, 50);
+        assert_eq!(s.p95_us, 95);
+        assert_eq!(s.p99_us, 99);
+        assert_eq!(s.max_us, 100);
+        assert_eq!(LatencySummary::of(&[]).p99_us, 0);
+        assert_eq!(LatencySummary::of(&[7]).p50_us, 7);
+    }
+}

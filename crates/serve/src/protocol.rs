@@ -1,0 +1,406 @@
+//! The NDJSON wire protocol: one JSON object per line, both directions.
+//!
+//! A request names a registered experiment case and its parameters; the
+//! response wraps the case's deterministic `result` payload in an
+//! envelope carrying delivery metadata (status, cache/coalescing
+//! flags). The *envelope* flags depend on arrival order and are
+//! explicitly non-deterministic; the `result` payload is byte-identical
+//! for identical request keys — across connections, worker counts and
+//! server instances.
+//!
+//! Requests are keyed by content: [`Request::key`] hashes the case
+//! name, the quick flag and the *canonicalised* parameter tree
+//! (object keys sorted recursively), so `{"a":1,"b":2}` and
+//! `{"b":2,"a":1}` coalesce onto one computation.
+
+use m3d_tech::{StableHash, StableHasher};
+use serde::Value;
+
+/// Reserved case name: drain and stop the server.
+pub const CASE_SHUTDOWN: &str = "shutdown";
+/// Reserved case name: liveness probe.
+pub const CASE_PING: &str = "ping";
+/// Reserved case name: cache/queue/worker statistics snapshot.
+pub const CASE_STATS: &str = "stats";
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: u64,
+    /// Case name: a `m3d_bench::registry` entry or a reserved admin
+    /// case ([`CASE_SHUTDOWN`], [`CASE_PING`], [`CASE_STATS`]).
+    pub case: String,
+    /// Scaled-down configuration (the registry's `--quick` analogue).
+    pub quick: bool,
+    /// Case parameters; `Value::Null` when omitted.
+    pub params: Value,
+    /// Per-request deadline override in milliseconds (server default
+    /// applies when omitted).
+    pub timeout_ms: Option<u64>,
+}
+
+impl Request {
+    /// A request for `case` with `params`, quick by default.
+    pub fn new(id: u64, case: &str, params: Value) -> Self {
+        Self {
+            id,
+            case: case.to_owned(),
+            quick: true,
+            params,
+            timeout_ms: None,
+        }
+    }
+
+    /// Parses one NDJSON line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the line is not a JSON
+    /// object, `case` is missing/mistyped, or a present field has the
+    /// wrong type.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let v = serde_json::from_str_value(line).map_err(|e| format!("malformed JSON: {e}"))?;
+        if v.as_object().is_none() {
+            return Err("request must be a JSON object".to_owned());
+        }
+        let case = match v.get("case") {
+            Some(Value::Str(s)) if !s.is_empty() => s.clone(),
+            Some(_) => return Err("`case` must be a non-empty string".to_owned()),
+            None => return Err("missing required field `case`".to_owned()),
+        };
+        let id = match v.get("id") {
+            None => 0,
+            Some(x) => x.as_u64().ok_or("`id` must be a non-negative integer")?,
+        };
+        let quick = match v.get("quick") {
+            None => true,
+            Some(Value::Bool(b)) => *b,
+            Some(_) => return Err("`quick` must be a boolean".to_owned()),
+        };
+        let params = v.get("params").cloned().unwrap_or(Value::Null);
+        match &params {
+            Value::Null | Value::Object(_) => {}
+            _ => return Err("`params` must be an object".to_owned()),
+        }
+        let timeout_ms = match v.get("timeout_ms") {
+            None => None,
+            Some(x) => Some(
+                x.as_u64()
+                    .ok_or("`timeout_ms` must be a non-negative integer")?,
+            ),
+        };
+        Ok(Self {
+            id,
+            case,
+            quick,
+            params,
+            timeout_ms,
+        })
+    }
+
+    /// The content key identical requests share: case + quick +
+    /// canonicalised params. Field order and the `id`/`timeout_ms`
+    /// delivery fields do not participate.
+    pub fn key(&self) -> u64 {
+        let mut h = StableHasher::new();
+        self.case.stable_hash(&mut h);
+        self.quick.stable_hash(&mut h);
+        hash_value(&canonical(&self.params), &mut h);
+        h.finish()
+    }
+
+    /// Serialises the request as one NDJSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut fields = vec![
+            ("id".to_owned(), Value::U64(self.id)),
+            ("case".to_owned(), Value::Str(self.case.clone())),
+            ("quick".to_owned(), Value::Bool(self.quick)),
+        ];
+        if self.params != Value::Null {
+            fields.push(("params".to_owned(), self.params.clone()));
+        }
+        if let Some(t) = self.timeout_ms {
+            fields.push(("timeout_ms".to_owned(), Value::U64(t)));
+        }
+        serde_json::to_string(&Value::Object(fields)).expect("request serialises")
+    }
+}
+
+/// A response line: either a completed case or a protocol error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The case ran (or was replayed from cache).
+    Ok {
+        /// Echo of the request id.
+        id: u64,
+        /// Echo of the case name.
+        case: String,
+        /// The request content key, as 16 lowercase hex digits.
+        key: String,
+        /// Served from the response cache (no execution).
+        cached: bool,
+        /// Joined another request's in-flight execution.
+        coalesced: bool,
+        /// The deterministic case payload.
+        result: Value,
+    },
+    /// The request was not served.
+    Err {
+        /// Echo of the request id (0 when the line did not parse).
+        id: u64,
+        /// HTTP-flavoured status: 400 bad request, 404 unknown case,
+        /// 408 deadline exceeded, 429 queue full, 500 case failure,
+        /// 503 shutting down.
+        status: u16,
+        /// Human-readable cause.
+        error: String,
+        /// Backpressure hint: retry after this many milliseconds
+        /// (429 only).
+        retry_after_ms: Option<u64>,
+    },
+}
+
+impl Response {
+    /// Status code (200 for [`Response::Ok`]).
+    pub fn status(&self) -> u16 {
+        match self {
+            Response::Ok { .. } => 200,
+            Response::Err { status, .. } => *status,
+        }
+    }
+
+    /// Serialises the response as one NDJSON line (no trailing
+    /// newline). Field order is fixed, so identical responses are
+    /// byte-identical.
+    pub fn to_line(&self) -> String {
+        let v = match self {
+            Response::Ok {
+                id,
+                case,
+                key,
+                cached,
+                coalesced,
+                result,
+            } => Value::Object(vec![
+                ("id".to_owned(), Value::U64(*id)),
+                ("status".to_owned(), Value::U64(200)),
+                ("case".to_owned(), Value::Str(case.clone())),
+                ("key".to_owned(), Value::Str(key.clone())),
+                ("cached".to_owned(), Value::Bool(*cached)),
+                ("coalesced".to_owned(), Value::Bool(*coalesced)),
+                ("result".to_owned(), result.clone()),
+            ]),
+            Response::Err {
+                id,
+                status,
+                error,
+                retry_after_ms,
+            } => {
+                let mut fields = vec![
+                    ("id".to_owned(), Value::U64(*id)),
+                    ("status".to_owned(), Value::U64(u64::from(*status))),
+                    ("error".to_owned(), Value::Str(error.clone())),
+                ];
+                if let Some(ms) = retry_after_ms {
+                    fields.push(("retry_after_ms".to_owned(), Value::U64(*ms)));
+                }
+                Value::Object(fields)
+            }
+        };
+        serde_json::to_string(&v).expect("response serialises")
+    }
+
+    /// Parses one NDJSON response line (the loadgen side).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the line is not a valid response object.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let v = serde_json::from_str_value(line).map_err(|e| format!("malformed JSON: {e}"))?;
+        let id = v.get("id").and_then(Value::as_u64).unwrap_or(0);
+        let status = v
+            .get("status")
+            .and_then(Value::as_u64)
+            .ok_or("missing `status`")?;
+        if status == 200 {
+            let case = match v.get("case") {
+                Some(Value::Str(s)) => s.clone(),
+                _ => return Err("missing `case` in OK response".to_owned()),
+            };
+            let key = match v.get("key") {
+                Some(Value::Str(s)) => s.clone(),
+                _ => return Err("missing `key` in OK response".to_owned()),
+            };
+            let flag = |name: &str| match v.get(name) {
+                Some(Value::Bool(b)) => Ok(*b),
+                _ => Err(format!("missing `{name}` in OK response")),
+            };
+            Ok(Response::Ok {
+                id,
+                case,
+                key,
+                cached: flag("cached")?,
+                coalesced: flag("coalesced")?,
+                result: v.get("result").cloned().ok_or("missing `result`")?,
+            })
+        } else {
+            let error = match v.get("error") {
+                Some(Value::Str(s)) => s.clone(),
+                _ => return Err("missing `error` in error response".to_owned()),
+            };
+            Ok(Response::Err {
+                id,
+                status: u16::try_from(status).map_err(|_| "status out of range")?,
+                error,
+                retry_after_ms: v.get("retry_after_ms").and_then(Value::as_u64),
+            })
+        }
+    }
+}
+
+/// Formats a content key the way responses carry it.
+pub fn key_hex(key: u64) -> String {
+    format!("{key:016x}")
+}
+
+/// Recursively sorts object keys so structurally equal parameter trees
+/// serialise (and hash) identically regardless of client field order.
+pub fn canonical(v: &Value) -> Value {
+    match v {
+        Value::Object(fields) => {
+            let mut sorted: Vec<(String, Value)> = fields
+                .iter()
+                .map(|(k, x)| (k.clone(), canonical(x)))
+                .collect();
+            sorted.sort_by(|a, b| a.0.cmp(&b.0));
+            Value::Object(sorted)
+        }
+        Value::Array(items) => Value::Array(items.iter().map(canonical).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Stable-hashes a canonical [`Value`] tree (tag + payload per node).
+fn hash_value(v: &Value, h: &mut StableHasher) {
+    match v {
+        Value::Null => 0u8.stable_hash(h),
+        Value::Bool(b) => {
+            1u8.stable_hash(h);
+            b.stable_hash(h);
+        }
+        Value::I64(i) => {
+            2u8.stable_hash(h);
+            i.stable_hash(h);
+        }
+        Value::U64(u) => {
+            3u8.stable_hash(h);
+            u.stable_hash(h);
+        }
+        Value::F64(f) => {
+            4u8.stable_hash(h);
+            f.stable_hash(h);
+        }
+        Value::Str(s) => {
+            5u8.stable_hash(h);
+            s.stable_hash(h);
+        }
+        Value::Array(items) => {
+            6u8.stable_hash(h);
+            items.len().stable_hash(h);
+            for item in items {
+                hash_value(item, h);
+            }
+        }
+        Value::Object(fields) => {
+            7u8.stable_hash(h);
+            fields.len().stable_hash(h);
+            for (k, x) in fields {
+                k.stable_hash(h);
+                hash_value(x, h);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(fields: Vec<(&str, Value)>) -> Value {
+        Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    #[test]
+    fn request_round_trips_through_its_own_line() {
+        let req = Request {
+            id: 42,
+            case: "pd_flow".into(),
+            quick: false,
+            params: obj(vec![("n_cs", Value::U64(8))]),
+            timeout_ms: Some(2500),
+        };
+        assert_eq!(Request::parse(&req.to_line()).unwrap(), req);
+    }
+
+    #[test]
+    fn defaults_apply_to_a_minimal_request() {
+        let req = Request::parse(r#"{"case":"ping"}"#).unwrap();
+        assert_eq!(req.id, 0);
+        assert!(req.quick);
+        assert_eq!(req.params, Value::Null);
+        assert_eq!(req.timeout_ms, None);
+    }
+
+    #[test]
+    fn bad_requests_name_the_field() {
+        assert!(Request::parse("{}").unwrap_err().contains("case"));
+        assert!(Request::parse(r#"{"case":3}"#)
+            .unwrap_err()
+            .contains("case"));
+        assert!(Request::parse(r#"{"case":"x","params":[1]}"#)
+            .unwrap_err()
+            .contains("params"));
+        assert!(Request::parse("not json").unwrap_err().contains("JSON"));
+    }
+
+    #[test]
+    fn key_ignores_field_order_and_delivery_fields() {
+        let a = Request::parse(r#"{"id":1,"case":"x","params":{"a":1,"b":2}}"#).unwrap();
+        let b =
+            Request::parse(r#"{"id":9,"timeout_ms":5,"case":"x","params":{"b":2,"a":1}}"#).unwrap();
+        assert_eq!(a.key(), b.key());
+        let c = Request::parse(r#"{"case":"x","params":{"a":1,"b":3}}"#).unwrap();
+        assert_ne!(a.key(), c.key());
+        let d = Request::parse(r#"{"case":"x","quick":false,"params":{"a":1,"b":2}}"#).unwrap();
+        assert_ne!(a.key(), d.key());
+    }
+
+    #[test]
+    fn canonicalisation_recurses_into_arrays() {
+        let v = serde_json::from_str_value(r#"{"z":[{"b":1,"a":2}],"a":0}"#).unwrap();
+        let w = serde_json::from_str_value(r#"{"a":0,"z":[{"a":2,"b":1}]}"#).unwrap();
+        assert_eq!(canonical(&v), canonical(&w));
+    }
+
+    #[test]
+    fn responses_round_trip_both_arms() {
+        let ok = Response::Ok {
+            id: 7,
+            case: "tier_sweep".into(),
+            key: key_hex(0xdead_beef),
+            cached: true,
+            coalesced: false,
+            result: obj(vec![("points", Value::Array(vec![]))]),
+        };
+        assert_eq!(Response::parse(&ok.to_line()).unwrap(), ok);
+        let err = Response::Err {
+            id: 8,
+            status: 429,
+            error: "queue full".into(),
+            retry_after_ms: Some(50),
+        };
+        assert_eq!(Response::parse(&err.to_line()).unwrap(), err);
+        assert_eq!(err.status(), 429);
+    }
+}

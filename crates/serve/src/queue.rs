@@ -1,0 +1,170 @@
+//! A bounded MPMC job queue with explicit backpressure.
+//!
+//! Producers never block: [`Bounded::push`] either enqueues or reports
+//! [`PushError::Full`] immediately, which the server surfaces to
+//! clients as a 429 with a `Retry-After` hint — load is *shed*, not
+//! silently buffered into unbounded memory. Consumers block on a
+//! condition variable; [`Bounded::close`] starts a graceful drain:
+//! further pushes fail, and poppers keep receiving queued items until
+//! the queue runs dry, then observe `None` and exit.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue holds `depth` items (its capacity) — shed load.
+    Full {
+        /// The configured capacity at refusal time.
+        depth: usize,
+    },
+    /// [`Bounded::close`] was called; the server is draining.
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The bounded queue.
+pub struct Bounded<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    available: Condvar,
+}
+
+impl<T> Bounded<T> {
+    /// A queue refusing pushes beyond `capacity` queued items.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a zero-depth queue cannot accept work");
+        Self {
+            capacity,
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`Bounded::close`]. The item is returned to the caller inside
+    /// neither — backpressure responses need no payload.
+    pub fn push(&self, item: T) -> Result<(), PushError> {
+        let mut s = self.state.lock().expect("queue poisoned");
+        if s.closed {
+            return Err(PushError::Closed);
+        }
+        if s.items.len() >= self.capacity {
+            return Err(PushError::Full {
+                depth: self.capacity,
+            });
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is open and
+    /// empty. Returns `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.available.wait(s).expect("queue poisoned");
+        }
+    }
+
+    /// Rejects future pushes and lets poppers drain what is queued.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.available.notify_all();
+    }
+
+    /// Items currently queued (moves with concurrent pushes/pops).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether nothing is queued right now.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = Bounded::new(3);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn overflow_is_refused_not_dropped() {
+        let q = Bounded::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err(PushError::Full { depth: 2 }));
+        // The queued items are intact; freeing a slot re-admits work.
+        assert_eq!(q.pop(), Some(1));
+        q.push(3).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn close_drains_then_releases_poppers() {
+        let q = Bounded::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.push(3), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some(1), "queued work survives the close");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn concurrent_consumers_each_item_exactly_once() {
+        let q = Bounded::new(64);
+        let seen = AtomicUsize::new(0);
+        let gate = Barrier::new(5);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    gate.wait();
+                    while q.pop().is_some() {
+                        seen.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+            for i in 0..64 {
+                q.push(i).unwrap();
+            }
+            gate.wait();
+            q.close();
+        });
+        assert_eq!(seen.load(Ordering::SeqCst), 64);
+    }
+}

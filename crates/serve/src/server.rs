@@ -1,0 +1,504 @@
+//! The service: TCP accept loop, connection handlers, and the shared
+//! worker pool.
+//!
+//! ```text
+//!  client ──NDJSON──▶ connection thread ──▶ bounded queue ──▶ worker pool
+//!                         │    ▲                                  │
+//!                         │    └──── response slot (Condvar) ◀────┤
+//!                         ▼                                       ▼
+//!                    429/503 shed                   response cache + InFlight
+//!                                                   FlowCache + ThermalCache
+//! ```
+//!
+//! Every request resolves to a content key; the worker pool runs each
+//! key at most once concurrently (single-flight) and at most once ever
+//! (response cache), so N concurrent identical requests trigger one
+//! case execution — one *flow* execution for `pd_flow` — and everyone
+//! receives byte-identical payloads. The queue is bounded: when it is
+//! full the connection thread answers 429 with a `retry_after_ms` hint
+//! instead of buffering unboundedly. Shutdown (`{"case":"shutdown"}` or
+//! [`Handle::shutdown`]) drains: queued work completes, new work is
+//! refused with 503, workers exit when the queue runs dry.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use m3d_bench::registry::{self, CaseCtx};
+use m3d_core::engine::{Flight, FlowCache, InFlight};
+use m3d_thermal::ThermalCache;
+use serde::Value;
+
+use crate::metrics::Metrics;
+use crate::protocol::{key_hex, Request, Response, CASE_PING, CASE_SHUTDOWN, CASE_STATS};
+use crate::queue::{Bounded, PushError};
+
+/// Backpressure hint clients receive with a 429.
+const RETRY_AFTER_MS: u64 = 100;
+
+/// Tunables for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`Handle::addr`]).
+    pub addr: String,
+    /// Worker threads executing cases.
+    pub workers: usize,
+    /// Bounded queue depth; pushes beyond it are refused with 429.
+    pub queue_depth: usize,
+    /// Default per-request deadline (overridable per request via
+    /// `timeout_ms`).
+    pub default_timeout_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: std::thread::available_parallelism().map_or(2, |n| n.get().min(8)),
+            queue_depth: 64,
+            default_timeout_ms: 120_000,
+        }
+    }
+}
+
+/// A finished case, shared between the response cache, in-flight
+/// followers and every envelope that replays it.
+struct Computed {
+    result: Value,
+    /// The *case* reported an internal cache hit (flow/thermal cache).
+    deep_hit: bool,
+}
+
+/// One queued request and the slot its connection thread waits on.
+struct Job {
+    req: Request,
+    key: u64,
+    deadline: Instant,
+    slot: Arc<Slot>,
+}
+
+/// Single-use rendezvous between a worker and a connection thread.
+struct Slot {
+    response: Mutex<Option<Response>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            response: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn fulfill(&self, resp: Response) {
+        *self.response.lock().expect("slot poisoned") = Some(resp);
+        self.ready.notify_all();
+    }
+
+    /// Blocks until the worker fulfills the slot. Safe without a
+    /// timeout: every successfully queued job is popped and fulfilled,
+    /// even during a drain.
+    fn wait(&self) -> Response {
+        let mut guard = self.response.lock().expect("slot poisoned");
+        loop {
+            if let Some(resp) = guard.take() {
+                return resp;
+            }
+            guard = self.ready.wait(guard).expect("slot poisoned");
+        }
+    }
+}
+
+/// State shared by the accept loop, connection threads and workers.
+struct Shared {
+    flows: FlowCache,
+    thermals: ThermalCache,
+    responses: Mutex<HashMap<u64, Arc<Computed>>>,
+    inflight: InFlight<Arc<Computed>>,
+    queue: Bounded<Job>,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    default_timeout: Duration,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return; // already draining
+        }
+        self.queue.close();
+        // Unblock the accept loop so it can observe the flag; errors are
+        // irrelevant (the listener may already be gone).
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+    }
+}
+
+/// A running server: its resolved address and the threads to join.
+pub struct Handle {
+    addr: SocketAddr,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl Handle {
+    /// The bound address (with the ephemeral port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Starts a graceful drain, exactly like a `{"case":"shutdown"}`
+    /// request.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Joins the accept loop and the worker pool; returns once queued
+    /// work has drained. Call [`Handle::shutdown`] (or send the
+    /// shutdown case) first, or this blocks forever.
+    pub fn wait(mut self) {
+        if let Some(t) = self.accept.take() {
+            t.join().expect("accept thread panicked");
+        }
+        for w in self.workers.drain(..) {
+            w.join().expect("worker thread panicked");
+        }
+    }
+}
+
+/// Binds, spawns the worker pool and the accept loop, and returns
+/// immediately.
+///
+/// # Errors
+///
+/// Propagates socket bind failures.
+pub fn serve(cfg: &ServerConfig) -> std::io::Result<Handle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        flows: FlowCache::persistent(),
+        thermals: ThermalCache::new(),
+        responses: Mutex::new(HashMap::new()),
+        inflight: InFlight::new(),
+        queue: Bounded::new(cfg.queue_depth.max(1)),
+        metrics: Metrics::new(),
+        shutdown: AtomicBool::new(false),
+        addr,
+        default_timeout: Duration::from_millis(cfg.default_timeout_ms.clamp(1, 3_600_000)),
+    });
+
+    let workers = (0..cfg.workers.max(1))
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("m3d-serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("m3d-serve-accept".to_owned())
+            .spawn(move || accept_loop(&listener, &shared))
+            .expect("spawn accept loop")
+    };
+
+    Ok(Handle {
+        addr,
+        accept: Some(accept),
+        workers,
+        shared,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break; // the drain's wake-up connection (or later)
+                }
+                let shared = Arc::clone(shared);
+                std::thread::Builder::new()
+                    .name("m3d-serve-conn".to_owned())
+                    .spawn(move || {
+                        let _ = handle_connection(&shared, stream);
+                    })
+                    .expect("spawn connection handler");
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+        }
+    }
+    // Redundant after a shutdown request, but makes `Handle::shutdown`
+    // → accept-exit → drain ordering airtight.
+    shared.queue.close();
+}
+
+/// Reads request lines and writes one response line each, in order.
+/// Connection threads block while their request is in flight, so one
+/// connection contributes at most one queue slot at a time — client
+/// concurrency comes from concurrent connections.
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) -> std::io::Result<()> {
+    // Line-sized writes each wait on a delayed ACK under Nagle's
+    // algorithm (~40 ms per request); this is a request/response
+    // protocol, so send eagerly.
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let resp = match Request::parse(&line) {
+            Err(e) => Response::Err {
+                id: 0,
+                status: 400,
+                error: e,
+                retry_after_ms: None,
+            },
+            Ok(req) => dispatch(shared, req),
+        };
+        writer.write_all(resp.to_line().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Routes one parsed request: admin cases inline, experiment cases
+/// through the queue and worker pool.
+fn dispatch(shared: &Arc<Shared>, req: Request) -> Response {
+    match req.case.as_str() {
+        CASE_PING => {
+            return Response::Ok {
+                id: req.id,
+                case: req.case.clone(),
+                key: key_hex(req.key()),
+                cached: false,
+                coalesced: false,
+                result: Value::Object(vec![("pong".to_owned(), Value::Bool(true))]),
+            }
+        }
+        CASE_STATS => return stats_response(shared, &req),
+        CASE_SHUTDOWN => {
+            shared.begin_shutdown();
+            return Response::Ok {
+                id: req.id,
+                case: req.case.clone(),
+                key: key_hex(req.key()),
+                cached: false,
+                coalesced: false,
+                result: Value::Object(vec![("draining".to_owned(), Value::Bool(true))]),
+            };
+        }
+        other => {
+            if registry::find(other).is_none() {
+                return Response::Err {
+                    id: req.id,
+                    status: 404,
+                    error: format!("unknown case `{other}`"),
+                    retry_after_ms: None,
+                };
+            }
+        }
+    }
+
+    let key = req.key();
+    // Fast path: an identical request already completed.
+    if let Some(done) = shared
+        .responses
+        .lock()
+        .expect("responses poisoned")
+        .get(&key)
+    {
+        Metrics::bump(&shared.metrics.cache_hits);
+        return ok_envelope(&req, key, Arc::clone(done), true, false);
+    }
+
+    let timeout = req
+        .timeout_ms
+        .map_or(shared.default_timeout, Duration::from_millis);
+    let job = Job {
+        key,
+        deadline: Instant::now() + timeout,
+        slot: Slot::new(),
+        req,
+    };
+    let slot = Arc::clone(&job.slot);
+    let (id, retriable) = (job.req.id, job.req.case.clone());
+    match shared.queue.push(job) {
+        Ok(()) => {
+            Metrics::bump(&shared.metrics.accepted);
+            slot.wait()
+        }
+        Err(PushError::Full { depth }) => {
+            Metrics::bump(&shared.metrics.rejected);
+            Response::Err {
+                id,
+                status: 429,
+                error: format!("queue full ({depth} deep) — retry `{retriable}` later"),
+                retry_after_ms: Some(RETRY_AFTER_MS),
+            }
+        }
+        Err(PushError::Closed) => {
+            Metrics::bump(&shared.metrics.rejected);
+            Response::Err {
+                id,
+                status: 503,
+                error: "server is draining".to_owned(),
+                retry_after_ms: None,
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let resp = execute(shared, &job);
+        job.slot.fulfill(resp);
+    }
+}
+
+/// Runs one dequeued job under deadline, response-cache and
+/// single-flight discipline.
+fn execute(shared: &Arc<Shared>, job: &Job) -> Response {
+    let now = Instant::now();
+    if now >= job.deadline {
+        Metrics::bump(&shared.metrics.timed_out);
+        return timeout_response(job);
+    }
+    // The key may have completed while this job sat queued.
+    if let Some(done) = shared
+        .responses
+        .lock()
+        .expect("responses poisoned")
+        .get(&job.key)
+    {
+        Metrics::bump(&shared.metrics.cache_hits);
+        return ok_envelope(&job.req, job.key, Arc::clone(done), true, false);
+    }
+
+    let flown = shared.inflight.run(job.key, Some(job.deadline), || {
+        let ctx = CaseCtx {
+            flows: &shared.flows,
+            thermals: &shared.thermals,
+        };
+        let spec = registry::find(&job.req.case).expect("checked at dispatch");
+        (spec.run)(&ctx, job.req.quick, &job.req.params).map(|outcome| {
+            Arc::new(Computed {
+                result: outcome.result,
+                deep_hit: outcome.cache_hit,
+            })
+        })
+    });
+    match flown {
+        Ok((Some(done), Flight::Led)) => {
+            Metrics::bump(&shared.metrics.executed);
+            shared
+                .responses
+                .lock()
+                .expect("responses poisoned")
+                .insert(job.key, Arc::clone(&done));
+            let deep_hit = done.deep_hit;
+            ok_envelope(&job.req, job.key, done, deep_hit, false)
+        }
+        Ok((Some(done), _)) => {
+            Metrics::bump(&shared.metrics.coalesced);
+            ok_envelope(&job.req, job.key, done, false, true)
+        }
+        Ok((None, _)) => {
+            Metrics::bump(&shared.metrics.timed_out);
+            timeout_response(job)
+        }
+        Err(e) => {
+            Metrics::bump(&shared.metrics.failed);
+            Response::Err {
+                id: job.req.id,
+                status: e.code,
+                error: e.message,
+                retry_after_ms: None,
+            }
+        }
+    }
+}
+
+fn ok_envelope(
+    req: &Request,
+    key: u64,
+    done: Arc<Computed>,
+    cached: bool,
+    coalesced: bool,
+) -> Response {
+    Response::Ok {
+        id: req.id,
+        case: req.case.clone(),
+        key: key_hex(key),
+        cached,
+        coalesced,
+        result: done.result.clone(),
+    }
+}
+
+fn timeout_response(job: &Job) -> Response {
+    Response::Err {
+        id: job.req.id,
+        status: 408,
+        error: format!("deadline exceeded for `{}`", job.req.case),
+        retry_after_ms: None,
+    }
+}
+
+fn stats_response(shared: &Arc<Shared>, req: &Request) -> Response {
+    let cache_stats = |s: m3d_core::engine::CacheStats| {
+        Value::Object(vec![
+            ("hits".to_owned(), Value::U64(s.hits)),
+            ("misses".to_owned(), Value::U64(s.misses)),
+            ("disk_hits".to_owned(), Value::U64(s.disk_hits)),
+        ])
+    };
+    let result = Value::Object(vec![
+        ("metrics".to_owned(), shared.metrics.snapshot()),
+        ("flow_cache".to_owned(), cache_stats(shared.flows.stats())),
+        (
+            "flow_coalesced".to_owned(),
+            Value::U64(shared.flows.coalesced_count()),
+        ),
+        (
+            "thermal_cache".to_owned(),
+            cache_stats(shared.thermals.stats()),
+        ),
+        (
+            "response_cache_len".to_owned(),
+            Value::U64(shared.responses.lock().expect("responses poisoned").len() as u64),
+        ),
+        (
+            "queue_len".to_owned(),
+            Value::U64(shared.queue.len() as u64),
+        ),
+        (
+            "draining".to_owned(),
+            Value::Bool(shared.shutdown.load(Ordering::SeqCst)),
+        ),
+    ]);
+    Response::Ok {
+        id: req.id,
+        case: req.case.clone(),
+        key: key_hex(req.key()),
+        cached: false,
+        coalesced: false,
+        result,
+    }
+}

@@ -1,0 +1,280 @@
+//! In-process loopback tests: a real server on an ephemeral port, real
+//! TCP clients, the full dispatch → queue → worker → cache path.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Barrier;
+use std::time::Duration;
+
+use m3d_serve::protocol::{Request, Response};
+use m3d_serve::{serve, Handle, ServerConfig};
+use serde::Value;
+
+/// One persistent client connection.
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(handle: &Handle) -> Self {
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        Self {
+            writer: stream.try_clone().expect("clone"),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn round_trip_line(&mut self, line: &str) -> Response {
+        self.writer.write_all(line.as_bytes()).expect("send");
+        self.writer.write_all(b"\n").expect("send");
+        self.writer.flush().expect("flush");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("receive");
+        Response::parse(reply.trim()).expect("valid response line")
+    }
+
+    fn round_trip(&mut self, req: &Request) -> Response {
+        self.round_trip_line(&req.to_line())
+    }
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn start(workers: usize, queue_depth: usize) -> Handle {
+    serve(&ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers,
+        queue_depth,
+        default_timeout_ms: 60_000,
+    })
+    .expect("server starts")
+}
+
+fn result_bytes(resp: &Response) -> String {
+    match resp {
+        Response::Ok { result, .. } => serde_json::to_string(result).expect("serialises"),
+        Response::Err { status, error, .. } => panic!("expected OK, got {status}: {error}"),
+    }
+}
+
+fn flags(resp: &Response) -> (bool, bool) {
+    match resp {
+        Response::Ok {
+            cached, coalesced, ..
+        } => (*cached, *coalesced),
+        Response::Err { status, error, .. } => panic!("expected OK, got {status}: {error}"),
+    }
+}
+
+fn stats(handle: &Handle) -> Value {
+    match Client::connect(handle).round_trip_line(r#"{"case":"stats"}"#) {
+        Response::Ok { result, .. } => result,
+        other => panic!("stats failed: {other:?}"),
+    }
+}
+
+#[test]
+fn concurrent_identical_requests_execute_one_flow() {
+    let handle = start(4, 32);
+    let n = 8;
+    let gate = Barrier::new(n);
+    let req = Request::new(1, "pd_flow", obj(vec![("n_cs", Value::U64(2))]));
+    let responses: Vec<Response> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let (handle, req, gate) = (&handle, &req, &gate);
+                s.spawn(move || {
+                    let mut client = Client::connect(handle);
+                    gate.wait();
+                    client.round_trip(req)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let payloads: Vec<String> = responses.iter().map(result_bytes).collect();
+    assert!(
+        payloads.iter().all(|p| p == &payloads[0]),
+        "identical keys must yield byte-identical payloads"
+    );
+    let executed = responses
+        .iter()
+        .filter(|r| flags(r) == (false, false))
+        .count();
+    assert_eq!(executed, 1, "exactly one request computes, the rest reuse");
+
+    // The decisive check: the shared FlowCache saw exactly one miss —
+    // one flow execution for 8 concurrent identical requests.
+    let s = stats(&handle);
+    assert_eq!(
+        s.get("flow_cache").unwrap().get("misses").unwrap(),
+        &Value::U64(1)
+    );
+
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn distinct_requests_compute_and_repeats_hit_the_cache() {
+    let handle = start(2, 16);
+    let mut client = Client::connect(&handle);
+    let a = Request::new(
+        1,
+        "sensitivity",
+        obj(vec![("samples", Value::U64(40)), ("seed", Value::U64(1))]),
+    );
+    let b = Request::new(
+        2,
+        "sensitivity",
+        obj(vec![("samples", Value::U64(40)), ("seed", Value::U64(2))]),
+    );
+    let ra = client.round_trip(&a);
+    let rb = client.round_trip(&b);
+    assert_eq!(flags(&ra), (false, false));
+    assert_eq!(flags(&rb), (false, false), "distinct keys never coalesce");
+    assert_ne!(result_bytes(&ra), result_bytes(&rb));
+
+    // Same key again — from a different connection, with fields in a
+    // different order — replays from the response cache.
+    let mut other = Client::connect(&handle);
+    let shuffled = r#"{"params":{"seed":1,"samples":40},"case":"sensitivity","id":9}"#;
+    let again = other.round_trip_line(shuffled);
+    assert_eq!(flags(&again).0, true, "repeat must be a cache hit");
+    assert_eq!(result_bytes(&again), result_bytes(&ra));
+
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn overload_is_rejected_with_retry_hint_not_dropped() {
+    let handle = start(1, 1);
+    let sleep = |tag: u64| {
+        Request::new(
+            tag,
+            "sleep",
+            obj(vec![("ms", Value::U64(600)), ("tag", Value::U64(tag))]),
+        )
+    };
+    std::thread::scope(|s| {
+        let running = s.spawn(|| Client::connect(&handle).round_trip(&sleep(1)));
+        std::thread::sleep(Duration::from_millis(150)); // worker busy on #1
+        let queued = s.spawn(|| Client::connect(&handle).round_trip(&sleep(2)));
+        std::thread::sleep(Duration::from_millis(150)); // queue holds #2
+        let refused = Client::connect(&handle).round_trip(&sleep(3));
+        match refused {
+            Response::Err {
+                status,
+                retry_after_ms,
+                ..
+            } => {
+                assert_eq!(status, 429);
+                assert!(retry_after_ms.is_some(), "429 carries a Retry-After hint");
+            }
+            other => panic!("expected 429, got {other:?}"),
+        }
+        // The refused request was shed, not the queued ones: both
+        // admitted sleeps complete normally.
+        assert_eq!(running.join().unwrap().status(), 200);
+        assert_eq!(queued.join().unwrap().status(), 200);
+    });
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn queued_past_its_deadline_returns_408() {
+    let handle = start(1, 4);
+    std::thread::scope(|s| {
+        let blocker = s.spawn(|| {
+            Client::connect(&handle).round_trip(&Request::new(
+                1,
+                "sleep",
+                obj(vec![("ms", Value::U64(500)), ("tag", Value::U64(1))]),
+            ))
+        });
+        std::thread::sleep(Duration::from_millis(150));
+        let mut impatient = Request::new(
+            2,
+            "sleep",
+            obj(vec![("ms", Value::U64(10)), ("tag", Value::U64(2))]),
+        );
+        impatient.timeout_ms = Some(50);
+        let resp = Client::connect(&handle).round_trip(&impatient);
+        match resp {
+            Response::Err { status, .. } => assert_eq!(status, 408),
+            other => panic!("expected 408, got {other:?}"),
+        }
+        assert_eq!(blocker.join().unwrap().status(), 200);
+    });
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn bad_lines_and_unknown_cases_answer_without_closing() {
+    let handle = start(1, 4);
+    let mut client = Client::connect(&handle);
+    match client.round_trip_line("this is not json") {
+        Response::Err { status, .. } => assert_eq!(status, 400),
+        other => panic!("expected 400, got {other:?}"),
+    }
+    match client.round_trip_line(r#"{"case":"no_such_case"}"#) {
+        Response::Err { status, error, .. } => {
+            assert_eq!(status, 404);
+            assert!(error.contains("no_such_case"));
+        }
+        other => panic!("expected 404, got {other:?}"),
+    }
+    match client.round_trip_line(r#"{"case":"thermal_cap","params":{"power_w":-1}}"#) {
+        Response::Err { status, .. } => assert_eq!(status, 400),
+        other => panic!("expected 400, got {other:?}"),
+    }
+    // The connection survived all three failures.
+    assert_eq!(client.round_trip_line(r#"{"case":"ping"}"#).status(), 200);
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn shutdown_drains_queued_work_then_stops() {
+    let handle = start(1, 8);
+    std::thread::scope(|s| {
+        let in_flight = s.spawn(|| {
+            Client::connect(&handle).round_trip(&Request::new(
+                1,
+                "sleep",
+                obj(vec![("ms", Value::U64(300)), ("tag", Value::U64(1))]),
+            ))
+        });
+        let queued = s.spawn(|| {
+            std::thread::sleep(Duration::from_millis(80));
+            Client::connect(&handle).round_trip(&Request::new(
+                2,
+                "sleep",
+                obj(vec![("ms", Value::U64(50)), ("tag", Value::U64(2))]),
+            ))
+        });
+        std::thread::sleep(Duration::from_millis(160));
+        let mut admin = Client::connect(&handle);
+        assert_eq!(
+            admin.round_trip_line(r#"{"case":"shutdown"}"#).status(),
+            200
+        );
+        // Work accepted before the drain completes normally.
+        assert_eq!(in_flight.join().unwrap().status(), 200, "in-flight drains");
+        assert_eq!(queued.join().unwrap().status(), 200, "queued drains");
+        // Work after the drain is refused (503 on a live connection).
+        match admin.round_trip_line(r#"{"case":"sleep","params":{"ms":1,"tag":9}}"#) {
+            Response::Err { status, .. } => assert_eq!(status, 503),
+            other => panic!("expected 503, got {other:?}"),
+        }
+    });
+    handle.wait(); // returns: accept loop and workers exited
+}

@@ -1,0 +1,189 @@
+//! Property tests of the NDJSON wire protocol: serialised lines parse
+//! back to the same value, and the request content key is invariant
+//! under JSON object field order.
+
+use m3d_serve::protocol::{canonical, key_hex, Request, Response};
+use proptest::prelude::*;
+use serde::Value;
+
+/// A strategy over JSON scalars that survive the wire byte-exactly.
+///
+/// Two deliberate exclusions mirror the serialiser's number model:
+/// non-finite floats (serialised as `null`) and non-negative `I64`s
+/// (re-parsed as `U64` — the parser prefers the unsigned reading).
+fn scalar() -> BoxedStrategy<Value> {
+    prop_oneof![
+        Just(Value::Null),
+        Just(Value::Bool(false)),
+        Just(Value::Bool(true)),
+        (0u64..u64::MAX).prop_map(Value::U64),
+        (i64::MIN..0i64).prop_map(Value::I64),
+        (-1.0e9..1.0e9_f64).prop_map(Value::F64),
+        // Integral-valued floats exercise the ".0" suffix that keeps
+        // them floats on re-parse.
+        (-1_000_000i64..1_000_000).prop_map(|n| Value::F64(n as f64)),
+        (0u64..10_000).prop_map(|n| Value::Str(format!("s{n}"))),
+        Just(Value::Str(String::new())),
+        Just(Value::Str(
+            "quotes \" and \\ and\nnewlines\tand \u{3b1}\u{3b2}".to_owned()
+        )),
+    ]
+    .boxed()
+}
+
+/// A JSON tree up to `depth` levels of nesting. Object keys are made
+/// unique by position so canonicalisation is a permutation, never a
+/// tie-break between duplicates.
+fn tree(depth: u32) -> BoxedStrategy<Value> {
+    if depth == 0 {
+        return scalar();
+    }
+    let inner = tree(depth - 1);
+    prop_oneof![
+        scalar(),
+        proptest::collection::vec(tree(depth - 1), 0..4).prop_map(Value::Array),
+        proptest::collection::vec(inner, 0..4).prop_map(|items| {
+            Value::Object(
+                items
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, v)| (format!("k{i}"), v))
+                    .collect(),
+            )
+        }),
+    ]
+    .boxed()
+}
+
+/// Parameter trees as requests carry them: an object or nothing.
+fn params() -> BoxedStrategy<Value> {
+    prop_oneof![
+        Just(Value::Null),
+        tree(2).prop_map(|v| Value::Object(vec![("p".to_owned(), v)])),
+        proptest::collection::vec(tree(1), 0..5).prop_map(|items| {
+            Value::Object(
+                items
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, v)| (format!("arg{i}"), v))
+                    .collect(),
+            )
+        }),
+    ]
+    .boxed()
+}
+
+fn request() -> BoxedStrategy<Request> {
+    (0u64..u64::MAX, 0u64..50, 0u64..3, params(), 0u64..1_000_000)
+        .prop_map(|(id, case_n, quick_n, params, t)| Request {
+            id,
+            case: format!("case_{case_n}"),
+            quick: quick_n != 0,
+            params,
+            timeout_ms: if t % 3 == 0 { None } else { Some(t) },
+        })
+        .boxed()
+}
+
+/// Recursively reverses object field order — a key-preserving
+/// permutation the content key must not observe.
+fn shuffled(v: &Value) -> Value {
+    match v {
+        Value::Object(fields) => Value::Object(
+            fields
+                .iter()
+                .rev()
+                .map(|(k, x)| (k.clone(), shuffled(x)))
+                .collect(),
+        ),
+        Value::Array(items) => Value::Array(items.iter().map(shuffled).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Flips one aspect of a tree, guaranteed to change its canonical form.
+fn perturbed(v: &Value) -> Value {
+    match v {
+        Value::Object(fields) => {
+            let mut out = fields.clone();
+            out.push(("zz_extra".to_owned(), Value::Bool(true)));
+            Value::Object(out)
+        }
+        other => Value::Array(vec![other.clone()]),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn request_lines_round_trip(req in request()) {
+        let line = req.to_line();
+        let back = Request::parse(&line).expect("own line parses");
+        prop_assert_eq!(&back, &req);
+        // And the line itself is stable: re-serialising the parse
+        // reproduces it byte for byte.
+        prop_assert_eq!(back.to_line(), line);
+    }
+
+    #[test]
+    fn ok_responses_round_trip(id in 0u64..u64::MAX, result in tree(2), flags in 0u64..4) {
+        let resp = Response::Ok {
+            id,
+            case: "pd_flow".to_owned(),
+            key: key_hex(id.rotate_left(17)),
+            cached: flags & 1 != 0,
+            coalesced: flags & 2 != 0,
+            result,
+        };
+        let back = Response::parse(&resp.to_line()).expect("own line parses");
+        prop_assert_eq!(back.status(), 200);
+        prop_assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn err_responses_round_trip(
+        id in 0u64..u64::MAX,
+        status_idx in 0usize..5,
+        retry in 0u64..10_000,
+    ) {
+        let status = [400u16, 404, 408, 429, 503][status_idx];
+        let resp = Response::Err {
+            id,
+            status,
+            error: format!("failure {id}"),
+            retry_after_ms: if status == 429 { Some(retry) } else { None },
+        };
+        let back = Response::parse(&resp.to_line()).expect("own line parses");
+        prop_assert_eq!(back.status(), status);
+        prop_assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn key_is_invariant_under_field_order(p in params()) {
+        let a = Request::new(1, "pd_flow", p.clone());
+        let mut b = Request::new(999, "pd_flow", shuffled(&p));
+        b.timeout_ms = Some(5);
+        prop_assert_eq!(a.key(), b.key(), "delivery fields and field order must not matter");
+        prop_assert_eq!(canonical(&a.params), canonical(&b.params));
+    }
+
+    #[test]
+    fn key_tracks_content(p in params()) {
+        let a = Request::new(1, "pd_flow", p.clone());
+        let b = Request::new(1, "pd_flow", perturbed(&p));
+        prop_assert!(a.key() != b.key(), "changed params must change the key");
+        let mut c = Request::new(1, "pd_flow", p.clone());
+        c.quick = false;
+        prop_assert!(a.key() != c.key(), "quick participates in the key");
+        let d = Request::new(1, "tier_sweep", p);
+        prop_assert!(a.key() != d.key(), "the case name participates in the key");
+    }
+
+    #[test]
+    fn key_survives_the_wire(p in params()) {
+        let req = Request::new(3, "capacity_sweep", p);
+        let back = Request::parse(&req.to_line()).expect("parses");
+        prop_assert_eq!(req.key(), back.key());
+    }
+}

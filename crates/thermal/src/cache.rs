@@ -128,18 +128,6 @@ mod tests {
     }
 
     #[test]
-    fn parallel_threshold_does_not_split_the_key() {
-        let g = grid();
-        let p = PowerMap::uniform(&g, 5.0);
-        let a = SolverConfig::default();
-        let b = SolverConfig {
-            parallel_threshold: 0,
-            ..a
-        };
-        assert_eq!(ThermalCache::key(&g, &p, &a), ThermalCache::key(&g, &p, &b));
-    }
-
-    #[test]
     fn errors_are_not_cached() {
         let cache = ThermalCache::new();
         let g = grid();

@@ -37,5 +37,5 @@ pub use error::{ThermalError, ThermalResult};
 pub use grid::GridConfig;
 pub use model::{GridThermalModel, LumpedGridModel};
 pub use power::PowerMap;
-pub use solve::{solve_steady, SolverConfig, SteadySolution};
+pub use solve::{engage_parallel, solve_steady, SolverConfig, SteadySolution};
 pub use transient::{phase_power, step_phases, PhaseInterval, TransientConfig, TransientResult};

@@ -15,7 +15,7 @@
 //! The solve runs in the *rise* domain: ambient is 0 K and the returned
 //! field is the temperature rise above it.
 
-use m3d_core::engine::par_map;
+use m3d_core::engine::{jobs, par_map};
 use m3d_tech::{StableHash, StableHasher};
 use serde::{Deserialize, Serialize};
 
@@ -24,6 +24,11 @@ use crate::grid::{Assembled, GridConfig};
 use crate::power::PowerMap;
 
 /// Iteration controls for the SOR solve.
+///
+/// There is deliberately no parallelism knob here: whether a half-sweep
+/// fans out is decided from the worker budget ([`jobs`]) and the grid
+/// shape alone (see [`engage_parallel`]), never affects the result, and
+/// therefore never splits a cache key.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SolverConfig {
     /// Iteration cap (one iteration = one red + one black half-sweep).
@@ -32,11 +37,6 @@ pub struct SolverConfig {
     pub tol_k: f64,
     /// Over-relaxation factor, in `(0, 2)`.
     pub omega: f64,
-    /// Cell count below which the sweep stays serial (fan-out overhead
-    /// dominates tiny grids). Has **no effect on the result**, only on
-    /// how it is computed, and is therefore excluded from the stable
-    /// key.
-    pub parallel_threshold: usize,
 }
 
 impl Default for SolverConfig {
@@ -45,7 +45,6 @@ impl Default for SolverConfig {
             max_iters: 50_000,
             tol_k: 1.0e-7,
             omega: 1.7,
-            parallel_threshold: 8192,
         }
     }
 }
@@ -55,8 +54,20 @@ impl StableHash for SolverConfig {
         self.max_iters.stable_hash(h);
         self.tol_k.stable_hash(h);
         self.omega.stable_hash(h);
-        // parallel_threshold deliberately omitted: result-invariant.
     }
+}
+
+/// Whether a grid's half-sweeps run on the parallel executor: yes as
+/// soon as more than one worker is available and there are enough
+/// `(layer, row)` segments to hand every worker several chunks.
+///
+/// This replaces the old fixed cell-count threshold (8192): with
+/// chunked work stealing in [`par_map`] the µs-grained rows amortise
+/// their claiming cost, so the only shapes kept serial are degenerate
+/// ones (lumped 1×1 validation chains and the like) where a half-sweep
+/// has fewer segments than would occupy the workers at all.
+pub fn engage_parallel(row_segments: usize, workers: usize) -> bool {
+    workers > 1 && row_segments >= 4 * workers
 }
 
 impl SolverConfig {
@@ -232,6 +243,18 @@ pub fn solve_steady(
     power: &PowerMap,
     cfg: &SolverConfig,
 ) -> ThermalResult<SteadySolution> {
+    let row_segments = grid.nz() * grid.ny;
+    solve_steady_forced(grid, power, cfg, engage_parallel(row_segments, jobs()))
+}
+
+/// [`solve_steady`] with the parallel/serial decision pinned — the
+/// bitwise-identity harness drives both paths through this.
+fn solve_steady_forced(
+    grid: &GridConfig,
+    power: &PowerMap,
+    cfg: &SolverConfig,
+    parallel: bool,
+) -> ThermalResult<SteadySolution> {
     power.check(grid)?;
     cfg.check()?;
     let asm = grid.assemble();
@@ -242,7 +265,6 @@ pub fn solve_steady(
         q: &q,
         omega: cfg.omega,
     };
-    let parallel = grid.cells() >= cfg.parallel_threshold;
     let rows: Vec<(usize, usize)> = (0..asm.nz)
         .flat_map(|l| (0..asm.ny).map(move |j| (l, j)))
         .collect();
@@ -298,16 +320,9 @@ mod tests {
     fn serial_and_parallel_sweeps_agree_bitwise() {
         let g = grid();
         let p = PowerMap::uniform(&g, 5.0);
-        let serial = SolverConfig {
-            parallel_threshold: usize::MAX,
-            ..SolverConfig::default()
-        };
-        let parallel = SolverConfig {
-            parallel_threshold: 0,
-            ..SolverConfig::default()
-        };
-        let a = solve_steady(&g, &p, &serial).unwrap();
-        let b = solve_steady(&g, &p, &parallel).unwrap();
+        let cfg = SolverConfig::default();
+        let a = solve_steady_forced(&g, &p, &cfg, false).unwrap();
+        let b = solve_steady_forced(&g, &p, &cfg, true).unwrap();
         assert_eq!(a.iterations, b.iterations);
         assert_eq!(a.t_k, b.t_k, "bitwise-identical fields");
         assert_eq!(
@@ -315,6 +330,19 @@ mod tests {
             b.peak_rise_k.to_bits(),
             "bitwise-identical peak"
         );
+    }
+
+    #[test]
+    fn parallel_engages_on_worker_budget_and_shape_not_cell_count() {
+        // Degenerate shapes (lumped validation chains) stay serial;
+        // anything with enough row segments fans out once workers exist.
+        assert!(!engage_parallel(8, 1), "one worker is always serial");
+        assert!(
+            !engage_parallel(7, 2),
+            "too few segments to occupy 2 workers"
+        );
+        assert!(engage_parallel(8, 2));
+        assert!(engage_parallel(160, 8), "obs10-scale grids now parallelise");
     }
 
     #[test]
@@ -381,14 +409,10 @@ mod tests {
             ..SolverConfig::default()
         };
         assert!(solve_steady(&g, &p, &bad_iters).is_err());
-        // stable key ignores the threshold, tracks the physics knobs.
+        // The stable key tracks exactly the physics knobs.
         let a = SolverConfig::default();
-        let b = SolverConfig {
-            parallel_threshold: 0,
-            ..a
-        };
         let c = SolverConfig { omega: 1.5, ..a };
-        assert_eq!(a.stable_key(), b.stable_key());
+        assert_eq!(a.stable_key(), SolverConfig::default().stable_key());
         assert_ne!(a.stable_key(), c.stable_key());
     }
 }

@@ -32,4 +32,47 @@ if ! cmp -s "$tmp/a.json" "$tmp/b.json"; then
     exit 1
 fi
 
+# Service smoke gate: boot m3d-serve on an ephemeral port, drive it
+# with deterministic loadgen mixes, assert the dedup counts (cold
+# computes all 12, the warm repeat computes 0, a 16-client identical
+# burst computes exactly 1), and require a graceful drain (exit 0).
+serve_smoke() {
+    workers="$1"
+    cold_json="$2"
+    ./target/release/m3d-serve --addr 127.0.0.1:0 --workers "$workers" \
+        --queue-depth 64 >"$tmp/serve-w$workers.out" 2>&1 &
+    serve_pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's/.*"listening":"\([^"]*\)".*/\1/p' "$tmp/serve-w$workers.out")"
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo "tier1: FAIL — m3d-serve (workers=$workers) never announced its port" >&2
+        kill "$serve_pid" 2>/dev/null || true
+        exit 1
+    fi
+    ./target/release/m3d-loadgen --addr "$addr" --clients 3 --requests 4 \
+        --mix cold --expect-computed 12 --json "$cold_json" >/dev/null
+    ./target/release/m3d-loadgen --addr "$addr" --clients 3 --requests 4 \
+        --mix cold --expect-computed 0 >/dev/null
+    ./target/release/m3d-loadgen --addr "$addr" --clients 4 --requests 4 \
+        --mix repeated --expect-computed 1 --shutdown >/dev/null
+    if ! wait "$serve_pid"; then
+        echo "tier1: FAIL — m3d-serve (workers=$workers) did not drain and exit 0" >&2
+        exit 1
+    fi
+}
+serve_smoke 1 "$tmp/cold-w1.json"
+serve_smoke 4 "$tmp/cold-w4.json"
+
+# Payload identity across worker counts: the deterministic loadgen
+# artifact (counts + per-key payload digests) must be byte-identical.
+if ! cmp -s "$tmp/cold-w1.json" "$tmp/cold-w4.json"; then
+    echo "tier1: FAIL — loadgen --json differs across m3d-serve --workers" >&2
+    diff "$tmp/cold-w1.json" "$tmp/cold-w4.json" >&2 || true
+    exit 1
+fi
+
 echo "tier1: OK"
