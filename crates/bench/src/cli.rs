@@ -5,15 +5,21 @@
 //! * `--quick` — scaled-down configuration for fast smoke runs;
 //! * `--json <path>` — write the [`ExperimentReport`] produced by the run
 //!   to `path` (deterministic, byte-reproducible JSON);
+//! * `--trace-json <path>` — write the per-stage span tree
+//!   ([`m3d_core::obs::trace_document`]) to `path`. The trace carries
+//!   span names, nesting and cache provenance only — no wall-clock
+//!   numbers — so it is byte-identical across runs, machines and
+//!   `M3D_JOBS` values;
 //!
 //! and honours the `M3D_JOBS` environment variable for sweep
 //! parallelism. On exit each binary prints the per-stage
-//! `stage, wall_ms, cache_hit` summary to stderr via
+//! `stage, wall_ms, provenance` summary to stderr via
 //! [`Pipeline::eprint_summary`].
 
 use std::path::PathBuf;
 
 use m3d_core::engine::{jobs, CacheStats, ExperimentReport, Pipeline};
+use m3d_core::obs::{trace_document, Recorder};
 use m3d_core::ExperimentRecord;
 
 /// Parsed common flags.
@@ -23,6 +29,9 @@ pub struct RunArgs {
     pub quick: bool,
     /// `--json <path>`: where to write the experiment report.
     pub json: Option<PathBuf>,
+    /// `--trace-json <path>`: where to write the deterministic span
+    /// trace.
+    pub trace_json: Option<PathBuf>,
 }
 
 impl RunArgs {
@@ -42,6 +51,13 @@ impl RunArgs {
                         std::process::exit(2);
                     }
                 },
+                "--trace-json" => match args.next() {
+                    Some(p) => out.trace_json = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("error: --trace-json requires a path argument");
+                        std::process::exit(2);
+                    }
+                },
                 _ => {}
             }
         }
@@ -50,21 +66,33 @@ impl RunArgs {
 
     /// Standard epilogue for an engine-ported binary: assembles the
     /// [`ExperimentReport`] from the finished pipeline, prints the
-    /// per-stage timing summary (and sweep worker count) to stderr, and
-    /// writes the JSON artifact when `--json` was given.
+    /// per-stage timing summary (and sweep worker count) to stderr,
+    /// records the run's span tree on the process [`Recorder`], and
+    /// writes the JSON report and span trace when `--json` /
+    /// `--trace-json` were given.
     ///
     /// # Errors
     ///
-    /// Propagates I/O failures writing the JSON file.
+    /// Propagates I/O failures writing the JSON files.
     pub fn finalize(
         &self,
         record: ExperimentRecord,
         pipeline: &Pipeline,
         cache: CacheStats,
     ) -> std::io::Result<ExperimentReport> {
+        let experiment = record.id.clone();
         let report = ExperimentReport::new(record, pipeline).with_cache(cache);
         pipeline.eprint_summary();
         eprintln!("# jobs: {}", jobs());
+        let root = pipeline.span_tree(&experiment);
+        Recorder::global().record_span(root.clone());
+        if let Some(path) = &self.trace_json {
+            let doc = trace_document(&experiment, &root, false);
+            let text = serde_json::to_string_pretty(&doc)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            std::fs::write(path, text + "\n")?;
+            eprintln!("# trace: {} ({} spans)", path.display(), root.span_count());
+        }
         if let Some(path) = &self.json {
             report.write_json(path)?;
             eprintln!("# json: {}", path.display());

@@ -7,11 +7,12 @@
 //!
 //! Binaries marked **engine** run on the unified experiment engine
 //! (`m3d_core::engine`): they accept `--json <path>` (deterministic
-//! [`m3d_core::engine::ExperimentReport`] artifact), share flow results
-//! through the content-keyed flow cache, fan sweeps across cores
-//! (override the worker count with the `M3D_JOBS` environment
-//! variable), and print a per-stage `stage, wall_ms, cache_hit`
-//! summary to stderr on exit.
+//! [`m3d_core::engine::ExperimentReport`] artifact) and
+//! `--trace-json <path>` (deterministic per-stage span trace with cache
+//! provenance), share flow results through the content-keyed flow
+//! cache, fan sweeps across cores (override the worker count with the
+//! `M3D_JOBS` environment variable), and print a per-stage
+//! `stage, wall_ms, provenance` summary to stderr on exit.
 //!
 //! | Binary | Regenerates | Engine |
 //! |---|---|---|
@@ -27,13 +28,13 @@
 //! | `obs8_via_pitch` | Obs. 8 ILV-pitch sweep | engine |
 //! | `obs10_thermal` | Obs. 10 thermal tier cap: eq. 17 vs voxelized RC grid | engine |
 //! | `folding_ablation` | prior-work folding baseline (paper refs. 3 and 4, ≈ 1.1–1.4×) | |
-//! | `ablation_dataflow` | weight- vs output-stationary dataflow | |
+//! | `ablation_dataflow` | weight- vs output-stationary dataflow | engine |
 //! | `ablation_precision` | 4/8/16-bit weights | |
 //! | `ablation_batch` | batch pipelining across the CSs | |
 //! | `ablation_congestion` | under-array routing congestion | |
 //! | `sensitivity_analysis` | ±20 % Monte-Carlo robustness | engine |
 //! | `future_upper_logic` | Case 4: full CMOS on the upper layers | |
-//! | `projection_nodes` | 130→7 nm technology projections | |
+//! | `projection_nodes` | 130→7 nm technology projections | engine |
 //! | `extension_mobilenet` | MobileNetV1 stress coverage | |
 //! | `corners_signoff` | SS/TT/FF multi-corner sign-off | |
 
@@ -41,7 +42,7 @@ pub mod cli;
 pub mod registry;
 
 pub use cli::RunArgs;
-pub use registry::{CaseCtx, CaseError, CaseOutcome, CaseSpec};
+pub use registry::{Case, CaseCtx, CaseError, CaseOutcome};
 
 /// Prints a horizontal rule sized for the standard table width.
 pub fn rule(width: usize) {

@@ -1,16 +1,19 @@
 //! The experiment case registry: every serveable experiment, by name.
 //!
 //! The bench binaries and the `m3d-serve` experiment service share this
-//! dispatch table. A [`CaseSpec`] names one parameterised experiment —
-//! a physical-design flow, an exploration sweep, a Monte-Carlo
-//! sensitivity run, a thermal tier-cap solve — and runs it against the
-//! *shared* process-wide caches in a [`CaseCtx`], so identical
-//! configurations are computed once however many callers (CLI
-//! invocations, service requests, sweep workers) ask.
+//! dispatch table. A [`Case`] names one parameterised experiment — a
+//! physical-design flow, an exploration sweep, a Monte-Carlo sensitivity
+//! run, a thermal tier-cap solve — and runs it against the *shared*
+//! process-wide caches in a [`CaseCtx`], so identical configurations are
+//! computed once however many callers (CLI invocations, service
+//! requests, sweep workers) ask.
 //!
-//! Parameters and results travel as [`serde::Value`] trees: the service
-//! moves them over its NDJSON wire unchanged, and result construction
-//! uses fixed field order so a case's payload is **byte-identical** for
+//! Each case is one trait impl over a **typed params struct**: the wire
+//! [`serde::Value`] is parsed once into the struct (range-checked, with
+//! quick-mode defaults), and the execution logic takes the struct — so
+//! adding a case is one `impl Case` plus a registry line, and parameter
+//! validation cannot drift from execution. Result construction uses
+//! fixed field order so a case's payload is **byte-identical** for
 //! identical parameters — across runs, worker counts and server
 //! instances (an acceptance criterion of the service).
 
@@ -21,7 +24,7 @@ use m3d_core::explore::{capacity_sweep, tier_sweep};
 use m3d_core::framework::{ChipParams, WorkloadPoint};
 use m3d_core::sensitivity::{edp_benefit_sensitivity, Perturbation};
 use m3d_core::thermal::ThermalModel;
-use m3d_core::TierThermalModel;
+use m3d_core::{ErrorCode, TierThermalModel};
 use m3d_netlist::CsConfig;
 use m3d_pd::FlowConfig;
 use m3d_tech::{LayerStack, Pdk};
@@ -58,12 +61,13 @@ impl CaseOutcome {
     }
 }
 
-/// A case failure, with an HTTP-flavoured status code the service maps
-/// onto its wire protocol (`400` bad parameters, `500` internal).
+/// A case failure, classified by the shared [`ErrorCode`] the service
+/// maps onto its wire protocol ([`ErrorCode::BadRequest`] for parameter
+/// errors, [`ErrorCode::Internal`] for evaluation failures).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CaseError {
-    /// `400` for parameter errors, `500` for evaluation failures.
-    pub code: u16,
+    /// Failure category (carries the wire name and numeric status).
+    pub code: ErrorCode,
     /// Human-readable cause.
     pub message: String,
 }
@@ -71,14 +75,14 @@ pub struct CaseError {
 impl CaseError {
     fn bad_request(message: impl Into<String>) -> Self {
         Self {
-            code: 400,
+            code: ErrorCode::BadRequest,
             message: message.into(),
         }
     }
 
     fn internal(err: impl std::fmt::Display) -> Self {
         Self {
-            code: 500,
+            code: ErrorCode::Internal,
             message: err.to_string(),
         }
     }
@@ -92,58 +96,46 @@ impl std::fmt::Display for CaseError {
 
 impl std::error::Error for CaseError {}
 
-/// Signature every registered case implements.
-pub type CaseFn = fn(&CaseCtx, bool, &Value) -> Result<CaseOutcome, CaseError>;
-
-/// One entry of the dispatch table.
-pub struct CaseSpec {
+/// One registered experiment: a wire name, a summary, and a run method
+/// that parses its typed params from the wire `Value` and executes
+/// against the shared caches.
+///
+/// Implementations are stateless unit structs; per-run state lives in
+/// the typed params struct their `run` parses. The same impl serves the
+/// CLI binaries, the NDJSON service, and in-process callers.
+pub trait Case: Sync {
     /// Wire name (`"pd_flow"`, `"tier_sweep"`, …).
-    pub name: &'static str,
+    fn name(&self) -> &'static str;
+
     /// One-line description for listings.
-    pub summary: &'static str,
-    /// The implementation; receives `(ctx, quick, params)`.
-    pub run: CaseFn,
+    fn summary(&self) -> &'static str;
+
+    /// Parses `params` (quick-mode defaults when `quick`) and runs the
+    /// experiment against the shared caches in `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::BadRequest`]-coded for malformed or out-of-range
+    /// parameters, [`ErrorCode::Internal`]-coded for evaluation
+    /// failures.
+    fn run(&self, ctx: &CaseCtx, quick: bool, params: &Value) -> Result<CaseOutcome, CaseError>;
 }
 
 /// The dispatch table, in stable order.
-pub fn registry() -> &'static [CaseSpec] {
+pub fn registry() -> &'static [&'static dyn Case] {
     &[
-        CaseSpec {
-            name: "pd_flow",
-            summary: "RTL-to-GDS flow of one configuration (shared flow cache)",
-            run: run_pd_flow,
-        },
-        CaseSpec {
-            name: "tier_sweep",
-            summary: "Fig. 10d interleaved tier-pair exploration sweep",
-            run: run_tier_sweep,
-        },
-        CaseSpec {
-            name: "capacity_sweep",
-            summary: "Fig. 9 RRAM-capacity ladder",
-            run: run_capacity_sweep,
-        },
-        CaseSpec {
-            name: "sensitivity",
-            summary: "Monte-Carlo EDP-benefit robustness (seeded, deterministic)",
-            run: run_sensitivity,
-        },
-        CaseSpec {
-            name: "thermal_cap",
-            summary: "Obs. 10 RC-grid tier cap (shared thermal cache)",
-            run: run_thermal_cap,
-        },
-        CaseSpec {
-            name: "sleep",
-            summary: "diagnostic stall (load generation and backpressure tests)",
-            run: run_sleep,
-        },
+        &PdFlowCase,
+        &TierSweepCase,
+        &CapacitySweepCase,
+        &SensitivityCase,
+        &ThermalCapCase,
+        &SleepCase,
     ]
 }
 
 /// Looks a case up by wire name.
-pub fn find(name: &str) -> Option<&'static CaseSpec> {
-    registry().iter().find(|c| c.name == name)
+pub fn find(name: &str) -> Option<&'static dyn Case> {
+    registry().iter().copied().find(|c| c.name() == name)
 }
 
 // --- parameter extraction ----------------------------------------------
@@ -195,245 +187,479 @@ fn resnet_points() -> Vec<WorkloadPoint> {
         .collect()
 }
 
-// --- cases --------------------------------------------------------------
+// --- pd_flow ------------------------------------------------------------
 
 /// `pd_flow` — one RTL-to-GDS implementation through the shared
-/// [`FlowCache`], single-flight coalesced. Parameters: `n_cs` (0 = 2D
-/// baseline), `rows`/`cols` (PE array), `global_buffer_kb`,
-/// `activity_pct`.
-fn run_pd_flow(ctx: &CaseCtx, quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
-    let n_cs = u32::try_from(param_u64(params, "n_cs", 0, 64)?).expect("bounded");
-    let default_dim = if quick {
-        4
-    } else {
-        CsConfig::default().rows as u64
-    };
-    let rows = param_u64(params, "rows", default_dim, 64)? as usize;
-    let cols = param_u64(params, "cols", default_dim, 64)? as usize;
-    let gb_kb = param_u64(
-        params,
-        "global_buffer_kb",
-        if quick { 64 } else { 0 },
-        1 << 20,
-    )?;
-    let activity_pct = param_f64(params, "activity_pct", -1.0, (0.1, 100.0)).or_else(|e| {
-        if field(params, "activity_pct").is_none() {
-            Ok(-1.0)
-        } else {
-            Err(e)
-        }
-    })?;
+/// [`FlowCache`], single-flight coalesced.
+pub struct PdFlowCase;
 
-    let mut cfg = if n_cs == 0 {
-        FlowConfig::baseline_2d()
-    } else {
-        FlowConfig::m3d(n_cs)
-    };
-    let mut cs = CsConfig {
-        rows,
-        cols,
-        ..CsConfig::default()
-    };
-    if gb_kb > 0 {
-        cs.global_buffer_kb = gb_kb;
-        cs.local_buffer_kb = cs.local_buffer_kb.min(gb_kb);
-    }
-    cfg = cfg.with_cs(cs);
-    if quick {
-        cfg = cfg.quick();
-    }
-    if activity_pct > 0.0 {
-        cfg.activity = activity_pct / 100.0;
-    }
-
-    let (report, fetch): (_, FlowFetch) = ctx
-        .flows
-        .run_report_coalesced(&cfg)
-        .map_err(CaseError::internal)?;
-    let r = &*report;
-    Ok(CaseOutcome {
-        result: obj(vec![
-            ("design", Value::Str(r.design.clone())),
-            ("cs_count", Value::U64(u64::from(r.cs_count))),
-            ("die_mm2", Value::F64(r.die_mm2)),
-            ("cell_count", Value::U64(r.cell_count as u64)),
-            ("wirelength_m", Value::F64(r.wirelength_m)),
-            ("signal_ilvs", Value::U64(r.signal_ilvs)),
-            ("critical_path_ns", Value::F64(r.critical_path_ns)),
-            ("timing_met", Value::Bool(r.timing_met)),
-            ("total_power_mw", Value::F64(r.total_power_mw)),
-            ("upper_tier_fraction", Value::F64(r.upper_tier_fraction)),
-        ]),
-        cache_hit: fetch.cache_hit,
-        coalesced: fetch.coalesced,
-    })
+/// Typed parameters of [`PdFlowCase`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PdFlowParams {
+    /// Computing sub-systems (0 = 2D baseline).
+    pub n_cs: u32,
+    /// PE array rows.
+    pub rows: usize,
+    /// PE array columns.
+    pub cols: usize,
+    /// Global buffer size (0 = the netlist default).
+    pub global_buffer_kb: u64,
+    /// Switching activity override in percent (≤ 0 = flow default).
+    pub activity_pct: f64,
+    /// Reduced-effort flow.
+    pub quick: bool,
 }
 
+impl PdFlowParams {
+    /// Parses and range-checks the wire params.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::BadRequest`]-coded on malformed or out-of-range
+    /// values.
+    pub fn parse(quick: bool, params: &Value) -> Result<Self, CaseError> {
+        let default_dim = if quick {
+            4
+        } else {
+            CsConfig::default().rows as u64
+        };
+        Ok(Self {
+            n_cs: u32::try_from(param_u64(params, "n_cs", 0, 64)?).expect("bounded"),
+            rows: param_u64(params, "rows", default_dim, 64)? as usize,
+            cols: param_u64(params, "cols", default_dim, 64)? as usize,
+            global_buffer_kb: param_u64(
+                params,
+                "global_buffer_kb",
+                if quick { 64 } else { 0 },
+                1 << 20,
+            )?,
+            activity_pct: param_f64(params, "activity_pct", -1.0, (0.1, 100.0)).or_else(|e| {
+                if field(params, "activity_pct").is_none() {
+                    Ok(-1.0)
+                } else {
+                    Err(e)
+                }
+            })?,
+            quick,
+        })
+    }
+
+    /// The [`FlowConfig`] these parameters denote.
+    pub fn flow_config(&self) -> FlowConfig {
+        let mut cfg = if self.n_cs == 0 {
+            FlowConfig::baseline_2d()
+        } else {
+            FlowConfig::m3d(self.n_cs)
+        };
+        let mut cs = CsConfig {
+            rows: self.rows,
+            cols: self.cols,
+            ..CsConfig::default()
+        };
+        if self.global_buffer_kb > 0 {
+            cs.global_buffer_kb = self.global_buffer_kb;
+            cs.local_buffer_kb = cs.local_buffer_kb.min(self.global_buffer_kb);
+        }
+        cfg = cfg.with_cs(cs);
+        if self.quick {
+            cfg = cfg.quick();
+        }
+        if self.activity_pct > 0.0 {
+            cfg.activity = self.activity_pct / 100.0;
+        }
+        cfg
+    }
+}
+
+impl Case for PdFlowCase {
+    fn name(&self) -> &'static str {
+        "pd_flow"
+    }
+
+    fn summary(&self) -> &'static str {
+        "RTL-to-GDS flow of one configuration (shared flow cache)"
+    }
+
+    fn run(&self, ctx: &CaseCtx, quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
+        let cfg = PdFlowParams::parse(quick, params)?.flow_config();
+        let (report, fetch): (_, FlowFetch) = ctx
+            .flows
+            .run_report_coalesced(&cfg)
+            .map_err(CaseError::internal)?;
+        let r = &*report;
+        Ok(CaseOutcome {
+            result: obj(vec![
+                ("design", Value::Str(r.design.clone())),
+                ("cs_count", Value::U64(u64::from(r.cs_count))),
+                ("die_mm2", Value::F64(r.die_mm2)),
+                ("cell_count", Value::U64(r.cell_count as u64)),
+                ("wirelength_m", Value::F64(r.wirelength_m)),
+                ("signal_ilvs", Value::U64(r.signal_ilvs)),
+                ("critical_path_ns", Value::F64(r.critical_path_ns)),
+                ("timing_met", Value::Bool(r.timing_met)),
+                ("total_power_mw", Value::F64(r.total_power_mw)),
+                ("upper_tier_fraction", Value::F64(r.upper_tier_fraction)),
+            ]),
+            cache_hit: fetch.cache_hit,
+            coalesced: fetch.coalesced,
+        })
+    }
+}
+
+// --- tier_sweep ---------------------------------------------------------
+
 /// `tier_sweep` — Fig. 10d: EDP benefit vs interleaved tier pairs over
-/// ResNet-18. Parameters: `max_pairs`.
-fn run_tier_sweep(_ctx: &CaseCtx, quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
-    let default_pairs = if quick { 4 } else { 8 };
-    let max_pairs = u32::try_from(param_u64(params, "max_pairs", default_pairs, 16)?)
-        .expect("bounded")
-        .max(1);
-    let points = tier_sweep(
-        &BaselineAreas::case_study_64mb(),
-        &ChipParams::baseline_2d(),
-        &resnet_points(),
-        max_pairs,
-        None,
-    );
-    Ok(CaseOutcome::fresh(obj(vec![
-        ("max_pairs", Value::U64(u64::from(max_pairs))),
-        (
+/// ResNet-18.
+pub struct TierSweepCase;
+
+/// Typed parameters of [`TierSweepCase`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierSweepParams {
+    /// Largest interleaved pair count explored.
+    pub max_pairs: u32,
+}
+
+impl TierSweepParams {
+    /// Parses and range-checks the wire params.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::BadRequest`]-coded on malformed or out-of-range
+    /// values.
+    pub fn parse(quick: bool, params: &Value) -> Result<Self, CaseError> {
+        let default_pairs = if quick { 4 } else { 8 };
+        Ok(Self {
+            max_pairs: u32::try_from(param_u64(params, "max_pairs", default_pairs, 16)?)
+                .expect("bounded")
+                .max(1),
+        })
+    }
+}
+
+impl Case for TierSweepCase {
+    fn name(&self) -> &'static str {
+        "tier_sweep"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Fig. 10d interleaved tier-pair exploration sweep"
+    }
+
+    fn run(&self, _ctx: &CaseCtx, quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
+        let p = TierSweepParams::parse(quick, params)?;
+        let points = tier_sweep(
+            &BaselineAreas::case_study_64mb(),
+            &ChipParams::baseline_2d(),
+            &resnet_points(),
+            p.max_pairs,
+            None,
+        );
+        Ok(CaseOutcome::fresh(obj(vec![
+            ("max_pairs", Value::U64(u64::from(p.max_pairs))),
+            (
+                "points",
+                Value::Array(
+                    points
+                        .iter()
+                        .map(|p| {
+                            obj(vec![
+                                ("tiers", Value::U64(u64::from(p.tiers))),
+                                ("n_cs", Value::U64(u64::from(p.n_cs))),
+                                ("edp_benefit", Value::F64(p.edp_benefit)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])))
+    }
+}
+
+// --- capacity_sweep -----------------------------------------------------
+
+/// `capacity_sweep` — Fig. 9: benefits vs baseline RRAM capacity.
+pub struct CapacitySweepCase;
+
+/// Typed parameters of [`CapacitySweepCase`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacitySweepParams {
+    /// Ladder ceiling in MB (steps up to it).
+    pub max_capacity_mb: u64,
+}
+
+impl CapacitySweepParams {
+    /// Parses and range-checks the wire params.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::BadRequest`]-coded on malformed or out-of-range
+    /// values.
+    pub fn parse(quick: bool, params: &Value) -> Result<Self, CaseError> {
+        Ok(Self {
+            max_capacity_mb: param_u64(
+                params,
+                "max_capacity_mb",
+                if quick { 32 } else { 128 },
+                512,
+            )?
+            .max(12),
+        })
+    }
+
+    /// The capacity ladder these parameters denote.
+    pub fn ladder(&self) -> Vec<u64> {
+        [12u64, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512]
+            .into_iter()
+            .filter(|&mb| mb <= self.max_capacity_mb)
+            .collect()
+    }
+}
+
+impl Case for CapacitySweepCase {
+    fn name(&self) -> &'static str {
+        "capacity_sweep"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Fig. 9 RRAM-capacity ladder"
+    }
+
+    fn run(&self, _ctx: &CaseCtx, quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
+        let p = CapacitySweepParams::parse(quick, params)?;
+        let points = capacity_sweep(&Pdk::m3d_130nm(), &p.ladder(), &models::resnet18())
+            .map_err(CaseError::internal)?;
+        Ok(CaseOutcome::fresh(obj(vec![(
             "points",
             Value::Array(
                 points
                     .iter()
                     .map(|p| {
                         obj(vec![
-                            ("tiers", Value::U64(u64::from(p.tiers))),
+                            ("capacity_mb", Value::U64(p.capacity_mb)),
                             ("n_cs", Value::U64(u64::from(p.n_cs))),
+                            ("speedup", Value::F64(p.speedup)),
                             ("edp_benefit", Value::F64(p.edp_benefit)),
                         ])
                     })
                     .collect(),
             ),
-        ),
-    ])))
+        )])))
+    }
 }
 
-/// `capacity_sweep` — Fig. 9: benefits vs baseline RRAM capacity.
-/// Parameters: `max_capacity_mb` (ladder steps up to it).
-fn run_capacity_sweep(
-    _ctx: &CaseCtx,
-    quick: bool,
-    params: &Value,
-) -> Result<CaseOutcome, CaseError> {
-    let cap = param_u64(params, "max_capacity_mb", if quick { 32 } else { 128 }, 512)?.max(12);
-    let ladder: Vec<u64> = [12u64, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512]
-        .into_iter()
-        .filter(|&mb| mb <= cap)
-        .collect();
-    let points = capacity_sweep(&Pdk::m3d_130nm(), &ladder, &models::resnet18())
-        .map_err(CaseError::internal)?;
-    Ok(CaseOutcome::fresh(obj(vec![(
-        "points",
-        Value::Array(
-            points
-                .iter()
-                .map(|p| {
-                    obj(vec![
-                        ("capacity_mb", Value::U64(p.capacity_mb)),
-                        ("n_cs", Value::U64(u64::from(p.n_cs))),
-                        ("speedup", Value::F64(p.speedup)),
-                        ("edp_benefit", Value::F64(p.edp_benefit)),
-                    ])
-                })
-                .collect(),
-        ),
-    )])))
-}
+// --- sensitivity --------------------------------------------------------
 
 /// `sensitivity` — seeded ±20 % Monte-Carlo robustness of the ResNet-18
-/// EDP benefit. Parameters: `samples`, `seed`.
-fn run_sensitivity(_ctx: &CaseCtx, quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
-    let samples = param_u64(params, "samples", if quick { 100 } else { 1000 }, 50_000)?.max(1);
-    let seed = param_u64(params, "seed", 2023, u64::MAX)?;
-    let r = edp_benefit_sensitivity(
-        &ChipParams::baseline_2d(),
-        &ChipParams::m3d(8),
-        &resnet_points(),
-        &Perturbation::twenty_percent(),
-        samples as usize,
-        seed,
-    )
-    .map_err(CaseError::internal)?;
-    Ok(CaseOutcome::fresh(obj(vec![
-        ("samples", Value::U64(r.samples as u64)),
-        ("seed", Value::U64(seed)),
-        ("nominal", Value::F64(r.nominal)),
-        ("mean", Value::F64(r.mean)),
-        ("std_dev", Value::F64(r.std_dev)),
-        ("p5", Value::F64(r.p5)),
-        ("p95", Value::F64(r.p95)),
-        ("min", Value::F64(r.min)),
-        ("max", Value::F64(r.max)),
-    ])))
+/// EDP benefit.
+pub struct SensitivityCase;
+
+/// Typed parameters of [`SensitivityCase`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SensitivityParams {
+    /// Monte-Carlo sample count.
+    pub samples: usize,
+    /// RNG seed (deterministic per seed).
+    pub seed: u64,
 }
+
+impl SensitivityParams {
+    /// Parses and range-checks the wire params.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::BadRequest`]-coded on malformed or out-of-range
+    /// values.
+    pub fn parse(quick: bool, params: &Value) -> Result<Self, CaseError> {
+        Ok(Self {
+            samples: param_u64(params, "samples", if quick { 100 } else { 1000 }, 50_000)?.max(1)
+                as usize,
+            seed: param_u64(params, "seed", 2023, u64::MAX)?,
+        })
+    }
+}
+
+impl Case for SensitivityCase {
+    fn name(&self) -> &'static str {
+        "sensitivity"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Monte-Carlo EDP-benefit robustness (seeded, deterministic)"
+    }
+
+    fn run(&self, _ctx: &CaseCtx, quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
+        let p = SensitivityParams::parse(quick, params)?;
+        let r = edp_benefit_sensitivity(
+            &ChipParams::baseline_2d(),
+            &ChipParams::m3d(8),
+            &resnet_points(),
+            &Perturbation::twenty_percent(),
+            p.samples,
+            p.seed,
+        )
+        .map_err(CaseError::internal)?;
+        Ok(CaseOutcome::fresh(obj(vec![
+            ("samples", Value::U64(r.samples as u64)),
+            ("seed", Value::U64(p.seed)),
+            ("nominal", Value::F64(r.nominal)),
+            ("mean", Value::F64(r.mean)),
+            ("std_dev", Value::F64(r.std_dev)),
+            ("p5", Value::F64(r.p5)),
+            ("p95", Value::F64(r.p95)),
+            ("min", Value::F64(r.min)),
+            ("max", Value::F64(r.max)),
+        ])))
+    }
+}
+
+// --- thermal_cap --------------------------------------------------------
 
 /// `thermal_cap` — Obs. 10: RC-grid temperature rise vs stacked tier
 /// pairs through the shared [`ThermalCache`], against the eq. 17
-/// analytic cap. Parameters: `power_w`, `max_pairs`, `n_lat`,
-/// `budget_k`.
-fn run_thermal_cap(ctx: &CaseCtx, quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
-    let power_w = param_f64(params, "power_w", 5.0, (0.01, 500.0))?;
-    let max_pairs = u32::try_from(param_u64(
-        params,
-        "max_pairs",
-        if quick { 4 } else { 8 },
-        12,
-    )?)
-    .expect("bounded")
-    .max(1);
-    let n_lat = param_u64(params, "n_lat", if quick { 4 } else { 8 }, 64)?.max(2) as usize;
-    let budget_k = param_f64(params, "budget_k", 60.0, (1.0, 500.0))?;
+/// analytic cap.
+pub struct ThermalCapCase;
 
-    let stack = LayerStack::m3d_130nm();
-    let die_mm2 = BaselineAreas::case_study_64mb().total_mm2();
-    let solver = SolverConfig::default();
-    let mut rows = Vec::new();
-    let mut cache_hit = true;
-    let mut grid_cap = 0u32;
-    let mut capped = false;
-    for tiers in 1..=max_pairs {
-        let grid = GridConfig::from_stack(&stack, die_mm2, n_lat, n_lat, tiers, 1.0, budget_k)
-            .map_err(CaseError::internal)?;
-        let before = ctx.thermals.stats().hits;
-        let sol = ctx
-            .thermals
-            .solve(&grid, &PowerMap::uniform(&grid, power_w), &solver)
-            .map_err(CaseError::internal)?;
-        cache_hit &= ctx.thermals.stats().hits > before;
-        let rise_eq17 = ThermalModel::conventional(power_w).temperature_rise(tiers);
-        if sol.peak_rise_k <= budget_k && !capped {
-            grid_cap = tiers;
-        } else {
-            capped = true;
-        }
-        rows.push(obj(vec![
-            ("tiers", Value::U64(u64::from(tiers))),
-            ("rise_grid_k", Value::F64(sol.peak_rise_k)),
-            ("rise_eq17_k", Value::F64(rise_eq17)),
-        ]));
-    }
-    let eq17_cap = ThermalModel::conventional(power_w)
-        .max_tiers()
-        .map_or(Value::Null, |c| Value::U64(u64::from(c)));
-    Ok(CaseOutcome {
-        result: obj(vec![
-            ("power_w", Value::F64(power_w)),
-            ("budget_k", Value::F64(budget_k)),
-            ("cap_grid", Value::U64(u64::from(grid_cap))),
-            ("cap_eq17", eq17_cap),
-            ("rises", Value::Array(rows)),
-        ]),
-        cache_hit,
-        coalesced: false,
-    })
+/// Typed parameters of [`ThermalCapCase`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalCapParams {
+    /// Per-tier power (W).
+    pub power_w: f64,
+    /// Largest stacked pair count explored.
+    pub max_pairs: u32,
+    /// Lateral grid resolution per axis.
+    pub n_lat: usize,
+    /// Temperature-rise budget (K).
+    pub budget_k: f64,
 }
 
-/// `sleep` — stalls a worker for `ms` milliseconds (bounded). Exists so
-/// load generators and the backpressure tests can occupy the service
-/// deterministically; `tag` distinguishes otherwise-identical requests.
-fn run_sleep(_ctx: &CaseCtx, _quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
-    let ms = param_u64(params, "ms", 10, 5_000)?;
-    let tag = param_u64(params, "tag", 0, u64::MAX)?;
-    std::thread::sleep(std::time::Duration::from_millis(ms));
-    Ok(CaseOutcome::fresh(obj(vec![
-        ("slept_ms", Value::U64(ms)),
-        ("tag", Value::U64(tag)),
-    ])))
+impl ThermalCapParams {
+    /// Parses and range-checks the wire params.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::BadRequest`]-coded on malformed or out-of-range
+    /// values.
+    pub fn parse(quick: bool, params: &Value) -> Result<Self, CaseError> {
+        Ok(Self {
+            power_w: param_f64(params, "power_w", 5.0, (0.01, 500.0))?,
+            max_pairs: u32::try_from(param_u64(
+                params,
+                "max_pairs",
+                if quick { 4 } else { 8 },
+                12,
+            )?)
+            .expect("bounded")
+            .max(1),
+            n_lat: param_u64(params, "n_lat", if quick { 4 } else { 8 }, 64)?.max(2) as usize,
+            budget_k: param_f64(params, "budget_k", 60.0, (1.0, 500.0))?,
+        })
+    }
+}
+
+impl Case for ThermalCapCase {
+    fn name(&self) -> &'static str {
+        "thermal_cap"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Obs. 10 RC-grid tier cap (shared thermal cache)"
+    }
+
+    fn run(&self, ctx: &CaseCtx, quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
+        let p = ThermalCapParams::parse(quick, params)?;
+        let stack = LayerStack::m3d_130nm();
+        let die_mm2 = BaselineAreas::case_study_64mb().total_mm2();
+        let solver = SolverConfig::default();
+        let mut rows = Vec::new();
+        let mut cache_hit = true;
+        let mut grid_cap = 0u32;
+        let mut capped = false;
+        for tiers in 1..=p.max_pairs {
+            let grid =
+                GridConfig::from_stack(&stack, die_mm2, p.n_lat, p.n_lat, tiers, 1.0, p.budget_k)
+                    .map_err(CaseError::internal)?;
+            let before = ctx.thermals.stats().hits;
+            let sol = ctx
+                .thermals
+                .solve(&grid, &PowerMap::uniform(&grid, p.power_w), &solver)
+                .map_err(CaseError::internal)?;
+            cache_hit &= ctx.thermals.stats().hits > before;
+            let rise_eq17 = ThermalModel::conventional(p.power_w).temperature_rise(tiers);
+            if sol.peak_rise_k <= p.budget_k && !capped {
+                grid_cap = tiers;
+            } else {
+                capped = true;
+            }
+            rows.push(obj(vec![
+                ("tiers", Value::U64(u64::from(tiers))),
+                ("rise_grid_k", Value::F64(sol.peak_rise_k)),
+                ("rise_eq17_k", Value::F64(rise_eq17)),
+            ]));
+        }
+        let eq17_cap = ThermalModel::conventional(p.power_w)
+            .max_tiers()
+            .map_or(Value::Null, |c| Value::U64(u64::from(c)));
+        Ok(CaseOutcome {
+            result: obj(vec![
+                ("power_w", Value::F64(p.power_w)),
+                ("budget_k", Value::F64(p.budget_k)),
+                ("cap_grid", Value::U64(u64::from(grid_cap))),
+                ("cap_eq17", eq17_cap),
+                ("rises", Value::Array(rows)),
+            ]),
+            cache_hit,
+            coalesced: false,
+        })
+    }
+}
+
+// --- sleep --------------------------------------------------------------
+
+/// `sleep` — stalls a worker deterministically. Exists so load
+/// generators and the backpressure tests can occupy the service.
+pub struct SleepCase;
+
+/// Typed parameters of [`SleepCase`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SleepParams {
+    /// Stall duration (bounded).
+    pub ms: u64,
+    /// Distinguishes otherwise-identical requests.
+    pub tag: u64,
+}
+
+impl SleepParams {
+    /// Parses and range-checks the wire params.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::BadRequest`]-coded on malformed or out-of-range
+    /// values.
+    pub fn parse(params: &Value) -> Result<Self, CaseError> {
+        Ok(Self {
+            ms: param_u64(params, "ms", 10, 5_000)?,
+            tag: param_u64(params, "tag", 0, u64::MAX)?,
+        })
+    }
+}
+
+impl Case for SleepCase {
+    fn name(&self) -> &'static str {
+        "sleep"
+    }
+
+    fn summary(&self) -> &'static str {
+        "diagnostic stall (load generation and backpressure tests)"
+    }
+
+    fn run(&self, _ctx: &CaseCtx, _quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
+        let p = SleepParams::parse(params)?;
+        std::thread::sleep(std::time::Duration::from_millis(p.ms));
+        Ok(CaseOutcome::fresh(obj(vec![
+            ("slept_ms", Value::U64(p.ms)),
+            ("tag", Value::U64(p.tag)),
+        ])))
+    }
 }
 
 #[cfg(test)]
@@ -450,18 +676,19 @@ mod tests {
             flows: &flows,
             thermals: &thermals,
         };
-        (find(name).expect("registered").run)(&ctx, quick, &params)
+        find(name).expect("registered").run(&ctx, quick, &params)
     }
 
     #[test]
     fn registry_names_are_unique_and_findable() {
-        let names: Vec<&str> = registry().iter().map(|c| c.name).collect();
+        let names: Vec<&str> = registry().iter().map(|c| c.name()).collect();
         let mut dedup = names.clone();
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len());
         for n in names {
             assert!(find(n).is_some());
+            assert!(!find(n).unwrap().summary().is_empty());
         }
         assert!(find("no_such_case").is_none());
     }
@@ -492,9 +719,35 @@ mod tests {
             obj(vec![("power_w", Value::F64(-3.0))]),
         )
         .unwrap_err();
-        assert_eq!(err.code, 400);
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert_eq!(err.code.status(), 400);
         let err = run("sleep", true, obj(vec![("ms", Value::Str("long".into()))])).unwrap_err();
-        assert_eq!(err.code, 400);
+        assert_eq!(err.code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn typed_params_parse_defaults_and_reject_out_of_range() {
+        let p = PdFlowParams::parse(true, &Value::Null).unwrap();
+        assert_eq!((p.rows, p.cols), (4, 4), "quick-mode default PE array");
+        assert_eq!(p.global_buffer_kb, 64);
+        assert!(p.quick);
+        let err = PdFlowParams::parse(true, &obj(vec![("rows", Value::U64(65))])).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+
+        let s = SensitivityParams::parse(false, &Value::Null).unwrap();
+        assert_eq!((s.samples, s.seed), (1000, 2023));
+
+        let t = ThermalCapParams::parse(true, &Value::Null).unwrap();
+        assert_eq!((t.max_pairs, t.n_lat), (4, 4));
+    }
+
+    #[test]
+    fn typed_params_drive_the_same_flow_config_as_the_wire_path() {
+        // Two PdFlowParams parsed from equal wire params key the same
+        // cache entry — the typed layer cannot drift from dispatch.
+        let a = PdFlowParams::parse(true, &Value::Null).unwrap();
+        let b = PdFlowParams::parse(true, &obj(vec![])).unwrap();
+        assert_eq!(a.flow_config().stable_key(), b.flow_config().stable_key());
     }
 
     #[test]
@@ -504,10 +757,10 @@ mod tests {
             flows: &flows,
             thermals: &thermals,
         };
-        let spec = find("thermal_cap").unwrap();
-        let first = (spec.run)(&ctx, true, &Value::Null).unwrap();
+        let case = find("thermal_cap").unwrap();
+        let first = case.run(&ctx, true, &Value::Null).unwrap();
         assert!(!first.cache_hit);
-        let second = (spec.run)(&ctx, true, &Value::Null).unwrap();
+        let second = case.run(&ctx, true, &Value::Null).unwrap();
         assert!(second.cache_hit, "every solve replayed from the memo");
         assert_eq!(first.result, second.result);
     }
@@ -519,14 +772,16 @@ mod tests {
             flows: &flows,
             thermals: &thermals,
         };
-        let spec = find("pd_flow").unwrap();
-        let first = (spec.run)(&ctx, true, &Value::Null).unwrap();
-        let second = (spec.run)(&ctx, true, &Value::Null).unwrap();
+        let case = find("pd_flow").unwrap();
+        let first = case.run(&ctx, true, &Value::Null).unwrap();
+        let second = case.run(&ctx, true, &Value::Null).unwrap();
         assert!(!first.cache_hit && second.cache_hit);
         assert_eq!(flows.stats().misses, 1);
         assert_eq!(first.result, second.result);
         // Structurally different parameters miss.
-        let other = (spec.run)(&ctx, true, &obj(vec![("activity_pct", Value::F64(31.0))])).unwrap();
+        let other = case
+            .run(&ctx, true, &obj(vec![("activity_pct", Value::F64(31.0))]))
+            .unwrap();
         assert!(!other.cache_hit);
         assert_ne!(other.result, first.result);
     }

@@ -35,6 +35,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::engine::inflight::{Flight, InFlight};
 use crate::error::CoreResult;
+use crate::obs::{Provenance, Recorder};
 
 /// Hit/miss counters of a [`FlowCache`], serialised into the
 /// [`crate::engine::ExperimentReport`].
@@ -78,6 +79,22 @@ pub struct FlowFetch {
     /// This caller joined another caller's in-flight run of the same
     /// configuration instead of starting its own.
     pub coalesced: bool,
+}
+
+impl FlowFetch {
+    /// The span [`Provenance`] this fetch corresponds to. Memory and
+    /// disk hits both map to [`Provenance::CacheHit`] here because the
+    /// coalesced lookup path does not distinguish them; per-tier counts
+    /// live in [`CacheStats`].
+    pub fn provenance(self) -> Provenance {
+        if self.coalesced {
+            Provenance::Coalesced
+        } else if self.cache_hit {
+            Provenance::CacheHit
+        } else {
+            Provenance::Computed
+        }
+    }
 }
 
 impl FlowCache {
@@ -170,11 +187,13 @@ impl FlowCache {
         let key = cfg.stable_key();
         if let Some(hit) = self.entries.lock().unwrap().get(&key).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            Recorder::global().incr("flow_cache.hits", 1);
             return Ok((hit, true));
         }
         // Compute outside the lock so concurrent sweep workers proceed.
         let computed = Arc::new(Rtl2GdsFlow::new(cfg.clone()).run()?);
         self.misses.fetch_add(1, Ordering::Relaxed);
+        Recorder::global().incr("flow_cache.misses", 1);
         self.write_disk(key, &computed.0);
         self.reports
             .lock()
@@ -205,10 +224,12 @@ impl FlowCache {
         let key = cfg.stable_key();
         if let Some(hit) = self.reports.lock().unwrap().get(&key).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            Recorder::global().incr("flow_cache.hits", 1);
             return Ok((hit, true));
         }
         if let Some(report) = self.read_disk(key) {
             self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            Recorder::global().incr("flow_cache.disk_hits", 1);
             let stored = self
                 .reports
                 .lock()
@@ -246,6 +267,7 @@ impl FlowCache {
         // run_report_traced below would double-lock, so check here.
         if let Some(hit) = self.reports.lock().unwrap().get(&key).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            Recorder::global().incr("flow_cache.hits", 1);
             return Ok((
                 hit,
                 FlowFetch {
@@ -260,6 +282,7 @@ impl FlowCache {
         let (report, leader_hit) = value.expect("no deadline, so never TimedOut");
         if flight == Flight::Joined {
             self.coalesced.fetch_add(1, Ordering::Relaxed);
+            Recorder::global().incr("flow_cache.coalesced", 1);
             return Ok((
                 report,
                 FlowFetch {

@@ -19,6 +19,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
+use crate::obs::Recorder;
+
 /// How an [`InFlight::run`] call obtained its value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Flight {
@@ -152,6 +154,7 @@ impl<V: Clone> InFlight<V> {
                 match &*state {
                     SlotState::Done(v) => {
                         self.joined.fetch_add(1, Ordering::Relaxed);
+                        Recorder::global().incr("inflight.joined", 1);
                         return Ok((Some(v.clone()), Flight::Joined));
                     }
                     SlotState::Failed => break, // retry leadership

@@ -9,8 +9,10 @@
 //! engine factors it into four orthogonal pieces:
 //!
 //! * [`stage`] — the typed pipeline stages (`tech → netlist → pd-flow →
-//!   arch-sim → report`) with per-stage wall-clock instrumentation and a
-//!   uniform `stage, wall_ms, cache_hit` stderr summary;
+//!   arch-sim → report`) with per-stage wall-clock and provenance
+//!   instrumentation, a uniform `stage, wall_ms, provenance` stderr
+//!   summary, and the [`crate::obs::SpanNode`] trace tree behind the
+//!   bench binaries' `--trace-json` flag;
 //! * [`cache`] — a content-keyed [`cache::FlowCache`] memoising whole
 //!   flow runs by the [`m3d_tech::StableHash`] of their
 //!   [`m3d_pd::FlowConfig`], so iso-footprint experiments that re-run the
@@ -37,4 +39,4 @@ pub use cache::{CacheStats, FlowCache, FlowFetch};
 pub use inflight::{Flight, InFlight};
 pub use parallel::{jobs, par_map, par_map_jobs};
 pub use report::{ExperimentReport, StageRecord};
-pub use stage::{Pipeline, Stage, StageTiming};
+pub use stage::{Pipeline, Stage, StageCtx, StageTiming};

@@ -24,6 +24,8 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use crate::obs::{Recorder, DEPTH_EDGES};
+
 /// Worker count for sweep execution: the `M3D_JOBS` environment variable
 /// when set to a positive integer, otherwise the machine's available
 /// parallelism.
@@ -87,12 +89,18 @@ where
 {
     let n = items.len();
     let jobs = jobs.max(1).min(n.max(1));
+    let rec = Recorder::global();
+    rec.incr("par_map.calls", 1);
+    rec.incr("par_map.items", n as u64);
+    rec.observe("par_map.workers", jobs as u64, DEPTH_EDGES);
     if jobs == 1 {
         return items.iter().map(f).collect();
     }
     let cursor = AtomicUsize::new(0);
+    let chunks = AtomicUsize::new(0);
     let f = &f;
     let cursor = &cursor;
+    let chunks = &chunks;
     let mut buckets: Vec<Vec<(usize, U)>> = Vec::with_capacity(jobs);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..jobs)
@@ -100,6 +108,7 @@ where
                 scope.spawn(move || {
                     let mut out = Vec::new();
                     while let Some((start, end)) = claim_chunk(cursor, n, jobs) {
+                        chunks.fetch_add(1, Ordering::Relaxed);
                         for i in start..end {
                             out.push((i, f(&items[i])));
                         }
@@ -115,6 +124,7 @@ where
             }
         }
     });
+    rec.incr("par_map.chunks", chunks.load(Ordering::Relaxed) as u64);
     let mut slots: Vec<Option<U>> = std::iter::repeat_with(|| None).take(n).collect();
     for (i, u) in buckets.into_iter().flatten() {
         slots[i] = Some(u);

@@ -1,13 +1,16 @@
-//! Typed pipeline stages with wall-clock instrumentation.
+//! Typed pipeline stages with wall-clock and provenance instrumentation.
 //!
 //! Every experiment decomposes into the same coarse stages; [`Pipeline`]
-//! names them, times them, and renders the uniform
-//! `stage, wall_ms, cache_hit` summary the bench binaries print to
-//! stderr. Wall-clock numbers are *observability only*: they are kept
-//! out of the serialised [`crate::engine::ExperimentReport`] so that JSON
-//! artifacts stay byte-reproducible run to run.
+//! names them, times them, renders the uniform
+//! `stage, wall_ms, provenance` summary the bench binaries print to
+//! stderr, and builds the span tree `--trace-json` dumps. Wall-clock
+//! numbers are *observability only*: they are kept out of the serialised
+//! [`crate::engine::ExperimentReport`] and out of deterministic trace
+//! renderings so that JSON artifacts stay byte-reproducible run to run.
 
 use std::time::Instant;
+
+use crate::obs::{Provenance, SpanNode};
 
 /// One coarse stage of an experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,7 +30,7 @@ pub enum Stage {
 }
 
 impl Stage {
-    /// Stable display name (also used in JSON stage records).
+    /// Stable display name (also used in JSON stage records and spans).
     pub fn name(self) -> &'static str {
         match self {
             Stage::Tech => "tech",
@@ -56,8 +59,12 @@ pub struct StageTiming {
     pub label: String,
     /// Wall-clock duration in milliseconds.
     pub wall_ms: f64,
-    /// `true` when the stage was satisfied from the flow cache.
+    /// `true` when the stage was satisfied from a cache tier (memory or
+    /// disk). Derived from [`StageTiming::provenance`]; coalesced joins
+    /// count as misses here because *someone* computed the result.
     pub cache_hit: bool,
+    /// Full provenance of how the stage's work was satisfied.
+    pub provenance: Provenance,
 }
 
 /// An instrumented sequence of stages.
@@ -69,22 +76,54 @@ pub struct StageTiming {
 /// let sum = pipe.stage(Stage::ArchSim, "", |_| (0..100u64).sum::<u64>());
 /// assert_eq!(sum, 4950);
 /// assert_eq!(pipe.timings().len(), 1);
+/// assert_eq!(pipe.span_tree("demo").span_count(), 2);
 /// ```
 #[derive(Debug, Default)]
 pub struct Pipeline {
     timings: Vec<StageTiming>,
+    spans: Vec<SpanNode>,
 }
 
-/// Handle passed to a running stage, letting it flag a cache hit.
+/// Handle passed to a running stage, letting it report provenance and
+/// attach nested child spans (per-sweep-point flow runs, solver passes).
 #[derive(Debug)]
 pub struct StageCtx {
-    cache_hit: bool,
+    provenance: Provenance,
+    children: Vec<SpanNode>,
 }
 
 impl StageCtx {
-    /// Marks this stage as satisfied from the flow cache.
+    /// Marks this stage as satisfied from an in-memory cache.
     pub fn mark_cache_hit(&mut self) {
-        self.cache_hit = true;
+        self.provenance = Provenance::CacheHit;
+    }
+
+    /// Marks this stage as replayed from the on-disk artifact store.
+    pub fn mark_disk_hit(&mut self) {
+        self.provenance = Provenance::DiskHit;
+    }
+
+    /// Marks this stage as coalesced onto another caller's in-flight run.
+    pub fn mark_coalesced(&mut self) {
+        self.provenance = Provenance::Coalesced;
+    }
+
+    /// Sets the stage's provenance explicitly.
+    pub fn mark(&mut self, provenance: Provenance) {
+        self.provenance = provenance;
+    }
+
+    /// Appends a leaf child span under this stage (e.g. one flow run of
+    /// a sweep). Children appear in the trace in insertion order.
+    pub fn child(&mut self, name: impl Into<String>, provenance: Provenance) {
+        let mut node = SpanNode::new(name);
+        node.provenance = provenance;
+        self.children.push(node);
+    }
+
+    /// Appends an already-built child span subtree.
+    pub fn child_span(&mut self, span: SpanNode) {
+        self.children.push(span);
     }
 }
 
@@ -94,17 +133,33 @@ impl Pipeline {
         Self::default()
     }
 
-    /// Runs `f` as `stage`, recording its wall-clock time. The closure
-    /// receives a [`StageCtx`] to flag cache hits.
+    /// Runs `f` as `stage`, recording its wall-clock time and building a
+    /// span. The closure receives a [`StageCtx`] to report provenance
+    /// and attach child spans.
     pub fn stage<T>(&mut self, stage: Stage, label: &str, f: impl FnOnce(&mut StageCtx) -> T) -> T {
-        let mut ctx = StageCtx { cache_hit: false };
+        let mut ctx = StageCtx {
+            provenance: Provenance::Computed,
+            children: Vec::new(),
+        };
         let start = Instant::now();
         let out = f(&mut ctx);
+        let wall_ms = start.elapsed().as_secs_f64() * 1.0e3;
+        let name = if label.is_empty() {
+            stage.name().to_owned()
+        } else {
+            format!("{}:{label}", stage.name())
+        };
+        let mut span = SpanNode::new(name);
+        span.wall_ms = wall_ms;
+        span.provenance = ctx.provenance;
+        span.children = ctx.children;
+        self.spans.push(span);
         self.timings.push(StageTiming {
             stage,
             label: label.to_owned(),
-            wall_ms: start.elapsed().as_secs_f64() * 1.0e3,
-            cache_hit: ctx.cache_hit,
+            wall_ms,
+            cache_hit: matches!(ctx.provenance, Provenance::CacheHit | Provenance::DiskHit),
+            provenance: ctx.provenance,
         });
         out
     }
@@ -114,17 +169,31 @@ impl Pipeline {
         &self.timings
     }
 
+    /// The per-stage spans recorded so far, in execution order.
+    pub fn spans(&self) -> &[SpanNode] {
+        &self.spans
+    }
+
+    /// Assembles the stage spans under a root named `root_name` (the
+    /// experiment id), ready for [`crate::obs::trace_document`].
+    pub fn span_tree(&self, root_name: &str) -> SpanNode {
+        let mut root = SpanNode::new(root_name);
+        root.wall_ms = self.timings.iter().map(|t| t.wall_ms).sum();
+        root.children = self.spans.clone();
+        root
+    }
+
     /// Prints the per-stage summary to stderr: one
-    /// `stage, wall_ms, cache_hit` line per executed stage.
+    /// `stage, wall_ms, provenance` line per executed stage.
     pub fn eprint_summary(&self) {
-        eprintln!("# stage, wall_ms, cache_hit");
+        eprintln!("# stage, wall_ms, provenance");
         for t in &self.timings {
             let name = if t.label.is_empty() {
                 t.stage.name().to_owned()
             } else {
                 format!("{}:{}", t.stage.name(), t.label)
             };
-            eprintln!("# {name}, {:.1}, {}", t.wall_ms, t.cache_hit);
+            eprintln!("# {name}, {:.1}, {}", t.wall_ms, t.provenance);
         }
     }
 }
@@ -148,6 +217,7 @@ mod tests {
         assert!(!ts[0].cache_hit);
         assert_eq!(ts[1].label, "m3d");
         assert!(ts[1].cache_hit);
+        assert_eq!(ts[1].provenance, Provenance::CacheHit);
         assert!(ts.iter().all(|t| t.wall_ms >= 0.0));
     }
 
@@ -167,6 +237,45 @@ mod tests {
         assert_eq!(
             names,
             ["tech", "netlist", "pd-flow", "arch-sim", "thermal", "report"]
+        );
+    }
+
+    #[test]
+    fn coalesced_stages_are_not_cache_hits_but_are_reuse() {
+        let mut pipe = Pipeline::new();
+        pipe.stage(Stage::PdFlow, "", |ctx| ctx.mark_coalesced());
+        let t = &pipe.timings()[0];
+        assert!(!t.cache_hit);
+        assert_eq!(t.provenance, Provenance::Coalesced);
+        assert!(t.provenance.is_reuse());
+    }
+
+    #[test]
+    fn span_tree_nests_stages_and_children_under_the_root() {
+        let mut pipe = Pipeline::new();
+        pipe.stage(Stage::PdFlow, "sweep", |ctx| {
+            ctx.child("pd-flow:pt0", Provenance::Computed);
+            ctx.child("pd-flow:pt1", Provenance::CacheHit);
+        });
+        pipe.stage(Stage::Report, "", |_| ());
+        let root = pipe.span_tree("fig8");
+        assert_eq!(root.name, "fig8");
+        assert_eq!(root.span_count(), 5);
+        assert_eq!(
+            root.find("pd-flow:pt1").unwrap().provenance,
+            Provenance::CacheHit
+        );
+        assert!(root.find("report").is_some());
+        // Deterministic renderings of structurally equal trees match.
+        let mut again = Pipeline::new();
+        again.stage(Stage::PdFlow, "sweep", |ctx| {
+            ctx.child("pd-flow:pt0", Provenance::Computed);
+            ctx.child("pd-flow:pt1", Provenance::CacheHit);
+        });
+        again.stage(Stage::Report, "", |_| ());
+        assert_eq!(
+            serde_json::to_string(&root.to_value(false)).unwrap(),
+            serde_json::to_string(&again.span_tree("fig8").to_value(false)).unwrap()
         );
     }
 }

@@ -68,6 +68,90 @@ impl From<PdError> for CoreError {
 /// Convenience result alias.
 pub type CoreResult<T> = Result<T, CoreError>;
 
+/// Service-level error categories with stable wire names and HTTP-style
+/// status codes, shared by the NDJSON protocol (`m3d-serve`), the load
+/// generator's tally, and anything else that needs to classify failures
+/// without string-matching messages.
+///
+/// The numeric status is what travels on the wire alongside the name, so
+/// old clients keyed on numbers and new clients keyed on names agree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum ErrorCode {
+    /// The request was malformed (unparseable line, bad params).
+    BadRequest,
+    /// The named case does not exist in the registry.
+    UnknownCase,
+    /// The request deadline expired before a result was produced.
+    Deadline,
+    /// The service's bounded queue was full; retry after backoff.
+    Overloaded,
+    /// The service is draining for shutdown and accepts no new work.
+    Draining,
+    /// The case itself failed while executing.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Every code, in ascending status order (for exhaustive tests and
+    /// tally tables).
+    pub const ALL: &'static [ErrorCode] = &[
+        ErrorCode::BadRequest,
+        ErrorCode::UnknownCase,
+        ErrorCode::Deadline,
+        ErrorCode::Overloaded,
+        ErrorCode::Internal,
+        ErrorCode::Draining,
+    ];
+
+    /// Stable wire name (the `code` field of an error reply).
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::UnknownCase => "unknown-case",
+            ErrorCode::Deadline => "deadline",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Draining => "draining",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// HTTP-style numeric status (the `status` field of an error reply).
+    pub fn status(self) -> u16 {
+        match self {
+            ErrorCode::BadRequest => 400,
+            ErrorCode::UnknownCase => 404,
+            ErrorCode::Deadline => 408,
+            ErrorCode::Overloaded => 429,
+            ErrorCode::Internal => 500,
+            ErrorCode::Draining => 503,
+        }
+    }
+
+    /// Parses a wire name back to a code.
+    pub fn from_wire(name: &str) -> Option<ErrorCode> {
+        ErrorCode::ALL
+            .iter()
+            .copied()
+            .find(|c| c.wire_name() == name)
+    }
+
+    /// Maps a numeric status back to a code (for replies from servers
+    /// that predate the `code` field).
+    pub fn from_status(status: u16) -> Option<ErrorCode> {
+        ErrorCode::ALL
+            .iter()
+            .copied()
+            .find(|c| c.status() == status)
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.wire_name())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,5 +173,24 @@ mod tests {
     fn is_std_error() {
         fn assert_err<E: Error + Send + Sync + 'static>() {}
         assert_err::<CoreError>();
+    }
+
+    #[test]
+    fn error_codes_round_trip_by_name_and_status() {
+        for &code in ErrorCode::ALL {
+            assert_eq!(ErrorCode::from_wire(code.wire_name()), Some(code));
+            assert_eq!(ErrorCode::from_status(code.status()), Some(code));
+            assert_eq!(code.to_string(), code.wire_name());
+        }
+        assert_eq!(ErrorCode::from_wire("no-such-code"), None);
+        assert_eq!(ErrorCode::from_status(418), None);
+    }
+
+    #[test]
+    fn error_code_statuses_are_distinct() {
+        let mut statuses: Vec<u16> = ErrorCode::ALL.iter().map(|c| c.status()).collect();
+        statuses.sort_unstable();
+        statuses.dedup();
+        assert_eq!(statuses.len(), ErrorCode::ALL.len());
     }
 }

@@ -43,6 +43,7 @@ pub mod engine;
 pub mod error;
 pub mod explore;
 pub mod framework;
+pub mod obs;
 pub mod report;
 pub mod roofline;
 pub mod sensitivity;
@@ -57,7 +58,7 @@ pub use engine::{
     jobs, par_map, par_map_jobs, CacheStats, ExperimentReport, FlowCache, Pipeline, Stage,
     StageRecord, StageTiming,
 };
-pub use error::{CoreError, CoreResult};
+pub use error::{CoreError, CoreResult, ErrorCode};
 pub use explore::{
     bandwidth_cs_grid, capacity_sweep, fig5_comparisons, intensity_workload,
     sram_baseline_design_point, tier_sweep, CapacityPoint, GridPoint,
@@ -66,6 +67,7 @@ pub use framework::{
     edp_benefit, energy_pj, energy_ratio, evaluate_workload, exec_cycles, memory_cycles, n_max,
     speedup, workload_edp_benefit, ChipParams, FrameworkTotals, MemoryTraffic, WorkloadPoint,
 };
+pub use obs::{trace_document, Provenance, Recorder, SpanNode};
 pub use report::{ExperimentRecord, Metric, Row};
 pub use roofline::{Roofline, SocRoofline};
 pub use sensitivity::{

@@ -1,0 +1,23 @@
+//! Observability: span traces, counters and histograms for the
+//! experiment stack.
+//!
+//! Three pieces, layered so each consumer pays only for what it uses:
+//!
+//! * [`SpanNode`]/[`Provenance`] — per-stage execution traces built by
+//!   `engine::Pipeline`, dumped via `--trace-json`. Deterministic mode
+//!   renders structure + provenance only (no wall clock), so traces are
+//!   byte-identical across `M3D_JOBS` values and machines.
+//! * [`Histogram`] — fixed-bucket aggregates (latency, queue depth,
+//!   solver iterations) that serialise to counts and edges only.
+//! * [`Recorder`] — a sink owning named counters, histograms and a
+//!   bounded span ring; `m3d-serve` holds one per server for the
+//!   `metrics` wire request, while engine internals report into
+//!   [`Recorder::global`].
+
+mod hist;
+mod recorder;
+mod span;
+
+pub use hist::{Histogram, DEPTH_EDGES, ITER_EDGES, LATENCY_US_EDGES};
+pub use recorder::Recorder;
+pub use span::{trace_document, Provenance, SpanNode, TRACE_VERSION};

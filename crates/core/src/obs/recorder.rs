@@ -1,0 +1,223 @@
+//! The metrics recorder: named counters, fixed-bucket histograms and a
+//! bounded ring of recent spans, snapshot-able as deterministic JSON.
+//!
+//! A [`Recorder`] is plain shared state — the experiment service owns
+//! one per server so its counters stay test-isolated, while the engine
+//! internals (flow cache, single-flight map, sweep executor, thermal
+//! solver) report into the [`Recorder::global`] process instance for
+//! always-on diagnostics. Snapshots have fixed field order and contain
+//! no timestamps: two recorders holding the same counts render
+//! byte-identically, which is what lets the `metrics` wire request and
+//! trace artifacts participate in regression diffs.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Mutex, OnceLock};
+
+use serde::Value;
+
+use crate::obs::hist::Histogram;
+use crate::obs::span::SpanNode;
+
+/// How many completed spans the ring retains (older spans age out; the
+/// `spans.recorded` total keeps counting).
+const SPAN_RING_CAPACITY: usize = 256;
+
+/// A process- or subsystem-scoped metrics sink.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    counters: Mutex<BTreeMap<String, u64>>,
+    hists: Mutex<BTreeMap<String, Histogram>>,
+    spans: Mutex<SpanRing>,
+}
+
+#[derive(Debug, Default)]
+struct SpanRing {
+    recent: VecDeque<SpanNode>,
+    recorded: u64,
+}
+
+impl Recorder {
+    /// A fresh, empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-global recorder the engine internals report into.
+    pub fn global() -> &'static Recorder {
+        static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+        GLOBAL.get_or_init(Recorder::new)
+    }
+
+    /// Adds `by` to the monotonic counter `name` (created at 0).
+    pub fn incr(&self, name: &str, by: u64) {
+        let mut counters = self.counters.lock().expect("counters poisoned");
+        match counters.get_mut(name) {
+            Some(c) => *c += by,
+            None => {
+                counters.insert(name.to_owned(), by);
+            }
+        }
+    }
+
+    /// Current value of counter `name` (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        *self
+            .counters
+            .lock()
+            .expect("counters poisoned")
+            .get(name)
+            .unwrap_or(&0)
+    }
+
+    /// Records `value` into histogram `name`, creating it over `edges`
+    /// on first use. The edges of an existing histogram are not changed.
+    pub fn observe(&self, name: &str, value: u64, edges: &'static [u64]) {
+        let mut hists = self.hists.lock().expect("histograms poisoned");
+        hists
+            .entry(name.to_owned())
+            .or_insert_with(|| Histogram::new(edges))
+            .observe(value);
+    }
+
+    /// Total samples histogram `name` has seen (0 when absent).
+    pub fn hist_total(&self, name: &str) -> u64 {
+        self.hists
+            .lock()
+            .expect("histograms poisoned")
+            .get(name)
+            .map_or(0, Histogram::total)
+    }
+
+    /// Appends a completed span to the bounded ring.
+    pub fn record_span(&self, span: SpanNode) {
+        let mut ring = self.spans.lock().expect("spans poisoned");
+        ring.recorded += 1;
+        ring.recent.push_back(span);
+        while ring.recent.len() > SPAN_RING_CAPACITY {
+            ring.recent.pop_front();
+        }
+    }
+
+    /// Spans recorded since construction (monotonic; unaffected by ring
+    /// aging).
+    pub fn spans_recorded(&self) -> u64 {
+        self.spans.lock().expect("spans poisoned").recorded
+    }
+
+    /// Spans currently retained in the ring.
+    pub fn spans_retained(&self) -> usize {
+        self.spans.lock().expect("spans poisoned").recent.len()
+    }
+
+    /// The counters alone, as a sorted-by-name JSON object.
+    pub fn counters_value(&self) -> Value {
+        Value::Object(
+            self.counters
+                .lock()
+                .expect("counters poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::U64(*v)))
+                .collect(),
+        )
+    }
+
+    /// Point-in-time JSON snapshot: `{counters, histograms, spans}`.
+    /// Fixed field order, names sorted, counts and bucket edges only —
+    /// no timestamps — so equal contents render byte-identically.
+    pub fn snapshot(&self) -> Value {
+        let hists = Value::Object(
+            self.hists
+                .lock()
+                .expect("histograms poisoned")
+                .iter()
+                .map(|(k, h)| (k.clone(), h.to_value()))
+                .collect(),
+        );
+        let ring = self.spans.lock().expect("spans poisoned");
+        let spans = Value::Object(vec![
+            ("recorded".to_owned(), Value::U64(ring.recorded)),
+            ("retained".to_owned(), Value::U64(ring.recent.len() as u64)),
+        ]);
+        drop(ring);
+        Value::Object(vec![
+            ("counters".to_owned(), self.counters_value()),
+            ("histograms".to_owned(), hists),
+            ("spans".to_owned(), spans),
+        ])
+    }
+
+    /// Clears every counter, histogram and retained span (tests and
+    /// long-lived services that want epoch boundaries).
+    pub fn reset(&self) {
+        self.counters.lock().expect("counters poisoned").clear();
+        self.hists.lock().expect("histograms poisoned").clear();
+        let mut ring = self.spans.lock().expect("spans poisoned");
+        ring.recent.clear();
+        ring.recorded = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::hist::LATENCY_US_EDGES;
+
+    #[test]
+    fn counters_accumulate_and_sort_in_snapshots() {
+        let r = Recorder::new();
+        r.incr("zeta", 2);
+        r.incr("alpha", 1);
+        r.incr("zeta", 3);
+        assert_eq!(r.counter("zeta"), 5);
+        assert_eq!(r.counter("never"), 0);
+        let s = serde_json::to_string(&r.counters_value()).unwrap();
+        assert!(
+            s.find("alpha").unwrap() < s.find("zeta").unwrap(),
+            "snapshot order is name-sorted, not insertion order"
+        );
+    }
+
+    #[test]
+    fn snapshots_with_equal_contents_are_byte_identical() {
+        let a = Recorder::new();
+        let b = Recorder::new();
+        for r in [&a, &b] {
+            r.incr("requests", 7);
+            r.observe("latency_us", 420, LATENCY_US_EDGES);
+            r.record_span(SpanNode::new("pd_flow"));
+        }
+        assert_eq!(
+            serde_json::to_string(&a.snapshot()).unwrap(),
+            serde_json::to_string(&b.snapshot()).unwrap()
+        );
+    }
+
+    #[test]
+    fn span_ring_bounds_retention_not_the_total() {
+        let r = Recorder::new();
+        for i in 0..(SPAN_RING_CAPACITY + 10) {
+            r.record_span(SpanNode::new(format!("s{i}")));
+        }
+        assert_eq!(r.spans_recorded(), (SPAN_RING_CAPACITY + 10) as u64);
+        assert_eq!(r.spans_retained(), SPAN_RING_CAPACITY);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let r = Recorder::new();
+        r.incr("x", 1);
+        r.observe("h", 9, LATENCY_US_EDGES);
+        r.record_span(SpanNode::new("s"));
+        r.reset();
+        assert_eq!(r.counter("x"), 0);
+        assert_eq!(r.hist_total("h"), 0);
+        assert_eq!((r.spans_recorded(), r.spans_retained()), (0, 0));
+    }
+
+    #[test]
+    fn global_is_a_singleton() {
+        let a = Recorder::global() as *const Recorder;
+        let b = Recorder::global() as *const Recorder;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,200 @@
+//! Span trees: the per-stage execution trace of one experiment run.
+//!
+//! A [`SpanNode`] names one unit of work (a pipeline stage, a nested
+//! kernel, one service request), how it was satisfied
+//! ([`Provenance`]: computed fresh, replayed from a cache tier, or
+//! coalesced onto another caller's in-flight run), its wall-clock time,
+//! and its children. Rendering comes in two modes:
+//!
+//! * **deterministic** ([`SpanNode::to_value`] with `include_timing =
+//!   false`) — structure and provenance only. This is what `--trace-json`
+//!   writes: two runs of the same experiment produce byte-identical
+//!   trace files whatever the worker count or machine load, so traces
+//!   diff clean in regression harnesses.
+//! * **timed** (`include_timing = true`) — adds `wall_ms` per span, for
+//!   interactive inspection where reproducibility does not matter.
+
+use serde::Value;
+
+/// How a span's work was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Provenance {
+    /// The work actually ran.
+    #[default]
+    Computed,
+    /// Replayed from an in-memory cache (flow, thermal or response).
+    CacheHit,
+    /// Replayed from the on-disk artifact store (`M3D_CACHE_DIR`).
+    DiskHit,
+    /// Joined another caller's in-flight execution (single-flight).
+    Coalesced,
+}
+
+impl Provenance {
+    /// Stable wire/JSON name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Provenance::Computed => "computed",
+            Provenance::CacheHit => "cache-hit",
+            Provenance::DiskHit => "disk-hit",
+            Provenance::Coalesced => "coalesced",
+        }
+    }
+
+    /// Whether the work was reused rather than executed by this caller.
+    pub fn is_reuse(self) -> bool {
+        !matches!(self, Provenance::Computed)
+    }
+}
+
+impl std::fmt::Display for Provenance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One node of an execution trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// Span name (stage name, optionally `:label`-suffixed).
+    pub name: String,
+    /// Wall-clock duration in milliseconds (observability only; never
+    /// rendered in deterministic mode).
+    pub wall_ms: f64,
+    /// How the span's work was satisfied.
+    pub provenance: Provenance,
+    /// Nested child spans, in execution order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// A fresh computed leaf span.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            wall_ms: 0.0,
+            provenance: Provenance::Computed,
+            children: Vec::new(),
+        }
+    }
+
+    /// Total spans in this subtree (including `self`).
+    pub fn span_count(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(SpanNode::span_count)
+            .sum::<usize>()
+    }
+
+    /// Depth-first search for the first span named `name`.
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// JSON view. With `include_timing = false` the rendering is fully
+    /// deterministic: `{name, provenance, children}` only, fixed field
+    /// order, no wall-clock numbers.
+    pub fn to_value(&self, include_timing: bool) -> Value {
+        let mut fields = vec![
+            ("name".to_owned(), Value::Str(self.name.clone())),
+            (
+                "provenance".to_owned(),
+                Value::Str(self.provenance.name().to_owned()),
+            ),
+        ];
+        if include_timing {
+            fields.push(("wall_ms".to_owned(), Value::F64(self.wall_ms)));
+        }
+        fields.push((
+            "children".to_owned(),
+            Value::Array(
+                self.children
+                    .iter()
+                    .map(|c| c.to_value(include_timing))
+                    .collect(),
+            ),
+        ));
+        Value::Object(fields)
+    }
+}
+
+/// Version tag of the trace document schema.
+pub const TRACE_VERSION: u64 = 1;
+
+/// Wraps a span tree into the trace document `--trace-json` writes:
+/// `{experiment, trace_version, root}`. Deterministic when
+/// `include_timing` is false.
+pub fn trace_document(experiment: &str, root: &SpanNode, include_timing: bool) -> Value {
+    Value::Object(vec![
+        ("experiment".to_owned(), Value::Str(experiment.to_owned())),
+        ("trace_version".to_owned(), Value::U64(TRACE_VERSION)),
+        ("root".to_owned(), root.to_value(include_timing)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SpanNode {
+        let mut root = SpanNode::new("table1");
+        root.wall_ms = 12.5;
+        let mut flow = SpanNode::new("pd-flow:2d");
+        flow.provenance = Provenance::CacheHit;
+        flow.wall_ms = 3.25;
+        flow.children.push(SpanNode::new("place"));
+        root.children.push(flow);
+        root.children.push(SpanNode::new("report"));
+        root
+    }
+
+    #[test]
+    fn counting_and_lookup_walk_the_tree() {
+        let root = sample();
+        assert_eq!(root.span_count(), 4);
+        assert_eq!(
+            root.find("pd-flow:2d").unwrap().provenance,
+            Provenance::CacheHit
+        );
+        assert!(root.find("place").is_some());
+        assert!(root.find("missing").is_none());
+    }
+
+    #[test]
+    fn deterministic_mode_strips_wall_clock() {
+        let root = sample();
+        let det = serde_json::to_string(&root.to_value(false)).unwrap();
+        assert!(!det.contains("wall_ms"), "no timing in deterministic mode");
+        assert!(det.contains("cache-hit"));
+        let timed = serde_json::to_string(&root.to_value(true)).unwrap();
+        assert!(timed.contains("wall_ms"));
+        // Equal trees render identically in deterministic mode even
+        // when their wall clocks differ.
+        let mut other = sample();
+        other.wall_ms = 99.0;
+        other.children[0].wall_ms = 0.001;
+        assert_eq!(serde_json::to_string(&other.to_value(false)).unwrap(), det);
+    }
+
+    #[test]
+    fn trace_document_carries_the_schema_version() {
+        let doc = trace_document("table1", &sample(), false);
+        assert_eq!(doc.get("trace_version"), Some(&Value::U64(TRACE_VERSION)));
+        assert_eq!(doc.get("experiment"), Some(&Value::Str("table1".into())));
+        assert!(doc.get("root").unwrap().get("children").is_some());
+    }
+
+    #[test]
+    fn provenance_names_are_stable() {
+        assert_eq!(Provenance::Computed.name(), "computed");
+        assert_eq!(Provenance::CacheHit.name(), "cache-hit");
+        assert_eq!(Provenance::DiskHit.name(), "disk-hit");
+        assert_eq!(Provenance::Coalesced.name(), "coalesced");
+        assert!(!Provenance::Computed.is_reuse());
+        assert!(Provenance::Coalesced.is_reuse());
+    }
+}

@@ -1,0 +1,65 @@
+//! The observability contract of `--trace-json`: two identical runs
+//! serialise to byte-identical trace documents, whatever the sweep
+//! worker count. The trace carries span structure and cache provenance
+//! only — wall-clock numbers and worker counts stay out by
+//! construction.
+
+use m3d_core::engine::{par_map_jobs, Pipeline, Stage};
+use m3d_core::obs::{trace_document, Provenance};
+
+/// A representative run: a cached tech stage, a sweep fanned out over
+/// `jobs` workers with one child span per point, and a report stage.
+fn run(jobs: usize) -> Pipeline {
+    let mut pipe = Pipeline::new();
+    pipe.stage(Stage::Tech, "", |ctx| {
+        ctx.mark_cache_hit();
+    });
+    pipe.stage(Stage::ArchSim, "sweep", |ctx| {
+        let points: Vec<u64> = (0..32).collect();
+        let results = par_map_jobs(jobs, &points, |p| p * p);
+        for (p, r) in points.iter().zip(&results) {
+            assert_eq!(p * p, *r);
+            ctx.child(format!("point:{p}"), Provenance::Computed);
+        }
+    });
+    pipe.stage(Stage::Report, "", |_| {});
+    pipe
+}
+
+#[test]
+fn trace_json_is_byte_identical_across_worker_counts() {
+    let serial = run(1);
+    let wide = run(8);
+    let render = |pipe: &Pipeline| {
+        let root = pipe.span_tree("determinism-probe");
+        serde_json::to_string_pretty(&trace_document("determinism-probe", &root, false))
+            .expect("trace serialises")
+    };
+    let a = render(&serial);
+    let b = render(&wide);
+    assert_eq!(a, b, "worker count must not leak into the trace");
+    // And re-running at the same width reproduces the bytes too.
+    assert_eq!(a, render(&run(1)));
+
+    // Sanity on content: every stage and the per-point children are in
+    // the tree, with provenance preserved.
+    let root = serial.span_tree("determinism-probe");
+    assert_eq!(root.span_count(), 1 + 3 + 32);
+    assert_eq!(
+        root.find("tech").expect("tech span").provenance,
+        Provenance::CacheHit
+    );
+    assert!(root.find("arch-sim:sweep").is_some());
+    assert!(root.find("point:31").is_some());
+    assert!(a.contains("\"cache-hit\""));
+    assert!(!a.contains("wall_ms"), "timing stays out of the trace");
+}
+
+#[test]
+fn timed_traces_opt_back_into_wall_clock() {
+    let pipe = run(2);
+    let root = pipe.span_tree("timed-probe");
+    let timed = serde_json::to_string(&trace_document("timed-probe", &root, true))
+        .expect("trace serialises");
+    assert!(timed.contains("wall_ms"));
+}

@@ -3,7 +3,8 @@
 //! ```text
 //! m3d-loadgen --addr HOST:PORT [--clients N] [--requests M]
 //!             [--mix cold|repeated|flow|sleep|mixed] [--timeout-ms T]
-//!             [--json PATH] [--expect-computed K] [--shutdown]
+//!             [--json PATH] [--expect-computed K] [--metrics-every P]
+//!             [--check-metrics] [--shutdown]
 //! ```
 //!
 //! Spawns `N` concurrent client connections, each sending `M` requests
@@ -28,13 +29,29 @@
 //! `--expect-computed K` exits non-zero unless exactly `K` requests
 //! report `cached == coalesced == false` — the scripted regression gate
 //! for request deduplication.
+//!
+//! Observability hooks:
+//!
+//! * `--metrics-every P` — client 0 interleaves a `{"case":"metrics"}`
+//!   request after every `P` of its own requests and prints the
+//!   server-side outcome counters to stderr (metrics polls are not
+//!   tallied).
+//! * `--check-metrics` — snapshots the server's `metrics` counters
+//!   before and after the run and exits non-zero unless the `executed`
+//!   delta equals the client-observed `computed` count and the
+//!   `cache_hits + coalesced` delta equals the client-observed `reused`
+//!   count. Use with mixes whose leaders really execute (e.g. `cold`,
+//!   `repeated` against a fresh server): a leader whose case internally
+//!   replays the flow cache reports `cached == true` to the client while
+//!   the server books it as executed.
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Instant;
 
-use m3d_serve::protocol::{Request, Response};
+use m3d_core::ErrorCode;
+use m3d_serve::protocol::{Request, Response, CASE_METRICS};
 use m3d_serve::LatencySummary;
 use m3d_tech::{StableHash, StableHasher};
 use serde::Value;
@@ -43,7 +60,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: m3d-loadgen --addr HOST:PORT [--clients N] [--requests M] \
          [--mix cold|repeated|flow|sleep|mixed] [--timeout-ms T] [--json PATH] \
-         [--expect-computed K] [--shutdown]"
+         [--expect-computed K] [--metrics-every P] [--check-metrics] [--shutdown]"
     );
     std::process::exit(2);
 }
@@ -57,6 +74,8 @@ struct Args {
     timeout_ms: Option<u64>,
     json: Option<String>,
     expect_computed: Option<u64>,
+    metrics_every: Option<usize>,
+    check_metrics: bool,
     shutdown: bool,
 }
 
@@ -69,6 +88,8 @@ fn parse_args() -> Args {
         timeout_ms: None,
         json: None,
         expect_computed: None,
+        metrics_every: None,
+        check_metrics: false,
         shutdown: false,
     };
     let mut args = std::env::args().skip(1);
@@ -96,6 +117,15 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|_| usage()),
                 );
             }
+            "--metrics-every" => {
+                let every: usize = grab("--metrics-every").parse().unwrap_or_else(|_| usage());
+                if every == 0 {
+                    eprintln!("error: --metrics-every must be >= 1");
+                    usage();
+                }
+                out.metrics_every = Some(every);
+            }
+            "--check-metrics" => out.check_metrics = true,
             "--shutdown" => out.shutdown = true,
             _ => usage(),
         }
@@ -238,13 +268,77 @@ fn run_client(args: &Args, client: usize) -> std::io::Result<Tally> {
                 bytes.stable_hash(&mut h);
                 tally.payloads.insert(key, format!("{:016x}", h.finish()));
             }
-            Ok(Response::Err { status: 429, .. }) => tally.rejected += 1,
-            Ok(Response::Err { status: 503, .. }) => tally.rejected += 1,
-            Ok(Response::Err { status: 408, .. }) => tally.timed_out += 1,
-            Ok(Response::Err { .. }) | Err(_) => tally.errors += 1,
+            Ok(Response::Err { code, .. }) => match code {
+                ErrorCode::Overloaded | ErrorCode::Draining => tally.rejected += 1,
+                ErrorCode::Deadline => tally.timed_out += 1,
+                _ => tally.errors += 1,
+            },
+            Err(_) => tally.errors += 1,
+        }
+        if let Some(every) = args.metrics_every {
+            if client == 0 && (i + 1) % every == 0 {
+                let counters = poll_metrics(&mut writer, &mut reader, 1_000_000 + global)?;
+                eprintln!(
+                    "# metrics @ {} requests: executed {} cache_hits {} coalesced {} \
+                     rejected {} timed_out {}",
+                    i + 1,
+                    counters.get("executed").copied().unwrap_or(0),
+                    counters.get("cache_hits").copied().unwrap_or(0),
+                    counters.get("coalesced").copied().unwrap_or(0),
+                    counters.get("rejected").copied().unwrap_or(0),
+                    counters.get("timed_out").copied().unwrap_or(0),
+                );
+            }
         }
     }
     Ok(tally)
+}
+
+/// Sends one `metrics` request on an established connection and returns
+/// the server's outcome counters. Metrics polls are diagnostic — they
+/// are never tallied into the run's request counts.
+fn poll_metrics(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    id: u64,
+) -> std::io::Result<BTreeMap<String, u64>> {
+    let req = Request::new(id, CASE_METRICS, Value::Object(Vec::new()));
+    writer.write_all(req.to_line().as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection during a metrics poll",
+        ));
+    }
+    let resp = Response::parse(line.trim())
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let Response::Ok { result, .. } = resp else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "metrics request was refused",
+        ));
+    };
+    let mut out = BTreeMap::new();
+    if let Some(counters) = result.get("counters").and_then(Value::as_object) {
+        for (name, value) in counters {
+            if let Some(v) = value.as_u64() {
+                out.insert(name.clone(), v);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Fetches the server's outcome counters over a fresh connection.
+fn fetch_metrics(addr: &str) -> std::io::Result<BTreeMap<String, u64>> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    poll_metrics(&mut writer, &mut reader, 0)
 }
 
 fn send_shutdown(addr: &str) -> std::io::Result<bool> {
@@ -262,6 +356,11 @@ fn send_shutdown(addr: &str) -> std::io::Result<bool> {
 
 fn main() -> std::io::Result<()> {
     let args = parse_args();
+    let before = if args.check_metrics {
+        Some(fetch_metrics(&args.addr)?)
+    } else {
+        None
+    };
     let wall = Instant::now();
     let mut total = Tally::default();
     if args.clients > 0 && args.requests > 0 {
@@ -282,6 +381,11 @@ fn main() -> std::io::Result<()> {
         }
     }
     let wall_s = wall.elapsed().as_secs_f64();
+    let after = if args.check_metrics {
+        Some(fetch_metrics(&args.addr)?)
+    } else {
+        None
+    };
 
     if args.shutdown {
         let ok = send_shutdown(&args.addr)?;
@@ -354,6 +458,27 @@ fn main() -> std::io::Result<()> {
                 total.computed
             );
             std::process::exit(3);
+        }
+    }
+
+    if let (Some(before), Some(after)) = (before, after) {
+        let delta = |name: &str| {
+            after.get(name).copied().unwrap_or(0) - before.get(name).copied().unwrap_or(0)
+        };
+        let executed = delta("executed");
+        let server_reused = delta("cache_hits") + delta("coalesced");
+        eprintln!(
+            "# server metrics delta: executed {executed}, reused {server_reused} \
+             (client saw computed {}, reused {})",
+            total.computed, total.reused
+        );
+        if executed != total.computed || server_reused != total.reused {
+            eprintln!(
+                "error: server counters disagree with client tallies \
+                 (executed {executed} vs computed {}, reused {server_reused} vs {})",
+                total.computed, total.reused
+            );
+            std::process::exit(4);
         }
     }
     Ok(())

@@ -1,58 +1,95 @@
-//! Service counters, lock-free and snapshot-able as a [`Value`].
+//! Service metrics, backed by the shared [`m3d_core::obs::Recorder`].
 //!
-//! Counters split along the axes the acceptance tests care about:
-//! every accepted request is eventually exactly one of `executed`
-//! (a leader actually ran the case), `cache_hits` (replayed from the
-//! response cache), `coalesced` (joined an in-flight leader), or a
-//! failure (`timed_out`, `failed`). `rejected` counts backpressure
-//! refusals, which are answered — never silently dropped.
+//! The server owns one [`Metrics`] (its own recorder instance, not the
+//! process-global one) so its counters are isolated per server — the
+//! loopback tests run several servers in one process. Counters split
+//! along the axes the acceptance tests care about: every accepted
+//! request is eventually exactly one of `executed` (a leader actually
+//! ran the case), `cache_hits` (replayed from the response cache),
+//! `coalesced` (joined an in-flight leader), or a failure (`timed_out`,
+//! `failed`). `rejected` counts backpressure refusals, which are
+//! answered — never silently dropped.
+//!
+//! On top of the counters, the recorder aggregates per-request latency
+//! and queue-depth histograms and retains a ring of per-request spans;
+//! the `metrics` wire case returns the whole recorder snapshot.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
+use m3d_core::obs::{Recorder, SpanNode, DEPTH_EDGES, LATENCY_US_EDGES};
 use serde::Value;
 
-/// Monotonic service counters.
+/// The request-outcome counters, in stable snapshot order. Every name
+/// appears in [`Metrics::counters_snapshot`] even at zero, so the JSON
+/// shape is independent of which events have occurred.
+pub const COUNTERS: &[&str] = &[
+    "accepted",
+    "rejected",
+    "executed",
+    "cache_hits",
+    "coalesced",
+    "timed_out",
+    "failed",
+];
+
+/// Per-server metrics: named counters, latency/queue-depth histograms
+/// and a bounded ring of per-request spans.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    /// Requests admitted to the queue.
-    pub accepted: AtomicU64,
-    /// Requests refused with 429 (queue full) or 503 (draining).
-    pub rejected: AtomicU64,
-    /// Leader executions: the case actually ran.
-    pub executed: AtomicU64,
-    /// Served from the response cache.
-    pub cache_hits: AtomicU64,
-    /// Joined another request's in-flight execution.
-    pub coalesced: AtomicU64,
-    /// Deadline expiries (queued too long or overran while waiting).
-    pub timed_out: AtomicU64,
-    /// Case executions that returned an error.
-    pub failed: AtomicU64,
+    rec: Recorder,
 }
 
 impl Metrics {
-    /// Fresh zeroed counters.
+    /// Fresh zeroed metrics.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Adds one to `counter`.
-    pub fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    /// The underlying recorder (span recording, ad-hoc counters).
+    pub fn recorder(&self) -> &Recorder {
+        &self.rec
     }
 
-    /// Point-in-time JSON view (field order fixed).
+    /// Adds one to the named counter.
+    pub fn bump(&self, name: &str) {
+        self.rec.incr(name, 1);
+    }
+
+    /// Current value of the named counter.
+    pub fn get(&self, name: &str) -> u64 {
+        self.rec.counter(name)
+    }
+
+    /// Records one end-to-end request latency sample.
+    pub fn observe_latency_us(&self, us: u64) {
+        self.rec.observe("request_latency_us", us, LATENCY_US_EDGES);
+    }
+
+    /// Records the queue depth seen at admission time.
+    pub fn observe_queue_depth(&self, depth: u64) {
+        self.rec.observe("queue_depth", depth, DEPTH_EDGES);
+    }
+
+    /// Retains one completed per-request span.
+    pub fn record_span(&self, span: SpanNode) {
+        self.rec.record_span(span);
+    }
+
+    /// The outcome counters as a JSON object with every [`COUNTERS`]
+    /// name present (zeros included) in stable order — the `stats`
+    /// case's `metrics` field.
+    pub fn counters_snapshot(&self) -> Value {
+        Value::Object(
+            COUNTERS
+                .iter()
+                .map(|&n| (n.to_owned(), Value::U64(self.rec.counter(n))))
+                .collect(),
+        )
+    }
+
+    /// The full recorder snapshot (`{counters, histograms, spans}`) —
+    /// the `metrics` case's result payload. Deterministic field order;
+    /// counts and bucket edges only, no timestamps.
     pub fn snapshot(&self) -> Value {
-        let read = |c: &AtomicU64| Value::U64(c.load(Ordering::Relaxed));
-        Value::Object(vec![
-            ("accepted".to_owned(), read(&self.accepted)),
-            ("rejected".to_owned(), read(&self.rejected)),
-            ("executed".to_owned(), read(&self.executed)),
-            ("cache_hits".to_owned(), read(&self.cache_hits)),
-            ("coalesced".to_owned(), read(&self.coalesced)),
-            ("timed_out".to_owned(), read(&self.timed_out)),
-            ("failed".to_owned(), read(&self.failed)),
-        ])
+        self.rec.snapshot()
     }
 }
 
@@ -108,15 +145,49 @@ mod tests {
     use super::*;
 
     #[test]
-    fn snapshot_reflects_bumps() {
+    fn counters_snapshot_reflects_bumps_and_includes_zeros() {
         let m = Metrics::new();
-        Metrics::bump(&m.accepted);
-        Metrics::bump(&m.accepted);
-        Metrics::bump(&m.executed);
-        let s = m.snapshot();
+        m.bump("accepted");
+        m.bump("accepted");
+        m.bump("executed");
+        let s = m.counters_snapshot();
         assert_eq!(s.get("accepted").unwrap().as_u64(), Some(2));
         assert_eq!(s.get("executed").unwrap().as_u64(), Some(1));
         assert_eq!(s.get("rejected").unwrap().as_u64(), Some(0));
+        assert_eq!(s.get("failed").unwrap().as_u64(), Some(0));
+        assert_eq!(m.get("accepted"), 2);
+    }
+
+    #[test]
+    fn full_snapshot_carries_histograms_and_spans() {
+        let m = Metrics::new();
+        m.observe_latency_us(1_234);
+        m.observe_queue_depth(3);
+        m.record_span(SpanNode::new("req:sensitivity"));
+        let s = m.snapshot();
+        let hists = s.get("histograms").unwrap();
+        assert_eq!(
+            hists
+                .get("request_latency_us")
+                .unwrap()
+                .get("total")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            hists
+                .get("queue_depth")
+                .unwrap()
+                .get("total")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            s.get("spans").unwrap().get("recorded").unwrap().as_u64(),
+            Some(1)
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! (object keys sorted recursively), so `{"a":1,"b":2}` and
 //! `{"b":2,"a":1}` coalesce onto one computation.
 
+use m3d_core::ErrorCode;
 use m3d_tech::{StableHash, StableHasher};
 use serde::Value;
 
@@ -22,6 +23,9 @@ pub const CASE_SHUTDOWN: &str = "shutdown";
 pub const CASE_PING: &str = "ping";
 /// Reserved case name: cache/queue/worker statistics snapshot.
 pub const CASE_STATS: &str = "stats";
+/// Reserved case name: full recorder snapshot (counters, latency and
+/// queue-depth histograms, span-ring totals).
+pub const CASE_METRICS: &str = "metrics";
 
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
@@ -149,14 +153,13 @@ pub enum Response {
     Err {
         /// Echo of the request id (0 when the line did not parse).
         id: u64,
-        /// HTTP-flavoured status: 400 bad request, 404 unknown case,
-        /// 408 deadline exceeded, 429 queue full, 500 case failure,
-        /// 503 shutting down.
-        status: u16,
+        /// Typed failure category; the wire carries both its stable
+        /// name (`code`) and its HTTP-flavoured numeric `status`.
+        code: ErrorCode,
         /// Human-readable cause.
         error: String,
         /// Backpressure hint: retry after this many milliseconds
-        /// (429 only).
+        /// (overload only).
         retry_after_ms: Option<u64>,
     },
 }
@@ -166,7 +169,15 @@ impl Response {
     pub fn status(&self) -> u16 {
         match self {
             Response::Ok { .. } => 200,
-            Response::Err { status, .. } => *status,
+            Response::Err { code, .. } => code.status(),
+        }
+    }
+
+    /// The typed error code, when this is an error reply.
+    pub fn error_code(&self) -> Option<ErrorCode> {
+        match self {
+            Response::Ok { .. } => None,
+            Response::Err { code, .. } => Some(*code),
         }
     }
 
@@ -193,13 +204,14 @@ impl Response {
             ]),
             Response::Err {
                 id,
-                status,
+                code,
                 error,
                 retry_after_ms,
             } => {
                 let mut fields = vec![
                     ("id".to_owned(), Value::U64(*id)),
-                    ("status".to_owned(), Value::U64(u64::from(*status))),
+                    ("status".to_owned(), Value::U64(u64::from(code.status()))),
+                    ("code".to_owned(), Value::Str(code.wire_name().to_owned())),
                     ("error".to_owned(), Value::Str(error.clone())),
                 ];
                 if let Some(ms) = retry_after_ms {
@@ -249,9 +261,19 @@ impl Response {
                 Some(Value::Str(s)) => s.clone(),
                 _ => return Err("missing `error` in error response".to_owned()),
             };
+            // Prefer the stable name; fall back to the numeric status
+            // for replies from servers that predate the `code` field.
+            let status = u16::try_from(status).map_err(|_| "status out of range")?;
+            let code = match v.get("code") {
+                Some(Value::Str(s)) => {
+                    ErrorCode::from_wire(s).ok_or_else(|| format!("unknown error code `{s}`"))?
+                }
+                _ => ErrorCode::from_status(status)
+                    .ok_or_else(|| format!("unmapped error status {status}"))?,
+            };
             Ok(Response::Err {
                 id,
-                status: u16::try_from(status).map_err(|_| "status out of range")?,
+                code,
                 error,
                 retry_after_ms: v.get("retry_after_ms").and_then(Value::as_u64),
             })
@@ -396,11 +418,22 @@ mod tests {
         assert_eq!(Response::parse(&ok.to_line()).unwrap(), ok);
         let err = Response::Err {
             id: 8,
-            status: 429,
+            code: ErrorCode::Overloaded,
             error: "queue full".into(),
             retry_after_ms: Some(50),
         };
         assert_eq!(Response::parse(&err.to_line()).unwrap(), err);
         assert_eq!(err.status(), 429);
+        assert_eq!(err.error_code(), Some(ErrorCode::Overloaded));
+        assert!(err.to_line().contains(r#""code":"overloaded""#));
+    }
+
+    #[test]
+    fn error_replies_without_a_code_field_fall_back_to_status() {
+        let legacy = r#"{"id":3,"status":408,"error":"deadline exceeded"}"#;
+        let parsed = Response::parse(legacy).unwrap();
+        assert_eq!(parsed.error_code(), Some(ErrorCode::Deadline));
+        // An unmapped numeric status is a parse error, not a panic.
+        assert!(Response::parse(r#"{"id":3,"status":418,"error":"?"}"#).is_err());
     }
 }

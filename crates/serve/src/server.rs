@@ -29,11 +29,15 @@ use std::time::{Duration, Instant};
 
 use m3d_bench::registry::{self, CaseCtx};
 use m3d_core::engine::{Flight, FlowCache, InFlight};
+use m3d_core::obs::{Provenance, SpanNode};
+use m3d_core::ErrorCode;
 use m3d_thermal::ThermalCache;
 use serde::Value;
 
 use crate::metrics::Metrics;
-use crate::protocol::{key_hex, Request, Response, CASE_PING, CASE_SHUTDOWN, CASE_STATS};
+use crate::protocol::{
+    key_hex, Request, Response, CASE_METRICS, CASE_PING, CASE_SHUTDOWN, CASE_STATS,
+};
 use crate::queue::{Bounded, PushError};
 
 /// Backpressure hint clients receive with a 429.
@@ -77,6 +81,7 @@ struct Computed {
 struct Job {
     req: Request,
     key: u64,
+    born: Instant,
     deadline: Instant,
     slot: Arc<Slot>,
 }
@@ -265,7 +270,7 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) -> std::io::Result
         let resp = match Request::parse(&line) {
             Err(e) => Response::Err {
                 id: 0,
-                status: 400,
+                code: ErrorCode::BadRequest,
                 error: e,
                 retry_after_ms: None,
             },
@@ -293,6 +298,16 @@ fn dispatch(shared: &Arc<Shared>, req: Request) -> Response {
             }
         }
         CASE_STATS => return stats_response(shared, &req),
+        CASE_METRICS => {
+            return Response::Ok {
+                id: req.id,
+                case: req.case.clone(),
+                key: key_hex(req.key()),
+                cached: false,
+                coalesced: false,
+                result: shared.metrics.snapshot(),
+            }
+        }
         CASE_SHUTDOWN => {
             shared.begin_shutdown();
             return Response::Ok {
@@ -308,7 +323,7 @@ fn dispatch(shared: &Arc<Shared>, req: Request) -> Response {
             if registry::find(other).is_none() {
                 return Response::Err {
                     id: req.id,
-                    status: 404,
+                    code: ErrorCode::UnknownCase,
                     error: format!("unknown case `{other}`"),
                     retry_after_ms: None,
                 };
@@ -316,6 +331,7 @@ fn dispatch(shared: &Arc<Shared>, req: Request) -> Response {
         }
     }
 
+    let born = Instant::now();
     let key = req.key();
     // Fast path: an identical request already completed.
     if let Some(done) = shared
@@ -324,8 +340,9 @@ fn dispatch(shared: &Arc<Shared>, req: Request) -> Response {
         .expect("responses poisoned")
         .get(&key)
     {
-        Metrics::bump(&shared.metrics.cache_hits);
-        return ok_envelope(&req, key, Arc::clone(done), true, false);
+        let done = Arc::clone(done);
+        finish_request(shared, &req, born, Provenance::CacheHit);
+        return ok_envelope(&req, key, done, true, false);
     }
 
     let timeout = req
@@ -333,36 +350,60 @@ fn dispatch(shared: &Arc<Shared>, req: Request) -> Response {
         .map_or(shared.default_timeout, Duration::from_millis);
     let job = Job {
         key,
-        deadline: Instant::now() + timeout,
+        born,
+        deadline: born + timeout,
         slot: Slot::new(),
         req,
     };
     let slot = Arc::clone(&job.slot);
     let (id, retriable) = (job.req.id, job.req.case.clone());
+    // Depth observed *before* this push: the distribution of what an
+    // arriving request finds ahead of it.
+    shared
+        .metrics
+        .observe_queue_depth(shared.queue.len() as u64);
     match shared.queue.push(job) {
         Ok(()) => {
-            Metrics::bump(&shared.metrics.accepted);
+            shared.metrics.bump("accepted");
             slot.wait()
         }
         Err(PushError::Full { depth }) => {
-            Metrics::bump(&shared.metrics.rejected);
+            shared.metrics.bump("rejected");
             Response::Err {
                 id,
-                status: 429,
+                code: ErrorCode::Overloaded,
                 error: format!("queue full ({depth} deep) — retry `{retriable}` later"),
                 retry_after_ms: Some(RETRY_AFTER_MS),
             }
         }
         Err(PushError::Closed) => {
-            Metrics::bump(&shared.metrics.rejected);
+            shared.metrics.bump("rejected");
             Response::Err {
                 id,
-                status: 503,
+                code: ErrorCode::Draining,
                 error: "server is draining".to_owned(),
                 retry_after_ms: None,
             }
         }
     }
+}
+
+/// Books a request's terminal accounting: outcome counter, end-to-end
+/// latency sample, and a per-request span on the metrics recorder.
+fn finish_request(shared: &Shared, req: &Request, born: Instant, provenance: Provenance) {
+    shared.metrics.bump(match provenance {
+        Provenance::Computed => "executed",
+        Provenance::CacheHit | Provenance::DiskHit => "cache_hits",
+        Provenance::Coalesced => "coalesced",
+    });
+    let elapsed = born.elapsed();
+    shared
+        .metrics
+        .observe_latency_us(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+    let mut span = SpanNode::new(format!("req:{}", req.case));
+    span.wall_ms = elapsed.as_secs_f64() * 1.0e3;
+    span.provenance = provenance;
+    shared.metrics.record_span(span);
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
@@ -377,7 +418,7 @@ fn worker_loop(shared: &Arc<Shared>) {
 fn execute(shared: &Arc<Shared>, job: &Job) -> Response {
     let now = Instant::now();
     if now >= job.deadline {
-        Metrics::bump(&shared.metrics.timed_out);
+        shared.metrics.bump("timed_out");
         return timeout_response(job);
     }
     // The key may have completed while this job sat queued.
@@ -387,8 +428,9 @@ fn execute(shared: &Arc<Shared>, job: &Job) -> Response {
         .expect("responses poisoned")
         .get(&job.key)
     {
-        Metrics::bump(&shared.metrics.cache_hits);
-        return ok_envelope(&job.req, job.key, Arc::clone(done), true, false);
+        let done = Arc::clone(done);
+        finish_request(shared, &job.req, job.born, Provenance::CacheHit);
+        return ok_envelope(&job.req, job.key, done, true, false);
     }
 
     let flown = shared.inflight.run(job.key, Some(job.deadline), || {
@@ -396,17 +438,18 @@ fn execute(shared: &Arc<Shared>, job: &Job) -> Response {
             flows: &shared.flows,
             thermals: &shared.thermals,
         };
-        let spec = registry::find(&job.req.case).expect("checked at dispatch");
-        (spec.run)(&ctx, job.req.quick, &job.req.params).map(|outcome| {
-            Arc::new(Computed {
-                result: outcome.result,
-                deep_hit: outcome.cache_hit,
+        let case = registry::find(&job.req.case).expect("checked at dispatch");
+        case.run(&ctx, job.req.quick, &job.req.params)
+            .map(|outcome| {
+                Arc::new(Computed {
+                    result: outcome.result,
+                    deep_hit: outcome.cache_hit,
+                })
             })
-        })
     });
     match flown {
         Ok((Some(done), Flight::Led)) => {
-            Metrics::bump(&shared.metrics.executed);
+            finish_request(shared, &job.req, job.born, Provenance::Computed);
             shared
                 .responses
                 .lock()
@@ -416,18 +459,18 @@ fn execute(shared: &Arc<Shared>, job: &Job) -> Response {
             ok_envelope(&job.req, job.key, done, deep_hit, false)
         }
         Ok((Some(done), _)) => {
-            Metrics::bump(&shared.metrics.coalesced);
+            finish_request(shared, &job.req, job.born, Provenance::Coalesced);
             ok_envelope(&job.req, job.key, done, false, true)
         }
         Ok((None, _)) => {
-            Metrics::bump(&shared.metrics.timed_out);
+            shared.metrics.bump("timed_out");
             timeout_response(job)
         }
         Err(e) => {
-            Metrics::bump(&shared.metrics.failed);
+            shared.metrics.bump("failed");
             Response::Err {
                 id: job.req.id,
-                status: e.code,
+                code: e.code,
                 error: e.message,
                 retry_after_ms: None,
             }
@@ -455,7 +498,7 @@ fn ok_envelope(
 fn timeout_response(job: &Job) -> Response {
     Response::Err {
         id: job.req.id,
-        status: 408,
+        code: ErrorCode::Deadline,
         error: format!("deadline exceeded for `{}`", job.req.case),
         retry_after_ms: None,
     }
@@ -470,7 +513,7 @@ fn stats_response(shared: &Arc<Shared>, req: &Request) -> Response {
         ])
     };
     let result = Value::Object(vec![
-        ("metrics".to_owned(), shared.metrics.snapshot()),
+        ("metrics".to_owned(), shared.metrics.counters_snapshot()),
         ("flow_cache".to_owned(), cache_stats(shared.flows.stats())),
         (
             "flow_coalesced".to_owned(),

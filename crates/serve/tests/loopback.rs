@@ -6,6 +6,7 @@ use std::net::TcpStream;
 use std::sync::Barrier;
 use std::time::Duration;
 
+use m3d_core::ErrorCode;
 use m3d_serve::protocol::{Request, Response};
 use m3d_serve::{serve, Handle, ServerConfig};
 use serde::Value;
@@ -57,7 +58,7 @@ fn start(workers: usize, queue_depth: usize) -> Handle {
 fn result_bytes(resp: &Response) -> String {
     match resp {
         Response::Ok { result, .. } => serde_json::to_string(result).expect("serialises"),
-        Response::Err { status, error, .. } => panic!("expected OK, got {status}: {error}"),
+        Response::Err { code, error, .. } => panic!("expected OK, got {code}: {error}"),
     }
 }
 
@@ -66,7 +67,7 @@ fn flags(resp: &Response) -> (bool, bool) {
         Response::Ok {
             cached, coalesced, ..
         } => (*cached, *coalesced),
-        Response::Err { status, error, .. } => panic!("expected OK, got {status}: {error}"),
+        Response::Err { code, error, .. } => panic!("expected OK, got {code}: {error}"),
     }
 }
 
@@ -170,14 +171,17 @@ fn overload_is_rejected_with_retry_hint_not_dropped() {
         let refused = Client::connect(&handle).round_trip(&sleep(3));
         match refused {
             Response::Err {
-                status,
+                code,
                 retry_after_ms,
                 ..
             } => {
-                assert_eq!(status, 429);
-                assert!(retry_after_ms.is_some(), "429 carries a Retry-After hint");
+                assert_eq!(code, ErrorCode::Overloaded);
+                assert!(
+                    retry_after_ms.is_some(),
+                    "overloaded carries a Retry-After hint"
+                );
             }
-            other => panic!("expected 429, got {other:?}"),
+            other => panic!("expected overloaded, got {other:?}"),
         }
         // The refused request was shed, not the queued ones: both
         // admitted sleeps complete normally.
@@ -208,8 +212,8 @@ fn queued_past_its_deadline_returns_408() {
         impatient.timeout_ms = Some(50);
         let resp = Client::connect(&handle).round_trip(&impatient);
         match resp {
-            Response::Err { status, .. } => assert_eq!(status, 408),
-            other => panic!("expected 408, got {other:?}"),
+            Response::Err { code, .. } => assert_eq!(code, ErrorCode::Deadline),
+            other => panic!("expected deadline, got {other:?}"),
         }
         assert_eq!(blocker.join().unwrap().status(), 200);
     });
@@ -222,22 +226,105 @@ fn bad_lines_and_unknown_cases_answer_without_closing() {
     let handle = start(1, 4);
     let mut client = Client::connect(&handle);
     match client.round_trip_line("this is not json") {
-        Response::Err { status, .. } => assert_eq!(status, 400),
-        other => panic!("expected 400, got {other:?}"),
+        Response::Err { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("expected bad-request, got {other:?}"),
     }
     match client.round_trip_line(r#"{"case":"no_such_case"}"#) {
-        Response::Err { status, error, .. } => {
-            assert_eq!(status, 404);
+        Response::Err { code, error, .. } => {
+            assert_eq!(code, ErrorCode::UnknownCase);
             assert!(error.contains("no_such_case"));
         }
-        other => panic!("expected 404, got {other:?}"),
+        other => panic!("expected unknown-case, got {other:?}"),
     }
     match client.round_trip_line(r#"{"case":"thermal_cap","params":{"power_w":-1}}"#) {
-        Response::Err { status, .. } => assert_eq!(status, 400),
-        other => panic!("expected 400, got {other:?}"),
+        Response::Err { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("expected bad-request, got {other:?}"),
     }
     // The connection survived all three failures.
     assert_eq!(client.round_trip_line(r#"{"case":"ping"}"#).status(), 200);
+    handle.shutdown();
+    handle.wait();
+}
+
+/// Outcome counter from a `metrics` response payload.
+fn counter(metrics: &Value, name: &str) -> u64 {
+    metrics
+        .get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(Value::as_u64)
+        .unwrap_or(0)
+}
+
+fn metrics(client: &mut Client) -> Value {
+    match client.round_trip_line(r#"{"case":"metrics"}"#) {
+        Response::Ok { result, .. } => result,
+        other => panic!("metrics failed: {other:?}"),
+    }
+}
+
+#[test]
+fn metrics_round_trip_counts_every_outcome() {
+    let handle = start(2, 16);
+    let mut client = Client::connect(&handle);
+
+    let before = metrics(&mut client);
+    // The snapshot has the full recorder shape even on a fresh server.
+    assert!(before.get("counters").is_some());
+    assert!(before.get("histograms").is_some());
+    assert!(before.get("spans").is_some());
+
+    // Two distinct computations, then both replayed from the response
+    // cache — the same request stream `m3d-loadgen --expect-computed 2`
+    // would verify from the client side.
+    let mut computed = 0;
+    let mut reused = 0;
+    for id in 0..4u64 {
+        let req = Request::new(
+            id,
+            "sensitivity",
+            obj(vec![
+                ("samples", Value::U64(40)),
+                ("seed", Value::U64(id % 2)),
+            ]),
+        );
+        let (cached, coalesced) = flags(&client.round_trip(&req));
+        if cached || coalesced {
+            reused += 1;
+        } else {
+            computed += 1;
+        }
+    }
+    assert_eq!((computed, reused), (2, 2));
+
+    let after = metrics(&mut client);
+    let delta = |name: &str| counter(&after, name) - counter(&before, name);
+    assert_eq!(delta("executed"), computed, "server agrees on computed");
+    assert_eq!(
+        delta("cache_hits") + delta("coalesced"),
+        reused,
+        "server agrees on reuse"
+    );
+    assert_eq!(delta("accepted"), 2, "only the leaders were queued");
+    assert_eq!(delta("rejected"), 0);
+    assert_eq!(delta("failed"), 0);
+
+    // Latency histogram sampled once per finished request, and the
+    // per-request span ring retained them.
+    let hist_total = |m: &Value| {
+        m.get("histograms")
+            .and_then(|h| h.get("request_latency_us"))
+            .and_then(|h| h.get("total"))
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+    };
+    assert_eq!(hist_total(&after) - hist_total(&before), 4);
+    let spans_recorded = after
+        .get("spans")
+        .and_then(|s| s.get("recorded"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    assert!(spans_recorded >= 4, "per-request spans were recorded");
+
     handle.shutdown();
     handle.wait();
 }
@@ -270,10 +357,11 @@ fn shutdown_drains_queued_work_then_stops() {
         // Work accepted before the drain completes normally.
         assert_eq!(in_flight.join().unwrap().status(), 200, "in-flight drains");
         assert_eq!(queued.join().unwrap().status(), 200, "queued drains");
-        // Work after the drain is refused (503 on a live connection).
+        // Work after the drain is refused (`draining` on a live
+        // connection).
         match admin.round_trip_line(r#"{"case":"sleep","params":{"ms":1,"tag":9}}"#) {
-            Response::Err { status, .. } => assert_eq!(status, 503),
-            other => panic!("expected 503, got {other:?}"),
+            Response::Err { code, .. } => assert_eq!(code, ErrorCode::Draining),
+            other => panic!("expected draining, got {other:?}"),
         }
     });
     handle.wait(); // returns: accept loop and workers exited

@@ -2,6 +2,7 @@
 //! back to the same value, and the request content key is invariant
 //! under JSON object field order.
 
+use m3d_core::ErrorCode;
 use m3d_serve::protocol::{canonical, key_hex, Request, Response};
 use proptest::prelude::*;
 use serde::Value;
@@ -144,18 +145,23 @@ proptest! {
     #[test]
     fn err_responses_round_trip(
         id in 0u64..u64::MAX,
-        status_idx in 0usize..5,
+        code_idx in 0usize..ErrorCode::ALL.len(),
         retry in 0u64..10_000,
     ) {
-        let status = [400u16, 404, 408, 429, 503][status_idx];
+        let code = ErrorCode::ALL[code_idx];
         let resp = Response::Err {
             id,
-            status,
+            code,
             error: format!("failure {id}"),
-            retry_after_ms: if status == 429 { Some(retry) } else { None },
+            retry_after_ms: if code == ErrorCode::Overloaded { Some(retry) } else { None },
         };
-        let back = Response::parse(&resp.to_line()).expect("own line parses");
-        prop_assert_eq!(back.status(), status);
+        let line = resp.to_line();
+        // The wire carries both the symbolic code and its numeric status.
+        prop_assert!(line.contains(&format!("\"code\":\"{}\"", code.wire_name())));
+        prop_assert!(line.contains(&format!("\"status\":{}", code.status())));
+        let back = Response::parse(&line).expect("own line parses");
+        prop_assert_eq!(back.status(), code.status());
+        prop_assert_eq!(back.error_code(), Some(code));
         prop_assert_eq!(back, resp);
     }
 

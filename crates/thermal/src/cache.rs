@@ -55,9 +55,11 @@ impl ThermalCache {
         let key = Self::key(grid, power, solver);
         if let Some(hit) = self.entries.lock().expect("cache poisoned").get(&key) {
             *self.hits.lock().expect("stats poisoned") += 1;
+            m3d_core::obs::Recorder::global().incr("thermal_cache.hits", 1);
             return Ok(Arc::clone(hit));
         }
         *self.misses.lock().expect("stats poisoned") += 1;
+        m3d_core::obs::Recorder::global().incr("thermal_cache.misses", 1);
         let solution = Arc::new(solve_steady(grid, power, solver)?);
         self.entries
             .lock()

@@ -286,6 +286,21 @@ fn solve_steady_forced(
         }
     }
     let peak = t.iter().fold(0.0f64, |m, &v| m.max(v));
+    let rec = m3d_core::obs::Recorder::global();
+    rec.incr("thermal.solves", 1);
+    rec.incr(
+        if parallel {
+            "thermal.solves_parallel"
+        } else {
+            "thermal.solves_serial"
+        },
+        1,
+    );
+    rec.observe(
+        "thermal.sor_iterations",
+        iterations as u64,
+        m3d_core::obs::ITER_EDGES,
+    );
     Ok(SteadySolution {
         nx: grid.nx,
         ny: grid.ny,

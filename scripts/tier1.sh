@@ -32,6 +32,23 @@ if ! cmp -s "$tmp/a.json" "$tmp/b.json"; then
     exit 1
 fi
 
+# Trace gate: --trace-json must emit a non-empty span tree that covers
+# the pipeline stages with cache provenance, byte-identical across
+# worker counts (the trace deliberately excludes wall-clock numbers).
+M3D_JOBS=1 ./target/release/table1_resnet18 --quick --trace-json "$tmp/trace-a.json" >/dev/null 2>&1
+M3D_JOBS=8 ./target/release/table1_resnet18 --quick --trace-json "$tmp/trace-b.json" >/dev/null 2>&1
+for stage in '"arch-sim"' '"report"' '"provenance"'; do
+    if ! grep -q "$stage" "$tmp/trace-a.json"; then
+        echo "tier1: FAIL — table1_resnet18 trace is missing $stage" >&2
+        exit 1
+    fi
+done
+if ! cmp -s "$tmp/trace-a.json" "$tmp/trace-b.json"; then
+    echo "tier1: FAIL — table1_resnet18 --trace-json differs across M3D_JOBS" >&2
+    diff "$tmp/trace-a.json" "$tmp/trace-b.json" >&2 || true
+    exit 1
+fi
+
 # Service smoke gate: boot m3d-serve on an ephemeral port, drive it
 # with deterministic loadgen mixes, assert the dedup counts (cold
 # computes all 12, the warm repeat computes 0, a 16-client identical
@@ -53,10 +70,15 @@ serve_smoke() {
         kill "$serve_pid" 2>/dev/null || true
         exit 1
     fi
+    # The cold mix doubles as the metrics gate: --check-metrics asserts
+    # the server's executed / cache_hits+coalesced counter deltas agree
+    # with the client-side computed/reused tallies, and --metrics-every
+    # polls the `metrics` wire case mid-run.
     ./target/release/m3d-loadgen --addr "$addr" --clients 3 --requests 4 \
-        --mix cold --expect-computed 12 --json "$cold_json" >/dev/null
+        --mix cold --expect-computed 12 --check-metrics --metrics-every 2 \
+        --json "$cold_json" >/dev/null
     ./target/release/m3d-loadgen --addr "$addr" --clients 3 --requests 4 \
-        --mix cold --expect-computed 0 >/dev/null
+        --mix cold --expect-computed 0 --check-metrics >/dev/null
     ./target/release/m3d-loadgen --addr "$addr" --clients 4 --requests 4 \
         --mix repeated --expect-computed 1 --shutdown >/dev/null
     if ! wait "$serve_pid"; then
