@@ -41,9 +41,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut pipe = Pipeline::new();
 
     let r2d = pipe.stage(Stage::PdFlow, "2d", |ctx| {
-        let (res, hit) = cache.run_report_traced(&prep(FlowConfig::baseline_2d().with_cs(cs)))?;
+        let cfg = prep(FlowConfig::baseline_2d().with_cs(cs));
+        let (res, hit) = cache.run_report_traced(&cfg)?;
         if hit {
             ctx.mark_cache_hit();
+        } else if let Some(sub) = cache.sub_span(&cfg) {
+            // Freshly computed: expose the flow's per-phase sub-spans
+            // (placement steps, opt rounds, CTS/STA) under this stage.
+            ctx.child_span((*sub).clone());
         }
         Ok::<_, m3d_core::CoreError>((*res).clone())
     })?;
@@ -53,6 +58,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (res, hit) = cache.run_report_traced(&cfg)?;
         if hit {
             ctx.mark_cache_hit();
+        } else if let Some(sub) = cache.sub_span(&cfg) {
+            ctx.child_span((*sub).clone());
         }
         Ok::<_, m3d_core::CoreError>((*res).clone())
     })?;

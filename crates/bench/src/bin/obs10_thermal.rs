@@ -84,6 +84,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (res, hit) = flows.run_traced(&cfg)?;
         if hit {
             ctx.mark_cache_hit();
+        } else if let Some(sub) = flows.sub_span(&cfg) {
+            ctx.child_span((*sub).clone());
         }
         Ok::<_, m3d_core::CoreError>(res.1.power.density_grid.clone())
     })?;

@@ -7,14 +7,25 @@
 //!   to `path` (deterministic, byte-reproducible JSON);
 //! * `--trace-json <path>` — write the per-stage span tree
 //!   ([`m3d_core::obs::trace_document`]) to `path`. The trace carries
-//!   span names, nesting and cache provenance only — no wall-clock
-//!   numbers — so it is byte-identical across runs, machines and
-//!   `M3D_JOBS` values;
+//!   span names, nesting, cache provenance and deterministic integer
+//!   counters only — no wall-clock numbers — so it is byte-identical
+//!   across runs, machines and `M3D_JOBS` values;
+//! * `--metrics-json <path>` — write the process-global
+//!   [`Recorder`] as the versioned JSON document
+//!   ([`m3d_core::obs::metrics_document`]);
+//! * `--metrics-text <path>` — write the same recorder in Prometheus
+//!   text exposition format ([`m3d_core::obs::render_text`]);
 //!
 //! and honours the `M3D_JOBS` environment variable for sweep
 //! parallelism. On exit each binary prints the per-stage
 //! `stage, wall_ms, provenance` summary to stderr via
 //! [`Pipeline::eprint_summary`].
+//!
+//! The metrics artifacts are deterministic for a fixed configuration
+//! (sorted names, integers only, no timestamps), but unlike the trace
+//! they are *not* byte-identical across `M3D_JOBS` values: the
+//! `par_map.workers` histogram genuinely observes how many workers each
+//! sweep engaged.
 
 use std::path::PathBuf;
 
@@ -32,6 +43,12 @@ pub struct RunArgs {
     /// `--trace-json <path>`: where to write the deterministic span
     /// trace.
     pub trace_json: Option<PathBuf>,
+    /// `--metrics-json <path>`: where to write the global recorder as
+    /// a versioned JSON document.
+    pub metrics_json: Option<PathBuf>,
+    /// `--metrics-text <path>`: where to write the global recorder in
+    /// Prometheus text exposition format.
+    pub metrics_text: Option<PathBuf>,
 }
 
 impl RunArgs {
@@ -55,6 +72,20 @@ impl RunArgs {
                     Some(p) => out.trace_json = Some(PathBuf::from(p)),
                     None => {
                         eprintln!("error: --trace-json requires a path argument");
+                        std::process::exit(2);
+                    }
+                },
+                "--metrics-json" => match args.next() {
+                    Some(p) => out.metrics_json = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("error: --metrics-json requires a path argument");
+                        std::process::exit(2);
+                    }
+                },
+                "--metrics-text" => match args.next() {
+                    Some(p) => out.metrics_text = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("error: --metrics-text requires a path argument");
                         std::process::exit(2);
                     }
                 },
@@ -84,8 +115,11 @@ impl RunArgs {
         let report = ExperimentReport::new(record, pipeline).with_cache(cache);
         pipeline.eprint_summary();
         eprintln!("# jobs: {}", jobs());
+        let rec = Recorder::global();
+        rec.incr("engine.runs", 1);
+        rec.incr("engine.stages", report.stages.len() as u64);
         let root = pipeline.span_tree(&experiment);
-        Recorder::global().record_span(root.clone());
+        rec.record_span(root.clone());
         if let Some(path) = &self.trace_json {
             let doc = trace_document(&experiment, &root, false);
             let text = serde_json::to_string_pretty(&doc)
@@ -96,6 +130,17 @@ impl RunArgs {
         if let Some(path) = &self.json {
             report.write_json(path)?;
             eprintln!("# json: {}", path.display());
+        }
+        if let Some(path) = &self.metrics_json {
+            let doc = m3d_core::obs::metrics_document(rec);
+            let text = serde_json::to_string_pretty(&doc)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            std::fs::write(path, text + "\n")?;
+            eprintln!("# metrics-json: {}", path.display());
+        }
+        if let Some(path) = &self.metrics_text {
+            std::fs::write(path, m3d_core::obs::render_text(rec))?;
+            eprintln!("# metrics-text: {}", path.display());
         }
         Ok(report)
     }

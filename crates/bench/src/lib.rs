@@ -29,8 +29,8 @@
 //! | `obs10_thermal` | Obs. 10 thermal tier cap: eq. 17 vs voxelized RC grid | engine |
 //! | `folding_ablation` | prior-work folding baseline (paper refs. 3 and 4, ≈ 1.1–1.4×) | |
 //! | `ablation_dataflow` | weight- vs output-stationary dataflow | engine |
-//! | `ablation_precision` | 4/8/16-bit weights | |
-//! | `ablation_batch` | batch pipelining across the CSs | |
+//! | `ablation_precision` | 4/8/16-bit weights | engine |
+//! | `ablation_batch` | batch pipelining across the CSs | engine |
 //! | `ablation_congestion` | under-array routing congestion | |
 //! | `sensitivity_analysis` | ±20 % Monte-Carlo robustness | engine |
 //! | `future_upper_logic` | Case 4: full CMOS on the upper layers | |

@@ -30,12 +30,23 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use m3d_pd::{FlowArtifacts, FlowConfig, FlowReport, Rtl2GdsFlow};
+use m3d_pd::{FlowArtifacts, FlowConfig, FlowReport, FlowSpan, Rtl2GdsFlow};
 use serde::{Deserialize, Serialize};
 
 use crate::engine::inflight::{Flight, InFlight};
 use crate::error::CoreResult;
-use crate::obs::{Provenance, Recorder};
+use crate::obs::{Provenance, Recorder, SpanNode};
+
+/// Converts the pd crate's [`FlowSpan`] tree (the flow's own
+/// instrumentation, which cannot depend on `m3d_core`) into an engine
+/// [`SpanNode`] tree. Every node is [`Provenance::Computed`]: a flow
+/// sub-span only exists because this process actually ran the flow.
+pub fn flow_span_node(span: &FlowSpan) -> SpanNode {
+    let mut node = SpanNode::new(span.name.clone());
+    node.counters = span.counters.clone();
+    node.children = span.children.iter().map(flow_span_node).collect();
+    node
+}
 
 /// Hit/miss counters of a [`FlowCache`], serialised into the
 /// [`crate::engine::ExperimentReport`].
@@ -62,6 +73,7 @@ pub struct CacheStats {
 pub struct FlowCache {
     entries: Mutex<HashMap<u64, Arc<(FlowReport, FlowArtifacts)>>>,
     reports: Mutex<HashMap<u64, Arc<FlowReport>>>,
+    spans: Mutex<HashMap<u64, Arc<SpanNode>>>,
     inflight: InFlight<(Arc<FlowReport>, bool)>,
     disk_dir: Option<PathBuf>,
     hits: AtomicU64,
@@ -191,9 +203,16 @@ impl FlowCache {
             return Ok((hit, true));
         }
         // Compute outside the lock so concurrent sweep workers proceed.
-        let computed = Arc::new(Rtl2GdsFlow::new(cfg.clone()).run()?);
+        let (report, artifacts, flow_span) = Rtl2GdsFlow::new(cfg.clone()).run_traced()?;
+        let computed = Arc::new((report, artifacts));
         self.misses.fetch_add(1, Ordering::Relaxed);
         Recorder::global().incr("flow_cache.misses", 1);
+        Self::report_flow_counters(&flow_span);
+        self.spans
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| Arc::new(flow_span_node(&flow_span)));
         self.write_disk(key, &computed.0);
         self.reports
             .lock()
@@ -303,6 +322,50 @@ impl FlowCache {
         ))
     }
 
+    /// Reports the flow's headline sub-span counters into the global
+    /// recorder — the always-on aggregate `--metrics-text` exposes even
+    /// when no trace is being written.
+    fn report_flow_counters(span: &FlowSpan) {
+        let rec = Recorder::global();
+        rec.incr("pd_flow.runs", 1);
+        if let Some(place) = span.find("place") {
+            rec.incr(
+                "pd_flow.anneal_steps",
+                place.counter_value("steps").unwrap_or(0),
+            );
+        }
+        if let Some(opt) = span.find("opt") {
+            rec.incr(
+                "pd_flow.opt_rounds",
+                opt.counter_value("rounds").unwrap_or(0),
+            );
+            rec.incr("pd_flow.upsized", opt.counter_value("upsized").unwrap_or(0));
+            rec.incr(
+                "pd_flow.buffers_inserted",
+                opt.counter_value("buffers_inserted").unwrap_or(0),
+            );
+            if let Some(route) = opt.children.iter().rev().find_map(|c| c.find("route")) {
+                rec.incr(
+                    "pd_flow.signal_ilvs",
+                    route.counter_value("signal_ilvs").unwrap_or(0),
+                );
+                rec.incr(
+                    "pd_flow.memory_cell_ilvs",
+                    route.counter_value("memory_cell_ilvs").unwrap_or(0),
+                );
+            }
+        }
+    }
+
+    /// The deterministic sub-span tree recorded when this process
+    /// computed the flow for `cfg` (placement steps, optimisation
+    /// rounds, CTS/STA counters). `None` when the flow has not been
+    /// computed here — cache and disk hits carry no sub-spans, which is
+    /// exactly what keeps traces honest about provenance.
+    pub fn sub_span(&self, cfg: &FlowConfig) -> Option<Arc<SpanNode>> {
+        self.spans.lock().unwrap().get(&cfg.stable_key()).cloned()
+    }
+
     /// Calls answered by joining another thread's in-flight flow run.
     pub fn coalesced_count(&self) -> u64 {
         self.coalesced.load(Ordering::Relaxed)
@@ -403,6 +466,24 @@ mod tests {
                 disk_hits: 0
             }
         );
+    }
+
+    #[test]
+    fn computed_flows_record_sub_spans_but_hits_do_not_add_any() {
+        let cache = FlowCache::new();
+        let cfg = quick_cfg();
+        assert!(cache.sub_span(&cfg).is_none(), "nothing computed yet");
+        cache.run_traced(&cfg).unwrap();
+        let span = cache.sub_span(&cfg).expect("computed flow has a tree");
+        assert_eq!(span.name, "flow");
+        for phase in ["place", "route", "cts", "sta"] {
+            assert!(span.find(phase).is_some(), "missing {phase} sub-span");
+        }
+        assert!(span.find("place").unwrap().counter_value("steps").unwrap() > 0);
+        // A cache hit returns the same recorded tree, not a new one.
+        cache.run_traced(&cfg).unwrap();
+        let again = cache.sub_span(&cfg).unwrap();
+        assert!(Arc::ptr_eq(&span, &again));
     }
 
     #[test]

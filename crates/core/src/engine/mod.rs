@@ -35,7 +35,7 @@ pub mod parallel;
 pub mod report;
 pub mod stage;
 
-pub use cache::{CacheStats, FlowCache, FlowFetch};
+pub use cache::{flow_span_node, CacheStats, FlowCache, FlowFetch};
 pub use inflight::{Flight, InFlight};
 pub use parallel::{jobs, par_map, par_map_jobs};
 pub use report::{ExperimentReport, StageRecord};

@@ -30,6 +30,7 @@ pub struct Histogram {
     edges: &'static [u64],
     counts: Vec<u64>,
     total: u64,
+    sum: u64,
 }
 
 impl Histogram {
@@ -41,6 +42,7 @@ impl Histogram {
             edges,
             counts: vec![0; edges.len() + 1],
             total: 0,
+            sum: 0,
         }
     }
 
@@ -54,11 +56,18 @@ impl Histogram {
             .unwrap_or(self.edges.len());
         self.counts[idx] += 1;
         self.total += 1;
+        self.sum = self.sum.saturating_add(value);
     }
 
     /// Total samples recorded.
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// Sum of all sample values (saturating) — the Prometheus `_sum`
+    /// series.
+    pub fn sum(&self) -> u64 {
+        self.sum
     }
 
     /// The bucket edges this histogram was built over.
@@ -72,9 +81,9 @@ impl Histogram {
         &self.counts
     }
 
-    /// Deterministic JSON view: `{edges, counts, total}` with fixed
-    /// field order. Contains no timestamps, so two histograms with equal
-    /// contents serialise byte-identically.
+    /// Deterministic JSON view: `{edges, counts, total, sum}` with
+    /// fixed field order. Contains no timestamps, so two histograms
+    /// with equal contents serialise byte-identically.
     pub fn to_value(&self) -> Value {
         Value::Object(vec![
             (
@@ -86,6 +95,7 @@ impl Histogram {
                 Value::Array(self.counts.iter().map(|&c| Value::U64(c)).collect()),
             ),
             ("total".to_owned(), Value::U64(self.total)),
+            ("sum".to_owned(), Value::U64(self.sum)),
         ])
     }
 }
@@ -102,6 +112,16 @@ mod tests {
         }
         assert_eq!(h.counts(), &[2, 2, 0, 2], "inclusive edges + overflow");
         assert_eq!(h.total(), 6);
+        assert_eq!(h.sum(), 1_005_121);
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_overflowing() {
+        let mut h = Histogram::new(&[10]);
+        h.observe(u64::MAX);
+        h.observe(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.total(), 2);
     }
 
     #[test]

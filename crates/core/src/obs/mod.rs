@@ -13,11 +13,20 @@
 //!   bounded span ring; `m3d-serve` holds one per server for the
 //!   `metrics` wire request, while engine internals report into
 //!   [`Recorder::global`].
+//! * [`render`] — deterministic exposition of a recorder: Prometheus
+//!   text format ([`render_text`]) behind `--metrics-text` and the
+//!   serve `metrics_text` case, plus the versioned JSON document
+//!   ([`metrics_document`]) behind `--metrics-json`.
 
 mod hist;
 mod recorder;
+pub mod render;
 mod span;
 
 pub use hist::{Histogram, DEPTH_EDGES, ITER_EDGES, LATENCY_US_EDGES};
 pub use recorder::Recorder;
+pub use render::{
+    metrics_document, render_parts, render_text, sanitize_metric_name, validate_exposition,
+    METRICS_VERSION,
+};
 pub use span::{trace_document, Provenance, SpanNode, TRACE_VERSION};

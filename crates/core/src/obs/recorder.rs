@@ -109,6 +109,26 @@ impl Recorder {
         self.spans.lock().expect("spans poisoned").recent.len()
     }
 
+    /// Name-sorted clone of every counter (render/export paths).
+    pub fn counters_sorted(&self) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .expect("counters poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Name-sorted clone of every histogram (render/export paths).
+    pub fn hists_sorted(&self) -> Vec<(String, Histogram)> {
+        self.hists
+            .lock()
+            .expect("histograms poisoned")
+            .iter()
+            .map(|(k, h)| (k.clone(), h.clone()))
+            .collect()
+    }
+
     /// The counters alone, as a sorted-by-name JSON object.
     pub fn counters_value(&self) -> Value {
         Value::Object(

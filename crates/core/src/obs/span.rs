@@ -63,6 +63,11 @@ pub struct SpanNode {
     pub wall_ms: f64,
     /// How the span's work was satisfied.
     pub provenance: Provenance,
+    /// Deterministic named counters attached to this span (iteration
+    /// counts, HPWL, ILV crossings, …), in insertion order. Rendered
+    /// only when non-empty, so counter-free traces keep their PR 4
+    /// byte layout.
+    pub counters: Vec<(String, u64)>,
     /// Nested child spans, in execution order.
     pub children: Vec<SpanNode>,
 }
@@ -74,8 +79,23 @@ impl SpanNode {
             name: name.into(),
             wall_ms: 0.0,
             provenance: Provenance::Computed,
+            counters: Vec::new(),
             children: Vec::new(),
         }
+    }
+
+    /// Appends one named counter (insertion order is preserved in the
+    /// rendering).
+    pub fn counter(&mut self, name: impl Into<String>, value: u64) {
+        self.counters.push((name.into(), value));
+    }
+
+    /// Looks up a counter attached to this span by name.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
     }
 
     /// Total spans in this subtree (including `self`).
@@ -96,8 +116,10 @@ impl SpanNode {
     }
 
     /// JSON view. With `include_timing = false` the rendering is fully
-    /// deterministic: `{name, provenance, children}` only, fixed field
-    /// order, no wall-clock numbers.
+    /// deterministic: `{name, provenance, [counters], children}` only,
+    /// fixed field order, no wall-clock numbers. `counters` appears
+    /// only when the span carries any, so counter-free trees render
+    /// exactly as they did before counters existed.
     pub fn to_value(&self, include_timing: bool) -> Value {
         let mut fields = vec![
             ("name".to_owned(), Value::Str(self.name.clone())),
@@ -106,6 +128,17 @@ impl SpanNode {
                 Value::Str(self.provenance.name().to_owned()),
             ),
         ];
+        if !self.counters.is_empty() {
+            fields.push((
+                "counters".to_owned(),
+                Value::Object(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::U64(*v)))
+                        .collect(),
+                ),
+            ));
+        }
         if include_timing {
             fields.push(("wall_ms".to_owned(), Value::F64(self.wall_ms)));
         }
@@ -186,6 +219,22 @@ mod tests {
         assert_eq!(doc.get("trace_version"), Some(&Value::U64(TRACE_VERSION)));
         assert_eq!(doc.get("experiment"), Some(&Value::Str("table1".into())));
         assert!(doc.get("root").unwrap().get("children").is_some());
+    }
+
+    #[test]
+    fn counters_render_in_insertion_order_only_when_present() {
+        let mut bare = SpanNode::new("place");
+        let before = serde_json::to_string(&bare.to_value(false)).unwrap();
+        assert!(!before.contains("counters"), "absent when empty");
+        bare.counter("iterations", 25);
+        bare.counter("hpwl_um", 1_234);
+        assert_eq!(bare.counter_value("iterations"), Some(25));
+        assert_eq!(bare.counter_value("missing"), None);
+        let after = serde_json::to_string(&bare.to_value(false)).unwrap();
+        assert!(
+            after.contains("\"counters\":{\"iterations\":25,\"hpwl_um\":1234}"),
+            "insertion order preserved: {after}"
+        );
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Property tests of the Prometheus text renderer: whatever names and
+//! values a [`Recorder`] accumulates, the exposition must parse, stay
+//! deterministic under insertion order, and keep its cumulative bucket
+//! arithmetic consistent with the `_count` totals.
+
+use m3d_core::obs::{
+    render_text, validate_exposition, Recorder, DEPTH_EDGES, ITER_EDGES, LATENCY_US_EDGES,
+};
+use proptest::prelude::*;
+
+/// Characters a hostile metric name might contain: legal Prometheus
+/// ones, digits (illegal only in position 0), and characters the
+/// sanitiser must rewrite (dots, dashes, spaces, unicode).
+fn name_char() -> BoxedStrategy<char> {
+    prop_oneof![
+        Just('a'),
+        Just('z'),
+        Just('_'),
+        Just(':'),
+        Just('0'),
+        Just('9'),
+        Just('.'),
+        Just('-'),
+        Just(' '),
+        Just('µ'),
+        Just('é'),
+    ]
+    .boxed()
+}
+
+fn metric_name() -> BoxedStrategy<String> {
+    proptest::collection::vec(name_char(), 0..10)
+        .prop_map(|cs| cs.into_iter().collect())
+        .boxed()
+}
+
+fn counters() -> BoxedStrategy<Vec<(String, u64)>> {
+    proptest::collection::vec((metric_name(), 0u64..1_000_000), 0..8).boxed()
+}
+
+fn hists() -> BoxedStrategy<Vec<(String, Vec<u64>)>> {
+    proptest::collection::vec(
+        (
+            metric_name(),
+            proptest::collection::vec(0u64..100_000, 1..6),
+        ),
+        0..5,
+    )
+    .boxed()
+}
+
+/// Edge set keyed off the name alone, so building a recorder in any
+/// insertion order picks identical edges for a repeated name.
+fn edges_for(name: &str) -> &'static [u64] {
+    match name.len() % 3 {
+        0 => LATENCY_US_EDGES,
+        1 => DEPTH_EDGES,
+        _ => ITER_EDGES,
+    }
+}
+
+fn build(counters: &[(String, u64)], hists: &[(String, Vec<u64>)], reverse: bool) -> Recorder {
+    let rec = Recorder::new();
+    let apply = |items: Vec<&(String, u64)>| {
+        for (name, v) in items {
+            rec.incr(name, *v);
+        }
+    };
+    if reverse {
+        apply(counters.iter().rev().collect());
+    } else {
+        apply(counters.iter().collect());
+    }
+    let hist_items: Vec<_> = if reverse {
+        hists.iter().rev().collect()
+    } else {
+        hists.iter().collect()
+    };
+    for (name, values) in hist_items {
+        for v in values {
+            rec.observe(name, *v, edges_for(name));
+        }
+    }
+    rec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn rendered_expositions_parse_and_balance(
+        counters in counters(),
+        hists in hists(),
+    ) {
+        let rec = build(&counters, &hists, false);
+        let text = render_text(&rec);
+        if let Err(line) = validate_exposition(&text) {
+            panic!("exposition failed to parse at: {line}\n--- full text ---\n{text}");
+        }
+
+        // Insertion order must not matter: the renderer sorts by
+        // sanitised name, so a reversed build renders byte-identically.
+        let reversed = build(&counters, &hists, true);
+        prop_assert_eq!(&text, &render_text(&reversed), "insertion order leaked");
+        prop_assert_eq!(&text, &render_text(&rec), "repeated renders drifted");
+
+        // Walk the exposition: counter samples must add up to the
+        // values fed in (collisions merge by addition), histogram
+        // buckets must be cumulative with `le="+Inf"` equal to
+        // `_count`, and the `_count` totals must account for every
+        // observation made.
+        let mut counter_sum: u128 = 0;
+        let mut count_total: u64 = 0;
+        let mut hist: Option<(String, u64)> = None; // (name, last bucket)
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split(' ');
+                let name = parts.next().unwrap_or_default().to_owned();
+                hist = match parts.next() {
+                    Some("histogram") => Some((name, 0)),
+                    _ => None,
+                };
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("validated sample line");
+            let value: u64 = value.parse().expect("integer sample");
+            match &mut hist {
+                Some((name, last)) if series.starts_with(format!("{name}_bucket").as_str()) => {
+                    prop_assert!(
+                        value >= *last,
+                        "bucket series for {name} not cumulative: {line}"
+                    );
+                    *last = value;
+                }
+                Some((name, last)) if series == format!("{name}_count") => {
+                    prop_assert_eq!(
+                        value, *last,
+                        "{}_count disagrees with its +Inf bucket", name
+                    );
+                    count_total += value;
+                }
+                Some(_) => {} // the `_sum` sample
+                None => counter_sum += u128::from(value),
+            }
+        }
+        let expected_counter: u128 = counters.iter().map(|(_, v)| u128::from(*v)).sum();
+        prop_assert_eq!(counter_sum, expected_counter, "counter values lost or invented");
+        let expected_count: u64 = hists.iter().map(|(_, vs)| vs.len() as u64).sum();
+        prop_assert_eq!(count_total, expected_count, "histogram observations lost");
+    }
+}

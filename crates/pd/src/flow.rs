@@ -10,11 +10,13 @@ use m3d_tech::units::SquareMicrons;
 use m3d_tech::Pdk;
 
 use crate::cluster::Clustering;
+use crate::cts::{estimate_clock_tree, ClockTree};
 use crate::error::PdResult;
 use crate::floorplan::{under_array_usable_area, Floorplan};
 use crate::geom::Rect;
-use crate::opt::{post_route_optimize, OptConfig, OptOutcome};
-use crate::place::{place, Placement, PlacerConfig};
+use crate::observe::{round_counter, FlowObserver, FlowSpan};
+use crate::opt::{post_route_optimize_traced, OptConfig, OptOutcome};
+use crate::place::{place_traced, Placement, PlacerConfig};
 use crate::power::{analyze_power, PowerReport, DEFAULT_ACTIVITY};
 use crate::route::RoutingEstimate;
 use crate::sta::TimingReport;
@@ -120,6 +122,8 @@ pub struct FlowArtifacts {
     pub routing: RoutingEstimate,
     /// Final timing.
     pub timing: TimingReport,
+    /// Estimated clock tree over the final placement.
+    pub clock_tree: ClockTree,
     /// Power sign-off.
     pub power: PowerReport,
 }
@@ -218,42 +222,106 @@ impl Rtl2GdsFlow {
     /// Propagates netlist generation, floorplan fit, placement, routing
     /// and timing errors.
     pub fn run(&self) -> PdResult<(FlowReport, FlowArtifacts)> {
+        let (report, artifacts, _) = self.run_traced()?;
+        Ok((report, artifacts))
+    }
+
+    /// [`Rtl2GdsFlow::run`], additionally returning the flow's
+    /// deterministic sub-span tree: one child per phase (synthesis,
+    /// floorplan, clustering, place, legalize, opt, cts, power), with
+    /// per-iteration children and integer counters (annealing steps,
+    /// optimisation rounds, HPWL, ILV crossings, critical paths). Equal
+    /// configurations always yield byte-identical trees.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Rtl2GdsFlow::run`].
+    pub fn run_traced(&self) -> PdResult<(FlowReport, FlowArtifacts, FlowSpan)> {
         let cfg = &self.config;
+        let mut obs = FlowObserver::enabled();
 
         // --- Synthesis stand-in -----------------------------------------
         let mut netlist = Netlist::new(format!("{}_{}cs", cfg.pdk.name, cfg.soc.cs_count));
         accelerator_soc(&mut netlist, &cfg.soc)?;
+        let mut syn = FlowSpan::new("synthesis");
+        syn.counter("cells", netlist.cell_count() as u64);
+        syn.counter("macros", netlist.macros().len() as u64);
+        syn.counter("nets", netlist.nets().len() as u64);
+        obs.record(syn);
 
         // --- Floorplan ----------------------------------------------------
         let floorplan = Floorplan::plan(&cfg.pdk, &cfg.soc, &netlist, cfg.die_override)?;
+        let mut fps = FlowSpan::new("floorplan");
+        fps.counter("regions", floorplan.regions.len() as u64);
+        fps.counter("die_um2", round_counter(floorplan.die.area().value()));
+        fps.counter(
+            "target_clock_khz",
+            round_counter(floorplan.target_clock.value() * 1_000.0),
+        );
+        obs.record(fps);
 
         // --- Clustering + global placement ---------------------------------
         let clustering = Clustering::build(&netlist, &cfg.pdk)?;
-        let mut placement = place(&clustering, &floorplan, &cfg.placer)?;
+        let mut cls = FlowSpan::new("clustering");
+        cls.counter("clusters", clustering.clusters.len() as u64);
+        cls.counter("nets", clustering.nets.len() as u64);
+        obs.record(cls);
+        let (mut placement, place_span) = place_traced(&clustering, &floorplan, &cfg.placer)?;
+        obs.record(place_span);
 
         // --- Row legalisation -----------------------------------------------
         let legalization_displacement_um = if cfg.legalize {
             let leg = crate::legalize::legalize(&netlist, &placement, &floorplan, &cfg.pdk)?;
             placement.cell_pos = leg.cell_pos;
+            let mut ls = FlowSpan::new("legalize");
+            ls.counter("rows_used", leg.rows_used as u64);
+            ls.counter("far_placed", leg.far_placed as u64);
+            ls.counter(
+                "avg_displacement_nm",
+                round_counter(leg.avg_displacement.value() * 1_000.0),
+            );
+            obs.record(ls);
             leg.avg_displacement.value()
         } else {
             0.0
         };
 
         // --- Route, post-route optimisation, sign-off ----------------------
-        let OptOutcome {
-            upsized,
-            buffers_inserted,
-            routing,
-            timing,
-            ..
-        } = post_route_optimize(
+        let (
+            OptOutcome {
+                upsized,
+                buffers_inserted,
+                routing,
+                timing,
+                ..
+            },
+            opt_span,
+        ) = post_route_optimize_traced(
             &mut netlist,
             &mut placement,
             &cfg.pdk,
             floorplan.target_clock,
             &cfg.opt,
         )?;
+        obs.record(opt_span);
+        let clock_tree = estimate_clock_tree(&netlist, &placement, &floorplan, &cfg.pdk)?;
+        let mut cts = FlowSpan::new("cts");
+        cts.counter("sinks", clock_tree.sinks as u64);
+        cts.counter("levels", u64::from(clock_tree.levels));
+        cts.counter("buffers", clock_tree.buffers as u64);
+        cts.counter(
+            "wirelength_um",
+            round_counter(clock_tree.wirelength.value()),
+        );
+        cts.counter(
+            "insertion_delay_ps",
+            round_counter(clock_tree.insertion_delay.value() * 1_000.0),
+        );
+        cts.counter(
+            "skew_ps",
+            round_counter(clock_tree.skew_bound.value() * 1_000.0),
+        );
+        obs.record(cts);
         let power = analyze_power(
             &netlist,
             &routing,
@@ -263,6 +331,13 @@ impl Rtl2GdsFlow {
             floorplan.target_clock,
             cfg.activity,
         )?;
+        let mut pws = FlowSpan::new("power");
+        pws.counter("total_uw", round_counter(power.total.value() * 1_000.0));
+        pws.counter(
+            "upper_tier_uw",
+            round_counter(power.upper_tier.value() * 1_000.0),
+        );
+        obs.record(pws);
 
         // --- Report ---------------------------------------------------------
         let stats = m3d_netlist::NetlistStats::compute(&netlist, &cfg.pdk)?;
@@ -324,9 +399,10 @@ impl Rtl2GdsFlow {
             placement,
             routing,
             timing,
+            clock_tree,
             power,
         };
-        Ok((report, artifacts))
+        Ok((report, artifacts, obs.finish("flow")))
     }
 }
 
@@ -409,6 +485,35 @@ mod tests {
         );
         // The small test CS is tiny, so the freed area could host many.
         assert!(r3d.extra_cs_capacity >= 2);
+    }
+
+    #[test]
+    fn traced_flow_exposes_phase_spans_and_is_deterministic() {
+        let cfg = FlowConfig::baseline_2d().with_cs(small_cs()).quick();
+        let (r1, a1, t1) = Rtl2GdsFlow::new(cfg.clone()).run_traced().unwrap();
+        let (r2, _, t2) = Rtl2GdsFlow::new(cfg).run_traced().unwrap();
+        assert_eq!(r1, r2, "flow report is deterministic");
+        assert_eq!(t1, t2, "sub-span tree is deterministic");
+        assert_eq!(t1.name, "flow");
+        for phase in [
+            "synthesis",
+            "floorplan",
+            "clustering",
+            "place",
+            "opt",
+            "cts",
+            "power",
+        ] {
+            assert!(t1.find(phase).is_some(), "missing phase span: {phase}");
+        }
+        // quick() skips legalisation.
+        assert!(t1.find("legalize").is_none());
+        let place = t1.find("place").unwrap();
+        assert!(!place.children.is_empty(), "annealing step spans present");
+        assert!(t1.find("route").is_some() && t1.find("sta").is_some());
+        let cts = t1.find("cts").unwrap();
+        assert_eq!(cts.counter_value("sinks"), Some(a1.clock_tree.sinks as u64));
+        assert!(a1.clock_tree.buffers > 0, "CTS is wired into the flow");
     }
 
     #[test]

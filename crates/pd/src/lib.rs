@@ -36,6 +36,7 @@ pub mod flow;
 pub mod gds;
 pub mod geom;
 pub mod legalize;
+pub mod observe;
 pub mod opt;
 pub mod partition;
 pub mod place;
@@ -54,9 +55,10 @@ pub use flow::{cs_geometric_demand, FlowArtifacts, FlowConfig, FlowReport, Rtl2G
 pub use gds::LayoutExport;
 pub use geom::{BoundingBox, Point, Rect};
 pub use legalize::{legalize, LegalizeReport};
-pub use opt::{post_route_optimize, OptConfig, OptOutcome};
+pub use observe::{round_counter, FlowObserver, FlowSpan};
+pub use opt::{post_route_optimize, post_route_optimize_traced, OptConfig, OptOutcome};
 pub use partition::{fold_two_tier, FoldingReport};
-pub use place::{place, Placement, PlacerConfig};
+pub use place::{place, place_traced, Placement, PlacerConfig};
 pub use power::{analyze_power, PowerDensityGrid, PowerReport, DEFAULT_ACTIVITY};
 pub use route::{estimate_routing, RoutedNet, RoutingEstimate, DEFAULT_DETOUR};
 pub use spef::to_spef;

@@ -10,9 +10,38 @@ use m3d_tech::{Pdk, Tier};
 
 use crate::error::PdResult;
 use crate::geom::Point;
+use crate::observe::{round_counter, FlowSpan};
 use crate::place::Placement;
 use crate::route::{estimate_routing, RoutingEstimate};
 use crate::sta::{analyze_timing, TimingReport};
+
+/// Builds a `route` span from one routing estimate (net count, rounded
+/// wirelength, and the paper's headline ILV-crossing counters).
+fn route_span(routing: &RoutingEstimate) -> FlowSpan {
+    let mut s = FlowSpan::new("route");
+    s.counter("nets", routing.nets.len() as u64);
+    s.counter(
+        "wirelength_um",
+        round_counter(routing.total_wirelength.value()),
+    );
+    s.counter("signal_ilvs", routing.signal_ilvs);
+    s.counter("memory_cell_ilvs", routing.memory_cell_ilvs);
+    s
+}
+
+/// Builds an `sta` span from one timing report (endpoint/violation
+/// counts and the critical path in integer picoseconds).
+fn sta_span(timing: &TimingReport) -> FlowSpan {
+    let mut s = FlowSpan::new("sta");
+    s.counter("endpoints", timing.endpoints as u64);
+    s.counter("violations", timing.violations as u64);
+    s.counter(
+        "critical_path_ps",
+        round_counter(timing.critical_path.value() * 1_000.0),
+    );
+    s.counter("timing_met", u64::from(timing.timing_met()));
+    s
+}
 
 /// Optimisation knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -107,15 +136,38 @@ pub fn post_route_optimize(
     target_clock: Megahertz,
     config: &OptConfig,
 ) -> PdResult<OptOutcome> {
+    post_route_optimize_traced(netlist, placement, pdk, target_clock, config).map(|(o, _)| o)
+}
+
+/// [`post_route_optimize`], additionally returning an `opt` [`FlowSpan`]:
+/// the initial `route`/`sta` children, then one `round{N}` child per
+/// executed round holding that round's fix counters and its re-route /
+/// re-timing spans. Deterministic for a given netlist + placement.
+///
+/// # Errors
+///
+/// Same as [`post_route_optimize`].
+pub fn post_route_optimize_traced(
+    netlist: &mut Netlist,
+    placement: &mut Placement,
+    pdk: &Pdk,
+    target_clock: Megahertz,
+    config: &OptConfig,
+) -> PdResult<(OptOutcome, FlowSpan)> {
     let mut upsized = 0usize;
     let mut buffers = 0usize;
     let mut rounds = 0usize;
     let mut routing = estimate_routing(netlist, placement, pdk, config.detour)?;
     let mut timing = analyze_timing(netlist, &routing, pdk, target_clock)?;
+    let mut span = FlowSpan::new("opt");
+    span.child(route_span(&routing));
+    span.child(sta_span(&timing));
 
     for round in 0..config.max_rounds {
         rounds = round + 1;
         let mut changed = false;
+        let upsized_before = upsized;
+        let buffers_before = buffers;
 
         // --- Pass 1: upsize weak drivers of heavily loaded nets ---------
         let mut to_upsize: Vec<u32> = Vec::new();
@@ -184,18 +236,30 @@ pub fn post_route_optimize(
 
         routing = estimate_routing(netlist, placement, pdk, config.detour)?;
         timing = analyze_timing(netlist, &routing, pdk, target_clock)?;
+        let mut round_span = FlowSpan::new(format!("round{round}"));
+        round_span.counter("upsized", (upsized - upsized_before) as u64);
+        round_span.counter("buffers_inserted", (buffers - buffers_before) as u64);
+        round_span.child(route_span(&routing));
+        round_span.child(sta_span(&timing));
+        span.child(round_span);
         if !changed || timing.timing_met() {
             break;
         }
     }
+    span.counter("rounds", rounds as u64);
+    span.counter("upsized", upsized as u64);
+    span.counter("buffers_inserted", buffers as u64);
 
-    Ok(OptOutcome {
-        rounds,
-        upsized,
-        buffers_inserted: buffers,
-        routing,
-        timing,
-    })
+    Ok((
+        OptOutcome {
+            rounds,
+            upsized,
+            buffers_inserted: buffers,
+            routing,
+            timing,
+        },
+        span,
+    ))
 }
 
 #[cfg(test)]
@@ -253,6 +317,39 @@ mod tests {
             "opt {} vs base {}",
             out.timing.critical_path,
             t0.critical_path
+        );
+    }
+
+    #[test]
+    fn traced_optimisation_records_rounds_and_ilv_counters() {
+        let (mut nl, mut p, pdk, clock) = setup();
+        let (out, span) =
+            post_route_optimize_traced(&mut nl, &mut p, &pdk, clock, &OptConfig::default())
+                .unwrap();
+        assert_eq!(span.name, "opt");
+        assert_eq!(span.counter_value("rounds"), Some(out.rounds as u64));
+        assert_eq!(span.counter_value("upsized"), Some(out.upsized as u64));
+        // Initial route + sta, then route + sta inside each round span.
+        assert_eq!(span.children.len(), 2 + out.rounds);
+        // The final round's spans reflect the returned routing/timing.
+        let last = span.find(&format!("round{}", out.rounds - 1)).unwrap();
+        let route = last.find("route").unwrap();
+        assert_eq!(
+            route.counter_value("nets"),
+            Some(out.routing.nets.len() as u64)
+        );
+        assert_eq!(
+            route.counter_value("signal_ilvs"),
+            Some(out.routing.signal_ilvs)
+        );
+        let sta = last.find("sta").unwrap();
+        assert_eq!(
+            sta.counter_value("endpoints"),
+            Some(out.timing.endpoints as u64)
+        );
+        assert_eq!(
+            sta.counter_value("timing_met"),
+            Some(u64::from(out.timing.timing_met()))
         );
     }
 

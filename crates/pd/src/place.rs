@@ -17,6 +17,7 @@ use crate::cluster::{Cluster, ClusterKind, Clustering};
 use crate::error::{PdError, PdResult};
 use crate::floorplan::{Floorplan, Region};
 use crate::geom::{BoundingBox, Point, Rect};
+use crate::observe::{round_counter, FlowSpan};
 
 /// Placer tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -211,6 +212,22 @@ pub fn place(
     floorplan: &Floorplan,
     config: &PlacerConfig,
 ) -> PdResult<Placement> {
+    place_traced(clustering, floorplan, config).map(|(p, _)| p)
+}
+
+/// [`place`], additionally returning a `place` [`FlowSpan`] with one
+/// child per annealing temperature step (move/accept counts, rounded
+/// HPWL and density overflow after the step). The span is fully
+/// deterministic for a fixed seed, so traced placements diff clean.
+///
+/// # Errors
+///
+/// Same as [`place`].
+pub fn place_traced(
+    clustering: &Clustering,
+    floorplan: &Floorplan,
+    config: &PlacerConfig,
+) -> PdResult<(Placement, FlowSpan)> {
     let n = clustering.clusters.len();
     let mut pos = vec![Point::default(); n];
     let mut region_of = vec![usize::MAX; n];
@@ -318,10 +335,18 @@ pub fn place(
     }
 
     // --- Simulated annealing ----------------------------------------------
+    let mut span = FlowSpan::new("place");
+    span.counter("clusters", n as u64);
+    span.counter("movable", movable.len() as u64);
+    span.counter("nets", clustering.nets.len() as u64);
+    span.counter("initial_hpwl_um", round_counter(initial_hpwl));
     if !movable.is_empty() && !clustering.nets.is_empty() {
         let mut temp = floorplan.die.width().value().max(1.0);
-        for _ in 0..config.temperature_steps {
+        for step in 0..config.temperature_steps {
+            let mut moves = 0u64;
+            let mut accepted = 0u64;
             for _ in 0..config.moves_per_cluster * movable.len() {
+                moves += 1;
                 let ci = movable[rng.gen_range(0..movable.len())];
                 let c = &clustering.clusters[ci];
                 let ri_new = rng.gen_range(0..floorplan.regions.len());
@@ -360,6 +385,7 @@ pub fn place(
 
                 let accept = d_cost <= 0.0 || rng.gen::<f64>() < (-d_cost / temp).exp();
                 if accept {
+                    accepted += 1;
                     hpwl_total += d_hpwl;
                     if ri_new != ri_old {
                         region_used[ri_old] -= d_old;
@@ -373,9 +399,18 @@ pub fn place(
                     pos[ci] = old_p;
                 }
             }
+            let mut step_span = FlowSpan::new(format!("step{step}"));
+            step_span.counter("moves", moves);
+            step_span.counter("accepted", accepted);
+            step_span.counter("hpwl_um", round_counter(hpwl_total));
+            step_span.counter("overflow_um2", round_counter(bins.total_overflow()));
+            span.child(step_span);
             temp *= config.cooling;
         }
     }
+    span.counter("steps", span.children.len() as u64);
+    span.counter("final_hpwl_um", round_counter(hpwl_total));
+    span.counter("overflow_um2", round_counter(bins.total_overflow()));
 
     // --- Derive per-cell and per-macro positions ---------------------------
     let mut cell_pos = vec![Point::default(); clustering.cell_cluster.len()];
@@ -430,16 +465,19 @@ pub fn place(
         })
         .sum();
 
-    Ok(Placement {
-        cluster_pos: pos,
-        cluster_region: region_of,
-        cell_pos,
-        macro_pos,
-        inter_hpwl: Microns::new(hpwl_total),
-        intra_wl: Microns::new(intra),
-        initial_hpwl: Microns::new(initial_hpwl),
-        overflow: SquareMicrons::new(bins.total_overflow()),
-    })
+    Ok((
+        Placement {
+            cluster_pos: pos,
+            cluster_region: region_of,
+            cell_pos,
+            macro_pos,
+            inter_hpwl: Microns::new(hpwl_total),
+            intra_wl: Microns::new(intra),
+            initial_hpwl: Microns::new(initial_hpwl),
+            overflow: SquareMicrons::new(bins.total_overflow()),
+        },
+        span,
+    ))
 }
 
 #[cfg(test)]
@@ -525,6 +563,31 @@ mod tests {
             p.initial_hpwl
         );
         assert!(p.total_wirelength() > Microns::ZERO);
+    }
+
+    #[test]
+    fn traced_placement_matches_untraced_and_records_steps() {
+        let (cl, fp) = setup_2d();
+        let cfg = PlacerConfig::quick();
+        let (p, span) = place_traced(&cl, &fp, &cfg).unwrap();
+        let q = place(&cl, &fp, &cfg).unwrap();
+        assert_eq!(p, q, "tracing must not perturb the placement");
+        assert_eq!(span.name, "place");
+        assert_eq!(span.children.len(), cfg.temperature_steps);
+        assert_eq!(
+            span.counter_value("steps"),
+            Some(cfg.temperature_steps as u64)
+        );
+        let s0 = span.find("step0").unwrap();
+        assert_eq!(
+            s0.counter_value("moves"),
+            Some((cfg.moves_per_cluster * span.counter_value("movable").unwrap() as usize) as u64)
+        );
+        assert!(s0.counter_value("accepted").unwrap() <= s0.counter_value("moves").unwrap());
+        assert_eq!(
+            span.counter_value("final_hpwl_um"),
+            Some(round_counter(p.inter_hpwl.value()))
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! m3d-loadgen --addr HOST:PORT [--clients N] [--requests M]
 //!             [--mix cold|repeated|flow|sleep|mixed] [--timeout-ms T]
 //!             [--json PATH] [--expect-computed K] [--metrics-every P]
-//!             [--check-metrics] [--shutdown]
+//!             [--check-metrics] [--metrics-text PATH] [--shutdown]
 //! ```
 //!
 //! Spawns `N` concurrent client connections, each sending `M` requests
@@ -40,18 +40,25 @@
 //!   before and after the run and exits non-zero unless the `executed`
 //!   delta equals the client-observed `computed` count and the
 //!   `cache_hits + coalesced` delta equals the client-observed `reused`
-//!   count. Use with mixes whose leaders really execute (e.g. `cold`,
-//!   `repeated` against a fresh server): a leader whose case internally
-//!   replays the flow cache reports `cached == true` to the client while
-//!   the server books it as executed.
+//!   count. The `request_latency_us` histogram is held to the same
+//!   standard: the server samples latency exactly once per resolved
+//!   request, so its `_count` delta must equal `computed + reused`. Use
+//!   with mixes whose leaders really execute (e.g. `cold`, `repeated`
+//!   against a fresh server): a leader whose case internally replays the
+//!   flow cache reports `cached == true` to the client while the server
+//!   books it as executed.
+//! * `--metrics-text PATH` — after the run (before `--shutdown`),
+//!   scrapes the server's `metrics_text` case once, checks the payload
+//!   parses as a Prometheus text exposition, and writes it to `PATH`.
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Instant;
 
+use m3d_core::obs::validate_exposition;
 use m3d_core::ErrorCode;
-use m3d_serve::protocol::{Request, Response, CASE_METRICS};
+use m3d_serve::protocol::{Request, Response, CASE_METRICS, CASE_METRICS_TEXT};
 use m3d_serve::LatencySummary;
 use m3d_tech::{StableHash, StableHasher};
 use serde::Value;
@@ -60,7 +67,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: m3d-loadgen --addr HOST:PORT [--clients N] [--requests M] \
          [--mix cold|repeated|flow|sleep|mixed] [--timeout-ms T] [--json PATH] \
-         [--expect-computed K] [--metrics-every P] [--check-metrics] [--shutdown]"
+         [--expect-computed K] [--metrics-every P] [--check-metrics] \
+         [--metrics-text PATH] [--shutdown]"
     );
     std::process::exit(2);
 }
@@ -76,6 +84,7 @@ struct Args {
     expect_computed: Option<u64>,
     metrics_every: Option<usize>,
     check_metrics: bool,
+    metrics_text: Option<String>,
     shutdown: bool,
 }
 
@@ -90,6 +99,7 @@ fn parse_args() -> Args {
         expect_computed: None,
         metrics_every: None,
         check_metrics: false,
+        metrics_text: None,
         shutdown: false,
     };
     let mut args = std::env::args().skip(1);
@@ -126,6 +136,7 @@ fn parse_args() -> Args {
                 out.metrics_every = Some(every);
             }
             "--check-metrics" => out.check_metrics = true,
+            "--metrics-text" => out.metrics_text = Some(grab("--metrics-text")),
             "--shutdown" => out.shutdown = true,
             _ => usage(),
         }
@@ -277,16 +288,16 @@ fn run_client(args: &Args, client: usize) -> std::io::Result<Tally> {
         }
         if let Some(every) = args.metrics_every {
             if client == 0 && (i + 1) % every == 0 {
-                let counters = poll_metrics(&mut writer, &mut reader, 1_000_000 + global)?;
+                let snap = poll_metrics(&mut writer, &mut reader, 1_000_000 + global)?;
                 eprintln!(
                     "# metrics @ {} requests: executed {} cache_hits {} coalesced {} \
                      rejected {} timed_out {}",
                     i + 1,
-                    counters.get("executed").copied().unwrap_or(0),
-                    counters.get("cache_hits").copied().unwrap_or(0),
-                    counters.get("coalesced").copied().unwrap_or(0),
-                    counters.get("rejected").copied().unwrap_or(0),
-                    counters.get("timed_out").copied().unwrap_or(0),
+                    snap.counters.get("executed").copied().unwrap_or(0),
+                    snap.counters.get("cache_hits").copied().unwrap_or(0),
+                    snap.counters.get("coalesced").copied().unwrap_or(0),
+                    snap.counters.get("rejected").copied().unwrap_or(0),
+                    snap.counters.get("timed_out").copied().unwrap_or(0),
                 );
             }
         }
@@ -294,15 +305,23 @@ fn run_client(args: &Args, client: usize) -> std::io::Result<Tally> {
     Ok(tally)
 }
 
-/// Sends one `metrics` request on an established connection and returns
-/// the server's outcome counters. Metrics polls are diagnostic — they
-/// are never tallied into the run's request counts.
-fn poll_metrics(
+/// What one `metrics` poll yields: the server's counters and the sample
+/// count of its end-to-end `request_latency_us` histogram.
+struct MetricsSnap {
+    counters: BTreeMap<String, u64>,
+    latency_count: u64,
+}
+
+/// Sends one admin request on an established connection and returns the
+/// parsed `Ok` result payload. Admin polls are diagnostic — they are
+/// never tallied into the run's request counts.
+fn poll_admin(
     writer: &mut TcpStream,
     reader: &mut BufReader<TcpStream>,
     id: u64,
-) -> std::io::Result<BTreeMap<String, u64>> {
-    let req = Request::new(id, CASE_METRICS, Value::Object(Vec::new()));
+    case: &str,
+) -> std::io::Result<Value> {
+    let req = Request::new(id, case, Value::Object(Vec::new()));
     writer.write_all(req.to_line().as_bytes())?;
     writer.write_all(b"\n")?;
     writer.flush()?;
@@ -310,35 +329,78 @@ fn poll_metrics(
     if reader.read_line(&mut line)? == 0 {
         return Err(std::io::Error::new(
             std::io::ErrorKind::UnexpectedEof,
-            "server closed the connection during a metrics poll",
+            format!("server closed the connection during a `{case}` poll"),
         ));
     }
     let resp = Response::parse(line.trim())
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-    let Response::Ok { result, .. } = resp else {
-        return Err(std::io::Error::new(
+    match resp {
+        Response::Ok { result, .. } => Ok(result),
+        Response::Err { .. } => Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
-            "metrics request was refused",
-        ));
-    };
-    let mut out = BTreeMap::new();
-    if let Some(counters) = result.get("counters").and_then(Value::as_object) {
-        for (name, value) in counters {
+            format!("`{case}` request was refused"),
+        )),
+    }
+}
+
+/// Sends one `metrics` request on an established connection.
+fn poll_metrics(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    id: u64,
+) -> std::io::Result<MetricsSnap> {
+    let result = poll_admin(writer, reader, id, CASE_METRICS)?;
+    let mut counters = BTreeMap::new();
+    if let Some(fields) = result.get("counters").and_then(Value::as_object) {
+        for (name, value) in fields {
             if let Some(v) = value.as_u64() {
-                out.insert(name.clone(), v);
+                counters.insert(name.clone(), v);
             }
         }
     }
-    Ok(out)
+    let latency_count = result
+        .get("histograms")
+        .and_then(|h| h.get("request_latency_us"))
+        .and_then(|h| h.get("total"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    Ok(MetricsSnap {
+        counters,
+        latency_count,
+    })
 }
 
 /// Fetches the server's outcome counters over a fresh connection.
-fn fetch_metrics(addr: &str) -> std::io::Result<BTreeMap<String, u64>> {
+fn fetch_metrics(addr: &str) -> std::io::Result<MetricsSnap> {
     let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     poll_metrics(&mut writer, &mut reader, 0)
+}
+
+/// Scrapes the server's `metrics_text` case once over a fresh
+/// connection and returns the Prometheus exposition payload after
+/// checking it parses.
+fn fetch_metrics_text(addr: &str) -> std::io::Result<String> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let result = poll_admin(&mut writer, &mut reader, 0, CASE_METRICS_TEXT)?;
+    let Some(Value::Str(text)) = result.get("text") else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "metrics_text result carries no `text` field",
+        ));
+    };
+    validate_exposition(text).map_err(|line| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("metrics_text exposition failed to parse: {line}"),
+        )
+    })?;
+    Ok(text.clone())
 }
 
 fn send_shutdown(addr: &str) -> std::io::Result<bool> {
@@ -386,6 +448,12 @@ fn main() -> std::io::Result<()> {
     } else {
         None
     };
+
+    if let Some(path) = &args.metrics_text {
+        let text = fetch_metrics_text(&args.addr)?;
+        std::fs::write(path, &text)?;
+        eprintln!("# metrics-text: {path} ({} bytes, parses)", text.len());
+    }
 
     if args.shutdown {
         let ok = send_shutdown(&args.addr)?;
@@ -463,13 +531,15 @@ fn main() -> std::io::Result<()> {
 
     if let (Some(before), Some(after)) = (before, after) {
         let delta = |name: &str| {
-            after.get(name).copied().unwrap_or(0) - before.get(name).copied().unwrap_or(0)
+            after.counters.get(name).copied().unwrap_or(0)
+                - before.counters.get(name).copied().unwrap_or(0)
         };
         let executed = delta("executed");
         let server_reused = delta("cache_hits") + delta("coalesced");
+        let latency_samples = after.latency_count - before.latency_count;
         eprintln!(
-            "# server metrics delta: executed {executed}, reused {server_reused} \
-             (client saw computed {}, reused {})",
+            "# server metrics delta: executed {executed}, reused {server_reused}, \
+             latency samples {latency_samples} (client saw computed {}, reused {})",
             total.computed, total.reused
         );
         if executed != total.computed || server_reused != total.reused {
@@ -479,6 +549,17 @@ fn main() -> std::io::Result<()> {
                 total.computed, total.reused
             );
             std::process::exit(4);
+        }
+        // The server samples end-to-end latency exactly once per
+        // resolved request, so the histogram count must march in step
+        // with the outcome counters.
+        if latency_samples != total.computed + total.reused {
+            eprintln!(
+                "error: request_latency_us _count delta {latency_samples} != \
+                 computed + reused = {}",
+                total.computed + total.reused
+            );
+            std::process::exit(5);
         }
     }
     Ok(())

@@ -14,7 +14,9 @@
 //! and queue-depth histograms and retains a ring of per-request spans;
 //! the `metrics` wire case returns the whole recorder snapshot.
 
-use m3d_core::obs::{Recorder, SpanNode, DEPTH_EDGES, LATENCY_US_EDGES};
+use std::collections::BTreeMap;
+
+use m3d_core::obs::{render_parts, Histogram, Recorder, SpanNode, DEPTH_EDGES, LATENCY_US_EDGES};
 use serde::Value;
 
 /// The request-outcome counters, in stable snapshot order. Every name
@@ -90,6 +92,62 @@ impl Metrics {
     /// counts and bucket edges only, no timestamps.
     pub fn snapshot(&self) -> Value {
         self.rec.snapshot()
+    }
+
+    /// This server's counters and histograms merged with a second
+    /// recorder (the process-global engine one). The two namespaces are
+    /// disjoint by construction — request-outcome counters here,
+    /// `flow_cache.*` / `par_map.*` / `pd_flow.*` / `engine.*` there —
+    /// so a merge is a union; on an unexpected name collision the
+    /// server-local entry wins.
+    fn merged(&self, other: &Recorder) -> (Vec<(String, u64)>, Vec<(String, Histogram)>) {
+        let mut counters: BTreeMap<String, u64> = other.counters_sorted().into_iter().collect();
+        counters.extend(self.rec.counters_sorted());
+        let mut hists: BTreeMap<String, Histogram> = other.hists_sorted().into_iter().collect();
+        hists.extend(self.rec.hists_sorted());
+        (counters.into_iter().collect(), hists.into_iter().collect())
+    }
+
+    /// [`Metrics::snapshot`] with `other`'s counters and histograms
+    /// merged in (the `metrics` wire case). The span ring stays
+    /// server-local: per-request spans belong to this server, and the
+    /// global ring holds whole-run engine spans that are not request
+    /// observability.
+    pub fn merged_snapshot(&self, other: &Recorder) -> Value {
+        let (counters, hists) = self.merged(other);
+        Value::Object(vec![
+            (
+                "counters".to_owned(),
+                Value::Object(
+                    counters
+                        .into_iter()
+                        .map(|(n, v)| (n, Value::U64(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".to_owned(),
+                Value::Object(hists.into_iter().map(|(n, h)| (n, h.to_value())).collect()),
+            ),
+            (
+                "spans".to_owned(),
+                Value::Object(vec![
+                    ("recorded".to_owned(), Value::U64(self.rec.spans_recorded())),
+                    (
+                        "retained".to_owned(),
+                        Value::U64(self.rec.spans_retained() as u64),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// The merged counters and histograms rendered as a Prometheus text
+    /// exposition (the `metrics_text` wire case). Same grammar and
+    /// determinism rules as [`m3d_core::obs::render_text`].
+    pub fn merged_text(&self, other: &Recorder) -> String {
+        let (counters, hists) = self.merged(other);
+        render_parts(&counters, &hists)
     }
 }
 
@@ -188,6 +246,33 @@ mod tests {
             s.get("spans").unwrap().get("recorded").unwrap().as_u64(),
             Some(1)
         );
+    }
+
+    #[test]
+    fn merged_views_union_disjoint_recorders() {
+        let m = Metrics::new();
+        m.bump("accepted");
+        m.bump("executed");
+        m.observe_latency_us(10);
+        let global = Recorder::new();
+        global.incr("flow_cache.hits", 4);
+        global.incr("accepted", 100); // collision: server-local wins
+
+        let s = m.merged_snapshot(&global);
+        let counters = s.get("counters").unwrap();
+        assert_eq!(counters.get("accepted").unwrap().as_u64(), Some(1));
+        assert_eq!(counters.get("flow_cache.hits").unwrap().as_u64(), Some(4));
+        assert!(s
+            .get("histograms")
+            .unwrap()
+            .get("request_latency_us")
+            .is_some());
+
+        let text = m.merged_text(&global);
+        m3d_core::obs::validate_exposition(&text).expect("exposition parses");
+        assert!(text.contains("flow_cache_hits 4\n"), "{text}");
+        assert!(text.contains("executed 1\n"), "{text}");
+        assert!(text.contains("request_latency_us_count 1\n"), "{text}");
     }
 
     #[test]

@@ -24,8 +24,12 @@ pub const CASE_PING: &str = "ping";
 /// Reserved case name: cache/queue/worker statistics snapshot.
 pub const CASE_STATS: &str = "stats";
 /// Reserved case name: full recorder snapshot (counters, latency and
-/// queue-depth histograms, span-ring totals).
+/// queue-depth histograms, span-ring totals), merged with the
+/// process-global engine recorder.
 pub const CASE_METRICS: &str = "metrics";
+/// Reserved case name: the same merged recorder data rendered as
+/// Prometheus text exposition format (`{"text": "..."}` result).
+pub const CASE_METRICS_TEXT: &str = "metrics_text";
 
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]

@@ -29,14 +29,15 @@ use std::time::{Duration, Instant};
 
 use m3d_bench::registry::{self, CaseCtx};
 use m3d_core::engine::{Flight, FlowCache, InFlight};
-use m3d_core::obs::{Provenance, SpanNode};
+use m3d_core::obs::{Provenance, Recorder, SpanNode};
 use m3d_core::ErrorCode;
 use m3d_thermal::ThermalCache;
 use serde::Value;
 
 use crate::metrics::Metrics;
 use crate::protocol::{
-    key_hex, Request, Response, CASE_METRICS, CASE_PING, CASE_SHUTDOWN, CASE_STATS,
+    key_hex, Request, Response, CASE_METRICS, CASE_METRICS_TEXT, CASE_PING, CASE_SHUTDOWN,
+    CASE_STATS,
 };
 use crate::queue::{Bounded, PushError};
 
@@ -305,7 +306,23 @@ fn dispatch(shared: &Arc<Shared>, req: Request) -> Response {
                 key: key_hex(req.key()),
                 cached: false,
                 coalesced: false,
-                result: shared.metrics.snapshot(),
+                // Per-server request counters plus the process-global
+                // engine recorder (flow/thermal caches, sweeps, pd-flow
+                // tallies) in one snapshot — the namespaces are disjoint.
+                result: shared.metrics.merged_snapshot(Recorder::global()),
+            };
+        }
+        CASE_METRICS_TEXT => {
+            return Response::Ok {
+                id: req.id,
+                case: req.case.clone(),
+                key: key_hex(req.key()),
+                cached: false,
+                coalesced: false,
+                result: Value::Object(vec![(
+                    "text".to_owned(),
+                    Value::Str(shared.metrics.merged_text(Recorder::global())),
+                )]),
             }
         }
         CASE_SHUTDOWN => {
@@ -514,6 +531,7 @@ fn stats_response(shared: &Arc<Shared>, req: &Request) -> Response {
     };
     let result = Value::Object(vec![
         ("metrics".to_owned(), shared.metrics.counters_snapshot()),
+        ("engine".to_owned(), Recorder::global().counters_value()),
         ("flow_cache".to_owned(), cache_stats(shared.flows.stats())),
         (
             "flow_coalesced".to_owned(),

@@ -49,6 +49,41 @@ if ! cmp -s "$tmp/trace-a.json" "$tmp/trace-b.json"; then
     exit 1
 fi
 
+# Metrics gate: --metrics-text must emit a well-formed Prometheus text
+# exposition carrying the engine's guaranteed counters. The grammar
+# check admits exactly `# ...` comments and `name[{le="…"}] value`
+# samples — anything else fails the run.
+./target/release/table1_resnet18 --quick --metrics-text "$tmp/metrics.prom" >/dev/null 2>&1
+for counter in '^engine_runs 1$' '^engine_stages ' '# TYPE engine_runs counter'; do
+    if ! grep -q "$counter" "$tmp/metrics.prom"; then
+        echo "tier1: FAIL — table1_resnet18 --metrics-text is missing $counter" >&2
+        cat "$tmp/metrics.prom" >&2
+        exit 1
+    fi
+done
+if grep -Evq '^(# (TYPE|HELP) [a-zA-Z_:][a-zA-Z0-9_:]* ?.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]*"\})? [0-9]+)$' "$tmp/metrics.prom"; then
+    echo "tier1: FAIL — table1_resnet18 --metrics-text has malformed lines:" >&2
+    grep -Ev '^(# (TYPE|HELP) [a-zA-Z_:][a-zA-Z0-9_:]* ?.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]*"\})? [0-9]+)$' "$tmp/metrics.prom" >&2
+    exit 1
+fi
+
+# Pd-flow sub-span gate: the fig2 trace must expose the flow internals
+# (placement/opt/CTS/STA child spans with integer counters),
+# byte-identical across worker counts.
+env -u M3D_CACHE_DIR M3D_JOBS=1 ./target/release/fig2_physical_design --quick --trace-json "$tmp/fig2-a.json" >/dev/null 2>&1
+env -u M3D_CACHE_DIR M3D_JOBS=4 ./target/release/fig2_physical_design --quick --trace-json "$tmp/fig2-b.json" >/dev/null 2>&1
+for span in '"place"' '"cts"' '"sta"' '"counters"' '"signal_ilvs"'; do
+    if ! grep -q "$span" "$tmp/fig2-a.json"; then
+        echo "tier1: FAIL — fig2 trace is missing the $span sub-span data" >&2
+        exit 1
+    fi
+done
+if ! cmp -s "$tmp/fig2-a.json" "$tmp/fig2-b.json"; then
+    echo "tier1: FAIL — fig2_physical_design --trace-json differs across M3D_JOBS" >&2
+    diff "$tmp/fig2-a.json" "$tmp/fig2-b.json" >&2 || true
+    exit 1
+fi
+
 # Service smoke gate: boot m3d-serve on an ephemeral port, drive it
 # with deterministic loadgen mixes, assert the dedup counts (cold
 # computes all 12, the warm repeat computes 0, a 16-client identical
@@ -79,8 +114,17 @@ serve_smoke() {
         --json "$cold_json" >/dev/null
     ./target/release/m3d-loadgen --addr "$addr" --clients 3 --requests 4 \
         --mix cold --expect-computed 0 --check-metrics >/dev/null
+    # One `metrics_text` scrape: loadgen validates the exposition parses
+    # before writing it; the grep pins the request counters to the
+    # Prometheus surface.
     ./target/release/m3d-loadgen --addr "$addr" --clients 4 --requests 4 \
-        --mix repeated --expect-computed 1 --shutdown >/dev/null
+        --mix repeated --expect-computed 1 \
+        --metrics-text "$tmp/serve-w$workers.prom" --shutdown >/dev/null
+    if ! grep -q '^# TYPE executed counter$' "$tmp/serve-w$workers.prom"; then
+        echo "tier1: FAIL — serve metrics_text (workers=$workers) lacks the executed counter" >&2
+        cat "$tmp/serve-w$workers.prom" >&2
+        exit 1
+    fi
     if ! wait "$serve_pid"; then
         echo "tier1: FAIL — m3d-serve (workers=$workers) did not drain and exit 0" >&2
         exit 1
