@@ -1,89 +1,13 @@
-//! Ablation: batch-pipelined inference recovers the CSs that
-//! partition-capped layers leave idle (Sec. III-A's "finer granularity"
-//! applied across the batch dimension).
+//! Batch ablation: batch-pipelined inference across the M3D CSs.
 //!
-//! Engine-ported: each batch size simulates as a labelled `arch-sim`
-//! stage, `--json <path>` archives a deterministic
-//! [`m3d_core::engine::ExperimentReport`], and `--trace-json <path>`
-//! writes the per-stage span trace. `--quick` sweeps batches 1–8 on
-//! 4-CS chips instead of 1–32 on the paper's 8.
+//! Thin driver over the registered `ablation_batch` case: run with
+//! `--quick`, `--set key=value`, `--json`, `--trace-json`,
+//! `--metrics-json` and `--metrics-text` (see
+//! [`m3d_bench::cli`]).
 
-use m3d_arch::{batch_speedup, models, simulate_batch, ChipConfig};
-use m3d_bench::{header, rule, x, RunArgs};
-use m3d_core::engine::{CacheStats, Pipeline, Stage};
-use m3d_core::{ExperimentRecord, Metric};
+use m3d_bench::cli::case_main;
+use m3d_bench::RunArgs;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args = RunArgs::parse();
-    let cs_count = if args.quick { 4 } else { 8 };
-    let batches: &[u32] = if args.quick {
-        &[1, 2, 4, 8]
-    } else {
-        &[1, 2, 4, 8, 16, 32]
-    };
-    header(
-        "Ablation — batch pipelining across the 8 M3D CSs",
-        "extension of Sec. III-A (per-CS granularity) to batched edge inference",
-    );
-    let base = ChipConfig::baseline_2d();
-    let m3d = ChipConfig::m3d(cs_count);
-    let resnet = models::resnet18();
-    let mut pipe = Pipeline::new();
-    println!(
-        "{:>7} {:>18} {:>16} {:>14}",
-        "batch", "cycles/image (M)", "energy/image(mJ)", "speedup vs 2D"
-    );
-    let mut rows = Vec::new();
-    for &b in batches {
-        let (perf, speedup) = pipe.stage(Stage::ArchSim, &format!("batch{b}"), |_| {
-            (
-                simulate_batch(&m3d, &resnet, b),
-                batch_speedup(&base, &m3d, &resnet, b),
-            )
-        });
-        println!(
-            "{:>7} {:>18.3} {:>16.2} {:>14}",
-            b,
-            perf.cycles_per_image / 1e6,
-            perf.energy_per_image_pj() / 1e9,
-            x(speedup)
-        );
-        rows.push((
-            format!("batch{b}"),
-            vec![
-                ("cycles_per_image_m".to_owned(), perf.cycles_per_image / 1e6),
-                (
-                    "energy_per_image_mj".to_owned(),
-                    perf.energy_per_image_pj() / 1e9,
-                ),
-                ("speedup".to_owned(), speedup),
-            ],
-        ));
-    }
-    rule(72);
-    println!("batch 1 reproduces Table I (5.7x); larger batches fill the CSs that");
-    println!("K-tile-capped layers leave idle, approaching the 8x roofline.");
-
-    let record = pipe.stage(Stage::Report, "", |_| {
-        let mut rec = ExperimentRecord::new(
-            "ablation_batch",
-            "batch-pipelining ablation across the M3D CSs",
-        );
-        if let Some((_, values)) = rows.first() {
-            if let Some((_, v)) = values.iter().find(|(n, _)| n == "speedup") {
-                rec = rec.metric(Metric::new("batch1_speedup", *v));
-            }
-        }
-        if let Some((_, values)) = rows.last() {
-            if let Some((_, v)) = values.iter().find(|(n, _)| n == "speedup") {
-                rec = rec.metric(Metric::new("max_batch_speedup", *v));
-            }
-        }
-        for (label, values) in rows {
-            rec = rec.row(label, values);
-        }
-        rec
-    });
-    args.finalize(record, &pipe, CacheStats::default())?;
-    Ok(())
+fn main() {
+    case_main("ablation_batch", RunArgs::parse());
 }

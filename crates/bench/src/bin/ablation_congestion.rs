@@ -1,70 +1,14 @@
-//! Ablation: routing congestion under the RRAM array — the physical
-//! basis of the under-array availability derate. Placement under the
-//! memory may only use the routing layers below the RRAM plane; this
-//! experiment measures per-region track utilisation of the implemented
-//! M3D design.
+//! Congestion ablation: under-array routing congestion of the M3D
+//! design vs the 2D baseline.
+//!
+//! Thin driver over the registered `ablation_congestion` case: run with
+//! `--quick`, `--set key=value`, `--json`, `--trace-json`,
+//! `--metrics-json` and `--metrics-text` (see
+//! [`m3d_bench::cli`]).
 
-use m3d_bench::{header, pct, rule};
-use m3d_netlist::{CsConfig, PeConfig};
-use m3d_pd::{analyze_congestion, FlowConfig, Rtl2GdsFlow};
+use m3d_bench::cli::case_main;
+use m3d_bench::RunArgs;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    header(
-        "Ablation — routing congestion under the RRAM array",
-        "justifies the 0.5 under-array availability derate (DESIGN.md §5)",
-    );
-    let quick = std::env::args().any(|a| a == "--quick");
-    let cs = if quick {
-        CsConfig {
-            rows: 4,
-            cols: 4,
-            pe: PeConfig::default(),
-            global_buffer_kb: 64,
-            local_buffer_kb: 8,
-        }
-    } else {
-        CsConfig::default()
-    };
-    let prep = |c: FlowConfig| if quick { c.quick() } else { c };
-
-    let (r2d, _) = Rtl2GdsFlow::new(prep(FlowConfig::baseline_2d().with_cs(cs))).run()?;
-    let n = 1 + r2d.extra_cs_capacity.max(if quick { 1 } else { 7 });
-    let m3d_cfg = prep(FlowConfig::m3d(n).with_cs(cs)).with_die(r2d.die);
-    let pdk = m3d_cfg.pdk.clone();
-    let (_, a) = Rtl2GdsFlow::new(m3d_cfg).run()?;
-
-    let c = analyze_congestion(
-        &a.netlist,
-        &a.placement,
-        &a.routing,
-        &a.floorplan,
-        &pdk,
-        1000.0,
-    );
-    println!("tiles: {} × {} at {} µm", c.nx, c.ny, c.tile_um);
-    println!(
-        "free-region mean track utilisation:  {}",
-        pct(c.free_region_utilization)
-    );
-    println!(
-        "under-array mean track utilisation:  {}",
-        pct(c.under_array_utilization)
-    );
-    println!(
-        "worst tile utilisation:              {}",
-        pct(c.max_utilization)
-    );
-    println!("overflowed tiles:                    {}", c.overflow_tiles);
-    rule(72);
-    let ratio = if c.free_region_utilization > 0.0 {
-        c.under_array_utilization / c.free_region_utilization
-    } else {
-        0.0
-    };
-    println!(
-        "under-array tiles run {ratio:.1}× the relative load of free tiles on\n\
-         roughly half the track supply (M1–M3 only) — the reason the placer\n\
-         derates under-array availability to 0.5."
-    );
-    Ok(())
+fn main() {
+    case_main("ablation_congestion", RunArgs::parse());
 }

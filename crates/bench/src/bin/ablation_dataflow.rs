@@ -1,103 +1,14 @@
-//! Ablation: why the paper's accelerator is weight-stationary.
+//! Dataflow ablation: weight- vs output-stationary execution on the
+//! 2D baseline and the M3D design point.
 //!
-//! Output-stationary execution re-streams weights from the RRAM once per
-//! output-pixel tile, multiplying the most expensive memory traffic in
-//! an RRAM-backed design; weight-stationary reads each weight exactly
-//! once. The M3D benefit itself survives either dataflow, but absolute
-//! energy and runtime strongly favour WS.
-//!
-//! Engine-ported: each configuration simulates as a labelled `arch-sim`
-//! stage, `--json <path>` archives a deterministic
-//! [`m3d_core::engine::ExperimentReport`], and `--trace-json <path>`
-//! writes the per-stage span trace. `--quick` compares 4-CS chips
-//! instead of the paper's 8.
+//! Thin driver over the registered `ablation_dataflow` case: run with
+//! `--quick`, `--set key=value`, `--json`, `--trace-json`,
+//! `--metrics-json` and `--metrics-text` (see
+//! [`m3d_bench::cli`]).
 
-use m3d_arch::{compare, models, simulate, ChipConfig, Dataflow};
-use m3d_bench::{header, rule, x, RunArgs};
-use m3d_core::engine::{CacheStats, Pipeline, Stage};
-use m3d_core::report::{ExperimentRecord, Metric};
+use m3d_bench::cli::case_main;
+use m3d_bench::RunArgs;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args = RunArgs::parse();
-    let cs_count = if args.quick { 4 } else { 8 };
-    header(
-        "Ablation — weight-stationary vs output-stationary dataflow",
-        "design rationale for the Sec. II accelerator (refs. [9], [10])",
-    );
-    let resnet = models::resnet18();
-    let mut pipe = Pipeline::new();
-    println!(
-        "{:<22} {:>12} {:>12} {:>14}",
-        "configuration", "cycles (M)", "energy (mJ)", "RRAM reads (Mb)"
-    );
-    let mut rows = Vec::new();
-    for (label, tag, chip) in [
-        ("2D weight-stationary", "2d-ws", ChipConfig::baseline_2d()),
-        (
-            "2D output-stationary",
-            "2d-os",
-            ChipConfig::baseline_2d().with_dataflow(Dataflow::OutputStationary),
-        ),
-        ("M3D weight-stationary", "m3d-ws", ChipConfig::m3d(cs_count)),
-        (
-            "M3D output-stationary",
-            "m3d-os",
-            ChipConfig::m3d(cs_count).with_dataflow(Dataflow::OutputStationary),
-        ),
-    ] {
-        let perf = pipe.stage(Stage::ArchSim, tag, |_| simulate(&chip, &resnet));
-        let weight_mb: f64 = perf.layers.iter().map(|l| l.energy.weight_pj).sum::<f64>()
-            / chip.energy.rram_read_pj_per_bit
-            / 1.0e6;
-        println!(
-            "{:<22} {:>12.2} {:>12.2} {:>14.0}",
-            label,
-            perf.total_cycles as f64 / 1e6,
-            perf.total_energy_pj / 1e9,
-            weight_mb
-        );
-        rows.push((
-            tag.to_owned(),
-            vec![
-                ("cycles_m".to_owned(), perf.total_cycles as f64 / 1e6),
-                ("energy_mj".to_owned(), perf.total_energy_pj / 1e9),
-                ("rram_weight_mb".to_owned(), weight_mb),
-            ],
-        ));
-    }
-    rule(72);
-    let (ws, os) = pipe.stage(Stage::ArchSim, "edp-compare", |_| {
-        let ws = compare(
-            &ChipConfig::baseline_2d(),
-            &ChipConfig::m3d(cs_count),
-            &resnet,
-        );
-        let os = compare(
-            &ChipConfig::baseline_2d().with_dataflow(Dataflow::OutputStationary),
-            &ChipConfig::m3d(cs_count).with_dataflow(Dataflow::OutputStationary),
-            &resnet,
-        );
-        (ws, os)
-    });
-    println!(
-        "M3D-vs-2D EDP benefit: WS {} | OS {} — the architectural benefit is\n\
-         dataflow-robust, but WS wins on absolute energy (single-read weights).",
-        x(ws.total.edp_benefit),
-        x(os.total.edp_benefit)
-    );
-
-    let record = pipe.stage(Stage::Report, "", |_| {
-        let mut rec = ExperimentRecord::new(
-            "ablation_dataflow",
-            "dataflow ablation for the Sec. II accelerator",
-        )
-        .metric(Metric::new("ws_edp_benefit", ws.total.edp_benefit))
-        .metric(Metric::new("os_edp_benefit", os.total.edp_benefit));
-        for (label, values) in rows {
-            rec = rec.row(label, values);
-        }
-        rec
-    });
-    args.finalize(record, &pipe, CacheStats::default())?;
-    Ok(())
+fn main() {
+    case_main("ablation_dataflow", RunArgs::parse());
 }

@@ -1,104 +1,14 @@
-//! Ablation: weight precision (paper ref. 11's multi-bit-per-cell RRAM makes
-//! 4-bit weights natural). Lower precision shrinks weight traffic and
-//! the model's RRAM footprint — which feeds back into the design point:
-//! the same 64 MB frees the same Si, but a 4-bit model only needs half
-//! the capacity, so smaller (cheaper) baselines reach the same N.
+//! Precision ablation: 4/8/16-bit weights with the RRAM-capacity
+//! feedback on the design point.
 //!
-//! Engine-ported: each precision compares as a labelled `arch-sim`
-//! stage and the capacity feedback evaluates as one more, `--json
-//! <path>` archives a deterministic
-//! [`m3d_core::engine::ExperimentReport`], and `--trace-json <path>`
-//! writes the per-stage span trace. `--quick` compares 4-CS chips
-//! instead of the paper's 8.
+//! Thin driver over the registered `ablation_precision` case: run with
+//! `--quick`, `--set key=value`, `--json`, `--trace-json`,
+//! `--metrics-json` and `--metrics-text` (see
+//! [`m3d_bench::cli`]).
 
-use m3d_arch::{compare, models, ChipConfig, CsGeometry};
-use m3d_bench::{header, rule, x, RunArgs};
-use m3d_core::design_point::case_study_design_point;
-use m3d_core::engine::{CacheStats, Pipeline, Stage};
-use m3d_core::{ExperimentRecord, Metric};
-use m3d_tech::Pdk;
+use m3d_bench::cli::case_main;
+use m3d_bench::RunArgs;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args = RunArgs::parse();
-    let cs_count = if args.quick { 4 } else { 8 };
-    header(
-        "Ablation — weight precision (4/8/16-bit) on the M3D design point",
-        "ref. [11]: four-bits-per-cell 1T8R RRAM",
-    );
-    let resnet = models::resnet18();
-    let mut pipe = Pipeline::new();
-    println!(
-        "{:<8} {:>14} {:>10} {:>10} {:>10}",
-        "bits", "model (MB)", "speedup", "energy", "EDP"
-    );
-    let mut rows = Vec::new();
-    for bits in [4u32, 8, 16] {
-        let c = pipe.stage(Stage::ArchSim, &format!("{bits}bit"), |_| {
-            let geom = CsGeometry {
-                weight_bits: bits,
-                ..CsGeometry::default()
-            };
-            let base = ChipConfig {
-                geometry: geom,
-                ..ChipConfig::baseline_2d()
-            };
-            let m3d = ChipConfig {
-                geometry: geom,
-                ..ChipConfig::m3d(cs_count)
-            };
-            compare(&base, &m3d, &resnet)
-        });
-        let model_mb = resnet.model_bytes(bits) as f64 / 1e6;
-        println!(
-            "{:<8} {:>14.1} {:>10} {:>10} {:>10}",
-            bits,
-            model_mb,
-            x(c.total.speedup),
-            x(c.total.energy_ratio),
-            x(c.total.edp_benefit)
-        );
-        rows.push((
-            format!("{bits}bit"),
-            vec![
-                ("model_mb".to_owned(), model_mb),
-                ("speedup".to_owned(), c.total.speedup),
-                ("energy_ratio".to_owned(), c.total.energy_ratio),
-                ("edp_benefit".to_owned(), c.total.edp_benefit),
-            ],
-        ));
-    }
-    rule(72);
-    // Capacity feedback: the minimum RRAM capacity that still yields 8
-    // CSs is fixed by area, independent of precision — but a 4-bit
-    // ResNet-152 fits in 32 MB, halving the memory a product needs.
-    let capacity = pipe.stage(Stage::ArchSim, "capacity", |_| {
-        let pdk = Pdk::m3d_130nm();
-        let mut out = Vec::new();
-        for mb in [32u64, 64] {
-            out.push((mb, case_study_design_point(&pdk, mb)?.n_cs));
-        }
-        Ok::<_, m3d_core::CoreError>(out)
-    })?;
-    for (mb, n_cs) in &capacity {
-        println!(
-            "{mb} MB RRAM → N = {n_cs} (4-bit ResNet-152 needs {:.0} MB)",
-            models::resnet152().model_bytes(4) as f64 / 1e6
-        );
-    }
-
-    let record = pipe.stage(Stage::Report, "", |_| {
-        let mut rec = ExperimentRecord::new(
-            "ablation_precision",
-            "weight-precision ablation with RRAM-capacity feedback",
-        );
-        for (mb, n_cs) in &capacity {
-            rec = rec.metric(Metric::new(format!("n_cs_at_{mb}mb"), *n_cs as f64));
-        }
-        for (label, values) in rows {
-            rec = rec.row(label, values);
-        }
-        rec
-    });
-    args.finalize(record, &pipe, CacheStats::default())?;
-    Ok(())
+fn main() {
+    case_main("ablation_precision", RunArgs::parse());
 }

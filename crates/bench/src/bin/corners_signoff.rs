@@ -1,51 +1,14 @@
-//! Multi-corner sign-off of the case-study implementation: the 20 MHz
-//! target must close at the slow (SS) corner; leakage is reported at the
-//! fast (FF) corner — standard foundry methodology the paper's flow
-//! follows implicitly.
+//! Multi-corner sign-off: the quick M3D implementation evaluated at
+//! SS/TT/FF through the engine corner sweep.
+//!
+//! Thin driver over the registered `corners_signoff` case: run with
+//! `--quick`, `--set key=value`, `--json`, `--trace-json`,
+//! `--metrics-json` and `--metrics-text` (see
+//! [`m3d_bench::cli`]).
 
-use m3d_bench::{header, rule};
-use m3d_netlist::{CsConfig, PeConfig};
-use m3d_pd::{FlowConfig, Rtl2GdsFlow};
-use m3d_tech::Corner;
+use m3d_bench::cli::case_main;
+use m3d_bench::RunArgs;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    header(
-        "Multi-corner sign-off (SS / TT / FF) of the 2D baseline",
-        "sign-off methodology for the Sec. II implementations",
-    );
-    let quick = std::env::args().any(|a| a == "--quick");
-    let cs = if quick {
-        CsConfig {
-            rows: 4,
-            cols: 4,
-            pe: PeConfig::default(),
-            global_buffer_kb: 64,
-            local_buffer_kb: 8,
-        }
-    } else {
-        CsConfig::default()
-    };
-    println!(
-        "{:>8} {:>16} {:>10} {:>14} {:>14}",
-        "corner", "crit path (ns)", "met@20MHz", "leakage (mW)", "total (mW)"
-    );
-    for corner in Corner::ALL {
-        let mut cfg = FlowConfig::baseline_2d().with_cs(cs);
-        if quick {
-            cfg = cfg.quick();
-        }
-        cfg.pdk = cfg.pdk.at_corner(corner);
-        let (r, a) = Rtl2GdsFlow::new(cfg).run()?;
-        println!(
-            "{:>8} {:>16.2} {:>10} {:>14.3} {:>14.1}",
-            corner.name(),
-            r.critical_path_ns,
-            r.timing_met,
-            a.power.cell_leakage.value(),
-            r.total_power_mw
-        );
-    }
-    rule(72);
-    println!("setup must close at SS; FF shows the leakage ceiling.");
-    Ok(())
+fn main() {
+    case_main("corners_signoff", RunArgs::parse());
 }

@@ -1,59 +1,14 @@
-//! Coverage extension: MobileNetV1 — a workload the paper does *not*
-//! evaluate. The aggregate benefit survives (most MACs live in wide
-//! pointwise layers that partition well), but the per-layer spread is
-//! far wider than on dense nets: early depthwise/pointwise layers pin
-//! the shared (non-banked) activation bus and cap at 1.3–2×.
+//! Coverage extension: MobileNetV1 (depthwise-separable layers outside
+//! the paper's evaluation set) on the M3D design point.
+//!
+//! Thin driver over the registered `extension_mobilenet` case: run with
+//! `--quick`, `--set key=value`, `--json`, `--trace-json`,
+//! `--metrics-json` and `--metrics-text` (see
+//! [`m3d_bench::cli`]).
 
-use m3d_arch::{compare, models, ChipConfig};
-use m3d_bench::{header, rule, x};
+use m3d_bench::cli::case_main;
+use m3d_bench::RunArgs;
 
 fn main() {
-    header(
-        "Extension — MobileNetV1 (depthwise-separable) on the M3D design point",
-        "stress coverage: a separable-conv workload outside the paper's set",
-    );
-    let base = ChipConfig::baseline_2d();
-    let m3d = ChipConfig::m3d(8);
-    let w = models::mobilenet_v1();
-    let cmp = compare(&base, &m3d, &w);
-
-    // Aggregate by layer class.
-    let class_of = |name: &str| {
-        if name.starts_with("DW") {
-            "depthwise"
-        } else if name.starts_with("PW") {
-            "pointwise"
-        } else {
-            "other"
-        }
-    };
-    println!(
-        "{:<12} {:>8} {:>10} {:>10}",
-        "class", "layers", "min spd", "max spd"
-    );
-    for class in ["depthwise", "pointwise", "other"] {
-        let rows: Vec<_> = cmp
-            .rows
-            .iter()
-            .filter(|r| class_of(&r.name) == class)
-            .collect();
-        let min = rows.iter().map(|r| r.speedup).fold(f64::INFINITY, f64::min);
-        let max = rows.iter().map(|r| r.speedup).fold(0.0, f64::max);
-        println!(
-            "{:<12} {:>8} {:>10} {:>10}",
-            class,
-            rows.len(),
-            x(min),
-            x(max)
-        );
-    }
-    rule(72);
-    println!(
-        "MobileNetV1 total: {} speedup, {} EDP (vs ResNet-18's 5.7x) —",
-        x(cmp.total.speedup),
-        x(cmp.total.edp_benefit)
-    );
-    println!("the aggregate benefit survives, but early separable layers bottom");
-    println!("out at 1.3-2x on the unbanked activation bus — widening that bus");
-    println!("(or banking it) is the first fix a MobileNet-class product needs.");
+    case_main("extension_mobilenet", RunArgs::parse());
 }

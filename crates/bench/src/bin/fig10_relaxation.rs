@@ -1,78 +1,14 @@
 //! Regenerates Fig. 10b–c: parallel-CS counts and EDP benefits under
-//! relaxed M3D memory-selector widths δ (Case 1, Observation 7: no loss
-//! up to 1.6×, small benefits retained to 2.5×).
+//! relaxed M3D memory-selector widths δ (Case 1, Observation 7).
 //!
-//! Engine-ported: the δ sweep fans across the parallel executor
-//! (`M3D_JOBS`) inside an instrumented `arch-sim` stage, and
-//! `--json <path>` archives a deterministic
-//! [`m3d_core::engine::ExperimentReport`]. `--quick` sweeps a 4-point δ
-//! grid.
+//! Thin driver over the registered `fig10_relaxation` case: run with
+//! `--quick`, `--set key=value`, `--json`, `--trace-json`,
+//! `--metrics-json` and `--metrics-text` (see
+//! [`m3d_bench::cli`]).
 
-use m3d_bench::{header, rule, x, RunArgs};
-use m3d_core::cases::{case1_sweep, BaselineAreas};
-use m3d_core::engine::{CacheStats, Pipeline, Stage};
-use m3d_core::framework::{ChipParams, WorkloadPoint};
-use m3d_core::report::{ExperimentRecord, Metric};
+use m3d_bench::cli::case_main;
+use m3d_bench::RunArgs;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args = RunArgs::parse();
-    header(
-        "Fig. 10b-c — relaxed M3D selector widths (Case 1)",
-        "Srimani et al., DATE 2023, Fig. 10b-c + Observation 7",
-    );
-    let areas = BaselineAreas::case_study_64mb();
-    let base = ChipParams::baseline_2d();
-    let workload: Vec<WorkloadPoint> = m3d_arch::models::resnet18()
-        .layers
-        .iter()
-        .map(|l| WorkloadPoint::from_layer(l, 8, 16))
-        .collect();
-
-    let deltas: &[f64] = if args.quick {
-        &[1.0, 1.6, 2.0, 2.5]
-    } else {
-        &[1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.8, 2.0, 2.2, 2.5]
-    };
-    let mut pipe = Pipeline::new();
-    // case1_sweep fans the δ points across the engine's parallel
-    // executor internally.
-    let pts = pipe.stage(Stage::ArchSim, "", |_| {
-        case1_sweep(&areas, &base, &workload, deltas)
-    })?;
-    println!("{:>6} {:>8} {:>8} {:>10}", "δ", "N (M3D)", "N (2D)", "EDP");
-    for p in &pts {
-        println!(
-            "{:>6.1} {:>8} {:>8} {:>10}",
-            p.delta,
-            p.n_3d,
-            p.n_2d,
-            x(p.edp_benefit)
-        );
-    }
-    rule(72);
-    println!("paper: flat to δ = 1.6x; small benefits retained up to 2.5x");
-
-    let record = pipe.stage(Stage::Report, "", |_| {
-        let nominal = pts.first().map_or(0.0, |p| p.edp_benefit);
-        let retained = pts.last().map_or(0.0, |p| p.edp_benefit);
-        let mut rec = ExperimentRecord::new(
-            "fig10bc",
-            "Fig. 10b-c selector-width relaxation (Case 1, Obs. 7)",
-        )
-        .metric(Metric::new("nominal_edp_benefit", nominal))
-        .metric(Metric::new("edp_benefit_at_max_delta", retained));
-        for p in &pts {
-            rec = rec.row(
-                format!("delta={:.1}", p.delta),
-                vec![
-                    ("n_3d".into(), f64::from(p.n_3d)),
-                    ("n_2d".into(), f64::from(p.n_2d)),
-                    ("edp_benefit".into(), p.edp_benefit),
-                ],
-            );
-        }
-        rec
-    });
-    args.finalize(record, &pipe, CacheStats::default())?;
-    Ok(())
+fn main() {
+    case_main("fig10_relaxation", RunArgs::parse());
 }

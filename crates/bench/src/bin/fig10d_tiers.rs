@@ -1,87 +1,14 @@
-//! Regenerates Fig. 10d: EDP benefit vs interleaved compute/memory tier
-//! pairs, for the whole ResNet-18 network (plateaus near 7×) and for a
-//! highly parallelisable single layer (approaches ~23×) — Observation 9.
+//! Regenerates Fig. 10d: EDP benefit vs interleaved memory/logic tier
+//! pairs (+ Observation 9 single-layer plateau).
 //!
-//! Pass `--quick` to stop at 4 tier pairs and `--json <path>` to archive
-//! the result as an [`m3d_core::engine::ExperimentReport`].
+//! Thin driver over the registered `tier_sweep` case: run with
+//! `--quick`, `--set key=value`, `--json`, `--trace-json`,
+//! `--metrics-json` and `--metrics-text` (see
+//! [`m3d_bench::cli`]).
 
-use m3d_bench::{header, rule, x, RunArgs};
-use m3d_core::cases::BaselineAreas;
-use m3d_core::engine::{CacheStats, Pipeline, Stage};
-use m3d_core::explore::tier_sweep;
-use m3d_core::framework::{ChipParams, WorkloadPoint};
-use m3d_core::{ExperimentRecord, Metric};
+use m3d_bench::cli::case_main;
+use m3d_bench::RunArgs;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args = RunArgs::parse();
-    header(
-        "Fig. 10d — interleaved M3D tier pairs vs EDP benefit",
-        "Srimani et al., DATE 2023, Fig. 10d + Observation 9 (5.7→6.9→plateau ~7.1; layer ~23x)",
-    );
-    let areas = BaselineAreas::case_study_64mb();
-    let base = ChipParams::baseline_2d();
-    let max_pairs = if args.quick { 4 } else { 8 };
-
-    let whole: Vec<WorkloadPoint> = m3d_arch::models::resnet18()
-        .layers
-        .iter()
-        .map(|l| WorkloadPoint::from_layer(l, 8, 16))
-        .collect();
-    let layer = vec![WorkloadPoint::from_layer(
-        &m3d_arch::Layer::conv("L4.1 CONV", 512, 512, 3, (7, 7), 1),
-        8,
-        16,
-    )];
-    let mut pipe = Pipeline::new();
-
-    let ws = pipe.stage(Stage::ArchSim, "whole-net", |_| {
-        tier_sweep(&areas, &base, &whole, max_pairs, None)
-    });
-    let ls = pipe.stage(Stage::ArchSim, "single-layer", |_| {
-        tier_sweep(&areas, &base, &layer, max_pairs, None)
-    });
-
-    println!(
-        "{:>6} {:>6} {:>14} {:>16}",
-        "pairs", "N", "ResNet-18 EDP", "L4.1-CONV EDP"
-    );
-    for (w, l) in ws.iter().zip(&ls) {
-        println!(
-            "{:>6} {:>6} {:>14} {:>16}",
-            w.tiers,
-            w.n_cs,
-            x(w.edp_benefit),
-            x(l.edp_benefit)
-        );
-    }
-    rule(72);
-    println!("whole-network benefits plateau once N exceeds the workload's N#;");
-    println!("highly parallel layers keep scaling (paper: approaches 23x).");
-
-    let record = pipe.stage(Stage::Report, "", |_| {
-        let last = ws.last().expect("sweep is non-empty");
-        let mut rec = ExperimentRecord::new(
-            "fig10d",
-            "Fig. 10d interleaved tier pairs vs EDP benefit + Obs. 9",
-        )
-        .metric(Metric::new("plateau_edp_benefit", last.edp_benefit))
-        .metric(Metric::new(
-            "layer_max_edp_benefit",
-            ls.last().expect("sweep is non-empty").edp_benefit,
-        ));
-        for (w, l) in ws.iter().zip(&ls) {
-            rec = rec.row(
-                &format!("pairs{}", w.tiers),
-                vec![
-                    ("tiers".into(), f64::from(w.tiers)),
-                    ("n_cs".into(), f64::from(w.n_cs)),
-                    ("whole_edp_benefit".into(), w.edp_benefit),
-                    ("layer_edp_benefit".into(), l.edp_benefit),
-                ],
-            );
-        }
-        rec
-    });
-    args.finalize(record, &pipe, CacheStats::default())?;
-    Ok(())
+fn main() {
+    case_main("tier_sweep", RunArgs::parse());
 }

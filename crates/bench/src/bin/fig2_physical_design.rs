@@ -1,175 +1,14 @@
-//! Regenerates Fig. 2: full RTL-to-GDS implementations of the 2D
-//! baseline and the iso-footprint, iso-memory-capacity M3D SoC, with the
-//! post-route comparison and the Observation-2 power-density check.
+//! Regenerates Fig. 2: post-route 2D baseline vs ultra-dense M3D
+//! physical design (+ Observation 2: CS-stack density increase).
 //!
-//! Pass `--quick` for a scaled-down (4×4 PE) run and `--json <path>` to
-//! archive the result as an [`m3d_core::engine::ExperimentReport`].
-//! With `M3D_CACHE_DIR` set, flow reports persist on disk across
-//! invocations: a repeated run replays both flows from the artifact
-//! store (`disk_hits` in the cache stats) without recomputing them.
+//! Thin driver over the registered `fig2_physical_design` case: run with
+//! `--quick`, `--set key=value`, `--json`, `--trace-json`,
+//! `--metrics-json` and `--metrics-text` (see
+//! [`m3d_bench::cli`]).
 
-use m3d_bench::{header, pct, rule, RunArgs};
-use m3d_core::engine::{FlowCache, Pipeline, Stage};
-use m3d_core::{ExperimentRecord, Metric};
-use m3d_netlist::{CsConfig, PeConfig};
-use m3d_pd::FlowConfig;
+use m3d_bench::cli::case_main;
+use m3d_bench::RunArgs;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args = RunArgs::parse();
-    header(
-        "Fig. 2 — post-route 2D vs iso-footprint M3D physical design",
-        "Srimani et al., DATE 2023, Fig. 2 + Observation 2",
-    );
-    let quick = args.quick;
-    let cs = if quick {
-        CsConfig {
-            rows: 4,
-            cols: 4,
-            pe: PeConfig::default(),
-            global_buffer_kb: 64,
-            local_buffer_kb: 8,
-        }
-    } else {
-        CsConfig::default()
-    };
-    let prep = |c: FlowConfig| if quick { c.quick() } else { c };
-
-    // `persistent()` reads M3D_CACHE_DIR: unset, this is a plain
-    // in-memory cache; set, finished flow reports are shared on disk
-    // across CLI invocations.
-    let cache = FlowCache::persistent();
-    let mut pipe = Pipeline::new();
-
-    let r2d = pipe.stage(Stage::PdFlow, "2d", |ctx| {
-        let cfg = prep(FlowConfig::baseline_2d().with_cs(cs));
-        let (res, hit) = cache.run_report_traced(&cfg)?;
-        if hit {
-            ctx.mark_cache_hit();
-        } else if let Some(sub) = cache.sub_span(&cfg) {
-            // Freshly computed: expose the flow's per-phase sub-spans
-            // (placement steps, opt rounds, CTS/STA) under this stage.
-            ctx.child_span((*sub).clone());
-        }
-        Ok::<_, m3d_core::CoreError>((*res).clone())
-    })?;
-    let n = 1 + r2d.extra_cs_capacity.max(if quick { 1 } else { 7 });
-    let r3d = pipe.stage(Stage::PdFlow, "m3d", |ctx| {
-        let cfg = prep(FlowConfig::m3d(n).with_cs(cs)).with_die(r2d.die);
-        let (res, hit) = cache.run_report_traced(&cfg)?;
-        if hit {
-            ctx.mark_cache_hit();
-        } else if let Some(sub) = cache.sub_span(&cfg) {
-            ctx.child_span((*sub).clone());
-        }
-        Ok::<_, m3d_core::CoreError>((*res).clone())
-    })?;
-
-    let row = |label: &str, a: String, b: String| {
-        println!("{label:<36} {a:>14} {b:>14}");
-    };
-    row("", "2D baseline".into(), "M3D".into());
-    row(
-        "computing sub-systems",
-        r2d.cs_count.to_string(),
-        r3d.cs_count.to_string(),
-    );
-    row(
-        "die area (mm²)  [iso-footprint]",
-        format!("{:.1}", r2d.die_mm2),
-        format!("{:.1}", r3d.die_mm2),
-    );
-    row(
-        "RRAM (array + periph, mm²)",
-        format!("{:.1}+{:.1}", r2d.rram_array_mm2, r2d.rram_perif_mm2),
-        format!("{:.1}+{:.1}", r3d.rram_array_mm2, r3d.rram_perif_mm2),
-    );
-    row(
-        "standard cells",
-        r2d.cell_count.to_string(),
-        r3d.cell_count.to_string(),
-    );
-    row(
-        "CS area A_C (mm²)",
-        format!("{:.2}", r2d.cs_demand_mm2),
-        format!("{:.2}", r3d.cs_demand_mm2),
-    );
-    row(
-        "γ_cells / γ_perif",
-        format!("{:.1}/{:.2}", r2d.gamma_cells, r2d.gamma_perif),
-        format!("{:.1}/{:.2}", r3d.gamma_cells, r3d.gamma_perif),
-    );
-    row(
-        "wirelength (m)",
-        format!("{:.2}", r2d.wirelength_m),
-        format!("{:.2}", r3d.wirelength_m),
-    );
-    row(
-        "signal ILVs",
-        r2d.signal_ilvs.to_string(),
-        r3d.signal_ilvs.to_string(),
-    );
-    row(
-        "RRAM-cell ILVs (M)",
-        format!("{:.0}", r2d.memory_cell_ilvs as f64 / 1e6),
-        format!("{:.0}", r3d.memory_cell_ilvs as f64 / 1e6),
-    );
-    row(
-        "buffers inserted / upsized",
-        format!("{}/{}", r2d.buffers_inserted, r2d.upsized),
-        format!("{}/{}", r3d.buffers_inserted, r3d.upsized),
-    );
-    row(
-        "critical path (ns) @ 20 MHz",
-        format!("{:.2} ({})", r2d.critical_path_ns, r2d.timing_met),
-        format!("{:.2} ({})", r3d.critical_path_ns, r3d.timing_met),
-    );
-    row(
-        "RRAM bandwidth (bits/cycle)",
-        r2d.rram_bandwidth_bits_per_cycle.to_string(),
-        r3d.rram_bandwidth_bits_per_cycle.to_string(),
-    );
-    row(
-        "total power (mW)",
-        format!("{:.1}", r2d.total_power_mw),
-        format!("{:.1}", r3d.total_power_mw),
-    );
-    rule(72);
-    println!("Observation 2 (thermal):");
-    println!(
-        "  upper-tier (CNFET+RRAM) power share: {} (paper: < 1 %)",
-        pct(r3d.upper_tier_fraction)
-    );
-    println!(
-        "  stacked power-density increase over the hottest CS: {} (paper: ~1 %)",
-        pct(r3d.cs_stack_density_increase)
-    );
-
-    let record = pipe.stage(Stage::Report, "", |_| {
-        let mut rec = ExperimentRecord::new(
-            "fig2",
-            "Fig. 2 post-route 2D vs M3D physical design + Observation 2",
-        )
-        .metric(Metric::new("m3d_cs_count", f64::from(r3d.cs_count)))
-        .metric(Metric::new("upper_tier_fraction", r3d.upper_tier_fraction))
-        .metric(Metric::new(
-            "cs_stack_density_increase",
-            r3d.cs_stack_density_increase,
-        ));
-        for (label, r) in [("2d", &r2d), ("m3d", &r3d)] {
-            rec = rec.row(
-                label,
-                vec![
-                    ("cs_count".into(), f64::from(r.cs_count)),
-                    ("die_mm2".into(), r.die_mm2),
-                    ("cell_count".into(), r.cell_count as f64),
-                    ("wirelength_m".into(), r.wirelength_m),
-                    ("critical_path_ns".into(), r.critical_path_ns),
-                    ("total_power_mw".into(), r.total_power_mw),
-                ],
-            );
-        }
-        rec
-    });
-    args.finalize(record, &pipe, cache.stats())?;
-    Ok(())
+fn main() {
+    case_main("fig2_physical_design", RunArgs::parse());
 }

@@ -1,72 +1,14 @@
-//! Regenerates Fig. 5: speedup, energy and EDP benefits of the
-//! iso-footprint, iso-memory-capacity M3D design across AI/ML models
-//! (paper: 5.7×–7.5× speedup at ≈ 0.99× energy).
+//! Regenerates Fig. 5: M3D speedup/energy/EDP benefits for AlexNet,
+//! VGG-16, ResNet-18 and ResNet-152.
 //!
-//! Pass `--json <path>` to archive the result as an
-//! [`m3d_core::engine::ExperimentReport`].
+//! Thin driver over the registered `fig5_models` case: run with
+//! `--quick`, `--set key=value`, `--json`, `--trace-json`,
+//! `--metrics-json` and `--metrics-text` (see
+//! [`m3d_bench::cli`]).
 
-use m3d_arch::{compare, models, ChipConfig};
-use m3d_bench::{header, rule, x, RunArgs};
-use m3d_core::engine::{CacheStats, Pipeline, Stage};
-use m3d_core::{ExperimentRecord, Metric};
+use m3d_bench::cli::case_main;
+use m3d_bench::RunArgs;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args = RunArgs::parse();
-    header(
-        "Fig. 5 — M3D benefits across AI/ML model inference",
-        "Srimani et al., DATE 2023, Fig. 5 (5.7x-7.5x EDP)",
-    );
-    let mut pipe = Pipeline::new();
-    let (base, m3d) = pipe.stage(Stage::Tech, "", |_| {
-        (ChipConfig::baseline_2d(), ChipConfig::m3d(8))
-    });
-    let comparisons = pipe.stage(Stage::ArchSim, "", |_| {
-        models::evaluation_models()
-            .into_iter()
-            .map(|w| {
-                let c = compare(&base, &m3d, &w);
-                (w, c)
-            })
-            .collect::<Vec<_>>()
-    });
-
-    println!(
-        "{:<12} {:>9} {:>9} {:>9}   {:>10} {:>12}",
-        "Model", "Speedup", "Energy", "EDP", "GMACs", "params (M)"
-    );
-    for (w, c) in &comparisons {
-        println!(
-            "{:<12} {:>9} {:>9} {:>9}   {:>10.2} {:>12.1}",
-            c.workload,
-            x(c.total.speedup),
-            x(c.total.energy_ratio),
-            x(c.total.edp_benefit),
-            w.total_ops() as f64 / 1e9,
-            w.total_weights() as f64 / 1e6,
-        );
-    }
-    rule(72);
-    println!("paper band: 5.7x-7.5x speedup, 0.99x energy, 5.7x-7.5x EDP");
-
-    let record = pipe.stage(Stage::Report, "", |_| {
-        let mut rec = ExperimentRecord::new("fig5", "Fig. 5 M3D benefits across AI/ML models");
-        let worst = comparisons
-            .iter()
-            .map(|(_, c)| c.total.edp_benefit)
-            .fold(f64::INFINITY, f64::min);
-        rec = rec.metric(Metric::new("min_edp_benefit", worst));
-        for (_, c) in &comparisons {
-            rec = rec.row(
-                c.workload.clone(),
-                vec![
-                    ("speedup".into(), c.total.speedup),
-                    ("energy_ratio".into(), c.total.energy_ratio),
-                    ("edp_benefit".into(), c.total.edp_benefit),
-                ],
-            );
-        }
-        rec
-    });
-    args.finalize(record, &pipe, CacheStats::default())?;
-    Ok(())
+fn main() {
+    case_main("fig5_models", RunArgs::parse());
 }

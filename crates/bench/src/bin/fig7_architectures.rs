@@ -1,142 +1,14 @@
-//! Regenerates Fig. 7: speedup, energy and EDP benefits for the six
-//! Table-II accelerator architectures on AlexNet, evaluated both by the
-//! analytical framework and the ZigZag-style mapper — the two must agree
-//! within ≈ 10 % (paper band: 5.3×–11.5× EDP).
+//! Regenerates Fig. 7: the six Table-II architectures on AlexNet,
+//! analytical framework vs the ZigZag-style mapper.
 //!
-//! Pass `--json <path>` to archive the result as an
-//! [`m3d_core::engine::ExperimentReport`].
+//! Thin driver over the registered `fig7_architectures` case: run with
+//! `--quick`, `--set key=value`, `--json`, `--trace-json`,
+//! `--metrics-json` and `--metrics-text` (see
+//! [`m3d_bench::cli`]).
 
-use m3d_arch::{map_workload, models, table2_architectures, MapperChip};
-use m3d_bench::{header, rule, x, RunArgs};
-use m3d_core::design_point::DesignPoint;
-use m3d_core::engine::{par_map, CacheStats, Pipeline, Stage};
-use m3d_core::framework::{evaluate_workload, ChipParams, WorkloadPoint};
-use m3d_core::{ExperimentRecord, Metric};
-use m3d_tech::{Pdk, RramMacro, SelectorTech};
+use m3d_bench::cli::case_main;
+use m3d_bench::RunArgs;
 
-struct ArchRow {
-    name: String,
-    cs_demand_mm2: f64,
-    n_cs: u32,
-    zz_speedup: f64,
-    zz_energy: f64,
-    zz_edp: f64,
-    model_edp: f64,
-    gap: f64,
-}
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args = RunArgs::parse();
-    header(
-        "Fig. 7 + Table II — architecture zoo: analytical model vs mapper",
-        "Srimani et al., DATE 2023, Fig. 7 (5.3x-11.5x, model within 10% of ZigZag)",
-    );
-    let mut pipe = Pipeline::new();
-    let (pdk, rram, alexnet) = pipe.stage(Stage::Tech, "", |_| {
-        let pdk = Pdk::m3d_130nm();
-        let rram = RramMacro::with_capacity_mb(256, 1, 256, SelectorTech::SiFet)?;
-        Ok::<_, m3d_tech::TechError>((pdk, rram, models::alexnet()))
-    })?;
-
-    // The six architectures are independent design points: fan them
-    // across the sweep executor.
-    let archs = table2_architectures();
-    let rows = pipe.stage(Stage::ArchSim, "", |_| {
-        par_map(&archs, |arch| -> Result<ArchRow, m3d_core::CoreError> {
-            let dp = DesignPoint::derive(&pdk, &rram, arch.cs_demand_mm2())?;
-
-            // --- Mapper (ZigZag-style) evaluation -------------------------
-            let zz2 = map_workload(&MapperChip::from_arch(arch, 1), &alexnet);
-            let zz3 = map_workload(&MapperChip::from_arch(arch, dp.n_cs), &alexnet);
-            let zz_speedup = zz2.cycles as f64 / zz3.cycles as f64;
-            let zz_energy = zz2.energy_pj / zz3.energy_pj;
-            let zz_edp = zz_speedup * zz_energy;
-
-            // --- Analytical framework on the same design point ------------
-            let spatial_k = arch.spatial.k.max(1);
-            let points: Vec<WorkloadPoint> = alexnet
-                .layers
-                .iter()
-                .map(|l| WorkloadPoint::from_layer(l, 8, spatial_k))
-                .collect();
-            // The mapper models a banked-weight design, so the analytical
-            // points use partitioned memory-traffic semantics.
-            let peak = arch.spatial.pes() as f64;
-            let base = ChipParams {
-                peak_ops_per_cs: peak,
-                ..ChipParams::baseline_2d()
-            }
-            .partitioned();
-            let m3d = ChipParams {
-                n_cs: dp.n_cs,
-                bandwidth: base.bandwidth * f64::from(dp.n_cs),
-                ..base
-            };
-            let a2 = evaluate_workload(&base, &points);
-            let a3 = evaluate_workload(&m3d, &points);
-            let model_edp = (a2.cycles / a3.cycles) * (a2.energy_pj / a3.energy_pj);
-
-            Ok(ArchRow {
-                name: arch.name.clone(),
-                cs_demand_mm2: arch.cs_demand_mm2(),
-                n_cs: dp.n_cs,
-                zz_speedup,
-                zz_energy,
-                zz_edp,
-                model_edp,
-                gap: (model_edp - zz_edp).abs() / zz_edp,
-            })
-        })
-        .into_iter()
-        .collect::<Result<Vec<_>, _>>()
-    })?;
-
-    println!(
-        "{:<38} {:>4} {:>4} | {:>8} {:>8} {:>8} | {:>8} {:>7}",
-        "architecture (Table II)", "mm²", "N", "ZZ spd", "ZZ en", "ZZ EDP", "model", "Δ"
-    );
-    let mut worst_gap: f64 = 0.0;
-    for r in &rows {
-        worst_gap = worst_gap.max(r.gap);
-        println!(
-            "{:<38} {:>4.1} {:>4} | {:>8} {:>8} {:>8} | {:>8} {:>6.1}%",
-            r.name,
-            r.cs_demand_mm2,
-            r.n_cs,
-            x(r.zz_speedup),
-            x(r.zz_energy),
-            x(r.zz_edp),
-            x(r.model_edp),
-            100.0 * r.gap
-        );
-    }
-    rule(72);
-    println!(
-        "worst analytical-vs-mapper gap: {:.1} % (paper: within 10 %)",
-        100.0 * worst_gap
-    );
-
-    let record = pipe.stage(Stage::Report, "", |_| {
-        let mut rec = ExperimentRecord::new(
-            "fig7",
-            "Fig. 7 Table-II architectures: analytical vs mapper",
-        )
-        .metric(Metric::new("worst_gap", worst_gap));
-        for r in &rows {
-            rec = rec.row(
-                r.name.clone(),
-                vec![
-                    ("n_cs".into(), f64::from(r.n_cs)),
-                    ("zz_speedup".into(), r.zz_speedup),
-                    ("zz_energy".into(), r.zz_energy),
-                    ("zz_edp".into(), r.zz_edp),
-                    ("model_edp".into(), r.model_edp),
-                    ("gap".into(), r.gap),
-                ],
-            );
-        }
-        rec
-    });
-    args.finalize(record, &pipe, CacheStats::default())?;
-    Ok(())
+fn main() {
+    case_main("fig7_architectures", RunArgs::parse());
 }

@@ -1,87 +1,14 @@
-//! Regenerates Fig. 8: M3D EDP benefit as a function of memory bandwidth
-//! and parallel-CS scaling, for compute-bound and memory-bound
-//! workloads, including the two Observation-5 worked examples.
+//! Regenerates Fig. 8: EDP benefit vs memory bandwidth and parallel-CS
+//! scaling (+ Observation 5 worked examples).
 //!
-//! The grids run through the engine's parallel sweep executor
-//! (`M3D_JOBS`); pass `--json <path>` to archive the result as an
-//! [`m3d_core::engine::ExperimentReport`].
+//! Thin driver over the registered `fig8_bw_cs` case: run with
+//! `--quick`, `--set key=value`, `--json`, `--trace-json`,
+//! `--metrics-json` and `--metrics-text` (see
+//! [`m3d_bench::cli`]).
 
-use m3d_bench::{header, rule, x, RunArgs};
-use m3d_core::engine::{CacheStats, Pipeline, Stage};
-use m3d_core::explore::{bandwidth_cs_grid, intensity_workload, GridPoint};
-use m3d_core::framework::{workload_edp_benefit, ChipParams};
-use m3d_core::{ExperimentRecord, Metric};
+use m3d_bench::cli::case_main;
+use m3d_bench::RunArgs;
 
-const FACTORS: [f64; 5] = [1.0, 2.0, 4.0, 8.0, 16.0];
-
-fn print_grid(label: &str, ops_per_bit: f64, grid: &[GridPoint]) {
-    println!("\n{label} ({ops_per_bit} ops per memory bit): EDP benefit");
-    print!("{:>10}", "bw \\ cs");
-    for cf in FACTORS {
-        print!(" {cf:>7.0}x");
-    }
-    println!();
-    for bf in FACTORS {
-        print!("{bf:>9.0}x");
-        for p in grid.iter().filter(|p| p.bw_factor == bf) {
-            print!(" {:>8}", x(p.edp_benefit));
-        }
-        println!();
-    }
-}
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args = RunArgs::parse();
-    header(
-        "Fig. 8 — EDP benefit vs bandwidth and parallel-CS scaling",
-        "Srimani et al., DATE 2023, Fig. 8 + Observation 5",
-    );
-    let base = ChipParams::baseline_2d();
-    let mut pipe = Pipeline::new();
-    let compute = pipe.stage(Stage::ArchSim, "compute-bound", |_| {
-        bandwidth_cs_grid(&base, &intensity_workload(16.0), &FACTORS, &FACTORS)
-    });
-    let memory = pipe.stage(Stage::ArchSim, "memory-bound", |_| {
-        bandwidth_cs_grid(&base, &intensity_workload(1.0 / 16.0), &FACTORS, &FACTORS)
-    });
-    print_grid("compute-bound", 16.0, &compute);
-    print_grid("memory-bound", 1.0 / 16.0, &memory);
-
-    rule(72);
-    println!("Observation 5 worked examples:");
-    // (a) compute-bound: 2× CSs, unchanged bandwidth → ~2.1×.
-    let w = intensity_workload(16.0);
-    let two_cs = ChipParams { n_cs: 2, ..base };
-    let a = workload_edp_benefit(&base, &two_cs, std::slice::from_ref(&w));
-    println!(
-        "  16 ops/bit, 2x CSs @ same bandwidth → {} (paper: 2.1x)",
-        x(a)
-    );
-    // (b) memory-bound: from the 8-CS M3D point, halve CSs at the same
-    // total port width (2× per-CS bandwidth) → ~2.1×.
-    let m3d8 = ChipParams::m3d(8);
-    let wm = intensity_workload(1.0 / 16.0);
-    let fewer_faster = ChipParams { n_cs: 4, ..m3d8 };
-    let b = workload_edp_benefit(&m3d8, &fewer_faster, std::slice::from_ref(&wm));
-    println!(
-        "  1/16 ops/bit, 0.5x CSs @ 2x per-CS bandwidth → {} (paper: 2.1x)",
-        x(b)
-    );
-
-    let record = pipe.stage(Stage::Report, "", |_| {
-        let mut rec = ExperimentRecord::new("fig8", "Fig. 8 bandwidth × CS grid + Observation 5")
-            .metric(Metric::with_paper("obs5_compute_bound_2x_cs", a, 2.1))
-            .metric(Metric::with_paper("obs5_memory_bound_2x_bw", b, 2.1));
-        for (label, grid) in [("compute-bound", &compute), ("memory-bound", &memory)] {
-            for p in grid.iter() {
-                rec = rec.row(
-                    format!("{label} bw={:.0}x cs={:.0}x", p.bw_factor, p.cs_factor),
-                    vec![("edp_benefit".into(), p.edp_benefit)],
-                );
-            }
-        }
-        rec
-    });
-    args.finalize(record, &pipe, CacheStats::default())?;
-    Ok(())
+fn main() {
+    case_main("fig8_bw_cs", RunArgs::parse());
 }

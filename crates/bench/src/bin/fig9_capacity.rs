@@ -1,66 +1,14 @@
-//! Regenerates Fig. 9: M3D EDP benefit vs baseline RRAM capacity for
-//! ResNet-18 (paper: 1× at 12 MB rising to 6.8× at 128 MB), with the
-//! derived CS count at each capacity (Observation 6).
+//! Regenerates Fig. 9: EDP benefit vs on-chip RRAM capacity
+//! (+ Observation 6 anchors at 64/128 MB).
 //!
-//! The capacity sweep runs through the engine's parallel sweep executor
-//! (`M3D_JOBS`); pass `--json <path>` to archive the result as an
-//! [`m3d_core::engine::ExperimentReport`].
+//! Thin driver over the registered `capacity_sweep` case: run with
+//! `--quick`, `--set key=value`, `--json`, `--trace-json`,
+//! `--metrics-json` and `--metrics-text` (see
+//! [`m3d_bench::cli`]).
 
-use m3d_arch::models;
-use m3d_bench::{header, rule, x, RunArgs};
-use m3d_core::engine::{CacheStats, Pipeline, Stage};
-use m3d_core::explore::capacity_sweep;
-use m3d_core::{ExperimentRecord, Metric};
-use m3d_tech::Pdk;
+use m3d_bench::cli::case_main;
+use m3d_bench::RunArgs;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args = RunArgs::parse();
-    header(
-        "Fig. 9 — RRAM capacity vs M3D benefit (ResNet-18)",
-        "Srimani et al., DATE 2023, Fig. 9 + Observation 6 (1x @ 12 MB → 6.8x @ 128 MB)",
-    );
-    let mut pipe = Pipeline::new();
-    let pdk = pipe.stage(Stage::Tech, "", |_| Pdk::m3d_130nm());
-    let pts = pipe.stage(Stage::ArchSim, "", |_| {
-        capacity_sweep(
-            &pdk,
-            &[12, 16, 24, 32, 48, 64, 96, 128],
-            &models::resnet18(),
-        )
-    })?;
-    println!("{:>8} {:>5} {:>10} {:>8}", "MB", "N", "speedup", "EDP");
-    for p in &pts {
-        println!(
-            "{:>8} {:>5} {:>10} {:>8}",
-            p.capacity_mb,
-            p.n_cs,
-            x(p.speedup),
-            x(p.edp_benefit)
-        );
-    }
-    rule(72);
-    println!("paper anchors: 12 MB → 1x, 64 MB → 5.7x, 128 MB → 6.8x");
-
-    let record = pipe.stage(Stage::Report, "", |_| {
-        let mut rec = ExperimentRecord::new("fig9", "Fig. 9 RRAM-capacity sweep + Observation 6");
-        for p in &pts {
-            if p.capacity_mb == 64 {
-                rec = rec.metric(Metric::with_paper("edp_64mb", p.edp_benefit, 5.7));
-            }
-            if p.capacity_mb == 128 {
-                rec = rec.metric(Metric::with_paper("edp_128mb", p.edp_benefit, 6.8));
-            }
-            rec = rec.row(
-                format!("{} MB", p.capacity_mb),
-                vec![
-                    ("n_cs".into(), f64::from(p.n_cs)),
-                    ("speedup".into(), p.speedup),
-                    ("edp_benefit".into(), p.edp_benefit),
-                ],
-            );
-        }
-        rec
-    });
-    args.finalize(record, &pipe, CacheStats::default())?;
-    Ok(())
+fn main() {
+    case_main("capacity_sweep", RunArgs::parse());
 }

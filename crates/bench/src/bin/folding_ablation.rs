@@ -1,70 +1,14 @@
-//! Ablation: the prior-work *folding* approach (paper refs. 3 and 4) the paper
-//! contrasts against — folding the existing 2D design across two device
-//! tiers with min-cut partitioning. Footprint halves and wirelength
-//! drops ≈ 20–30 %, but EDP improves only ≈ 1.1–1.4×, versus 5.7× for
-//! the paper's architecture-level approach.
+//! Prior-work folding baseline (paper refs. 3 and 4): logic folded
+//! across two transistor tiers, ≈ 1.1–1.4× benefits.
+//!
+//! Thin driver over the registered `folding_ablation` case: run with
+//! `--quick`, `--set key=value`, `--json`, `--trace-json`,
+//! `--metrics-json` and `--metrics-text` (see
+//! [`m3d_bench::cli`]).
 
-use m3d_bench::{header, pct, rule, x};
-use m3d_netlist::{accelerator_soc, CsConfig, Netlist, PeConfig, SocConfig};
-use m3d_pd::{fold_two_tier, Clustering};
-use m3d_tech::Pdk;
+use m3d_bench::cli::case_main;
+use m3d_bench::RunArgs;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    header(
-        "Ablation — folding an existing 2D design into M3D ([3], [4])",
-        "Srimani et al., DATE 2023, Sec. I (folding yields only ~1.1-1.4x EDP)",
-    );
-    let cfg = SocConfig {
-        cs: CsConfig {
-            rows: 8,
-            cols: 8,
-            pe: PeConfig::default(),
-            global_buffer_kb: 256,
-            local_buffer_kb: 16,
-        },
-        ..SocConfig::baseline_2d()
-    };
-    let mut nl = Netlist::new("fold_target");
-    accelerator_soc(&mut nl, &cfg)?;
-    let pdk = Pdk::m3d_130nm();
-    let clustering = Clustering::build(&nl, &pdk)?;
-
-    let fold = fold_two_tier(&clustering, 2023);
-    println!(
-        "clusters: {}   inter-cluster nets: {}",
-        clustering.clusters.len(),
-        fold.total_nets
-    );
-    println!(
-        "cut nets (need ILVs): {} ({})",
-        fold.cut_nets,
-        pct(fold.cut_fraction())
-    );
-    println!(
-        "tier areas: {:.3} / {:.3} mm²",
-        fold.tier_area[0] / 1e6,
-        fold.tier_area[1] / 1e6
-    );
-    println!("footprint ratio vs 2D: {:.2}", fold.footprint_ratio);
-    println!(
-        "wirelength ratio vs 2D: {:.2} (paper's prior work: ~0.8)",
-        fold.wirelength_ratio
-    );
-
-    // EDP estimate for folding: wire-capacitance energy scales with WL;
-    // delay improves with the shorter critical wires. Assume wire energy
-    // is ~40 % of total and wire delay ~30 % of the critical path.
-    let wl = fold.wirelength_ratio;
-    let energy_ratio = 1.0 / (0.6 + 0.4 * wl);
-    let speedup = 1.0 / (0.7 + 0.3 * wl);
-    let edp = energy_ratio * speedup;
-    rule(72);
-    println!(
-        "estimated folding benefit: {} speedup × {} energy = {} EDP",
-        x(speedup),
-        x(energy_ratio),
-        x(edp)
-    );
-    println!("paper's architecture-level M3D approach: 5.7x-7.5x EDP (Fig. 5)");
-    Ok(())
+fn main() {
+    case_main("folding_ablation", RunArgs::parse());
 }

@@ -1,63 +1,14 @@
-//! Forward-looking experiment: the paper's conclusion point (2) —
-//! benefits "will grow with further performance optimization (e.g., full
-//! CMOS on upper layers)". Case 4 places area-relaxed, slower CSs on the
-//! CNFET device tier above the memory, on top of the 8 Si-tier CSs.
+//! Forward-looking Case 4: full CMOS logic on the upper M3D layers
+//! (the paper's conclusion point 2).
+//!
+//! Thin driver over the registered `future_upper_logic` case: run with
+//! `--quick`, `--set key=value`, `--json`, `--trace-json`,
+//! `--metrics-json` and `--metrics-text` (see
+//! [`m3d_bench::cli`]).
 
-use m3d_arch::models;
-use m3d_bench::{header, rule, x};
-use m3d_core::cases::{case4_upper_logic, BaselineAreas};
-use m3d_core::framework::{ChipParams, MemoryTraffic, WorkloadPoint};
+use m3d_bench::cli::case_main;
+use m3d_bench::RunArgs;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    header(
-        "Future work — full CMOS logic on the upper M3D layers (Case 4)",
-        "Srimani et al., DATE 2023, Conclusion point (2)",
-    );
-    let areas = BaselineAreas::case_study_64mb();
-    let base = ChipParams::baseline_2d();
-    let workload: Vec<WorkloadPoint> = models::resnet18()
-        .layers
-        .iter()
-        .map(|l| WorkloadPoint::from_layer(l, 8, 16))
-        .collect();
-
-    // Reference: the Sec.-II selector-only point under the same banked
-    // semantics.
-    let selector_only = {
-        let p3 = ChipParams {
-            n_cs: 8,
-            bandwidth: base.bandwidth * 8.0,
-            traffic: MemoryTraffic::Partitioned,
-            idle_gated: true,
-            ..base
-        };
-        m3d_core::framework::workload_edp_benefit(&base, &p3, &workload)
-    };
-    println!("selector-only M3D reference: {}", x(selector_only));
-    println!();
-    println!(
-        "{:>8} {:>8} {:>7} {:>8} {:>8} {:>10}",
-        "δ_area", "δ_perf", "N_si", "N_upper", "N_eff", "EDP"
-    );
-    for (da, dp) in [
-        (1.0, 1.0), // ideal upper-tier CMOS
-        (1.3, 1.3), // near-term CNFET CMOS
-        (1.6, 1.6), // today's relaxed devices
-        (2.5, 2.0), // conservative
-    ] {
-        let p = case4_upper_logic(&areas, &base, &workload, da, dp)?;
-        println!(
-            "{:>8.1} {:>8.1} {:>7} {:>8} {:>8.1} {:>10}",
-            da,
-            dp,
-            p.n_si,
-            p.n_upper,
-            p.n_effective,
-            x(p.edp_benefit)
-        );
-    }
-    rule(72);
-    println!("near-term upper-tier CMOS (δ ≤ 1.3) extends the benefit beyond the");
-    println!("selector-only point; heavily relaxed devices roughly break even.");
-    Ok(())
+fn main() {
+    case_main("future_upper_logic", RunArgs::parse());
 }

@@ -1,266 +1,14 @@
-//! Regenerates Observation 10 at two fidelities: the eq. (17) analytic
-//! temperature rise of stacked M3D tier pairs *and* the voxelized 3D
-//! RC-grid solve from `m3d-thermal`, with the resulting caps on the
-//! usable stack height and a transient excursion under a ResNet-style
-//! phase schedule.
+//! Regenerates Observation 10: thermal limits on interleaved M3D tiers
+//! — eq. (17) vs the voxelized RC grid over the placed power map.
 //!
-//! Heat sources come from the physical design, not a uniform sheet: the
-//! M3D sign-off flow's placed per-block [`m3d_pd::PowerDensityGrid`] is
-//! resampled onto each thermal grid and rescaled to the per-pair budget
-//! under sweep, so hotspots land where the placer put the logic.
-//!
-//! The per-pair power sweep fans across the engine's parallel executor
-//! (`M3D_JOBS`) and every solve is memoised in the content-keyed
-//! [`ThermalCache`]; the `--json` artifact is byte-reproducible at any
-//! worker count. Pass `--quick` for a scaled-down grid.
+//! Thin driver over the registered `obs10_thermal` case: run with
+//! `--quick`, `--set key=value`, `--json`, `--trace-json`,
+//! `--metrics-json` and `--metrics-text` (see
+//! [`m3d_bench::cli`]).
 
-use m3d_arch::trace::Phase;
-use m3d_bench::{header, pct, rule, RunArgs};
-use m3d_core::cases::BaselineAreas;
-use m3d_core::engine::{par_map, FlowCache, Pipeline, Stage};
-use m3d_core::thermal::{ThermalModel, TierThermalModel};
-use m3d_core::{ExperimentRecord, Metric};
-use m3d_netlist::{CsConfig, PeConfig};
-use m3d_pd::FlowConfig;
-use m3d_tech::LayerStack;
-use m3d_thermal::{
-    step_phases, GridConfig, LumpedGridModel, PhaseInterval, PowerMap, SolverConfig, ThermalCache,
-    TransientConfig,
-};
+use m3d_bench::cli::case_main;
+use m3d_bench::RunArgs;
 
-/// Per-(power, tier-count) comparison point.
-struct RisePoint {
-    power_w: f64,
-    tiers: u32,
-    rise_grid_k: f64,
-    rise_eq17_k: f64,
-}
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args = RunArgs::parse();
-    header(
-        "Observation 10 — thermal limits on interleaved M3D tiers",
-        "Srimani et al., DATE 2023, Obs. 10 (ΔT budget ≈ 60 K), eq. 17 vs RC grid",
-    );
-    let powers: Vec<f64> = if args.quick {
-        vec![5.0, 20.0]
-    } else {
-        vec![2.0, 5.0, 10.0, 20.0]
-    };
-    let max_pairs: u32 = if args.quick { 4 } else { 8 };
-    let n_lat: usize = if args.quick { 4 } else { 8 };
-    let budget_k = 60.0;
-    let die_mm2 = BaselineAreas::case_study_64mb().total_mm2();
-    let solver = SolverConfig::default();
-    let cache = ThermalCache::new();
-    let mut pipe = Pipeline::new();
-
-    let stack = pipe.stage(Stage::Tech, "", |_| LayerStack::m3d_130nm());
-    let grid_for = |tiers: u32| {
-        GridConfig::from_stack(&stack, die_mm2, n_lat, n_lat, tiers, 1.0, budget_k)
-            .expect("valid voxelization")
-    };
-
-    // The sign-off flow's placed per-block power map: its lateral
-    // distribution shapes every deposit below (rescaled per sweep
-    // point), replacing the old uniform sheet.
-    let flows = FlowCache::persistent();
-    let density = pipe.stage(Stage::PdFlow, "m3d", |ctx| {
-        let cs = if args.quick {
-            CsConfig {
-                rows: 4,
-                cols: 4,
-                pe: PeConfig::default(),
-                global_buffer_kb: 64,
-                local_buffer_kb: 8,
-            }
-        } else {
-            CsConfig::default()
-        };
-        let mut cfg = FlowConfig::m3d(if args.quick { 2 } else { 8 }).with_cs(cs);
-        if args.quick {
-            cfg = cfg.quick();
-        }
-        let (res, hit) = flows.run_traced(&cfg)?;
-        if hit {
-            ctx.mark_cache_hit();
-        } else if let Some(sub) = flows.sub_span(&cfg) {
-            ctx.child_span((*sub).clone());
-        }
-        Ok::<_, m3d_core::CoreError>(res.1.power.density_grid.clone())
-    })?;
-    // Placed deposit at the sweep's per-pair budget: the flow's lateral
-    // hotspot pattern, rescaled so the stack dissipates `p` W per pair.
-    let power_for = |g: &GridConfig, p: f64, tiers: u32| {
-        let placed = PowerMap::from_density_grid(g, &density).expect("placed deposit");
-        placed.scaled(p * f64::from(tiers) / placed.total_w())
-    };
-
-    // The power sweep: independent per-pair budgets fan across workers;
-    // the cache key includes the deposited power, so points never alias.
-    let rises: Vec<Vec<RisePoint>> = pipe.stage(Stage::Thermal, "steady", |_| {
-        par_map(&powers, |&p| {
-            (1..=max_pairs)
-                .map(|tiers| {
-                    let g = grid_for(tiers);
-                    let sol = cache
-                        .solve(&g, &power_for(&g, p, tiers), &solver)
-                        .expect("steady solve");
-                    assert!(sol.converged, "SOR must converge");
-                    RisePoint {
-                        power_w: p,
-                        tiers,
-                        rise_grid_k: sol.peak_rise_k,
-                        rise_eq17_k: ThermalModel::conventional(p).temperature_rise(tiers),
-                    }
-                })
-                .collect()
-        })
-    });
-
-    println!("temperature rise (K) vs tier pairs — RC grid / eq. 17:");
-    print!("{:>8}", "pairs");
-    for p in &powers {
-        print!(" {:>16}", format!("{p:.0} W/pair"));
-    }
-    println!();
-    for tiers in 1..=max_pairs {
-        print!("{tiers:>8}");
-        for per_power in &rises {
-            let pt = &per_power[(tiers - 1) as usize];
-            let mark = |r: f64| {
-                if r <= budget_k {
-                    format!("{r:.1}")
-                } else {
-                    format!("({r:.0})")
-                }
-            };
-            print!(
-                " {:>16}",
-                format!("{}/{}", mark(pt.rise_grid_k), mark(pt.rise_eq17_k))
-            );
-        }
-        println!();
-    }
-    rule(72);
-    println!("(parentheses exceed the {budget_k:.0} K budget)");
-
-    // Tier caps at both fidelities. The cap queries replay solves the
-    // sweep already did — pure cache hits.
-    let caps: Vec<(f64, u32, Option<u32>)> = powers
-        .iter()
-        .map(|&p| {
-            let grid_cap = (1..=max_pairs)
-                .take_while(|&tiers| {
-                    let g = grid_for(tiers);
-                    cache
-                        .solve(&g, &power_for(&g, p, tiers), &solver)
-                        .expect("cached solve")
-                        .peak_rise_k
-                        <= budget_k
-                })
-                .last()
-                .unwrap_or(0);
-            let analytic_cap = ThermalModel::conventional(p).max_tiers().ok();
-            (p, grid_cap, analytic_cap)
-        })
-        .collect();
-    for (p, grid_cap, analytic_cap) in &caps {
-        let a = analytic_cap.map_or("unstackable".to_owned(), |y| y.to_string());
-        let g = if *grid_cap == max_pairs {
-            format!(">={grid_cap}")
-        } else {
-            grid_cap.to_string()
-        };
-        println!("{p:>5.0} W/pair → max pairs: grid {g}, eq. 17 {a}");
-    }
-    println!("(eq. 17 spreads each pair's budget over the whole die; the grid heats");
-    println!(" the placed hotspots the sign-off flow reports, so it caps sooner —");
-    println!(" the spatial concentration outweighs the ILV-bonded BEOL's superior");
-    println!(" conduction that a uniform sheet would enjoy)");
-    rule(72);
-
-    // Limiting-case validation: the single-lateral-cell chain must
-    // reproduce eq. 17 (the acceptance bound is 2 %).
-    let max_rel_err = pipe.stage(Stage::Thermal, "lumped-agreement", |_| {
-        powers
-            .iter()
-            .flat_map(|&p| {
-                let lumped = LumpedGridModel::new(ThermalModel::conventional(p));
-                (1..=max_pairs).map(move |tiers| {
-                    let grid_rise = lumped.temperature_rise(tiers);
-                    let analytic = ThermalModel::conventional(p).temperature_rise(tiers);
-                    (grid_rise - analytic).abs() / analytic
-                })
-            })
-            .fold(0.0f64, f64::max)
-    });
-    println!(
-        "lumped 1x1 grid vs eq. 17: max deviation {} (acceptance: < 2 %)",
-        pct(max_rel_err)
-    );
-    assert!(max_rel_err < 0.02, "limiting-case agreement violated");
-
-    // A coarse transient: weight-load / stream / fill-drain / idle at
-    // 5 W per pair on a 2-pair stack.
-    let schedule = [
-        (Phase::WeightLoad, 2.0e-4),
-        (Phase::Stream, 6.0e-4),
-        (Phase::FillDrain, 1.0e-4),
-        (Phase::Idle, 4.0e-4),
-    ];
-    let transient = pipe.stage(Stage::Thermal, "transient", |_| {
-        let g = GridConfig::from_stack(&stack, die_mm2, 4, 4, 2, 1.0, budget_k)
-            .expect("valid voxelization");
-        let base = power_for(&g, 5.0, 2);
-        let phases: Vec<PhaseInterval> = schedule
-            .iter()
-            .map(|&(phase, duration_s)| PhaseInterval { phase, duration_s })
-            .collect();
-        step_phases(&g, &base, &phases, &TransientConfig::default()).expect("transient steps")
-    });
-    println!("transient, 2 pairs @ 5 W/pair (peak rise after each phase):");
-    for (i, (phase, _)) in schedule.iter().enumerate() {
-        println!(
-            "  {:>6} -> t = {:>6.2} ms, peak {:.3} K",
-            phase.label(),
-            transient.times_s[i] * 1.0e3,
-            transient.peak_rise_k[i]
-        );
-    }
-
-    let record = pipe.stage(Stage::Report, "", |_| {
-        let mut rec = ExperimentRecord::new(
-            "obs10",
-            "Obs. 10 thermal tier cap: eq. 17 vs voxelized RC grid",
-        )
-        .metric(Metric::new("budget_k", budget_k))
-        .metric(Metric::new("die_mm2", die_mm2))
-        .metric(Metric::new("lumped_max_rel_err", max_rel_err))
-        .metric(Metric::new("transient_max_peak_k", transient.max_peak_k));
-        for (p, grid_cap, analytic_cap) in &caps {
-            rec = rec.metric(Metric::new(
-                format!("cap_grid_{p:.0}w"),
-                f64::from(*grid_cap),
-            ));
-            rec = rec.metric(Metric::new(
-                format!("cap_eq17_{p:.0}w"),
-                analytic_cap.map_or(0.0, f64::from),
-            ));
-        }
-        for per_power in &rises {
-            for pt in per_power {
-                rec = rec.row(
-                    format!("p={}w tiers={}", pt.power_w, pt.tiers),
-                    vec![
-                        ("rise_grid_k".into(), pt.rise_grid_k),
-                        ("rise_eq17_k".into(), pt.rise_eq17_k),
-                    ],
-                );
-            }
-        }
-        rec
-    });
-    args.finalize(record, &pipe, cache.stats())?;
-    Ok(())
+fn main() {
+    case_main("obs10_thermal", RunArgs::parse());
 }

@@ -1,73 +1,15 @@
-//! Regenerates Observation 3: with a 2× less dense (non-BEOL) memory in
-//! the 2D baseline, the iso-footprint M3D design hosts 16 CSs instead of
-//! 8, raising the ResNet-18 EDP benefit from ≈ 5.7× to ≈ 6.8×.
+//! Regenerates Observation 3: a 2× less dense (non-BEOL) baseline
+//! memory raises the iso-footprint M3D benefit — the RRAM baseline is
+//! the conservative comparison.
 //!
-//! Pass `--json <path>` to archive the result as an
-//! [`m3d_core::engine::ExperimentReport`] (`--quick` is accepted for
-//! interface uniformity; the analytic evaluation is already fast).
+//! Thin driver over the registered `obs3_sram_baseline` case: run with
+//! `--quick`, `--set key=value`, `--json`, `--trace-json`,
+//! `--metrics-json` and `--metrics-text` (see
+//! [`m3d_bench::cli`]).
 
-use m3d_arch::{compare, models, ChipConfig};
-use m3d_bench::{header, rule, x, RunArgs};
-use m3d_core::design_point::case_study_design_point;
-use m3d_core::engine::{CacheStats, Pipeline, Stage};
-use m3d_core::explore::sram_baseline_design_point;
-use m3d_core::{ExperimentRecord, Metric};
-use m3d_tech::Pdk;
+use m3d_bench::cli::case_main;
+use m3d_bench::RunArgs;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args = RunArgs::parse();
-    header(
-        "Observation 3 — SRAM-density 2D baseline",
-        "Srimani et al., DATE 2023, Obs. 3 (8→16 CSs, 5.7x→6.8x)",
-    );
-    let pdk = Pdk::m3d_130nm();
-    let base = ChipConfig::baseline_2d();
-    let resnet = models::resnet18();
-    let mut pipe = Pipeline::new();
-
-    let points = pipe.stage(Stage::ArchSim, "density", |_| {
-        let mut out = Vec::new();
-        for (label, name, density) in [
-            ("RRAM (BEOL, dense)", "rram_beol", 1.0),
-            ("SRAM-class (2x less dense)", "sram_2x", 2.0),
-        ] {
-            let dp = if density > 1.0 {
-                sram_baseline_design_point(&pdk, 64, density)?
-            } else {
-                case_study_design_point(&pdk, 64)?
-            };
-            let c = compare(&base, &dp.m3d_chip_config(), &resnet);
-            out.push((label, name, dp.n_cs, c.total.speedup, c.total.edp_benefit));
-        }
-        Ok::<_, m3d_core::CoreError>(out)
-    })?;
-
-    println!(
-        "{:<34} {:>4} {:>10} {:>8}",
-        "baseline memory", "N", "speedup", "EDP"
-    );
-    for (label, _, n_cs, speedup, edp) in &points {
-        println!("{label:<34} {n_cs:>4} {:>10} {:>8}", x(*speedup), x(*edp));
-    }
-    rule(72);
-    println!("the RRAM baseline is the conservative comparison: non-BEOL memories");
-    println!("free even more Si, so reported M3D benefits are a lower bound.");
-
-    let record = pipe.stage(Stage::Report, "", |_| {
-        let mut rec = ExperimentRecord::new("obs3", "Obs. 3 SRAM-density 2D baseline")
-            .metric(Metric::new("edp_gain_over_rram", points[1].4 / points[0].4));
-        for (_, name, n_cs, speedup, edp) in &points {
-            rec = rec.row(
-                *name,
-                vec![
-                    ("n_cs".into(), f64::from(*n_cs)),
-                    ("speedup".into(), *speedup),
-                    ("edp_benefit".into(), *edp),
-                ],
-            );
-        }
-        rec
-    });
-    args.finalize(record, &pipe, CacheStats::default())?;
-    Ok(())
+fn main() {
+    case_main("obs3_sram_baseline", RunArgs::parse());
 }

@@ -1,85 +1,14 @@
-//! Regenerates Observation 8: M3D EDP benefit vs ILV pitch (Case 2).
-//! Fine-pitch ILVs (≤ ~1.3×) preserve the benefits; coarse-pitch 3D vias
-//! (≥ ~1.6×) erode them — ultra-dense vias are key.
+//! Regenerates Observation 8: M3D EDP benefit vs ILV pitch (Case 2);
+//! ultra-dense vias are key.
 //!
-//! The pitch ladder fans across cores via the engine's `par_map`
-//! (`M3D_JOBS` overrides the worker count); pass `--quick` for a
-//! shortened ladder and `--json <path>` to archive the result as an
-//! [`m3d_core::engine::ExperimentReport`].
+//! Thin driver over the registered `obs8_via_pitch` case: run with
+//! `--quick`, `--set key=value`, `--json`, `--trace-json`,
+//! `--metrics-json` and `--metrics-text` (see
+//! [`m3d_bench::cli`]).
 
-use m3d_bench::{header, rule, x, RunArgs};
-use m3d_core::cases::{case2_via_pitch, via_pitch_equivalent_delta, BaselineAreas};
-use m3d_core::engine::{par_map, CacheStats, Pipeline, Stage};
-use m3d_core::framework::{ChipParams, WorkloadPoint};
-use m3d_core::{ExperimentRecord, Metric};
-use m3d_tech::{IlvSpec, RramCellModel};
+use m3d_bench::cli::case_main;
+use m3d_bench::RunArgs;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args = RunArgs::parse();
-    header(
-        "Observation 8 — ILV pitch sensitivity (Case 2, A = m·k·β²)",
-        "Srimani et al., DATE 2023, Obs. 8 (fine to 1.3x; limited benefit ≥ 1.6x)",
-    );
-    let areas = BaselineAreas::case_study_64mb();
-    let base = ChipParams::baseline_2d();
-    let cell = RramCellModel::foundry_130nm();
-    let ilv = IlvSpec::ultra_dense_130nm();
-    let workload: Vec<WorkloadPoint> = m3d_arch::models::resnet18()
-        .layers
-        .iter()
-        .map(|l| WorkloadPoint::from_layer(l, 8, 16))
-        .collect();
-    let scales: &[f64] = if args.quick {
-        &[1.0, 1.3, 1.6, 2.0]
-    } else {
-        &[1.0, 1.1, 1.2, 1.3, 1.4, 1.6, 1.8, 2.0, 2.5]
-    };
-    let mut pipe = Pipeline::new();
-
-    let points = pipe
-        .stage(Stage::ArchSim, "pitch-sweep", |_| {
-            par_map(scales, |&scale| {
-                case2_via_pitch(&areas, &base, &workload, &cell, &ilv, scale)
-                    .map(|p| (scale, p.n_3d, p.edp_benefit))
-            })
-            .into_iter()
-            .collect::<Result<Vec<_>, _>>()
-        })
-        .map_err(Box::new)?;
-
-    println!(
-        "{:>8} {:>10} {:>8} {:>8} {:>10}",
-        "pitch ×", "β (nm)", "δ_eq", "N (M3D)", "EDP"
-    );
-    for &(scale, n_3d, edp) in &points {
-        println!(
-            "{:>8.1} {:>10.0} {:>8.2} {:>8} {:>10}",
-            scale,
-            ilv.pitch.value() * scale * 1000.0,
-            via_pitch_equivalent_delta(&cell, &ilv, scale),
-            n_3d,
-            x(edp)
-        );
-    }
-    rule(72);
-    let crossover = cell.via_pitch_crossover(&ilv, 1.0);
-    println!("crossover where via pitch starts binding the cell: ×{crossover:.2}");
-
-    let record = pipe.stage(Stage::Report, "", |_| {
-        let mut rec = ExperimentRecord::new("obs8", "Obs. 8 ILV-pitch sensitivity (Case 2)")
-            .metric(Metric::new("via_pitch_crossover", crossover));
-        for &(scale, n_3d, edp) in &points {
-            rec = rec.row(
-                &format!("x{scale:.1}"),
-                vec![
-                    ("pitch_scale".into(), scale),
-                    ("n_3d".into(), f64::from(n_3d)),
-                    ("edp_benefit".into(), edp),
-                ],
-            );
-        }
-        rec
-    });
-    args.finalize(record, &pipe, CacheStats::default())?;
-    Ok(())
+fn main() {
+    case_main("obs8_via_pitch", RunArgs::parse());
 }

@@ -1,129 +1,14 @@
-//! Projection: the M3D design point across technology nodes. Logic
-//! shrinks quadratically, RRAM selectors roughly linearly, and ILVs
-//! barely at all — so the freed-area ratio γ_cells explodes at advanced
-//! nodes and the design point shifts from area-limited to
-//! parallelism/bus-limited (and the memory cell becomes via-pitch
-//! limited, making Observation 8 the binding constraint).
+//! Technology-node projection of the M3D design point: logic shrinks
+//! quadratically, selectors roughly linearly, ILVs barely.
 //!
-//! Engine-ported: the ladder derivation runs as a `tech` stage, each
-//! node's comparison as a labelled `arch-sim` stage; `--json <path>`
-//! archives a deterministic [`m3d_core::engine::ExperimentReport`] and
-//! `--trace-json <path>` the per-stage span trace. `--quick` keeps only
-//! the endpoints of the ladder.
+//! Thin driver over the registered `projection_nodes` case: run with
+//! `--quick`, `--set key=value`, `--json`, `--trace-json`,
+//! `--metrics-json` and `--metrics-text` (see
+//! [`m3d_bench::cli`]).
 
-use m3d_arch::{compare, models, ChipConfig};
-use m3d_bench::{header, rule, x, RunArgs};
-use m3d_core::design_point::CASE_STUDY_CS_DEMAND_MM2;
-use m3d_core::engine::{CacheStats, Pipeline, Stage};
-use m3d_core::report::{ExperimentRecord, Metric};
-use m3d_tech::{projection_ladder, IlvSpec, RramCellModel};
+use m3d_bench::cli::case_main;
+use m3d_bench::RunArgs;
 
-/// One node's derived design point.
-struct NodePoint {
-    node_nm: u32,
-    per_bit_um2: f64,
-    array_mm2: f64,
-    cs_mm2: f64,
-    via_limited: bool,
-    n_cs: u32,
-}
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args = RunArgs::parse();
-    header(
-        "Projection — the design point across technology nodes",
-        "Sec. II: the flow 'is compatible with state-of-the-art technology nodes'",
-    );
-    let base = ChipConfig::baseline_2d();
-    let resnet = models::resnet18();
-
-    let mut pipe = Pipeline::new();
-    let points = pipe.stage(Stage::Tech, "", |_| {
-        let cell = RramCellModel::foundry_130nm();
-        let ilv = IlvSpec::ultra_dense_130nm();
-        let bits = 64u64 * 1024 * 1024 * 8;
-        let ladder = projection_ladder();
-        let last = ladder.len().saturating_sub(1);
-        ladder
-            .into_iter()
-            .enumerate()
-            .filter(|(i, _)| !args.quick || *i == 0 || *i == last)
-            .map(|(_, s)| {
-                let per_bit = s.rram_area_per_bit(&cell, &ilv);
-                let array_mm2 = per_bit.value() * bits as f64 / 1e6;
-                let cs_mm2 = CASE_STUDY_CS_DEMAND_MM2 * s.logic_area;
-                // Same derivation as the 130 nm design point; the
-                // interface reserve is logic and scales with the node.
-                let reserve = 10.0 * s.logic_area;
-                let freed = ((array_mm2 - reserve).max(0.0)) * 0.5;
-                let n_cs = (1 + (freed / cs_mm2) as u32).min(64); // cap at 64 banks
-                NodePoint {
-                    node_nm: s.node_nm,
-                    per_bit_um2: per_bit.value(),
-                    array_mm2,
-                    cs_mm2,
-                    via_limited: s.via_limited(&cell, &ilv),
-                    n_cs,
-                }
-            })
-            .collect::<Vec<_>>()
-    });
-
-    println!(
-        "{:>6} {:>12} {:>11} {:>10} {:>6} {:>6} {:>10}",
-        "node", "cell (µm²)", "array(mm²)", "CS (mm²)", "via?", "N", "EDP"
-    );
-    let mut rows = Vec::new();
-    for p in &points {
-        let label = format!("{}nm", p.node_nm);
-        let cmp = pipe.stage(Stage::ArchSim, &label, |_| {
-            compare(&base, &ChipConfig::m3d(p.n_cs), &resnet)
-        });
-        println!(
-            "{:>4}nm {:>12.4} {:>11.1} {:>10.4} {:>6} {:>6} {:>10}",
-            p.node_nm,
-            p.per_bit_um2,
-            p.array_mm2,
-            p.cs_mm2,
-            if p.via_limited { "YES" } else { "no" },
-            p.n_cs,
-            x(cmp.total.edp_benefit)
-        );
-        rows.push((
-            label,
-            vec![
-                ("cell_um2".to_owned(), p.per_bit_um2),
-                ("array_mm2".to_owned(), p.array_mm2),
-                ("cs_mm2".to_owned(), p.cs_mm2),
-                ("via_limited".to_owned(), f64::from(u8::from(p.via_limited))),
-                ("n_cs".to_owned(), f64::from(p.n_cs)),
-                ("edp_benefit".to_owned(), cmp.total.edp_benefit),
-            ],
-        ));
-    }
-    rule(72);
-    println!("advanced nodes free room for far more CSs than ResNet-18 can use:");
-    println!("the benefit saturates at the workload-parallelism/shared-bus wall,");
-    println!("and the ILV pitch (Obs. 8) becomes the binding memory constraint.");
-
-    let record = pipe.stage(Stage::Report, "", |_| {
-        let best = rows
-            .iter()
-            .flat_map(|(_, vals)| vals.iter())
-            .filter(|(k, _)| k == "edp_benefit")
-            .map(|&(_, v)| v)
-            .fold(f64::NEG_INFINITY, f64::max);
-        let mut rec = ExperimentRecord::new(
-            "projection_nodes",
-            "Sec. II technology-node projection of the design point",
-        )
-        .metric(Metric::new("nodes", rows.len() as f64))
-        .metric(Metric::new("best_edp_benefit", best));
-        for (label, values) in rows.clone() {
-            rec = rec.row(label, values);
-        }
-        rec
-    });
-    args.finalize(record, &pipe, CacheStats::default())?;
-    Ok(())
+fn main() {
+    case_main("projection_nodes", RunArgs::parse());
 }

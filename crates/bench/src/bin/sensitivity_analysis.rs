@@ -1,93 +1,14 @@
-//! Monte-Carlo sensitivity of the headline EDP benefit to calibration
-//! error in the technology constants (±20 % coherent perturbation of
-//! energies, bandwidths and throughputs).
+//! Monte-Carlo sensitivity of the headline EDP benefit to ±20 %
+//! technology-constant calibration error.
 //!
-//! Sample evaluation fans across the engine's parallel sweep executor
-//! (`M3D_JOBS`) with bit-identical statistics at any worker count; pass
-//! `--json <path>` to archive the result as an
-//! [`m3d_core::engine::ExperimentReport`].
+//! Thin driver over the registered `sensitivity_analysis` case: run with
+//! `--quick`, `--set key=value`, `--json`, `--trace-json`,
+//! `--metrics-json` and `--metrics-text` (see
+//! [`m3d_bench::cli`]).
 
-use m3d_arch::models;
-use m3d_bench::{header, rule, x, RunArgs};
-use m3d_core::engine::{CacheStats, Pipeline, Stage};
-use m3d_core::framework::{ChipParams, WorkloadPoint};
-use m3d_core::sensitivity::{edp_benefit_sensitivity, Perturbation, SensitivityResult};
-use m3d_core::{ExperimentRecord, Metric};
+use m3d_bench::cli::case_main;
+use m3d_bench::RunArgs;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args = RunArgs::parse();
-    header(
-        "Sensitivity — EDP benefit under ±20 % technology-constant error",
-        "robustness analysis of the Table I / Fig. 5 results",
-    );
-    let base = ChipParams::baseline_2d();
-    let m3d = ChipParams::m3d(8);
-    let samples = if args.quick { 200 } else { 2000 };
-    let mut pipe = Pipeline::new();
-    let results = pipe.stage(Stage::ArchSim, "", |_| {
-        models::evaluation_models()
-            .into_iter()
-            .map(|w| {
-                let points: Vec<WorkloadPoint> = w
-                    .layers
-                    .iter()
-                    .map(|l| WorkloadPoint::from_layer(l, 8, 16))
-                    .collect();
-                let r = edp_benefit_sensitivity(
-                    &base,
-                    &m3d,
-                    &points,
-                    &Perturbation::twenty_percent(),
-                    samples,
-                    2023,
-                )?;
-                Ok::<(String, SensitivityResult), m3d_core::CoreError>((w.name.clone(), r))
-            })
-            .collect::<Result<Vec<_>, _>>()
-    })?;
-
-    println!(
-        "{:<12} {:>9} {:>9} {:>8} {:>8} {:>8} {:>8}",
-        "workload", "nominal", "mean", "σ", "p5", "p95", "max"
-    );
-    for (name, r) in &results {
-        println!(
-            "{:<12} {:>9} {:>9} {:>8.3} {:>8} {:>8} {:>8}",
-            name,
-            x(r.nominal),
-            x(r.mean),
-            r.std_dev,
-            x(r.p5),
-            x(r.p95),
-            x(r.max)
-        );
-    }
-    rule(72);
-    println!("perturbations apply coherently to both designs (shared technology),");
-    println!("so the *benefit* is far tighter than any individual energy estimate.");
-
-    let record = pipe.stage(Stage::Report, "", |_| {
-        let mut rec = ExperimentRecord::new(
-            "sensitivity",
-            "±20 % Monte-Carlo robustness of the EDP benefit",
-        )
-        .metric(Metric::new("samples", samples as f64));
-        for (name, r) in &results {
-            rec = rec.row(
-                name.clone(),
-                vec![
-                    ("nominal".into(), r.nominal),
-                    ("mean".into(), r.mean),
-                    ("std_dev".into(), r.std_dev),
-                    ("p5".into(), r.p5),
-                    ("p95".into(), r.p95),
-                    ("min".into(), r.min),
-                    ("max".into(), r.max),
-                ],
-            );
-        }
-        rec
-    });
-    args.finalize(record, &pipe, CacheStats::default())?;
-    Ok(())
+fn main() {
+    case_main("sensitivity_analysis", RunArgs::parse());
 }

@@ -1,105 +1,14 @@
-//! Regenerates Table I: per-layer speedup, energy and EDP benefit of the
-//! iso-footprint, iso-memory-capacity M3D accelerator on ResNet-18.
+//! Regenerates Table I: per-layer ResNet-18 benefits of the
+//! iso-footprint M3D accelerator.
 //!
-//! Engine-ported: the simulation runs as an instrumented `arch-sim`
-//! stage and `--json <path>` archives a deterministic
-//! [`m3d_core::engine::ExperimentReport`]. `--quick` compares 4-CS
-//! chips instead of the paper's 8.
+//! Thin driver over the registered `table1_resnet18` case: run with
+//! `--quick`, `--set key=value`, `--json`, `--trace-json`,
+//! `--metrics-json` and `--metrics-text` (see
+//! [`m3d_bench::cli`]).
 
-use m3d_arch::{compare, models, ChipConfig};
-use m3d_bench::{header, rule, x, RunArgs};
-use m3d_core::engine::{CacheStats, Pipeline, Stage};
-use m3d_core::report::{ExperimentRecord, Metric};
+use m3d_bench::cli::case_main;
+use m3d_bench::RunArgs;
 
-/// Paper Table I values for side-by-side comparison (speedup, EDP).
-fn paper_value(layer: &str) -> Option<(f64, f64)> {
-    Some(match layer {
-        "CONV1+POOL" => (3.14, 2.93),
-        "L1.0 CONV1" | "L1.0 CONV2" | "L1.1 CONV1" | "L1.1 CONV2" => (3.72, 3.73),
-        "L2.0 DS" => (2.57, 2.57),
-        "L2.0 CONV1" => (6.0, 7.37),
-        "L2.0 CONV2" | "L2.1 CONV1" | "L2.1 CONV2" => (7.36, 7.37),
-        "L3.0 DS" => (2.52, 2.51),
-        "L3.0 CONV1" => (6.84, 6.85),
-        "L3.0 CONV2" | "L3.1 CONV1" | "L3.1 CONV2" => (7.67, 7.68),
-        "L4.0 DS" => (3.5, 3.5),
-        "L4.0 CONV1" => (7.37, 7.4),
-        "L4.0 CONV2" | "L4.1 CONV1" | "L4.1 CONV2" => (7.83, 7.85),
-        "Total" => (5.64, 5.66),
-        _ => return None,
-    })
-}
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args = RunArgs::parse();
-    let cs_count = if args.quick { 4 } else { 8 };
-    header(
-        "Table I — ResNet-18 layer-by-layer M3D benefits (8 CSs, 8 banks)",
-        "Srimani et al., DATE 2023, Table I",
-    );
-    let mut pipe = Pipeline::new();
-    let table = pipe.stage(Stage::ArchSim, "", |_| {
-        compare(
-            &ChipConfig::baseline_2d(),
-            &ChipConfig::m3d(cs_count),
-            &models::resnet18(),
-        )
-    });
-    println!(
-        "{:<14} {:>8} {:>8} {:>8}   {:>12} {:>10}",
-        "Layer", "Speedup", "Energy", "EDP", "paper spd", "paper EDP"
-    );
-    for row in table.rows.iter().chain(std::iter::once(&table.total)) {
-        let paper = paper_value(&row.name)
-            .filter(|_| !args.quick)
-            .map(|(s, e)| format!("{s:>11.2}x {e:>9.2}x"))
-            .unwrap_or_else(|| format!("{:>12} {:>10}", "-", "-"));
-        println!(
-            "{:<14} {:>8} {:>8} {:>8}   {}",
-            row.name,
-            x(row.speedup),
-            x(row.energy_ratio),
-            x(row.edp_benefit),
-            paper
-        );
-    }
-    rule(72);
-    println!(
-        "total: {} speedup at {} energy → {} EDP benefit (paper: 5.64x / 0.99x / 5.66x)",
-        x(table.total.speedup),
-        x(table.total.energy_ratio),
-        x(table.total.edp_benefit)
-    );
-
-    let record = pipe.stage(Stage::Report, "", |_| {
-        let mut rec = ExperimentRecord::new("table1", "Table I, ResNet-18 per-layer benefits")
-            .metric(Metric::with_paper(
-                "total_speedup",
-                table.total.speedup,
-                5.64,
-            ))
-            .metric(Metric::with_paper(
-                "total_energy_ratio",
-                table.total.energy_ratio,
-                0.99,
-            ))
-            .metric(Metric::with_paper(
-                "total_edp_benefit",
-                table.total.edp_benefit,
-                5.66,
-            ));
-        for row in &table.rows {
-            rec = rec.row(
-                row.name.clone(),
-                vec![
-                    ("speedup".into(), row.speedup),
-                    ("energy_ratio".into(), row.energy_ratio),
-                    ("edp_benefit".into(), row.edp_benefit),
-                ],
-            );
-        }
-        rec
-    });
-    args.finalize(record, &pipe, CacheStats::default())?;
-    Ok(())
+fn main() {
+    case_main("table1_resnet18", RunArgs::parse());
 }

@@ -1,0 +1,717 @@
+//! Cases evaluated on the architecture models: Table I, Figs. 5/7/8,
+//! the dataflow/precision/batch ablations, the MobileNet coverage
+//! extension, and the technology-node projection.
+
+use m3d_arch::{
+    batch_speedup, compare, map_workload, models, simulate, simulate_batch, table2_architectures,
+    ChipConfig, CsGeometry, Dataflow, MapperChip,
+};
+use m3d_core::design_point::{case_study_design_point, DesignPoint, CASE_STUDY_CS_DEMAND_MM2};
+use m3d_core::engine::{par_map, Stage};
+use m3d_core::framework::{evaluate_workload, ChipParams, WorkloadPoint};
+use m3d_tech::{projection_ladder, IlvSpec, Pdk, RramCellModel, RramMacro, SelectorTech};
+use serde::Value;
+
+use crate::registry::{
+    obj, param_u64, reject_unknown, Case, CaseCtx, CaseError, CaseOutcome, ParamField,
+};
+
+// --- table1_resnet18 ----------------------------------------------------
+
+/// `table1_resnet18` — Table I: per-layer speedup, energy and EDP
+/// benefit of the iso-footprint M3D accelerator on ResNet-18.
+pub struct Table1Resnet18Case;
+
+/// Typed parameters of [`Table1Resnet18Case`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table1Params {
+    /// M3D computing sub-systems compared against the 2D baseline.
+    pub n_cs: u32,
+}
+
+impl Table1Params {
+    /// Parses and range-checks the wire params.
+    ///
+    /// # Errors
+    ///
+    /// [`m3d_core::ErrorCode::BadRequest`]-coded on malformed or
+    /// out-of-range values.
+    pub fn parse(quick: bool, params: &Value) -> Result<Self, CaseError> {
+        reject_unknown(params, &["n_cs"])?;
+        Ok(Self {
+            n_cs: u32::try_from(param_u64(params, "n_cs", if quick { 4 } else { 8 }, 64)?)
+                .expect("bounded")
+                .max(1),
+        })
+    }
+}
+
+impl Case for Table1Resnet18Case {
+    fn name(&self) -> &'static str {
+        "table1_resnet18"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Table I ResNet-18 per-layer M3D benefits"
+    }
+
+    fn param_fields(&self) -> &'static [ParamField] {
+        &[ParamField {
+            name: "n_cs",
+            default: "4 (quick) / 8",
+        }]
+    }
+
+    fn validate(&self, quick: bool, params: &Value) -> Result<(), CaseError> {
+        Table1Params::parse(quick, params).map(drop)
+    }
+
+    fn run(&self, ctx: &CaseCtx, quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
+        let p = Table1Params::parse(quick, params)?;
+        let table = ctx.stage(Stage::ArchSim, "", |_| {
+            compare(
+                &ChipConfig::baseline_2d(),
+                &ChipConfig::m3d(p.n_cs),
+                &models::resnet18(),
+            )
+        });
+        Ok(CaseOutcome::fresh(obj(vec![
+            ("total_speedup", Value::F64(table.total.speedup)),
+            ("total_energy_ratio", Value::F64(table.total.energy_ratio)),
+            ("total_edp_benefit", Value::F64(table.total.edp_benefit)),
+            (
+                "layers",
+                Value::Array(
+                    table
+                        .rows
+                        .iter()
+                        .map(|row| {
+                            obj(vec![
+                                ("name", Value::Str(row.name.clone())),
+                                ("speedup", Value::F64(row.speedup)),
+                                ("energy_ratio", Value::F64(row.energy_ratio)),
+                                ("edp_benefit", Value::F64(row.edp_benefit)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])))
+    }
+}
+
+// --- fig5_models --------------------------------------------------------
+
+/// `fig5_models` — Fig. 5: M3D benefits across the AI/ML evaluation
+/// models (paper band: 5.7×–7.5× EDP at ≈ 0.99× energy).
+pub struct Fig5ModelsCase;
+
+impl Case for Fig5ModelsCase {
+    fn name(&self) -> &'static str {
+        "fig5_models"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Fig. 5 M3D benefits across AI/ML models"
+    }
+
+    fn validate(&self, _quick: bool, params: &Value) -> Result<(), CaseError> {
+        reject_unknown(params, &[])
+    }
+
+    fn run(&self, ctx: &CaseCtx, _quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
+        reject_unknown(params, &[])?;
+        let (base, m3d) = ctx.stage(Stage::Tech, "", |_| {
+            (ChipConfig::baseline_2d(), ChipConfig::m3d(8))
+        });
+        let comparisons = ctx.stage(Stage::ArchSim, "", |_| {
+            models::evaluation_models()
+                .into_iter()
+                .map(|w| compare(&base, &m3d, &w))
+                .collect::<Vec<_>>()
+        });
+        let min_edp = comparisons
+            .iter()
+            .map(|c| c.total.edp_benefit)
+            .fold(f64::INFINITY, f64::min);
+        Ok(CaseOutcome::fresh(obj(vec![
+            ("min_edp_benefit", Value::F64(min_edp)),
+            (
+                "models",
+                Value::Array(
+                    comparisons
+                        .iter()
+                        .map(|c| {
+                            obj(vec![
+                                ("name", Value::Str(c.workload.clone())),
+                                ("speedup", Value::F64(c.total.speedup)),
+                                ("energy_ratio", Value::F64(c.total.energy_ratio)),
+                                ("edp_benefit", Value::F64(c.total.edp_benefit)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])))
+    }
+}
+
+// --- fig7_architectures -------------------------------------------------
+
+/// `fig7_architectures` — Fig. 7: the six Table-II architectures on
+/// AlexNet, analytical framework vs the ZigZag-style mapper (must agree
+/// within ≈ 10 %).
+pub struct Fig7ArchitecturesCase;
+
+struct ArchRow {
+    name: String,
+    n_cs: u32,
+    zz_speedup: f64,
+    zz_energy: f64,
+    zz_edp: f64,
+    model_edp: f64,
+    gap: f64,
+}
+
+impl Case for Fig7ArchitecturesCase {
+    fn name(&self) -> &'static str {
+        "fig7_architectures"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Fig. 7 Table-II architectures: analytical model vs mapper"
+    }
+
+    fn validate(&self, _quick: bool, params: &Value) -> Result<(), CaseError> {
+        reject_unknown(params, &[])
+    }
+
+    fn run(&self, ctx: &CaseCtx, _quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
+        reject_unknown(params, &[])?;
+        let (pdk, rram, alexnet) = ctx.stage(Stage::Tech, "", |_| {
+            let rram = RramMacro::with_capacity_mb(256, 1, 256, SelectorTech::SiFet)
+                .map_err(CaseError::internal)?;
+            Ok::<_, CaseError>((Pdk::m3d_130nm(), rram, models::alexnet()))
+        })?;
+        let archs = table2_architectures();
+        let rows = ctx.stage(Stage::ArchSim, "", |_| {
+            par_map(&archs, |arch| -> Result<ArchRow, CaseError> {
+                let dp = DesignPoint::derive(&pdk, &rram, arch.cs_demand_mm2())
+                    .map_err(CaseError::internal)?;
+                let zz2 = map_workload(&MapperChip::from_arch(arch, 1), &alexnet);
+                let zz3 = map_workload(&MapperChip::from_arch(arch, dp.n_cs), &alexnet);
+                let zz_speedup = zz2.cycles as f64 / zz3.cycles as f64;
+                let zz_energy = zz2.energy_pj / zz3.energy_pj;
+                let zz_edp = zz_speedup * zz_energy;
+                let spatial_k = arch.spatial.k.max(1);
+                let points: Vec<WorkloadPoint> = alexnet
+                    .layers
+                    .iter()
+                    .map(|l| WorkloadPoint::from_layer(l, 8, spatial_k))
+                    .collect();
+                // The mapper models a banked-weight design, so the
+                // analytical points use partitioned-traffic semantics.
+                let base = ChipParams {
+                    peak_ops_per_cs: arch.spatial.pes() as f64,
+                    ..ChipParams::baseline_2d()
+                }
+                .partitioned();
+                let m3d = ChipParams {
+                    n_cs: dp.n_cs,
+                    bandwidth: base.bandwidth * f64::from(dp.n_cs),
+                    ..base
+                };
+                let a2 = evaluate_workload(&base, &points);
+                let a3 = evaluate_workload(&m3d, &points);
+                let model_edp = (a2.cycles / a3.cycles) * (a2.energy_pj / a3.energy_pj);
+                Ok(ArchRow {
+                    name: arch.name.clone(),
+                    n_cs: dp.n_cs,
+                    zz_speedup,
+                    zz_energy,
+                    zz_edp,
+                    model_edp,
+                    gap: (model_edp - zz_edp).abs() / zz_edp,
+                })
+            })
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()
+        })?;
+        let worst_gap = rows.iter().map(|r| r.gap).fold(0.0f64, f64::max);
+        Ok(CaseOutcome::fresh(obj(vec![
+            ("worst_gap", Value::F64(worst_gap)),
+            (
+                "architectures",
+                Value::Array(
+                    rows.iter()
+                        .map(|r| {
+                            obj(vec![
+                                ("name", Value::Str(r.name.clone())),
+                                ("n_cs", Value::U64(u64::from(r.n_cs))),
+                                ("zz_speedup", Value::F64(r.zz_speedup)),
+                                ("zz_energy", Value::F64(r.zz_energy)),
+                                ("zz_edp", Value::F64(r.zz_edp)),
+                                ("model_edp", Value::F64(r.model_edp)),
+                                ("gap", Value::F64(r.gap)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])))
+    }
+}
+
+// --- fig8_bw_cs ---------------------------------------------------------
+
+/// `fig8_bw_cs` — Fig. 8: EDP benefit vs memory bandwidth and
+/// parallel-CS scaling for compute- and memory-bound workloads, plus the
+/// Observation-5 worked examples.
+pub struct Fig8BwCsCase;
+
+const FIG8_FACTORS: [f64; 5] = [1.0, 2.0, 4.0, 8.0, 16.0];
+
+impl Case for Fig8BwCsCase {
+    fn name(&self) -> &'static str {
+        "fig8_bw_cs"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Fig. 8 bandwidth × CS grid + Observation 5"
+    }
+
+    fn validate(&self, _quick: bool, params: &Value) -> Result<(), CaseError> {
+        reject_unknown(params, &[])
+    }
+
+    fn run(&self, ctx: &CaseCtx, _quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
+        use m3d_core::explore::{bandwidth_cs_grid, intensity_workload};
+        use m3d_core::framework::workload_edp_benefit;
+        reject_unknown(params, &[])?;
+        let base = ChipParams::baseline_2d();
+        let compute = ctx.stage(Stage::ArchSim, "compute-bound", |_| {
+            bandwidth_cs_grid(
+                &base,
+                &intensity_workload(16.0),
+                &FIG8_FACTORS,
+                &FIG8_FACTORS,
+            )
+        });
+        let memory = ctx.stage(Stage::ArchSim, "memory-bound", |_| {
+            bandwidth_cs_grid(
+                &base,
+                &intensity_workload(1.0 / 16.0),
+                &FIG8_FACTORS,
+                &FIG8_FACTORS,
+            )
+        });
+        let (a, b) = ctx.stage(Stage::ArchSim, "obs5", |_| {
+            // (a) compute-bound: 2× CSs at unchanged bandwidth.
+            let w = intensity_workload(16.0);
+            let two_cs = ChipParams { n_cs: 2, ..base };
+            let a = workload_edp_benefit(&base, &two_cs, std::slice::from_ref(&w));
+            // (b) memory-bound: from the 8-CS point, halve CSs at the
+            // same total port width.
+            let m3d8 = ChipParams::m3d(8);
+            let wm = intensity_workload(1.0 / 16.0);
+            let fewer_faster = ChipParams { n_cs: 4, ..m3d8 };
+            let b = workload_edp_benefit(&m3d8, &fewer_faster, std::slice::from_ref(&wm));
+            (a, b)
+        });
+        let mut grid = Vec::new();
+        for (label, points) in [("compute-bound", &compute), ("memory-bound", &memory)] {
+            for p in points.iter() {
+                grid.push(obj(vec![
+                    (
+                        "point",
+                        Value::Str(format!(
+                            "{label} bw={:.0}x cs={:.0}x",
+                            p.bw_factor, p.cs_factor
+                        )),
+                    ),
+                    ("edp_benefit", Value::F64(p.edp_benefit)),
+                ]));
+            }
+        }
+        Ok(CaseOutcome::fresh(obj(vec![
+            ("obs5_compute_bound_2x_cs", Value::F64(a)),
+            ("obs5_memory_bound_2x_bw", Value::F64(b)),
+            ("grid", Value::Array(grid)),
+        ])))
+    }
+}
+
+// --- ablation_dataflow --------------------------------------------------
+
+/// `ablation_dataflow` — why the accelerator is weight-stationary:
+/// output-stationary execution re-streams weights from the RRAM per
+/// output tile; the M3D benefit survives either dataflow.
+pub struct AblationDataflowCase;
+
+impl Case for AblationDataflowCase {
+    fn name(&self) -> &'static str {
+        "ablation_dataflow"
+    }
+
+    fn summary(&self) -> &'static str {
+        "weight- vs output-stationary dataflow ablation"
+    }
+
+    fn validate(&self, _quick: bool, params: &Value) -> Result<(), CaseError> {
+        reject_unknown(params, &[])
+    }
+
+    fn run(&self, ctx: &CaseCtx, quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
+        reject_unknown(params, &[])?;
+        let cs_count = if quick { 4 } else { 8 };
+        let resnet = models::resnet18();
+        let mut configs = Vec::new();
+        for (tag, chip) in [
+            ("2d-ws", ChipConfig::baseline_2d()),
+            (
+                "2d-os",
+                ChipConfig::baseline_2d().with_dataflow(Dataflow::OutputStationary),
+            ),
+            ("m3d-ws", ChipConfig::m3d(cs_count)),
+            (
+                "m3d-os",
+                ChipConfig::m3d(cs_count).with_dataflow(Dataflow::OutputStationary),
+            ),
+        ] {
+            let perf = ctx.stage(Stage::ArchSim, tag, |_| simulate(&chip, &resnet));
+            let weight_mb: f64 = perf.layers.iter().map(|l| l.energy.weight_pj).sum::<f64>()
+                / chip.energy.rram_read_pj_per_bit
+                / 1.0e6;
+            configs.push(obj(vec![
+                ("name", Value::Str(tag.to_owned())),
+                ("cycles_m", Value::F64(perf.total_cycles as f64 / 1e6)),
+                ("energy_mj", Value::F64(perf.total_energy_pj / 1e9)),
+                ("rram_weight_mb", Value::F64(weight_mb)),
+            ]));
+        }
+        let (ws, os) = ctx.stage(Stage::ArchSim, "edp-compare", |_| {
+            let ws = compare(
+                &ChipConfig::baseline_2d(),
+                &ChipConfig::m3d(cs_count),
+                &resnet,
+            );
+            let os = compare(
+                &ChipConfig::baseline_2d().with_dataflow(Dataflow::OutputStationary),
+                &ChipConfig::m3d(cs_count).with_dataflow(Dataflow::OutputStationary),
+                &resnet,
+            );
+            (ws, os)
+        });
+        Ok(CaseOutcome::fresh(obj(vec![
+            ("ws_edp_benefit", Value::F64(ws.total.edp_benefit)),
+            ("os_edp_benefit", Value::F64(os.total.edp_benefit)),
+            ("configs", Value::Array(configs)),
+        ])))
+    }
+}
+
+// --- ablation_precision -------------------------------------------------
+
+/// `ablation_precision` — 4/8/16-bit weights on the M3D design point,
+/// with the RRAM-capacity feedback on the design point itself.
+pub struct AblationPrecisionCase;
+
+impl Case for AblationPrecisionCase {
+    fn name(&self) -> &'static str {
+        "ablation_precision"
+    }
+
+    fn summary(&self) -> &'static str {
+        "weight-precision ablation with RRAM-capacity feedback"
+    }
+
+    fn validate(&self, _quick: bool, params: &Value) -> Result<(), CaseError> {
+        reject_unknown(params, &[])
+    }
+
+    fn run(&self, ctx: &CaseCtx, quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
+        reject_unknown(params, &[])?;
+        let cs_count = if quick { 4 } else { 8 };
+        let resnet = models::resnet18();
+        let mut precisions = Vec::new();
+        for bits in [4u32, 8, 16] {
+            let c = ctx.stage(Stage::ArchSim, &format!("{bits}bit"), |_| {
+                let geom = CsGeometry {
+                    weight_bits: bits,
+                    ..CsGeometry::default()
+                };
+                let base = ChipConfig {
+                    geometry: geom,
+                    ..ChipConfig::baseline_2d()
+                };
+                let m3d = ChipConfig {
+                    geometry: geom,
+                    ..ChipConfig::m3d(cs_count)
+                };
+                compare(&base, &m3d, &resnet)
+            });
+            precisions.push(obj(vec![
+                ("name", Value::Str(format!("{bits}bit"))),
+                (
+                    "model_mb",
+                    Value::F64(resnet.model_bytes(bits) as f64 / 1e6),
+                ),
+                ("speedup", Value::F64(c.total.speedup)),
+                ("energy_ratio", Value::F64(c.total.energy_ratio)),
+                ("edp_benefit", Value::F64(c.total.edp_benefit)),
+            ]));
+        }
+        let capacity = ctx.stage(Stage::ArchSim, "capacity", |_| {
+            let pdk = Pdk::m3d_130nm();
+            let mut out = Vec::new();
+            for mb in [32u64, 64] {
+                out.push((
+                    mb,
+                    case_study_design_point(&pdk, mb)
+                        .map_err(CaseError::internal)?
+                        .n_cs,
+                ));
+            }
+            Ok::<_, CaseError>(out)
+        })?;
+        let n_cs_at = |want: u64| {
+            capacity
+                .iter()
+                .find(|(mb, _)| *mb == want)
+                .map_or(0, |&(_, n)| u64::from(n))
+        };
+        Ok(CaseOutcome::fresh(obj(vec![
+            ("n_cs_at_32mb", Value::U64(n_cs_at(32))),
+            ("n_cs_at_64mb", Value::U64(n_cs_at(64))),
+            ("precisions", Value::Array(precisions)),
+        ])))
+    }
+}
+
+// --- ablation_batch -----------------------------------------------------
+
+/// `ablation_batch` — batch-pipelined inference recovers the CSs that
+/// partition-capped layers leave idle.
+pub struct AblationBatchCase;
+
+impl Case for AblationBatchCase {
+    fn name(&self) -> &'static str {
+        "ablation_batch"
+    }
+
+    fn summary(&self) -> &'static str {
+        "batch-pipelining ablation across the M3D CSs"
+    }
+
+    fn validate(&self, _quick: bool, params: &Value) -> Result<(), CaseError> {
+        reject_unknown(params, &[])
+    }
+
+    fn run(&self, ctx: &CaseCtx, quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
+        reject_unknown(params, &[])?;
+        let cs_count = if quick { 4 } else { 8 };
+        let batches: &[u32] = if quick {
+            &[1, 2, 4, 8]
+        } else {
+            &[1, 2, 4, 8, 16, 32]
+        };
+        let base = ChipConfig::baseline_2d();
+        let m3d = ChipConfig::m3d(cs_count);
+        let resnet = models::resnet18();
+        let mut rows = Vec::new();
+        let mut speedups = Vec::new();
+        for &b in batches {
+            let (perf, speedup) = ctx.stage(Stage::ArchSim, &format!("batch{b}"), |_| {
+                (
+                    simulate_batch(&m3d, &resnet, b),
+                    batch_speedup(&base, &m3d, &resnet, b),
+                )
+            });
+            speedups.push(speedup);
+            rows.push(obj(vec![
+                ("name", Value::Str(format!("batch{b}"))),
+                (
+                    "cycles_per_image_m",
+                    Value::F64(perf.cycles_per_image / 1e6),
+                ),
+                (
+                    "energy_per_image_mj",
+                    Value::F64(perf.energy_per_image_pj() / 1e9),
+                ),
+                ("speedup", Value::F64(speedup)),
+            ]));
+        }
+        Ok(CaseOutcome::fresh(obj(vec![
+            (
+                "batch1_speedup",
+                Value::F64(speedups.first().copied().unwrap_or(0.0)),
+            ),
+            (
+                "max_batch_speedup",
+                Value::F64(speedups.last().copied().unwrap_or(0.0)),
+            ),
+            ("batches", Value::Array(rows)),
+        ])))
+    }
+}
+
+// --- extension_mobilenet ------------------------------------------------
+
+/// `extension_mobilenet` — coverage extension: MobileNetV1 (a
+/// depthwise-separable workload outside the paper's evaluation set) on
+/// the M3D design point, aggregated by layer class.
+pub struct ExtensionMobilenetCase;
+
+impl Case for ExtensionMobilenetCase {
+    fn name(&self) -> &'static str {
+        "extension_mobilenet"
+    }
+
+    fn summary(&self) -> &'static str {
+        "MobileNetV1 stress coverage on the M3D design point"
+    }
+
+    fn validate(&self, _quick: bool, params: &Value) -> Result<(), CaseError> {
+        reject_unknown(params, &[])
+    }
+
+    fn run(&self, ctx: &CaseCtx, _quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
+        reject_unknown(params, &[])?;
+        let cmp = ctx.stage(Stage::ArchSim, "", |_| {
+            compare(
+                &ChipConfig::baseline_2d(),
+                &ChipConfig::m3d(8),
+                &models::mobilenet_v1(),
+            )
+        });
+        let class_of = |name: &str| {
+            if name.starts_with("DW") {
+                "depthwise"
+            } else if name.starts_with("PW") {
+                "pointwise"
+            } else {
+                "other"
+            }
+        };
+        let classes = ["depthwise", "pointwise", "other"]
+            .iter()
+            .map(|&class| {
+                let rows: Vec<_> = cmp
+                    .rows
+                    .iter()
+                    .filter(|r| class_of(&r.name) == class)
+                    .collect();
+                let (min, max) = if rows.is_empty() {
+                    (0.0, 0.0)
+                } else {
+                    (
+                        rows.iter().map(|r| r.speedup).fold(f64::INFINITY, f64::min),
+                        rows.iter().map(|r| r.speedup).fold(0.0, f64::max),
+                    )
+                };
+                obj(vec![
+                    ("name", Value::Str(class.to_owned())),
+                    ("layers", Value::U64(rows.len() as u64)),
+                    ("min_speedup", Value::F64(min)),
+                    ("max_speedup", Value::F64(max)),
+                ])
+            })
+            .collect();
+        Ok(CaseOutcome::fresh(obj(vec![
+            ("total_speedup", Value::F64(cmp.total.speedup)),
+            ("total_edp_benefit", Value::F64(cmp.total.edp_benefit)),
+            ("classes", Value::Array(classes)),
+        ])))
+    }
+}
+
+// --- projection_nodes ---------------------------------------------------
+
+/// `projection_nodes` — the M3D design point projected across
+/// technology nodes: logic shrinks quadratically, selectors roughly
+/// linearly, ILVs barely — the freed-area ratio explodes at advanced
+/// nodes.
+pub struct ProjectionNodesCase;
+
+struct NodePoint {
+    node_nm: u32,
+    per_bit_um2: f64,
+    array_mm2: f64,
+    cs_mm2: f64,
+    via_limited: bool,
+    n_cs: u32,
+}
+
+impl Case for ProjectionNodesCase {
+    fn name(&self) -> &'static str {
+        "projection_nodes"
+    }
+
+    fn summary(&self) -> &'static str {
+        "technology-node projection of the M3D design point"
+    }
+
+    fn validate(&self, _quick: bool, params: &Value) -> Result<(), CaseError> {
+        reject_unknown(params, &[])
+    }
+
+    fn run(&self, ctx: &CaseCtx, quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
+        reject_unknown(params, &[])?;
+        let base = ChipConfig::baseline_2d();
+        let resnet = models::resnet18();
+        let points = ctx.stage(Stage::Tech, "", |_| {
+            let cell = RramCellModel::foundry_130nm();
+            let ilv = IlvSpec::ultra_dense_130nm();
+            let bits = 64u64 * 1024 * 1024 * 8;
+            let ladder = projection_ladder();
+            let last = ladder.len().saturating_sub(1);
+            ladder
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| !quick || *i == 0 || *i == last)
+                .map(|(_, s)| {
+                    let per_bit = s.rram_area_per_bit(&cell, &ilv);
+                    let array_mm2 = per_bit.value() * bits as f64 / 1e6;
+                    let cs_mm2 = CASE_STUDY_CS_DEMAND_MM2 * s.logic_area;
+                    // Same derivation as the 130 nm design point; the
+                    // interface reserve is logic and scales with the
+                    // node.
+                    let reserve = 10.0 * s.logic_area;
+                    let freed = ((array_mm2 - reserve).max(0.0)) * 0.5;
+                    let n_cs = (1 + (freed / cs_mm2) as u32).min(64);
+                    NodePoint {
+                        node_nm: s.node_nm,
+                        per_bit_um2: per_bit.value(),
+                        array_mm2,
+                        cs_mm2,
+                        via_limited: s.via_limited(&cell, &ilv),
+                        n_cs,
+                    }
+                })
+                .collect::<Vec<_>>()
+        });
+        let mut rows = Vec::new();
+        let mut best = f64::NEG_INFINITY;
+        for p in &points {
+            let label = format!("{}nm", p.node_nm);
+            let cmp = ctx.stage(Stage::ArchSim, &label, |_| {
+                compare(&base, &ChipConfig::m3d(p.n_cs), &resnet)
+            });
+            best = best.max(cmp.total.edp_benefit);
+            rows.push(obj(vec![
+                ("label", Value::Str(label)),
+                ("cell_um2", Value::F64(p.per_bit_um2)),
+                ("array_mm2", Value::F64(p.array_mm2)),
+                ("cs_mm2", Value::F64(p.cs_mm2)),
+                ("via_limited", Value::U64(u64::from(p.via_limited))),
+                ("n_cs", Value::U64(u64::from(p.n_cs))),
+                ("edp_benefit", Value::F64(cmp.total.edp_benefit)),
+            ]));
+        }
+        Ok(CaseOutcome::fresh(obj(vec![
+            ("nodes", Value::U64(rows.len() as u64)),
+            ("best_edp_benefit", Value::F64(best)),
+            ("points", Value::Array(rows)),
+        ])))
+    }
+}

@@ -1,0 +1,397 @@
+//! Cases over the analytical exploration framework: the Fig. 10
+//! selector-width relaxation, Observations 3 and 8, the upper-tier-logic
+//! forward projection (Case 4), and the Monte-Carlo sensitivity study.
+
+use m3d_arch::{compare, models, ChipConfig};
+use m3d_core::cases::{case1_sweep, case2_via_pitch, case4_upper_logic, BaselineAreas};
+use m3d_core::design_point::case_study_design_point;
+use m3d_core::engine::{par_map, Stage};
+use m3d_core::explore::sram_baseline_design_point;
+use m3d_core::framework::{workload_edp_benefit, ChipParams, MemoryTraffic, WorkloadPoint};
+use m3d_core::sensitivity::{edp_benefit_sensitivity, Perturbation, SensitivityResult};
+use m3d_tech::{IlvSpec, Pdk, RramCellModel};
+use serde::Value;
+
+use crate::registry::{
+    obj, param_u64, reject_unknown, resnet_points, Case, CaseCtx, CaseError, CaseOutcome,
+    ParamField,
+};
+
+// --- fig10_relaxation ---------------------------------------------------
+
+/// `fig10_relaxation` — Fig. 10b–c: parallel-CS counts and EDP benefit
+/// under relaxed selector widths δ (Case 1, Observation 7).
+pub struct Fig10RelaxationCase;
+
+impl Case for Fig10RelaxationCase {
+    fn name(&self) -> &'static str {
+        "fig10_relaxation"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Fig. 10b-c selector-width relaxation (Case 1, Obs. 7)"
+    }
+
+    fn validate(&self, _quick: bool, params: &Value) -> Result<(), CaseError> {
+        reject_unknown(params, &[])
+    }
+
+    fn run(&self, ctx: &CaseCtx, quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
+        reject_unknown(params, &[])?;
+        let areas = BaselineAreas::case_study_64mb();
+        let base = ChipParams::baseline_2d();
+        let workload = resnet_points();
+        let deltas: &[f64] = if quick {
+            &[1.0, 1.6, 2.0, 2.5]
+        } else {
+            &[1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.8, 2.0, 2.2, 2.5]
+        };
+        let pts = ctx
+            .stage(Stage::ArchSim, "", |_| {
+                case1_sweep(&areas, &base, &workload, deltas)
+            })
+            .map_err(CaseError::internal)?;
+        Ok(CaseOutcome::fresh(obj(vec![
+            (
+                "nominal_edp_benefit",
+                Value::F64(pts.first().map_or(0.0, |p| p.edp_benefit)),
+            ),
+            (
+                "edp_benefit_at_max_delta",
+                Value::F64(pts.last().map_or(0.0, |p| p.edp_benefit)),
+            ),
+            (
+                "points",
+                Value::Array(
+                    pts.iter()
+                        .map(|p| {
+                            obj(vec![
+                                ("label", Value::Str(format!("delta={:.1}", p.delta))),
+                                ("delta", Value::F64(p.delta)),
+                                ("n_3d", Value::U64(u64::from(p.n_3d))),
+                                ("n_2d", Value::U64(u64::from(p.n_2d))),
+                                ("edp_benefit", Value::F64(p.edp_benefit)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])))
+    }
+}
+
+// --- obs3_sram_baseline -------------------------------------------------
+
+/// `obs3_sram_baseline` — Observation 3: with a 2× less dense non-BEOL
+/// baseline memory the iso-footprint M3D design hosts 16 CSs instead of
+/// 8, so the RRAM baseline is the conservative comparison.
+pub struct Obs3SramBaselineCase;
+
+impl Case for Obs3SramBaselineCase {
+    fn name(&self) -> &'static str {
+        "obs3_sram_baseline"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Obs. 3 SRAM-density 2D baseline lower-bounds the benefit"
+    }
+
+    fn validate(&self, _quick: bool, params: &Value) -> Result<(), CaseError> {
+        reject_unknown(params, &[])
+    }
+
+    fn run(&self, ctx: &CaseCtx, _quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
+        reject_unknown(params, &[])?;
+        let pdk = Pdk::m3d_130nm();
+        let base = ChipConfig::baseline_2d();
+        let resnet = models::resnet18();
+        let points = ctx.stage(Stage::ArchSim, "density", |_| {
+            let mut out = Vec::new();
+            for (name, density) in [("rram_beol", 1.0), ("sram_2x", 2.0)] {
+                let dp = if density > 1.0 {
+                    sram_baseline_design_point(&pdk, 64, density)
+                } else {
+                    case_study_design_point(&pdk, 64)
+                }
+                .map_err(CaseError::internal)?;
+                let c = compare(&base, &dp.m3d_chip_config(), &resnet);
+                out.push((name, dp.n_cs, c.total.speedup, c.total.edp_benefit));
+            }
+            Ok::<_, CaseError>(out)
+        })?;
+        Ok(CaseOutcome::fresh(obj(vec![
+            ("edp_gain_over_rram", Value::F64(points[1].3 / points[0].3)),
+            (
+                "points",
+                Value::Array(
+                    points
+                        .iter()
+                        .map(|&(name, n_cs, speedup, edp)| {
+                            obj(vec![
+                                ("name", Value::Str(name.to_owned())),
+                                ("n_cs", Value::U64(u64::from(n_cs))),
+                                ("speedup", Value::F64(speedup)),
+                                ("edp_benefit", Value::F64(edp)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])))
+    }
+}
+
+// --- obs8_via_pitch -----------------------------------------------------
+
+/// `obs8_via_pitch` — Observation 8: EDP benefit vs ILV pitch (Case 2);
+/// fine-pitch ILVs preserve benefits, coarse 3D vias erode them.
+pub struct Obs8ViaPitchCase;
+
+impl Case for Obs8ViaPitchCase {
+    fn name(&self) -> &'static str {
+        "obs8_via_pitch"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Obs. 8 ILV-pitch sensitivity (Case 2)"
+    }
+
+    fn validate(&self, _quick: bool, params: &Value) -> Result<(), CaseError> {
+        reject_unknown(params, &[])
+    }
+
+    fn run(&self, ctx: &CaseCtx, quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
+        reject_unknown(params, &[])?;
+        let areas = BaselineAreas::case_study_64mb();
+        let base = ChipParams::baseline_2d();
+        let cell = RramCellModel::foundry_130nm();
+        let ilv = IlvSpec::ultra_dense_130nm();
+        let workload = resnet_points();
+        let scales: &[f64] = if quick {
+            &[1.0, 1.3, 1.6, 2.0]
+        } else {
+            &[1.0, 1.1, 1.2, 1.3, 1.4, 1.6, 1.8, 2.0, 2.5]
+        };
+        let points = ctx.stage(Stage::ArchSim, "pitch-sweep", |_| {
+            par_map(scales, |&scale| {
+                case2_via_pitch(&areas, &base, &workload, &cell, &ilv, scale)
+                    .map(|p| (scale, p.n_3d, p.edp_benefit))
+                    .map_err(CaseError::internal)
+            })
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()
+        })?;
+        Ok(CaseOutcome::fresh(obj(vec![
+            (
+                "via_pitch_crossover",
+                Value::F64(cell.via_pitch_crossover(&ilv, 1.0)),
+            ),
+            (
+                "points",
+                Value::Array(
+                    points
+                        .iter()
+                        .map(|&(scale, n_3d, edp)| {
+                            obj(vec![
+                                ("label", Value::Str(format!("x{scale:.1}"))),
+                                ("pitch_scale", Value::F64(scale)),
+                                ("n_3d", Value::U64(u64::from(n_3d))),
+                                ("edp_benefit", Value::F64(edp)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])))
+    }
+}
+
+// --- future_upper_logic -------------------------------------------------
+
+/// `future_upper_logic` — Case 4: full CMOS logic on the upper M3D
+/// layers (the paper's conclusion point 2), swept over upper-tier
+/// area/performance relaxation factors.
+pub struct FutureUpperLogicCase;
+
+const UPPER_DELTAS: [(f64, f64); 4] = [(1.0, 1.0), (1.3, 1.3), (1.6, 1.6), (2.5, 2.0)];
+
+impl Case for FutureUpperLogicCase {
+    fn name(&self) -> &'static str {
+        "future_upper_logic"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Case 4 upper-tier CMOS logic forward projection"
+    }
+
+    fn validate(&self, _quick: bool, params: &Value) -> Result<(), CaseError> {
+        reject_unknown(params, &[])
+    }
+
+    fn run(&self, ctx: &CaseCtx, _quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
+        reject_unknown(params, &[])?;
+        let areas = BaselineAreas::case_study_64mb();
+        let base = ChipParams::baseline_2d();
+        let workload = resnet_points();
+        let (selector_only, rows) = ctx.stage(Stage::ArchSim, "", |_| {
+            // Sec.-II selector-only reference under the same banked
+            // semantics.
+            let p3 = ChipParams {
+                n_cs: 8,
+                bandwidth: base.bandwidth * 8.0,
+                traffic: MemoryTraffic::Partitioned,
+                idle_gated: true,
+                ..base
+            };
+            let selector_only = workload_edp_benefit(&base, &p3, &workload);
+            let rows = UPPER_DELTAS
+                .iter()
+                .map(|&(da, dp)| {
+                    case4_upper_logic(&areas, &base, &workload, da, dp)
+                        .map(|p| (da, dp, p))
+                        .map_err(CaseError::internal)
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok::<_, CaseError>((selector_only, rows))
+        })?;
+        Ok(CaseOutcome::fresh(obj(vec![
+            ("selector_only_edp", Value::F64(selector_only)),
+            (
+                "points",
+                Value::Array(
+                    rows.iter()
+                        .map(|(da, dp, p)| {
+                            obj(vec![
+                                ("label", Value::Str(format!("da={da} dp={dp}"))),
+                                ("delta_area", Value::F64(*da)),
+                                ("delta_perf", Value::F64(*dp)),
+                                ("n_si", Value::U64(u64::from(p.n_si))),
+                                ("n_upper", Value::U64(u64::from(p.n_upper))),
+                                ("n_effective", Value::F64(p.n_effective)),
+                                ("edp_benefit", Value::F64(p.edp_benefit)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])))
+    }
+}
+
+// --- sensitivity_analysis -----------------------------------------------
+
+/// `sensitivity_analysis` — Monte-Carlo robustness of the headline EDP
+/// benefit under ±20 % coherent perturbation of the technology
+/// constants, per evaluation model.
+pub struct SensitivityAnalysisCase;
+
+/// Typed parameters of [`SensitivityAnalysisCase`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SensitivityAnalysisParams {
+    /// Monte-Carlo samples per workload.
+    pub samples: u32,
+    /// Deterministic perturbation seed.
+    pub seed: u64,
+}
+
+impl SensitivityAnalysisParams {
+    /// Parses and range-checks the wire params.
+    ///
+    /// # Errors
+    ///
+    /// [`m3d_core::ErrorCode::BadRequest`]-coded on malformed or
+    /// out-of-range values.
+    pub fn parse(quick: bool, params: &Value) -> Result<Self, CaseError> {
+        reject_unknown(params, &["samples", "seed"])?;
+        Ok(Self {
+            samples: u32::try_from(param_u64(
+                params,
+                "samples",
+                if quick { 200 } else { 2000 },
+                50_000,
+            )?)
+            .expect("bounded")
+            .max(1),
+            seed: param_u64(params, "seed", 2023, u64::MAX)?,
+        })
+    }
+}
+
+impl Case for SensitivityAnalysisCase {
+    fn name(&self) -> &'static str {
+        "sensitivity_analysis"
+    }
+
+    fn summary(&self) -> &'static str {
+        "±20 % Monte-Carlo robustness of the EDP benefit"
+    }
+
+    fn param_fields(&self) -> &'static [ParamField] {
+        &[
+            ParamField {
+                name: "samples",
+                default: "200 (quick) / 2000",
+            },
+            ParamField {
+                name: "seed",
+                default: "2023",
+            },
+        ]
+    }
+
+    fn validate(&self, quick: bool, params: &Value) -> Result<(), CaseError> {
+        SensitivityAnalysisParams::parse(quick, params).map(drop)
+    }
+
+    fn run(&self, ctx: &CaseCtx, quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
+        let p = SensitivityAnalysisParams::parse(quick, params)?;
+        let base = ChipParams::baseline_2d();
+        let m3d = ChipParams::m3d(8);
+        let results = ctx.stage(Stage::ArchSim, "", |_| {
+            models::evaluation_models()
+                .into_iter()
+                .map(|w| {
+                    let points: Vec<WorkloadPoint> = w
+                        .layers
+                        .iter()
+                        .map(|l| WorkloadPoint::from_layer(l, 8, 16))
+                        .collect();
+                    let r = edp_benefit_sensitivity(
+                        &base,
+                        &m3d,
+                        &points,
+                        &Perturbation::twenty_percent(),
+                        p.samples as usize,
+                        p.seed,
+                    )
+                    .map_err(CaseError::internal)?;
+                    Ok::<(String, SensitivityResult), CaseError>((w.name.clone(), r))
+                })
+                .collect::<Result<Vec<_>, _>>()
+        })?;
+        Ok(CaseOutcome::fresh(obj(vec![
+            ("samples", Value::U64(u64::from(p.samples))),
+            ("seed", Value::U64(p.seed)),
+            (
+                "workloads",
+                Value::Array(
+                    results
+                        .iter()
+                        .map(|(name, r)| {
+                            obj(vec![
+                                ("name", Value::Str(name.clone())),
+                                ("nominal", Value::F64(r.nominal)),
+                                ("mean", Value::F64(r.mean)),
+                                ("std_dev", Value::F64(r.std_dev)),
+                                ("p5", Value::F64(r.p5)),
+                                ("p95", Value::F64(r.p95)),
+                                ("min", Value::F64(r.min)),
+                                ("max", Value::F64(r.max)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])))
+    }
+}

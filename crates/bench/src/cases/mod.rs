@@ -1,0 +1,50 @@
+//! The paper experiments as registered [`Case`](crate::registry::Case)
+//! impls: every table and figure the binaries in `src/bin/` regenerate
+//! lives here, so the registry is the single source of truth for case
+//! names, parameter schemas and JSON payloads. The binaries are thin
+//! drivers over [`crate::cli::case_main`]; the `m3d-serve` service
+//! dispatches the same impls over the wire.
+//!
+//! Cases run against the shared caches in a
+//! [`CaseCtx`](crate::registry::CaseCtx) and report their coarse stages
+//! through [`CaseCtx::stage`](crate::registry::CaseCtx::stage), so CLI
+//! runs carry the `--trace-json` span tree while service runs execute
+//! detached.
+
+mod arch;
+mod explore;
+mod flows;
+mod thermal;
+
+pub use arch::{
+    AblationBatchCase, AblationDataflowCase, AblationPrecisionCase, ExtensionMobilenetCase,
+    Fig5ModelsCase, Fig7ArchitecturesCase, Fig8BwCsCase, ProjectionNodesCase, Table1Params,
+    Table1Resnet18Case,
+};
+pub use explore::{
+    Fig10RelaxationCase, FutureUpperLogicCase, Obs3SramBaselineCase, Obs8ViaPitchCase,
+    SensitivityAnalysisCase, SensitivityAnalysisParams,
+};
+pub use flows::{
+    AblationCongestionCase, CornersSignoffCase, CornersSignoffParams, Fig2PhysicalDesignCase,
+    FoldingAblationCase,
+};
+pub use thermal::Obs10ThermalCase;
+
+use m3d_netlist::{CsConfig, PeConfig};
+
+/// The scaled-down (quick) vs paper-sized computing sub-system shared by
+/// every flow-running experiment.
+pub(crate) fn case_cs(quick: bool) -> CsConfig {
+    if quick {
+        CsConfig {
+            rows: 4,
+            cols: 4,
+            pe: PeConfig::default(),
+            global_buffer_kb: 64,
+            local_buffer_kb: 8,
+        }
+    } else {
+        CsConfig::default()
+    }
+}

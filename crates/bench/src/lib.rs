@@ -1,79 +1,50 @@
 //! # m3d-bench — the experiment harness
 //!
 //! One binary per table/figure of the paper (see `src/bin/`), plus
-//! Criterion benches of the computational kernels (`benches/`). Shared
-//! table-printing helpers and the [`cli::RunArgs`] driver for the
-//! engine-ported binaries live here.
+//! Criterion benches of the computational kernels (`benches/`). Every
+//! binary is a thin driver over [`cli::case_main`]: the experiment
+//! itself is a typed [`registry::Case`] registered in
+//! [`registry::registry`], which is the single source of truth for case
+//! names, parameter schemas and JSON payloads — the same impls serve
+//! CLI runs and `m3d-serve` wire requests.
 //!
-//! Binaries marked **engine** run on the unified experiment engine
+//! All binaries run on the unified experiment engine
 //! (`m3d_core::engine`): they accept `--json <path>` (deterministic
-//! [`m3d_core::engine::ExperimentReport`] artifact) and
-//! `--trace-json <path>` (deterministic per-stage span trace with cache
-//! provenance), share flow results through the content-keyed flow
-//! cache, fan sweeps across cores (override the worker count with the
-//! `M3D_JOBS` environment variable), and print a per-stage
-//! `stage, wall_ms, provenance` summary to stderr on exit.
+//! [`m3d_core::engine::ExperimentReport`] artifact), `--trace-json
+//! <path>` (deterministic per-stage span trace with cache provenance),
+//! `--metrics-json`/`--metrics-text` (process recorder), and
+//! `--set key=value` typed parameters; they share flow results through
+//! the content-keyed flow cache, fan sweeps across cores (override the
+//! worker count with the `M3D_JOBS` environment variable), and print a
+//! per-stage `stage, wall_ms, provenance` summary to stderr on exit.
 //!
-//! | Binary | Regenerates | Engine |
+//! | Binary | Case | Regenerates |
 //! |---|---|---|
-//! | `fig2_physical_design` | Fig. 2 post-route 2D-vs-M3D comparison (+ Obs. 2) | engine |
-//! | `fig5_models` | Fig. 5 speedup/energy/EDP for AlexNet, VGG-16, ResNet-18/152 | engine |
-//! | `table1_resnet18` | Table I per-layer ResNet-18 benefits | engine |
-//! | `fig7_architectures` | Fig. 7 Table-II architectures: analytical vs mapper | engine |
-//! | `fig8_bw_cs` | Fig. 8 bandwidth × CS grid (+ Obs. 5) | engine |
-//! | `fig9_capacity` | Fig. 9 RRAM-capacity sweep (+ Obs. 6) | engine |
-//! | `fig10_relaxation` | Fig. 10b–c selector-width relaxation (+ Obs. 7) | engine |
-//! | `fig10d_tiers` | Fig. 10d interleaved tiers (+ Obs. 9) | engine |
-//! | `obs3_sram_baseline` | Obs. 3 SRAM-density baseline | engine |
-//! | `obs8_via_pitch` | Obs. 8 ILV-pitch sweep | engine |
-//! | `obs10_thermal` | Obs. 10 thermal tier cap: eq. 17 vs voxelized RC grid | engine |
-//! | `folding_ablation` | prior-work folding baseline (paper refs. 3 and 4, ≈ 1.1–1.4×) | |
-//! | `ablation_dataflow` | weight- vs output-stationary dataflow | engine |
-//! | `ablation_precision` | 4/8/16-bit weights | engine |
-//! | `ablation_batch` | batch pipelining across the CSs | engine |
-//! | `ablation_congestion` | under-array routing congestion | |
-//! | `sensitivity_analysis` | ±20 % Monte-Carlo robustness | engine |
-//! | `future_upper_logic` | Case 4: full CMOS on the upper layers | |
-//! | `projection_nodes` | 130→7 nm technology projections | engine |
-//! | `extension_mobilenet` | MobileNetV1 stress coverage | |
-//! | `corners_signoff` | SS/TT/FF multi-corner sign-off | |
+//! | `fig2_physical_design` | `fig2_physical_design` | Fig. 2 post-route 2D-vs-M3D comparison (+ Obs. 2) |
+//! | `fig5_models` | `fig5_models` | Fig. 5 speedup/energy/EDP for AlexNet, VGG-16, ResNet-18/152 |
+//! | `table1_resnet18` | `table1_resnet18` | Table I per-layer ResNet-18 benefits |
+//! | `fig7_architectures` | `fig7_architectures` | Fig. 7 Table-II architectures: analytical vs mapper |
+//! | `fig8_bw_cs` | `fig8_bw_cs` | Fig. 8 bandwidth × CS grid (+ Obs. 5) |
+//! | `fig9_capacity` | `capacity_sweep` | Fig. 9 RRAM-capacity sweep (+ Obs. 6) |
+//! | `fig10_relaxation` | `fig10_relaxation` | Fig. 10b–c selector-width relaxation (+ Obs. 7) |
+//! | `fig10d_tiers` | `tier_sweep` | Fig. 10d interleaved tiers (+ Obs. 9) |
+//! | `obs3_sram_baseline` | `obs3_sram_baseline` | Obs. 3 SRAM-density baseline |
+//! | `obs8_via_pitch` | `obs8_via_pitch` | Obs. 8 ILV-pitch sweep |
+//! | `obs10_thermal` | `obs10_thermal` | Obs. 10 thermal tier cap: eq. 17 vs voxelized RC grid |
+//! | `folding_ablation` | `folding_ablation` | prior-work folding baseline (paper refs. 3 and 4, ≈ 1.1–1.4×) |
+//! | `ablation_dataflow` | `ablation_dataflow` | weight- vs output-stationary dataflow |
+//! | `ablation_precision` | `ablation_precision` | 4/8/16-bit weights |
+//! | `ablation_batch` | `ablation_batch` | batch pipelining across the CSs |
+//! | `ablation_congestion` | `ablation_congestion` | under-array routing congestion |
+//! | `sensitivity_analysis` | `sensitivity_analysis` | ±20 % Monte-Carlo robustness |
+//! | `future_upper_logic` | `future_upper_logic` | Case 4: full CMOS on the upper layers |
+//! | `projection_nodes` | `projection_nodes` | 130→7 nm technology projections |
+//! | `extension_mobilenet` | `extension_mobilenet` | MobileNetV1 stress coverage |
+//! | `corners_signoff` | `corners_signoff` | SS/TT/FF multi-corner sign-off |
 
+pub mod cases;
 pub mod cli;
 pub mod registry;
 
 pub use cli::RunArgs;
-pub use registry::{Case, CaseCtx, CaseError, CaseOutcome};
-
-/// Prints a horizontal rule sized for the standard table width.
-pub fn rule(width: usize) {
-    println!("{}", "-".repeat(width));
-}
-
-/// Formats a multiplier, e.g. `5.66x`.
-pub fn x(v: f64) -> String {
-    format!("{v:.2}x")
-}
-
-/// Formats a percentage.
-pub fn pct(v: f64) -> String {
-    format!("{:.2} %", 100.0 * v)
-}
-
-/// Standard experiment header with paper cross-reference.
-pub fn header(title: &str, paper_ref: &str) {
-    rule(72);
-    println!("{title}");
-    println!("reproduces: {paper_ref}");
-    rule(72);
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn formatting() {
-        assert_eq!(x(5.664), "5.66x");
-        assert_eq!(pct(0.0123), "1.23 %");
-    }
-}
+pub use registry::{Case, CaseCtx, CaseError, CaseOutcome, ParamField};

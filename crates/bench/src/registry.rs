@@ -17,9 +17,11 @@
 //! identical parameters — across runs, worker counts and server
 //! instances (an acceptance criterion of the service).
 
+use std::sync::Mutex;
+
 use m3d_arch::models;
 use m3d_core::cases::BaselineAreas;
-use m3d_core::engine::{FlowCache, FlowFetch};
+use m3d_core::engine::{FlowCache, FlowFetch, Pipeline, Stage, StageCtx};
 use m3d_core::explore::{capacity_sweep, tier_sweep};
 use m3d_core::framework::{ChipParams, WorkloadPoint};
 use m3d_core::sensitivity::{edp_benefit_sensitivity, Perturbation};
@@ -31,12 +33,50 @@ use m3d_tech::{LayerStack, Pdk};
 use m3d_thermal::{GridConfig, PowerMap, SolverConfig, ThermalCache};
 use serde::Value;
 
-/// Shared evaluation backend a case runs against.
+use crate::cases;
+
+/// Shared evaluation backend a case runs against, optionally carrying a
+/// [`Pipeline`] to instrument the run's coarse stages.
 pub struct CaseCtx<'a> {
     /// Process-wide flow memo (optionally disk-backed, `M3D_CACHE_DIR`).
     pub flows: &'a FlowCache,
     /// Process-wide steady-solve memo.
     pub thermals: &'a ThermalCache,
+    /// Stage instrumentation sink, when the caller collects one (the CLI
+    /// driver does; the service runs cases detached).
+    pipeline: Option<&'a Mutex<Pipeline>>,
+}
+
+impl<'a> CaseCtx<'a> {
+    /// A context over the shared caches, with no stage instrumentation.
+    pub fn new(flows: &'a FlowCache, thermals: &'a ThermalCache) -> Self {
+        Self {
+            flows,
+            thermals,
+            pipeline: None,
+        }
+    }
+
+    /// Attaches a pipeline: subsequent [`CaseCtx::stage`] calls record
+    /// timings and spans on it.
+    #[must_use]
+    pub fn with_pipeline(mut self, pipeline: &'a Mutex<Pipeline>) -> Self {
+        self.pipeline = Some(pipeline);
+        self
+    }
+
+    /// Runs `f` as an instrumented `stage` when a pipeline is attached,
+    /// or against a detached [`StageCtx`] (marks and spans dropped)
+    /// otherwise. Stages must not nest — the pipeline is mutex-guarded.
+    pub fn stage<T>(&self, stage: Stage, label: &str, f: impl FnOnce(&mut StageCtx) -> T) -> T {
+        match self.pipeline {
+            Some(pipe) => pipe
+                .lock()
+                .expect("pipeline poisoned")
+                .stage(stage, label, f),
+            None => f(&mut StageCtx::detached()),
+        }
+    }
 }
 
 /// A finished case run.
@@ -52,7 +92,7 @@ pub struct CaseOutcome {
 }
 
 impl CaseOutcome {
-    fn fresh(result: Value) -> Self {
+    pub(crate) fn fresh(result: Value) -> Self {
         Self {
             result,
             cache_hit: false,
@@ -73,14 +113,14 @@ pub struct CaseError {
 }
 
 impl CaseError {
-    fn bad_request(message: impl Into<String>) -> Self {
+    pub(crate) fn bad_request(message: impl Into<String>) -> Self {
         Self {
             code: ErrorCode::BadRequest,
             message: message.into(),
         }
     }
 
-    fn internal(err: impl std::fmt::Display) -> Self {
+    pub(crate) fn internal(err: impl std::fmt::Display) -> Self {
         Self {
             code: ErrorCode::Internal,
             message: err.to_string(),
@@ -96,6 +136,15 @@ impl std::fmt::Display for CaseError {
 
 impl std::error::Error for CaseError {}
 
+/// One declared parameter of a case, for registry-served listings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamField {
+    /// Wire field name.
+    pub name: &'static str,
+    /// Human-readable default (quick-mode value where they differ).
+    pub default: &'static str,
+}
+
 /// One registered experiment: a wire name, a summary, and a run method
 /// that parses its typed params from the wire `Value` and executes
 /// against the shared caches.
@@ -110,6 +159,20 @@ pub trait Case: Sync {
     /// One-line description for listings.
     fn summary(&self) -> &'static str;
 
+    /// The case's parameter schema, for the `cases` admin listing.
+    fn param_fields(&self) -> &'static [ParamField] {
+        &[]
+    }
+
+    /// Parses `params` without running anything: the cheap front-door
+    /// check the service applies before a request occupies a worker.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::BadRequest`]-coded for malformed, unknown or
+    /// out-of-range parameters.
+    fn validate(&self, quick: bool, params: &Value) -> Result<(), CaseError>;
+
     /// Parses `params` (quick-mode defaults when `quick`) and runs the
     /// experiment against the shared caches in `ctx`.
     ///
@@ -121,7 +184,8 @@ pub trait Case: Sync {
     fn run(&self, ctx: &CaseCtx, quick: bool, params: &Value) -> Result<CaseOutcome, CaseError>;
 }
 
-/// The dispatch table, in stable order.
+/// The dispatch table, in stable order: the six service primitives
+/// first, then the paper experiments in their `EXPERIMENTS.md` order.
 pub fn registry() -> &'static [&'static dyn Case] {
     &[
         &PdFlowCase,
@@ -130,6 +194,25 @@ pub fn registry() -> &'static [&'static dyn Case] {
         &SensitivityCase,
         &ThermalCapCase,
         &SleepCase,
+        &cases::Fig2PhysicalDesignCase,
+        &cases::Fig5ModelsCase,
+        &cases::Table1Resnet18Case,
+        &cases::Fig7ArchitecturesCase,
+        &cases::Fig8BwCsCase,
+        &cases::Fig10RelaxationCase,
+        &cases::Obs3SramBaselineCase,
+        &cases::Obs8ViaPitchCase,
+        &cases::Obs10ThermalCase,
+        &cases::ProjectionNodesCase,
+        &cases::AblationDataflowCase,
+        &cases::AblationPrecisionCase,
+        &cases::AblationBatchCase,
+        &cases::AblationCongestionCase,
+        &cases::SensitivityAnalysisCase,
+        &cases::FoldingAblationCase,
+        &cases::CornersSignoffCase,
+        &cases::ExtensionMobilenetCase,
+        &cases::FutureUpperLogicCase,
     ]
 }
 
@@ -140,14 +223,42 @@ pub fn find(name: &str) -> Option<&'static dyn Case> {
 
 // --- parameter extraction ----------------------------------------------
 
-fn field<'v>(params: &'v Value, key: &str) -> Option<&'v Value> {
+pub(crate) fn field<'v>(params: &'v Value, key: &str) -> Option<&'v Value> {
     match params {
         Value::Object(_) => params.get(key),
         _ => None,
     }
 }
 
-fn param_u64(params: &Value, key: &str, default: u64, max: u64) -> Result<u64, CaseError> {
+/// Rejects params that are not `Null`/an object, and object keys outside
+/// `allowed` — so typos surface as [`ErrorCode::BadRequest`] on the wire
+/// instead of silently running defaults.
+pub(crate) fn reject_unknown(params: &Value, allowed: &[&str]) -> Result<(), CaseError> {
+    match params {
+        Value::Null => Ok(()),
+        Value::Object(fields) => {
+            for (key, _) in fields {
+                if !allowed.contains(&key.as_str()) {
+                    return Err(CaseError::bad_request(format!(
+                        "unknown parameter `{key}` (expected one of: {})",
+                        allowed.join(", ")
+                    )));
+                }
+            }
+            Ok(())
+        }
+        _ => Err(CaseError::bad_request(
+            "params must be a JSON object or null",
+        )),
+    }
+}
+
+pub(crate) fn param_u64(
+    params: &Value,
+    key: &str,
+    default: u64,
+    max: u64,
+) -> Result<u64, CaseError> {
     match field(params, key) {
         None => Ok(default),
         Some(v) => match v.as_u64() {
@@ -162,7 +273,12 @@ fn param_u64(params: &Value, key: &str, default: u64, max: u64) -> Result<u64, C
     }
 }
 
-fn param_f64(params: &Value, key: &str, default: f64, range: (f64, f64)) -> Result<f64, CaseError> {
+pub(crate) fn param_f64(
+    params: &Value,
+    key: &str,
+    default: f64,
+    range: (f64, f64),
+) -> Result<f64, CaseError> {
     match field(params, key) {
         None => Ok(default),
         Some(v) => match v.as_f64() {
@@ -175,11 +291,11 @@ fn param_f64(params: &Value, key: &str, default: f64, range: (f64, f64)) -> Resu
     }
 }
 
-fn obj(fields: Vec<(&str, Value)>) -> Value {
+pub(crate) fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
 }
 
-fn resnet_points() -> Vec<WorkloadPoint> {
+pub(crate) fn resnet_points() -> Vec<WorkloadPoint> {
     models::resnet18()
         .layers
         .iter()
@@ -218,6 +334,10 @@ impl PdFlowParams {
     /// [`ErrorCode::BadRequest`]-coded on malformed or out-of-range
     /// values.
     pub fn parse(quick: bool, params: &Value) -> Result<Self, CaseError> {
+        reject_unknown(
+            params,
+            &["n_cs", "rows", "cols", "global_buffer_kb", "activity_pct"],
+        )?;
         let default_dim = if quick {
             4
         } else {
@@ -280,12 +400,49 @@ impl Case for PdFlowCase {
         "RTL-to-GDS flow of one configuration (shared flow cache)"
     }
 
+    fn param_fields(&self) -> &'static [ParamField] {
+        &[
+            ParamField {
+                name: "n_cs",
+                default: "0",
+            },
+            ParamField {
+                name: "rows",
+                default: "4",
+            },
+            ParamField {
+                name: "cols",
+                default: "4",
+            },
+            ParamField {
+                name: "global_buffer_kb",
+                default: "64",
+            },
+            ParamField {
+                name: "activity_pct",
+                default: "flow default",
+            },
+        ]
+    }
+
+    fn validate(&self, quick: bool, params: &Value) -> Result<(), CaseError> {
+        PdFlowParams::parse(quick, params).map(drop)
+    }
+
     fn run(&self, ctx: &CaseCtx, quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
         let cfg = PdFlowParams::parse(quick, params)?.flow_config();
-        let (report, fetch): (_, FlowFetch) = ctx
-            .flows
-            .run_report_coalesced(&cfg)
-            .map_err(CaseError::internal)?;
+        let (report, fetch): (_, FlowFetch) = ctx.stage(Stage::PdFlow, "", |sctx| {
+            let out = ctx.flows.run_report_coalesced(&cfg);
+            if let Ok((_, fetch)) = &out {
+                sctx.mark(fetch.provenance());
+                if !(fetch.cache_hit || fetch.coalesced) {
+                    if let Some(sub) = ctx.flows.sub_span(&cfg) {
+                        sctx.child_span((*sub).clone());
+                    }
+                }
+            }
+            out.map_err(CaseError::internal)
+        })?;
         let r = &*report;
         Ok(CaseOutcome {
             result: obj(vec![
@@ -327,6 +484,7 @@ impl TierSweepParams {
     /// [`ErrorCode::BadRequest`]-coded on malformed or out-of-range
     /// values.
     pub fn parse(quick: bool, params: &Value) -> Result<Self, CaseError> {
+        reject_unknown(params, &["max_pairs"])?;
         let default_pairs = if quick { 4 } else { 8 };
         Ok(Self {
             max_pairs: u32::try_from(param_u64(params, "max_pairs", default_pairs, 16)?)
@@ -334,6 +492,21 @@ impl TierSweepParams {
                 .max(1),
         })
     }
+}
+
+fn tier_points(points: &[m3d_core::cases::TierPoint]) -> Value {
+    Value::Array(
+        points
+            .iter()
+            .map(|p| {
+                obj(vec![
+                    ("tiers", Value::U64(u64::from(p.tiers))),
+                    ("n_cs", Value::U64(u64::from(p.n_cs))),
+                    ("edp_benefit", Value::F64(p.edp_benefit)),
+                ])
+            })
+            .collect(),
+    )
 }
 
 impl Case for TierSweepCase {
@@ -345,32 +518,40 @@ impl Case for TierSweepCase {
         "Fig. 10d interleaved tier-pair exploration sweep"
     }
 
-    fn run(&self, _ctx: &CaseCtx, quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
+    fn param_fields(&self) -> &'static [ParamField] {
+        &[ParamField {
+            name: "max_pairs",
+            default: "4 (quick) / 8",
+        }]
+    }
+
+    fn validate(&self, quick: bool, params: &Value) -> Result<(), CaseError> {
+        TierSweepParams::parse(quick, params).map(drop)
+    }
+
+    fn run(&self, ctx: &CaseCtx, quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
         let p = TierSweepParams::parse(quick, params)?;
-        let points = tier_sweep(
-            &BaselineAreas::case_study_64mb(),
-            &ChipParams::baseline_2d(),
-            &resnet_points(),
-            p.max_pairs,
-            None,
-        );
+        let areas = BaselineAreas::case_study_64mb();
+        let base = ChipParams::baseline_2d();
+        let layer_points = vec![WorkloadPoint::from_layer(
+            &m3d_arch::Layer::conv("L4.1 CONV", 512, 512, 3, (7, 7), 1),
+            8,
+            16,
+        )];
+        let (whole, layer) = ctx.stage(Stage::ArchSim, "", |_| {
+            (
+                tier_sweep(&areas, &base, &resnet_points(), p.max_pairs, None),
+                tier_sweep(&areas, &base, &layer_points, p.max_pairs, None),
+            )
+        });
+        let last_edp =
+            |pts: &[m3d_core::cases::TierPoint]| pts.last().map_or(0.0, |pt| pt.edp_benefit);
         Ok(CaseOutcome::fresh(obj(vec![
             ("max_pairs", Value::U64(u64::from(p.max_pairs))),
-            (
-                "points",
-                Value::Array(
-                    points
-                        .iter()
-                        .map(|p| {
-                            obj(vec![
-                                ("tiers", Value::U64(u64::from(p.tiers))),
-                                ("n_cs", Value::U64(u64::from(p.n_cs))),
-                                ("edp_benefit", Value::F64(p.edp_benefit)),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
+            ("plateau_edp_benefit", Value::F64(last_edp(&whole))),
+            ("layer_max_edp_benefit", Value::F64(last_edp(&layer))),
+            ("points", tier_points(&whole)),
+            ("layer_points", tier_points(&layer)),
         ])))
     }
 }
@@ -395,6 +576,7 @@ impl CapacitySweepParams {
     /// [`ErrorCode::BadRequest`]-coded on malformed or out-of-range
     /// values.
     pub fn parse(quick: bool, params: &Value) -> Result<Self, CaseError> {
+        reject_unknown(params, &["max_capacity_mb"])?;
         Ok(Self {
             max_capacity_mb: param_u64(
                 params,
@@ -424,26 +606,49 @@ impl Case for CapacitySweepCase {
         "Fig. 9 RRAM-capacity ladder"
     }
 
-    fn run(&self, _ctx: &CaseCtx, quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
+    fn param_fields(&self) -> &'static [ParamField] {
+        &[ParamField {
+            name: "max_capacity_mb",
+            default: "32 (quick) / 128",
+        }]
+    }
+
+    fn validate(&self, quick: bool, params: &Value) -> Result<(), CaseError> {
+        CapacitySweepParams::parse(quick, params).map(drop)
+    }
+
+    fn run(&self, ctx: &CaseCtx, quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
         let p = CapacitySweepParams::parse(quick, params)?;
-        let points = capacity_sweep(&Pdk::m3d_130nm(), &p.ladder(), &models::resnet18())
-            .map_err(CaseError::internal)?;
-        Ok(CaseOutcome::fresh(obj(vec![(
-            "points",
-            Value::Array(
-                points
-                    .iter()
-                    .map(|p| {
-                        obj(vec![
-                            ("capacity_mb", Value::U64(p.capacity_mb)),
-                            ("n_cs", Value::U64(u64::from(p.n_cs))),
-                            ("speedup", Value::F64(p.speedup)),
-                            ("edp_benefit", Value::F64(p.edp_benefit)),
-                        ])
-                    })
-                    .collect(),
+        let points = ctx.stage(Stage::ArchSim, "", |_| {
+            capacity_sweep(&Pdk::m3d_130nm(), &p.ladder(), &models::resnet18())
+                .map_err(CaseError::internal)
+        })?;
+        let edp_at = |mb: u64| {
+            points
+                .iter()
+                .find(|pt| pt.capacity_mb == mb)
+                .map_or(0.0, |pt| pt.edp_benefit)
+        };
+        Ok(CaseOutcome::fresh(obj(vec![
+            ("edp_64mb", Value::F64(edp_at(64))),
+            ("edp_128mb", Value::F64(edp_at(128))),
+            (
+                "points",
+                Value::Array(
+                    points
+                        .iter()
+                        .map(|p| {
+                            obj(vec![
+                                ("capacity_mb", Value::U64(p.capacity_mb)),
+                                ("n_cs", Value::U64(u64::from(p.n_cs))),
+                                ("speedup", Value::F64(p.speedup)),
+                                ("edp_benefit", Value::F64(p.edp_benefit)),
+                            ])
+                        })
+                        .collect(),
+                ),
             ),
-        )])))
+        ])))
     }
 }
 
@@ -470,6 +675,7 @@ impl SensitivityParams {
     /// [`ErrorCode::BadRequest`]-coded on malformed or out-of-range
     /// values.
     pub fn parse(quick: bool, params: &Value) -> Result<Self, CaseError> {
+        reject_unknown(params, &["samples", "seed"])?;
         Ok(Self {
             samples: param_u64(params, "samples", if quick { 100 } else { 1000 }, 50_000)?.max(1)
                 as usize,
@@ -487,17 +693,36 @@ impl Case for SensitivityCase {
         "Monte-Carlo EDP-benefit robustness (seeded, deterministic)"
     }
 
-    fn run(&self, _ctx: &CaseCtx, quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
+    fn param_fields(&self) -> &'static [ParamField] {
+        &[
+            ParamField {
+                name: "samples",
+                default: "100 (quick) / 1000",
+            },
+            ParamField {
+                name: "seed",
+                default: "2023",
+            },
+        ]
+    }
+
+    fn validate(&self, quick: bool, params: &Value) -> Result<(), CaseError> {
+        SensitivityParams::parse(quick, params).map(drop)
+    }
+
+    fn run(&self, ctx: &CaseCtx, quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
         let p = SensitivityParams::parse(quick, params)?;
-        let r = edp_benefit_sensitivity(
-            &ChipParams::baseline_2d(),
-            &ChipParams::m3d(8),
-            &resnet_points(),
-            &Perturbation::twenty_percent(),
-            p.samples,
-            p.seed,
-        )
-        .map_err(CaseError::internal)?;
+        let r = ctx.stage(Stage::ArchSim, "", |_| {
+            edp_benefit_sensitivity(
+                &ChipParams::baseline_2d(),
+                &ChipParams::m3d(8),
+                &resnet_points(),
+                &Perturbation::twenty_percent(),
+                p.samples,
+                p.seed,
+            )
+            .map_err(CaseError::internal)
+        })?;
         Ok(CaseOutcome::fresh(obj(vec![
             ("samples", Value::U64(r.samples as u64)),
             ("seed", Value::U64(p.seed)),
@@ -540,6 +765,7 @@ impl ThermalCapParams {
     /// [`ErrorCode::BadRequest`]-coded on malformed or out-of-range
     /// values.
     pub fn parse(quick: bool, params: &Value) -> Result<Self, CaseError> {
+        reject_unknown(params, &["power_w", "max_pairs", "n_lat", "budget_k"])?;
         Ok(Self {
             power_w: param_f64(params, "power_w", 5.0, (0.01, 500.0))?,
             max_pairs: u32::try_from(param_u64(
@@ -565,6 +791,31 @@ impl Case for ThermalCapCase {
         "Obs. 10 RC-grid tier cap (shared thermal cache)"
     }
 
+    fn param_fields(&self) -> &'static [ParamField] {
+        &[
+            ParamField {
+                name: "power_w",
+                default: "5.0",
+            },
+            ParamField {
+                name: "max_pairs",
+                default: "4 (quick) / 8",
+            },
+            ParamField {
+                name: "n_lat",
+                default: "4 (quick) / 8",
+            },
+            ParamField {
+                name: "budget_k",
+                default: "60.0",
+            },
+        ]
+    }
+
+    fn validate(&self, quick: bool, params: &Value) -> Result<(), CaseError> {
+        ThermalCapParams::parse(quick, params).map(drop)
+    }
+
     fn run(&self, ctx: &CaseCtx, quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
         let p = ThermalCapParams::parse(quick, params)?;
         let stack = LayerStack::m3d_130nm();
@@ -574,28 +825,32 @@ impl Case for ThermalCapCase {
         let mut cache_hit = true;
         let mut grid_cap = 0u32;
         let mut capped = false;
-        for tiers in 1..=p.max_pairs {
-            let grid =
-                GridConfig::from_stack(&stack, die_mm2, p.n_lat, p.n_lat, tiers, 1.0, p.budget_k)
-                    .map_err(CaseError::internal)?;
-            let before = ctx.thermals.stats().hits;
-            let sol = ctx
-                .thermals
-                .solve(&grid, &PowerMap::uniform(&grid, p.power_w), &solver)
+        ctx.stage(Stage::Thermal, "", |_| -> Result<(), CaseError> {
+            for tiers in 1..=p.max_pairs {
+                let grid = GridConfig::from_stack(
+                    &stack, die_mm2, p.n_lat, p.n_lat, tiers, 1.0, p.budget_k,
+                )
                 .map_err(CaseError::internal)?;
-            cache_hit &= ctx.thermals.stats().hits > before;
-            let rise_eq17 = ThermalModel::conventional(p.power_w).temperature_rise(tiers);
-            if sol.peak_rise_k <= p.budget_k && !capped {
-                grid_cap = tiers;
-            } else {
-                capped = true;
+                let before = ctx.thermals.stats().hits;
+                let sol = ctx
+                    .thermals
+                    .solve(&grid, &PowerMap::uniform(&grid, p.power_w), &solver)
+                    .map_err(CaseError::internal)?;
+                cache_hit &= ctx.thermals.stats().hits > before;
+                let rise_eq17 = ThermalModel::conventional(p.power_w).temperature_rise(tiers);
+                if sol.peak_rise_k <= p.budget_k && !capped {
+                    grid_cap = tiers;
+                } else {
+                    capped = true;
+                }
+                rows.push(obj(vec![
+                    ("tiers", Value::U64(u64::from(tiers))),
+                    ("rise_grid_k", Value::F64(sol.peak_rise_k)),
+                    ("rise_eq17_k", Value::F64(rise_eq17)),
+                ]));
             }
-            rows.push(obj(vec![
-                ("tiers", Value::U64(u64::from(tiers))),
-                ("rise_grid_k", Value::F64(sol.peak_rise_k)),
-                ("rise_eq17_k", Value::F64(rise_eq17)),
-            ]));
-        }
+            Ok(())
+        })?;
         let eq17_cap = ThermalModel::conventional(p.power_w)
             .max_tiers()
             .map_or(Value::Null, |c| Value::U64(u64::from(c)));
@@ -636,6 +891,7 @@ impl SleepParams {
     /// [`ErrorCode::BadRequest`]-coded on malformed or out-of-range
     /// values.
     pub fn parse(params: &Value) -> Result<Self, CaseError> {
+        reject_unknown(params, &["ms", "tag"])?;
         Ok(Self {
             ms: param_u64(params, "ms", 10, 5_000)?,
             tag: param_u64(params, "tag", 0, u64::MAX)?,
@@ -650,6 +906,23 @@ impl Case for SleepCase {
 
     fn summary(&self) -> &'static str {
         "diagnostic stall (load generation and backpressure tests)"
+    }
+
+    fn param_fields(&self) -> &'static [ParamField] {
+        &[
+            ParamField {
+                name: "ms",
+                default: "10",
+            },
+            ParamField {
+                name: "tag",
+                default: "0",
+            },
+        ]
+    }
+
+    fn validate(&self, _quick: bool, params: &Value) -> Result<(), CaseError> {
+        SleepParams::parse(params).map(drop)
     }
 
     fn run(&self, _ctx: &CaseCtx, _quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
@@ -672,10 +945,7 @@ mod tests {
 
     fn run(name: &str, quick: bool, params: Value) -> Result<CaseOutcome, CaseError> {
         let (flows, thermals) = ctx_caches();
-        let ctx = CaseCtx {
-            flows: &flows,
-            thermals: &thermals,
-        };
+        let ctx = CaseCtx::new(&flows, &thermals);
         find(name).expect("registered").run(&ctx, quick, &params)
     }
 
@@ -753,10 +1023,7 @@ mod tests {
     #[test]
     fn thermal_cap_shares_the_cache() {
         let (flows, thermals) = ctx_caches();
-        let ctx = CaseCtx {
-            flows: &flows,
-            thermals: &thermals,
-        };
+        let ctx = CaseCtx::new(&flows, &thermals);
         let case = find("thermal_cap").unwrap();
         let first = case.run(&ctx, true, &Value::Null).unwrap();
         assert!(!first.cache_hit);
@@ -768,10 +1035,7 @@ mod tests {
     #[test]
     fn pd_flow_uses_the_flow_cache() {
         let (flows, thermals) = ctx_caches();
-        let ctx = CaseCtx {
-            flows: &flows,
-            thermals: &thermals,
-        };
+        let ctx = CaseCtx::new(&flows, &thermals);
         let case = find("pd_flow").unwrap();
         let first = case.run(&ctx, true, &Value::Null).unwrap();
         let second = case.run(&ctx, true, &Value::Null).unwrap();

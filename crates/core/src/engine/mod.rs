@@ -30,12 +30,14 @@
 //!   the bench binaries' `--json` flag, byte-reproducible across runs.
 
 pub mod cache;
+pub mod corners;
 pub mod inflight;
 pub mod parallel;
 pub mod report;
 pub mod stage;
 
 pub use cache::{flow_span_node, CacheStats, FlowCache, FlowFetch};
+pub use corners::{corner_sweep, CornerRun};
 pub use inflight::{Flight, InFlight};
 pub use parallel::{jobs, par_map, par_map_jobs};
 pub use report::{ExperimentReport, StageRecord};

@@ -93,6 +93,17 @@ pub struct StageCtx {
 }
 
 impl StageCtx {
+    /// A free-standing stage context bound to no [`Pipeline`]: provenance
+    /// marks and child spans are accepted and dropped. Lets pipeline-aware
+    /// code (registry cases) run unchanged where no trace is collected —
+    /// the experiment service executes cases this way.
+    pub fn detached() -> Self {
+        Self {
+            provenance: Provenance::Computed,
+            children: Vec::new(),
+        }
+    }
+
     /// Marks this stage as satisfied from an in-memory cache.
     pub fn mark_cache_hit(&mut self) {
         self.provenance = Provenance::CacheHit;

@@ -105,6 +105,15 @@ impl FlowConfig {
         self.die_override = Some(die);
         self
     }
+
+    /// Re-characterises the configuration at a process `corner`: the
+    /// PDK's libraries, supply and derates shift, everything else stays.
+    /// Corner configurations have distinct [`FlowConfig::stable_key`]s,
+    /// so SS/TT/FF runs occupy independent flow-cache entries.
+    pub fn at_corner(mut self, corner: m3d_tech::Corner) -> Self {
+        self.pdk = self.pdk.at_corner(corner);
+        self
+    }
 }
 
 /// Everything the flow produced, for export and inspection.
@@ -178,6 +187,8 @@ pub struct FlowReport {
     pub target_mhz: f64,
     /// Total power in mW at the target clock.
     pub total_power_mw: f64,
+    /// Standard-cell leakage in mW (the FF-corner sign-off number).
+    pub cell_leakage_mw: f64,
     /// Upper-tier (CNFET + RRAM layer) power in mW.
     pub upper_tier_power_mw: f64,
     /// Upper-tier share of total power.
@@ -376,6 +387,7 @@ impl Rtl2GdsFlow {
             timing_met: timing.timing_met(),
             target_mhz: floorplan.target_clock.value(),
             total_power_mw: power.total.value(),
+            cell_leakage_mw: power.cell_leakage.value(),
             upper_tier_power_mw: power.upper_tier.value(),
             upper_tier_fraction: power.upper_tier_fraction(),
             peak_density_mw_per_mm2: power.peak_density_mw_per_mm2,

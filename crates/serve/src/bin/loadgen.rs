@@ -24,7 +24,11 @@
 //! * `flow` — `pd_flow` requests cycling 4 distinct activity factors.
 //! * `sleep` — distinct-tag diagnostic stalls (queue/backpressure
 //!   exercise).
-//! * `mixed` — alternates `cold`- and `repeated`-style requests.
+//! * `mixed` — alternates `cold`- and `repeated`-style requests, and
+//!   every fourth request samples a registered case from the server's
+//!   `cases` listing (fetched once up front, walked in registry order
+//!   with default parameters) — so the mix exercises real dispatch
+//!   breadth, not just the two `sensitivity` shapes.
 //!
 //! `--expect-computed K` exits non-zero unless exactly `K` requests
 //! report `cached == coalesced == false` — the scripted regression gate
@@ -58,7 +62,7 @@ use std::time::Instant;
 
 use m3d_core::obs::validate_exposition;
 use m3d_core::ErrorCode;
-use m3d_serve::protocol::{Request, Response, CASE_METRICS, CASE_METRICS_TEXT};
+use m3d_serve::protocol::{Request, Response, CASE_CASES, CASE_METRICS, CASE_METRICS_TEXT};
 use m3d_serve::LatencySummary;
 use m3d_tech::{StableHash, StableHasher};
 use serde::Value;
@@ -160,7 +164,9 @@ fn obj(fields: Vec<(&str, Value)>) -> Value {
 }
 
 /// The deterministic request a (mix, global index) pair maps to.
-fn request_for(mix: &str, global: u64) -> Request {
+/// `cases` is the server's registered-case listing (used by `mixed`;
+/// empty for the other mixes).
+fn request_for(mix: &str, global: u64, cases: &[String]) -> Request {
     let cold = |g: u64| {
         Request::new(
             g,
@@ -195,7 +201,13 @@ fn request_for(mix: &str, global: u64) -> Request {
             obj(vec![("ms", Value::U64(20)), ("tag", Value::U64(global))]),
         ),
         "mixed" => {
-            if global % 2 == 0 {
+            // Every fourth request walks the server's own case listing
+            // (registry order) with default params; the rest alternate
+            // cold/repeated shapes.
+            if global % 4 == 3 && !cases.is_empty() {
+                let case = &cases[(global / 4) as usize % cases.len()];
+                Request::new(global, case, Value::Object(Vec::new()))
+            } else if global % 2 == 0 {
                 cold(global)
             } else {
                 repeated(global)
@@ -236,7 +248,7 @@ impl Tally {
     }
 }
 
-fn run_client(args: &Args, client: usize) -> std::io::Result<Tally> {
+fn run_client(args: &Args, client: usize, cases: &[String]) -> std::io::Result<Tally> {
     let mut tally = Tally::default();
     let stream = TcpStream::connect(&args.addr)?;
     stream.set_nodelay(true)?;
@@ -244,7 +256,7 @@ fn run_client(args: &Args, client: usize) -> std::io::Result<Tally> {
     let mut reader = BufReader::new(stream);
     for i in 0..args.requests {
         let global = (client * args.requests + i) as u64;
-        let mut req = request_for(&args.mix, global);
+        let mut req = request_for(&args.mix, global, cases);
         req.timeout_ms = args.timeout_ms;
         let start = Instant::now();
         writer.write_all(req.to_line().as_bytes())?;
@@ -370,6 +382,29 @@ fn poll_metrics(
     })
 }
 
+/// Fetches the server's registered case names (registry order) over a
+/// fresh connection, for the `mixed` mix's dispatch sampling.
+fn fetch_cases(addr: &str) -> std::io::Result<Vec<String>> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let result = poll_admin(&mut writer, &mut reader, 0, CASE_CASES)?;
+    let Some(Value::Array(items)) = result.get("cases") else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "cases result carries no `cases` array",
+        ));
+    };
+    Ok(items
+        .iter()
+        .filter_map(|item| match item.get("name") {
+            Some(Value::Str(name)) => Some(name.clone()),
+            _ => None,
+        })
+        .collect())
+}
+
 /// Fetches the server's outcome counters over a fresh connection.
 fn fetch_metrics(addr: &str) -> std::io::Result<MetricsSnap> {
     let stream = TcpStream::connect(addr)?;
@@ -423,6 +458,11 @@ fn main() -> std::io::Result<()> {
     } else {
         None
     };
+    let cases = if args.mix == "mixed" {
+        fetch_cases(&args.addr)?
+    } else {
+        Vec::new()
+    };
     let wall = Instant::now();
     let mut total = Tally::default();
     if args.clients > 0 && args.requests > 0 {
@@ -430,7 +470,8 @@ fn main() -> std::io::Result<()> {
             let handles: Vec<_> = (0..args.clients)
                 .map(|c| {
                     let args = &args;
-                    s.spawn(move || run_client(args, c))
+                    let cases = &cases;
+                    s.spawn(move || run_client(args, c, cases))
                 })
                 .collect();
             handles

@@ -30,6 +30,9 @@ pub const CASE_METRICS: &str = "metrics";
 /// Reserved case name: the same merged recorder data rendered as
 /// Prometheus text exposition format (`{"text": "..."}` result).
 pub const CASE_METRICS_TEXT: &str = "metrics_text";
+/// Reserved case name: the registered experiment cases with their
+/// parameter schemas (registry order, deterministic).
+pub const CASE_CASES: &str = "cases";
 
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]

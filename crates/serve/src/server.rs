@@ -36,8 +36,8 @@ use serde::Value;
 
 use crate::metrics::Metrics;
 use crate::protocol::{
-    key_hex, Request, Response, CASE_METRICS, CASE_METRICS_TEXT, CASE_PING, CASE_SHUTDOWN,
-    CASE_STATS,
+    key_hex, Request, Response, CASE_CASES, CASE_METRICS, CASE_METRICS_TEXT, CASE_PING,
+    CASE_SHUTDOWN, CASE_STATS,
 };
 use crate::queue::{Bounded, PushError};
 
@@ -336,8 +336,18 @@ fn dispatch(shared: &Arc<Shared>, req: Request) -> Response {
                 result: Value::Object(vec![("draining".to_owned(), Value::Bool(true))]),
             };
         }
-        other => {
-            if registry::find(other).is_none() {
+        CASE_CASES => {
+            return Response::Ok {
+                id: req.id,
+                case: req.case.clone(),
+                key: key_hex(req.key()),
+                cached: false,
+                coalesced: false,
+                result: cases_listing(),
+            };
+        }
+        other => match registry::find(other) {
+            None => {
                 return Response::Err {
                     id: req.id,
                     code: ErrorCode::UnknownCase,
@@ -345,7 +355,20 @@ fn dispatch(shared: &Arc<Shared>, req: Request) -> Response {
                     retry_after_ms: None,
                 };
             }
-        }
+            Some(case) => {
+                // Typed-params validation up front: a malformed request
+                // is rejected before it occupies a queue slot or worker.
+                if let Err(e) = case.validate(req.quick, &req.params) {
+                    shared.metrics.bump("rejected");
+                    return Response::Err {
+                        id: req.id,
+                        code: e.code,
+                        error: e.message,
+                        retry_after_ms: None,
+                    };
+                }
+            }
+        },
     }
 
     let born = Instant::now();
@@ -405,6 +428,43 @@ fn dispatch(shared: &Arc<Shared>, req: Request) -> Response {
     }
 }
 
+/// The `cases` admin payload: every registered experiment case with its
+/// summary and parameter schema, in registry order. Served straight off
+/// the registry, so the listing can never drift from dispatch.
+fn cases_listing() -> Value {
+    Value::Object(vec![(
+        "cases".to_owned(),
+        Value::Array(
+            registry::registry()
+                .into_iter()
+                .map(|case| {
+                    Value::Object(vec![
+                        ("name".to_owned(), Value::Str(case.name().to_owned())),
+                        ("summary".to_owned(), Value::Str(case.summary().to_owned())),
+                        (
+                            "params".to_owned(),
+                            Value::Array(
+                                case.param_fields()
+                                    .iter()
+                                    .map(|f| {
+                                        Value::Object(vec![
+                                            ("name".to_owned(), Value::Str(f.name.to_owned())),
+                                            (
+                                                "default".to_owned(),
+                                                Value::Str(f.default.to_owned()),
+                                            ),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
+}
+
 /// Books a request's terminal accounting: outcome counter, end-to-end
 /// latency sample, and a per-request span on the metrics recorder.
 fn finish_request(shared: &Shared, req: &Request, born: Instant, provenance: Provenance) {
@@ -451,10 +511,7 @@ fn execute(shared: &Arc<Shared>, job: &Job) -> Response {
     }
 
     let flown = shared.inflight.run(job.key, Some(job.deadline), || {
-        let ctx = CaseCtx {
-            flows: &shared.flows,
-            thermals: &shared.thermals,
-        };
+        let ctx = CaseCtx::new(&shared.flows, &shared.thermals);
         let case = registry::find(&job.req.case).expect("checked at dispatch");
         case.run(&ctx, job.req.quick, &job.req.params)
             .map(|outcome| {

@@ -24,6 +24,17 @@ impl Corner {
     /// All corners, slowest first.
     pub const ALL: [Corner; 3] = [Corner::Ss, Corner::Tt, Corner::Ff];
 
+    /// Parses a corner from its name, case-insensitively (`"ss"`,
+    /// `"TT"`, `"Ff"` …). `None` for anything else.
+    pub fn from_name(name: &str) -> Option<Corner> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "ss" => Some(Corner::Ss),
+            "tt" => Some(Corner::Tt),
+            "ff" => Some(Corner::Ff),
+            _ => None,
+        }
+    }
+
     /// Display name, e.g. `"SS"`.
     pub fn name(self) -> &'static str {
         match self {
@@ -161,5 +172,19 @@ mod tests {
         assert_eq!(Corner::ALL[0], Corner::Ss);
         assert!(Corner::Ss.delay_scale() > Corner::Ff.delay_scale());
         assert_eq!(Corner::Tt.to_string(), "TT");
+    }
+
+    #[test]
+    fn corner_names_round_trip_case_insensitively() {
+        for corner in Corner::ALL {
+            assert_eq!(Corner::from_name(corner.name()), Some(corner));
+            assert_eq!(
+                Corner::from_name(&corner.name().to_lowercase()),
+                Some(corner)
+            );
+        }
+        assert_eq!(Corner::from_name(" tt "), Some(Corner::Tt));
+        assert_eq!(Corner::from_name("fast"), None);
+        assert_eq!(Corner::from_name(""), None);
     }
 }

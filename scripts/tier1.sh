@@ -19,13 +19,28 @@ cargo fmt --check
 cargo build --release -p m3d-thermal
 cargo test -q -p m3d-thermal
 
+# Static engine-port gate: every experiment binary must drive the typed
+# case engine (RunArgs), and the retired pre-engine table helpers must
+# stay deleted.
+unported="$(grep -rL RunArgs crates/bench/src/bin/*.rs || true)"
+if [ -n "$unported" ]; then
+    echo "tier1: FAIL — binaries bypass the RunArgs case engine:" >&2
+    echo "$unported" >&2
+    exit 1
+fi
+if grep -rEn '\b(header|rule|pct)\(' crates/bench/src/ >&2; then
+    echo "tier1: FAIL — pre-engine table helpers resurfaced in m3d-bench" >&2
+    exit 1
+fi
+
 # Determinism gate: the Obs. 10 JSON artifact must be byte-identical
 # across runs and across worker counts (the report deliberately excludes
-# wall-clock and job-count fields).
+# wall-clock and job-count fields). The disk cache is detached so both
+# runs compute from scratch with identical cache tallies.
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
-M3D_JOBS=1 ./target/release/obs10_thermal --quick --json "$tmp/a.json" >/dev/null 2>&1
-M3D_JOBS=7 ./target/release/obs10_thermal --quick --json "$tmp/b.json" >/dev/null 2>&1
+env -u M3D_CACHE_DIR M3D_JOBS=1 ./target/release/obs10_thermal --quick --json "$tmp/a.json" >/dev/null 2>&1
+env -u M3D_CACHE_DIR M3D_JOBS=7 ./target/release/obs10_thermal --quick --json "$tmp/b.json" >/dev/null 2>&1
 if ! cmp -s "$tmp/a.json" "$tmp/b.json"; then
     echo "tier1: FAIL — obs10_thermal --json differs across M3D_JOBS" >&2
     diff "$tmp/a.json" "$tmp/b.json" >&2 || true
@@ -84,6 +99,22 @@ if ! cmp -s "$tmp/fig2-a.json" "$tmp/fig2-b.json"; then
     exit 1
 fi
 
+# Corner-sweep gate: the multi-corner sign-off must carry one child span
+# per corner with provenance, byte-identical across worker counts.
+env -u M3D_CACHE_DIR M3D_JOBS=1 ./target/release/corners_signoff --quick --trace-json "$tmp/corners-a.json" >/dev/null 2>&1
+env -u M3D_CACHE_DIR M3D_JOBS=2 ./target/release/corners_signoff --quick --trace-json "$tmp/corners-b.json" >/dev/null 2>&1
+for span in '"corner:ss"' '"corner:tt"' '"corner:ff"' '"provenance"'; do
+    if ! grep -q "$span" "$tmp/corners-a.json"; then
+        echo "tier1: FAIL — corners_signoff trace is missing $span" >&2
+        exit 1
+    fi
+done
+if ! cmp -s "$tmp/corners-a.json" "$tmp/corners-b.json"; then
+    echo "tier1: FAIL — corners_signoff --trace-json differs across M3D_JOBS" >&2
+    diff "$tmp/corners-a.json" "$tmp/corners-b.json" >&2 || true
+    exit 1
+fi
+
 # Service smoke gate: boot m3d-serve on an ephemeral port, drive it
 # with deterministic loadgen mixes, assert the dedup counts (cold
 # computes all 12, the warm repeat computes 0, a 16-client identical
@@ -91,7 +122,9 @@ fi
 serve_smoke() {
     workers="$1"
     cold_json="$2"
-    ./target/release/m3d-serve --addr 127.0.0.1:0 --workers "$workers" \
+    # Detached from the disk cache: the mixed gate below counts fresh
+    # computes, which a pre-warmed M3D_CACHE_DIR would turn into hits.
+    env -u M3D_CACHE_DIR ./target/release/m3d-serve --addr 127.0.0.1:0 --workers "$workers" \
         --queue-depth 64 >"$tmp/serve-w$workers.out" 2>&1 &
     serve_pid=$!
     addr=""
@@ -119,12 +152,17 @@ serve_smoke() {
     # Prometheus surface.
     ./target/release/m3d-loadgen --addr "$addr" --clients 4 --requests 4 \
         --mix repeated --expect-computed 1 \
-        --metrics-text "$tmp/serve-w$workers.prom" --shutdown >/dev/null
+        --metrics-text "$tmp/serve-w$workers.prom" >/dev/null
     if ! grep -q '^# TYPE executed counter$' "$tmp/serve-w$workers.prom"; then
         echo "tier1: FAIL — serve metrics_text (workers=$workers) lacks the executed counter" >&2
         cat "$tmp/serve-w$workers.prom" >&2
         exit 1
     fi
+    # The mixed mix samples the server's `cases` listing (registry
+    # order): two fresh cases compute (pd_flow, tier_sweep defaults) and
+    # the cold/repeated shapes replay from the response cache.
+    ./target/release/m3d-loadgen --addr "$addr" --clients 2 --requests 4 \
+        --mix mixed --expect-computed 2 --shutdown >/dev/null
     if ! wait "$serve_pid"; then
         echo "tier1: FAIL — m3d-serve (workers=$workers) did not drain and exit 0" >&2
         exit 1
