@@ -1,0 +1,15 @@
+//! Ingests an external netlist — EDIF 2.0.0 or structural Verilog —
+//! flattens it, and implements it through the RTL-to-GDS flow.
+//!
+//! Thin driver over the registered `ingest` case: run with `--quick`,
+//! `--set source=...` / `--set file=examples/adder4.edif` /
+//! `--set format=edif|verilog|auto`, `--json`, `--trace-json`,
+//! `--metrics-json` and `--metrics-text` (see [`m3d_bench::cli`]).
+//! Without parameters the checked-in 4-bit adder example is ingested.
+
+use m3d_bench::cli::case_main;
+use m3d_bench::RunArgs;
+
+fn main() {
+    case_main("ingest", RunArgs::parse());
+}

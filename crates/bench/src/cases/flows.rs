@@ -16,7 +16,7 @@ use crate::registry::{
 
 /// Runs `cfg` through the flow cache under an active stage: provenance
 /// marks the stage, a fresh compute attaches the flow's sub-spans.
-fn staged_report(
+pub(crate) fn staged_report(
     flows: &FlowCache,
     sctx: &mut StageCtx,
     cfg: &FlowConfig,

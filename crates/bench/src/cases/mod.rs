@@ -14,6 +14,7 @@
 mod arch;
 mod explore;
 mod flows;
+mod ingest;
 mod thermal;
 
 pub use arch::{
@@ -29,6 +30,7 @@ pub use flows::{
     AblationCongestionCase, CornersSignoffCase, CornersSignoffParams, Fig2PhysicalDesignCase,
     FoldingAblationCase,
 };
+pub use ingest::{IngestCase, IngestParams, MAX_SOURCE_BYTES};
 pub use thermal::Obs10ThermalCase;
 
 use m3d_netlist::{CsConfig, PeConfig};

@@ -185,7 +185,8 @@ pub trait Case: Sync {
 }
 
 /// The dispatch table, in stable order: the six service primitives
-/// first, then the paper experiments in their `EXPERIMENTS.md` order.
+/// first, then the `ingest` workload front door, then the paper
+/// experiments in their `EXPERIMENTS.md` order.
 pub fn registry() -> &'static [&'static dyn Case] {
     &[
         &PdFlowCase,
@@ -194,6 +195,7 @@ pub fn registry() -> &'static [&'static dyn Case] {
         &SensitivityCase,
         &ThermalCapCase,
         &SleepCase,
+        &cases::IngestCase,
         &cases::Fig2PhysicalDesignCase,
         &cases::Fig5ModelsCase,
         &cases::Table1Resnet18Case,

@@ -55,6 +55,30 @@ fn every_experiment_is_registered_with_a_schema() {
     ] {
         assert!(names.contains(&ported), "backlog case `{ported}` missing");
     }
+    // The external-netlist front door is a registered case too.
+    assert!(names.contains(&"ingest"), "ingest case missing");
+}
+
+#[test]
+fn ingest_rejects_malformed_payloads_before_enqueue() {
+    let case = registry()
+        .into_iter()
+        .find(|c| c.name() == "ingest")
+        .expect("registered");
+    // validate() is the service's pre-queue gate: a syntactically
+    // invalid EDIF upload must answer bad-request with its position
+    // without ever occupying a worker.
+    let err = case
+        .validate(
+            true,
+            &obj(vec![(
+                "source",
+                Value::Str("(edif d (library broken".to_owned()),
+            )]),
+        )
+        .expect_err("malformed EDIF must be rejected");
+    assert_eq!(err.code, m3d_core::ErrorCode::BadRequest);
+    assert!(err.message.contains("line 1"), "{}", err.message);
 }
 
 #[test]

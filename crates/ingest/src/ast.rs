@@ -1,0 +1,126 @@
+//! Typed EDIF AST: the hierarchical netlist subset of EDIF 2.0.0 that
+//! the ingester understands, produced by [`crate::edif`] and consumed
+//! by [`crate::elaborate`]. Every node keeps the 1-based source
+//! position of its defining form so semantic errors point back into
+//! the source text.
+
+use crate::intern::Atom;
+
+/// Port direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// `(direction INPUT)`
+    Input,
+    /// `(direction OUTPUT)`
+    Output,
+    /// `(direction INOUT)` — accepted syntactically, rejected during
+    /// elaboration (the flat netlist model has single-driver nets).
+    Inout,
+}
+
+/// A declared interface port.
+#[derive(Debug, Clone)]
+pub struct Port {
+    /// Port name.
+    pub name: Atom,
+    /// Declared direction.
+    pub dir: Dir,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// A child-cell instantiation inside a view's contents.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Instance name.
+    pub name: Atom,
+    /// Referenced cell name (`(cellRef …)`).
+    pub cell_ref: Atom,
+    /// True when a `(property tier (string "cnfet"))` binds the
+    /// instance to the CNFET tier.
+    pub tier_cnfet: bool,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// One `(portRef P …)` inside a net's `(joined …)` list. `instance` is
+/// `None` when the reference names the enclosing cell's own interface
+/// port.
+#[derive(Debug, Clone)]
+pub struct PortRef {
+    /// Referenced port (pin) name.
+    pub port: Atom,
+    /// Instance the pin belongs to, or `None` for the cell's own port.
+    pub instance: Option<Atom>,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// A `(net N (joined …))` connection.
+#[derive(Debug, Clone)]
+pub struct Net {
+    /// Net name.
+    pub name: Atom,
+    /// Joined pins.
+    pub ports: Vec<PortRef>,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// A cell's netlist view.
+#[derive(Debug, Clone, Default)]
+pub struct View {
+    /// Declared interface ports, in declaration order.
+    pub interface: Vec<Port>,
+    /// Child instances, in declaration order.
+    pub instances: Vec<Instance>,
+    /// Nets, in declaration order.
+    pub nets: Vec<Net>,
+    /// True when the view had a `(contents …)` form — distinguishing a
+    /// hierarchical cell with an empty body from an interface-only
+    /// black-box declaration.
+    pub has_contents: bool,
+}
+
+/// One cell definition.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Cell name.
+    pub name: Atom,
+    /// Its (first) netlist view.
+    pub view: View,
+    /// Footprint from a `(property area_um2 …)`, for black boxes.
+    pub area_um2: Option<f64>,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// One `(library …)` or `(external …)` form.
+#[derive(Debug, Clone)]
+pub struct Library {
+    /// Library name.
+    pub name: Atom,
+    /// Cells defined inside, in declaration order.
+    pub cells: Vec<Cell>,
+}
+
+/// A parsed EDIF file.
+#[derive(Debug, Clone)]
+pub struct Edif {
+    /// The name after the `edif` keyword.
+    pub design_name: Atom,
+    /// All libraries (internal and external), in declaration order.
+    pub libraries: Vec<Library>,
+    /// Top cell named by a `(design … (cellRef C …))` form, if any.
+    pub top: Option<Atom>,
+}

@@ -1,0 +1,86 @@
+//! Positioned ingestion errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// An ingestion failure, carrying the 1-based source position of the
+/// offending token. Positions are `(0, 0)` only for failures that have
+/// no meaningful location (e.g. a wiring invariant violated during
+/// flattening); [`fmt::Display`] omits the position in that case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestError {
+    /// 1-based source line (0 = no position).
+    pub line: u32,
+    /// 1-based source column (0 = no position).
+    pub col: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl IngestError {
+    /// A positioned error.
+    pub fn new(line: u32, col: u32, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+
+    /// An error with no source position.
+    pub fn unpositioned(message: impl Into<String>) -> Self {
+        Self::new(0, 0, message)
+    }
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(
+                f,
+                "line {}, column {}: {}",
+                self.line, self.col, self.message
+            )
+        }
+    }
+}
+
+impl Error for IngestError {}
+
+impl From<m3d_netlist::NetlistError> for IngestError {
+    fn from(e: m3d_netlist::NetlistError) -> Self {
+        match e {
+            m3d_netlist::NetlistError::Parse { line, col, message } => Self { line, col, message },
+            other => Self::unpositioned(other.to_string()),
+        }
+    }
+}
+
+/// Convenience result alias for this crate.
+pub type IngestResult<T> = Result<T, IngestError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position_when_known() {
+        let e = IngestError::new(7, 12, "unexpected `)`");
+        assert_eq!(e.to_string(), "line 7, column 12: unexpected `)`");
+        let e = IngestError::unpositioned("net `x` has multiple drivers");
+        assert_eq!(e.to_string(), "net `x` has multiple drivers");
+    }
+
+    #[test]
+    fn netlist_parse_errors_keep_their_position() {
+        let e: IngestError = m3d_netlist::NetlistError::Parse {
+            line: 3,
+            col: 9,
+            message: "boom".into(),
+        }
+        .into();
+        assert_eq!((e.line, e.col), (3, 9));
+    }
+}

@@ -1,0 +1,144 @@
+//! String interning with a fast non-cryptographic hasher.
+//!
+//! EDIF netlists repeat the same identifiers (cell names, pin names,
+//! net names) thousands of times. Interning collapses each distinct
+//! spelling to a 4-byte [`Atom`] with O(1) equality and hashing, which
+//! keeps the elaboration maps cheap. The hasher is a hand-rolled
+//! Fx-style multiply-rotate hash (the build is offline, so the usual
+//! `fxhash` crate is unavailable); it is not DoS-resistant, which is
+//! acceptable because the serve layer caps payload sizes before any
+//! source reaches this crate.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fx-style 64-bit hasher: rotate, xor, multiply per word.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = 0u64;
+            for (i, &b) in rest.iter().enumerate() {
+                tail |= u64::from(b) << (8 * i);
+            }
+            // Length in the top byte keeps "a" ≠ "a\0".
+            self.add(tail | (rest.len() as u64) << 56);
+        }
+    }
+
+    fn write_u8(&mut self, v: u8) {
+        self.add(v.into());
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.add(v.into());
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// A `HashMap` keyed with the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// An interned string: 4 bytes, `Copy`, O(1) equality and hashing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom(u32);
+
+/// The string pool behind [`Atom`]s, scoped to one ingest run.
+#[derive(Debug, Default)]
+pub struct Interner {
+    names: Vec<String>,
+    map: FxHashMap<String, Atom>,
+}
+
+impl Interner {
+    /// Interns `s`, returning the same [`Atom`] for equal spellings.
+    pub fn intern(&mut self, s: &str) -> Atom {
+        if let Some(&a) = self.map.get(s) {
+            return a;
+        }
+        let a = Atom(self.names.len() as u32);
+        self.names.push(s.to_owned());
+        self.map.insert(s.to_owned(), a);
+        a
+    }
+
+    /// The [`Atom`] of an already-interned spelling, if any.
+    pub fn get(&self, s: &str) -> Option<Atom> {
+        self.map.get(s).copied()
+    }
+
+    /// The spelling behind an [`Atom`].
+    pub fn resolve(&self, a: Atom) -> &str {
+        &self.names[a.0 as usize]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut i = Interner::default();
+        let a = i.intern("alpha");
+        let b = i.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("alpha"), a);
+        assert_eq!(i.resolve(a), "alpha");
+        assert_eq!(i.get("beta"), Some(b));
+        assert_eq!(i.get("gamma"), None);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn hasher_separates_prefixes() {
+        use std::hash::Hash;
+        let key = |s: &str| {
+            let mut h = FxHasher::default();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_ne!(key("a"), key("b"));
+        assert_ne!(key("abcdefgh"), key("abcdefghi"));
+        assert_eq!(key("same"), key("same"));
+    }
+}

@@ -1,0 +1,223 @@
+//! S-expression reader for EDIF sources.
+//!
+//! EDIF 2.0.0 is syntactically a Lisp: the whole file is one
+//! parenthesised form. This module lexes and reads that form into a
+//! generic [`Sexp`] tree with 1-based line/column positions on every
+//! node; the typed walker in [`crate::edif`] interprets it. Nesting
+//! depth is capped so a hostile payload cannot overflow the stack.
+
+use crate::error::{IngestError, IngestResult};
+use crate::intern::{Atom, Interner};
+
+/// Maximum parenthesis nesting depth accepted.
+pub const MAX_DEPTH: usize = 256;
+
+/// A parsed s-expression node.
+#[derive(Debug, Clone)]
+pub enum Sexp {
+    /// A bare token: identifier, keyword or number.
+    Sym {
+        /// Interned spelling.
+        atom: Atom,
+        /// 1-based source line.
+        line: u32,
+        /// 1-based source column.
+        col: u32,
+    },
+    /// A double-quoted string.
+    Str {
+        /// The string's content (no surrounding quotes).
+        value: String,
+        /// 1-based source line.
+        line: u32,
+        /// 1-based source column.
+        col: u32,
+    },
+    /// A parenthesised list.
+    List {
+        /// Child nodes in source order.
+        items: Vec<Sexp>,
+        /// 1-based line of the opening `(`.
+        line: u32,
+        /// 1-based column of the opening `(`.
+        col: u32,
+    },
+}
+
+impl Sexp {
+    /// The node's source position.
+    pub fn pos(&self) -> (u32, u32) {
+        match self {
+            Sexp::Sym { line, col, .. }
+            | Sexp::Str { line, col, .. }
+            | Sexp::List { line, col, .. } => (*line, *col),
+        }
+    }
+}
+
+struct Reader<'a> {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+    interner: &'a mut Interner,
+}
+
+impl Reader<'_> {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.i).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(char::is_whitespace) {
+            self.bump();
+        }
+    }
+
+    fn read(&mut self, depth: usize) -> IngestResult<Sexp> {
+        self.skip_ws();
+        let (line, col) = (self.line, self.col);
+        match self.peek() {
+            None => Err(IngestError::new(line, col, "unexpected end of input")),
+            Some('(') => {
+                if depth >= MAX_DEPTH {
+                    return Err(IngestError::new(line, col, "nesting too deep"));
+                }
+                self.bump();
+                let mut items = Vec::new();
+                loop {
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(')') => {
+                            self.bump();
+                            return Ok(Sexp::List { items, line, col });
+                        }
+                        Some(_) => items.push(self.read(depth + 1)?),
+                        None => {
+                            return Err(IngestError::new(
+                                line,
+                                col,
+                                "unclosed `(` (missing `)` before end of input)",
+                            ));
+                        }
+                    }
+                }
+            }
+            Some(')') => Err(IngestError::new(line, col, "unexpected `)`")),
+            Some('"') => {
+                self.bump();
+                let mut value = String::new();
+                loop {
+                    match self.bump() {
+                        Some('"') => break,
+                        Some(c) => value.push(c),
+                        None => {
+                            return Err(IngestError::new(line, col, "unterminated string literal"));
+                        }
+                    }
+                }
+                Ok(Sexp::Str { value, line, col })
+            }
+            Some(_) => {
+                let mut s = String::new();
+                while self
+                    .peek()
+                    .is_some_and(|c| !c.is_whitespace() && c != '(' && c != ')' && c != '"')
+                {
+                    s.push(self.bump().unwrap_or_default());
+                }
+                let atom = self.interner.intern(&s);
+                Ok(Sexp::Sym { atom, line, col })
+            }
+        }
+    }
+}
+
+/// Reads exactly one top-level form from `source`.
+///
+/// # Errors
+///
+/// Returns a positioned [`IngestError`] on unbalanced parentheses,
+/// unterminated strings, excessive nesting or trailing content.
+pub fn parse(source: &str, interner: &mut Interner) -> IngestResult<Sexp> {
+    let mut r = Reader {
+        chars: source.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+        interner,
+    };
+    let form = r.read(0)?;
+    r.skip_ws();
+    if r.peek().is_some() {
+        return Err(IngestError::new(
+            r.line,
+            r.col,
+            "unexpected content after the top-level form",
+        ));
+    }
+    Ok(form)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(s: &Sexp) -> &[Sexp] {
+        match s {
+            Sexp::List { items, .. } => items,
+            other => panic!("expected a list, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reads_nested_forms_with_positions() {
+        let mut i = Interner::default();
+        let s = parse("(edif top\n  (library lib (cell A)))", &mut i).unwrap();
+        assert_eq!(s.pos(), (1, 1));
+        let top = items(&s);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[2].pos(), (2, 3));
+        match &top[0] {
+            Sexp::Sym { atom, .. } => assert_eq!(i.resolve(*atom), "edif"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn reads_strings() {
+        let mut i = Interner::default();
+        let s = parse("(rename x \"weird name\")", &mut i).unwrap();
+        match &items(&s)[2] {
+            Sexp::Str { value, .. } => assert_eq!(value, "weird name"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input_with_positions() {
+        let mut i = Interner::default();
+        let e = parse("(a (b)", &mut i).unwrap_err();
+        assert_eq!((e.line, e.col), (1, 1));
+        assert!(e.message.contains("unclosed"));
+        let e = parse("(a))", &mut i).unwrap_err();
+        assert_eq!((e.line, e.col), (1, 4));
+        let e = parse("(a \"oops)", &mut i).unwrap_err();
+        assert!(e.message.contains("unterminated"));
+        let deep = "(".repeat(MAX_DEPTH + 2) + &")".repeat(MAX_DEPTH + 2);
+        let e = parse(&deep, &mut i).unwrap_err();
+        assert!(e.message.contains("nesting"));
+    }
+}

@@ -40,6 +40,16 @@ pub enum NetlistError {
         /// Accepted range description.
         expected: &'static str,
     },
+    /// External netlist text failed to parse, with the source position
+    /// of the offending token (1-based line and column).
+    Parse {
+        /// 1-based source line.
+        line: u32,
+        /// 1-based source column.
+        col: u32,
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -68,6 +78,9 @@ impl fmt::Display for NetlistError {
                 f,
                 "invalid value {value} for parameter `{parameter}` (expected {expected})"
             ),
+            NetlistError::Parse { line, col, message } => {
+                write!(f, "parse error at line {line}, column {col}: {message}")
+            }
         }
     }
 }
@@ -97,6 +110,13 @@ mod tests {
             index: 9,
         };
         assert!(e.to_string().contains("net"));
+        let e = NetlistError::Parse {
+            line: 3,
+            col: 14,
+            message: "unexpected `)`".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("line 3") && text.contains("column 14"));
     }
 
     #[test]

@@ -32,6 +32,7 @@
 pub mod error;
 pub mod eval;
 pub mod gen;
+pub mod names;
 pub mod netlist;
 pub mod parser;
 pub mod stats;

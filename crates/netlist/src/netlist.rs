@@ -88,6 +88,30 @@ pub enum MacroKind {
     Rram(RramMacro),
     /// SRAM buffer.
     Sram(SramMacro),
+    /// An unmapped external cell kept as an opaque block. Ingested
+    /// designs may instantiate cells outside the PDK library; they
+    /// occupy floorplan area but contribute no modelled power.
+    BlackBox {
+        /// Model name as it appeared in the source.
+        model: String,
+        /// Assumed placement footprint.
+        area: m3d_tech::units::SquareMicrons,
+    },
+}
+
+impl MacroKind {
+    /// The black-box model name the Verilog writer emits and both
+    /// netlist parsers map back (`RRAM_<mb>MB_<banks>B`, `SRAM_<kb>KB`,
+    /// or an external model's own name).
+    pub fn model_name(&self) -> String {
+        match self {
+            MacroKind::Rram(r) => {
+                format!("RRAM_{}MB_{}B", r.capacity_bits / 8 / 1024 / 1024, r.banks)
+            }
+            MacroKind::Sram(s) => format!("SRAM_{}KB", s.capacity_bits / 8 / 1024),
+            MacroKind::BlackBox { model, .. } => model.clone(),
+        }
+    }
 }
 
 /// One hard-macro instance.
@@ -136,6 +160,73 @@ pub struct Netlist {
     pub primary_outputs: Vec<NetId>,
     /// The clock net, if the design is sequential.
     pub clock: Option<NetId>,
+}
+
+impl m3d_tech::StableHash for Netlist {
+    /// Content key of the flattened design. Connectivity is hashed
+    /// through *net names* rather than raw [`NetId`]s, so two netlists
+    /// that differ only in net numbering — e.g. a design and its
+    /// export → re-import round trip, where ports are recreated before
+    /// internal wires — key identically. Cell, macro and port order is
+    /// significant; macros hash their black-box model name (the
+    /// representation both parsers reconstruct), not their full
+    /// technology parameters.
+    fn stable_hash(&self, h: &mut m3d_tech::StableHasher) {
+        let net_name = |id: &NetId| self.nets[id.0 as usize].name.as_str();
+        h.write_str(&self.name);
+        h.write_u64(self.cells.len() as u64);
+        for c in &self.cells {
+            h.write_str(&c.name);
+            h.write_str(c.kind.base_name());
+            h.write_str(c.drive.suffix());
+            c.tier.stable_hash(h);
+            h.write_u64(c.inputs.len() as u64);
+            for n in &c.inputs {
+                h.write_str(net_name(n));
+            }
+            h.write_u64(c.outputs.len() as u64);
+            for n in &c.outputs {
+                h.write_str(net_name(n));
+            }
+        }
+        h.write_u64(self.macros.len() as u64);
+        for m in &self.macros {
+            h.write_str(&m.name);
+            h.write_str(&m.kind.model_name());
+            if let MacroKind::BlackBox { area, .. } = &m.kind {
+                h.write_f64(area.value());
+            }
+            h.write_u64(m.drives.len() as u64);
+            for n in &m.drives {
+                h.write_str(net_name(n));
+            }
+            h.write_u64(m.receives.len() as u64);
+            for n in &m.receives {
+                h.write_str(net_name(n));
+            }
+        }
+        h.write_u64(self.primary_inputs.len() as u64);
+        for n in &self.primary_inputs {
+            h.write_str(net_name(n));
+        }
+        h.write_u64(self.primary_outputs.len() as u64);
+        for n in &self.primary_outputs {
+            h.write_str(net_name(n));
+        }
+        match &self.clock {
+            None => h.write_u8(0),
+            Some(id) => {
+                h.write_u8(1);
+                h.write_str(net_name(id));
+            }
+        }
+        let mut names: Vec<&str> = self.nets.iter().map(|n| n.name.as_str()).collect();
+        names.sort_unstable();
+        h.write_u64(names.len() as u64);
+        for name in names {
+            h.write_str(name);
+        }
+    }
 }
 
 impl Netlist {
@@ -476,15 +567,17 @@ impl Netlist {
     }
 
     /// Checks structural invariants: every net is driven and every
-    /// non-primary-output net has at least one sink. Returns the names of
-    /// offending nets (empty = clean).
+    /// non-primary-output net has at least one sink. The clock net is
+    /// exempt from the sink check — flip-flops sink it implicitly (the
+    /// clock tree is synthesised later, not listed as a logical input).
+    /// Returns the names of offending nets (empty = clean).
     pub fn lint(&self) -> Vec<String> {
         let mut issues = Vec::new();
-        for net in &self.nets {
+        for (i, net) in self.nets.iter().enumerate() {
             if net.driver.is_none() {
                 issues.push(format!("net `{}` is undriven", net.name));
             }
-            if net.sinks.is_empty() {
+            if net.sinks.is_empty() && self.clock != Some(NetId(i as u32)) {
                 issues.push(format!("net `{}` has no sinks", net.name));
             }
         }
@@ -717,6 +810,38 @@ mod tests {
         // Self-rewire is a no-op; bad ids error.
         nl.rewire_sinks(y2, y2).unwrap();
         assert!(nl.rewire_sinks(NetId(99), y2).is_err());
+    }
+
+    #[test]
+    fn stable_hash_ignores_net_numbering() {
+        use m3d_tech::StableHash;
+        let (nl, ..) = tiny();
+        // Same design, nets created in a different order: identical key.
+        let mut alt = Netlist::new("tiny");
+        let y = alt.add_net("y");
+        let a = alt.add_net("a");
+        let b = alt.add_net("b");
+        alt.set_primary_input(a).unwrap();
+        alt.set_primary_input(b).unwrap();
+        alt.add_cell(
+            "u1",
+            CellKind::Nand2,
+            DriveStrength::X1,
+            Tier::SiCmos,
+            &[a, b],
+            &[y],
+        )
+        .unwrap();
+        alt.set_primary_output(y).unwrap();
+        assert_eq!(nl.stable_key(), alt.stable_key());
+        // Renaming an instance changes the key.
+        let mut renamed = nl.clone();
+        renamed.cells[0].name = "u2".into();
+        assert_ne!(nl.stable_key(), renamed.stable_key());
+        // Swapping the input pin order changes the key.
+        let mut swapped = nl.clone();
+        swapped.cells[0].inputs.reverse();
+        assert_ne!(nl.stable_key(), swapped.stable_key());
     }
 
     #[test]

@@ -64,6 +64,7 @@ impl NetlistStats {
             macro_area += match &m.kind {
                 MacroKind::Rram(r) => r.footprint(pdk.ilv())?,
                 MacroKind::Sram(s) => s.footprint(),
+                MacroKind::BlackBox { area, .. } => *area,
             };
         }
         let fanouts: Vec<usize> = netlist.nets().iter().map(|n| n.fanout()).collect();

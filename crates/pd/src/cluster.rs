@@ -195,6 +195,8 @@ impl Clustering {
             let (kind, area) = match &m.kind {
                 MacroKind::Sram(s) => (ClusterKind::SramMacro(i), s.footprint()),
                 MacroKind::Rram(r) => (ClusterKind::RramMacro(i), r.footprint(pdk.ilv())?),
+                // Opaque ingested blocks place like movable macros.
+                MacroKind::BlackBox { area, .. } => (ClusterKind::SramMacro(i), *area),
             };
             clusters.push(Cluster {
                 name: m.name.clone(),

@@ -154,6 +154,7 @@ impl Floorplan {
             .filter_map(|m| match &m.kind {
                 MacroKind::Sram(s) => Some(s.footprint()),
                 MacroKind::Rram(_) => None,
+                MacroKind::BlackBox { area, .. } => Some(*area),
             })
             .sum();
 

@@ -21,6 +21,34 @@ use crate::power::{analyze_power, PowerReport, DEFAULT_ACTIVITY};
 use crate::route::RoutingEstimate;
 use crate::sta::TimingReport;
 
+/// Where the flow's input netlist comes from.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum NetlistSource {
+    /// Generate the accelerator SoC from [`FlowConfig::soc`] (the
+    /// default, and the paper's own design).
+    #[default]
+    Generated,
+    /// Implement an externally ingested netlist as-is; `soc` still
+    /// supplies the floorplan/clock targets. Shared via `Arc` so cheap
+    /// config clones don't copy the design.
+    External(std::sync::Arc<Netlist>),
+}
+
+impl m3d_tech::StableHash for NetlistSource {
+    fn stable_hash(&self, h: &mut m3d_tech::StableHasher) {
+        match self {
+            // Write nothing for the default so every pre-existing
+            // cache key (computed before this variant existed) is
+            // preserved.
+            NetlistSource::Generated => {}
+            NetlistSource::External(nl) => {
+                h.write_u8(1);
+                nl.stable_hash(h);
+            }
+        }
+    }
+}
+
 /// Full configuration of one flow run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FlowConfig {
@@ -28,6 +56,8 @@ pub struct FlowConfig {
     pub pdk: Pdk,
     /// The SoC to build.
     pub soc: SocConfig,
+    /// Netlist source: generated SoC or an ingested external design.
+    pub source: NetlistSource,
     /// Placer effort.
     pub placer: PlacerConfig,
     /// Post-route optimisation knobs.
@@ -45,6 +75,7 @@ impl m3d_tech::StableHash for FlowConfig {
     fn stable_hash(&self, h: &mut m3d_tech::StableHasher) {
         self.pdk.stable_hash(h);
         self.soc.stable_hash(h);
+        self.source.stable_hash(h);
         self.placer.stable_hash(h);
         self.opt.stable_hash(h);
         self.die_override.stable_hash(h);
@@ -69,6 +100,7 @@ impl FlowConfig {
         Self {
             pdk: Pdk::baseline_2d_130nm(),
             soc: SocConfig::baseline_2d(),
+            source: NetlistSource::Generated,
             placer: PlacerConfig::default(),
             opt: OptConfig::default(),
             die_override: None,
@@ -112,6 +144,15 @@ impl FlowConfig {
     /// so SS/TT/FF runs occupy independent flow-cache entries.
     pub fn at_corner(mut self, corner: m3d_tech::Corner) -> Self {
         self.pdk = self.pdk.at_corner(corner);
+        self
+    }
+
+    /// Implements an ingested netlist instead of generating the SoC.
+    /// The design's content ([`m3d_tech::StableHash`] of the netlist)
+    /// becomes part of [`FlowConfig::stable_key`], so distinct uploads
+    /// occupy distinct flow-cache entries.
+    pub fn with_external_netlist(mut self, netlist: std::sync::Arc<Netlist>) -> Self {
+        self.source = NetlistSource::External(netlist);
         self
     }
 }
@@ -252,8 +293,15 @@ impl Rtl2GdsFlow {
         let mut obs = FlowObserver::enabled();
 
         // --- Synthesis stand-in -----------------------------------------
-        let mut netlist = Netlist::new(format!("{}_{}cs", cfg.pdk.name, cfg.soc.cs_count));
-        accelerator_soc(&mut netlist, &cfg.soc)?;
+        let mut netlist = match &cfg.source {
+            NetlistSource::Generated => {
+                let mut nl = Netlist::new(format!("{}_{}cs", cfg.pdk.name, cfg.soc.cs_count));
+                accelerator_soc(&mut nl, &cfg.soc)?;
+                nl
+            }
+            // Ingested designs arrive pre-elaborated; implement as-is.
+            NetlistSource::External(nl) => (**nl).clone(),
+        };
         let mut syn = FlowSpan::new("synthesis");
         syn.counter("cells", netlist.cell_count() as u64);
         syn.counter("macros", netlist.macros().len() as u64);
@@ -526,6 +574,41 @@ mod tests {
         let cts = t1.find("cts").unwrap();
         assert_eq!(cts.counter_value("sinks"), Some(a1.clock_tree.sinks as u64));
         assert!(a1.clock_tree.buffers > 0, "CTS is wired into the flow");
+    }
+
+    #[test]
+    fn external_netlist_runs_the_flow_and_keys_the_cache_by_content() {
+        use m3d_netlist::gen::ripple_carry_adder;
+        use m3d_tech::Tier;
+        use std::sync::Arc;
+
+        let mut nl = Netlist::new("uploaded");
+        let a: Vec<_> = (0..8).map(|i| nl.add_net(format!("a{i}"))).collect();
+        let b: Vec<_> = (0..8).map(|i| nl.add_net(format!("b{i}"))).collect();
+        for &n in a.iter().chain(&b) {
+            nl.set_primary_input(n).unwrap();
+        }
+        let out = ripple_carry_adder(&mut nl, "add", Tier::SiCmos, &a, &b, None).unwrap();
+        for s in out.sum.iter().chain(std::iter::once(&out.cout)) {
+            nl.set_primary_output(*s).unwrap();
+        }
+
+        let base = FlowConfig::baseline_2d().with_cs(small_cs()).quick();
+        let ext = base.clone().with_external_netlist(Arc::new(nl.clone()));
+        // The external design changes the content key; the default
+        // source leaves pre-existing keys untouched.
+        assert_ne!(ext.stable_key(), base.stable_key());
+        let mut renamed = nl.clone();
+        renamed.name = "uploaded2".into();
+        let ext2 = base.clone().with_external_netlist(Arc::new(renamed));
+        assert_ne!(ext.stable_key(), ext2.stable_key());
+
+        let (report, artifacts) = Rtl2GdsFlow::new(ext).run().unwrap();
+        assert_eq!(report.design, "uploaded");
+        assert_eq!(report.cell_count, nl.cell_count());
+        assert!(report.die_mm2 > 0.0);
+        assert!(report.achieved_mhz > 0.0);
+        assert_eq!(artifacts.netlist.macros().len(), 0);
     }
 
     #[test]

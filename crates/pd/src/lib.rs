@@ -51,7 +51,9 @@ pub use cts::{estimate_clock_tree, ClockTree};
 pub use drc::{check_placement, DrcKind, DrcReport, DrcViolation};
 pub use error::{PdError, PdResult};
 pub use floorplan::{under_array_usable_area, FixedBlock, Floorplan, Region, RegionKind};
-pub use flow::{cs_geometric_demand, FlowArtifacts, FlowConfig, FlowReport, Rtl2GdsFlow};
+pub use flow::{
+    cs_geometric_demand, FlowArtifacts, FlowConfig, FlowReport, NetlistSource, Rtl2GdsFlow,
+};
 pub use gds::LayoutExport;
 pub use geom::{BoundingBox, Point, Rect};
 pub use legalize::{legalize, LegalizeReport};

@@ -305,6 +305,9 @@ pub fn analyze_power(
                 spread(&floorplan.rram_array().rect, p_cellarray, array_grid);
                 spread(&floorplan.rram_periph().rect, p_perif, &mut si_grid);
             }
+            // Opaque ingested blocks have no power model: they occupy
+            // area (clustering/floorplan) but dissipate nothing here.
+            MacroKind::BlackBox { .. } => {}
         }
     }
 

@@ -128,6 +128,8 @@ pub fn analyze_timing(
                 let lat = match &netlist.macros()[id.0 as usize].kind {
                     MacroKind::Rram(r) => r.read_latency().value(),
                     MacroKind::Sram(s) => s.latency.value(),
+                    // Opaque ingested blocks launch like primary inputs.
+                    MacroKind::BlackBox { .. } => 0.0,
                 } * pdk.timing_derate;
                 arrival[ni] = Some(lat + wire_delay(ni));
             }

@@ -24,11 +24,13 @@
 //! * `flow` — `pd_flow` requests cycling 4 distinct activity factors.
 //! * `sleep` — distinct-tag diagnostic stalls (queue/backpressure
 //!   exercise).
-//! * `mixed` — alternates `cold`- and `repeated`-style requests, and
-//!   every fourth request samples a registered case from the server's
-//!   `cases` listing (fetched once up front, walked in registry order
-//!   with default parameters) — so the mix exercises real dispatch
-//!   breadth, not just the two `sensitivity` shapes.
+//! * `mixed` — alternates `cold`- and `repeated`-style requests, every
+//!   fourth request samples a registered case from the server's `cases`
+//!   listing (fetched once up front, walked in registry order with
+//!   default parameters), and every eighth request uploads a constant
+//!   inline-EDIF `ingest` payload — so the mix exercises real dispatch
+//!   breadth and the external-netlist front door, not just the two
+//!   `sensitivity` shapes.
 //!
 //! `--expect-computed K` exits non-zero unless exactly `K` requests
 //! report `cached == coalesced == false` — the scripted regression gate
@@ -163,6 +165,18 @@ fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
 }
 
+/// The constant design the `mixed` mix uploads through the `ingest`
+/// case: one inverter, small enough to keep the request line short but
+/// real enough to run the whole parse → flatten → flow path. Identical
+/// across clients, so concurrent uploads coalesce on the server.
+const INGEST_EDIF: &str = "(edif loadgen (library work (cell top (view net \
+                           (interface (port a (direction INPUT)) \
+                           (port y (direction OUTPUT))) \
+                           (contents (instance u1 (cellRef INV_X1)) \
+                           (net na (joined (portRef a) (portRef A (instanceRef u1)))) \
+                           (net ny (joined (portRef Y (instanceRef u1)) (portRef y))))))) \
+                           (design loadgen (cellRef top)))";
+
 /// The deterministic request a (mix, global index) pair maps to.
 /// `cases` is the server's registered-case listing (used by `mixed`;
 /// empty for the other mixes).
@@ -202,11 +216,18 @@ fn request_for(mix: &str, global: u64, cases: &[String]) -> Request {
         ),
         "mixed" => {
             // Every fourth request walks the server's own case listing
-            // (registry order) with default params; the rest alternate
-            // cold/repeated shapes.
+            // (registry order) with default params, every eighth
+            // uploads the constant inline-EDIF design; the rest
+            // alternate cold/repeated shapes.
             if global % 4 == 3 && !cases.is_empty() {
                 let case = &cases[(global / 4) as usize % cases.len()];
                 Request::new(global, case, Value::Object(Vec::new()))
+            } else if global % 8 == 5 {
+                Request::new(
+                    global,
+                    "ingest",
+                    obj(vec![("source", Value::Str(INGEST_EDIF.to_owned()))]),
+                )
             } else if global % 2 == 0 {
                 cold(global)
             } else {

@@ -1,0 +1,19 @@
+// A tiny multiply-accumulate slice exercising the structural-Verilog
+// ingestion subset: comments, escaped identifiers, tier attributes and
+// a clocked accumulator register.
+(* clock = "clk" *)
+module mac_unit (
+  input  clk,
+  input  a,
+  input  b,
+  input  acc_in,
+  output acc_out,
+  output cout
+);
+  wire \mul/p ;   /* escaped hierarchical name */
+  wire sum;
+
+  AND2_X1 mul (.A(a), .B(b), .Y(\mul/p ));
+  (* tier = "cnfet" *) HA_X1 add (.A(\mul/p ), .B(acc_in), .S(sum), .CO(cout));
+  DFF_X1 acc (.D(sum), .Q(acc_out));
+endmodule

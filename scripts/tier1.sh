@@ -115,6 +115,35 @@ if ! cmp -s "$tmp/corners-a.json" "$tmp/corners-b.json"; then
     exit 1
 fi
 
+# Ingest gate: the checked-in example EDIF must flatten and implement
+# deterministically — the --json artifact is byte-identical across
+# worker counts — and the trace must carry the front-end counters.
+env -u M3D_CACHE_DIR M3D_JOBS=1 ./target/release/ingest --quick --set file=examples/adder4.edif \
+    --json "$tmp/ingest-a.json" --trace-json "$tmp/ingest-trace.json" >/dev/null 2>&1
+env -u M3D_CACHE_DIR M3D_JOBS=6 ./target/release/ingest --quick --set file=examples/adder4.edif \
+    --json "$tmp/ingest-b.json" >/dev/null 2>&1
+if ! cmp -s "$tmp/ingest-a.json" "$tmp/ingest-b.json"; then
+    echo "tier1: FAIL — ingest --json differs across M3D_JOBS" >&2
+    diff "$tmp/ingest-a.json" "$tmp/ingest-b.json" >&2 || true
+    exit 1
+fi
+for counter in '"ingest.cells"' '"ingest.nets"' '"ingest.flatten_depth"'; do
+    if ! grep -q "$counter" "$tmp/ingest-trace.json"; then
+        echo "tier1: FAIL — ingest trace is missing the $counter counter" >&2
+        exit 1
+    fi
+done
+# Malformed sources are bad-requests (exit 2) with a source position.
+if ./target/release/ingest --set 'source=(edif broken' >/dev/null 2>"$tmp/ingest-err.txt"; then
+    echo "tier1: FAIL — ingest accepted a malformed EDIF source" >&2
+    exit 1
+fi
+if ! grep -q 'line 1, column' "$tmp/ingest-err.txt"; then
+    echo "tier1: FAIL — ingest rejection lacks a line/column position:" >&2
+    cat "$tmp/ingest-err.txt" >&2
+    exit 1
+fi
+
 # Service smoke gate: boot m3d-serve on an ephemeral port, drive it
 # with deterministic loadgen mixes, assert the dedup counts (cold
 # computes all 12, the warm repeat computes 0, a 16-client identical
@@ -158,11 +187,47 @@ serve_smoke() {
         cat "$tmp/serve-w$workers.prom" >&2
         exit 1
     fi
+    # Ingest wire probe: a malformed EDIF upload must be refused by
+    # validate-before-enqueue (bad-request with a source position, and
+    # the `rejected` counter increments), and the same valid design
+    # uploaded twice must answer the second time from cache.
+    exec 3<>"/dev/tcp/${addr%%:*}/${addr##*:}"
+    printf '%s\n' '{"id":9001,"case":"ingest","params":{"source":"(edif broken"}}' >&3
+    IFS= read -r reply <&3
+    case "$reply" in
+        *'"code":"bad-request"'*'line 1'*) ;;
+        *) echo "tier1: FAIL — malformed ingest upload was not refused: $reply" >&2
+           exit 1 ;;
+    esac
+    printf '%s\n' '{"id":9002,"case":"metrics","params":{}}' >&3
+    IFS= read -r reply <&3
+    case "$reply" in
+        *'"rejected":1'[!0-9]*) ;;
+        *) echo "tier1: FAIL — ingest rejection did not bump the rejected counter: $reply" >&2
+           exit 1 ;;
+    esac
+    probe='{"id":9003,"case":"ingest","params":{"source":"(edif probe (library work (cell top (view v (interface (port a (direction INPUT)) (port y (direction OUTPUT))) (contents (instance u1 (cellRef BUF_X1)) (net na (joined (portRef a) (portRef A (instanceRef u1)))) (net ny (joined (portRef Y (instanceRef u1)) (portRef y))))))) (design probe (cellRef top)))"}}'
+    printf '%s\n' "$probe" >&3
+    IFS= read -r reply <&3
+    case "$reply" in
+        *'"status":200'*'"cached":false'*) ;;
+        *) echo "tier1: FAIL — first ingest upload did not compute: $reply" >&2
+           exit 1 ;;
+    esac
+    printf '%s\n' "${probe/9003/9004}" >&3
+    IFS= read -r reply <&3
+    case "$reply" in
+        *'"cached":true'*) ;;
+        *) echo "tier1: FAIL — duplicate ingest upload missed the cache: $reply" >&2
+           exit 1 ;;
+    esac
+    exec 3<&- 3>&-
     # The mixed mix samples the server's `cases` listing (registry
-    # order): two fresh cases compute (pd_flow, tier_sweep defaults) and
-    # the cold/repeated shapes replay from the response cache.
+    # order) and uploads one inline-EDIF design: three fresh cases
+    # compute (pd_flow defaults, the ingest upload, tier_sweep defaults)
+    # and the cold/repeated shapes replay from the response cache.
     ./target/release/m3d-loadgen --addr "$addr" --clients 2 --requests 4 \
-        --mix mixed --expect-computed 2 --shutdown >/dev/null
+        --mix mixed --expect-computed 3 --shutdown >/dev/null
     if ! wait "$serve_pid"; then
         echo "tier1: FAIL — m3d-serve (workers=$workers) did not drain and exit 0" >&2
         exit 1
