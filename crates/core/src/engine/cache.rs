@@ -156,16 +156,23 @@ impl FlowCache {
     }
 
     /// Best-effort write-through: serialise `report` next to its key.
-    /// Writes to a process-unique temp name then renames, so a reader in
-    /// another process never observes a torn file.
+    /// Writes to a writer-unique temp name then renames, so a reader —
+    /// in this process, another worker thread, or another replica
+    /// sharing the directory as the fleet's cross-replica artifact
+    /// tier — never observes a torn file. The rename is atomic within
+    /// one filesystem; racing writers of the same key produce
+    /// byte-identical contents (the flow is deterministic), so
+    /// whichever rename lands last is indistinguishable from the first.
     fn write_disk(&self, key: u64, report: &FlowReport) {
+        static WRITER_SEQ: AtomicU64 = AtomicU64::new(0);
         let Some(path) = self.disk_path(key) else {
             return;
         };
         let Ok(text) = serde_json::to_string_pretty(report) else {
             return;
         };
-        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        let seq = WRITER_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = path.with_extension(format!("tmp.{}.{seq}", std::process::id()));
         if fs::write(&tmp, text + "\n").is_ok() {
             let _ = fs::rename(&tmp, &path);
         }

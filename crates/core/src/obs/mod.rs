@@ -9,10 +9,11 @@
 //!   byte-identical across `M3D_JOBS` values and machines.
 //! * [`Histogram`] — fixed-bucket aggregates (latency, queue depth,
 //!   solver iterations) that serialise to counts and edges only.
-//! * [`Recorder`] — a sink owning named counters, histograms and a
-//!   bounded span ring; `m3d-serve` holds one per server for the
-//!   `metrics` wire request, while engine internals report into
-//!   [`Recorder::global`].
+//! * [`Recorder`] — a sink owning named counters, last-value gauges,
+//!   histograms and a bounded span ring; `m3d-serve` holds one per
+//!   server for the `metrics` wire request, the `m3d-gateway` fleet
+//!   router holds one for per-replica gauge families, and engine
+//!   internals report into [`Recorder::global`].
 //! * [`render`] — deterministic exposition of a recorder: Prometheus
 //!   text format ([`render_text`]) behind `--metrics-text` and the
 //!   serve `metrics_text` case, plus the versioned JSON document

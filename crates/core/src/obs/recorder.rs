@@ -1,5 +1,6 @@
-//! The metrics recorder: named counters, fixed-bucket histograms and a
-//! bounded ring of recent spans, snapshot-able as deterministic JSON.
+//! The metrics recorder: named counters, last-value gauges,
+//! fixed-bucket histograms and a bounded ring of recent spans,
+//! snapshot-able as deterministic JSON.
 //!
 //! A [`Recorder`] is plain shared state — the experiment service owns
 //! one per server so its counters stay test-isolated, while the engine
@@ -26,6 +27,7 @@ const SPAN_RING_CAPACITY: usize = 256;
 #[derive(Debug, Default)]
 pub struct Recorder {
     counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, i64>>,
     hists: Mutex<BTreeMap<String, Histogram>>,
     spans: Mutex<SpanRing>,
 }
@@ -65,6 +67,34 @@ impl Recorder {
             .counters
             .lock()
             .expect("counters poisoned")
+            .get(name)
+            .unwrap_or(&0)
+    }
+
+    /// Sets gauge `name` to `value` (last-value semantics, unlike the
+    /// monotonic counters — a gauge moves both ways: queue depth,
+    /// in-flight requests, live replica count).
+    pub fn gauge_set(&self, name: &str, value: i64) {
+        self.gauges
+            .lock()
+            .expect("gauges poisoned")
+            .insert(name.to_owned(), value);
+    }
+
+    /// Adds `delta` (possibly negative) to gauge `name`, creating it at
+    /// 0 first. Saturates instead of wrapping.
+    pub fn gauge_add(&self, name: &str, delta: i64) {
+        let mut gauges = self.gauges.lock().expect("gauges poisoned");
+        let slot = gauges.entry(name.to_owned()).or_insert(0);
+        *slot = slot.saturating_add(delta);
+    }
+
+    /// Current value of gauge `name` (0 when never set).
+    pub fn gauge(&self, name: &str) -> i64 {
+        *self
+            .gauges
+            .lock()
+            .expect("gauges poisoned")
             .get(name)
             .unwrap_or(&0)
     }
@@ -119,6 +149,16 @@ impl Recorder {
             .collect()
     }
 
+    /// Name-sorted clone of every gauge (render/export paths).
+    pub fn gauges_sorted(&self) -> Vec<(String, i64)> {
+        self.gauges
+            .lock()
+            .expect("gauges poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
     /// Name-sorted clone of every histogram (render/export paths).
     pub fn hists_sorted(&self) -> Vec<(String, Histogram)> {
         self.hists
@@ -141,9 +181,22 @@ impl Recorder {
         )
     }
 
-    /// Point-in-time JSON snapshot: `{counters, histograms, spans}`.
-    /// Fixed field order, names sorted, counts and bucket edges only —
-    /// no timestamps — so equal contents render byte-identically.
+    /// The gauges alone, as a sorted-by-name JSON object.
+    pub fn gauges_value(&self) -> Value {
+        Value::Object(
+            self.gauges
+                .lock()
+                .expect("gauges poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::I64(*v)))
+                .collect(),
+        )
+    }
+
+    /// Point-in-time JSON snapshot: `{counters, gauges, histograms,
+    /// spans}`. Fixed field order, names sorted, counts and bucket
+    /// edges only — no timestamps — so equal contents render
+    /// byte-identically.
     pub fn snapshot(&self) -> Value {
         let hists = Value::Object(
             self.hists
@@ -161,15 +214,17 @@ impl Recorder {
         drop(ring);
         Value::Object(vec![
             ("counters".to_owned(), self.counters_value()),
+            ("gauges".to_owned(), self.gauges_value()),
             ("histograms".to_owned(), hists),
             ("spans".to_owned(), spans),
         ])
     }
 
-    /// Clears every counter, histogram and retained span (tests and
-    /// long-lived services that want epoch boundaries).
+    /// Clears every counter, gauge, histogram and retained span (tests
+    /// and long-lived services that want epoch boundaries).
     pub fn reset(&self) {
         self.counters.lock().expect("counters poisoned").clear();
+        self.gauges.lock().expect("gauges poisoned").clear();
         self.hists.lock().expect("histograms poisoned").clear();
         let mut ring = self.spans.lock().expect("spans poisoned");
         ring.recent.clear();
@@ -226,12 +281,47 @@ mod tests {
     fn reset_zeroes_everything() {
         let r = Recorder::new();
         r.incr("x", 1);
+        r.gauge_set("g", 5);
         r.observe("h", 9, LATENCY_US_EDGES);
         r.record_span(SpanNode::new("s"));
         r.reset();
         assert_eq!(r.counter("x"), 0);
+        assert_eq!(r.gauge("g"), 0);
         assert_eq!(r.hist_total("h"), 0);
         assert_eq!((r.spans_recorded(), r.spans_retained()), (0, 0));
+    }
+
+    #[test]
+    fn gauges_hold_last_value_and_move_both_ways() {
+        let r = Recorder::new();
+        assert_eq!(r.gauge("depth"), 0, "unset gauges read 0");
+        r.gauge_set("depth", 7);
+        r.gauge_set("depth", 3);
+        assert_eq!(r.gauge("depth"), 3, "set is last-value, not additive");
+        r.gauge_add("in_flight", 2);
+        r.gauge_add("in_flight", -5);
+        assert_eq!(r.gauge("in_flight"), -3, "add moves both directions");
+        let sorted = r.gauges_sorted();
+        assert_eq!(
+            sorted,
+            vec![("depth".to_owned(), 3), ("in_flight".to_owned(), -3)]
+        );
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.get("gauges").unwrap().get("depth"),
+            Some(&Value::I64(3))
+        );
+    }
+
+    #[test]
+    fn gauge_add_saturates_at_the_extremes() {
+        let r = Recorder::new();
+        r.gauge_set("g", i64::MAX);
+        r.gauge_add("g", 1);
+        assert_eq!(r.gauge("g"), i64::MAX);
+        r.gauge_set("g", i64::MIN);
+        r.gauge_add("g", -1);
+        assert_eq!(r.gauge("g"), i64::MIN);
     }
 
     #[test]

@@ -54,18 +54,28 @@ pub fn sanitize_metric_name(name: &str) -> String {
 /// Renders the recorder as Prometheus text exposition format.
 ///
 /// Output is fully deterministic for equal recorder contents: metric
-/// families sorted by sanitised name (counters first, then
-/// histograms), one `# TYPE` comment per family, integer values only,
-/// trailing newline.
+/// families sorted by sanitised name (counters first, then gauges,
+/// then histograms), one `# TYPE` comment per family, integer values
+/// only, trailing newline.
 pub fn render_text(rec: &Recorder) -> String {
-    render_parts(&rec.counters_sorted(), &rec.hists_sorted())
+    render_parts(
+        &rec.counters_sorted(),
+        &rec.gauges_sorted(),
+        &rec.hists_sorted(),
+    )
 }
 
-/// Renders pre-collected counter and histogram data with the exact
-/// rules of [`render_text`]. This is the shared body behind both the
-/// single-recorder render and the serve-side exposition, which merges a
-/// per-server recorder with the process-global one before rendering.
-pub fn render_parts(raw_counters: &[(String, u64)], raw_hists: &[(String, Histogram)]) -> String {
+/// Renders pre-collected counter, gauge and histogram data with the
+/// exact rules of [`render_text`]. This is the shared body behind both
+/// the single-recorder render and the serve-side exposition, which
+/// merges a per-server recorder with the process-global one before
+/// rendering. A gauge or histogram whose sanitised name collides with
+/// an already-emitted family gets `_` appended until unique.
+pub fn render_parts(
+    raw_counters: &[(String, u64)],
+    raw_gauges: &[(String, i64)],
+    raw_hists: &[(String, Histogram)],
+) -> String {
     let mut counters: BTreeMap<String, u64> = BTreeMap::new();
     for (name, value) in raw_counters {
         let slot = counters.entry(sanitize_metric_name(name)).or_insert(0);
@@ -76,6 +86,20 @@ pub fn render_parts(raw_counters: &[(String, u64)], raw_hists: &[(String, Histog
         out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
     }
     let mut taken: BTreeMap<String, ()> = counters.into_iter().map(|(k, _)| (k, ())).collect();
+    let mut gauges: BTreeMap<String, i64> = BTreeMap::new();
+    for (name, value) in raw_gauges {
+        // Last-value semantics extend to sanitised-name collisions: the
+        // later entry (input is name-sorted) wins deterministically.
+        gauges.insert(sanitize_metric_name(name), *value);
+    }
+    for (name, value) in gauges {
+        let mut name = name;
+        while taken.contains_key(&name) {
+            name.push('_');
+        }
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+        taken.insert(name, ());
+    }
     for (name, hist) in raw_hists {
         let mut name = sanitize_metric_name(name);
         while taken.contains_key(&name) {
@@ -215,6 +239,39 @@ mod tests {
             "histogram colliding with a counter is suffixed: {text}"
         );
         assert_eq!(text, render_text(&r), "stable across renders");
+    }
+
+    #[test]
+    fn gauges_render_between_counters_and_histograms() {
+        let r = Recorder::new();
+        r.incr("routed", 9);
+        r.gauge_set("fleet.replica0.queue_depth", 4);
+        r.gauge_set("in_flight", -2);
+        r.observe("latency", 5, LATENCY_US_EDGES);
+        let text = render_text(&r);
+        validate_exposition(&text).expect("exposition parses");
+        assert!(text.contains("# TYPE fleet_replica0_queue_depth gauge\n"));
+        assert!(text.contains("fleet_replica0_queue_depth 4\n"));
+        assert!(text.contains("in_flight -2\n"), "negative gauges render");
+        let counter = text.find("routed 9").unwrap();
+        let gauge = text.find("in_flight -2").unwrap();
+        let hist = text.find("# TYPE latency histogram").unwrap();
+        assert!(counter < gauge && gauge < hist, "counter/gauge/hist order");
+        assert_eq!(text, render_text(&r), "stable across renders");
+    }
+
+    #[test]
+    fn gauge_name_collisions_suffix_deterministically() {
+        let r = Recorder::new();
+        r.incr("a.b", 1);
+        r.gauge_set("a_b", 2);
+        let text = render_text(&r);
+        validate_exposition(&text).expect("exposition parses");
+        assert!(text.contains("a_b 1\n"), "counter keeps the name: {text}");
+        assert!(
+            text.contains("# TYPE a_b_ gauge\na_b_ 2\n"),
+            "gauge colliding with a counter is suffixed: {text}"
+        );
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! `m3d-gateway` — the cache-aware fleet router.
+//!
+//! ```text
+//! m3d-gateway [--addr 127.0.0.1:7744] [--replicas N] [--workers W]
+//!             [--queue-depth D] [--timeout-ms T] [--serve-bin PATH]
+//!             [--cache-dir DIR] [--probe-interval-ms P]
+//!             [--scrape-min-interval-ms S]
+//! ```
+//!
+//! Spawns and supervises `--replicas` `m3d-serve` child processes
+//! (ephemeral ports), then serves the unchanged NDJSON protocol on
+//! `--addr`, routing each experiment request to the replica that owns
+//! its content key on the consistent-hash ring. Prints a single
+//! `{"listening":"host:port"}` line to stdout once the fleet is up and
+//! the socket is bound, then serves until a `{"case":"shutdown"}`
+//! request arrives, drains the replicas, and exits 0.
+//!
+//! `--serve-bin` defaults to the `m3d-serve` next to this executable
+//! (the cargo target directory layout). `--cache-dir` exports
+//! `M3D_CACHE_DIR` so all replicas share one on-disk artifact tier;
+//! without it the replicas inherit this process's environment.
+
+use std::path::PathBuf;
+
+use m3d_serve::{serve_fleet, GatewayConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: m3d-gateway [--addr HOST:PORT] [--replicas N] [--workers W] [--queue-depth D] \
+         [--timeout-ms T] [--serve-bin PATH] [--cache-dir DIR] [--probe-interval-ms P] \
+         [--scrape-min-interval-ms S]"
+    );
+    std::process::exit(2);
+}
+
+/// The `m3d-serve` sitting next to this executable, falling back to
+/// `$PATH` lookup when the executable path is unavailable.
+fn sibling_serve_bin() -> PathBuf {
+    std::env::current_exe()
+        .ok()
+        .and_then(|exe| {
+            let sibling = exe.with_file_name("m3d-serve");
+            sibling.is_file().then_some(sibling)
+        })
+        .unwrap_or_else(|| PathBuf::from("m3d-serve"))
+}
+
+fn parse_config() -> GatewayConfig {
+    let mut cfg = GatewayConfig {
+        addr: "127.0.0.1:7744".to_owned(),
+        serve_bin: sibling_serve_bin(),
+        ..GatewayConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut grab = |what: &str| match args.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("error: {what} requires a value");
+                usage();
+            }
+        };
+        match a.as_str() {
+            "--addr" => cfg.addr = grab("--addr"),
+            "--replicas" => match grab("--replicas").parse() {
+                Ok(n) if n > 0 => cfg.replicas = n,
+                _ => usage(),
+            },
+            "--workers" => match grab("--workers").parse() {
+                Ok(n) if n > 0 => cfg.workers = n,
+                _ => usage(),
+            },
+            "--queue-depth" => match grab("--queue-depth").parse() {
+                Ok(n) if n > 0 => cfg.queue_depth = n,
+                _ => usage(),
+            },
+            "--timeout-ms" => match grab("--timeout-ms").parse() {
+                Ok(n) if n > 0 => cfg.default_timeout_ms = n,
+                _ => usage(),
+            },
+            "--serve-bin" => cfg.serve_bin = PathBuf::from(grab("--serve-bin")),
+            // Exported before any replica spawns; children inherit it.
+            "--cache-dir" => std::env::set_var("M3D_CACHE_DIR", grab("--cache-dir")),
+            "--probe-interval-ms" => match grab("--probe-interval-ms").parse() {
+                Ok(n) if n > 0 => cfg.probe_interval_ms = n,
+                _ => usage(),
+            },
+            "--scrape-min-interval-ms" => match grab("--scrape-min-interval-ms").parse() {
+                Ok(n) => cfg.scrape_min_interval_ms = n,
+                _ => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    cfg
+}
+
+fn main() -> std::io::Result<()> {
+    let cfg = parse_config();
+    let handle = serve_fleet(&cfg)?;
+    // The machine-readable bind announcement scripts key off — printed
+    // only after every replica announced, so "listening" means the
+    // whole fleet is routable.
+    println!("{{\"listening\":\"{}\"}}", handle.addr());
+    use std::io::Write;
+    std::io::stdout().flush()?;
+    eprintln!(
+        "# m3d-gateway on {} — {} replicas x {} workers (queue depth {}, default timeout {} ms)",
+        handle.addr(),
+        cfg.replicas,
+        cfg.workers,
+        cfg.queue_depth,
+        cfg.default_timeout_ms
+    );
+    handle.wait();
+    eprintln!("# m3d-gateway drained and stopped");
+    Ok(())
+}

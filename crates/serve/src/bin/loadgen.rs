@@ -3,8 +3,9 @@
 //! ```text
 //! m3d-loadgen --addr HOST:PORT [--clients N] [--requests M]
 //!             [--mix cold|repeated|flow|sleep|mixed] [--timeout-ms T]
-//!             [--json PATH] [--expect-computed K] [--metrics-every P]
-//!             [--check-metrics] [--metrics-text PATH] [--shutdown]
+//!             [--json PATH] [--expect-computed K] [--expect-replicas R]
+//!             [--metrics-every P] [--check-metrics]
+//!             [--metrics-text PATH] [--shutdown]
 //! ```
 //!
 //! Spawns `N` concurrent client connections, each sending `M` requests
@@ -32,9 +33,24 @@
 //!   breadth and the external-netlist front door, not just the two
 //!   `sensitivity` shapes.
 //!
+//! A 429 (`overloaded`) reply carrying a `retry_after_ms` hint is
+//! honoured: the client sleeps the hinted time (capped) and resends the
+//! same request, up to 8 retries, before tallying it as rejected — so
+//! scrape rate limits and transient queue-full shedding do not fail a
+//! run. A 503 (`draining`) or a hintless 429 is rejected immediately.
+//!
 //! `--expect-computed K` exits non-zero unless exactly `K` requests
 //! report `cached == coalesced == false` — the scripted regression gate
 //! for request deduplication.
+//!
+//! Fleet mode (against `m3d-gateway`): responses carry a `replica`
+//! envelope tag, tallied per replica to stderr (never into the
+//! deterministic `--json` artifact). `--expect-replicas R` exits
+//! non-zero unless the gateway's `stats` reports exactly `R` replicas
+//! all up (exit 6), then forces one identical request through *every*
+//! replica via the `replica` delivery field and exits non-zero unless
+//! all `R` result payloads are byte-identical (exit 7) — the fleet's
+//! hard determinism gate.
 //!
 //! Observability hooks:
 //!
@@ -60,21 +76,29 @@
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use m3d_core::obs::validate_exposition;
 use m3d_core::ErrorCode;
-use m3d_serve::protocol::{Request, Response, CASE_CASES, CASE_METRICS, CASE_METRICS_TEXT};
+use m3d_serve::protocol::{
+    Request, Response, CASE_CASES, CASE_METRICS, CASE_METRICS_TEXT, CASE_STATS,
+};
 use m3d_serve::LatencySummary;
 use m3d_tech::{StableHash, StableHasher};
 use serde::Value;
+
+/// Retries before a hinted 429 is surfaced as a rejection.
+const MAX_RETRIES: u32 = 8;
+/// Ceiling on one hinted retry sleep (a misbehaving server must not
+/// park the client for minutes).
+const RETRY_SLEEP_CAP_MS: u64 = 1_000;
 
 fn usage() -> ! {
     eprintln!(
         "usage: m3d-loadgen --addr HOST:PORT [--clients N] [--requests M] \
          [--mix cold|repeated|flow|sleep|mixed] [--timeout-ms T] [--json PATH] \
-         [--expect-computed K] [--metrics-every P] [--check-metrics] \
-         [--metrics-text PATH] [--shutdown]"
+         [--expect-computed K] [--expect-replicas R] [--metrics-every P] \
+         [--check-metrics] [--metrics-text PATH] [--shutdown]"
     );
     std::process::exit(2);
 }
@@ -88,6 +112,7 @@ struct Args {
     timeout_ms: Option<u64>,
     json: Option<String>,
     expect_computed: Option<u64>,
+    expect_replicas: Option<usize>,
     metrics_every: Option<usize>,
     check_metrics: bool,
     metrics_text: Option<String>,
@@ -103,6 +128,7 @@ fn parse_args() -> Args {
         timeout_ms: None,
         json: None,
         expect_computed: None,
+        expect_replicas: None,
         metrics_every: None,
         check_metrics: false,
         metrics_text: None,
@@ -132,6 +158,16 @@ fn parse_args() -> Args {
                         .parse()
                         .unwrap_or_else(|_| usage()),
                 );
+            }
+            "--expect-replicas" => {
+                let n: usize = grab("--expect-replicas")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                if n == 0 {
+                    eprintln!("error: --expect-replicas must be >= 1");
+                    usage();
+                }
+                out.expect_replicas = Some(n);
             }
             "--metrics-every" => {
                 let every: usize = grab("--metrics-every").parse().unwrap_or_else(|_| usage());
@@ -248,9 +284,15 @@ struct Tally {
     errors: u64,
     computed: u64,
     reused: u64,
+    /// Hinted-429 resends (diagnostic; not part of `sent`).
+    retried: u64,
     latencies_us: Vec<u64>,
     /// key hex → FNV digest of the serialised result payload.
     payloads: BTreeMap<String, String>,
+    /// Responses served per gateway replica (from the `replica`
+    /// envelope tag; empty against a plain `m3d-serve`). Timing-
+    /// dependent, so stderr-only — never part of the `--json` artifact.
+    by_replica: BTreeMap<u64, u64>,
 }
 
 impl Tally {
@@ -262,9 +304,13 @@ impl Tally {
         self.errors += other.errors;
         self.computed += other.computed;
         self.reused += other.reused;
+        self.retried += other.retried;
         self.latencies_us.extend(other.latencies_us);
         for (k, v) in other.payloads {
             self.payloads.insert(k, v);
+        }
+        for (r, n) in other.by_replica {
+            *self.by_replica.entry(r).or_insert(0) += n;
         }
     }
 }
@@ -280,19 +326,44 @@ fn run_client(args: &Args, client: usize, cases: &[String]) -> std::io::Result<T
         let mut req = request_for(&args.mix, global, cases);
         req.timeout_ms = args.timeout_ms;
         let start = Instant::now();
-        writer.write_all(req.to_line().as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
-        let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection mid-request",
-            ));
-        }
+        let mut attempts = 0u32;
+        // Resend on hinted 429s; the loop breaks with the terminal
+        // response line. Latency spans all attempts — the client-felt
+        // time to a real answer.
+        let line = loop {
+            writer.write_all(req.to_line().as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+            let mut line = String::new();
+            if reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-request",
+                ));
+            }
+            if let Ok(Response::Err {
+                code: ErrorCode::Overloaded,
+                retry_after_ms: Some(ms),
+                ..
+            }) = Response::parse(line.trim())
+            {
+                if attempts < MAX_RETRIES {
+                    attempts += 1;
+                    tally.retried += 1;
+                    std::thread::sleep(Duration::from_millis(ms.min(RETRY_SLEEP_CAP_MS)));
+                    continue;
+                }
+            }
+            break line;
+        };
         let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
         tally.sent += 1;
         tally.latencies_us.push(us);
+        // The gateway's replica attribution rides outside the typed
+        // response; read it off the raw envelope.
+        let replica_tag = serde_json::from_str_value(line.trim())
+            .ok()
+            .and_then(|v| v.get("replica").and_then(Value::as_u64));
         match Response::parse(line.trim()) {
             Ok(Response::Ok {
                 key,
@@ -302,6 +373,9 @@ fn run_client(args: &Args, client: usize, cases: &[String]) -> std::io::Result<T
                 ..
             }) => {
                 tally.ok += 1;
+                if let Some(r) = replica_tag {
+                    *tally.by_replica.entry(r).or_insert(0) += 1;
+                }
                 if cached || coalesced {
                     tally.reused += 1;
                 } else {
@@ -347,7 +421,8 @@ struct MetricsSnap {
 
 /// Sends one admin request on an established connection and returns the
 /// parsed `Ok` result payload. Admin polls are diagnostic — they are
-/// never tallied into the run's request counts.
+/// never tallied into the run's request counts. A hinted 429 (the
+/// per-connection scrape rate limit) is slept out and retried.
 fn poll_admin(
     writer: &mut TcpStream,
     reader: &mut BufReader<TcpStream>,
@@ -355,25 +430,38 @@ fn poll_admin(
     case: &str,
 ) -> std::io::Result<Value> {
     let req = Request::new(id, case, Value::Object(Vec::new()));
-    writer.write_all(req.to_line().as_bytes())?;
-    writer.write_all(b"\n")?;
-    writer.flush()?;
-    let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::UnexpectedEof,
-            format!("server closed the connection during a `{case}` poll"),
-        ));
+    for _ in 0..=MAX_RETRIES {
+        writer.write_all(req.to_line().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                format!("server closed the connection during a `{case}` poll"),
+            ));
+        }
+        let resp = Response::parse(line.trim())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        match resp {
+            Response::Ok { result, .. } => return Ok(result),
+            Response::Err {
+                code: ErrorCode::Overloaded,
+                retry_after_ms: Some(ms),
+                ..
+            } => std::thread::sleep(Duration::from_millis(ms.min(RETRY_SLEEP_CAP_MS))),
+            Response::Err { error, .. } => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("`{case}` request was refused: {error}"),
+                ))
+            }
+        }
     }
-    let resp = Response::parse(line.trim())
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-    match resp {
-        Response::Ok { result, .. } => Ok(result),
-        Response::Err { .. } => Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            format!("`{case}` request was refused"),
-        )),
-    }
+    Err(std::io::Error::new(
+        std::io::ErrorKind::TimedOut,
+        format!("`{case}` still rate-limited after {MAX_RETRIES} retries"),
+    ))
 }
 
 /// Sends one `metrics` request on an established connection.
@@ -459,6 +547,90 @@ fn fetch_metrics_text(addr: &str) -> std::io::Result<String> {
     Ok(text.clone())
 }
 
+/// Fetches the server's `stats` payload over a fresh connection.
+fn fetch_stats(addr: &str) -> std::io::Result<Value> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    poll_admin(&mut writer, &mut reader, 0, CASE_STATS)
+}
+
+/// The fleet gate behind `--expect-replicas R`: checks the gateway's
+/// `stats` reports exactly `R` replicas all up, then forces one
+/// identical request through every replica (via the `replica` delivery
+/// field, which pins routing without touching the content key) and
+/// compares the FNV digests of the returned payloads. Returns the exit
+/// code to use (6: fleet shape, 7: payload divergence), or `None` on
+/// success.
+fn check_fleet(addr: &str, expect: usize) -> std::io::Result<Option<i32>> {
+    let stats = fetch_stats(addr)?;
+    let Some(Value::Array(replicas)) = stats.get("replicas") else {
+        eprintln!(
+            "error: --expect-replicas {expect}, but `stats` reports no fleet (plain server?)"
+        );
+        return Ok(Some(6));
+    };
+    let up = replicas
+        .iter()
+        .filter(|r| matches!(r.get("up"), Some(Value::Bool(true))))
+        .count();
+    if replicas.len() != expect || up != expect {
+        eprintln!(
+            "error: expected {expect} replicas all up, observed {} configured / {up} up",
+            replicas.len()
+        );
+        return Ok(Some(6));
+    }
+
+    // One fixed request, forced through every replica. Identical
+    // content key everywhere, so each replica computes (or replays) the
+    // same case — the payloads must digest identically.
+    let mut digests: Vec<(usize, String)> = Vec::new();
+    for k in 0..expect {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut writer = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
+        let mut req = Request::new(
+            5_000_000 + k as u64,
+            "sensitivity",
+            obj(vec![
+                ("samples", Value::U64(400)),
+                ("seed", Value::U64(3_141_592)),
+            ]),
+        );
+        req.replica = Some(k as u64);
+        writer.write_all(req.to_line().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            eprintln!("error: replica {k} identity probe: connection closed");
+            return Ok(Some(7));
+        }
+        match Response::parse(line.trim()) {
+            Ok(Response::Ok { result, .. }) => {
+                let bytes = serde_json::to_string(&result).expect("result serialises");
+                let mut h = StableHasher::new();
+                bytes.stable_hash(&mut h);
+                digests.push((k, format!("{:016x}", h.finish())));
+            }
+            other => {
+                eprintln!("error: replica {k} identity probe failed: {other:?}");
+                return Ok(Some(7));
+            }
+        }
+    }
+    let reference = &digests[0].1;
+    if digests.iter().any(|(_, d)| d != reference) {
+        eprintln!("error: cross-replica payload divergence: {digests:?}");
+        return Ok(Some(7));
+    }
+    eprintln!("# fleet: {expect} replicas up, cross-replica identity probe OK (fnv {reference})");
+    Ok(None)
+}
+
 fn send_shutdown(addr: &str) -> std::io::Result<bool> {
     let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
@@ -517,6 +689,13 @@ fn main() -> std::io::Result<()> {
         eprintln!("# metrics-text: {path} ({} bytes, parses)", text.len());
     }
 
+    // The fleet gate must probe live replicas, so it runs before any
+    // `--shutdown`; its exit is deferred so the artifact still lands.
+    let fleet_exit = match args.expect_replicas {
+        Some(expect) => check_fleet(&args.addr, expect)?,
+        None => None,
+    };
+
     if args.shutdown {
         let ok = send_shutdown(&args.addr)?;
         eprintln!("# shutdown request acknowledged: {ok}");
@@ -551,6 +730,17 @@ fn main() -> std::io::Result<()> {
             0.0
         }
     );
+    if total.retried > 0 {
+        eprintln!("# hinted-429 retries: {}", total.retried);
+    }
+    if !total.by_replica.is_empty() {
+        let parts: Vec<String> = total
+            .by_replica
+            .iter()
+            .map(|(r, n)| format!("replica {r}: {n}"))
+            .collect();
+        eprintln!("# served by {}", parts.join(", "));
+    }
 
     // Deterministic artifact: identical request streams against
     // equivalent servers produce byte-identical JSON, whatever the
@@ -623,6 +813,9 @@ fn main() -> std::io::Result<()> {
             );
             std::process::exit(5);
         }
+    }
+    if let Some(code) = fleet_exit {
+        std::process::exit(code);
     }
     Ok(())
 }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! m3d-serve [--addr 127.0.0.1:7733] [--workers N] [--queue-depth D]
-//!           [--timeout-ms T]
+//!           [--timeout-ms T] [--scrape-min-interval-ms S]
 //! ```
 //!
 //! Prints a single `{"listening":"host:port"}` line to stdout once the
@@ -14,7 +14,8 @@ use m3d_serve::{serve, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: m3d-serve [--addr HOST:PORT] [--workers N] [--queue-depth D] [--timeout-ms T]"
+        "usage: m3d-serve [--addr HOST:PORT] [--workers N] [--queue-depth D] [--timeout-ms T] \
+         [--scrape-min-interval-ms S]"
     );
     std::process::exit(2);
 }
@@ -45,6 +46,11 @@ fn parse_config() -> ServerConfig {
             },
             "--timeout-ms" => match grab("--timeout-ms").parse() {
                 Ok(n) if n > 0 => cfg.default_timeout_ms = n,
+                _ => usage(),
+            },
+            // 0 disables per-connection scrape rate limiting.
+            "--scrape-min-interval-ms" => match grab("--scrape-min-interval-ms").parse() {
+                Ok(n) => cfg.scrape_min_interval_ms = n,
                 _ => usage(),
             },
             _ => usage(),

@@ -1,0 +1,30 @@
+//! The fleet layer: `m3d-gateway`, a cache-aware router over N
+//! supervised `m3d-serve` replica processes.
+//!
+//! One gateway process speaks the unchanged NDJSON wire protocol to
+//! clients and multiplies a single server into a fleet:
+//!
+//! * [`ring`] — the deterministic consistent-hash ring that sends each
+//!   request content key to the same replica every time (cache
+//!   affinity) and moves only ~1/N of keys when the fleet changes
+//!   size.
+//! * [`replica`] — one supervised `m3d-serve` child: spawn, announce,
+//!   `ready` probes, crash reaping and bounded-exponential-backoff
+//!   respawn.
+//! * [`gateway`] — the router itself: accept loop, routed/round-robin
+//!   forwarding with transparent retry of idempotent requests whose
+//!   replica died mid-flight, fleet-local admin cases
+//!   (`health`/`ready`/`stats`/`drain`/`undrain`) and fleet-wide
+//!   metrics aggregation.
+//!
+//! Replicas share one on-disk artifact tier (`M3D_CACHE_DIR`): a flow
+//! report computed by any replica is a disk hit for every other, so
+//! the fleet's effective cache is the union, not N cold copies.
+
+pub mod gateway;
+pub mod replica;
+pub mod ring;
+
+pub use gateway::{serve_fleet, FleetHandle, GatewayConfig};
+pub use replica::{Replica, ReplicaConfig};
+pub use ring::{Ring, DEFAULT_VNODES};

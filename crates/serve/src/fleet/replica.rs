@@ -1,0 +1,433 @@
+//! One supervised `m3d-serve` child process.
+//!
+//! The gateway owns N of these. Each wraps a child process plus the
+//! routing-relevant view of it: whether it is up (spawned, announced
+//! its port, and still answering `ready` probes), whether an operator
+//! drained it, and the gauges the fleet metrics report (in-flight
+//! forwards, last probed queue depth, restarts).
+//!
+//! Lifecycle: [`Replica::spawn_now`] starts the child and blocks until
+//! it prints its `{"listening":"host:port"}` announce line (the server
+//! binds before announcing, so an announced replica is accepting).
+//! [`Replica::tick`] — called from the gateway's supervisor thread —
+//! reaps crashed children, probes live ones, and respawns dead ones
+//! under bounded exponential backoff (250 ms doubling to 4 s, reset by
+//! a healthy probe). Forwarders call [`Replica::mark_down`] the moment
+//! a connection dies mid-request so routing stops offering the replica
+//! before the next tick notices.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
+
+use serde::Value;
+
+use crate::protocol::{Request, Response, CASE_READY};
+
+/// First respawn delay after a crash.
+const BACKOFF_MIN: Duration = Duration::from_millis(250);
+/// Backoff ceiling: a persistently crashing replica is retried at this
+/// cadence forever rather than giving up (the fleet may be mid-deploy).
+const BACKOFF_MAX: Duration = Duration::from_secs(4);
+/// How long a freshly spawned child gets to announce its port.
+const ANNOUNCE_TIMEOUT: Duration = Duration::from_secs(10);
+/// Connect/read budget for one `ready` probe.
+const PROBE_TIMEOUT: Duration = Duration::from_millis(1_500);
+
+/// How a replica child is launched.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// Path to the `m3d-serve` binary.
+    pub serve_bin: PathBuf,
+    /// Worker threads per replica.
+    pub workers: usize,
+    /// Queue depth per replica.
+    pub queue_depth: usize,
+    /// Default per-request deadline handed to the replica.
+    pub default_timeout_ms: u64,
+}
+
+/// The mutable process half, behind one lock: the child handle, its
+/// announced address and the respawn backoff schedule.
+#[derive(Debug, Default)]
+struct Proc {
+    child: Option<Child>,
+    addr: Option<SocketAddr>,
+    /// Delay before the *next* respawn attempt.
+    backoff: Option<Duration>,
+    /// Earliest instant a respawn may be attempted; `None` = immediately.
+    retry_at: Option<Instant>,
+}
+
+/// One supervised replica slot.
+#[derive(Debug)]
+pub struct Replica {
+    index: usize,
+    cfg: ReplicaConfig,
+    proc_: Mutex<Proc>,
+    up: AtomicBool,
+    draining: AtomicBool,
+    /// Requests currently forwarded to this replica.
+    pub(crate) in_flight: AtomicI64,
+    /// Queue depth from the last successful `ready` probe.
+    pub(crate) queue_len: AtomicI64,
+    /// Respawns after a crash (the initial spawn does not count).
+    pub(crate) restarts: AtomicU64,
+}
+
+impl Replica {
+    /// An empty slot; call [`Replica::spawn_now`] to start the child.
+    pub fn new(index: usize, cfg: ReplicaConfig) -> Self {
+        Self {
+            index,
+            cfg,
+            proc_: Mutex::new(Proc::default()),
+            up: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            in_flight: AtomicI64::new(0),
+            queue_len: AtomicI64::new(0),
+            restarts: AtomicU64::new(0),
+        }
+    }
+
+    /// This replica's fleet index.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The child's announced address, while one is running.
+    pub fn addr(&self) -> Option<SocketAddr> {
+        self.proc_.lock().expect("replica poisoned").addr
+    }
+
+    /// The child's OS pid, while one is running.
+    pub fn pid(&self) -> Option<u32> {
+        self.proc_
+            .lock()
+            .expect("replica poisoned")
+            .child
+            .as_ref()
+            .map(Child::id)
+    }
+
+    /// Spawned, announced, and not yet observed dead.
+    pub fn is_up(&self) -> bool {
+        self.up.load(Ordering::SeqCst)
+    }
+
+    /// Operator-drained (up but excluded from routing).
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Sets or clears the operator drain flag.
+    pub fn set_draining(&self, draining: bool) {
+        self.draining.store(draining, Ordering::SeqCst);
+    }
+
+    /// Up and not draining: the ring may route fresh work here.
+    pub fn is_routable(&self) -> bool {
+        self.is_up() && !self.is_draining()
+    }
+
+    /// Called by a forwarder whose connection to this replica died:
+    /// stop routing here immediately; the supervisor tick confirms and
+    /// respawns.
+    pub fn mark_down(&self) {
+        self.up.store(false, Ordering::SeqCst);
+    }
+
+    /// Starts the child and waits for its announce line.
+    ///
+    /// # Errors
+    ///
+    /// Spawn failures, a missing/unparsable announce line, or an
+    /// announce timeout. The child is killed on the latter two.
+    pub fn spawn_now(&self) -> std::io::Result<SocketAddr> {
+        let mut child = Command::new(&self.cfg.serve_bin)
+            .arg("--addr")
+            .arg("127.0.0.1:0")
+            .arg("--workers")
+            .arg(self.cfg.workers.to_string())
+            .arg("--queue-depth")
+            .arg(self.cfg.queue_depth.to_string())
+            .arg("--timeout-ms")
+            .arg(self.cfg.default_timeout_ms.to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        let stdout = child.stdout.take().expect("stdout was piped");
+        match read_announce(stdout) {
+            Ok(addr) => {
+                let mut p = self.proc_.lock().expect("replica poisoned");
+                p.child = Some(child);
+                p.addr = Some(addr);
+                p.retry_at = None;
+                drop(p);
+                self.up.store(true, Ordering::SeqCst);
+                Ok(addr)
+            }
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                Err(e)
+            }
+        }
+    }
+
+    /// Kills the child outright (crash injection / gateway shutdown).
+    /// The supervisor respawns it on a later tick unless the gateway is
+    /// draining.
+    pub fn kill(&self) {
+        self.up.store(false, Ordering::SeqCst);
+        let mut p = self.proc_.lock().expect("replica poisoned");
+        if let Some(mut child) = p.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        p.addr = None;
+    }
+
+    /// One supervisor heartbeat: reap a dead child, probe a live one
+    /// (updating the queue-depth gauge and resetting backoff), and
+    /// respawn a dead slot once its backoff expires. Returns `true`
+    /// when this tick performed a respawn.
+    pub fn tick(&self, gateway_draining: bool) -> bool {
+        let addr = {
+            let mut p = self.proc_.lock().expect("replica poisoned");
+            if let Some(child) = p.child.as_mut() {
+                if child.try_wait().ok().flatten().is_some() {
+                    // Exited on its own (crash or external kill): reap.
+                    p.child = None;
+                    p.addr = None;
+                    self.up.store(false, Ordering::SeqCst);
+                }
+            }
+            p.addr
+        };
+
+        if self.is_up() {
+            if let Some(addr) = addr {
+                match probe_ready(addr) {
+                    Ok(queue_len) => {
+                        self.queue_len.store(queue_len, Ordering::SeqCst);
+                        // A healthy probe forgives crash history.
+                        self.proc_.lock().expect("replica poisoned").backoff = None;
+                        return false;
+                    }
+                    Err(_) => {
+                        // Wedged: unreachable or not answering probes.
+                        self.kill();
+                    }
+                }
+            }
+        }
+        if gateway_draining {
+            return false;
+        }
+
+        // Down here. First tick after the death schedules the respawn
+        // one backoff out (crashes are never respawned instantly — a
+        // crash-looping binary must not spin); later ticks attempt it
+        // once the schedule comes due, doubling the delay on failure.
+        {
+            let mut p = self.proc_.lock().expect("replica poisoned");
+            if p.child.is_some() {
+                return false; // raced with a concurrent spawn
+            }
+            let delay = p.backoff.unwrap_or(BACKOFF_MIN);
+            match p.retry_at {
+                None => {
+                    p.retry_at = Some(Instant::now() + delay);
+                    p.backoff = Some((delay * 2).min(BACKOFF_MAX));
+                    return false;
+                }
+                Some(at) if Instant::now() < at => return false,
+                Some(_) => {}
+            }
+        }
+        match self.spawn_now() {
+            Ok(_) => {
+                self.restarts.fetch_add(1, Ordering::SeqCst);
+                true
+            }
+            Err(_) => {
+                let mut p = self.proc_.lock().expect("replica poisoned");
+                let delay = p.backoff.unwrap_or(BACKOFF_MIN);
+                p.retry_at = Some(Instant::now() + delay);
+                p.backoff = Some((delay * 2).min(BACKOFF_MAX));
+                false
+            }
+        }
+    }
+
+    /// Best-effort graceful stop: ask the child to drain over the wire,
+    /// then wait for it to exit (killing after `grace`).
+    pub fn stop(&self, grace: Duration) {
+        self.up.store(false, Ordering::SeqCst);
+        let (addr, had_child) = {
+            let p = self.proc_.lock().expect("replica poisoned");
+            (p.addr, p.child.is_some())
+        };
+        if let (Some(addr), true) = (addr, had_child) {
+            let _ = send_one(addr, &Request::new(0, "shutdown", Value::Null));
+        }
+        let deadline = Instant::now() + grace;
+        loop {
+            let mut p = self.proc_.lock().expect("replica poisoned");
+            match p.child.as_mut() {
+                None => return,
+                Some(child) => {
+                    if child.try_wait().ok().flatten().is_some() {
+                        p.child = None;
+                        p.addr = None;
+                        return;
+                    }
+                }
+            }
+            drop(p);
+            if Instant::now() >= deadline {
+                self.kill();
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+}
+
+/// Reads the child's `{"listening":"host:port"}` announce line off its
+/// piped stdout, with a hard timeout (a wedged child must not hang the
+/// gateway). The pipe is then drained to EOF on a detached thread so a
+/// chatty child never blocks on a full pipe.
+fn read_announce(stdout: std::process::ChildStdout) -> std::io::Result<SocketAddr> {
+    let (tx, rx) = mpsc::channel();
+    std::thread::Builder::new()
+        .name("m3d-gateway-announce".to_owned())
+        .spawn(move || {
+            let mut reader = BufReader::new(stdout);
+            let mut line = String::new();
+            let read = reader.read_line(&mut line);
+            let _ = tx.send(read.map(|_| line));
+            let _ = std::io::copy(&mut reader, &mut std::io::sink());
+        })
+        .expect("spawn announce reader");
+    let line = rx
+        .recv_timeout(ANNOUNCE_TIMEOUT)
+        .map_err(|_| err_other("replica did not announce within 10s"))??;
+    parse_announce(&line).ok_or_else(|| err_other(format!("bad announce line: {line:?}")))
+}
+
+/// Extracts the address from an announce line.
+fn parse_announce(line: &str) -> Option<SocketAddr> {
+    let v = serde_json::from_str_value(line.trim()).ok()?;
+    match v.get("listening") {
+        Some(Value::Str(s)) => s.parse().ok(),
+        _ => None,
+    }
+}
+
+/// One `ready` probe; returns the replica's queue depth.
+fn probe_ready(addr: SocketAddr) -> Result<i64, String> {
+    let resp = send_one(addr, &Request::new(0, CASE_READY, Value::Null))?;
+    match resp {
+        Response::Ok { result, .. } => {
+            let ready = matches!(result.get("ready"), Some(Value::Bool(true)));
+            if !ready {
+                return Err("replica reports not ready".to_owned());
+            }
+            Ok(result
+                .get("queue_len")
+                .and_then(Value::as_u64)
+                .map_or(0, |n| i64::try_from(n).unwrap_or(i64::MAX)))
+        }
+        Response::Err { error, .. } => Err(error),
+    }
+}
+
+/// Sends one request on a fresh short-deadline connection and parses
+/// the single response line.
+pub(crate) fn send_one(addr: SocketAddr, req: &Request) -> Result<Response, String> {
+    let stream = TcpStream::connect_timeout(&addr, PROBE_TIMEOUT).map_err(|e| e.to_string())?;
+    stream
+        .set_read_timeout(Some(PROBE_TIMEOUT))
+        .map_err(|e| e.to_string())?;
+    stream
+        .set_write_timeout(Some(PROBE_TIMEOUT))
+        .map_err(|e| e.to_string())?;
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    writer
+        .write_all(format!("{}\n", req.to_line()).as_bytes())
+        .map_err(|e| e.to_string())?;
+    writer.flush().map_err(|e| e.to_string())?;
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| e.to_string())?;
+    if line.is_empty() {
+        return Err("replica closed the connection".to_owned());
+    }
+    Response::parse(&line)
+}
+
+fn err_other(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::other(msg.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn announce_lines_parse() {
+        assert_eq!(
+            parse_announce("{\"listening\":\"127.0.0.1:7733\"}\n"),
+            Some("127.0.0.1:7733".parse().unwrap())
+        );
+        assert_eq!(parse_announce("{\"listening\":42}"), None);
+        assert_eq!(parse_announce("starting up..."), None);
+    }
+
+    #[test]
+    fn flags_gate_routability() {
+        let r = Replica::new(
+            3,
+            ReplicaConfig {
+                serve_bin: PathBuf::from("/nonexistent"),
+                workers: 1,
+                queue_depth: 1,
+                default_timeout_ms: 1_000,
+            },
+        );
+        assert_eq!(r.index(), 3);
+        assert!(!r.is_up(), "a fresh slot is down until spawned");
+        assert!(!r.is_routable());
+        r.up.store(true, Ordering::SeqCst);
+        assert!(r.is_routable());
+        r.set_draining(true);
+        assert!(r.is_up() && !r.is_routable(), "draining removes routing");
+        r.set_draining(false);
+        r.mark_down();
+        assert!(!r.is_routable());
+    }
+
+    #[test]
+    fn spawn_failure_surfaces_as_error() {
+        let r = Replica::new(
+            0,
+            ReplicaConfig {
+                serve_bin: PathBuf::from("/nonexistent/m3d-serve"),
+                workers: 1,
+                queue_depth: 1,
+                default_timeout_ms: 1_000,
+            },
+        );
+        assert!(r.spawn_now().is_err());
+        assert!(!r.is_up());
+    }
+}

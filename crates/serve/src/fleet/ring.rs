@@ -1,0 +1,164 @@
+//! The consistent-hash ring the gateway routes on.
+//!
+//! Each replica owns `vnodes` points on a 64-bit ring, placed by the
+//! same [`StableHasher`] the request content key uses — no
+//! `RandomState`, no per-process seed, so every gateway process (and
+//! every thread in one) computes the identical ring. A request key is
+//! routed to the replica owning the first point at or after it
+//! (wrapping), which gives the two properties the fleet leans on:
+//!
+//! * **Affinity** — identical keys land on the same replica run after
+//!   run, so each replica's response cache concentrates its own key
+//!   range instead of every replica cold-missing every key.
+//! * **Bounded movement** — adding or removing one of `n` replicas
+//!   remaps roughly `1/n` of the key space; the other replicas keep
+//!   their (already warm) keys. `tests/ring_properties.rs` pins both.
+//!
+//! [`Ring::route_available`] walks past points owned by down or
+//! draining replicas, so failover is passive: keys of a dead replica
+//! spill to ring-adjacent survivors and *snap back* when it returns.
+
+use m3d_tech::{StableHash, StableHasher};
+
+/// Virtual nodes per replica. Enough to keep the largest/smallest
+/// ownership ratio low at small fleet sizes without making ring
+/// construction or lookup measurable.
+pub const DEFAULT_VNODES: usize = 64;
+
+/// An immutable consistent-hash ring over replica indices
+/// `0..replicas`.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    replicas: usize,
+    /// `(point, replica)` sorted by point; ties broken by replica index
+    /// so construction order cannot matter.
+    points: Vec<(u64, usize)>,
+}
+
+/// The ring position of one virtual node.
+fn vnode_point(replica: usize, vnode: usize) -> u64 {
+    let mut h = StableHasher::new();
+    "m3d-fleet-ring".stable_hash(&mut h);
+    (replica as u64).stable_hash(&mut h);
+    (vnode as u64).stable_hash(&mut h);
+    h.finish()
+}
+
+impl Ring {
+    /// A ring over `replicas` replicas with `vnodes` points each.
+    /// Zero of either yields an empty ring that routes nothing.
+    pub fn new(replicas: usize, vnodes: usize) -> Self {
+        let mut points: Vec<(u64, usize)> = (0..replicas)
+            .flat_map(|r| (0..vnodes).map(move |v| (vnode_point(r, v), r)))
+            .collect();
+        points.sort_unstable();
+        Self { replicas, points }
+    }
+
+    /// Replica count the ring was built for.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// The replica owning `key`: the one whose point is first at or
+    /// after `key` on the wrapping ring. `None` on an empty ring.
+    pub fn route(&self, key: u64) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let idx = self.points.partition_point(|&(p, _)| p < key);
+        Some(self.points[idx % self.points.len()].1)
+    }
+
+    /// The first *eligible* replica at or after `key`'s position:
+    /// `eligible[r]` is false for down or draining replicas, whose
+    /// points are walked past. Falls back to `None` only when no
+    /// replica is eligible at all.
+    ///
+    /// Keys of an ineligible replica spill to the ring-adjacent
+    /// survivors (preserving the bounded-movement property) and return
+    /// to their owner as soon as it is eligible again.
+    pub fn route_available(&self, key: u64, eligible: &[bool]) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let start = self.points.partition_point(|&(p, _)| p < key);
+        for i in 0..self.points.len() {
+            let (_, r) = self.points[(start + i) % self.points.len()];
+            if eligible.get(r).copied().unwrap_or(false) {
+                return Some(r);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ring_routes_nothing() {
+        assert_eq!(Ring::new(0, DEFAULT_VNODES).route(7), None);
+        assert_eq!(Ring::new(3, 0).route(7), None);
+        assert_eq!(Ring::new(0, 4).route_available(7, &[]), None);
+    }
+
+    #[test]
+    fn route_is_deterministic_and_in_range() {
+        let ring = Ring::new(5, DEFAULT_VNODES);
+        for key in (0..2_000u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)) {
+            let r = ring.route(key).unwrap();
+            assert!(r < 5);
+            assert_eq!(Ring::new(5, DEFAULT_VNODES).route(key), Some(r));
+        }
+    }
+
+    #[test]
+    fn every_replica_owns_some_keys() {
+        let ring = Ring::new(4, DEFAULT_VNODES);
+        let mut owned = [0usize; 4];
+        for key in (0..4_000u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)) {
+            owned[ring.route(key).unwrap()] += 1;
+        }
+        for (r, n) in owned.iter().enumerate() {
+            assert!(*n > 0, "replica {r} owns no keys: {owned:?}");
+        }
+    }
+
+    #[test]
+    fn route_available_matches_route_when_all_eligible() {
+        let ring = Ring::new(3, DEFAULT_VNODES);
+        for key in (0..500u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)) {
+            assert_eq!(
+                ring.route_available(key, &[true, true, true]),
+                ring.route(key)
+            );
+        }
+    }
+
+    #[test]
+    fn ineligible_owner_spills_then_snaps_back() {
+        let ring = Ring::new(3, DEFAULT_VNODES);
+        let key = 0xfeed_beef_dead_cafe;
+        let owner = ring.route(key).unwrap();
+        let mut eligible = [true; 3];
+        eligible[owner] = false;
+        let fallback = ring.route_available(key, &eligible).unwrap();
+        assert_ne!(fallback, owner, "a down replica must not be routed to");
+        eligible[owner] = true;
+        assert_eq!(
+            ring.route_available(key, &eligible),
+            Some(owner),
+            "keys snap back once the owner is eligible again"
+        );
+    }
+
+    #[test]
+    fn no_eligible_replica_routes_none() {
+        let ring = Ring::new(2, DEFAULT_VNODES);
+        assert_eq!(ring.route_available(1, &[false, false]), None);
+        // A short eligibility slice reads as ineligible, not a panic.
+        assert_eq!(ring.route_available(1, &[]), None);
+    }
+}

@@ -20,19 +20,27 @@
 //! * **Deadlines & drain** — per-request timeouts (408) and graceful
 //!   shutdown that completes queued work before exiting.
 //!
-//! Binaries: `m3d-serve` (the server) and `m3d-loadgen` (a
-//! closed-loop load generator reporting throughput, latency
-//! percentiles and cache hit rates, with a deterministic `--json`
-//! artifact). See `EXPERIMENTS.md` for the wire protocol and tuning
-//! knobs.
+//! * **Fleet mode** — [`fleet`] scales one server to N supervised
+//!   replica processes behind `m3d-gateway`: consistent-hash routing
+//!   on the request content key (cache affinity), crash respawn with
+//!   bounded backoff, transparent retry of idempotent requests, and a
+//!   shared on-disk artifact tier via `M3D_CACHE_DIR`.
+//!
+//! Binaries: `m3d-serve` (the server), `m3d-gateway` (the fleet
+//! router) and `m3d-loadgen` (a closed-loop load generator reporting
+//! throughput, latency percentiles and cache hit rates, with a
+//! deterministic `--json` artifact). See `EXPERIMENTS.md` for the wire
+//! protocol and tuning knobs.
 
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod metrics;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 
+pub use fleet::{serve_fleet, FleetHandle, GatewayConfig};
 pub use metrics::{LatencySummary, Metrics};
 pub use protocol::{Request, Response};
 pub use server::{serve, Handle, ServerConfig};

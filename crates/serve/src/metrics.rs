@@ -30,6 +30,7 @@ pub const COUNTERS: &[&str] = &[
     "coalesced",
     "timed_out",
     "failed",
+    "scrapes_limited",
 ];
 
 /// Per-server metrics: named counters, latency/queue-depth histograms
@@ -94,27 +95,41 @@ impl Metrics {
         self.rec.snapshot()
     }
 
-    /// This server's counters and histograms merged with a second
+    /// This server's counters, gauges and histograms merged with a second
     /// recorder (the process-global engine one). The two namespaces are
     /// disjoint by construction — request-outcome counters here,
     /// `flow_cache.*` / `par_map.*` / `pd_flow.*` / `engine.*` there —
     /// so a merge is a union; on an unexpected name collision the
     /// server-local entry wins.
-    fn merged(&self, other: &Recorder) -> (Vec<(String, u64)>, Vec<(String, Histogram)>) {
+    #[allow(clippy::type_complexity)]
+    fn merged(
+        &self,
+        other: &Recorder,
+    ) -> (
+        Vec<(String, u64)>,
+        Vec<(String, i64)>,
+        Vec<(String, Histogram)>,
+    ) {
         let mut counters: BTreeMap<String, u64> = other.counters_sorted().into_iter().collect();
         counters.extend(self.rec.counters_sorted());
+        let mut gauges: BTreeMap<String, i64> = other.gauges_sorted().into_iter().collect();
+        gauges.extend(self.rec.gauges_sorted());
         let mut hists: BTreeMap<String, Histogram> = other.hists_sorted().into_iter().collect();
         hists.extend(self.rec.hists_sorted());
-        (counters.into_iter().collect(), hists.into_iter().collect())
+        (
+            counters.into_iter().collect(),
+            gauges.into_iter().collect(),
+            hists.into_iter().collect(),
+        )
     }
 
-    /// [`Metrics::snapshot`] with `other`'s counters and histograms
-    /// merged in (the `metrics` wire case). The span ring stays
+    /// [`Metrics::snapshot`] with `other`'s counters, gauges and
+    /// histograms merged in (the `metrics` wire case). The span ring stays
     /// server-local: per-request spans belong to this server, and the
     /// global ring holds whole-run engine spans that are not request
     /// observability.
     pub fn merged_snapshot(&self, other: &Recorder) -> Value {
-        let (counters, hists) = self.merged(other);
+        let (counters, gauges, hists) = self.merged(other);
         Value::Object(vec![
             (
                 "counters".to_owned(),
@@ -122,6 +137,15 @@ impl Metrics {
                     counters
                         .into_iter()
                         .map(|(n, v)| (n, Value::U64(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".to_owned(),
+                Value::Object(
+                    gauges
+                        .into_iter()
+                        .map(|(n, v)| (n, Value::I64(v)))
                         .collect(),
                 ),
             ),
@@ -142,12 +166,12 @@ impl Metrics {
         ])
     }
 
-    /// The merged counters and histograms rendered as a Prometheus text
+    /// The merged counters, gauges and histograms rendered as a Prometheus text
     /// exposition (the `metrics_text` wire case). Same grammar and
     /// determinism rules as [`m3d_core::obs::render_text`].
     pub fn merged_text(&self, other: &Recorder) -> String {
-        let (counters, hists) = self.merged(other);
-        render_parts(&counters, &hists)
+        let (counters, gauges, hists) = self.merged(other);
+        render_parts(&counters, &gauges, &hists)
     }
 }
 
@@ -257,11 +281,19 @@ mod tests {
         let global = Recorder::new();
         global.incr("flow_cache.hits", 4);
         global.incr("accepted", 100); // collision: server-local wins
+        global.gauge_set("fleet.replica0.in_flight", 2);
+        m.recorder().gauge_set("queue_len", 5);
 
         let s = m.merged_snapshot(&global);
         let counters = s.get("counters").unwrap();
         assert_eq!(counters.get("accepted").unwrap().as_u64(), Some(1));
         assert_eq!(counters.get("flow_cache.hits").unwrap().as_u64(), Some(4));
+        let gauges = s.get("gauges").unwrap();
+        assert_eq!(
+            gauges.get("fleet.replica0.in_flight").unwrap().as_i64(),
+            Some(2)
+        );
+        assert_eq!(gauges.get("queue_len").unwrap().as_i64(), Some(5));
         assert!(s
             .get("histograms")
             .unwrap()
@@ -272,6 +304,7 @@ mod tests {
         m3d_core::obs::validate_exposition(&text).expect("exposition parses");
         assert!(text.contains("flow_cache_hits 4\n"), "{text}");
         assert!(text.contains("executed 1\n"), "{text}");
+        assert!(text.contains("fleet_replica0_in_flight 2\n"), "{text}");
         assert!(text.contains("request_latency_us_count 1\n"), "{text}");
     }
 

@@ -33,6 +33,20 @@ pub const CASE_METRICS_TEXT: &str = "metrics_text";
 /// Reserved case name: the registered experiment cases with their
 /// parameter schemas (registry order, deterministic).
 pub const CASE_CASES: &str = "cases";
+/// Reserved case name: liveness probe — answers as long as the process
+/// can read a line and write one back, even while draining.
+pub const CASE_HEALTH: &str = "health";
+/// Reserved case name: readiness probe — `ready:false` once a drain
+/// has begun (the fleet router stops routing to a non-ready replica).
+/// Carries the current queue depth so the prober doubles as a
+/// queue-depth gauge source.
+pub const CASE_READY: &str = "ready";
+/// Reserved case name (gateway only): stop routing to one replica and
+/// let its in-flight work finish. Params: `{"replica": K}`.
+pub const CASE_DRAIN: &str = "drain";
+/// Reserved case name (gateway only): return a drained replica to the
+/// routing ring. Params: `{"replica": K}`.
+pub const CASE_UNDRAIN: &str = "undrain";
 
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +63,14 @@ pub struct Request {
     /// Per-request deadline override in milliseconds (server default
     /// applies when omitted).
     pub timeout_ms: Option<u64>,
+    /// Fleet routing override: force the gateway to forward this
+    /// request to replica index `K` instead of consistent-hash
+    /// routing. A delivery field like `id`/`timeout_ms`: it does not
+    /// participate in the content key, and a plain `m3d-serve` ignores
+    /// it — the payload it answers with is byte-identical whichever
+    /// replica computes it, which is what the cross-replica identity
+    /// check exploits.
+    pub replica: Option<u64>,
 }
 
 impl Request {
@@ -60,6 +82,7 @@ impl Request {
             quick: true,
             params,
             timeout_ms: None,
+            replica: None,
         }
     }
 
@@ -101,12 +124,20 @@ impl Request {
                     .ok_or("`timeout_ms` must be a non-negative integer")?,
             ),
         };
+        let replica = match v.get("replica") {
+            None => None,
+            Some(x) => Some(
+                x.as_u64()
+                    .ok_or("`replica` must be a non-negative integer")?,
+            ),
+        };
         Ok(Self {
             id,
             case,
             quick,
             params,
             timeout_ms,
+            replica,
         })
     }
 
@@ -133,6 +164,9 @@ impl Request {
         }
         if let Some(t) = self.timeout_ms {
             fields.push(("timeout_ms".to_owned(), Value::U64(t)));
+        }
+        if let Some(r) = self.replica {
+            fields.push(("replica".to_owned(), Value::U64(r)));
         }
         serde_json::to_string(&Value::Object(fields)).expect("request serialises")
     }
@@ -368,6 +402,7 @@ mod tests {
             quick: false,
             params: obj(vec![("n_cs", Value::U64(8))]),
             timeout_ms: Some(2500),
+            replica: Some(2),
         };
         assert_eq!(Request::parse(&req.to_line()).unwrap(), req);
     }
@@ -399,6 +434,14 @@ mod tests {
         let b =
             Request::parse(r#"{"id":9,"timeout_ms":5,"case":"x","params":{"b":2,"a":1}}"#).unwrap();
         assert_eq!(a.key(), b.key());
+        let forced =
+            Request::parse(r#"{"id":1,"case":"x","replica":2,"params":{"a":1,"b":2}}"#).unwrap();
+        assert_eq!(forced.replica, Some(2));
+        assert_eq!(
+            a.key(),
+            forced.key(),
+            "the routing override is a delivery field, not content"
+        );
         let c = Request::parse(r#"{"case":"x","params":{"a":1,"b":3}}"#).unwrap();
         assert_ne!(a.key(), c.key());
         let d = Request::parse(r#"{"case":"x","quick":false,"params":{"a":1,"b":2}}"#).unwrap();

@@ -36,8 +36,8 @@ use serde::Value;
 
 use crate::metrics::Metrics;
 use crate::protocol::{
-    key_hex, Request, Response, CASE_CASES, CASE_METRICS, CASE_METRICS_TEXT, CASE_PING,
-    CASE_SHUTDOWN, CASE_STATS,
+    key_hex, Request, Response, CASE_CASES, CASE_HEALTH, CASE_METRICS, CASE_METRICS_TEXT,
+    CASE_PING, CASE_READY, CASE_SHUTDOWN, CASE_STATS,
 };
 use crate::queue::{Bounded, PushError};
 
@@ -57,6 +57,11 @@ pub struct ServerConfig {
     /// Default per-request deadline (overridable per request via
     /// `timeout_ms`).
     pub default_timeout_ms: u64,
+    /// Minimum interval between `metrics`/`metrics_text` scrapes on one
+    /// connection; a faster scraper gets 429 + `retry_after_ms` instead
+    /// of occupying the handler with snapshot rendering. `0` disables
+    /// the limit.
+    pub scrape_min_interval_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -66,7 +71,42 @@ impl Default for ServerConfig {
             workers: std::thread::available_parallelism().map_or(2, |n| n.get().min(8)),
             queue_depth: 64,
             default_timeout_ms: 120_000,
+            scrape_min_interval_ms: 25,
         }
+    }
+}
+
+/// Per-connection scrape cadence limiter for the `metrics` /
+/// `metrics_text` cases. One gate covers both cases: a scraper
+/// alternating them is still held to the interval.
+pub(crate) struct ScrapeGate {
+    min_interval: Duration,
+    last: Option<Instant>,
+}
+
+impl ScrapeGate {
+    pub(crate) fn new(min_interval: Duration) -> Self {
+        Self {
+            min_interval,
+            last: None,
+        }
+    }
+
+    /// Admits the scrape (recording its time) or returns how many
+    /// milliseconds the caller should wait before retrying.
+    pub(crate) fn admit(&mut self) -> Result<(), u64> {
+        let now = Instant::now();
+        if self.min_interval > Duration::ZERO {
+            if let Some(last) = self.last {
+                let elapsed = now.saturating_duration_since(last);
+                if elapsed < self.min_interval {
+                    let wait = (self.min_interval - elapsed).as_millis() as u64;
+                    return Err(wait.max(1));
+                }
+            }
+        }
+        self.last = Some(now);
+        Ok(())
     }
 }
 
@@ -131,6 +171,7 @@ struct Shared {
     shutdown: AtomicBool,
     addr: SocketAddr,
     default_timeout: Duration,
+    scrape_min_interval: Duration,
 }
 
 impl Shared {
@@ -197,6 +238,7 @@ pub fn serve(cfg: &ServerConfig) -> std::io::Result<Handle> {
         shutdown: AtomicBool::new(false),
         addr,
         default_timeout: Duration::from_millis(cfg.default_timeout_ms.clamp(1, 3_600_000)),
+        scrape_min_interval: Duration::from_millis(cfg.scrape_min_interval_ms),
     });
 
     let workers = (0..cfg.workers.max(1))
@@ -263,6 +305,7 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) -> std::io::Result
     stream.set_nodelay(true)?;
     let mut writer = stream.try_clone()?;
     let reader = BufReader::new(stream);
+    let mut scrapes = ScrapeGate::new(shared.scrape_min_interval);
     for line in reader.lines() {
         let line = line?;
         if line.trim().is_empty() {
@@ -275,7 +318,7 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) -> std::io::Result
                 error: e,
                 retry_after_ms: None,
             },
-            Ok(req) => dispatch(shared, req),
+            Ok(req) => dispatch(shared, req, &mut scrapes),
         };
         writer.write_all(resp.to_line().as_bytes())?;
         writer.write_all(b"\n")?;
@@ -286,7 +329,7 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) -> std::io::Result
 
 /// Routes one parsed request: admin cases inline, experiment cases
 /// through the queue and worker pool.
-fn dispatch(shared: &Arc<Shared>, req: Request) -> Response {
+fn dispatch(shared: &Arc<Shared>, req: Request, scrapes: &mut ScrapeGate) -> Response {
     match req.case.as_str() {
         CASE_PING => {
             return Response::Ok {
@@ -298,8 +341,49 @@ fn dispatch(shared: &Arc<Shared>, req: Request) -> Response {
                 result: Value::Object(vec![("pong".to_owned(), Value::Bool(true))]),
             }
         }
+        CASE_HEALTH => {
+            // Liveness: true as long as the connection handler runs,
+            // draining or not — the fleet supervisor uses `ready` to
+            // decide routing and this case to decide respawning.
+            return Response::Ok {
+                id: req.id,
+                case: req.case.clone(),
+                key: key_hex(req.key()),
+                cached: false,
+                coalesced: false,
+                result: Value::Object(vec![
+                    ("healthy".to_owned(), Value::Bool(true)),
+                    (
+                        "draining".to_owned(),
+                        Value::Bool(shared.shutdown.load(Ordering::SeqCst)),
+                    ),
+                ]),
+            };
+        }
+        CASE_READY => {
+            let draining = shared.shutdown.load(Ordering::SeqCst);
+            return Response::Ok {
+                id: req.id,
+                case: req.case.clone(),
+                key: key_hex(req.key()),
+                cached: false,
+                coalesced: false,
+                result: Value::Object(vec![
+                    ("ready".to_owned(), Value::Bool(!draining)),
+                    ("draining".to_owned(), Value::Bool(draining)),
+                    (
+                        "queue_len".to_owned(),
+                        Value::U64(shared.queue.len() as u64),
+                    ),
+                ]),
+            };
+        }
         CASE_STATS => return stats_response(shared, &req),
         CASE_METRICS => {
+            if let Err(wait_ms) = scrapes.admit() {
+                shared.metrics.bump("scrapes_limited");
+                return scrape_limited(&req, wait_ms);
+            }
             return Response::Ok {
                 id: req.id,
                 case: req.case.clone(),
@@ -313,6 +397,10 @@ fn dispatch(shared: &Arc<Shared>, req: Request) -> Response {
             };
         }
         CASE_METRICS_TEXT => {
+            if let Err(wait_ms) = scrapes.admit() {
+                shared.metrics.bump("scrapes_limited");
+                return scrape_limited(&req, wait_ms);
+            }
             return Response::Ok {
                 id: req.id,
                 case: req.case.clone(),
@@ -323,7 +411,7 @@ fn dispatch(shared: &Arc<Shared>, req: Request) -> Response {
                     "text".to_owned(),
                     Value::Str(shared.metrics.merged_text(Recorder::global())),
                 )]),
-            }
+            };
         }
         CASE_SHUTDOWN => {
             shared.begin_shutdown();
@@ -425,6 +513,17 @@ fn dispatch(shared: &Arc<Shared>, req: Request) -> Response {
                 retry_after_ms: None,
             }
         }
+    }
+}
+
+/// The 429 a too-eager `metrics`/`metrics_text` scraper receives: retry
+/// after the remainder of the per-connection minimum interval.
+fn scrape_limited(req: &Request, wait_ms: u64) -> Response {
+    Response::Err {
+        id: req.id,
+        code: ErrorCode::Overloaded,
+        error: format!("`{}` scraped too fast on this connection", req.case),
+        retry_after_ms: Some(wait_ms),
     }
 }
 

@@ -1,0 +1,293 @@
+//! Fleet integration tests: a real in-process gateway supervising real
+//! `m3d-serve` child processes (the binary cargo built for this test
+//! run), exercised over real TCP.
+//!
+//! The contracts pinned here are the fleet's hard gates:
+//!
+//! * routing affinity — repeats of one request land on one replica,
+//! * cross-replica byte-identity — the same request forced through
+//!   every replica digests identically,
+//! * crash transparency — a replica killed with the gateway unaware
+//!   (SIGKILL to the pid, no `kill_replica` bookkeeping) still yields
+//!   one successful, payload-identical response via retry, and the
+//!   supervisor respawns the replica.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use m3d_serve::fleet::{serve_fleet, FleetHandle, GatewayConfig};
+use m3d_serve::protocol::{Request, Response};
+use serde::Value;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn start_fleet(replicas: usize) -> FleetHandle {
+    serve_fleet(&GatewayConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        replicas,
+        serve_bin: PathBuf::from(env!("CARGO_BIN_EXE_m3d-serve")),
+        workers: 2,
+        queue_depth: 16,
+        default_timeout_ms: 30_000,
+        probe_interval_ms: 50,
+        scrape_min_interval_ms: 0,
+        ..GatewayConfig::default()
+    })
+    .expect("fleet starts")
+}
+
+/// One client connection to the gateway.
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect to gateway");
+        stream.set_nodelay(true).unwrap();
+        Self {
+            writer: stream.try_clone().unwrap(),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    /// Sends one request; returns the raw response line.
+    fn roundtrip_raw(&mut self, req: &Request) -> String {
+        self.writer
+            .write_all(format!("{}\n", req.to_line()).as_bytes())
+            .expect("write request");
+        self.writer.flush().unwrap();
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read response");
+        assert!(n > 0, "gateway closed the connection");
+        line
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> (Response, Option<u64>) {
+        let line = self.roundtrip_raw(req);
+        let replica = serde_json::from_str_value(line.trim())
+            .ok()
+            .and_then(|v| v.get("replica").and_then(Value::as_u64));
+        (
+            Response::parse(line.trim()).expect("response parses"),
+            replica,
+        )
+    }
+}
+
+fn sensitivity(id: u64, seed: u64) -> Request {
+    Request::new(
+        id,
+        "sensitivity",
+        obj(vec![
+            ("samples", Value::U64(300)),
+            ("seed", Value::U64(seed)),
+        ]),
+    )
+}
+
+/// Serialised `result` payload of an OK response.
+fn payload(resp: &Response) -> String {
+    match resp {
+        Response::Ok { result, .. } => serde_json::to_string(result).expect("result serialises"),
+        Response::Err { error, code, .. } => {
+            panic!("expected OK response, got {code:?}: {error}")
+        }
+    }
+}
+
+#[test]
+fn fleet_routes_with_affinity_and_cross_replica_identity() {
+    let fleet = start_fleet(3);
+    let addr = fleet.addr();
+
+    // Admin cases answer fleet-wide.
+    let mut admin = Client::connect(addr);
+    let (health, _) = admin.roundtrip(&Request::new(1, "health", Value::Null));
+    match &health {
+        Response::Ok { result, .. } => {
+            assert_eq!(result.get("healthy"), Some(&Value::Bool(true)));
+            assert_eq!(result.get("replicas_up"), Some(&Value::U64(3)));
+        }
+        other => panic!("health failed: {other:?}"),
+    }
+    let (ready, _) = admin.roundtrip(&Request::new(2, "ready", Value::Null));
+    match &ready {
+        Response::Ok { result, .. } => {
+            assert_eq!(result.get("ready"), Some(&Value::Bool(true)));
+        }
+        other => panic!("ready failed: {other:?}"),
+    }
+    // `ping` forwards round-robin and gets tagged.
+    let (pong, replica) = admin.roundtrip(&Request::new(3, "ping", Value::Null));
+    assert_eq!(pong.status(), 200);
+    assert!(replica.is_some(), "forwarded responses carry a replica tag");
+
+    // Affinity: the same request from several connections always lands
+    // on one replica, and repeats replay its response cache.
+    let mut owners = Vec::new();
+    let mut payloads = Vec::new();
+    for conn in 0..4 {
+        let mut c = Client::connect(addr);
+        for i in 0..3 {
+            let (resp, replica) = c.roundtrip(&sensitivity(100 + conn * 10 + i, 7));
+            assert_eq!(resp.status(), 200, "routed request failed: {resp:?}");
+            owners.push(replica.expect("routed response must be tagged"));
+            payloads.push(payload(&resp));
+        }
+    }
+    let owner = owners[0];
+    assert!(
+        owners.iter().all(|&r| r == owner),
+        "affinity broken: owners {owners:?}"
+    );
+    assert!(
+        payloads.iter().all(|p| p == &payloads[0]),
+        "repeat payloads must be byte-identical"
+    );
+
+    // Cross-replica identity: the same content key forced through
+    // every replica must produce byte-identical payloads.
+    for k in 0..3u64 {
+        let mut c = Client::connect(addr);
+        let mut req = sensitivity(200 + k, 7);
+        req.replica = Some(k);
+        let (resp, replica) = c.roundtrip(&req);
+        assert_eq!(resp.status(), 200, "forced route to {k} failed: {resp:?}");
+        assert_eq!(replica, Some(k), "forced routing must pin the replica");
+        assert_eq!(
+            payload(&resp),
+            payloads[0],
+            "replica {k} diverged from the fleet payload"
+        );
+    }
+
+    // Drain the owner: fresh traffic for its keys spills elsewhere,
+    // undrain snaps it back.
+    let (drained, _) = admin.roundtrip(&Request::new(
+        300,
+        "drain",
+        obj(vec![("replica", Value::U64(owner))]),
+    ));
+    assert_eq!(drained.status(), 200);
+    let mut c = Client::connect(addr);
+    let (resp, spilled) = c.roundtrip(&sensitivity(301, 7));
+    assert_eq!(resp.status(), 200);
+    assert_ne!(
+        spilled,
+        Some(owner),
+        "a draining replica must get no new work"
+    );
+    assert_eq!(payload(&resp), payloads[0], "failover payload identical");
+    let (undrained, _) = admin.roundtrip(&Request::new(
+        302,
+        "undrain",
+        obj(vec![("replica", Value::U64(owner))]),
+    ));
+    assert_eq!(undrained.status(), 200);
+    let (resp, back) = c.roundtrip(&sensitivity(303, 7));
+    assert_eq!(resp.status(), 200);
+    assert_eq!(back, Some(owner), "keys snap back after undrain");
+
+    // Fleet stats name the per-replica routed tallies.
+    let (stats, _) = admin.roundtrip(&Request::new(400, "stats", Value::Null));
+    match &stats {
+        Response::Ok { result, .. } => {
+            let Some(Value::Array(replicas)) = result.get("replicas") else {
+                panic!("stats carries no replicas array: {result:?}");
+            };
+            assert_eq!(replicas.len(), 3);
+            let routed: u64 = replicas
+                .iter()
+                .filter_map(|r| r.get("routed").and_then(Value::as_u64))
+                .sum();
+            assert!(routed >= 16, "expected routed tallies, saw {routed}");
+        }
+        other => panic!("stats failed: {other:?}"),
+    }
+
+    fleet.shutdown();
+    fleet.wait();
+}
+
+#[test]
+fn killed_replica_is_retried_transparently_and_respawned() {
+    let fleet = start_fleet(3);
+    let addr = fleet.addr();
+    let mut c = Client::connect(addr);
+
+    let (first, owner) = c.roundtrip(&sensitivity(1, 42));
+    assert_eq!(first.status(), 200);
+    let owner = owner.expect("tagged") as usize;
+    let reference = payload(&first);
+
+    // SIGKILL the owner behind the gateway's back: the gateway still
+    // believes it is up, routes there, hits the dead socket, retries a
+    // survivor — the client must see one successful response.
+    let pid = fleet.replica_pid(owner).expect("owner has a pid");
+    let killed = std::process::Command::new("kill")
+        .arg("-9")
+        .arg(pid.to_string())
+        .status()
+        .expect("spawn kill");
+    assert!(killed.success(), "kill -9 {pid} failed");
+    // Give the kernel a beat to tear the socket down.
+    std::thread::sleep(Duration::from_millis(100));
+
+    let (retried, survivor) = c.roundtrip(&sensitivity(2, 42));
+    assert_eq!(
+        retried.status(),
+        200,
+        "request lost with the replica: {retried:?}"
+    );
+    assert_ne!(survivor, Some(owner as u64), "dead replica cannot answer");
+    assert_eq!(
+        payload(&retried),
+        reference,
+        "retried response must be byte-identical"
+    );
+
+    // The supervisor respawns the owner (250 ms backoff, 50 ms ticks).
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut admin = Client::connect(addr);
+    loop {
+        let (stats, _) = admin.roundtrip(&Request::new(3, "stats", Value::Null));
+        let up_with_restart = match &stats {
+            Response::Ok { result, .. } => match result.get("replicas") {
+                Some(Value::Array(replicas)) => replicas.get(owner).is_some_and(|r| {
+                    matches!(r.get("up"), Some(Value::Bool(true)))
+                        && r.get("restarts").and_then(Value::as_u64).unwrap_or(0) >= 1
+                }),
+                _ => false,
+            },
+            _ => false,
+        };
+        if up_with_restart {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replica {owner} not respawned in time: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // Affinity snaps back to the respawned owner, payload unchanged
+    // (its response cache died with it; the result must not differ).
+    let (after, back) = c.roundtrip(&sensitivity(4, 42));
+    assert_eq!(after.status(), 200);
+    assert_eq!(
+        back,
+        Some(owner as u64),
+        "keys return to the respawned owner"
+    );
+    assert_eq!(payload(&after), reference);
+
+    fleet.shutdown();
+    fleet.wait();
+}

@@ -51,6 +51,8 @@ fn start(workers: usize, queue_depth: usize) -> Handle {
         workers,
         queue_depth,
         default_timeout_ms: 60_000,
+        // Scrape limiting off: several tests hammer `metrics` in a loop.
+        scrape_min_interval_ms: 0,
     })
     .expect("server starts")
 }
@@ -365,4 +367,100 @@ fn shutdown_drains_queued_work_then_stops() {
         }
     });
     handle.wait(); // returns: accept loop and workers exited
+}
+
+#[test]
+fn metrics_scrapes_are_rate_limited_per_connection() {
+    let handle = serve(&ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 1,
+        queue_depth: 4,
+        default_timeout_ms: 60_000,
+        scrape_min_interval_ms: 150,
+    })
+    .expect("server starts");
+
+    let mut fast = Client::connect(&handle);
+    assert_eq!(fast.round_trip_line(r#"{"case":"metrics"}"#).status(), 200);
+    // A second scrape inside the interval is shed with a retry hint —
+    // `metrics_text` shares the same per-connection gate.
+    let wait_ms = match fast.round_trip_line(r#"{"case":"metrics_text"}"#) {
+        Response::Err {
+            code,
+            retry_after_ms,
+            ..
+        } => {
+            assert_eq!(code, ErrorCode::Overloaded);
+            retry_after_ms.expect("rate-limit reply carries a retry hint")
+        }
+        other => panic!("expected a 429, got {other:?}"),
+    };
+    assert!(wait_ms > 0 && wait_ms <= 150, "hint {wait_ms} out of range");
+
+    // The gate is per connection: a fresh connection scrapes at once.
+    let mut other = Client::connect(&handle);
+    assert_eq!(other.round_trip_line(r#"{"case":"metrics"}"#).status(), 200);
+
+    // Sleeping out the hint readmits the scrape, and the shed scrape
+    // was counted.
+    std::thread::sleep(Duration::from_millis(wait_ms + 20));
+    match fast.round_trip_line(r#"{"case":"metrics"}"#) {
+        Response::Ok { result, .. } => {
+            let limited = result
+                .get("counters")
+                .and_then(|c| c.get("scrapes_limited"))
+                .and_then(Value::as_u64);
+            assert_eq!(limited, Some(1), "the shed scrape is counted");
+        }
+        other => panic!("expected OK after the hinted wait, got {other:?}"),
+    }
+
+    // Non-scrape admin cases are never gated.
+    assert_eq!(fast.round_trip_line(r#"{"case":"stats"}"#).status(), 200);
+    assert_eq!(fast.round_trip_line(r#"{"case":"ping"}"#).status(), 200);
+
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn health_and_ready_track_the_drain() {
+    let handle = start(1, 4);
+    let mut c = Client::connect(&handle);
+
+    match c.round_trip_line(r#"{"case":"health"}"#) {
+        Response::Ok { result, .. } => {
+            assert_eq!(result.get("healthy"), Some(&Value::Bool(true)));
+            assert_eq!(result.get("draining"), Some(&Value::Bool(false)));
+        }
+        other => panic!("health failed: {other:?}"),
+    }
+    match c.round_trip_line(r#"{"case":"ready"}"#) {
+        Response::Ok { result, .. } => {
+            assert_eq!(result.get("ready"), Some(&Value::Bool(true)));
+            assert!(result.get("queue_len").is_some(), "ready carries the depth");
+        }
+        other => panic!("ready failed: {other:?}"),
+    }
+
+    assert_eq!(c.round_trip_line(r#"{"case":"shutdown"}"#).status(), 200);
+
+    // On the still-open connection: alive but no longer ready — the
+    // distinction the fleet supervisor keys respawn vs routing off.
+    match c.round_trip_line(r#"{"case":"health"}"#) {
+        Response::Ok { result, .. } => {
+            assert_eq!(result.get("healthy"), Some(&Value::Bool(true)));
+            assert_eq!(result.get("draining"), Some(&Value::Bool(true)));
+        }
+        other => panic!("health during drain failed: {other:?}"),
+    }
+    match c.round_trip_line(r#"{"case":"ready"}"#) {
+        Response::Ok { result, .. } => {
+            assert_eq!(result.get("ready"), Some(&Value::Bool(false)));
+            assert_eq!(result.get("draining"), Some(&Value::Bool(true)));
+        }
+        other => panic!("ready during drain failed: {other:?}"),
+    }
+
+    handle.wait();
 }

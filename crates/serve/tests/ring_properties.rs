@@ -1,0 +1,126 @@
+//! Property tests of the fleet routing ring: routing is a pure
+//! deterministic function of (key, fleet size), growing the fleet only
+//! moves keys *onto* the new replica, shrinking it only moves the
+//! removed replica's keys, and the moved fraction stays near 1/N.
+
+use m3d_serve::fleet::{Ring, DEFAULT_VNODES};
+use proptest::prelude::*;
+
+/// A spread-out key stream from a compact seed (the golden-ratio
+/// multiplier walks the whole 64-bit space evenly).
+fn keys(seed: u64, n: usize) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| (seed ^ i).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Adding replica N to a fleet of N: every key either stays put or
+    /// moves to the *new* replica — no key shuffles between survivors.
+    #[test]
+    fn growth_moves_keys_only_onto_the_new_replica(
+        replicas in 1usize..8,
+        seed in 0u64..u64::MAX,
+    ) {
+        let before = Ring::new(replicas, DEFAULT_VNODES);
+        let after = Ring::new(replicas + 1, DEFAULT_VNODES);
+        for key in keys(seed, 256) {
+            let from = before.route(key).unwrap();
+            let to = after.route(key).unwrap();
+            if from != to {
+                prop_assert_eq!(
+                    to, replicas,
+                    "key {} moved {} -> {} instead of onto the new replica", key, from, to
+                );
+            }
+        }
+    }
+
+    /// The fraction of keys the growth moves is about 1/(N+1) — the
+    /// consistent-hashing guarantee that makes fleet resizes cheap.
+    /// (A modulo router would move ~N/(N+1) of them.)
+    #[test]
+    fn growth_moves_about_one_nth_of_keys(
+        replicas in 1usize..8,
+        seed in 0u64..u64::MAX,
+    ) {
+        let before = Ring::new(replicas, DEFAULT_VNODES);
+        let after = Ring::new(replicas + 1, DEFAULT_VNODES);
+        let sample = keys(seed, 2_000);
+        let moved = sample
+            .iter()
+            .filter(|&&k| before.route(k) != after.route(k))
+            .count();
+        let expected = sample.len() / (replicas + 1);
+        // Generous bound: vnode placement is uneven, but nowhere near
+        // the 3x that would indicate a broken ring.
+        prop_assert!(
+            moved <= expected * 3 + 32,
+            "{} replicas: moved {} of {} keys (expected ~{})",
+            replicas, moved, sample.len(), expected
+        );
+        prop_assert!(moved > 0, "a new replica must receive some keys");
+    }
+
+    /// Marking a replica ineligible moves exactly its keys (onto
+    /// survivors), and recovery restores the original routing — the
+    /// passive-failover / snap-back contract.
+    #[test]
+    fn failover_touches_only_the_lost_replicas_keys(
+        replicas in 2usize..8,
+        down in 0usize..8,
+        seed in 0u64..u64::MAX,
+    ) {
+        let down = down % replicas;
+        let ring = Ring::new(replicas, DEFAULT_VNODES);
+        let all = vec![true; replicas];
+        let mut degraded = all.clone();
+        degraded[down] = false;
+        for key in keys(seed, 256) {
+            let healthy = ring.route_available(key, &all).unwrap();
+            prop_assert_eq!(healthy, ring.route(key).unwrap());
+            let failed_over = ring.route_available(key, &degraded).unwrap();
+            prop_assert!(failed_over != down, "a down replica must receive nothing");
+            if healthy != down {
+                prop_assert_eq!(
+                    failed_over, healthy,
+                    "keys of surviving replicas must not move during failover"
+                );
+            }
+            // Snap-back: recovery restores the original owner.
+            prop_assert_eq!(ring.route_available(key, &all).unwrap(), healthy);
+        }
+    }
+
+    /// The ring is a pure function: concurrent threads (the `M3D_JOBS`
+    /// analogue — routing must not depend on which thread asks) and
+    /// freshly rebuilt rings agree on every route.
+    #[test]
+    fn routing_is_identical_across_threads_and_rebuilds(
+        replicas in 1usize..8,
+        seed in 0u64..u64::MAX,
+    ) {
+        let sample = keys(seed, 512);
+        let reference: Vec<usize> = {
+            let ring = Ring::new(replicas, DEFAULT_VNODES);
+            sample.iter().map(|&k| ring.route(k).unwrap()).collect()
+        };
+        let from_threads: Vec<Vec<usize>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let sample = &sample;
+                    s.spawn(move || {
+                        let ring = Ring::new(replicas, DEFAULT_VNODES);
+                        sample.iter().map(|&k| ring.route(k).unwrap()).collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for routes in from_threads {
+            prop_assert_eq!(&routes, &reference);
+        }
+    }
+}

@@ -82,6 +82,7 @@ fn request() -> BoxedStrategy<Request> {
             quick: quick_n != 0,
             params,
             timeout_ms: if t % 3 == 0 { None } else { Some(t) },
+            replica: if t % 5 == 0 { Some(t % 7) } else { None },
         })
         .boxed()
 }
@@ -170,6 +171,7 @@ proptest! {
         let a = Request::new(1, "pd_flow", p.clone());
         let mut b = Request::new(999, "pd_flow", shuffled(&p));
         b.timeout_ms = Some(5);
+        b.replica = Some(1);
         prop_assert_eq!(a.key(), b.key(), "delivery fields and field order must not matter");
         prop_assert_eq!(canonical(&a.params), canonical(&b.params));
     }

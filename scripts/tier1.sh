@@ -244,4 +244,145 @@ if ! cmp -s "$tmp/cold-w1.json" "$tmp/cold-w4.json"; then
     exit 1
 fi
 
+# Fleet smoke gate: m3d-gateway supervising 3 m3d-serve replicas over a
+# shared on-disk artifact tier. Asserts consistent-hash affinity, the
+# cross-replica byte-identity probe, payload identity against the
+# single-server run, shared-tier disk hits across replicas, transparent
+# retry + respawn after a SIGKILL mid-run, and the per-replica gauge
+# families on the Prometheus surface.
+fleet_cache="$tmp/fleet-cache"
+mkdir -p "$fleet_cache"
+env -u M3D_CACHE_DIR ./target/release/m3d-gateway --addr 127.0.0.1:0 --replicas 3 \
+    --workers 2 --queue-depth 64 --serve-bin ./target/release/m3d-serve \
+    --cache-dir "$fleet_cache" --probe-interval-ms 100 \
+    >"$tmp/gateway.out" 2>"$tmp/gateway.err" &
+gateway_pid=$!
+gaddr=""
+for _ in $(seq 1 150); do
+    gaddr="$(sed -n 's/.*"listening":"\([^"]*\)".*/\1/p' "$tmp/gateway.out")"
+    [ -n "$gaddr" ] && break
+    sleep 0.1
+done
+if [ -z "$gaddr" ]; then
+    echo "tier1: FAIL — m3d-gateway never announced its port" >&2
+    cat "$tmp/gateway.err" >&2
+    kill "$gateway_pid" 2>/dev/null || true
+    exit 1
+fi
+ghost="${gaddr%%:*}"; gport="${gaddr##*:}"
+
+# One shared helper: a single request/response over /dev/tcp.
+gw_request() {
+    exec 4<>"/dev/tcp/$ghost/$gport"
+    printf '%s\n' "$1" >&4
+    IFS= read -r gw_reply <&4
+    exec 4<&- 4>&-
+}
+
+# Repeated mix through the gateway: 16 identical requests compute once
+# fleet-wide (consistent-hash affinity concentrates them on one
+# replica), the fleet `metrics` aggregation agrees with the client
+# tallies, and --expect-replicas runs the cross-replica byte-identity
+# probe (one request forced through every replica, digests compared).
+./target/release/m3d-loadgen --addr "$gaddr" --clients 4 --requests 4 \
+    --mix repeated --expect-computed 1 --expect-replicas 3 --check-metrics >/dev/null
+gw_request '{"id":9101,"case":"stats"}'
+max_routed="$(printf '%s' "$gw_reply" | grep -o '"routed":[0-9]*' | cut -d: -f2 | sort -n | tail -1)"
+if [ -z "$max_routed" ] || [ "$max_routed" -lt 16 ]; then
+    echo "tier1: FAIL — fleet affinity broken: no replica routed all 16 repeats: $gw_reply" >&2
+    exit 1
+fi
+
+# Cold mix: 12 distinct requests all compute, and the deterministic
+# artifact is byte-identical to the single-server (workers=1) run — the
+# fleet topology must be invisible in payloads.
+./target/release/m3d-loadgen --addr "$gaddr" --clients 3 --requests 4 \
+    --mix cold --expect-computed 12 --json "$tmp/fleet-cold.json" >/dev/null
+if ! cmp -s "$tmp/fleet-cold.json" "$tmp/cold-w1.json"; then
+    echo "tier1: FAIL — loadgen --json differs between m3d-gateway fleet and single m3d-serve" >&2
+    diff "$tmp/fleet-cold.json" "$tmp/cold-w1.json" >&2 || true
+    exit 1
+fi
+
+# Mixed mix exercises real dispatch breadth through the router (three
+# fresh cases compute, the rest replay response caches).
+./target/release/m3d-loadgen --addr "$gaddr" --clients 2 --requests 4 \
+    --mix mixed --expect-computed 3 >/dev/null
+
+# Shared artifact tier: an ingest upload computed on replica 0 must be
+# a cache hit on replica 1 — only the shared M3D_CACHE_DIR can carry it
+# across processes (the `replica` delivery field pins the routing).
+fprobe='{"id":9201,"case":"ingest","replica":0,"params":{"source":"(edif fleetprobe (library work (cell top (view v (interface (port a (direction INPUT)) (port y (direction OUTPUT))) (contents (instance u1 (cellRef BUF_X1)) (net na (joined (portRef a) (portRef A (instanceRef u1)))) (net ny (joined (portRef Y (instanceRef u1)) (portRef y))))))) (design fleetprobe (cellRef top)))"}}'
+gw_request "$fprobe"
+case "$gw_reply" in
+    *'"status":200'*'"cached":false'*'"replica":0'*) ;;
+    *) echo "tier1: FAIL — fleet ingest upload to replica 0 did not compute: $gw_reply" >&2
+       exit 1 ;;
+esac
+gw_request "$(printf '%s' "$fprobe" | sed 's/9201/9202/; s/"replica":0/"replica":1/')"
+case "$gw_reply" in
+    *'"cached":true'*'"replica":1'*) ;;
+    *) echo "tier1: FAIL — replica 1 missed the shared artifact tier: $gw_reply" >&2
+       exit 1 ;;
+esac
+
+# Crash gate: SIGKILL one replica while a sleep-mix run is in flight.
+# Every request must still resolve exactly once (24 distinct tags, all
+# computed — the gateway's transparent retry may recompute internally
+# but the client sees each answer once), and the supervisor must
+# respawn the replica.
+gw_request '{"id":9301,"case":"stats"}'
+victim_pid="$(printf '%s' "$gw_reply" | grep -o '"pid":[0-9]*' | head -1 | cut -d: -f2)"
+if [ -z "$victim_pid" ]; then
+    echo "tier1: FAIL — fleet stats carries no replica pid: $gw_reply" >&2
+    exit 1
+fi
+./target/release/m3d-loadgen --addr "$gaddr" --clients 4 --requests 6 \
+    --mix sleep --expect-computed 24 >/dev/null &
+loadgen_pid=$!
+sleep 0.15
+kill -9 "$victim_pid" 2>/dev/null || true
+if ! wait "$loadgen_pid"; then
+    echo "tier1: FAIL — requests were lost when a replica was SIGKILLed mid-run" >&2
+    exit 1
+fi
+respawned=""
+for _ in $(seq 1 100); do
+    gw_request '{"id":9302,"case":"stats"}'
+    case "$gw_reply" in
+        *'"replicas_up":3'*)
+            case "$gw_reply" in
+                *'"restarts":1'*|*'"restarts":2'*) respawned=1; break ;;
+            esac ;;
+    esac
+    sleep 0.1
+done
+if [ -z "$respawned" ]; then
+    echo "tier1: FAIL — SIGKILLed replica was not respawned: $gw_reply" >&2
+    exit 1
+fi
+
+# Fleet Prometheus surface: per-replica gauge families and the gateway
+# counters must render (loadgen validates the exposition grammar before
+# writing the file), then a shutdown request must drain the whole fleet
+# to exit 0.
+# (No --expect-computed here: whether this replays a cache depends on
+# whether the SIGKILLed replica owned the repeated key.)
+./target/release/m3d-loadgen --addr "$gaddr" --clients 1 --requests 1 \
+    --mix repeated --metrics-text "$tmp/fleet.prom" \
+    --shutdown >/dev/null
+for family in '^# TYPE fleet_replica0_queue_len gauge$' '^fleet_replica0_up 1$' \
+              '^fleet_replica2_up 1$' '^gateway_routed ' '^executed '; do
+    if ! grep -q "$family" "$tmp/fleet.prom"; then
+        echo "tier1: FAIL — fleet metrics_text lacks $family" >&2
+        cat "$tmp/fleet.prom" >&2
+        exit 1
+    fi
+done
+if ! wait "$gateway_pid"; then
+    echo "tier1: FAIL — m3d-gateway did not drain its fleet and exit 0" >&2
+    cat "$tmp/gateway.err" >&2
+    exit 1
+fi
+
 echo "tier1: OK"
