@@ -1,0 +1,15 @@
+//! Activity-factor sensitivity sweep of the 2D baseline sign-off: one
+//! placement, a grid of activity factors, every later point warm-started
+//! from the first point's placement seed.
+//!
+//! Thin driver over the registered `flow_sensitivity` case: run with
+//! `--quick`, `--set key=value`, `--json`, `--trace-json`,
+//! `--metrics-json` and `--metrics-text` (see
+//! [`m3d_bench::cli`]).
+
+use m3d_bench::cli::case_main;
+use m3d_bench::RunArgs;
+
+fn main() {
+    case_main("flow_sensitivity", RunArgs::parse());
+}

@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use m3d_core::engine::{corner_sweep, FlowCache, Stage, StageCtx};
+use m3d_core::engine::{corner_sweep, par_map, FetchOpts, FlowCache, FlowFetch, Stage, StageCtx};
 use m3d_pd::{analyze_congestion, fold_two_tier, Clustering, FlowConfig, FlowReport};
 use m3d_tech::{Corner, Pdk};
 use serde::Value;
@@ -21,13 +21,16 @@ pub(crate) fn staged_report(
     sctx: &mut StageCtx,
     cfg: &FlowConfig,
 ) -> Result<(Arc<FlowReport>, bool), CaseError> {
-    let (report, hit) = flows.run_report_traced(cfg).map_err(CaseError::internal)?;
+    let fetch = flows
+        .fetch(cfg, FetchOpts::report())
+        .map_err(CaseError::internal)?;
+    let hit = fetch.reused();
     if hit {
         sctx.mark_cache_hit();
     } else if let Some(sub) = flows.sub_span(cfg) {
         sctx.child_span((*sub).clone());
     }
-    Ok((report, hit))
+    Ok((fetch.report, hit))
 }
 
 // --- fig2_physical_design -----------------------------------------------
@@ -124,12 +127,17 @@ impl Case for AblationCongestionCase {
         let prep = |c: FlowConfig| if quick { c.quick() } else { c };
         let (res2d, hit2d) = ctx.stage(Stage::PdFlow, "2d", |sctx| {
             let cfg = prep(FlowConfig::baseline_2d().with_cs(cs));
-            let (res, hit) = ctx.flows.run_traced(&cfg).map_err(CaseError::internal)?;
+            let fetch = ctx
+                .flows
+                .fetch(&cfg, FetchOpts::artifacts())
+                .map_err(CaseError::internal)?;
+            let hit = fetch.reused();
             if hit {
                 sctx.mark_cache_hit();
             } else if let Some(sub) = ctx.flows.sub_span(&cfg) {
                 sctx.child_span((*sub).clone());
             }
+            let res = fetch.artifacts.expect("artifact-level fetch");
             Ok::<_, CaseError>((res, hit))
         })?;
         let r2d = &res2d.0;
@@ -137,15 +145,17 @@ impl Case for AblationCongestionCase {
         let m3d_cfg = prep(FlowConfig::m3d(n).with_cs(cs)).with_die(r2d.die);
         let pdk = m3d_cfg.pdk.clone();
         let (res3d, hit3d) = ctx.stage(Stage::PdFlow, "m3d", |sctx| {
-            let (res, hit) = ctx
+            let fetch = ctx
                 .flows
-                .run_traced(&m3d_cfg)
+                .fetch(&m3d_cfg, FetchOpts::artifacts())
                 .map_err(CaseError::internal)?;
+            let hit = fetch.reused();
             if hit {
                 sctx.mark_cache_hit();
             } else if let Some(sub) = ctx.flows.sub_span(&m3d_cfg) {
                 sctx.child_span((*sub).clone());
             }
+            let res = fetch.artifacts.expect("artifact-level fetch");
             Ok::<_, CaseError>((res, hit))
         })?;
         let a = &res3d.1;
@@ -290,6 +300,167 @@ impl Case for CornersSignoffCase {
             )]),
             cache_hit: runs.iter().all(|r| r.fetch.cache_hit),
             coalesced: runs.iter().any(|r| r.fetch.coalesced),
+        })
+    }
+}
+
+// --- flow_sensitivity ---------------------------------------------------
+
+/// `flow_sensitivity` — sign-off sensitivity of the 2D baseline to the
+/// signal-activity assumption: one placement, a grid of activity
+/// factors, every point a full sign-off evaluation.
+///
+/// All grid points share a placement key (activity only shapes the
+/// post-placement phases), so this sweep is the cache's warm-start
+/// showcase: after the first point anneals, every later point re-seeds
+/// from it and re-evaluates route/STA/power incrementally. Warm and
+/// cold runs are byte-identical by construction, so the payload and
+/// trace do not depend on `M3D_JOBS` or on which seeds were available —
+/// `scripts/tier1.sh` gates on exactly that.
+pub struct FlowSensitivityCase;
+
+/// Typed parameters of [`FlowSensitivityCase`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowSensitivityParams {
+    /// Grid points.
+    pub points: u32,
+    /// First activity factor, in percent.
+    pub activity_lo_pct: u32,
+    /// Grid step, in percent.
+    pub activity_step_pct: u32,
+}
+
+impl FlowSensitivityParams {
+    /// Parses and range-checks the wire params.
+    ///
+    /// # Errors
+    ///
+    /// [`m3d_core::ErrorCode::BadRequest`]-coded on malformed or
+    /// out-of-range values.
+    pub fn parse(quick: bool, params: &Value) -> Result<Self, CaseError> {
+        reject_unknown(params, &["points", "activity_lo_pct", "activity_step_pct"])?;
+        let points = u32::try_from(param_u64(params, "points", if quick { 3 } else { 6 }, 32)?)
+            .expect("bounded")
+            .max(1);
+        let lo = u32::try_from(param_u64(params, "activity_lo_pct", 10, 80)?).expect("bounded");
+        let step = u32::try_from(param_u64(params, "activity_step_pct", 5, 50)?).expect("bounded");
+        if lo == 0 || step == 0 {
+            return Err(CaseError::bad_request(
+                "`activity_lo_pct` and `activity_step_pct` must be positive",
+            ));
+        }
+        if lo + (points - 1) * step > 100 {
+            return Err(CaseError::bad_request(
+                "activity grid exceeds 100 % at its top point",
+            ));
+        }
+        Ok(Self {
+            points,
+            activity_lo_pct: lo,
+            activity_step_pct: step,
+        })
+    }
+
+    /// The swept activity factors, in grid order.
+    fn grid(self) -> Vec<f64> {
+        (0..self.points)
+            .map(|i| f64::from(self.activity_lo_pct + i * self.activity_step_pct) / 100.0)
+            .collect()
+    }
+}
+
+impl Case for FlowSensitivityCase {
+    fn name(&self) -> &'static str {
+        "flow_sensitivity"
+    }
+
+    fn summary(&self) -> &'static str {
+        "activity-factor sensitivity sweep (one placement, warm-started sign-off grid)"
+    }
+
+    fn param_fields(&self) -> &'static [ParamField] {
+        &[
+            ParamField {
+                name: "points",
+                default: "3 (quick) / 6",
+            },
+            ParamField {
+                name: "activity_lo_pct",
+                default: "10",
+            },
+            ParamField {
+                name: "activity_step_pct",
+                default: "5",
+            },
+        ]
+    }
+
+    fn validate(&self, quick: bool, params: &Value) -> Result<(), CaseError> {
+        FlowSensitivityParams::parse(quick, params).map(drop)
+    }
+
+    fn run(&self, ctx: &CaseCtx, quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
+        let p = FlowSensitivityParams::parse(quick, params)?;
+        let mut base = FlowConfig::baseline_2d().with_cs(case_cs(quick));
+        if quick {
+            base = base.quick();
+        }
+        let cfgs: Vec<FlowConfig> = p
+            .grid()
+            .into_iter()
+            .map(|activity| {
+                let mut cfg = base.clone();
+                cfg.activity = activity;
+                cfg
+            })
+            .collect();
+        let fetches = ctx.stage(Stage::PdFlow, "sweep", |sctx| {
+            let fetches = par_map(&cfgs, |cfg| ctx.flows.fetch(cfg, FetchOpts::report()))
+                .into_iter()
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(CaseError::internal)?;
+            // Sub-spans attach in grid order — never completion order —
+            // and carry no per-point provenance, so the trace is
+            // byte-identical across `M3D_JOBS` and across warm-start
+            // seed availability (warm == cold by construction).
+            for cfg in &cfgs {
+                if let Some(sub) = ctx.flows.sub_span(cfg) {
+                    sctx.child_span((*sub).clone());
+                }
+            }
+            if fetches.iter().all(FlowFetch::reused) {
+                sctx.mark_cache_hit();
+            }
+            Ok::<_, CaseError>(fetches)
+        })?;
+        let points: Vec<Value> = cfgs
+            .iter()
+            .zip(&fetches)
+            .map(|(cfg, fetch)| {
+                let r = &*fetch.report;
+                obj(vec![
+                    ("activity", Value::F64(cfg.activity)),
+                    ("wirelength_m", Value::F64(r.wirelength_m)),
+                    ("critical_path_ns", Value::F64(r.critical_path_ns)),
+                    ("timing_met", Value::Bool(r.timing_met)),
+                    ("total_power_mw", Value::F64(r.total_power_mw)),
+                ])
+            })
+            .collect();
+        let power = |f: &FlowFetch| f.report.total_power_mw;
+        let first = fetches.first().map(power).unwrap_or_default();
+        let last = fetches.last().map(power).unwrap_or_default();
+        Ok(CaseOutcome {
+            result: obj(vec![
+                ("points", Value::U64(u64::from(p.points))),
+                (
+                    "power_swing_ratio",
+                    Value::F64(if first > 0.0 { last / first } else { 0.0 }),
+                ),
+                ("grid", Value::Array(points)),
+            ]),
+            cache_hit: fetches.iter().all(FlowFetch::reused),
+            coalesced: fetches.iter().any(|f| f.coalesced),
         })
     }
 }

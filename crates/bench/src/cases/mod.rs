@@ -28,7 +28,7 @@ pub use explore::{
 };
 pub use flows::{
     AblationCongestionCase, CornersSignoffCase, CornersSignoffParams, Fig2PhysicalDesignCase,
-    FoldingAblationCase,
+    FlowSensitivityCase, FlowSensitivityParams, FoldingAblationCase,
 };
 pub use ingest::{IngestCase, IngestParams, MAX_SOURCE_BYTES};
 pub use thermal::Obs10ThermalCase;

@@ -9,7 +9,7 @@
 
 use m3d_arch::trace::Phase;
 use m3d_core::cases::BaselineAreas;
-use m3d_core::engine::{par_map, Stage};
+use m3d_core::engine::{par_map, FetchOpts, Stage};
 use m3d_core::thermal::{ThermalModel, TierThermalModel};
 use m3d_pd::FlowConfig;
 use m3d_tech::LayerStack;
@@ -76,12 +76,16 @@ impl Case for Obs10ThermalCase {
             if quick {
                 cfg = cfg.quick();
             }
-            let (res, hit) = ctx.flows.run_traced(&cfg).map_err(CaseError::internal)?;
-            if hit {
+            let fetch = ctx
+                .flows
+                .fetch(&cfg, FetchOpts::artifacts())
+                .map_err(CaseError::internal)?;
+            if fetch.reused() {
                 sctx.mark_cache_hit();
             } else if let Some(sub) = ctx.flows.sub_span(&cfg) {
                 sctx.child_span((*sub).clone());
             }
+            let res = fetch.artifacts.expect("artifact-level fetch");
             Ok::<_, CaseError>(res.1.power.density_grid.clone())
         })?;
         // Placed deposit at the sweep's per-pair budget: the flow's

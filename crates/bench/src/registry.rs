@@ -21,7 +21,7 @@ use std::sync::Mutex;
 
 use m3d_arch::models;
 use m3d_core::cases::BaselineAreas;
-use m3d_core::engine::{FlowCache, FlowFetch, Pipeline, Stage, StageCtx};
+use m3d_core::engine::{FetchOpts, FlowCache, FlowFetch, Pipeline, Stage, StageCtx};
 use m3d_core::explore::{capacity_sweep, tier_sweep};
 use m3d_core::framework::{ChipParams, WorkloadPoint};
 use m3d_core::sensitivity::{edp_benefit_sensitivity, Perturbation};
@@ -210,6 +210,7 @@ pub fn registry() -> &'static [&'static dyn Case] {
         &cases::AblationPrecisionCase,
         &cases::AblationBatchCase,
         &cases::AblationCongestionCase,
+        &cases::FlowSensitivityCase,
         &cases::SensitivityAnalysisCase,
         &cases::FoldingAblationCase,
         &cases::CornersSignoffCase,
@@ -433,11 +434,11 @@ impl Case for PdFlowCase {
 
     fn run(&self, ctx: &CaseCtx, quick: bool, params: &Value) -> Result<CaseOutcome, CaseError> {
         let cfg = PdFlowParams::parse(quick, params)?.flow_config();
-        let (report, fetch): (_, FlowFetch) = ctx.stage(Stage::PdFlow, "", |sctx| {
-            let out = ctx.flows.run_report_coalesced(&cfg);
-            if let Ok((_, fetch)) = &out {
+        let fetch: FlowFetch = ctx.stage(Stage::PdFlow, "", |sctx| {
+            let out = ctx.flows.fetch(&cfg, FetchOpts::report());
+            if let Ok(fetch) = &out {
                 sctx.mark(fetch.provenance());
-                if !(fetch.cache_hit || fetch.coalesced) {
+                if !fetch.reused() {
                     if let Some(sub) = ctx.flows.sub_span(&cfg) {
                         sctx.child_span((*sub).clone());
                     }
@@ -445,7 +446,7 @@ impl Case for PdFlowCase {
             }
             out.map_err(CaseError::internal)
         })?;
-        let r = &*report;
+        let r = &*fetch.report;
         Ok(CaseOutcome {
             result: obj(vec![
                 ("design", Value::Str(r.design.clone())),

@@ -9,31 +9,56 @@
 //! a configuration is paid for once per process however many experiment
 //! stages ask for it.
 //!
-//! # The on-disk artifact store
+//! # One entry point: [`FlowCache::fetch`]
 //!
-//! [`FlowArtifacts`] (netlists, placements, routing) live only in
-//! memory, but the serialisable [`FlowReport`] summary can outlive the
-//! process: with an artifact directory configured
-//! ([`FlowCache::with_disk_dir`], or [`FlowCache::persistent`] reading
-//! the `M3D_CACHE_DIR` environment variable), every computed report is
-//! written to `flow-v1-<key>.json` and report-level lookups
-//! ([`FlowCache::run_report_traced`]) are satisfied from disk before
-//! falling back to running the flow. The vendored JSON encoder prints
-//! floats in shortest-round-trip form, so a report read back from disk
-//! is bit-identical to the one that was written — disk hits cannot
-//! perturb downstream numbers. Corrupt or unreadable files are treated
-//! as misses and overwritten.
+//! Every lookup goes through `fetch(cfg, FetchOpts)`, which returns a
+//! [`FlowFetch`] carrying the report, optionally the full artifacts,
+//! and how the lookup was satisfied (memory hit, disk hit, coalesced
+//! onto another caller's run, warm-started, or computed cold). The
+//! pre-PR-9 entry points (`run`, `run_traced`, `run_report_traced`,
+//! `run_report_coalesced`) survive one release as deprecated shims
+//! over `fetch`.
+//!
+//! # The on-disk artifact tier and warm starts
+//!
+//! With an artifact directory configured ([`FlowCache::with_disk_dir`],
+//! or [`FlowCache::persistent`] reading the `M3D_CACHE_DIR` environment
+//! variable), every computed flow is written through an
+//! [`ArtifactStore`] as a versioned envelope: the report plus the full
+//! physical state a warm start needs (pre-optimisation placement seed,
+//! routing, STA, clock tree, power). Report-level lookups are satisfied
+//! from disk before falling back to running the flow; the vendored JSON
+//! encoder prints floats in shortest-round-trip form, so a report read
+//! back from disk is bit-identical to the one that was written. Corrupt
+//! or unreadable files are treated as misses and overwritten.
+//!
+//! When a configuration misses every exact tier, the cache looks for a
+//! **warm-start seed**: the nearest cached neighbour (in-memory seed
+//! index first, then the disk store's sidecar metadata) sharing the
+//! configuration's [`FlowConfig::placement_key`], ranked by the typed
+//! [`m3d_pd::ParamPoint::distance`] over the sweep lattice, exact-key
+//! hits excluded. Equal placement keys provably reproduce the same
+//! pre-optimisation placement, so the seeded run replays the
+//! neighbour's placement and spans verbatim and re-runs only the
+//! post-placement phases — byte-identical `--json`/`--trace-json`
+//! output, a fraction of the wall-clock. Invalid or corrupt seeds fall
+//! back to a cold run, never an error.
 
 use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use m3d_pd::{FlowArtifacts, FlowConfig, FlowReport, FlowSpan, Rtl2GdsFlow};
+use m3d_pd::{
+    FlowArtifacts, FlowConfig, FlowReport, FlowSpan, ParamPoint, PlacementSeed, Rtl2GdsFlow,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::engine::inflight::{Flight, InFlight};
+use crate::engine::store::{
+    nearest_neighbour, ArtifactStore, DiskStore, NeighbourMeta, StoredEnvelope, STORE_VERSION,
+};
 use crate::error::CoreResult;
 use crate::obs::{Provenance, Recorder, SpanNode};
 
@@ -49,7 +74,12 @@ pub fn flow_span_node(span: &FlowSpan) -> SpanNode {
 }
 
 /// Hit/miss counters of a [`FlowCache`], serialised into the
-/// [`crate::engine::ExperimentReport`].
+/// [`crate::engine::ExperimentReport`]. Warm starts are *not* a field
+/// here — a warm run executes the flow, so it counts as a plain miss,
+/// which keeps `--json` output byte-identical whether or not a seed
+/// happened to be available. Warm telemetry lives in
+/// [`FlowCache::warm_count`] and the `flow_cache.warm_hits` /
+/// `pd_flow.warm_*` recorder counters instead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Lookups answered from the in-memory cache.
@@ -61,52 +91,137 @@ pub struct CacheStats {
     pub disk_hits: u64,
 }
 
+/// What a [`FlowCache::fetch`] should produce and which tiers it may
+/// use. The default is a report-level, coalescing, warm-enabled lookup
+/// — the cheapest correct thing for sweep points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchOpts {
+    /// Return the full in-memory `(FlowReport, FlowArtifacts)` pair
+    /// (forces the flow to exist in this process's memory, running it
+    /// — warm when possible — if only the report tier has it).
+    pub artifacts: bool,
+    /// Single-flight: concurrent fetches of the same uncached key run
+    /// one flow and share it.
+    pub coalesce: bool,
+    /// Allow warm-starting a computed run from the nearest cached
+    /// neighbour's placement seed. Disable to force cold computes
+    /// (determinism gates compare the two).
+    pub warm: bool,
+}
+
+impl Default for FetchOpts {
+    fn default() -> Self {
+        Self {
+            artifacts: false,
+            coalesce: true,
+            warm: true,
+        }
+    }
+}
+
+impl FetchOpts {
+    /// Report-level lookup (the default): memory → disk → warm/cold run.
+    pub fn report() -> Self {
+        Self::default()
+    }
+
+    /// Artifact-level lookup: the fetch carries the full
+    /// `(FlowReport, FlowArtifacts)` pair.
+    pub fn artifacts() -> Self {
+        Self {
+            artifacts: true,
+            ..Self::default()
+        }
+    }
+
+    /// Disables warm-starting (a computed run anneals from scratch).
+    pub fn cold(mut self) -> Self {
+        self.warm = false;
+        self
+    }
+
+    /// Disables single-flight coalescing for this lookup.
+    pub fn uncoalesced(mut self) -> Self {
+        self.coalesce = false;
+        self
+    }
+}
+
+/// How a [`FlowCache::fetch`] was satisfied, carrying its results.
+///
+/// Exactly one of the provenance flags describes the lookup (all
+/// `false` = computed cold); [`FlowFetch::provenance`] maps them to the
+/// trace vocabulary.
+#[derive(Debug, Clone)]
+pub struct FlowFetch {
+    /// The flow's comparison metrics.
+    pub report: Arc<FlowReport>,
+    /// The full artifacts, when requested via [`FetchOpts::artifacts`]
+    /// (always `Some` then; `None` on report-level fetches that never
+    /// needed them).
+    pub artifacts: Option<Arc<(FlowReport, FlowArtifacts)>>,
+    /// Answered from this process's in-memory memo.
+    pub cache_hit: bool,
+    /// Answered from the on-disk artifact store (another process — or
+    /// an earlier invocation — computed it).
+    pub disk_hit: bool,
+    /// This caller joined another caller's in-flight run of the same
+    /// configuration instead of starting its own.
+    pub coalesced: bool,
+    /// The flow ran, warm-started from a neighbour's placement seed.
+    /// Byte-identical to a cold run; only wall-clock differs.
+    pub warm: bool,
+}
+
+impl FlowFetch {
+    /// The span [`Provenance`] this fetch corresponds to.
+    pub fn provenance(&self) -> Provenance {
+        if self.coalesced {
+            Provenance::Coalesced
+        } else if self.cache_hit {
+            Provenance::CacheHit
+        } else if self.disk_hit {
+            Provenance::DiskHit
+        } else if self.warm {
+            Provenance::Warm
+        } else {
+            Provenance::Computed
+        }
+    }
+
+    /// Whether the result was reused rather than executed by some
+    /// caller this fetch is accountable for (memory, disk or coalesced
+    /// — warm runs *executed*, so they are not reuse).
+    pub fn reused(&self) -> bool {
+        self.cache_hit || self.disk_hit || self.coalesced
+    }
+}
+
 /// A process-wide memo table for [`Rtl2GdsFlow`] runs, optionally backed
-/// by an on-disk report store.
+/// by an on-disk artifact store.
 ///
 /// Thread-safe: the internal maps are mutex-guarded, but no lock is
 /// held while a flow runs, so parallel sweep workers never serialise on
-/// it. Two workers racing on the same uncached key may both compute it;
-/// the flow is deterministic, so the duplicated work is harmless and the
-/// first-completed result simply sticks.
+/// it. Two workers racing on the same uncached key may both compute it
+/// (unless they opt into coalescing); the flow is deterministic, so the
+/// duplicated work is harmless and the first-completed result simply
+/// sticks.
 #[derive(Debug, Default)]
 pub struct FlowCache {
     entries: Mutex<HashMap<u64, Arc<(FlowReport, FlowArtifacts)>>>,
     reports: Mutex<HashMap<u64, Arc<FlowReport>>>,
     spans: Mutex<HashMap<u64, Arc<SpanNode>>>,
-    inflight: InFlight<(Arc<FlowReport>, bool)>,
+    /// Warm-start seed index: placement key → the seeds computed in
+    /// this process, with their full keys and lattice coordinates.
+    seeds: Mutex<HashMap<u64, Vec<(u64, ParamPoint, Arc<PlacementSeed>)>>>,
+    inflight: InFlight<FlowFetch>,
+    store: Option<Box<dyn ArtifactStore>>,
     disk_dir: Option<PathBuf>,
     hits: AtomicU64,
     misses: AtomicU64,
     disk_hits: AtomicU64,
     coalesced: AtomicU64,
-}
-
-/// How a [`FlowCache::run_report_coalesced`] lookup was satisfied.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
-pub struct FlowFetch {
-    /// The result came from the memo (memory or disk) rather than a
-    /// fresh flow run started by *some* caller.
-    pub cache_hit: bool,
-    /// This caller joined another caller's in-flight run of the same
-    /// configuration instead of starting its own.
-    pub coalesced: bool,
-}
-
-impl FlowFetch {
-    /// The span [`Provenance`] this fetch corresponds to. Memory and
-    /// disk hits both map to [`Provenance::CacheHit`] here because the
-    /// coalesced lookup path does not distinguish them; per-tier counts
-    /// live in [`CacheStats`].
-    pub fn provenance(self) -> Provenance {
-        if self.coalesced {
-            Provenance::Coalesced
-        } else if self.cache_hit {
-            Provenance::CacheHit
-        } else {
-            Provenance::Computed
-        }
-    }
+    warm_hits: AtomicU64,
 }
 
 impl FlowCache {
@@ -115,14 +230,44 @@ impl FlowCache {
         Self::default()
     }
 
-    /// An in-memory cache backed by the on-disk report store in `dir`
-    /// (created if absent; on failure the cache silently degrades to
-    /// memory-only).
+    /// An in-memory cache backed by the on-disk artifact store in `dir`
+    /// (created if absent). An uncreatable or unwritable directory is
+    /// *not* silently swallowed: the cache degrades to memory-only with
+    /// a one-shot stderr warning and a `cache.disk_errors` counter
+    /// bump, so a fleet misconfiguration shows up in metrics instead of
+    /// as a mysteriously cold cache.
     pub fn with_disk_dir(dir: impl Into<PathBuf>) -> Self {
+        static WARNED: AtomicBool = AtomicBool::new(false);
         let dir = dir.into();
-        let disk_dir = fs::create_dir_all(&dir).ok().map(|()| dir);
+        let probe_error = fs::create_dir_all(&dir).err().or_else(|| {
+            // The directory may pre-exist read-only; probe a write.
+            let probe = dir.join(format!(".m3d-probe-{}", std::process::id()));
+            let res = fs::write(&probe, b"probe").err();
+            let _ = fs::remove_file(&probe);
+            res
+        });
+        if let Some(err) = probe_error {
+            Recorder::global().incr("cache.disk_errors", 1);
+            if !WARNED.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "m3d: artifact cache dir {} is not writable ({err}); running memory-only",
+                    dir.display()
+                );
+            }
+            return Self::new();
+        }
         Self {
-            disk_dir,
+            store: Some(Box::new(DiskStore::new(&dir))),
+            disk_dir: Some(dir),
+            ..Self::default()
+        }
+    }
+
+    /// An in-memory cache over an explicit [`ArtifactStore`]
+    /// implementation (tests, or fleets with a non-filesystem tier).
+    pub fn with_store(store: Box<dyn ArtifactStore>) -> Self {
+        Self {
+            store: Some(store),
             ..Self::default()
         }
     }
@@ -138,44 +283,230 @@ impl FlowCache {
         }
     }
 
-    /// The on-disk store directory, if one is active.
+    /// The on-disk store directory, if a filesystem-backed tier is
+    /// active.
     pub fn disk_dir(&self) -> Option<&Path> {
         self.disk_dir.as_deref()
     }
 
-    fn disk_path(&self, key: u64) -> Option<PathBuf> {
-        self.disk_dir
-            .as_ref()
-            .map(|d| d.join(format!("flow-v1-{key:016x}.json")))
-    }
-
-    fn read_disk(&self, key: u64) -> Option<FlowReport> {
-        let path = self.disk_path(key)?;
-        let text = fs::read_to_string(path).ok()?;
-        serde_json::from_str(&text).ok()
-    }
-
-    /// Best-effort write-through: serialise `report` next to its key.
-    /// Writes to a writer-unique temp name then renames, so a reader —
-    /// in this process, another worker thread, or another replica
-    /// sharing the directory as the fleet's cross-replica artifact
-    /// tier — never observes a torn file. The rename is atomic within
-    /// one filesystem; racing writers of the same key produce
-    /// byte-identical contents (the flow is deterministic), so
-    /// whichever rename lands last is indistinguishable from the first.
-    fn write_disk(&self, key: u64, report: &FlowReport) {
-        static WRITER_SEQ: AtomicU64 = AtomicU64::new(0);
-        let Some(path) = self.disk_path(key) else {
-            return;
-        };
-        let Ok(text) = serde_json::to_string_pretty(report) else {
-            return;
-        };
-        let seq = WRITER_SEQ.fetch_add(1, Ordering::Relaxed);
-        let tmp = path.with_extension(format!("tmp.{}.{seq}", std::process::id()));
-        if fs::write(&tmp, text + "\n").is_ok() {
-            let _ = fs::rename(&tmp, &path);
+    /// Fetches the flow for `cfg` — the one entry point every caller
+    /// (engine stages, experiment cases, the service) goes through.
+    /// Tiers, in order: in-memory memo, on-disk artifact store,
+    /// single-flight join, then a flow run (warm-started from the
+    /// nearest cached neighbour when [`FetchOpts::warm`] allows and a
+    /// valid seed exists, cold otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Propagates flow failures; errors are not cached.
+    pub fn fetch(&self, cfg: &FlowConfig, opts: FetchOpts) -> CoreResult<FlowFetch> {
+        let key = cfg.stable_key();
+        if let Some(hit) = self.memory_fetch(key, opts.artifacts) {
+            return Ok(hit);
         }
+        if !opts.coalesce {
+            return self.fetch_uncoalesced(cfg, key, opts);
+        }
+        let (value, flight) = self
+            .inflight
+            .run(key, None, || self.fetch_uncoalesced(cfg, key, opts))?;
+        let fetch = value.expect("no deadline, so never TimedOut");
+        if flight == Flight::Joined {
+            if opts.artifacts && fetch.artifacts.is_none() {
+                // The leader ran a report-level lookup; satisfy the
+                // artifact request ourselves (normally a memory hit on
+                // the entry the leader just computed).
+                return self.fetch_uncoalesced(cfg, key, opts);
+            }
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            Recorder::global().incr("flow_cache.coalesced", 1);
+            return Ok(FlowFetch {
+                cache_hit: false,
+                disk_hit: false,
+                coalesced: true,
+                warm: false,
+                ..fetch
+            });
+        }
+        Ok(fetch)
+    }
+
+    /// The non-coalescing lookup ladder: memory → disk → compute.
+    fn fetch_uncoalesced(
+        &self,
+        cfg: &FlowConfig,
+        key: u64,
+        opts: FetchOpts,
+    ) -> CoreResult<FlowFetch> {
+        if let Some(hit) = self.memory_fetch(key, opts.artifacts) {
+            return Ok(hit);
+        }
+        if !opts.artifacts {
+            if let Some(store) = &self.store {
+                if let Some(report) = store.get_report(key) {
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    Recorder::global().incr("flow_cache.disk_hits", 1);
+                    let stored = self
+                        .reports
+                        .lock()
+                        .unwrap()
+                        .entry(key)
+                        .or_insert_with(|| Arc::new(report))
+                        .clone();
+                    return Ok(FlowFetch {
+                        report: stored,
+                        artifacts: None,
+                        cache_hit: false,
+                        disk_hit: true,
+                        coalesced: false,
+                        warm: false,
+                    });
+                }
+            }
+        }
+        self.compute(cfg, key, opts.warm)
+    }
+
+    /// Answers from the in-memory maps, or `None`.
+    fn memory_fetch(&self, key: u64, want_artifacts: bool) -> Option<FlowFetch> {
+        let (report, artifacts) = if want_artifacts {
+            let pair = self.entries.lock().unwrap().get(&key).cloned()?;
+            let report = self
+                .reports
+                .lock()
+                .unwrap()
+                .entry(key)
+                .or_insert_with(|| Arc::new(pair.0.clone()))
+                .clone();
+            (report, Some(pair))
+        } else {
+            (self.reports.lock().unwrap().get(&key).cloned()?, None)
+        };
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Recorder::global().incr("flow_cache.hits", 1);
+        Some(FlowFetch {
+            report,
+            artifacts,
+            cache_hit: true,
+            disk_hit: false,
+            coalesced: false,
+            warm: false,
+        })
+    }
+
+    /// Runs the flow (warm when a usable seed exists and `warm` allows)
+    /// and memoises everything: report, artifacts, sub-span tree, seed
+    /// index, disk envelope.
+    fn compute(&self, cfg: &FlowConfig, key: u64, warm_allowed: bool) -> CoreResult<FlowFetch> {
+        let seed = if warm_allowed {
+            self.find_seed(cfg, key)
+        } else {
+            None
+        };
+        let (report, artifacts, flow_span, warm) =
+            Rtl2GdsFlow::new(cfg.clone()).run_seeded(seed.as_deref())?;
+        let computed = Arc::new((report, artifacts));
+        // A warm run still *ran* the flow, so it is a miss for the
+        // serialised CacheStats — `--json` stays byte-identical whether
+        // or not a neighbour's seed was available.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Recorder::global().incr("flow_cache.misses", 1);
+        if warm {
+            self.warm_hits.fetch_add(1, Ordering::Relaxed);
+            Recorder::global().incr("flow_cache.warm_hits", 1);
+        }
+        Self::report_flow_counters(&flow_span, warm);
+        self.spans
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| Arc::new(flow_span_node(&flow_span)));
+        self.seeds
+            .lock()
+            .unwrap()
+            .entry(computed.1.seed.placement_key)
+            .or_default()
+            .push((key, cfg.param_point(), Arc::new(computed.1.seed.clone())));
+        self.write_store(cfg, key, &computed);
+        let report_arc = self
+            .reports
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| Arc::new(computed.0.clone()))
+            .clone();
+        let stored = self
+            .entries
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&computed))
+            .clone();
+        Ok(FlowFetch {
+            report: report_arc,
+            artifacts: Some(stored),
+            cache_hit: false,
+            disk_hit: false,
+            coalesced: false,
+            warm,
+        })
+    }
+
+    /// The nearest warm-start seed for `cfg`, or `None`. In-process
+    /// seeds are checked first (free), then the disk store's sidecar
+    /// metadata (only the winning candidate's envelope is parsed).
+    /// Exact-key candidates are excluded from neighbour ranking — an
+    /// exact hit is served by the hit tiers, not warm-started — except
+    /// that an artifact-level lookup finding its *own* exact envelope
+    /// on disk uses that envelope's seed to replay itself.
+    fn find_seed(&self, cfg: &FlowConfig, key: u64) -> Option<Arc<PlacementSeed>> {
+        let placement_key = cfg.placement_key();
+        let target = cfg.param_point();
+        {
+            let seeds = self.seeds.lock().unwrap();
+            if let Some(cands) = seeds.get(&placement_key) {
+                let metas: Vec<NeighbourMeta> = cands
+                    .iter()
+                    .map(|&(k, p, _)| NeighbourMeta { key: k, params: p })
+                    .collect();
+                if let Some(pick) = nearest_neighbour(target, key, &metas) {
+                    if let Some((_, _, seed)) = cands.iter().find(|(k, _, _)| *k == pick.key) {
+                        return Some(Arc::clone(seed));
+                    }
+                }
+            }
+        }
+        let store = self.store.as_ref()?;
+        // Reaching compute with our exact envelope on disk means the
+        // lookup needs artifacts the envelope cannot fully supply — but
+        // its seed replays this very configuration, the best warm start
+        // there is.
+        if let Some(envelope) = store.get(key) {
+            return Some(Arc::new(envelope.seed));
+        }
+        let pick = nearest_neighbour(target, key, &store.neighbours(placement_key))?;
+        Some(Arc::new(store.get(pick.key)?.seed))
+    }
+
+    /// Writes one computed flow through the artifact store (no-op
+    /// without one).
+    fn write_store(&self, cfg: &FlowConfig, key: u64, computed: &(FlowReport, FlowArtifacts)) {
+        let Some(store) = &self.store else {
+            return;
+        };
+        let artifacts = &computed.1;
+        store.put(&StoredEnvelope {
+            version: STORE_VERSION,
+            key,
+            placement_key: artifacts.seed.placement_key,
+            params: cfg.param_point(),
+            report: computed.0.clone(),
+            seed: artifacts.seed.clone(),
+            routing: artifacts.routing.clone(),
+            timing: artifacts.timing.clone(),
+            clock_tree: artifacts.clock_tree.clone(),
+            power: artifacts.power.clone(),
+        });
     }
 
     /// Runs (or recalls) the flow for `cfg`, keyed by
@@ -184,162 +515,82 @@ impl FlowCache {
     /// # Errors
     ///
     /// Propagates flow failures; errors are not cached.
+    #[deprecated(note = "use FlowCache::fetch(cfg, FetchOpts::artifacts())")]
     pub fn run(&self, cfg: &FlowConfig) -> CoreResult<Arc<(FlowReport, FlowArtifacts)>> {
-        self.run_traced(cfg).map(|(r, _)| r)
+        let fetch = self.fetch(cfg, FetchOpts::artifacts().uncoalesced())?;
+        Ok(fetch
+            .artifacts
+            .expect("artifact-level fetch carries artifacts"))
     }
 
     /// Like [`FlowCache::run`], additionally reporting whether the result
-    /// came from the cache (`true` = hit).
-    ///
-    /// Artifacts are never written to disk, so this lookup is satisfied
-    /// from memory or by running the flow; the report half of a computed
-    /// result is still written through to the disk store for later
-    /// report-level lookups (this process or a future one).
+    /// was reused rather than computed (`true` = hit).
     ///
     /// # Errors
     ///
     /// Propagates flow failures; errors are not cached.
+    #[deprecated(note = "use FlowCache::fetch(cfg, FetchOpts::artifacts())")]
     pub fn run_traced(
         &self,
         cfg: &FlowConfig,
     ) -> CoreResult<(Arc<(FlowReport, FlowArtifacts)>, bool)> {
-        let key = cfg.stable_key();
-        if let Some(hit) = self.entries.lock().unwrap().get(&key).cloned() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            Recorder::global().incr("flow_cache.hits", 1);
-            return Ok((hit, true));
-        }
-        // Compute outside the lock so concurrent sweep workers proceed.
-        let (report, artifacts, flow_span) = Rtl2GdsFlow::new(cfg.clone()).run_traced()?;
-        let computed = Arc::new((report, artifacts));
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        Recorder::global().incr("flow_cache.misses", 1);
-        Self::report_flow_counters(&flow_span);
-        self.spans
-            .lock()
-            .unwrap()
-            .entry(key)
-            .or_insert_with(|| Arc::new(flow_span_node(&flow_span)));
-        self.write_disk(key, &computed.0);
-        self.reports
-            .lock()
-            .unwrap()
-            .entry(key)
-            .or_insert_with(|| Arc::new(computed.0.clone()));
-        let stored = self
-            .entries
-            .lock()
-            .unwrap()
-            .entry(key)
-            .or_insert_with(|| Arc::clone(&computed))
-            .clone();
-        Ok((stored, false))
+        let fetch = self.fetch(cfg, FetchOpts::artifacts().uncoalesced())?;
+        let hit = fetch.reused();
+        Ok((
+            fetch
+                .artifacts
+                .expect("artifact-level fetch carries artifacts"),
+            hit,
+        ))
     }
 
     /// Runs (or recalls) the flow for `cfg`, returning only the
-    /// serialisable [`FlowReport`]. Unlike [`FlowCache::run_traced`] this
-    /// lookup can be satisfied by the on-disk store, so repeated CLI
-    /// invocations sharing an `M3D_CACHE_DIR` skip the flow entirely.
-    /// The boolean is `true` for any kind of hit (memory or disk);
-    /// [`FlowCache::stats`] distinguishes the two.
+    /// serialisable [`FlowReport`]. The boolean is `true` for any kind
+    /// of hit (memory or disk); [`FlowCache::stats`] distinguishes the
+    /// two.
     ///
     /// # Errors
     ///
     /// Propagates flow failures; errors are not cached.
+    #[deprecated(note = "use FlowCache::fetch(cfg, FetchOpts::report())")]
     pub fn run_report_traced(&self, cfg: &FlowConfig) -> CoreResult<(Arc<FlowReport>, bool)> {
-        let key = cfg.stable_key();
-        if let Some(hit) = self.reports.lock().unwrap().get(&key).cloned() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            Recorder::global().incr("flow_cache.hits", 1);
-            return Ok((hit, true));
-        }
-        if let Some(report) = self.read_disk(key) {
-            self.disk_hits.fetch_add(1, Ordering::Relaxed);
-            Recorder::global().incr("flow_cache.disk_hits", 1);
-            let stored = self
-                .reports
-                .lock()
-                .unwrap()
-                .entry(key)
-                .or_insert_with(|| Arc::new(report))
-                .clone();
-            return Ok((stored, true));
-        }
-        let (full, _) = self.run_traced(cfg)?;
-        // run_traced already populated the report map and disk store and
-        // counted the miss.
-        let _ = full;
-        let stored = self.reports.lock().unwrap().get(&key).cloned();
-        Ok((stored.expect("run_traced populates the report map"), false))
+        let fetch = self.fetch(cfg, FetchOpts::report().uncoalesced())?;
+        let hit = fetch.reused();
+        Ok((fetch.report, hit))
     }
 
-    /// Like [`FlowCache::run_report_traced`] with *single-flight*
-    /// semantics on top: when several threads ask for the same uncached
-    /// configuration at once, exactly one runs the flow and the rest
-    /// block until it publishes, then share the result. This is the
-    /// entry point the experiment service uses — N concurrent clients
-    /// requesting the same configuration trigger one flow run.
+    /// Report-level lookup with single-flight semantics — what
+    /// [`FlowCache::fetch`] does by default.
     ///
     /// # Errors
     ///
     /// Propagates flow failures of this caller's own run; a failed
     /// leader never contaminates its followers (they retry).
+    #[deprecated(note = "use FlowCache::fetch(cfg, FetchOpts::report())")]
     pub fn run_report_coalesced(
         &self,
         cfg: &FlowConfig,
     ) -> CoreResult<(Arc<FlowReport>, FlowFetch)> {
-        let key = cfg.stable_key();
-        // Fast path: already memoised (memory). Counted as a hit by
-        // run_report_traced below would double-lock, so check here.
-        if let Some(hit) = self.reports.lock().unwrap().get(&key).cloned() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            Recorder::global().incr("flow_cache.hits", 1);
-            return Ok((
-                hit,
-                FlowFetch {
-                    cache_hit: true,
-                    coalesced: false,
-                },
-            ));
-        }
-        let (value, flight) = self
-            .inflight
-            .run(key, None, || self.run_report_traced(cfg))?;
-        let (report, leader_hit) = value.expect("no deadline, so never TimedOut");
-        if flight == Flight::Joined {
-            self.coalesced.fetch_add(1, Ordering::Relaxed);
-            Recorder::global().incr("flow_cache.coalesced", 1);
-            return Ok((
-                report,
-                FlowFetch {
-                    cache_hit: false,
-                    coalesced: true,
-                },
-            ));
-        }
-        // The leader may still have been served from the disk store
-        // (another process computed it) — run_report_traced reports
-        // that as a hit.
-        Ok((
-            report,
-            FlowFetch {
-                cache_hit: leader_hit,
-                coalesced: false,
-            },
-        ))
+        let fetch = self.fetch(cfg, FetchOpts::report())?;
+        Ok((Arc::clone(&fetch.report), fetch))
     }
 
     /// Reports the flow's headline sub-span counters into the global
     /// recorder — the always-on aggregate `--metrics-text` exposes even
-    /// when no trace is being written.
-    fn report_flow_counters(span: &FlowSpan) {
+    /// when no trace is being written. Warm runs report their replayed
+    /// annealing under `pd_flow.warm_*` (the steps were reused, not
+    /// executed).
+    fn report_flow_counters(span: &FlowSpan, warm: bool) {
         let rec = Recorder::global();
         rec.incr("pd_flow.runs", 1);
         if let Some(place) = span.find("place") {
-            rec.incr(
-                "pd_flow.anneal_steps",
-                place.counter_value("steps").unwrap_or(0),
-            );
+            let steps = place.counter_value("steps").unwrap_or(0);
+            if warm {
+                rec.incr("pd_flow.warm_runs", 1);
+                rec.incr("pd_flow.warm_steps_reused", steps);
+            } else {
+                rec.incr("pd_flow.anneal_steps", steps);
+            }
         }
         if let Some(opt) = span.find("opt") {
             rec.incr(
@@ -368,7 +619,8 @@ impl FlowCache {
     /// computed the flow for `cfg` (placement steps, optimisation
     /// rounds, CTS/STA counters). `None` when the flow has not been
     /// computed here — cache and disk hits carry no sub-spans, which is
-    /// exactly what keeps traces honest about provenance.
+    /// exactly what keeps traces honest about provenance. Warm runs
+    /// *do* carry one: they executed the flow.
     pub fn sub_span(&self, cfg: &FlowConfig) -> Option<Arc<SpanNode>> {
         self.spans.lock().unwrap().get(&cfg.stable_key()).cloned()
     }
@@ -376,6 +628,11 @@ impl FlowCache {
     /// Calls answered by joining another thread's in-flight flow run.
     pub fn coalesced_count(&self) -> u64 {
         self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Flow runs that warm-started from a cached neighbour's seed.
+    pub fn warm_count(&self) -> u64 {
+        self.warm_hits.load(Ordering::Relaxed)
     }
 
     /// Cached configuration count (full in-memory entries).
@@ -401,6 +658,7 @@ impl FlowCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::store::MemoryStore;
 
     fn quick_cfg() -> FlowConfig {
         FlowConfig::baseline_2d()
@@ -418,11 +676,16 @@ mod tests {
     fn repeated_config_hits_the_cache() {
         let cache = FlowCache::new();
         let cfg = quick_cfg();
-        let (first, hit1) = cache.run_traced(&cfg).unwrap();
-        let (second, hit2) = cache.run_traced(&cfg).unwrap();
-        assert!(!hit1, "first lookup must run the flow");
-        assert!(hit2, "identical config must be a cache hit");
-        assert!(Arc::ptr_eq(&first, &second));
+        let first = cache.fetch(&cfg, FetchOpts::artifacts()).unwrap();
+        let second = cache.fetch(&cfg, FetchOpts::artifacts()).unwrap();
+        assert!(!first.reused(), "first lookup must run the flow");
+        assert!(!first.warm, "nothing to seed from");
+        assert!(second.cache_hit, "identical config must be a cache hit");
+        assert_eq!(second.provenance().name(), "cache-hit");
+        assert!(Arc::ptr_eq(
+            first.artifacts.as_ref().unwrap(),
+            second.artifacts.as_ref().unwrap()
+        ));
         assert_eq!(
             cache.stats(),
             CacheStats {
@@ -435,8 +698,8 @@ mod tests {
 
         // A structurally equal but separately constructed config keys
         // the same entry.
-        let (_, hit3) = cache.run_traced(&quick_cfg()).unwrap();
-        assert!(hit3);
+        let third = cache.fetch(&quick_cfg(), FetchOpts::artifacts()).unwrap();
+        assert!(third.cache_hit);
         assert_eq!(cache.stats().hits, 2);
     }
 
@@ -446,25 +709,64 @@ mod tests {
         let a = quick_cfg();
         let mut b = quick_cfg();
         b.activity += 0.05;
-        cache.run_traced(&a).unwrap();
-        let (_, hit) = cache.run_traced(&b).unwrap();
-        assert!(!hit, "modified config must miss");
+        cache.fetch(&a, FetchOpts::artifacts()).unwrap();
+        let fetch = cache.fetch(&b, FetchOpts::artifacts()).unwrap();
+        assert!(!fetch.reused(), "modified config must miss");
+        assert!(
+            fetch.warm,
+            "an adjacent config shares the placement key, so the miss warm-starts"
+        );
+        assert_eq!(fetch.provenance().name(), "warm");
         assert_eq!(cache.len(), 2);
+        assert_eq!(cache.warm_count(), 1);
+    }
+
+    #[test]
+    fn warm_runs_match_cold_runs_exactly() {
+        let a = quick_cfg();
+        let mut b = quick_cfg();
+        b.activity += 0.05;
+
+        // Cold reference: each config computed in isolation.
+        let cold = FlowCache::new();
+        let cold_b = cold.fetch(&b, FetchOpts::artifacts().cold()).unwrap();
+        assert!(!cold_b.warm);
+
+        // Warm path: `a` seeds `b`.
+        let warm = FlowCache::new();
+        warm.fetch(&a, FetchOpts::report()).unwrap();
+        let warm_b = warm.fetch(&b, FetchOpts::artifacts()).unwrap();
+        assert!(warm_b.warm);
+        assert_eq!(*warm_b.report, *cold_b.report, "byte-identical report");
+        assert_eq!(
+            warm.sub_span(&b).unwrap(),
+            cold.sub_span(&b).unwrap(),
+            "byte-identical sub-span tree"
+        );
+        let wa = &warm_b.artifacts.as_ref().unwrap().1;
+        let ca = &cold_b.artifacts.as_ref().unwrap().1;
+        assert_eq!(wa.placement, ca.placement);
+        assert_eq!(wa.routing, ca.routing);
+        assert_eq!(wa.seed, ca.seed);
     }
 
     #[test]
     fn report_lookup_shares_the_memo() {
         let cache = FlowCache::new();
         let cfg = quick_cfg();
-        let (report, hit) = cache.run_report_traced(&cfg).unwrap();
-        assert!(!hit);
-        let (again, hit2) = cache.run_report_traced(&cfg).unwrap();
-        assert!(hit2);
-        assert!(Arc::ptr_eq(&report, &again));
+        let report = cache.fetch(&cfg, FetchOpts::report()).unwrap();
+        assert!(!report.reused());
+        let again = cache.fetch(&cfg, FetchOpts::report()).unwrap();
+        assert!(again.cache_hit);
+        assert!(Arc::ptr_eq(&report.report, &again.report));
         // The report-level miss ran the full flow, so a subsequent
         // artifact-level lookup of the same config hits the memo too.
-        let (_, hit3) = cache.run_traced(&cfg).unwrap();
-        assert!(hit3, "the flow already ran; artifacts are memoised");
+        let full = cache.fetch(&cfg, FetchOpts::artifacts()).unwrap();
+        assert!(
+            full.cache_hit,
+            "the flow already ran; artifacts are memoised"
+        );
+        assert!(full.artifacts.is_some());
         assert_eq!(
             cache.stats(),
             CacheStats {
@@ -476,11 +778,27 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_shims_still_answer() {
+        #![allow(deprecated)]
+        let cache = FlowCache::new();
+        let cfg = quick_cfg();
+        let (pair, hit) = cache.run_traced(&cfg).unwrap();
+        assert!(!hit);
+        let again = cache.run(&cfg).unwrap();
+        assert!(Arc::ptr_eq(&pair, &again));
+        let (report, hit) = cache.run_report_traced(&cfg).unwrap();
+        assert!(hit);
+        assert_eq!(*report, pair.0);
+        let (_, fetch) = cache.run_report_coalesced(&cfg).unwrap();
+        assert!(fetch.cache_hit && !fetch.coalesced);
+    }
+
+    #[test]
     fn computed_flows_record_sub_spans_but_hits_do_not_add_any() {
         let cache = FlowCache::new();
         let cfg = quick_cfg();
         assert!(cache.sub_span(&cfg).is_none(), "nothing computed yet");
-        cache.run_traced(&cfg).unwrap();
+        cache.fetch(&cfg, FetchOpts::artifacts()).unwrap();
         let span = cache.sub_span(&cfg).expect("computed flow has a tree");
         assert_eq!(span.name, "flow");
         for phase in ["place", "route", "cts", "sta"] {
@@ -488,7 +806,7 @@ mod tests {
         }
         assert!(span.find("place").unwrap().counter_value("steps").unwrap() > 0);
         // A cache hit returns the same recorded tree, not a new one.
-        cache.run_traced(&cfg).unwrap();
+        cache.fetch(&cfg, FetchOpts::artifacts()).unwrap();
         let again = cache.sub_span(&cfg).unwrap();
         assert!(Arc::ptr_eq(&span, &again));
     }
@@ -511,8 +829,7 @@ mod tests {
                 .map(|_| {
                     s.spawn(|| {
                         gate.wait();
-                        let (_, fetch) = cache.run_report_coalesced(&cfg).unwrap();
-                        fetch
+                        cache.fetch(&cfg, FetchOpts::report()).unwrap()
                     })
                 })
                 .collect();
@@ -522,10 +839,7 @@ mod tests {
         // rare interleaving) hit the memo it had just populated.
         assert_eq!(cache.stats().misses, 1, "one flow run for 4 callers");
         assert_eq!(
-            fetches
-                .iter()
-                .filter(|f| !f.cache_hit && !f.coalesced)
-                .count(),
+            fetches.iter().filter(|f| !f.reused()).count(),
             1,
             "exactly one leader computed"
         );
@@ -534,7 +848,7 @@ mod tests {
             fetches.iter().filter(|f| f.coalesced).count() as u64
         );
         // A later identical request is a plain cache hit.
-        let (_, fetch) = cache.run_report_coalesced(&cfg).unwrap();
+        let fetch = cache.fetch(&cfg, FetchOpts::report()).unwrap();
         assert!(fetch.cache_hit && !fetch.coalesced);
     }
 
@@ -546,16 +860,16 @@ mod tests {
 
         // "Process one" computes and writes through.
         let one = FlowCache::with_disk_dir(&dir);
-        let (computed, hit) = one.run_report_traced(&cfg).unwrap();
-        assert!(!hit);
+        let first = one.fetch(&cfg, FetchOpts::report()).unwrap();
+        assert!(!first.reused());
         assert_eq!(one.stats().disk_hits, 0);
-        assert_eq!(fs::read_dir(&dir).unwrap().count(), 1, "one report file");
 
         // "Process two" (a fresh cache over the same dir) reads it back
         // bit-identically without running the flow.
         let two = FlowCache::with_disk_dir(&dir);
-        let (recalled, hit) = two.run_report_traced(&cfg).unwrap();
-        assert!(hit);
+        let recalled = two.fetch(&cfg, FetchOpts::report()).unwrap();
+        assert!(recalled.disk_hit);
+        assert_eq!(recalled.provenance().name(), "disk-hit");
         assert_eq!(
             two.stats(),
             CacheStats {
@@ -564,16 +878,105 @@ mod tests {
                 disk_hits: 1
             }
         );
-        assert_eq!(*computed, *recalled, "disk round-trip is exact");
+        assert_eq!(*first.report, *recalled.report, "disk round-trip is exact");
 
-        // Corrupt file degrades to a miss, not an error.
-        let path = two.disk_path(cfg.stable_key()).unwrap();
-        fs::write(&path, "not json").unwrap();
+        // "Process three" asks for artifacts: the envelope cannot fully
+        // supply them, so the flow re-runs — warm-started by its own
+        // stored seed, reproducing the cold result exactly.
         let three = FlowCache::with_disk_dir(&dir);
-        let (_, hit) = three.run_report_traced(&cfg).unwrap();
-        assert!(!hit);
-        assert_eq!(three.stats().misses, 1);
+        let full = three.fetch(&cfg, FetchOpts::artifacts()).unwrap();
+        assert!(full.warm, "own envelope seeds the artifact recompute");
+        assert_eq!(*full.report, *first.report);
+
+        // Corrupt envelope degrades to a cold miss, not an error.
+        let store = DiskStore::new(&dir);
+        fs::write(store.envelope_path(cfg.stable_key()), "not json").unwrap();
+        fs::remove_file(store.legacy_report_path(cfg.stable_key())).ok();
+        fs::remove_file(store.meta_path(cfg.stable_key())).ok();
+        let four = FlowCache::with_disk_dir(&dir);
+        let fetch = four.fetch(&cfg, FetchOpts::report()).unwrap();
+        assert!(!fetch.reused());
+        assert_eq!(four.stats().misses, 1);
 
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_neighbours_warm_start_across_processes() {
+        let dir = std::env::temp_dir().join(format!("m3d-cache-warm-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let a = quick_cfg();
+        let mut b = quick_cfg();
+        b.activity += 0.05;
+
+        // Process one computes only `a`.
+        let one = FlowCache::with_disk_dir(&dir);
+        one.fetch(&a, FetchOpts::report()).unwrap();
+
+        // Process two computes `b`: never seen, but `a`'s envelope is a
+        // lattice neighbour — warm start from disk.
+        let two = FlowCache::with_disk_dir(&dir);
+        let fetch = two.fetch(&b, FetchOpts::report()).unwrap();
+        assert!(!fetch.reused(), "b itself was never stored");
+        assert!(fetch.warm, "a's stored seed warms b");
+        assert_eq!(two.warm_count(), 1);
+
+        // Cold reference agrees byte-for-byte.
+        let cold = FlowCache::new();
+        let cold_b = cold.fetch(&b, FetchOpts::report().cold()).unwrap();
+        assert_eq!(*fetch.report, *cold_b.report);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_seed_envelope_falls_back_to_cold() {
+        let store = MemoryStore::new();
+        let a = quick_cfg();
+        let mut b = quick_cfg();
+        b.activity += 0.05;
+        // Store a's envelope, then mangle its seed so validation fails.
+        let one = FlowCache::new();
+        let fa = one.fetch(&a, FetchOpts::artifacts()).unwrap();
+        let artifacts = &fa.artifacts.as_ref().unwrap().1;
+        let mut seed = artifacts.seed.clone();
+        seed.placement.cell_pos.truncate(1);
+        store.put(&StoredEnvelope {
+            version: STORE_VERSION,
+            key: a.stable_key(),
+            placement_key: a.placement_key(),
+            params: a.param_point(),
+            report: fa.report.as_ref().clone(),
+            seed,
+            routing: artifacts.routing.clone(),
+            timing: artifacts.timing.clone(),
+            clock_tree: artifacts.clock_tree.clone(),
+            power: artifacts.power.clone(),
+        });
+        let cache = FlowCache::with_store(Box::new(store));
+        let fetch = cache.fetch(&b, FetchOpts::report()).unwrap();
+        assert!(
+            !fetch.warm,
+            "a truncated seed fails validation and the run goes cold"
+        );
+        let cold = FlowCache::new();
+        let cold_b = cold.fetch(&b, FetchOpts::report().cold()).unwrap();
+        assert_eq!(*fetch.report, *cold_b.report);
+    }
+
+    #[test]
+    fn unwritable_disk_dir_degrades_to_memory_with_a_counter() {
+        // A path under a *file* can never be created.
+        let blocker = std::env::temp_dir().join(format!("m3d-blocker-{}", std::process::id()));
+        fs::write(&blocker, "file, not dir").unwrap();
+        let before = Recorder::global().counter("cache.disk_errors");
+        let cache = FlowCache::with_disk_dir(blocker.join("sub"));
+        assert!(cache.disk_dir().is_none(), "degraded to memory-only");
+        let after = Recorder::global().counter("cache.disk_errors");
+        assert!(after > before, "disk misconfiguration is counted");
+        // And it still works as a plain cache.
+        let fetch = cache.fetch(&quick_cfg(), FetchOpts::report()).unwrap();
+        assert!(!fetch.reused());
+        let _ = fs::remove_file(&blocker);
     }
 }

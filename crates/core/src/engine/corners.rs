@@ -16,7 +16,7 @@ use std::sync::Arc;
 use m3d_pd::{FlowConfig, FlowReport};
 use m3d_tech::Corner;
 
-use crate::engine::cache::{FlowCache, FlowFetch};
+use crate::engine::cache::{FetchOpts, FlowCache, FlowFetch};
 use crate::engine::parallel::par_map;
 use crate::error::CoreResult;
 use crate::obs::SpanNode;
@@ -44,7 +44,7 @@ impl CornerRun {
     pub fn span_node(&self) -> SpanNode {
         let mut node = SpanNode::new(format!("corner:{}", self.corner.name().to_lowercase()));
         node.provenance = self.fetch.provenance();
-        if let (false, Some(sub)) = (self.fetch.cache_hit || self.fetch.coalesced, &self.span) {
+        if let (false, Some(sub)) = (self.fetch.reused(), &self.span) {
             node.children.push((**sub).clone());
         }
         node
@@ -64,12 +64,12 @@ pub fn corner_sweep(
 ) -> CoreResult<Vec<CornerRun>> {
     par_map(corners, |&corner| {
         let config = base.clone().at_corner(corner);
-        let (report, fetch) = cache.run_report_coalesced(&config)?;
+        let fetch = cache.fetch(&config, FetchOpts::report())?;
         let span = cache.sub_span(&config);
         Ok(CornerRun {
             corner,
             config,
-            report,
+            report: Arc::clone(&fetch.report),
             fetch,
             span,
         })

@@ -6,8 +6,8 @@
 //! block on a condition variable and receive a clone of the leader's
 //! result. The experiment service builds its request coalescing on this —
 //! N concurrent clients asking for the same flow trigger one flow run —
-//! and [`crate::engine::FlowCache::run_report_coalesced`] wires it under
-//! the flow cache.
+//! and [`crate::engine::FlowCache::fetch`]'s coalescing path wires it
+//! under the flow cache.
 //!
 //! Failure does not poison a key: a leader whose computation errors
 //! reports the error to its own caller only, and waiting followers retry

@@ -15,13 +15,18 @@
 //!   bench binaries' `--trace-json` flag;
 //! * [`cache`] — a content-keyed [`cache::FlowCache`] memoising whole
 //!   flow runs by the [`m3d_tech::StableHash`] of their
-//!   [`m3d_pd::FlowConfig`], so iso-footprint experiments that re-run the
-//!   2D baseline pay for it once — optionally backed by an on-disk
-//!   report store (`M3D_CACHE_DIR`) shared across CLI invocations;
+//!   [`m3d_pd::FlowConfig`], fetched through the single
+//!   [`cache::FlowCache::fetch`] entry point — optionally backed by an
+//!   on-disk [`store::ArtifactStore`] tier (`M3D_CACHE_DIR`) shared
+//!   across CLI invocations and replicas, which also supplies
+//!   warm-start placement seeds to neighbouring configurations;
+//! * [`store`] — the versioned on-disk artifact envelope behind the
+//!   cache's disk tier (reports + placements + route/STA/CTS/power
+//!   state, with sidecar metadata for neighbour ranking);
 //! * [`inflight`] — a single-flight dedup map coalescing *concurrent*
 //!   identical computations (the cache handles *repeated* ones); the
-//!   experiment service (`m3d-serve`) runs its request coalescing and
-//!   [`cache::FlowCache::run_report_coalesced`] on it;
+//!   experiment service (`m3d-serve`) and the coalescing fetch path run
+//!   on it;
 //! * [`parallel`] — a scoped-thread sweep executor ([`parallel::par_map`])
 //!   that fans independent design points across cores, honouring the
 //!   `M3D_JOBS` environment variable, with output ordering (and therefore
@@ -35,10 +40,12 @@ pub mod inflight;
 pub mod parallel;
 pub mod report;
 pub mod stage;
+pub mod store;
 
-pub use cache::{flow_span_node, CacheStats, FlowCache, FlowFetch};
+pub use cache::{flow_span_node, CacheStats, FetchOpts, FlowCache, FlowFetch};
 pub use corners::{corner_sweep, CornerRun};
 pub use inflight::{Flight, InFlight};
 pub use parallel::{jobs, par_map, par_map_jobs};
 pub use report::{ExperimentReport, StageRecord};
 pub use stage::{Pipeline, Stage, StageCtx, StageTiming};
+pub use store::{ArtifactStore, DiskStore, MemoryStore, NeighbourMeta, StoredEnvelope};

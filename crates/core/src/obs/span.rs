@@ -28,6 +28,9 @@ pub enum Provenance {
     DiskHit,
     /// Joined another caller's in-flight execution (single-flight).
     Coalesced,
+    /// The work ran, warm-started from a cached neighbour's artifacts
+    /// (byte-identical to a cold run; only wall-clock differs).
+    Warm,
 }
 
 impl Provenance {
@@ -38,12 +41,15 @@ impl Provenance {
             Provenance::CacheHit => "cache-hit",
             Provenance::DiskHit => "disk-hit",
             Provenance::Coalesced => "coalesced",
+            Provenance::Warm => "warm",
         }
     }
 
     /// Whether the work was reused rather than executed by this caller.
+    /// `Warm` is *not* reuse: the flow ran (and recorded sub-spans);
+    /// only its placement phase was seeded.
     pub fn is_reuse(self) -> bool {
-        !matches!(self, Provenance::Computed)
+        !matches!(self, Provenance::Computed | Provenance::Warm)
     }
 }
 
@@ -243,7 +249,9 @@ mod tests {
         assert_eq!(Provenance::CacheHit.name(), "cache-hit");
         assert_eq!(Provenance::DiskHit.name(), "disk-hit");
         assert_eq!(Provenance::Coalesced.name(), "coalesced");
+        assert_eq!(Provenance::Warm.name(), "warm");
         assert!(!Provenance::Computed.is_reuse());
         assert!(Provenance::Coalesced.is_reuse());
+        assert!(!Provenance::Warm.is_reuse(), "a warm flow still ran");
     }
 }

@@ -92,6 +92,121 @@ impl FlowConfig {
     pub fn stable_key(&self) -> u64 {
         m3d_tech::StableHash::stable_key(self)
     }
+
+    /// Content key of the **placement-determining prefix** of this
+    /// configuration: everything the flow consumes up to and including
+    /// row legalisation (`pdk`, `soc`, `source`, `placer`,
+    /// `die_override`, `legalize`) — and nothing it does not (`opt`,
+    /// `activity` only shape post-placement phases). Two configurations
+    /// with equal placement keys provably produce byte-identical
+    /// pre-optimisation placements, which is what lets a warm-started
+    /// run reuse a neighbour's placement without perturbing a single
+    /// output bit.
+    pub fn placement_key(&self) -> u64 {
+        use m3d_tech::StableHash as _;
+        let mut h = m3d_tech::StableHasher::new();
+        self.pdk.stable_hash(&mut h);
+        self.soc.stable_hash(&mut h);
+        self.source.stable_hash(&mut h);
+        self.placer.stable_hash(&mut h);
+        self.die_override.stable_hash(&mut h);
+        self.legalize.stable_hash(&mut h);
+        h.finish()
+    }
+
+    /// This configuration's typed coordinates on the sweep parameter
+    /// lattice — the axes free to differ between configurations sharing
+    /// a [`FlowConfig::placement_key`]. The engine ranks warm-start
+    /// seed candidates by [`ParamPoint::distance`] over these.
+    pub fn param_point(&self) -> ParamPoint {
+        ParamPoint {
+            activity: self.activity,
+            max_rounds: self.opt.max_rounds as f64,
+            upsize_threshold_ns: self.opt.upsize_threshold_ns,
+            buffer_length_um: self.opt.buffer_length_um,
+            detour: self.opt.detour,
+        }
+    }
+}
+
+/// Typed position of a [`FlowConfig`] on the parameter lattice sweeps
+/// walk: the post-placement knobs (`activity` and the [`OptConfig`]
+/// axes). Serialised into the on-disk artifact envelope so warm-start
+/// candidates can be ranked without re-deriving their configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParamPoint {
+    /// Signal activity factor.
+    pub activity: f64,
+    /// Optimisation round budget.
+    pub max_rounds: f64,
+    /// Upsize threshold in ns.
+    pub upsize_threshold_ns: f64,
+    /// Repeater insertion length in µm.
+    pub buffer_length_um: f64,
+    /// Routing detour factor.
+    pub detour: f64,
+}
+
+impl ParamPoint {
+    /// Scale-normalised L1 distance to `other`: each axis is divided by
+    /// a characteristic sweep step (5 % activity, one round, 0.1 ns,
+    /// 100 µm, 0.05 detour) so no single axis dominates by unit choice.
+    /// Deterministic, symmetric, zero iff the lattice points coincide.
+    pub fn distance(&self, other: &ParamPoint) -> f64 {
+        (self.activity - other.activity).abs() / 0.05
+            + (self.max_rounds - other.max_rounds).abs()
+            + (self.upsize_threshold_ns - other.upsize_threshold_ns).abs() / 0.1
+            + (self.buffer_length_um - other.buffer_length_um).abs() / 100.0
+            + (self.detour - other.detour).abs() / 0.05
+    }
+}
+
+/// The warm-start seed one flow run leaves for neighbouring
+/// configurations: the pre-optimisation placement together with the
+/// recorded `place`/`legalize` spans and the legalisation displacement.
+/// A seeded run replays these verbatim instead of re-annealing — valid
+/// only when [`PlacementSeed::placement_key`] matches the target
+/// configuration's [`FlowConfig::placement_key`], in which case the
+/// cold run would have recomputed the exact same bytes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementSeed {
+    /// [`FlowConfig::placement_key`] of the run that produced this seed.
+    pub placement_key: u64,
+    /// The pre-optimisation placement (legalised when the configuration
+    /// legalises).
+    pub placement: Placement,
+    /// The recorded `place` span (per-step annealing children included).
+    pub place_span: FlowSpan,
+    /// The recorded `legalize` span, when legalisation ran.
+    pub legalize_span: Option<FlowSpan>,
+    /// Mean legalisation displacement in µm (0 when skipped).
+    pub legalization_displacement_um: f64,
+}
+
+impl PlacementSeed {
+    /// Whether this seed can warm-start `cfg`: the placement keys match
+    /// and the seed's shape is consistent with what the configuration's
+    /// own synthesis/floorplan/clustering produce. A seed read from a
+    /// corrupted artifact file fails these checks and the flow falls
+    /// back to a cold run — never an error.
+    fn validates_against(
+        &self,
+        cfg: &FlowConfig,
+        netlist: &Netlist,
+        clustering: &Clustering,
+    ) -> bool {
+        self.placement_key == cfg.placement_key()
+            && self.placement.cell_pos.len() == netlist.cell_count()
+            && self.placement.macro_pos.len() == netlist.macros().len()
+            && self.placement.cluster_pos.len() == clustering.clusters.len()
+            && self.placement.cluster_region.len() == clustering.clusters.len()
+            && self.place_span.name == "place"
+            && self.legalize_span.is_some() == cfg.legalize
+            && self
+                .legalize_span
+                .as_ref()
+                .is_none_or(|s| s.name == "legalize")
+    }
 }
 
 impl FlowConfig {
@@ -176,6 +291,10 @@ pub struct FlowArtifacts {
     pub clock_tree: ClockTree,
     /// Power sign-off.
     pub power: PowerReport,
+    /// Warm-start seed this run leaves behind: the pre-optimisation
+    /// placement and its spans, reusable by any configuration sharing
+    /// this run's [`FlowConfig::placement_key`].
+    pub seed: PlacementSeed,
 }
 
 /// Post-route comparison metrics (the Fig. 2 numbers).
@@ -289,6 +408,29 @@ impl Rtl2GdsFlow {
     ///
     /// Same as [`Rtl2GdsFlow::run`].
     pub fn run_traced(&self) -> PdResult<(FlowReport, FlowArtifacts, FlowSpan)> {
+        let (report, artifacts, span, _) = self.run_seeded(None)?;
+        Ok((report, artifacts, span))
+    }
+
+    /// [`Rtl2GdsFlow::run_traced`] with an optional warm-start `seed`.
+    ///
+    /// When the seed validates against this configuration (matching
+    /// [`FlowConfig::placement_key`] and a placement shaped like what
+    /// this netlist's clustering produces), the annealing placer and row
+    /// legalisation are skipped: the seed's placement is adopted and its
+    /// recorded spans are replayed verbatim, so the report, artifacts
+    /// and span tree are **byte-identical** to a cold run — the seed
+    /// only removes wall-clock. The returned flag says whether the warm
+    /// path was taken; an invalid or mismatched seed silently falls back
+    /// to the cold path (never an error).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Rtl2GdsFlow::run`].
+    pub fn run_seeded(
+        &self,
+        seed: Option<&PlacementSeed>,
+    ) -> PdResult<(FlowReport, FlowArtifacts, FlowSpan, bool)> {
         let cfg = &self.config;
         let mut obs = FlowObserver::enabled();
 
@@ -325,25 +467,48 @@ impl Rtl2GdsFlow {
         cls.counter("clusters", clustering.clusters.len() as u64);
         cls.counter("nets", clustering.nets.len() as u64);
         obs.record(cls);
-        let (mut placement, place_span) = place_traced(&clustering, &floorplan, &cfg.placer)?;
-        obs.record(place_span);
-
-        // --- Row legalisation -----------------------------------------------
-        let legalization_displacement_um = if cfg.legalize {
-            let leg = crate::legalize::legalize(&netlist, &placement, &floorplan, &cfg.pdk)?;
-            placement.cell_pos = leg.cell_pos;
-            let mut ls = FlowSpan::new("legalize");
-            ls.counter("rows_used", leg.rows_used as u64);
-            ls.counter("far_placed", leg.far_placed as u64);
-            ls.counter(
-                "avg_displacement_nm",
-                round_counter(leg.avg_displacement.value() * 1_000.0),
-            );
-            obs.record(ls);
-            leg.avg_displacement.value()
-        } else {
-            0.0
+        // --- Global placement + row legalisation ---------------------------
+        // A validated seed replays the seeding run's placement and spans
+        // verbatim (byte-identical by placement-key equality); otherwise
+        // the placer anneals cold and we record a fresh seed.
+        let (seed_out, warm) = match seed {
+            Some(s) if s.validates_against(cfg, &netlist, &clustering) => (s.clone(), true),
+            _ => {
+                let (mut placement, place_span) =
+                    place_traced(&clustering, &floorplan, &cfg.placer)?;
+                let (legalize_span, legalization_displacement_um) = if cfg.legalize {
+                    let leg =
+                        crate::legalize::legalize(&netlist, &placement, &floorplan, &cfg.pdk)?;
+                    placement.cell_pos = leg.cell_pos;
+                    let mut ls = FlowSpan::new("legalize");
+                    ls.counter("rows_used", leg.rows_used as u64);
+                    ls.counter("far_placed", leg.far_placed as u64);
+                    ls.counter(
+                        "avg_displacement_nm",
+                        round_counter(leg.avg_displacement.value() * 1_000.0),
+                    );
+                    (Some(ls), leg.avg_displacement.value())
+                } else {
+                    (None, 0.0)
+                };
+                (
+                    PlacementSeed {
+                        placement_key: cfg.placement_key(),
+                        placement,
+                        place_span,
+                        legalize_span,
+                        legalization_displacement_um,
+                    },
+                    false,
+                )
+            }
         };
+        obs.record(seed_out.place_span.clone());
+        if let Some(ls) = &seed_out.legalize_span {
+            obs.record(ls.clone());
+        }
+        let mut placement = seed_out.placement.clone();
+        let legalization_displacement_um = seed_out.legalization_displacement_um;
 
         // --- Route, post-route optimisation, sign-off ----------------------
         let (
@@ -461,8 +626,9 @@ impl Rtl2GdsFlow {
             timing,
             clock_tree,
             power,
+            seed: seed_out,
         };
-        Ok((report, artifacts, obs.finish("flow")))
+        Ok((report, artifacts, obs.finish("flow"), warm))
     }
 }
 
@@ -609,6 +775,96 @@ mod tests {
         assert!(report.die_mm2 > 0.0);
         assert!(report.achieved_mhz > 0.0);
         assert_eq!(artifacts.netlist.macros().len(), 0);
+    }
+
+    #[test]
+    fn warm_seeded_run_is_byte_identical_to_cold() {
+        let mut cold_cfg = FlowConfig::baseline_2d().with_cs(small_cs()).quick();
+        cold_cfg.activity = 0.20;
+        let (cr, ca, ct, cold_warm) = Rtl2GdsFlow::new(cold_cfg.clone()).run_seeded(None).unwrap();
+        assert!(!cold_warm);
+
+        // A lattice neighbour: same placement key, different post-placement
+        // knobs — its seed must warm-start the target bit-for-bit.
+        let mut warm_cfg = cold_cfg.clone();
+        warm_cfg.activity = 0.25;
+        warm_cfg.opt.upsize_threshold_ns = cold_cfg.opt.upsize_threshold_ns * 0.5;
+        assert_eq!(warm_cfg.placement_key(), cold_cfg.placement_key());
+        assert_ne!(warm_cfg.stable_key(), cold_cfg.stable_key());
+        let (_, na, _, _) = Rtl2GdsFlow::new(warm_cfg).run_seeded(None).unwrap();
+
+        let (wr, wa, wt, warm) = Rtl2GdsFlow::new(cold_cfg)
+            .run_seeded(Some(&na.seed))
+            .unwrap();
+        assert!(warm, "matching placement key must take the warm path");
+        assert_eq!(wr, cr, "warm report == cold report");
+        assert_eq!(wt, ct, "warm span tree == cold span tree");
+        assert_eq!(wa.placement, ca.placement);
+        assert_eq!(wa.routing, ca.routing);
+        assert_eq!(wa.seed, ca.seed);
+    }
+
+    #[test]
+    fn mismatched_or_corrupt_seed_falls_back_to_cold() {
+        let cfg = FlowConfig::baseline_2d().with_cs(small_cs()).quick();
+        let (cr, ca, _) = Rtl2GdsFlow::new(cfg.clone()).run_traced().unwrap();
+
+        // Different placement key (placer effort differs) → cold.
+        let mut other = cfg.clone();
+        other.placer = PlacerConfig::default();
+        assert_ne!(other.placement_key(), cfg.placement_key());
+        let (_, oa, _, _) = Rtl2GdsFlow::new(other).run_seeded(None).unwrap();
+        let (r1, _, _, warm1) = Rtl2GdsFlow::new(cfg.clone())
+            .run_seeded(Some(&oa.seed))
+            .unwrap();
+        assert!(!warm1);
+        assert_eq!(r1, cr);
+
+        // Right key but truncated placement (a corrupt artifact) → cold.
+        let mut corrupt = ca.seed.clone();
+        corrupt.placement.cell_pos.pop();
+        let (r2, _, _, warm2) = Rtl2GdsFlow::new(cfg).run_seeded(Some(&corrupt)).unwrap();
+        assert!(!warm2);
+        assert_eq!(r2, cr);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(6))]
+        /// Warm-vs-cold byte-identity over random adjacent lattice pairs:
+        /// any seed from a configuration sharing the placement key
+        /// reproduces the cold run exactly, whatever the post-placement
+        /// knobs of either side.
+        #[test]
+        fn warm_start_matches_cold_for_random_adjacent_pairs(
+            act_a in 1u32..=8,
+            act_b in 1u32..=8,
+            thr_a in 1u32..=6,
+            thr_b in 1u32..=6,
+            rounds_b in 1u32..=2,
+            buf_b in 0u32..2,
+        ) {
+            let mut a = FlowConfig::baseline_2d().with_cs(small_cs()).quick();
+            a.activity = f64::from(act_a) * 0.05;
+            a.opt.upsize_threshold_ns = f64::from(thr_a) * 0.05;
+            let mut b = a.clone();
+            b.activity = f64::from(act_b) * 0.05;
+            b.opt.upsize_threshold_ns = f64::from(thr_b) * 0.05;
+            b.opt.max_rounds = rounds_b as usize;
+            if buf_b == 1 {
+                b.opt.buffer_length_um *= 0.5;
+            }
+            proptest::prop_assert_eq!(a.placement_key(), b.placement_key());
+
+            let (_, na, _, _) = Rtl2GdsFlow::new(a).run_seeded(None).unwrap();
+            let (cr, ca, ct, _) = Rtl2GdsFlow::new(b.clone()).run_seeded(None).unwrap();
+            let (wr, wa, wt, warm) =
+                Rtl2GdsFlow::new(b).run_seeded(Some(&na.seed)).unwrap();
+            proptest::prop_assert!(warm);
+            proptest::prop_assert_eq!(wr, cr);
+            proptest::prop_assert_eq!(wt, ct);
+            proptest::prop_assert_eq!(wa.placement, ca.placement);
+            proptest::prop_assert_eq!(wa.routing, ca.routing);
+        }
     }
 
     #[test]

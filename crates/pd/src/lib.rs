@@ -52,7 +52,8 @@ pub use drc::{check_placement, DrcKind, DrcReport, DrcViolation};
 pub use error::{PdError, PdResult};
 pub use floorplan::{under_array_usable_area, FixedBlock, Floorplan, Region, RegionKind};
 pub use flow::{
-    cs_geometric_demand, FlowArtifacts, FlowConfig, FlowReport, NetlistSource, Rtl2GdsFlow,
+    cs_geometric_demand, FlowArtifacts, FlowConfig, FlowReport, NetlistSource, ParamPoint,
+    PlacementSeed, Rtl2GdsFlow,
 };
 pub use gds::LayoutExport;
 pub use geom::{BoundingBox, Point, Rect};
@@ -62,6 +63,6 @@ pub use opt::{post_route_optimize, post_route_optimize_traced, OptConfig, OptOut
 pub use partition::{fold_two_tier, FoldingReport};
 pub use place::{place, place_traced, Placement, PlacerConfig};
 pub use power::{analyze_power, PowerDensityGrid, PowerReport, DEFAULT_ACTIVITY};
-pub use route::{estimate_routing, RoutedNet, RoutingEstimate, DEFAULT_DETOUR};
+pub use route::{estimate_routing, reestimate_routing, RoutedNet, RoutingEstimate, DEFAULT_DETOUR};
 pub use spef::to_spef;
 pub use sta::{analyze_timing, EndpointSlack, TimingReport};

@@ -12,10 +12,16 @@
 //! [`crate::FlowConfig`] always produces a byte-identical tree —
 //! wall-clock time never enters.
 
+use serde::{Deserialize, Serialize};
+
 /// One instrumented unit of flow work: a phase (`place`, `route`,
 /// `cts`, `sta`, …), one annealing temperature step, or one post-route
 /// optimisation round.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+///
+/// Serialisable so recorded spans can ride the on-disk artifact store:
+/// a warm-started flow replays the seeding run's `place`/`legalize`
+/// spans verbatim, keeping traces byte-identical to a cold run.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct FlowSpan {
     /// Span name (phase or iteration label).
     pub name: String,

@@ -8,11 +8,13 @@ use m3d_tech::stdcell::{CellKind, DriveStrength};
 use m3d_tech::units::Megahertz;
 use m3d_tech::{Pdk, Tier};
 
+use std::collections::HashSet;
+
 use crate::error::PdResult;
 use crate::geom::Point;
 use crate::observe::{round_counter, FlowSpan};
 use crate::place::Placement;
-use crate::route::{estimate_routing, RoutingEstimate};
+use crate::route::{estimate_routing, reestimate_routing, RoutingEstimate};
 use crate::sta::{analyze_timing, TimingReport};
 
 /// Builds a `route` span from one routing estimate (net count, rounded
@@ -168,6 +170,13 @@ pub fn post_route_optimize_traced(
         let mut changed = false;
         let upsized_before = upsized;
         let buffers_before = buffers;
+        // Nets whose parasitics the round's fixes perturb: rewired nets
+        // and every net loaded by an upsized cell's input pin. Only
+        // these are re-routed below — the re-estimate is incremental
+        // against the placement/netlist delta, bit-identical to a full
+        // re-route.
+        let mut dirty: Vec<usize> = Vec::new();
+        let mut upsized_cells: HashSet<u32> = HashSet::new();
 
         // --- Pass 1: upsize weak drivers of heavily loaded nets ---------
         let mut to_upsize: Vec<u32> = Vec::new();
@@ -197,6 +206,19 @@ pub fn post_route_optimize_traced(
                 netlist.cell_mut(m3d_netlist::CellId(ci))?.drive = up.drive;
                 upsized += 1;
                 changed = true;
+                upsized_cells.insert(ci);
+            }
+        }
+        if !upsized_cells.is_empty() {
+            // A stronger drive variant presents a larger input pin, so
+            // every net with an upsized cell among its sinks carries a
+            // stale pin capacitance.
+            for (ni, net) in netlist.nets().iter().enumerate() {
+                if net.sinks.iter().any(
+                    |s| matches!(*s, Sink::Cell { cell, .. } if upsized_cells.contains(&cell.0)),
+                ) {
+                    dirty.push(ni);
+                }
             }
         }
 
@@ -232,9 +254,14 @@ pub fn post_route_optimize_traced(
             placement.cell_pos.push(center);
             buffers += 1;
             changed = true;
+            // The rewired source net changed topology; the new net is
+            // appended past `routing.nets` and re-routed implicitly.
+            dirty.push(ni);
         }
 
-        routing = estimate_routing(netlist, placement, pdk, config.detour)?;
+        dirty.sort_unstable();
+        dirty.dedup();
+        routing = reestimate_routing(netlist, placement, pdk, config.detour, &routing, &dirty)?;
         timing = analyze_timing(netlist, &routing, pdk, target_clock)?;
         let mut round_span = FlowSpan::new(format!("round{round}"));
         round_span.counter("upsized", (upsized - upsized_before) as u64);
@@ -350,6 +377,25 @@ mod tests {
         assert_eq!(
             sta.counter_value("timing_met"),
             Some(u64::from(out.timing.timing_met()))
+        );
+    }
+
+    #[test]
+    fn incremental_reroute_is_bit_identical_to_full_reroute() {
+        let (mut nl, mut p, pdk, clock) = setup();
+        // Aggressive thresholds force both fix kinds, so the dirty-set
+        // bookkeeping is exercised on upsizes, rewires and new nets.
+        let cfg = OptConfig {
+            buffer_length_um: 100.0,
+            upsize_threshold_ns: 0.05,
+            ..OptConfig::default()
+        };
+        let out = post_route_optimize(&mut nl, &mut p, &pdk, clock, &cfg).unwrap();
+        assert!(out.buffers_inserted > 0, "test must insert buffers");
+        let full = estimate_routing(&nl, &p, &pdk, cfg.detour).unwrap();
+        assert_eq!(
+            out.routing, full,
+            "incrementally patched estimate must equal a from-scratch one bit-for-bit"
         );
     }
 

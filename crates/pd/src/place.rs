@@ -10,6 +10,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 use m3d_tech::units::{Microns, SquareMicrons};
 
@@ -73,7 +74,10 @@ impl PlacerConfig {
 }
 
 /// A finished placement.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serialisable so the on-disk artifact store can persist placements and
+/// warm-start later runs of neighbouring configurations from them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Placement {
     /// Cluster centre positions (indexed like `Clustering::clusters`).
     pub cluster_pos: Vec<Point>,

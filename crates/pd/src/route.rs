@@ -74,31 +74,38 @@ fn pin_tier(netlist: &Netlist, pdk: &Pdk, driver_or_sink_is_macro: Option<usize>
     Tier::SiCmos
 }
 
-/// Estimates routing for a placed design.
-///
-/// # Errors
-///
-/// Returns technology errors when a cell is missing from the PDK
-/// libraries.
-pub fn estimate_routing(
-    netlist: &Netlist,
-    placement: &Placement,
-    pdk: &Pdk,
+/// Per-net routing context: everything [`estimate_routing`] derives
+/// once per design, factored out so the full and incremental estimators
+/// share one per-net function (bit-identical results by construction).
+struct NetRouter<'a> {
+    netlist: &'a Netlist,
+    placement: &'a Placement,
+    pdk: &'a Pdk,
+    io_point: Point,
+    r_per_um: KiloOhms,
+    c_per_um: Femtofarads,
     detour: f64,
-) -> TechResult<RoutingEstimate> {
-    let r_per_um = pdk.stack.avg_resistance_per_um();
-    let c_per_um = pdk.stack.avg_capacitance_per_um();
-    let io_point = placement
-        .cluster_pos
-        .first()
-        .copied()
-        .unwrap_or(Point::default());
+}
 
-    let mut nets = Vec::with_capacity(netlist.net_count());
-    let mut total_len = 0.0f64;
-    let mut signal_ilvs = 0u64;
+impl<'a> NetRouter<'a> {
+    fn new(netlist: &'a Netlist, placement: &'a Placement, pdk: &'a Pdk, detour: f64) -> Self {
+        Self {
+            netlist,
+            placement,
+            pdk,
+            io_point: placement
+                .cluster_pos
+                .first()
+                .copied()
+                .unwrap_or(Point::default()),
+            r_per_um: pdk.stack.avg_resistance_per_um(),
+            c_per_um: pdk.stack.avg_capacitance_per_um(),
+            detour,
+        }
+    }
 
-    for net in netlist.nets() {
+    fn route(&self, ni: usize) -> TechResult<RoutedNet> {
+        let net = &self.netlist.nets()[ni];
         let mut bb = BoundingBox::new();
         let mut pins = 0usize;
         let mut pin_cap = Femtofarads::ZERO;
@@ -106,18 +113,18 @@ pub fn estimate_routing(
 
         match net.driver {
             Some(Driver::Cell { cell, .. }) => {
-                bb.include(placement.cell_pos[cell.0 as usize]);
-                let c = &netlist.cells()[cell.0 as usize];
+                bb.include(self.placement.cell_pos[cell.0 as usize]);
+                let c = &self.netlist.cells()[cell.0 as usize];
                 tiers.push(c.tier);
                 pins += 1;
             }
             Some(Driver::Macro { id }) => {
-                bb.include(placement.macro_pos[id.0 as usize]);
-                tiers.push(pin_tier(netlist, pdk, Some(id.0 as usize)));
+                bb.include(self.placement.macro_pos[id.0 as usize]);
+                tiers.push(pin_tier(self.netlist, self.pdk, Some(id.0 as usize)));
                 pins += 1;
             }
             Some(Driver::PrimaryInput) => {
-                bb.include(io_point);
+                bb.include(self.io_point);
                 tiers.push(Tier::SiCmos);
                 pins += 1;
             }
@@ -126,20 +133,20 @@ pub fn estimate_routing(
         for s in &net.sinks {
             match *s {
                 Sink::Cell { cell, pin } => {
-                    bb.include(placement.cell_pos[cell.0 as usize]);
-                    let c = &netlist.cells()[cell.0 as usize];
+                    bb.include(self.placement.cell_pos[cell.0 as usize]);
+                    let c = &self.netlist.cells()[cell.0 as usize];
                     tiers.push(c.tier);
-                    let lib = pdk.library(c.tier)?;
+                    let lib = self.pdk.library(c.tier)?;
                     pin_cap += lib.cell(c.kind, c.drive)?.input_cap;
                     let _ = pin;
                 }
                 Sink::Macro { id } => {
-                    bb.include(placement.macro_pos[id.0 as usize]);
-                    tiers.push(pin_tier(netlist, pdk, Some(id.0 as usize)));
+                    bb.include(self.placement.macro_pos[id.0 as usize]);
+                    tiers.push(pin_tier(self.netlist, self.pdk, Some(id.0 as usize)));
                     pin_cap += Femtofarads::new(5.0);
                 }
                 Sink::PrimaryOutput => {
-                    bb.include(io_point);
+                    bb.include(self.io_point);
                     tiers.push(Tier::SiCmos);
                     pin_cap += Femtofarads::new(10.0);
                 }
@@ -153,24 +160,24 @@ pub fn estimate_routing(
         } else {
             (0.5 * (pins as f64).sqrt()).max(1.0)
         };
-        let length = Microns::new(bb.hpwl().value() * steiner * detour);
+        let length = Microns::new(bb.hpwl().value() * steiner * self.detour);
         // Tier crossings need one ILV each.
         let base_tier = tiers.first().copied().unwrap_or(Tier::SiCmos);
         let crossings = tiers.iter().filter(|&&t| t != base_tier).count() as u32;
-        signal_ilvs += u64::from(crossings);
 
-        total_len += length.value();
-        nets.push(RoutedNet {
+        Ok(RoutedNet {
             length,
-            wire_cap: c_per_um * length.value(),
-            wire_res: r_per_um * length.value(),
+            wire_cap: self.c_per_um * length.value(),
+            wire_res: self.r_per_um * length.value(),
             pin_cap,
             ilv_count: crossings,
             is_global,
-        });
+        })
     }
+}
 
-    let memory_cell_ilvs: u64 = netlist
+fn memory_cell_ilvs(netlist: &Netlist) -> u64 {
+    netlist
         .macros()
         .iter()
         .map(|m| match &m.kind {
@@ -179,11 +186,97 @@ pub fn estimate_routing(
             }
             _ => 0,
         })
-        .sum();
+        .sum()
+}
 
+/// Re-derives the design totals from per-net entries, accumulating in
+/// net-index order — the same sequence of float additions the full
+/// estimator performs, so an incrementally patched estimate is
+/// bit-identical to one computed from scratch.
+fn totals(nets: &[RoutedNet], placement: &Placement, netlist: &Netlist) -> (Microns, u64, u64) {
+    let mut total_len = 0.0f64;
+    let mut signal_ilvs = 0u64;
+    for rn in nets {
+        total_len += rn.length.value();
+        signal_ilvs += u64::from(rn.ilv_count);
+    }
+    (
+        Microns::new(total_len) + placement.intra_wl,
+        signal_ilvs,
+        memory_cell_ilvs(netlist),
+    )
+}
+
+/// Estimates routing for a placed design.
+///
+/// # Errors
+///
+/// Returns technology errors when a cell is missing from the PDK
+/// libraries.
+pub fn estimate_routing(
+    netlist: &Netlist,
+    placement: &Placement,
+    pdk: &Pdk,
+    detour: f64,
+) -> TechResult<RoutingEstimate> {
+    let router = NetRouter::new(netlist, placement, pdk, detour);
+    let mut nets = Vec::with_capacity(netlist.net_count());
+    for ni in 0..netlist.net_count() {
+        nets.push(router.route(ni)?);
+    }
+    let (total_wirelength, signal_ilvs, memory_cell_ilvs) = totals(&nets, placement, netlist);
     Ok(RoutingEstimate {
         nets,
-        total_wirelength: Microns::new(total_len) + placement.intra_wl,
+        total_wirelength,
+        signal_ilvs,
+        memory_cell_ilvs,
+        detour,
+    })
+}
+
+/// Incrementally re-estimates routing against a placement/netlist delta:
+/// only the nets listed in `dirty` (plus nets appended since `prev` was
+/// computed) are re-routed; every other per-net entry is carried over
+/// from `prev` unchanged, and the design totals are re-accumulated in
+/// net-index order. The result is **bit-identical** to a from-scratch
+/// [`estimate_routing`] of the current netlist/placement, provided
+/// `dirty` covers every net whose pins, positions or topology changed —
+/// post-route optimisation's buffer insertion and driver upsizing
+/// produce exactly such a conservative dirty set.
+///
+/// Falls back to the full estimator when `prev` was computed with a
+/// different detour factor or has more nets than the netlist (a stale
+/// estimate it cannot patch).
+///
+/// # Errors
+///
+/// Returns technology errors when a cell is missing from the PDK
+/// libraries.
+pub fn reestimate_routing(
+    netlist: &Netlist,
+    placement: &Placement,
+    pdk: &Pdk,
+    detour: f64,
+    prev: &RoutingEstimate,
+    dirty: &[usize],
+) -> TechResult<RoutingEstimate> {
+    if prev.detour != detour || prev.nets.len() > netlist.net_count() {
+        return estimate_routing(netlist, placement, pdk, detour);
+    }
+    let router = NetRouter::new(netlist, placement, pdk, detour);
+    let mut nets = prev.nets.clone();
+    for &ni in dirty {
+        if ni < nets.len() {
+            nets[ni] = router.route(ni)?;
+        }
+    }
+    for ni in nets.len()..netlist.net_count() {
+        nets.push(router.route(ni)?);
+    }
+    let (total_wirelength, signal_ilvs, memory_cell_ilvs) = totals(&nets, placement, netlist);
+    Ok(RoutingEstimate {
+        nets,
+        total_wirelength,
         signal_ilvs,
         memory_cell_ilvs,
         detour,

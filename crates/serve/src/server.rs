@@ -568,7 +568,10 @@ fn cases_listing() -> Value {
 /// latency sample, and a per-request span on the metrics recorder.
 fn finish_request(shared: &Shared, req: &Request, born: Instant, provenance: Provenance) {
     shared.metrics.bump(match provenance {
-        Provenance::Computed => "executed",
+        // Warm-started requests still executed the case end to end; the
+        // flow-cache warm counter (surfaced in `stats`) carries the
+        // seed-reuse signal.
+        Provenance::Computed | Provenance::Warm => "executed",
         Provenance::CacheHit | Provenance::DiskHit => "cache_hits",
         Provenance::Coalesced => "coalesced",
     });
@@ -692,6 +695,10 @@ fn stats_response(shared: &Arc<Shared>, req: &Request) -> Response {
         (
             "flow_coalesced".to_owned(),
             Value::U64(shared.flows.coalesced_count()),
+        ),
+        (
+            "flow_warm_hits".to_owned(),
+            Value::U64(shared.flows.warm_count()),
         ),
         (
             "thermal_cache".to_owned(),

@@ -115,6 +115,49 @@ if ! cmp -s "$tmp/corners-a.json" "$tmp/corners-b.json"; then
     exit 1
 fi
 
+# Warm-start determinism gate: the activity-sensitivity sweep warm-starts
+# later grid points from the first point's placement seed (all points
+# share a placement key). The --json and --trace-json artifacts must be
+# byte-identical across worker counts — with jobs=1 the later points warm
+# from the in-memory seed index, with jobs=7 they race and mostly anneal
+# cold, so identity here proves warm == cold byte for byte.
+env -u M3D_CACHE_DIR M3D_JOBS=1 ./target/release/flow_sensitivity --quick \
+    --json "$tmp/sens-a.json" --trace-json "$tmp/sens-trace-a.json" >/dev/null 2>&1
+env -u M3D_CACHE_DIR M3D_JOBS=7 ./target/release/flow_sensitivity --quick \
+    --json "$tmp/sens-b.json" --trace-json "$tmp/sens-trace-b.json" >/dev/null 2>&1
+if ! cmp -s "$tmp/sens-a.json" "$tmp/sens-b.json"; then
+    echo "tier1: FAIL — flow_sensitivity --json differs across M3D_JOBS" >&2
+    diff "$tmp/sens-a.json" "$tmp/sens-b.json" >&2 || true
+    exit 1
+fi
+if ! cmp -s "$tmp/sens-trace-a.json" "$tmp/sens-trace-b.json"; then
+    echo "tier1: FAIL — flow_sensitivity --trace-json differs across M3D_JOBS" >&2
+    diff "$tmp/sens-trace-a.json" "$tmp/sens-trace-b.json" >&2 || true
+    exit 1
+fi
+
+# Disk-tier warm-start gate: prewarm a fresh artifact cache with a
+# *shifted* activity grid (neighbours only — no exact-key hits possible),
+# then rerun the default grid against that cache. Every point must
+# warm-start from a disk neighbour's seed (pd_flow_warm_runs > 0) and the
+# payload must stay byte-identical to the detached-cache run above.
+warm_cache="$tmp/warm-cache"
+mkdir -p "$warm_cache"
+M3D_CACHE_DIR="$warm_cache" M3D_JOBS=1 ./target/release/flow_sensitivity --quick \
+    --set activity_lo_pct=12 >/dev/null 2>&1
+M3D_CACHE_DIR="$warm_cache" M3D_JOBS=1 ./target/release/flow_sensitivity --quick \
+    --json "$tmp/sens-warm.json" --metrics-text "$tmp/sens-warm.prom" >/dev/null 2>&1
+if ! cmp -s "$tmp/sens-warm.json" "$tmp/sens-a.json"; then
+    echo "tier1: FAIL — warm-started flow_sensitivity --json differs from cold" >&2
+    diff "$tmp/sens-warm.json" "$tmp/sens-a.json" >&2 || true
+    exit 1
+fi
+if ! grep -Eq '^pd_flow_warm_runs [1-9]' "$tmp/sens-warm.prom"; then
+    echo "tier1: FAIL — prewarmed flow_sensitivity run never warm-started:" >&2
+    grep -E '^(pd_flow|flow_cache)' "$tmp/sens-warm.prom" >&2 || true
+    exit 1
+fi
+
 # Ingest gate: the checked-in example EDIF must flatten and implement
 # deterministically — the --json artifact is byte-identical across
 # worker counts — and the trace must carry the front-end counters.
@@ -384,5 +427,25 @@ if ! wait "$gateway_pid"; then
     cat "$tmp/gateway.err" >&2
     exit 1
 fi
+
+# Bench smoke: the flow bench's warm-vs-cold pair must run, pass its
+# internal warm==cold identity assertions, and emit the warm-start
+# summary artifact. Only non-timing facts are asserted — medians land in
+# the JSON for humans and dashboards, never for gating.
+bench_json="$tmp/BENCH_warmstart.json"
+M3D_BENCH_WARMSTART_JSON="$bench_json" cargo bench -q -p m3d-bench --bench flow >"$tmp/bench.out" 2>&1
+if [ ! -s "$bench_json" ]; then
+    echo "tier1: FAIL — flow bench did not emit BENCH_warmstart.json" >&2
+    cat "$tmp/bench.out" >&2
+    exit 1
+fi
+for fld in '"bench": "flow_sweep_warm_vs_cold"' '"grid_points"' '"cold_ms_median"' \
+           '"warm_ms_median"' '"speedup"'; do
+    if ! grep -q "$fld" "$bench_json"; then
+        echo "tier1: FAIL — BENCH_warmstart.json lacks $fld:" >&2
+        cat "$bench_json" >&2
+        exit 1
+    fi
+done
 
 echo "tier1: OK"
