@@ -16,8 +16,8 @@
 //! and how the lookup was satisfied (memory hit, disk hit, coalesced
 //! onto another caller's run, warm-started, or computed cold). The
 //! pre-PR-9 entry points (`run`, `run_traced`, `run_report_traced`,
-//! `run_report_coalesced`) survive one release as deprecated shims
-//! over `fetch`.
+//! `run_report_coalesced`) survived one release as deprecated shims
+//! and are gone; tier1 greps them out of the tree.
 //!
 //! # The on-disk artifact tier and warm starts
 //!
@@ -509,72 +509,6 @@ impl FlowCache {
         });
     }
 
-    /// Runs (or recalls) the flow for `cfg`, keyed by
-    /// [`FlowConfig::stable_key`].
-    ///
-    /// # Errors
-    ///
-    /// Propagates flow failures; errors are not cached.
-    #[deprecated(note = "use FlowCache::fetch(cfg, FetchOpts::artifacts())")]
-    pub fn run(&self, cfg: &FlowConfig) -> CoreResult<Arc<(FlowReport, FlowArtifacts)>> {
-        let fetch = self.fetch(cfg, FetchOpts::artifacts().uncoalesced())?;
-        Ok(fetch
-            .artifacts
-            .expect("artifact-level fetch carries artifacts"))
-    }
-
-    /// Like [`FlowCache::run`], additionally reporting whether the result
-    /// was reused rather than computed (`true` = hit).
-    ///
-    /// # Errors
-    ///
-    /// Propagates flow failures; errors are not cached.
-    #[deprecated(note = "use FlowCache::fetch(cfg, FetchOpts::artifacts())")]
-    pub fn run_traced(
-        &self,
-        cfg: &FlowConfig,
-    ) -> CoreResult<(Arc<(FlowReport, FlowArtifacts)>, bool)> {
-        let fetch = self.fetch(cfg, FetchOpts::artifacts().uncoalesced())?;
-        let hit = fetch.reused();
-        Ok((
-            fetch
-                .artifacts
-                .expect("artifact-level fetch carries artifacts"),
-            hit,
-        ))
-    }
-
-    /// Runs (or recalls) the flow for `cfg`, returning only the
-    /// serialisable [`FlowReport`]. The boolean is `true` for any kind
-    /// of hit (memory or disk); [`FlowCache::stats`] distinguishes the
-    /// two.
-    ///
-    /// # Errors
-    ///
-    /// Propagates flow failures; errors are not cached.
-    #[deprecated(note = "use FlowCache::fetch(cfg, FetchOpts::report())")]
-    pub fn run_report_traced(&self, cfg: &FlowConfig) -> CoreResult<(Arc<FlowReport>, bool)> {
-        let fetch = self.fetch(cfg, FetchOpts::report().uncoalesced())?;
-        let hit = fetch.reused();
-        Ok((fetch.report, hit))
-    }
-
-    /// Report-level lookup with single-flight semantics — what
-    /// [`FlowCache::fetch`] does by default.
-    ///
-    /// # Errors
-    ///
-    /// Propagates flow failures of this caller's own run; a failed
-    /// leader never contaminates its followers (they retry).
-    #[deprecated(note = "use FlowCache::fetch(cfg, FetchOpts::report())")]
-    pub fn run_report_coalesced(
-        &self,
-        cfg: &FlowConfig,
-    ) -> CoreResult<(Arc<FlowReport>, FlowFetch)> {
-        let fetch = self.fetch(cfg, FetchOpts::report())?;
-        Ok((Arc::clone(&fetch.report), fetch))
-    }
-
     /// Reports the flow's headline sub-span counters into the global
     /// recorder — the always-on aggregate `--metrics-text` exposes even
     /// when no trace is being written. Warm runs report their replayed
@@ -775,22 +709,6 @@ mod tests {
                 disk_hits: 0
             }
         );
-    }
-
-    #[test]
-    fn deprecated_shims_still_answer() {
-        #![allow(deprecated)]
-        let cache = FlowCache::new();
-        let cfg = quick_cfg();
-        let (pair, hit) = cache.run_traced(&cfg).unwrap();
-        assert!(!hit);
-        let again = cache.run(&cfg).unwrap();
-        assert!(Arc::ptr_eq(&pair, &again));
-        let (report, hit) = cache.run_report_traced(&cfg).unwrap();
-        assert!(hit);
-        assert_eq!(*report, pair.0);
-        let (_, fetch) = cache.run_report_coalesced(&cfg).unwrap();
-        assert!(fetch.cache_hit && !fetch.coalesced);
     }
 
     #[test]

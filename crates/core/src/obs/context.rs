@@ -1,0 +1,158 @@
+//! Distributed trace identity: the context a request carries across
+//! process boundaries.
+//!
+//! A [`TraceContext`] is a 128-bit `trace_id` naming one end-to-end
+//! request plus the 64-bit id of the span the receiver should parent
+//! under. Both are *derived*, not random: the gateway roots a trace
+//! from the request's content key, case name and client-chosen request
+//! id via [`StableHasher`], and child span ids hash down from the
+//! parent. Deterministic mode therefore stays byte-identical — the same
+//! request always carries the same trace identity, whatever the worker
+//! count, machine or `M3D_JOBS` value — and a single server handed no
+//! inbound context derives the *same* root the gateway would have,
+//! which is what lets tier1 diff traces taken on either side of the
+//! fleet boundary.
+//!
+//! On the NDJSON wire the context travels as a delivery field (never
+//! part of the content key):
+//!
+//! ```json
+//! {"trace_id":"9f8e…32 hex…","parent_span":"1a2b…16 hex…"}
+//! ```
+
+use m3d_tech::StableHasher;
+use serde::Value;
+
+/// Trace identity carried on the wire: which end-to-end request a span
+/// belongs to, and which span it parents under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// High half of the 128-bit trace id.
+    pub trace_hi: u64,
+    /// Low half of the 128-bit trace id.
+    pub trace_lo: u64,
+    /// Span id the receiver's spans parent under.
+    pub parent_span: u64,
+}
+
+fn salted(salt: &str, parts: &[u64], name: &str) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_str(salt);
+    for &p in parts {
+        h.write_u64(p);
+    }
+    h.write_str(name);
+    h.finish()
+}
+
+impl TraceContext {
+    /// Roots a new trace for one request, deterministically: the id is
+    /// a [`StableHasher`] digest of the case name, content key and
+    /// client request id, so re-sending the same request reproduces the
+    /// same trace identity (and a gateway and a bare server agree on
+    /// it).
+    pub fn root(case: &str, key: u64, id: u64) -> Self {
+        let hi = salted("m3d.trace.hi", &[key, id], case);
+        let lo = salted("m3d.trace.lo", &[key, id], case);
+        Self {
+            trace_hi: hi,
+            trace_lo: lo,
+            parent_span: salted("m3d.span", &[hi, lo], "root"),
+        }
+    }
+
+    /// Derives the context a child span named `name` would hand to
+    /// *its* children: same trace, new parent span id hashed from this
+    /// one.
+    pub fn child(&self, name: &str) -> Self {
+        Self {
+            parent_span: salted(
+                "m3d.span",
+                &[self.trace_hi, self.trace_lo, self.parent_span],
+                name,
+            ),
+            ..*self
+        }
+    }
+
+    /// The 128-bit trace id as 32 lowercase hex digits.
+    pub fn trace_id_hex(&self) -> String {
+        format!("{:016x}{:016x}", self.trace_hi, self.trace_lo)
+    }
+
+    /// The parent span id as 16 lowercase hex digits.
+    pub fn parent_span_hex(&self) -> String {
+        format!("{:016x}", self.parent_span)
+    }
+
+    /// Parses the two hex fields back off the wire.
+    pub fn from_hex(trace_id: &str, parent_span: &str) -> Option<Self> {
+        if trace_id.len() != 32 || parent_span.len() != 16 {
+            return None;
+        }
+        Some(Self {
+            trace_hi: u64::from_str_radix(&trace_id[..16], 16).ok()?,
+            trace_lo: u64::from_str_radix(&trace_id[16..], 16).ok()?,
+            parent_span: u64::from_str_radix(parent_span, 16).ok()?,
+        })
+    }
+
+    /// Wire form: `{"trace_id": …, "parent_span": …}`.
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("trace_id".to_owned(), Value::Str(self.trace_id_hex())),
+            ("parent_span".to_owned(), Value::Str(self.parent_span_hex())),
+        ])
+    }
+
+    /// Parses the wire form; `None` on any shape or hex mismatch.
+    pub fn from_value(v: &Value) -> Option<Self> {
+        let field = |name: &str| match v.get(name) {
+            Some(Value::Str(s)) => Some(s.as_str()),
+            _ => None,
+        };
+        Self::from_hex(field("trace_id")?, field("parent_span")?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roots_are_deterministic_and_content_sensitive() {
+        let a = TraceContext::root("pd_flow", 0xdead_beef, 7);
+        assert_eq!(a, TraceContext::root("pd_flow", 0xdead_beef, 7));
+        assert_ne!(a, TraceContext::root("pd_flow", 0xdead_beef, 8));
+        assert_ne!(a, TraceContext::root("pd_flow", 0xdead_bee0, 7));
+        assert_ne!(a, TraceContext::root("sensitivity", 0xdead_beef, 7));
+    }
+
+    #[test]
+    fn children_stay_in_the_trace_with_fresh_span_ids() {
+        let root = TraceContext::root("pd_flow", 1, 2);
+        let child = root.child("attempt:0");
+        assert_eq!(child.trace_id_hex(), root.trace_id_hex());
+        assert_ne!(child.parent_span, root.parent_span);
+        assert_eq!(root.child("attempt:0"), child, "derivation is stable");
+        assert_ne!(root.child("attempt:1"), child, "names separate spans");
+    }
+
+    #[test]
+    fn hex_and_value_forms_round_trip() {
+        let ctx = TraceContext::root("thermal_cap", 99, 3);
+        assert_eq!(ctx.trace_id_hex().len(), 32);
+        assert_eq!(ctx.parent_span_hex().len(), 16);
+        assert_eq!(
+            TraceContext::from_hex(&ctx.trace_id_hex(), &ctx.parent_span_hex()),
+            Some(ctx)
+        );
+        assert_eq!(TraceContext::from_value(&ctx.to_value()), Some(ctx));
+        assert_eq!(TraceContext::from_hex("abc", "0123456789abcdef"), None);
+        assert_eq!(
+            TraceContext::from_hex(&"g".repeat(32), &"0".repeat(16)),
+            None
+        );
+        assert_eq!(TraceContext::from_value(&Value::Null), None);
+    }
+}

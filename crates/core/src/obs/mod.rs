@@ -18,16 +18,25 @@
 //!   text format ([`render_text`]) behind `--metrics-text` and the
 //!   serve `metrics_text` case, plus the versioned JSON document
 //!   ([`metrics_document`]) behind `--metrics-json`.
+//! * [`TraceContext`]/[`TraceSink`] — distributed tracing: the
+//!   StableHash-derived trace identity a request carries across the
+//!   NDJSON wire, and the flight recorder of recent stitched traces
+//!   with slow-request exemplar retention behind the `traces` admin
+//!   case.
 
+mod context;
 mod hist;
 mod recorder;
 pub mod render;
+mod sink;
 mod span;
 
+pub use context::TraceContext;
 pub use hist::{Histogram, DEPTH_EDGES, ITER_EDGES, LATENCY_US_EDGES};
 pub use recorder::Recorder;
 pub use render::{
-    metrics_document, render_parts, render_text, sanitize_metric_name, validate_exposition,
-    METRICS_VERSION,
+    metrics_document, render_parts, render_text, sanitize_metric_name, span_ring_counters,
+    validate_exposition, METRICS_VERSION,
 };
+pub use sink::{RecordOutcome, StitchedTrace, TraceFilter, TraceSink, TraceSinkConfig};
 pub use span::{trace_document, Provenance, SpanNode, TRACE_VERSION};

@@ -36,6 +36,7 @@ pub struct Recorder {
 struct SpanRing {
     recent: VecDeque<SpanNode>,
     recorded: u64,
+    dropped: u64,
 }
 
 impl Recorder {
@@ -118,13 +119,15 @@ impl Recorder {
             .map_or(0, Histogram::total)
     }
 
-    /// Appends a completed span to the bounded ring.
+    /// Appends a completed span to the bounded ring, aging out (and
+    /// counting) the oldest entries past capacity.
     pub fn record_span(&self, span: SpanNode) {
         let mut ring = self.spans.lock().expect("spans poisoned");
         ring.recorded += 1;
         ring.recent.push_back(span);
         while ring.recent.len() > SPAN_RING_CAPACITY {
             ring.recent.pop_front();
+            ring.dropped += 1;
         }
     }
 
@@ -132,6 +135,12 @@ impl Recorder {
     /// aging).
     pub fn spans_recorded(&self) -> u64 {
         self.spans.lock().expect("spans poisoned").recorded
+    }
+
+    /// Spans the ring has aged out since construction (monotonic);
+    /// always `spans_recorded() - spans_retained()`.
+    pub fn spans_dropped(&self) -> u64 {
+        self.spans.lock().expect("spans poisoned").dropped
     }
 
     /// Spans currently retained in the ring.
@@ -208,6 +217,7 @@ impl Recorder {
         );
         let ring = self.spans.lock().expect("spans poisoned");
         let spans = Value::Object(vec![
+            ("dropped".to_owned(), Value::U64(ring.dropped)),
             ("recorded".to_owned(), Value::U64(ring.recorded)),
             ("retained".to_owned(), Value::U64(ring.recent.len() as u64)),
         ]);
@@ -229,6 +239,7 @@ impl Recorder {
         let mut ring = self.spans.lock().expect("spans poisoned");
         ring.recent.clear();
         ring.recorded = 0;
+        ring.dropped = 0;
     }
 }
 
@@ -275,6 +286,15 @@ mod tests {
         }
         assert_eq!(r.spans_recorded(), (SPAN_RING_CAPACITY + 10) as u64);
         assert_eq!(r.spans_retained(), SPAN_RING_CAPACITY);
+        assert_eq!(r.spans_dropped(), 10, "evictions are counted, not silent");
+        assert_eq!(
+            r.spans_recorded() - r.spans_retained() as u64,
+            r.spans_dropped(),
+            "the three tallies stay consistent"
+        );
+        let spans = r.snapshot();
+        let spans = spans.get("spans").unwrap();
+        assert_eq!(spans.get("dropped"), Some(&Value::U64(10)));
     }
 
     #[test]
@@ -289,6 +309,7 @@ mod tests {
         assert_eq!(r.gauge("g"), 0);
         assert_eq!(r.hist_total("h"), 0);
         assert_eq!((r.spans_recorded(), r.spans_retained()), (0, 0));
+        assert_eq!(r.spans_dropped(), 0);
     }
 
     #[test]

@@ -56,13 +56,22 @@ pub fn sanitize_metric_name(name: &str) -> String {
 /// Output is fully deterministic for equal recorder contents: metric
 /// families sorted by sanitised name (counters first, then gauges,
 /// then histograms), one `# TYPE` comment per family, integer values
-/// only, trailing newline.
+/// only, trailing newline. The span-ring accounting joins the counter
+/// families as `spans.recorded`/`spans.dropped`, so ring overflow is
+/// visible to scrapes, not just the JSON snapshot.
 pub fn render_text(rec: &Recorder) -> String {
-    render_parts(
-        &rec.counters_sorted(),
-        &rec.gauges_sorted(),
-        &rec.hists_sorted(),
-    )
+    let mut counters = rec.counters_sorted();
+    counters.extend(span_ring_counters(rec));
+    render_parts(&counters, &rec.gauges_sorted(), &rec.hists_sorted())
+}
+
+/// The span-ring accounting of `rec` as counter samples — shared by
+/// [`render_text`] and the serve-side merged exposition.
+pub fn span_ring_counters(rec: &Recorder) -> Vec<(String, u64)> {
+    vec![
+        ("spans.dropped".to_owned(), rec.spans_dropped()),
+        ("spans.recorded".to_owned(), rec.spans_recorded()),
+    ]
 }
 
 /// Renders pre-collected counter, gauge and histogram data with the
@@ -300,5 +309,28 @@ mod tests {
         assert!(validate_exposition("unterminated{le=\"1\" 2\n").is_err());
         assert!(validate_exposition("# TYPE dup counter\n# TYPE dup counter\n").is_err());
         assert!(validate_exposition("# TYPE x weird\n").is_err());
+    }
+
+    #[test]
+    fn validator_accepts_gauge_families_including_negative_values() {
+        assert!(validate_exposition("# TYPE depth gauge\ndepth 4\n").is_ok());
+        assert!(validate_exposition("# TYPE in_flight gauge\nin_flight -3\n").is_ok());
+        // A gauge family name must still be unique and legal.
+        assert!(validate_exposition("# TYPE g gauge\n# TYPE g gauge\n").is_err());
+        assert!(validate_exposition("# TYPE 9g gauge\n").is_err());
+    }
+
+    #[test]
+    fn span_ring_accounting_renders_as_counters() {
+        let r = Recorder::new();
+        r.incr("accepted", 1);
+        r.record_span(crate::obs::SpanNode::new("req:pd_flow"));
+        let text = render_text(&r);
+        validate_exposition(&text).expect("exposition parses");
+        assert!(text.contains("# TYPE spans_recorded counter\nspans_recorded 1\n"));
+        assert!(
+            text.contains("# TYPE spans_dropped counter\nspans_dropped 0\n"),
+            "drop accounting is rendered even at zero: {text}"
+        );
     }
 }

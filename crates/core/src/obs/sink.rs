@@ -1,0 +1,323 @@
+//! The trace flight recorder: a bounded ring of recent stitched traces
+//! plus threshold-based slow-request exemplar retention.
+//!
+//! A [`TraceSink`] is to traces what the [`super::Recorder`] span ring
+//! is to spans, with one addition: requests slower than a threshold are
+//! *kept* — the K worst per case survive however much fast traffic
+//! flows past them — so "why was this request slow last night?" still
+//! has an exemplar to point at after the ring has long aged the trace
+//! out. `m3d-serve` owns one per server (local request trees), the
+//! gateway owns one holding the stitched end-to-end trees for the whole
+//! fleet; both answer the `traces` admin case from it.
+//!
+//! Accounting is monotonic, counter-style: `recorded` traces ever seen,
+//! `dropped` ring evictions, `slow_retained` admissions to the slow
+//! store (mirrored into the metrics exposition as `trace.*` counters by
+//! the owners).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Mutex;
+
+use serde::Value;
+
+use crate::obs::span::SpanNode;
+
+/// Sizing and retention policy of a [`TraceSink`].
+#[derive(Debug, Clone)]
+pub struct TraceSinkConfig {
+    /// How many recent traces the ring retains.
+    pub capacity: usize,
+    /// Wall-clock threshold (µs) past which a trace is a slow-request
+    /// exemplar candidate.
+    pub slow_threshold_us: u64,
+    /// How many of the worst exemplars each case keeps.
+    pub slow_per_case: usize,
+}
+
+impl Default for TraceSinkConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 128,
+            slow_threshold_us: 10_000,
+            slow_per_case: 4,
+        }
+    }
+}
+
+/// One end-to-end trace: identity, the case it ran, its wall time and
+/// the stitched span tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StitchedTrace {
+    /// 32-hex trace id (see [`super::TraceContext`]).
+    pub trace_id: String,
+    /// Experiment case the request ran.
+    pub case: String,
+    /// End-to-end wall time in microseconds, as measured by the sink's
+    /// owner (observability only — never part of the rendered tree).
+    pub wall_us: u64,
+    /// The stitched span tree.
+    pub root: SpanNode,
+}
+
+impl StitchedTrace {
+    /// JSON view: `{trace_id, case, wall_us, root}` with the tree in
+    /// deterministic mode (wall time appears once, at the top level).
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("trace_id".to_owned(), Value::Str(self.trace_id.clone())),
+            ("case".to_owned(), Value::Str(self.case.clone())),
+            ("wall_us".to_owned(), Value::U64(self.wall_us)),
+            ("root".to_owned(), self.root.to_value(false)),
+        ])
+    }
+}
+
+/// What [`TraceSink::record`] did with a trace — the owner mirrors
+/// these into its metrics counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordOutcome {
+    /// A ring slot was evicted to admit this trace.
+    pub dropped: bool,
+    /// The trace was admitted to the slow-exemplar store.
+    pub slow_retained: bool,
+}
+
+/// Query filter for [`TraceSink::render`]: every set field must match.
+#[derive(Debug, Clone, Default)]
+pub struct TraceFilter {
+    /// Keep only traces of this case.
+    pub case: Option<String>,
+    /// Keep only the trace with this 32-hex id.
+    pub trace_id: Option<String>,
+    /// Keep only traces at least this slow (µs).
+    pub min_wall_us: u64,
+}
+
+impl TraceFilter {
+    fn admits(&self, t: &StitchedTrace) -> bool {
+        self.case.as_deref().is_none_or(|c| c == t.case)
+            && self.trace_id.as_deref().is_none_or(|id| id == t.trace_id)
+            && t.wall_us >= self.min_wall_us
+    }
+}
+
+#[derive(Debug, Default)]
+struct SinkState {
+    recent: VecDeque<StitchedTrace>,
+    /// Per case, the slowest exemplars, sorted slowest-first.
+    slow: BTreeMap<String, Vec<StitchedTrace>>,
+    recorded: u64,
+    dropped: u64,
+    slow_retained: u64,
+}
+
+/// The flight recorder itself. Plain shared state, like [`super::Recorder`].
+#[derive(Debug)]
+pub struct TraceSink {
+    cfg: TraceSinkConfig,
+    state: Mutex<SinkState>,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        Self::new(TraceSinkConfig::default())
+    }
+}
+
+impl TraceSink {
+    /// An empty sink with the given retention policy.
+    pub fn new(cfg: TraceSinkConfig) -> Self {
+        Self {
+            cfg,
+            state: Mutex::new(SinkState::default()),
+        }
+    }
+
+    /// Records one completed trace: always into the ring (evicting the
+    /// oldest when full), and into the per-case slow store when its
+    /// wall time crosses the threshold and beats (or fits beside) the
+    /// case's current worst K.
+    pub fn record(&self, trace: StitchedTrace) -> RecordOutcome {
+        let mut s = self.state.lock().expect("trace sink poisoned");
+        s.recorded += 1;
+        let mut outcome = RecordOutcome {
+            dropped: false,
+            slow_retained: false,
+        };
+        if trace.wall_us >= self.cfg.slow_threshold_us && self.cfg.slow_per_case > 0 {
+            let worst = s.slow.entry(trace.case.clone()).or_default();
+            if worst.len() < self.cfg.slow_per_case
+                || worst.last().is_some_and(|w| trace.wall_us > w.wall_us)
+            {
+                let at = worst
+                    .iter()
+                    .position(|w| trace.wall_us > w.wall_us)
+                    .unwrap_or(worst.len());
+                worst.insert(at, trace.clone());
+                worst.truncate(self.cfg.slow_per_case);
+                outcome.slow_retained = true;
+                s.slow_retained += 1;
+            }
+        }
+        s.recent.push_back(trace);
+        while s.recent.len() > self.cfg.capacity {
+            s.recent.pop_front();
+            s.dropped += 1;
+            outcome.dropped = true;
+        }
+        outcome
+    }
+
+    /// Traces ever recorded (monotonic).
+    pub fn recorded(&self) -> u64 {
+        self.state.lock().expect("trace sink poisoned").recorded
+    }
+
+    /// Ring evictions ever made (monotonic).
+    pub fn dropped(&self) -> u64 {
+        self.state.lock().expect("trace sink poisoned").dropped
+    }
+
+    /// Admissions to the slow store ever made (monotonic).
+    pub fn slow_retained(&self) -> u64 {
+        self.state
+            .lock()
+            .expect("trace sink poisoned")
+            .slow_retained
+    }
+
+    /// The `traces` admin payload: accounting plus the filtered ring
+    /// (oldest first) and slow exemplars (per case, slowest first).
+    /// Fixed field order, no timestamps — equal contents render
+    /// byte-identically.
+    pub fn render(&self, filter: &TraceFilter) -> Value {
+        let s = self.state.lock().expect("trace sink poisoned");
+        let recent: Vec<Value> = s
+            .recent
+            .iter()
+            .filter(|t| filter.admits(t))
+            .map(StitchedTrace::to_value)
+            .collect();
+        let slow: Vec<Value> = s
+            .slow
+            .values()
+            .flatten()
+            .filter(|t| filter.admits(t))
+            .map(StitchedTrace::to_value)
+            .collect();
+        Value::Object(vec![
+            ("recorded".to_owned(), Value::U64(s.recorded)),
+            ("dropped".to_owned(), Value::U64(s.dropped)),
+            ("slow_retained".to_owned(), Value::U64(s.slow_retained)),
+            ("recent".to_owned(), Value::Array(recent)),
+            ("slow".to_owned(), Value::Array(slow)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(case: &str, id: u64, wall_us: u64) -> StitchedTrace {
+        StitchedTrace {
+            trace_id: format!("{id:032x}"),
+            case: case.to_owned(),
+            wall_us,
+            root: SpanNode::new(format!("req:{case}")),
+        }
+    }
+
+    fn sink(capacity: usize, threshold: u64, k: usize) -> TraceSink {
+        TraceSink::new(TraceSinkConfig {
+            capacity,
+            slow_threshold_us: threshold,
+            slow_per_case: k,
+        })
+    }
+
+    #[test]
+    fn ring_bounds_retention_and_counts_drops() {
+        let s = sink(4, u64::MAX, 4);
+        for i in 0..10 {
+            let out = s.record(trace("pd_flow", i, 5));
+            assert_eq!(out.dropped, i >= 4, "eviction starts when full");
+        }
+        assert_eq!((s.recorded(), s.dropped()), (10, 6));
+        let doc = s.render(&TraceFilter::default());
+        let recent = doc.get("recent").and_then(Value::as_array).unwrap();
+        assert_eq!(recent.len(), 4);
+        // Oldest first, and only the survivors.
+        assert_eq!(
+            recent[0].get("trace_id"),
+            Some(&Value::Str(format!("{:032x}", 6)))
+        );
+    }
+
+    #[test]
+    fn slow_store_keeps_the_k_worst_per_case() {
+        let s = sink(2, 100, 2);
+        // Fast traffic never enters the slow store.
+        assert!(!s.record(trace("pd_flow", 0, 99)).slow_retained);
+        // Slow ones do, worst-first, capped at K per case.
+        assert!(s.record(trace("pd_flow", 1, 150)).slow_retained);
+        assert!(s.record(trace("pd_flow", 2, 300)).slow_retained);
+        assert!(s.record(trace("pd_flow", 3, 200)).slow_retained);
+        assert!(
+            !s.record(trace("pd_flow", 4, 120)).slow_retained,
+            "not among the K worst"
+        );
+        assert!(s.record(trace("thermal_cap", 5, 500)).slow_retained);
+        assert_eq!(s.slow_retained(), 4);
+        // The ring long since dropped trace 2; the slow store kept it.
+        let doc = s.render(&TraceFilter {
+            case: Some("pd_flow".to_owned()),
+            ..TraceFilter::default()
+        });
+        let slow = doc.get("slow").and_then(Value::as_array).unwrap();
+        let walls: Vec<u64> = slow
+            .iter()
+            .filter_map(|t| t.get("wall_us").and_then(Value::as_u64))
+            .collect();
+        assert_eq!(walls, vec![300, 200], "slowest first, K=2, one case");
+    }
+
+    #[test]
+    fn filters_compose_and_render_is_deterministic() {
+        let a = sink(8, 100, 2);
+        let b = sink(8, 100, 2);
+        for s in [&a, &b] {
+            s.record(trace("pd_flow", 1, 50));
+            s.record(trace("pd_flow", 2, 250));
+            s.record(trace("thermal_cap", 3, 70));
+        }
+        assert_eq!(
+            serde_json::to_string(&a.render(&TraceFilter::default())).unwrap(),
+            serde_json::to_string(&b.render(&TraceFilter::default())).unwrap()
+        );
+        let by_id = a.render(&TraceFilter {
+            trace_id: Some(format!("{:032x}", 3)),
+            ..TraceFilter::default()
+        });
+        let recent = by_id.get("recent").and_then(Value::as_array).unwrap();
+        assert_eq!(recent.len(), 1);
+        assert_eq!(
+            recent[0].get("case"),
+            Some(&Value::Str("thermal_cap".to_owned()))
+        );
+        let slow_only = a.render(&TraceFilter {
+            min_wall_us: 200,
+            ..TraceFilter::default()
+        });
+        assert_eq!(
+            slow_only
+                .get("recent")
+                .and_then(Value::as_array)
+                .unwrap()
+                .len(),
+            1
+        );
+        // Accounting is global, not filtered.
+        assert_eq!(slow_only.get("recorded"), Some(&Value::U64(3)));
+    }
+}

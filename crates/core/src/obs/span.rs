@@ -51,6 +51,19 @@ impl Provenance {
     pub fn is_reuse(self) -> bool {
         !matches!(self, Provenance::Computed | Provenance::Warm)
     }
+
+    /// Inverse of [`Provenance::name`] — the wire parser for span
+    /// subtrees crossing process boundaries.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "computed" => Provenance::Computed,
+            "cache-hit" => Provenance::CacheHit,
+            "disk-hit" => Provenance::DiskHit,
+            "coalesced" => Provenance::Coalesced,
+            "warm" => Provenance::Warm,
+            _ => return None,
+        })
+    }
 }
 
 impl std::fmt::Display for Provenance {
@@ -159,6 +172,52 @@ impl SpanNode {
         ));
         Value::Object(fields)
     }
+
+    /// Parses a span subtree back from its [`SpanNode::to_value`] JSON —
+    /// the wire decoder for traces crossing process boundaries (replica
+    /// → gateway stitching). Accepts both rendering modes: `wall_ms`
+    /// and `counters` are optional, unknown fields are rejected so a
+    /// malformed replica reply fails loudly instead of silently losing
+    /// spans.
+    pub fn from_value(v: &Value) -> Result<SpanNode, String> {
+        let Value::Object(fields) = v else {
+            return Err("span node must be an object".to_owned());
+        };
+        let mut node = SpanNode::new("");
+        let mut saw_name = false;
+        for (k, val) in fields {
+            match (k.as_str(), val) {
+                ("name", Value::Str(s)) => {
+                    node.name = s.clone();
+                    saw_name = true;
+                }
+                ("provenance", Value::Str(s)) => {
+                    node.provenance = Provenance::from_name(s)
+                        .ok_or_else(|| format!("unknown provenance {s:?}"))?;
+                }
+                ("wall_ms", w) => {
+                    node.wall_ms = w.as_f64().ok_or("wall_ms must be a number")?;
+                }
+                ("counters", Value::Object(cs)) => {
+                    for (name, c) in cs {
+                        let c = c.as_u64().ok_or("span counters must be u64")?;
+                        node.counters.push((name.clone(), c));
+                    }
+                }
+                ("children", Value::Array(items)) => {
+                    node.children = items
+                        .iter()
+                        .map(SpanNode::from_value)
+                        .collect::<Result<_, _>>()?;
+                }
+                (other, _) => return Err(format!("unexpected span field {other:?}")),
+            }
+        }
+        if !saw_name {
+            return Err("span node lacks a name".to_owned());
+        }
+        Ok(node)
+    }
 }
 
 /// Version tag of the trace document schema.
@@ -244,6 +303,41 @@ mod tests {
     }
 
     #[test]
+    fn span_trees_round_trip_through_the_wire_form() {
+        let mut root = sample();
+        root.counter("attempts", 2);
+        // Deterministic mode: wall clocks are gone after the round trip.
+        let det = SpanNode::from_value(&root.to_value(false)).unwrap();
+        assert_eq!(det.name, root.name);
+        assert_eq!(det.counter_value("attempts"), Some(2));
+        assert_eq!(det.span_count(), root.span_count());
+        assert_eq!(det.wall_ms, 0.0, "deterministic form carries no timing");
+        assert_eq!(
+            serde_json::to_string(&det.to_value(false)).unwrap(),
+            serde_json::to_string(&root.to_value(false)).unwrap(),
+            "re-encoding the parse reproduces the bytes"
+        );
+        // Timed mode survives byte-exactly too.
+        let timed = SpanNode::from_value(&root.to_value(true)).unwrap();
+        assert_eq!(timed, root);
+    }
+
+    #[test]
+    fn malformed_span_documents_are_rejected() {
+        for bad in [
+            r#"[1,2]"#,
+            r#"{"provenance":"computed","children":[]}"#,
+            r#"{"name":"x","provenance":"teleported","children":[]}"#,
+            r#"{"name":"x","surprise":1,"children":[]}"#,
+            r#"{"name":"x","counters":{"n":-1},"children":[]}"#,
+            r#"{"name":"x","children":[{"children":[]}]}"#,
+        ] {
+            let v = serde_json::from_str_value(bad).unwrap();
+            assert!(SpanNode::from_value(&v).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
     fn provenance_names_are_stable() {
         assert_eq!(Provenance::Computed.name(), "computed");
         assert_eq!(Provenance::CacheHit.name(), "cache-hit");
@@ -253,5 +347,15 @@ mod tests {
         assert!(!Provenance::Computed.is_reuse());
         assert!(Provenance::Coalesced.is_reuse());
         assert!(!Provenance::Warm.is_reuse(), "a warm flow still ran");
+        for p in [
+            Provenance::Computed,
+            Provenance::CacheHit,
+            Provenance::DiskHit,
+            Provenance::Coalesced,
+            Provenance::Warm,
+        ] {
+            assert_eq!(Provenance::from_name(p.name()), Some(p));
+        }
+        assert_eq!(Provenance::from_name("teleported"), None);
     }
 }

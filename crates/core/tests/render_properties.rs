@@ -3,8 +3,11 @@
 //! deterministic under insertion order, and keep its cumulative bucket
 //! arithmetic consistent with the `_count` totals.
 
+use std::collections::BTreeMap;
+
 use m3d_core::obs::{
-    render_text, validate_exposition, Recorder, DEPTH_EDGES, ITER_EDGES, LATENCY_US_EDGES,
+    render_text, sanitize_metric_name, validate_exposition, Recorder, DEPTH_EDGES, ITER_EDGES,
+    LATENCY_US_EDGES,
 };
 use proptest::prelude::*;
 
@@ -36,6 +39,18 @@ fn metric_name() -> BoxedStrategy<String> {
 
 fn counters() -> BoxedStrategy<Vec<(String, u64)>> {
     proptest::collection::vec((metric_name(), 0u64..1_000_000), 0..8).boxed()
+}
+
+/// Gauge samples with unique raw names (a recorder keeps last-value
+/// per raw name, so duplicate raw names would make insertion order
+/// observable by design, not by bug).
+fn gauges() -> BoxedStrategy<Vec<(String, i64)>> {
+    proptest::collection::vec((metric_name(), -1_000_000i64..1_000_000), 0..8)
+        .prop_map(|items| {
+            let deduped: BTreeMap<String, i64> = items.into_iter().collect();
+            deduped.into_iter().collect()
+        })
+        .boxed()
 }
 
 fn hists() -> BoxedStrategy<Vec<(String, Vec<u64>)>> {
@@ -147,5 +162,67 @@ proptest! {
         prop_assert_eq!(counter_sum, expected_counter, "counter values lost or invented");
         let expected_count: u64 = hists.iter().map(|(_, vs)| vs.len() as u64).sum();
         prop_assert_eq!(count_total, expected_count, "histogram observations lost");
+    }
+
+    /// Every gauge name is also bumped as a counter, so every gauge
+    /// family collides with a counter family after sanitisation. The
+    /// renderer must keep the exposition parseable (unique, suffixed
+    /// family names), stay byte-identical under insertion order, and
+    /// deliver every surviving gauge value — merged into nothing,
+    /// dropped into nowhere.
+    #[test]
+    fn gauge_families_survive_counter_name_collisions(
+        counters in counters(),
+        gauges in gauges(),
+    ) {
+        let build = |reverse: bool| {
+            let rec = Recorder::new();
+            let cs: Vec<&(String, u64)> = if reverse {
+                counters.iter().rev().collect()
+            } else {
+                counters.iter().collect()
+            };
+            for (name, v) in cs {
+                rec.incr(name, *v);
+            }
+            let gs: Vec<&(String, i64)> = if reverse {
+                gauges.iter().rev().collect()
+            } else {
+                gauges.iter().collect()
+            };
+            for (name, v) in gs {
+                rec.incr(name, 1);
+                rec.gauge_set(name, *v);
+            }
+            rec
+        };
+        let text = render_text(&build(false));
+        if let Err(line) = validate_exposition(&text) {
+            panic!("exposition failed to parse at: {line}\n--- full text ---\n{text}");
+        }
+        prop_assert_eq!(&text, &render_text(&build(true)), "insertion order leaked");
+
+        // Read the gauge families back off the exposition: the sample
+        // line follows its TYPE line.
+        let mut rendered: Vec<i64> = Vec::new();
+        let mut lines = text.lines().peekable();
+        while let Some(line) = lines.next() {
+            let Some(rest) = line.strip_prefix("# TYPE ") else { continue };
+            if rest.ends_with(" gauge") {
+                let sample = lines.peek().expect("family has a sample");
+                let (_, value) = sample.rsplit_once(' ').expect("sample line");
+                rendered.push(value.parse().expect("integer gauge"));
+            }
+        }
+        rendered.sort_unstable();
+        // Colliding sanitised gauge names keep last-value semantics in
+        // raw-name order; everything else must surface.
+        let mut expected: BTreeMap<String, i64> = BTreeMap::new();
+        for (name, v) in &gauges {
+            expected.insert(sanitize_metric_name(name), *v);
+        }
+        let mut expected: Vec<i64> = expected.into_values().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(rendered, expected, "gauge values lost or invented");
     }
 }

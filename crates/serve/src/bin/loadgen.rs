@@ -4,7 +4,7 @@
 //! m3d-loadgen --addr HOST:PORT [--clients N] [--requests M]
 //!             [--mix cold|repeated|flow|sleep|mixed] [--timeout-ms T]
 //!             [--json PATH] [--expect-computed K] [--expect-replicas R]
-//!             [--metrics-every P] [--check-metrics]
+//!             [--metrics-every P] [--check-metrics] [--trace]
 //!             [--metrics-text PATH] [--shutdown]
 //! ```
 //!
@@ -69,9 +69,21 @@
 //!   against a fresh server): a leader whose case internally replays the
 //!   flow cache reports `cached == true` to the client while the server
 //!   books it as executed.
+//!   The span ring is held to it too: when the `metrics` payload
+//!   carries a `spans` object, its `recorded` delta must equal
+//!   `computed + reused` and its `dropped` delta must equal the
+//!   `recorded` delta minus the ring's `retained` growth — overflow is
+//!   counted, never silent.
 //! * `--metrics-text PATH` — after the run (before `--shutdown`),
 //!   scrapes the server's `metrics_text` case once, checks the payload
 //!   parses as a Prometheus text exposition, and writes it to `PATH`.
+//! * `--trace` — every experiment request opts into distributed
+//!   tracing (`trace: true`) and the client checks each `Ok` response
+//!   carries an inline trace document with a 32-hex `trace_id` and a
+//!   span tree root. With `--metrics-every`, client 0 also asks the
+//!   server's `traces` flight recorder for its most recent trace by id
+//!   and fails when the recorder copy is missing — the wire trace and
+//!   the flight recorder must agree. Any violation exits 8.
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
@@ -81,7 +93,7 @@ use std::time::{Duration, Instant};
 use m3d_core::obs::validate_exposition;
 use m3d_core::ErrorCode;
 use m3d_serve::protocol::{
-    Request, Response, CASE_CASES, CASE_METRICS, CASE_METRICS_TEXT, CASE_STATS,
+    Request, Response, CASE_CASES, CASE_METRICS, CASE_METRICS_TEXT, CASE_STATS, CASE_TRACES,
 };
 use m3d_serve::LatencySummary;
 use m3d_tech::{StableHash, StableHasher};
@@ -98,7 +110,7 @@ fn usage() -> ! {
         "usage: m3d-loadgen --addr HOST:PORT [--clients N] [--requests M] \
          [--mix cold|repeated|flow|sleep|mixed] [--timeout-ms T] [--json PATH] \
          [--expect-computed K] [--expect-replicas R] [--metrics-every P] \
-         [--check-metrics] [--metrics-text PATH] [--shutdown]"
+         [--check-metrics] [--trace] [--metrics-text PATH] [--shutdown]"
     );
     std::process::exit(2);
 }
@@ -115,6 +127,7 @@ struct Args {
     expect_replicas: Option<usize>,
     metrics_every: Option<usize>,
     check_metrics: bool,
+    trace: bool,
     metrics_text: Option<String>,
     shutdown: bool,
 }
@@ -131,6 +144,7 @@ fn parse_args() -> Args {
         expect_replicas: None,
         metrics_every: None,
         check_metrics: false,
+        trace: false,
         metrics_text: None,
         shutdown: false,
     };
@@ -178,6 +192,7 @@ fn parse_args() -> Args {
                 out.metrics_every = Some(every);
             }
             "--check-metrics" => out.check_metrics = true,
+            "--trace" => out.trace = true,
             "--metrics-text" => out.metrics_text = Some(grab("--metrics-text")),
             "--shutdown" => out.shutdown = true,
             _ => usage(),
@@ -286,6 +301,10 @@ struct Tally {
     reused: u64,
     /// Hinted-429 resends (diagnostic; not part of `sent`).
     retried: u64,
+    /// `--trace` violations: `Ok` responses with a missing or malformed
+    /// inline trace document, or traced requests the server's flight
+    /// recorder could not produce back.
+    trace_bad: u64,
     latencies_us: Vec<u64>,
     /// key hex → FNV digest of the serialised result payload.
     payloads: BTreeMap<String, String>,
@@ -305,6 +324,7 @@ impl Tally {
         self.computed += other.computed;
         self.reused += other.reused;
         self.retried += other.retried;
+        self.trace_bad += other.trace_bad;
         self.latencies_us.extend(other.latencies_us);
         for (k, v) in other.payloads {
             self.payloads.insert(k, v);
@@ -321,10 +341,14 @@ fn run_client(args: &Args, client: usize, cases: &[String]) -> std::io::Result<T
     stream.set_nodelay(true)?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
+    // The most recent inline trace id this client saw (`--trace` +
+    // `--metrics-every`: client 0 asks the flight recorder for it).
+    let mut last_trace: Option<String> = None;
     for i in 0..args.requests {
         let global = (client * args.requests + i) as u64;
         let mut req = request_for(&args.mix, global, cases);
         req.timeout_ms = args.timeout_ms;
+        req.trace = args.trace;
         let start = Instant::now();
         let mut attempts = 0u32;
         // Resend on hinted 429s; the loop breaks with the terminal
@@ -370,11 +394,24 @@ fn run_client(args: &Args, client: usize, cases: &[String]) -> std::io::Result<T
                 cached,
                 coalesced,
                 result,
+                trace,
                 ..
             }) => {
                 tally.ok += 1;
                 if let Some(r) = replica_tag {
                     *tally.by_replica.entry(r).or_insert(0) += 1;
+                }
+                if args.trace {
+                    match inline_trace_id(trace.as_ref()) {
+                        Some(id) => last_trace = Some(id),
+                        None => {
+                            tally.trace_bad += 1;
+                            eprintln!(
+                                "error: traced request {global} returned no well-formed \
+                                 inline trace document"
+                            );
+                        }
+                    }
                 }
                 if cached || coalesced {
                     tally.reused += 1;
@@ -406,17 +443,63 @@ fn run_client(args: &Args, client: usize, cases: &[String]) -> std::io::Result<T
                     snap.counters.get("rejected").copied().unwrap_or(0),
                     snap.counters.get("timed_out").copied().unwrap_or(0),
                 );
+                // The flight recorder must hold what the wire returned:
+                // ask `traces` for the last inline trace id.
+                if let Some(id) = &last_trace {
+                    if !poll_trace_by_id(&mut writer, &mut reader, 2_000_000 + global, id)? {
+                        tally.trace_bad += 1;
+                        eprintln!(
+                            "error: trace {id} was returned inline but is missing from \
+                             the server's flight recorder"
+                        );
+                    }
+                }
             }
         }
     }
     Ok(tally)
 }
 
-/// What one `metrics` poll yields: the server's counters and the sample
-/// count of its end-to-end `request_latency_us` histogram.
+/// Extracts the trace id from an inline trace document, accepting only
+/// a well-formed one: a 32-hex `trace_id` plus a span tree `root`.
+fn inline_trace_id(trace: Option<&Value>) -> Option<String> {
+    let doc = trace?;
+    doc.get("root")?;
+    match doc.get("trace_id") {
+        Some(Value::Str(id)) if id.len() == 32 && id.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            Some(id.clone())
+        }
+        _ => None,
+    }
+}
+
+/// Asks the server's `traces` flight recorder for one trace by id;
+/// `true` when the recorder still holds it (recent ring or slow-
+/// exemplar store).
+fn poll_trace_by_id(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    id: u64,
+    trace_id: &str,
+) -> std::io::Result<bool> {
+    let params = obj(vec![("trace_id", Value::Str(trace_id.to_owned()))]);
+    let result = poll_case(writer, reader, id, CASE_TRACES, params)?;
+    let holds = |arr: Option<&Value>| {
+        matches!(arr, Some(Value::Array(items)) if items.iter().any(
+            |t| matches!(t.get("trace_id"), Some(Value::Str(s)) if s == trace_id)
+        ))
+    };
+    Ok(holds(result.get("recent")) || holds(result.get("slow")))
+}
+
+/// What one `metrics` poll yields: the server's counters, the sample
+/// count of its end-to-end `request_latency_us` histogram, and the
+/// span-ring accounting when the payload exposes it.
 struct MetricsSnap {
     counters: BTreeMap<String, u64>,
     latency_count: u64,
+    /// `(dropped, recorded, retained)` from the `spans` object.
+    spans: Option<(u64, u64, u64)>,
 }
 
 /// Sends one admin request on an established connection and returns the
@@ -429,7 +512,19 @@ fn poll_admin(
     id: u64,
     case: &str,
 ) -> std::io::Result<Value> {
-    let req = Request::new(id, case, Value::Object(Vec::new()));
+    poll_case(writer, reader, id, case, Value::Object(Vec::new()))
+}
+
+/// [`poll_admin`] with explicit request parameters (e.g. a `traces`
+/// filter).
+fn poll_case(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    id: u64,
+    case: &str,
+    params: Value,
+) -> std::io::Result<Value> {
+    let req = Request::new(id, case, params);
     for _ in 0..=MAX_RETRIES {
         writer.write_all(req.to_line().as_bytes())?;
         writer.write_all(b"\n")?;
@@ -485,9 +580,14 @@ fn poll_metrics(
         .and_then(|h| h.get("total"))
         .and_then(Value::as_u64)
         .unwrap_or(0);
+    let spans = result.get("spans").map(|s| {
+        let field = |name: &str| s.get(name).and_then(Value::as_u64).unwrap_or(0);
+        (field("dropped"), field("recorded"), field("retained"))
+    });
     Ok(MetricsSnap {
         counters,
         latency_count,
+        spans,
     })
 }
 
@@ -813,6 +913,41 @@ fn main() -> std::io::Result<()> {
             );
             std::process::exit(5);
         }
+        // The span ring records exactly one span per resolved request,
+        // and every overflow eviction must be counted — the ring bounds
+        // retention, never the accounting.
+        if let (Some((bd, br, bret)), Some((ad, ar, aret))) = (before.spans, after.spans) {
+            let recorded = ar - br;
+            let dropped = ad - bd;
+            let retained_growth = aret - bret;
+            eprintln!(
+                "# server spans delta: recorded {recorded}, dropped {dropped}, \
+                 ring grew by {retained_growth}"
+            );
+            if recorded != total.computed + total.reused {
+                eprintln!(
+                    "error: spans.recorded delta {recorded} != computed + reused = {}",
+                    total.computed + total.reused
+                );
+                std::process::exit(5);
+            }
+            if dropped != recorded - retained_growth {
+                eprintln!(
+                    "error: spans.dropped delta {dropped} != recorded - retained \
+                     growth = {}",
+                    recorded - retained_growth
+                );
+                std::process::exit(5);
+            }
+        }
+    }
+    if args.trace && total.trace_bad > 0 {
+        eprintln!(
+            "error: {} trace violation(s): inline trace documents missing/malformed \
+             or absent from the flight recorder",
+            total.trace_bad
+        );
+        std::process::exit(8);
     }
     if let Some(code) = fleet_exit {
         std::process::exit(code);

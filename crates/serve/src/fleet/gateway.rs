@@ -33,7 +33,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use m3d_bench::registry;
-use m3d_core::obs::render_parts;
+use m3d_core::obs::{
+    render_parts, span_ring_counters, SpanNode, StitchedTrace, TraceContext, TraceSink,
+};
 use m3d_core::ErrorCode;
 use serde::Value;
 
@@ -42,9 +44,9 @@ use super::ring::{Ring, DEFAULT_VNODES};
 use crate::metrics::Metrics;
 use crate::protocol::{
     key_hex, Request, Response, CASE_CASES, CASE_DRAIN, CASE_HEALTH, CASE_METRICS,
-    CASE_METRICS_TEXT, CASE_PING, CASE_READY, CASE_SHUTDOWN, CASE_STATS, CASE_UNDRAIN,
+    CASE_METRICS_TEXT, CASE_PING, CASE_READY, CASE_SHUTDOWN, CASE_STATS, CASE_TRACES, CASE_UNDRAIN,
 };
-use crate::server::ScrapeGate;
+use crate::server::{trace_filter, ScrapeGate};
 
 /// Backpressure hint when no replica is routable right now.
 const NO_REPLICA_RETRY_MS: u64 = 250;
@@ -101,6 +103,10 @@ struct FleetShared {
     ring: Ring,
     replicas: Vec<Replica>,
     metrics: Metrics,
+    /// Flight recorder of stitched end-to-end traces: the fleet-wide
+    /// view behind the `traces` case (each replica also keeps its own
+    /// local recorder).
+    traces: TraceSink,
     /// Round-robin cursor for admin forwards.
     rr: AtomicUsize,
     shutdown: AtomicBool,
@@ -234,6 +240,7 @@ pub fn serve_fleet(cfg: &GatewayConfig) -> std::io::Result<FleetHandle> {
         ring: Ring::new(replicas.len(), cfg.vnodes.max(1)),
         replicas,
         metrics: Metrics::new(),
+        traces: TraceSink::default(),
         rr: AtomicUsize::new(0),
         shutdown: AtomicBool::new(false),
         addr,
@@ -385,6 +392,21 @@ fn dispatch(
             return metrics_response(shared, &req).to_line();
         }
         CASE_DRAIN | CASE_UNDRAIN => return drain_response(shared, &req).to_line(),
+        CASE_TRACES => {
+            // Answered locally: the gateway's sink holds the stitched
+            // fleet-wide traces (replicas answer with their local view
+            // when asked directly).
+            return match trace_filter(&req.params) {
+                Ok(filter) => ok(&req, shared.traces.render(&filter)).to_line(),
+                Err(e) => Response::Err {
+                    id: req.id,
+                    code: ErrorCode::BadRequest,
+                    error: e,
+                    retry_after_ms: None,
+                }
+                .to_line(),
+            };
+        }
         CASE_SHUTDOWN => {
             shared.begin_shutdown();
             return Response::Ok {
@@ -394,6 +416,7 @@ fn dispatch(
                 cached: false,
                 coalesced: false,
                 result: Value::Object(vec![("draining".to_owned(), Value::Bool(true))]),
+                trace: None,
             }
             .to_line();
         }
@@ -435,6 +458,14 @@ fn dispatch(
 /// `replica` delivery field pins the target instead and never fails
 /// over (the cross-replica identity check needs *that* replica's
 /// answer or an error, not a silent fallback).
+///
+/// Every forward opens a `gateway` root span: one `attempt:{k}` child
+/// per replica tried (the serving replica's own `req:{case}` subtree
+/// stitched under the winning attempt), with `attempts`/`retries`
+/// counters on the root. The stitched tree lands in the gateway's
+/// flight recorder; when the client sent `trace: true` it also
+/// replaces the replica's local trace in the response envelope, so the
+/// client sees the whole request end to end.
 fn forward_routed(
     shared: &Arc<FleetShared>,
     req: &Request,
@@ -453,7 +484,14 @@ fn forward_routed(
 
     let born = Instant::now();
     let key = req.key();
-    let line = req.to_line();
+    // Root the trace here (or adopt an upstream context): replicas are
+    // handed a per-attempt child context so their spans join this trace
+    // instead of rooting their own.
+    let ctx = req
+        .trace_ctx
+        .unwrap_or_else(|| TraceContext::root(&req.case, key, req.id));
+    let mut fwd = req.clone();
+    let mut attempts: Vec<SpanNode> = Vec::new();
     let forced = match req.replica {
         Some(k) => match usize::try_from(k) {
             Ok(k) if k < shared.replicas.len() => Some(k),
@@ -480,7 +518,7 @@ fn forward_routed(
     } else {
         shared.replicas.len()
     };
-    for _ in 0..max_attempts {
+    for attempt in 0..max_attempts {
         let target = match forced {
             Some(k) => {
                 if !shared.replicas[k].is_up() {
@@ -500,6 +538,10 @@ fn forward_routed(
                 None => break,
             },
         };
+        let mut attempt_span = SpanNode::new(format!("attempt:{attempt}"));
+        attempt_span.counter("replica", target as u64);
+        fwd.trace_ctx = Some(ctx.child(&format!("attempt:{attempt}")));
+        let line = fwd.to_line();
         let r = &shared.replicas[target];
         r.in_flight.fetch_add(1, Ordering::SeqCst);
         let sent = forward_line(pool, r, &line);
@@ -511,15 +553,56 @@ fn forward_routed(
                 rec.incr("gateway.routed", 1);
                 rec.incr(&format!("fleet.replica{target}.routed"), 1);
                 let elapsed = born.elapsed();
-                shared
-                    .metrics
-                    .observe_latency_us(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
-                return tag_replica(&resp_line, target);
+                let elapsed_us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+                shared.metrics.observe_latency_us(elapsed_us);
+
+                let mut fields = match serde_json::from_str_value(resp_line.trim()) {
+                    Ok(Value::Object(fields)) => fields,
+                    // Not an object (a replica bug): pass it through
+                    // untouched, untagged and untraced.
+                    _ => return resp_line.trim_end().to_owned(),
+                };
+                let is_ok = fields
+                    .iter()
+                    .any(|(n, v)| n == "status" && v.as_u64() == Some(200));
+                if is_ok {
+                    if let Some(sub) = replica_subtree(&fields, &ctx) {
+                        attempt_span.children.push(sub);
+                    }
+                    attempts.push(attempt_span);
+                    let root = gateway_root(elapsed, attempts);
+                    shared.metrics.record_span(root.clone());
+                    let trace_id = ctx.trace_id_hex();
+                    record_trace(
+                        shared,
+                        StitchedTrace {
+                            trace_id: trace_id.clone(),
+                            case: req.case.clone(),
+                            wall_us: elapsed_us,
+                            root: root.clone(),
+                        },
+                    );
+                    if req.trace {
+                        let doc = Value::Object(vec![
+                            ("trace_id".to_owned(), Value::Str(trace_id)),
+                            ("root".to_owned(), root.to_value(false)),
+                        ]);
+                        match fields.iter_mut().find(|(n, _)| n == "trace") {
+                            Some((_, v)) => *v = doc,
+                            None => fields.push(("trace".to_owned(), doc)),
+                        }
+                    }
+                }
+                fields.push(("replica".to_owned(), Value::U64(target as u64)));
+                return serde_json::to_string(&Value::Object(fields))
+                    .expect("response re-serialises");
             }
             Err(_) => {
                 // The connection died with the replica: stop routing
                 // here now (the supervisor confirms and respawns) and
                 // retry the next ring-adjacent survivor.
+                attempt_span.counter("failed", 1);
+                attempts.push(attempt_span);
                 r.mark_down();
                 eligible[target] = false;
                 shared.metrics.recorder().incr("gateway.retried", 1);
@@ -618,6 +701,44 @@ fn forward_line(
     }
 }
 
+/// Assembles the gateway root span over the attempt spans (the last
+/// attempt is the serving one, carrying the replica's subtree).
+fn gateway_root(elapsed: Duration, attempts: Vec<SpanNode>) -> SpanNode {
+    let mut root = SpanNode::new("gateway");
+    root.wall_ms = elapsed.as_secs_f64() * 1.0e3;
+    root.counter("attempts", attempts.len() as u64);
+    root.counter("retries", attempts.len() as u64 - 1);
+    root.children = attempts;
+    root
+}
+
+/// Pulls the replica's span subtree out of a forwarded response
+/// envelope, accepting it only when it belongs to this trace and
+/// parses cleanly (a replica that answers garbage costs us its
+/// subtree, not the whole stitched trace).
+fn replica_subtree(fields: &[(String, Value)], ctx: &TraceContext) -> Option<SpanNode> {
+    let doc = fields.iter().find(|(n, _)| n == "trace").map(|(_, v)| v)?;
+    match doc.get("trace_id") {
+        Some(Value::Str(id)) if *id == ctx.trace_id_hex() => {}
+        _ => return None,
+    }
+    SpanNode::from_value(doc.get("root")?).ok()
+}
+
+/// Records one stitched trace into the gateway's flight recorder,
+/// mirroring the sink accounting into the metrics counters.
+fn record_trace(shared: &FleetShared, trace: StitchedTrace) {
+    let outcome = shared.traces.record(trace);
+    let rec = shared.metrics.recorder();
+    rec.incr("trace.recorded", 1);
+    if outcome.dropped {
+        rec.incr("trace.dropped", 1);
+    }
+    if outcome.slow_retained {
+        rec.incr("trace.slow_retained", 1);
+    }
+}
+
 /// Tags the serving replica's index into the response envelope so
 /// clients can attribute responses without the tag ever touching the
 /// deterministic `result` payload.
@@ -640,6 +761,7 @@ fn ok(req: &Request, result: Value) -> Response {
         cached: false,
         coalesced: false,
         result,
+        trace: None,
     }
 }
 
@@ -792,6 +914,11 @@ fn fleet_counters(shared: &Arc<FleetShared>) -> Vec<(String, u64)> {
         };
         *merged.entry(key).or_insert(0) += v;
     }
+    // The gateway's own span-ring accounting (stitched request spans),
+    // namespaced apart from the replicas' summed `spans.*` families.
+    for (name, v) in span_ring_counters(shared.metrics.recorder()) {
+        *merged.entry(format!("gateway.{name}")).or_insert(0) += v;
+    }
     merged.into_iter().collect()
 }
 
@@ -832,6 +959,23 @@ fn metrics_response(shared: &Arc<FleetShared>, req: &Request) -> Response {
             (
                 "histograms".to_owned(),
                 Value::Object(hists.into_iter().map(|(n, h)| (n, h.to_value())).collect()),
+            ),
+            (
+                "spans".to_owned(),
+                Value::Object(vec![
+                    (
+                        "dropped".to_owned(),
+                        Value::U64(shared.metrics.recorder().spans_dropped()),
+                    ),
+                    (
+                        "recorded".to_owned(),
+                        Value::U64(shared.metrics.recorder().spans_recorded()),
+                    ),
+                    (
+                        "retained".to_owned(),
+                        Value::U64(shared.metrics.recorder().spans_retained() as u64),
+                    ),
+                ]),
             ),
         ]),
     )

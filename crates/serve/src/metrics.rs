@@ -112,6 +112,10 @@ impl Metrics {
     ) {
         let mut counters: BTreeMap<String, u64> = other.counters_sorted().into_iter().collect();
         counters.extend(self.rec.counters_sorted());
+        // Span-ring accounting joins the counter families (this
+        // server's per-request ring, not the global engine ring) so
+        // drop accounting is visible to text scrapes too.
+        counters.extend(m3d_core::obs::span_ring_counters(&self.rec));
         let mut gauges: BTreeMap<String, i64> = other.gauges_sorted().into_iter().collect();
         gauges.extend(self.rec.gauges_sorted());
         let mut hists: BTreeMap<String, Histogram> = other.hists_sorted().into_iter().collect();
@@ -156,6 +160,7 @@ impl Metrics {
             (
                 "spans".to_owned(),
                 Value::Object(vec![
+                    ("dropped".to_owned(), Value::U64(self.rec.spans_dropped())),
                     ("recorded".to_owned(), Value::U64(self.rec.spans_recorded())),
                     (
                         "retained".to_owned(),
@@ -306,6 +311,21 @@ mod tests {
         assert!(text.contains("executed 1\n"), "{text}");
         assert!(text.contains("fleet_replica0_in_flight 2\n"), "{text}");
         assert!(text.contains("request_latency_us_count 1\n"), "{text}");
+        assert!(text.contains("spans_dropped 0\n"), "{text}");
+    }
+
+    #[test]
+    fn span_drop_accounting_reaches_both_expositions() {
+        let m = Metrics::new();
+        m.record_span(SpanNode::new("req:pd_flow"));
+        let global = Recorder::new();
+        let spans = m.merged_snapshot(&global);
+        let spans = spans.get("spans").unwrap();
+        assert_eq!(spans.get("dropped").unwrap().as_u64(), Some(0));
+        assert_eq!(spans.get("recorded").unwrap().as_u64(), Some(1));
+        let text = m.merged_text(&global);
+        assert!(text.contains("spans_recorded 1\n"), "{text}");
+        assert!(text.contains("spans_dropped 0\n"), "{text}");
     }
 
     #[test]

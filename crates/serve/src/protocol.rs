@@ -13,6 +13,7 @@
 //! (object keys sorted recursively), so `{"a":1,"b":2}` and
 //! `{"b":2,"a":1}` coalesce onto one computation.
 
+use m3d_core::obs::TraceContext;
 use m3d_core::ErrorCode;
 use m3d_tech::{StableHash, StableHasher};
 use serde::Value;
@@ -47,6 +48,12 @@ pub const CASE_DRAIN: &str = "drain";
 /// Reserved case name (gateway only): return a drained replica to the
 /// routing ring. Params: `{"replica": K}`.
 pub const CASE_UNDRAIN: &str = "undrain";
+/// Reserved case name: the trace flight recorder — recent stitched
+/// traces and slow-request exemplars. On the gateway this is the
+/// fleet-wide end-to-end view; on a single server, its local request
+/// trees. Optional params filter it: `{"case": name, "trace_id": hex,
+/// "min_wall_us": N}`.
+pub const CASE_TRACES: &str = "traces";
 
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,6 +78,14 @@ pub struct Request {
     /// replica computes it, which is what the cross-replica identity
     /// check exploits.
     pub replica: Option<u64>,
+    /// Opt-in tracing: when set, the response envelope carries the
+    /// stitched span tree of this request. A delivery field — never
+    /// part of the content key.
+    pub trace: bool,
+    /// Inbound distributed-trace context (the gateway sets it on
+    /// forwarded requests so the replica's spans parent under the
+    /// gateway's root span). A delivery field.
+    pub trace_ctx: Option<TraceContext>,
 }
 
 impl Request {
@@ -83,6 +98,8 @@ impl Request {
             params,
             timeout_ms: None,
             replica: None,
+            trace: false,
+            trace_ctx: None,
         }
     }
 
@@ -131,6 +148,18 @@ impl Request {
                     .ok_or("`replica` must be a non-negative integer")?,
             ),
         };
+        let trace = match v.get("trace") {
+            None => false,
+            Some(Value::Bool(b)) => *b,
+            Some(_) => return Err("`trace` must be a boolean".to_owned()),
+        };
+        let trace_ctx = match v.get("trace_ctx") {
+            None => None,
+            Some(x) => Some(
+                TraceContext::from_value(x)
+                    .ok_or("`trace_ctx` must be {trace_id: 32 hex, parent_span: 16 hex}")?,
+            ),
+        };
         Ok(Self {
             id,
             case,
@@ -138,6 +167,8 @@ impl Request {
             params,
             timeout_ms,
             replica,
+            trace,
+            trace_ctx,
         })
     }
 
@@ -168,6 +199,12 @@ impl Request {
         if let Some(r) = self.replica {
             fields.push(("replica".to_owned(), Value::U64(r)));
         }
+        if self.trace {
+            fields.push(("trace".to_owned(), Value::Bool(true)));
+        }
+        if let Some(ctx) = &self.trace_ctx {
+            fields.push(("trace_ctx".to_owned(), ctx.to_value()));
+        }
         serde_json::to_string(&Value::Object(fields)).expect("request serialises")
     }
 }
@@ -189,6 +226,10 @@ pub enum Response {
         coalesced: bool,
         /// The deterministic case payload.
         result: Value,
+        /// Stitched trace document `{trace_id, root}` — present only
+        /// when the request opted in with `trace: true`, so untraced
+        /// responses keep their pre-tracing byte layout.
+        trace: Option<Value>,
     },
     /// The request was not served.
     Err {
@@ -234,15 +275,22 @@ impl Response {
                 cached,
                 coalesced,
                 result,
-            } => Value::Object(vec![
-                ("id".to_owned(), Value::U64(*id)),
-                ("status".to_owned(), Value::U64(200)),
-                ("case".to_owned(), Value::Str(case.clone())),
-                ("key".to_owned(), Value::Str(key.clone())),
-                ("cached".to_owned(), Value::Bool(*cached)),
-                ("coalesced".to_owned(), Value::Bool(*coalesced)),
-                ("result".to_owned(), result.clone()),
-            ]),
+                trace,
+            } => {
+                let mut fields = vec![
+                    ("id".to_owned(), Value::U64(*id)),
+                    ("status".to_owned(), Value::U64(200)),
+                    ("case".to_owned(), Value::Str(case.clone())),
+                    ("key".to_owned(), Value::Str(key.clone())),
+                    ("cached".to_owned(), Value::Bool(*cached)),
+                    ("coalesced".to_owned(), Value::Bool(*coalesced)),
+                    ("result".to_owned(), result.clone()),
+                ];
+                if let Some(t) = trace {
+                    fields.push(("trace".to_owned(), t.clone()));
+                }
+                Value::Object(fields)
+            }
             Response::Err {
                 id,
                 code,
@@ -296,6 +344,7 @@ impl Response {
                 cached: flag("cached")?,
                 coalesced: flag("coalesced")?,
                 result: v.get("result").cloned().ok_or("missing `result`")?,
+                trace: v.get("trace").cloned(),
             })
         } else {
             let error = match v.get("error") {
@@ -403,6 +452,8 @@ mod tests {
             params: obj(vec![("n_cs", Value::U64(8))]),
             timeout_ms: Some(2500),
             replica: Some(2),
+            trace: true,
+            trace_ctx: Some(TraceContext::root("pd_flow", 0xfeed, 42)),
         };
         assert_eq!(Request::parse(&req.to_line()).unwrap(), req);
     }
@@ -426,6 +477,14 @@ mod tests {
             .unwrap_err()
             .contains("params"));
         assert!(Request::parse("not json").unwrap_err().contains("JSON"));
+        assert!(Request::parse(r#"{"case":"x","trace":1}"#)
+            .unwrap_err()
+            .contains("trace"));
+        assert!(
+            Request::parse(r#"{"case":"x","trace_ctx":{"trace_id":"nope"}}"#)
+                .unwrap_err()
+                .contains("trace_ctx")
+        );
     }
 
     #[test]
@@ -441,6 +500,14 @@ mod tests {
             a.key(),
             forced.key(),
             "the routing override is a delivery field, not content"
+        );
+        let mut traced = a.clone();
+        traced.trace = true;
+        traced.trace_ctx = Some(TraceContext::root("x", a.key(), 1));
+        assert_eq!(
+            a.key(),
+            traced.key(),
+            "trace identity is a delivery field, not content"
         );
         let c = Request::parse(r#"{"case":"x","params":{"a":1,"b":3}}"#).unwrap();
         assert_ne!(a.key(), c.key());
@@ -464,8 +531,23 @@ mod tests {
             cached: true,
             coalesced: false,
             result: obj(vec![("points", Value::Array(vec![]))]),
+            trace: None,
         };
         assert_eq!(Response::parse(&ok.to_line()).unwrap(), ok);
+        assert!(
+            !ok.to_line().contains("trace"),
+            "untraced responses keep the pre-tracing byte layout"
+        );
+        let traced = Response::Ok {
+            id: 7,
+            case: "tier_sweep".into(),
+            key: key_hex(0xdead_beef),
+            cached: false,
+            coalesced: false,
+            result: Value::Null,
+            trace: Some(obj(vec![("trace_id", Value::Str("00".repeat(16)))])),
+        };
+        assert_eq!(Response::parse(&traced.to_line()).unwrap(), traced);
         let err = Response::Err {
             id: 8,
             code: ErrorCode::Overloaded,

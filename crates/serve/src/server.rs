@@ -28,8 +28,10 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use m3d_bench::registry::{self, CaseCtx};
-use m3d_core::engine::{Flight, FlowCache, InFlight};
-use m3d_core::obs::{Provenance, Recorder, SpanNode};
+use m3d_core::engine::{Flight, FlowCache, InFlight, Pipeline};
+use m3d_core::obs::{
+    Provenance, Recorder, SpanNode, StitchedTrace, TraceContext, TraceFilter, TraceSink,
+};
 use m3d_core::ErrorCode;
 use m3d_thermal::ThermalCache;
 use serde::Value;
@@ -37,7 +39,7 @@ use serde::Value;
 use crate::metrics::Metrics;
 use crate::protocol::{
     key_hex, Request, Response, CASE_CASES, CASE_HEALTH, CASE_METRICS, CASE_METRICS_TEXT,
-    CASE_PING, CASE_READY, CASE_SHUTDOWN, CASE_STATS,
+    CASE_PING, CASE_READY, CASE_SHUTDOWN, CASE_STATS, CASE_TRACES,
 };
 use crate::queue::{Bounded, PushError};
 
@@ -116,6 +118,11 @@ struct Computed {
     result: Value,
     /// The *case* reported an internal cache hit (flow/thermal cache).
     deep_hit: bool,
+    /// The stage spans the leader's pipeline captured while computing
+    /// (pd-flow/thermal sub-spans included). Only the leading request
+    /// claims them in its trace — cache hits and coalesced followers
+    /// did not run the stages, and their traces say so.
+    spans: Vec<SpanNode>,
 }
 
 /// One queued request and the slot its connection thread waits on.
@@ -168,6 +175,7 @@ struct Shared {
     inflight: InFlight<Arc<Computed>>,
     queue: Bounded<Job>,
     metrics: Metrics,
+    traces: TraceSink,
     shutdown: AtomicBool,
     addr: SocketAddr,
     default_timeout: Duration,
@@ -235,6 +243,7 @@ pub fn serve(cfg: &ServerConfig) -> std::io::Result<Handle> {
         inflight: InFlight::new(),
         queue: Bounded::new(cfg.queue_depth.max(1)),
         metrics: Metrics::new(),
+        traces: TraceSink::default(),
         shutdown: AtomicBool::new(false),
         addr,
         default_timeout: Duration::from_millis(cfg.default_timeout_ms.clamp(1, 3_600_000)),
@@ -332,43 +341,31 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) -> std::io::Result
 fn dispatch(shared: &Arc<Shared>, req: Request, scrapes: &mut ScrapeGate) -> Response {
     match req.case.as_str() {
         CASE_PING => {
-            return Response::Ok {
-                id: req.id,
-                case: req.case.clone(),
-                key: key_hex(req.key()),
-                cached: false,
-                coalesced: false,
-                result: Value::Object(vec![("pong".to_owned(), Value::Bool(true))]),
-            }
+            return admin_ok(
+                &req,
+                Value::Object(vec![("pong".to_owned(), Value::Bool(true))]),
+            )
         }
         CASE_HEALTH => {
             // Liveness: true as long as the connection handler runs,
             // draining or not — the fleet supervisor uses `ready` to
             // decide routing and this case to decide respawning.
-            return Response::Ok {
-                id: req.id,
-                case: req.case.clone(),
-                key: key_hex(req.key()),
-                cached: false,
-                coalesced: false,
-                result: Value::Object(vec![
+            return admin_ok(
+                &req,
+                Value::Object(vec![
                     ("healthy".to_owned(), Value::Bool(true)),
                     (
                         "draining".to_owned(),
                         Value::Bool(shared.shutdown.load(Ordering::SeqCst)),
                     ),
                 ]),
-            };
+            );
         }
         CASE_READY => {
             let draining = shared.shutdown.load(Ordering::SeqCst);
-            return Response::Ok {
-                id: req.id,
-                case: req.case.clone(),
-                key: key_hex(req.key()),
-                cached: false,
-                coalesced: false,
-                result: Value::Object(vec![
+            return admin_ok(
+                &req,
+                Value::Object(vec![
                     ("ready".to_owned(), Value::Bool(!draining)),
                     ("draining".to_owned(), Value::Bool(draining)),
                     (
@@ -376,7 +373,7 @@ fn dispatch(shared: &Arc<Shared>, req: Request, scrapes: &mut ScrapeGate) -> Res
                         Value::U64(shared.queue.len() as u64),
                     ),
                 ]),
-            };
+            );
         }
         CASE_STATS => return stats_response(shared, &req),
         CASE_METRICS => {
@@ -384,55 +381,44 @@ fn dispatch(shared: &Arc<Shared>, req: Request, scrapes: &mut ScrapeGate) -> Res
                 shared.metrics.bump("scrapes_limited");
                 return scrape_limited(&req, wait_ms);
             }
-            return Response::Ok {
-                id: req.id,
-                case: req.case.clone(),
-                key: key_hex(req.key()),
-                cached: false,
-                coalesced: false,
-                // Per-server request counters plus the process-global
-                // engine recorder (flow/thermal caches, sweeps, pd-flow
-                // tallies) in one snapshot — the namespaces are disjoint.
-                result: shared.metrics.merged_snapshot(Recorder::global()),
-            };
+            // Per-server request counters plus the process-global
+            // engine recorder (flow/thermal caches, sweeps, pd-flow
+            // tallies) in one snapshot — the namespaces are disjoint.
+            return admin_ok(&req, shared.metrics.merged_snapshot(Recorder::global()));
         }
         CASE_METRICS_TEXT => {
             if let Err(wait_ms) = scrapes.admit() {
                 shared.metrics.bump("scrapes_limited");
                 return scrape_limited(&req, wait_ms);
             }
-            return Response::Ok {
-                id: req.id,
-                case: req.case.clone(),
-                key: key_hex(req.key()),
-                cached: false,
-                coalesced: false,
-                result: Value::Object(vec![(
+            return admin_ok(
+                &req,
+                Value::Object(vec![(
                     "text".to_owned(),
                     Value::Str(shared.metrics.merged_text(Recorder::global())),
                 )]),
+            );
+        }
+        CASE_TRACES => {
+            return match trace_filter(&req.params) {
+                Ok(filter) => admin_ok(&req, shared.traces.render(&filter)),
+                Err(e) => Response::Err {
+                    id: req.id,
+                    code: ErrorCode::BadRequest,
+                    error: e,
+                    retry_after_ms: None,
+                },
             };
         }
         CASE_SHUTDOWN => {
             shared.begin_shutdown();
-            return Response::Ok {
-                id: req.id,
-                case: req.case.clone(),
-                key: key_hex(req.key()),
-                cached: false,
-                coalesced: false,
-                result: Value::Object(vec![("draining".to_owned(), Value::Bool(true))]),
-            };
+            return admin_ok(
+                &req,
+                Value::Object(vec![("draining".to_owned(), Value::Bool(true))]),
+            );
         }
         CASE_CASES => {
-            return Response::Ok {
-                id: req.id,
-                case: req.case.clone(),
-                key: key_hex(req.key()),
-                cached: false,
-                coalesced: false,
-                result: cases_listing(),
-            };
+            return admin_ok(&req, cases_listing());
         }
         other => match registry::find(other) {
             None => {
@@ -469,8 +455,8 @@ fn dispatch(shared: &Arc<Shared>, req: Request, scrapes: &mut ScrapeGate) -> Res
         .get(&key)
     {
         let done = Arc::clone(done);
-        finish_request(shared, &req, born, Provenance::CacheHit);
-        return ok_envelope(&req, key, done, true, false);
+        let trace = finish_request(shared, &req, key, born, Provenance::CacheHit, &[]);
+        return ok_envelope(&req, key, done, true, false, trace);
     }
 
     let timeout = req
@@ -514,6 +500,47 @@ fn dispatch(shared: &Arc<Shared>, req: Request, scrapes: &mut ScrapeGate) -> Res
             }
         }
     }
+}
+
+/// An OK envelope for an inline admin case (never cached, coalesced or
+/// traced).
+fn admin_ok(req: &Request, result: Value) -> Response {
+    Response::Ok {
+        id: req.id,
+        case: req.case.clone(),
+        key: key_hex(req.key()),
+        cached: false,
+        coalesced: false,
+        result,
+        trace: None,
+    }
+}
+
+/// Parses the optional `traces` filter params: `{case, trace_id,
+/// min_wall_us}`, all optional, unknown fields rejected.
+pub(crate) fn trace_filter(params: &Value) -> Result<TraceFilter, String> {
+    let mut filter = TraceFilter::default();
+    let fields = match params {
+        Value::Null => return Ok(filter),
+        Value::Object(fields) => fields,
+        _ => return Err("`traces` params must be an object".to_owned()),
+    };
+    for (k, v) in fields {
+        match (k.as_str(), v) {
+            ("case", Value::Str(s)) => filter.case = Some(s.clone()),
+            ("trace_id", Value::Str(s)) => filter.trace_id = Some(s.clone()),
+            ("min_wall_us", x) => {
+                filter.min_wall_us = x
+                    .as_u64()
+                    .ok_or("`min_wall_us` must be a non-negative integer")?;
+            }
+            ("case" | "trace_id", _) => {
+                return Err(format!("`{k}` must be a string"));
+            }
+            (other, _) => return Err(format!("unknown `traces` filter field `{other}`")),
+        }
+    }
+    Ok(filter)
 }
 
 /// The 429 a too-eager `metrics`/`metrics_text` scraper receives: retry
@@ -565,8 +592,24 @@ fn cases_listing() -> Value {
 }
 
 /// Books a request's terminal accounting: outcome counter, end-to-end
-/// latency sample, and a per-request span on the metrics recorder.
-fn finish_request(shared: &Shared, req: &Request, born: Instant, provenance: Provenance) {
+/// latency sample, a per-request span on the metrics recorder, and the
+/// request's trace on the flight recorder. `children` are the stage
+/// spans the leader's pipeline captured (empty for cache hits and
+/// coalesced followers — they did not run the stages).
+///
+/// Returns the inline trace document `{trace_id, root}` when the
+/// request opted in with `trace: true`: the `req:{case}` span subtree
+/// in deterministic rendering, parented under the inbound
+/// [`TraceContext`] when the gateway supplied one (same derivation
+/// otherwise, so direct and fleet-routed traces share ids).
+fn finish_request(
+    shared: &Shared,
+    req: &Request,
+    key: u64,
+    born: Instant,
+    provenance: Provenance,
+    children: &[SpanNode],
+) -> Option<Value> {
     shared.metrics.bump(match provenance {
         // Warm-started requests still executed the case end to end; the
         // flow-cache warm counter (surfaced in `stats`) carries the
@@ -576,13 +619,38 @@ fn finish_request(shared: &Shared, req: &Request, born: Instant, provenance: Pro
         Provenance::Coalesced => "coalesced",
     });
     let elapsed = born.elapsed();
-    shared
-        .metrics
-        .observe_latency_us(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+    let elapsed_us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+    shared.metrics.observe_latency_us(elapsed_us);
     let mut span = SpanNode::new(format!("req:{}", req.case));
     span.wall_ms = elapsed.as_secs_f64() * 1.0e3;
     span.provenance = provenance;
-    shared.metrics.record_span(span);
+    span.children = children.to_vec();
+    shared.metrics.record_span(span.clone());
+
+    let ctx = req
+        .trace_ctx
+        .unwrap_or_else(|| TraceContext::root(&req.case, key, req.id));
+    let trace_id = ctx.trace_id_hex();
+    let outcome = shared.traces.record(StitchedTrace {
+        trace_id: trace_id.clone(),
+        case: req.case.clone(),
+        wall_us: elapsed_us,
+        root: span.clone(),
+    });
+    let rec = shared.metrics.recorder();
+    rec.incr("trace.recorded", 1);
+    if outcome.dropped {
+        rec.incr("trace.dropped", 1);
+    }
+    if outcome.slow_retained {
+        rec.incr("trace.slow_retained", 1);
+    }
+    req.trace.then(|| {
+        Value::Object(vec![
+            ("trace_id".to_owned(), Value::Str(trace_id)),
+            ("root".to_owned(), span.to_value(false)),
+        ])
+    })
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
@@ -608,35 +676,64 @@ fn execute(shared: &Arc<Shared>, job: &Job) -> Response {
         .get(&job.key)
     {
         let done = Arc::clone(done);
-        finish_request(shared, &job.req, job.born, Provenance::CacheHit);
-        return ok_envelope(&job.req, job.key, done, true, false);
+        let trace = finish_request(
+            shared,
+            &job.req,
+            job.key,
+            job.born,
+            Provenance::CacheHit,
+            &[],
+        );
+        return ok_envelope(&job.req, job.key, done, true, false, trace);
     }
 
     let flown = shared.inflight.run(job.key, Some(job.deadline), || {
-        let ctx = CaseCtx::new(&shared.flows, &shared.thermals);
+        // A pipeline rides along so the leader's trace carries the
+        // stage spans (pd-flow sub-spans included) the case records.
+        let pipeline = std::sync::Mutex::new(Pipeline::new());
+        let ctx = CaseCtx::new(&shared.flows, &shared.thermals).with_pipeline(&pipeline);
         let case = registry::find(&job.req.case).expect("checked at dispatch");
         case.run(&ctx, job.req.quick, &job.req.params)
             .map(|outcome| {
                 Arc::new(Computed {
                     result: outcome.result,
                     deep_hit: outcome.cache_hit,
+                    spans: pipeline
+                        .into_inner()
+                        .expect("pipeline poisoned")
+                        .spans()
+                        .to_vec(),
                 })
             })
     });
     match flown {
         Ok((Some(done), Flight::Led)) => {
-            finish_request(shared, &job.req, job.born, Provenance::Computed);
+            let trace = finish_request(
+                shared,
+                &job.req,
+                job.key,
+                job.born,
+                Provenance::Computed,
+                &done.spans,
+            );
             shared
                 .responses
                 .lock()
                 .expect("responses poisoned")
                 .insert(job.key, Arc::clone(&done));
             let deep_hit = done.deep_hit;
-            ok_envelope(&job.req, job.key, done, deep_hit, false)
+            ok_envelope(&job.req, job.key, done, deep_hit, false, trace)
         }
         Ok((Some(done), _)) => {
-            finish_request(shared, &job.req, job.born, Provenance::Coalesced);
-            ok_envelope(&job.req, job.key, done, false, true)
+            let trace = finish_request(
+                shared,
+                &job.req,
+                job.key,
+                job.born,
+                Provenance::Coalesced,
+                &[],
+            );
+            ok_envelope(&job.req, job.key, done, false, true, trace)
         }
         Ok((None, _)) => {
             shared.metrics.bump("timed_out");
@@ -660,6 +757,7 @@ fn ok_envelope(
     done: Arc<Computed>,
     cached: bool,
     coalesced: bool,
+    trace: Option<Value>,
 ) -> Response {
     Response::Ok {
         id: req.id,
@@ -668,6 +766,7 @@ fn ok_envelope(
         cached,
         coalesced,
         result: done.result.clone(),
+        trace,
     }
 }
 
@@ -724,5 +823,6 @@ fn stats_response(shared: &Arc<Shared>, req: &Request) -> Response {
         cached: false,
         coalesced: false,
         result,
+        trace: None,
     }
 }

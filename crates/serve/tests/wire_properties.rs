@@ -2,6 +2,7 @@
 //! back to the same value, and the request content key is invariant
 //! under JSON object field order.
 
+use m3d_core::obs::TraceContext;
 use m3d_core::ErrorCode;
 use m3d_serve::protocol::{canonical, key_hex, Request, Response};
 use proptest::prelude::*;
@@ -83,6 +84,12 @@ fn request() -> BoxedStrategy<Request> {
             params,
             timeout_ms: if t % 3 == 0 { None } else { Some(t) },
             replica: if t % 5 == 0 { Some(t % 7) } else { None },
+            trace: t % 2 == 0,
+            trace_ctx: if t % 4 == 0 {
+                Some(TraceContext::root("case", t, id).child("attempt:0"))
+            } else {
+                None
+            },
         })
         .boxed()
 }
@@ -129,7 +136,16 @@ proptest! {
     }
 
     #[test]
-    fn ok_responses_round_trip(id in 0u64..u64::MAX, result in tree(2), flags in 0u64..4) {
+    fn ok_responses_round_trip(id in 0u64..u64::MAX, result in tree(2), flags in 0u64..8) {
+        let trace = (flags & 4 != 0).then(|| {
+            let ctx = TraceContext::root("pd_flow", id, id);
+            Value::Object(vec![
+                ("trace_id".to_owned(), Value::Str(ctx.trace_id_hex())),
+                ("root".to_owned(), Value::Object(vec![
+                    ("name".to_owned(), Value::Str("gateway".to_owned())),
+                ])),
+            ])
+        });
         let resp = Response::Ok {
             id,
             case: "pd_flow".to_owned(),
@@ -137,6 +153,7 @@ proptest! {
             cached: flags & 1 != 0,
             coalesced: flags & 2 != 0,
             result,
+            trace,
         };
         let back = Response::parse(&resp.to_line()).expect("own line parses");
         prop_assert_eq!(back.status(), 200);

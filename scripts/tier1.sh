@@ -33,6 +33,20 @@ if grep -rEn '\b(header|rule|pct)\(' crates/bench/src/ >&2; then
     exit 1
 fi
 
+# Flow-cache shim gate: the deprecated FlowCache wrappers (`run`,
+# `run_traced`, `run_report_traced`, `run_report_coalesced`) are
+# deleted; no call site may use their shapes and cache.rs must not
+# regrow them. (`Rtl2GdsFlow::run_traced` in m3d-pd is a different,
+# zero-argument API and stays.)
+if grep -rEn '\.run_report_traced\(|\.run_report_coalesced\(|flows\.run\(|flows\.run_traced\(' crates/ >&2; then
+    echo "tier1: FAIL — retired FlowCache run* shims are back in use" >&2
+    exit 1
+fi
+if grep -En 'fn run(_traced|_report_traced|_report_coalesced)?\(' crates/core/src/engine/cache.rs >&2; then
+    echo "tier1: FAIL — m3d-core FlowCache regrew a deprecated run* shim" >&2
+    exit 1
+fi
+
 # Determinism gate: the Obs. 10 JSON artifact must be byte-identical
 # across runs and across worker counts (the report deliberately excludes
 # wall-clock and job-count fields). The disk cache is detached so both
@@ -212,11 +226,13 @@ serve_smoke() {
     fi
     # The cold mix doubles as the metrics gate: --check-metrics asserts
     # the server's executed / cache_hits+coalesced counter deltas agree
-    # with the client-side computed/reused tallies, and --metrics-every
-    # polls the `metrics` wire case mid-run.
+    # with the client-side computed/reused tallies (spans.recorded /
+    # spans.dropped accounting included), and --metrics-every polls the
+    # `metrics` and — with --trace — `traces` wire cases mid-run,
+    # cross-checking each inline trace against its flight-recorder copy.
     ./target/release/m3d-loadgen --addr "$addr" --clients 3 --requests 4 \
         --mix cold --expect-computed 12 --check-metrics --metrics-every 2 \
-        --json "$cold_json" >/dev/null
+        --trace --json "$cold_json" >/dev/null
     ./target/release/m3d-loadgen --addr "$addr" --clients 3 --requests 4 \
         --mix cold --expect-computed 0 --check-metrics >/dev/null
     # One `metrics_text` scrape: loadgen validates the exposition parses
@@ -225,11 +241,14 @@ serve_smoke() {
     ./target/release/m3d-loadgen --addr "$addr" --clients 4 --requests 4 \
         --mix repeated --expect-computed 1 \
         --metrics-text "$tmp/serve-w$workers.prom" >/dev/null
-    if ! grep -q '^# TYPE executed counter$' "$tmp/serve-w$workers.prom"; then
-        echo "tier1: FAIL — serve metrics_text (workers=$workers) lacks the executed counter" >&2
-        cat "$tmp/serve-w$workers.prom" >&2
-        exit 1
-    fi
+    for family in '^# TYPE executed counter$' '^# TYPE spans_dropped counter$' \
+                  '^spans_recorded [1-9]'; do
+        if ! grep -q "$family" "$tmp/serve-w$workers.prom"; then
+            echo "tier1: FAIL — serve metrics_text (workers=$workers) lacks $family" >&2
+            cat "$tmp/serve-w$workers.prom" >&2
+            exit 1
+        fi
+    done
     # Ingest wire probe: a malformed EDIF upload must be refused by
     # validate-before-enqueue (bad-request with a source position, and
     # the `rejected` counter increments), and the same valid design
@@ -284,6 +303,50 @@ serve_smoke 4 "$tmp/cold-w4.json"
 if ! cmp -s "$tmp/cold-w1.json" "$tmp/cold-w4.json"; then
     echo "tier1: FAIL — loadgen --json differs across m3d-serve --workers" >&2
     diff "$tmp/cold-w1.json" "$tmp/cold-w4.json" >&2 || true
+    exit 1
+fi
+
+# Traced-response determinism gate: the same traced request against two
+# fresh single servers (M3D_JOBS=1 vs 7) must answer byte-identically —
+# whole envelope including the inline trace, whose deterministic
+# rendering deliberately excludes wall-clock timing.
+for jobs in 1 7; do
+    env -u M3D_CACHE_DIR M3D_JOBS="$jobs" ./target/release/m3d-serve --addr 127.0.0.1:0 \
+        --workers 2 --queue-depth 16 >"$tmp/trace-serve-$jobs.out" 2>&1 &
+    tpid=$!
+    taddr=""
+    for _ in $(seq 1 100); do
+        taddr="$(sed -n 's/.*"listening":"\([^"]*\)".*/\1/p' "$tmp/trace-serve-$jobs.out")"
+        [ -n "$taddr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$taddr" ]; then
+        echo "tier1: FAIL — m3d-serve (M3D_JOBS=$jobs) never announced its port" >&2
+        kill "$tpid" 2>/dev/null || true
+        exit 1
+    fi
+    exec 5<>"/dev/tcp/${taddr%%:*}/${taddr##*:}"
+    printf '%s\n' '{"id":7100,"case":"pd_flow","quick":true,"trace":true,"params":{"activity_pct":37.5}}' >&5
+    IFS= read -r treply <&5
+    printf '%s\n' "$treply" >"$tmp/traced-j$jobs.line"
+    printf '%s\n' '{"id":7101,"case":"shutdown"}' >&5
+    IFS= read -r _ <&5 || true
+    exec 5<&- 5>&-
+    if ! wait "$tpid"; then
+        echo "tier1: FAIL — m3d-serve (M3D_JOBS=$jobs) did not drain after the traced probe" >&2
+        exit 1
+    fi
+done
+for part in '"trace_id"' '"name":"req:pd_flow"' '"name":"pd-flow"' '"name":"place"'; do
+    if ! grep -qF "$part" "$tmp/traced-j1.line"; then
+        echo "tier1: FAIL — single-server traced response lacks $part:" >&2
+        cat "$tmp/traced-j1.line" >&2
+        exit 1
+    fi
+done
+if ! cmp -s "$tmp/traced-j1.line" "$tmp/traced-j7.line"; then
+    echo "tier1: FAIL — traced pd_flow response differs across M3D_JOBS" >&2
+    diff "$tmp/traced-j1.line" "$tmp/traced-j7.line" >&2 || true
     exit 1
 fi
 
@@ -352,6 +415,35 @@ fi
 ./target/release/m3d-loadgen --addr "$gaddr" --clients 2 --requests 4 \
     --mix mixed --expect-computed 3 >/dev/null
 
+# Distributed-trace gate: a traced request through the gateway answers
+# with ONE stitched tree — the gateway root span, its per-attempt child,
+# the replica's request span and the pd-flow sub-spans beneath it — all
+# under a single trace id, and the gateway's flight recorder must hold
+# the same trace for the fleet-wide `traces` admin case.
+gw_request '{"id":9401,"case":"pd_flow","quick":true,"trace":true,"params":{"activity_pct":41.5}}'
+for part in '"name":"gateway"' '"attempts":1' '"name":"attempt:0"' \
+            '"name":"req:pd_flow"' '"name":"pd-flow"' '"name":"place"'; do
+    if ! printf '%s' "$gw_reply" | grep -qF "$part"; then
+        echo "tier1: FAIL — stitched fleet trace lacks $part: $gw_reply" >&2
+        exit 1
+    fi
+done
+trace_ids="$(printf '%s' "$gw_reply" | grep -o '"trace_id":"[0-9a-f]\{32\}"' | sort -u)"
+if [ "$(printf '%s\n' "$trace_ids" | grep -c .)" -ne 1 ]; then
+    echo "tier1: FAIL — stitched trace does not carry exactly one trace id: $gw_reply" >&2
+    exit 1
+fi
+tid="$(printf '%s' "$trace_ids" | cut -d'"' -f4)"
+gw_request "{\"id\":9402,\"case\":\"traces\",\"params\":{\"trace_id\":\"$tid\"}}"
+if ! printf '%s' "$gw_reply" | grep -qF "\"trace_id\":\"$tid\""; then
+    echo "tier1: FAIL — gateway flight recorder does not hold trace $tid: $gw_reply" >&2
+    exit 1
+fi
+if ! printf '%s' "$gw_reply" | grep -qF '"name":"gateway"'; then
+    echo "tier1: FAIL — recorded fleet trace lost its gateway root: $gw_reply" >&2
+    exit 1
+fi
+
 # Shared artifact tier: an ingest upload computed on replica 0 must be
 # a cache hit on replica 1 — only the shared M3D_CACHE_DIR can carry it
 # across processes (the `replica` delivery field pins the routing).
@@ -415,7 +507,9 @@ fi
     --mix repeated --metrics-text "$tmp/fleet.prom" \
     --shutdown >/dev/null
 for family in '^# TYPE fleet_replica0_queue_len gauge$' '^fleet_replica0_up 1$' \
-              '^fleet_replica2_up 1$' '^gateway_routed ' '^executed '; do
+              '^fleet_replica2_up 1$' '^gateway_routed ' '^executed ' \
+              '^gateway_spans_recorded [1-9]' '^# TYPE gateway_spans_dropped counter$' \
+              '^spans_recorded [1-9]'; do
     if ! grep -q "$family" "$tmp/fleet.prom"; then
         echo "tier1: FAIL — fleet metrics_text lacks $family" >&2
         cat "$tmp/fleet.prom" >&2
@@ -425,6 +519,67 @@ done
 if ! wait "$gateway_pid"; then
     echo "tier1: FAIL — m3d-gateway did not drain its fleet and exit 0" >&2
     cat "$tmp/gateway.err" >&2
+    exit 1
+fi
+
+# Retry-visibility gate: under a slow health probe, SIGKILL a replica
+# and keep sending cold traced requests — the consistent hash keeps
+# routing a share of them at the dead socket, so one must fail its
+# first attempt and retry on another replica. The stitched trace has to
+# show both attempts: attempt:0 tagged failed, attempt:1 carrying the
+# replica's request subtree.
+retry_cache="$tmp/retry-cache"
+mkdir -p "$retry_cache"
+env -u M3D_CACHE_DIR ./target/release/m3d-gateway --addr 127.0.0.1:0 --replicas 3 \
+    --workers 1 --queue-depth 64 --serve-bin ./target/release/m3d-serve \
+    --cache-dir "$retry_cache" --probe-interval-ms 5000 \
+    >"$tmp/retry-gw.out" 2>"$tmp/retry-gw.err" &
+retry_gw_pid=$!
+raddr=""
+for _ in $(seq 1 150); do
+    raddr="$(sed -n 's/.*"listening":"\([^"]*\)".*/\1/p' "$tmp/retry-gw.out")"
+    [ -n "$raddr" ] && break
+    sleep 0.1
+done
+if [ -z "$raddr" ]; then
+    echo "tier1: FAIL — retry-gate m3d-gateway never announced its port" >&2
+    cat "$tmp/retry-gw.err" >&2
+    kill "$retry_gw_pid" 2>/dev/null || true
+    exit 1
+fi
+rw_request() {
+    exec 6<>"/dev/tcp/${raddr%%:*}/${raddr##*:}"
+    printf '%s\n' "$1" >&6
+    IFS= read -r rw_reply <&6
+    exec 6<&- 6>&-
+}
+rw_request '{"id":9501,"case":"stats"}'
+victim_pid="$(printf '%s' "$rw_reply" | grep -o '"pid":[0-9]*' | head -1 | cut -d: -f2)"
+if [ -z "$victim_pid" ]; then
+    echo "tier1: FAIL — retry-gate stats carries no replica pid: $rw_reply" >&2
+    exit 1
+fi
+kill -9 "$victim_pid" 2>/dev/null || true
+retry_seen=""
+for i in $(seq 1 60); do
+    rw_request "{\"id\":$((9510 + i)),\"case\":\"sensitivity\",\"quick\":true,\"trace\":true,\"params\":{\"seed\":$((52000 + i))}}"
+    case "$rw_reply" in
+        *'"name":"attempt:1"'*) retry_seen=1; break ;;
+    esac
+done
+if [ -z "$retry_seen" ]; then
+    echo "tier1: FAIL — no retry became visible after 60 traced requests past a SIGKILL" >&2
+    exit 1
+fi
+case "$rw_reply" in
+    *'"attempts":2'*'"retries":1'*'"failed":1'*'"name":"attempt:1"'*'"name":"req:sensitivity"'*) ;;
+    *) echo "tier1: FAIL — retry trace lacks the failed-then-won attempt pair: $rw_reply" >&2
+       exit 1 ;;
+esac
+rw_request '{"id":9599,"case":"shutdown"}'
+if ! wait "$retry_gw_pid"; then
+    echo "tier1: FAIL — retry-gate m3d-gateway did not drain and exit 0" >&2
+    cat "$tmp/retry-gw.err" >&2
     exit 1
 fi
 

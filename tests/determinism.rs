@@ -3,7 +3,7 @@
 //! run to run, with or without the flow cache, and at any sweep worker
 //! count.
 
-use m3d::core::engine::{par_map_jobs, CacheStats, FlowCache, Pipeline, Stage};
+use m3d::core::engine::{par_map_jobs, CacheStats, FetchOpts, FlowCache, Pipeline, Stage};
 use m3d::core::explore::bandwidth_cs_grid;
 use m3d::core::framework::{ChipParams, WorkloadPoint};
 use m3d::core::sensitivity::{edp_benefit_sensitivity, Perturbation};
@@ -28,13 +28,15 @@ fn quick_cfg() -> FlowConfig {
 fn flow_report(cache: &FlowCache) -> String {
     let mut pipe = Pipeline::new();
     let run = pipe.stage(Stage::PdFlow, "2d", |ctx| {
-        let (r, hit) = cache.run_traced(&quick_cfg()).expect("quick flow runs");
-        if hit {
+        let fetch = cache
+            .fetch(&quick_cfg(), FetchOpts::report())
+            .expect("quick flow runs");
+        if fetch.reused() {
             ctx.mark_cache_hit();
         }
-        r
+        fetch.report
     });
-    let fr = &run.0;
+    let fr = &run;
     let record = ExperimentRecord::new("determinism", "engine determinism probe")
         .metric(Metric::new("die_mm2", fr.die_mm2))
         .metric(Metric::new("wirelength_m", fr.wirelength_m))
